@@ -1,0 +1,416 @@
+package cocktail
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (the
+// bench regenerates the experiment and reports its key quantities as
+// custom metrics), plus microbenchmarks of the quantized kernels the
+// system runs on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers come from the simulated substrate (see DESIGN.md); the
+// shapes are asserted by the test suite, the benches make them observable.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/f16"
+	"repro/internal/hwmodel"
+	"repro/internal/kvcache"
+	"repro/internal/mathx"
+	"repro/internal/quant"
+	"repro/internal/rngx"
+	"repro/internal/serving"
+)
+
+// benchEnv is sized so one experiment iteration stays in seconds.
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(experiments.Config{
+		Samples: 8, ContextTokens: 512, MaxSeq: 2048, MaxNew: 24, Seed: 2025})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func parse(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f", &v); err != nil {
+		b.Fatalf("non-numeric cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable2Accuracy regenerates the Table II accuracy grid
+// (Llama2-7B-sim row set) and reports per-method averages.
+func BenchmarkTable2Accuracy(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			avgCol := len(tab.Header) - 1
+			b.ReportMetric(parse(b, tab.Rows[0][avgCol]), "fp16-avg")
+			b.ReportMetric(parse(b, tab.Rows[4][avgCol]), "cocktail-avg")
+		}
+	}
+}
+
+// BenchmarkTable3ChunkSize regenerates the chunk-size sweep.
+func BenchmarkTable3ChunkSize(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(parse(b, tab.Rows[0][3]), "rouge-chunk32")
+			b.ReportMetric(parse(b, tab.Rows[0][6]), "rouge-chunk256")
+		}
+	}
+}
+
+// BenchmarkTable4Encoders regenerates the encoder comparison.
+func BenchmarkTable4Encoders(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(parse(b, tab.Rows[4][1]), "contriever-qasper")
+			b.ReportMetric(parse(b, tab.Rows[2][1]), "bm25-qasper")
+		}
+	}
+}
+
+// BenchmarkTable5Ablation regenerates the module ablation.
+func BenchmarkTable5Ablation(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(parse(b, tab.Rows[1][1]), "score-noModuleI")
+			b.ReportMetric(parse(b, tab.Rows[2][2]), "memGB-noModuleII")
+			b.ReportMetric(parse(b, tab.Rows[3][1]), "score-cocktail")
+		}
+	}
+}
+
+// BenchmarkFig1Heatmap regenerates the similarity heatmap.
+func BenchmarkFig1Heatmap(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		h := experiments.Fig1(env)
+		if len(h.Data) != 10 {
+			b.Fatal("bad heatmap")
+		}
+	}
+}
+
+// BenchmarkFig4Memory regenerates the per-model memory comparison.
+func BenchmarkFig4Memory(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(parse(b, tab.Rows[0][1]), "llama7b-fp16-GB")
+			b.ReportMetric(parse(b, tab.Rows[0][5]), "llama7b-cocktail-GB")
+		}
+	}
+}
+
+// BenchmarkFig5TPOT regenerates the per-model TPOT comparison.
+func BenchmarkFig5TPOT(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(parse(b, tab.Rows[0][1]), "llama7b-fp16-us")
+			b.ReportMetric(parse(b, tab.Rows[0][5]), "llama7b-cocktail-us")
+		}
+	}
+}
+
+// BenchmarkFig6Throughput regenerates the batch-size throughput sweep.
+func BenchmarkFig6Throughput(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := fig.Series[len(fig.Series)-1] // Cocktail
+			b.ReportMetric(last.Y[0], "cocktail-b1-tok/s")
+		}
+	}
+}
+
+// BenchmarkFig7AlphaBeta regenerates the hyperparameter sweeps.
+func BenchmarkFig7AlphaBeta(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		fa, fb, err := experiments.Fig7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(fa.Series[0].Y[0], "rouge-alpha0.1")
+			b.ReportMetric(fa.Series[0].Y[len(fa.Series[0].Y)-1], "rouge-alpha0.9")
+			b.ReportMetric(fb.Series[0].Y[0], "rouge-beta0.02")
+		}
+	}
+}
+
+// BenchmarkPipelineAnswer measures one full public-API request
+// (prefill + search + seal + decode).
+func BenchmarkPipelineAnswer(b *testing.B) {
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Answer(s.Context, s.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel microbenchmarks -------------------------------------------
+
+func benchRows(n, d int) []float32 {
+	return rngx.New(9).GaussianVec(n*d, 1)
+}
+
+// BenchmarkKernelFP16Scores measures the FP16 attention score kernel (mm).
+func BenchmarkKernelFP16Scores(b *testing.B) {
+	const n, d = 1024, 48
+	data := benchRows(n, d)
+	rows := f16.FromSlice(data)
+	q := rngx.New(3).GaussianVec(d, 1)
+	buf := make([]float32, d)
+	scores := make([]float32, n)
+	b.SetBytes(int64(2 * n * d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < n; t++ {
+			f16.ToSliceInto(buf, rows[t*d:(t+1)*d])
+			scores[t] = mathx.Dot(q, buf)
+		}
+	}
+}
+
+// BenchmarkKernelINT4Scores measures the fused INT4 score kernel (fqm).
+func BenchmarkKernelINT4Scores(b *testing.B) {
+	benchQuantScores(b, quant.INT4)
+}
+
+// BenchmarkKernelINT2Scores measures the fused INT2 score kernel (fqm).
+func BenchmarkKernelINT2Scores(b *testing.B) {
+	benchQuantScores(b, quant.INT2)
+}
+
+func benchQuantScores(b *testing.B, bits quant.Bits) {
+	const n, d = 1024, 48
+	data := benchRows(n, d)
+	qt := quant.Quantize(data, n, d, quant.Config{Bits: bits})
+	q := rngx.New(3).GaussianVec(d, 1)
+	scores := make([]float32, n)
+	b.SetBytes(int64(qt.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.ScoresInto(scores, q)
+	}
+}
+
+// BenchmarkCacheAttend measures full segment attention (Algorithm 1) over
+// a mixed-precision cache.
+func BenchmarkCacheAttend(b *testing.B) {
+	cfg := kvcache.Config{Layers: 2, Heads: 1, HeadDim: 48, GroupSize: 32}
+	r := rngx.New(5)
+	builder := kvcache.NewBuilder(cfg)
+	const n = 1024
+	for t := 0; t < n; t++ {
+		builder.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			builder.Append(l, 0, r.GaussianVec(48, 1), r.GaussianVec(48, 1))
+		}
+	}
+	plan := kvcache.UniformPlan(n, 32, kvcache.INT2, true)
+	for i := range plan.ChunkPrec {
+		switch i % 4 {
+		case 0:
+			plan.ChunkPrec[i] = kvcache.FP16
+		case 1, 2:
+			plan.ChunkPrec[i] = kvcache.INT4
+		}
+	}
+	cache, err := builder.Seal(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := r.GaussianVec(48, 1)
+	out := make([]float32, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Attend(i%2, 0, q, 0.2, out)
+	}
+}
+
+// BenchmarkQuantizeSeal measures Module II sealing cost (quantizing a full
+// context KV under a mixed plan).
+func BenchmarkQuantizeSeal(b *testing.B) {
+	cfg := kvcache.Config{Layers: 2, Heads: 1, HeadDim: 48, GroupSize: 32}
+	r := rngx.New(5)
+	builder := kvcache.NewBuilder(cfg)
+	const n = 1024
+	for t := 0; t < n; t++ {
+		builder.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			builder.Append(l, 0, r.GaussianVec(48, 1), r.GaussianVec(48, 1))
+		}
+	}
+	plan := kvcache.UniformPlan(n, 32, kvcache.INT2, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Seal(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModel measures the analytic hardware model (it must be
+// cheap enough to sweep).
+func BenchmarkCostModel(b *testing.B) {
+	g := hwmodel.A800()
+	d := hwmodel.Llama2_7B()
+	p := hwmodel.ProfileCocktail(32, nil)
+	wl := hwmodel.Workload{ContextTokens: 3500, OutputTokens: 128, Batch: 8}
+	for i := 0; i < b.N; i++ {
+		_ = hwmodel.Throughput(g, d, wl, p)
+	}
+}
+
+// --- Design-choice ablations ------------------------------------------
+//
+// Each AblationX bench quantizes the same Gaussian KV-like data two ways
+// and reports the mean absolute reconstruction error of both, making the
+// design decisions in DESIGN.md §5 measurable.
+
+func ablationData() ([]float32, int, int) {
+	const n, d = 512, 48
+	return rngx.New(77).GaussianVec(n*d, 0.15), n, d
+}
+
+// BenchmarkAblationAsymmetricVsSymmetric: the asymmetric min/max grid the
+// cache uses vs a symmetric max|x| grid.
+func BenchmarkAblationAsymmetricVsSymmetric(b *testing.B) {
+	data, n, d := ablationData()
+	var errA, errS float64
+	for i := 0; i < b.N; i++ {
+		qa := quant.Quantize(data, n, d, quant.Config{Bits: quant.INT4})
+		qs := quant.SymmetricQuantize(data, n, d, quant.Config{Bits: quant.INT4})
+		errA = mathx.MeanAbsDiff(qa.Dequantize(), data)
+		errS = mathx.MeanAbsDiff(qs.Dequantize(), data)
+	}
+	b.ReportMetric(errA*1e3, "asym-err(milli)")
+	b.ReportMetric(errS*1e3, "sym-err(milli)")
+}
+
+// BenchmarkAblationCodebookVsUniform: fixed Gaussian nuq codebook vs the
+// uniform grid (the KVQuant design point).
+func BenchmarkAblationCodebookVsUniform(b *testing.B) {
+	data, n, d := ablationData()
+	var errU, errC float64
+	for i := 0; i < b.N; i++ {
+		qu := quant.Quantize(data, n, d, quant.Config{Bits: quant.INT4, GroupSize: 128})
+		qc := quant.Quantize(data, n, d, quant.Config{
+			Bits: quant.INT4, GroupSize: 128, Codebook: quant.GaussianCodebook(quant.INT4)})
+		errU = mathx.MeanAbsDiff(qu.Dequantize(), data)
+		errC = mathx.MeanAbsDiff(qc.Dequantize(), data)
+	}
+	b.ReportMetric(errU*1e3, "uniform-err(milli)")
+	b.ReportMetric(errC*1e3, "codebook-err(milli)")
+}
+
+// BenchmarkAblationFittedCodebook: Lloyd-Max fitted codebook vs the fixed
+// Gaussian one, including the fitting cost.
+func BenchmarkAblationFittedCodebook(b *testing.B) {
+	data, n, d := ablationData()
+	var errG, errF float64
+	for i := 0; i < b.N; i++ {
+		fitted := quant.FitCodebook(quant.INT4, data, 8)
+		qg := quant.Quantize(data, n, d, quant.Config{
+			Bits: quant.INT4, GroupSize: 128, Codebook: quant.GaussianCodebook(quant.INT4)})
+		qf := quant.Quantize(data, n, d, quant.Config{
+			Bits: quant.INT4, GroupSize: 128, Codebook: fitted})
+		errG = mathx.MeanAbsDiff(qg.Dequantize(), data)
+		errF = mathx.MeanAbsDiff(qf.Dequantize(), data)
+	}
+	b.ReportMetric(errG*1e3, "gaussian-err(milli)")
+	b.ReportMetric(errF*1e3, "fitted-err(milli)")
+}
+
+// BenchmarkAblationAxis: per-token vs per-channel grouping on data with
+// outlier channels (the Atom vs KIVI distinction).
+func BenchmarkAblationAxis(b *testing.B) {
+	_, n, d := ablationData()
+	r := rngx.New(78)
+	data := make([]float32, n*d)
+	for i := range data {
+		scale := float32(0.15)
+		if (i%d)%24 == 0 {
+			scale = 0.4 // outlier channels as in the model substrate
+		}
+		data[i] = r.NormFloat32() * scale
+	}
+	var errT, errC float64
+	for i := 0; i < b.N; i++ {
+		qt := quant.Quantize(data, n, d, quant.Config{Bits: quant.INT4, Axis: quant.PerToken})
+		qc := quant.Quantize(data, n, d, quant.Config{Bits: quant.INT4, Axis: quant.PerChannel})
+		errT = mathx.MeanAbsDiff(qt.Dequantize(), data)
+		errC = mathx.MeanAbsDiff(qc.Dequantize(), data)
+	}
+	b.ReportMetric(errT*1e3, "per-token-err(milli)")
+	b.ReportMetric(errC*1e3, "per-channel-err(milli)")
+}
+
+// BenchmarkServingSimulation: the Figure 6 serving-level restatement.
+func BenchmarkServingSimulation(b *testing.B) {
+	reqs := serving.PoissonTrace(9, 200, 5, 2000, 128)
+	cfg := serving.Config{
+		GPU: hwmodel.A800(), Model: hwmodel.Llama2_7B(),
+		Profile: hwmodel.ProfileCocktail(32, nil),
+	}
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		st, err := serving.Simulate(cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = st.ThroughputTokS
+	}
+	b.ReportMetric(tput, "tok/s")
+}

@@ -1,0 +1,153 @@
+// Command cocktail-bench regenerates the paper's evaluation tables and
+// figures on the simulated substrate.
+//
+// Usage:
+//
+//	cocktail-bench -exp all
+//	cocktail-bench -exp table2 -samples 50
+//	cocktail-bench -exp fig6
+//
+// Experiments: table1 table2 table3 table4 table5 fig1 fig4 fig5 fig6 fig7
+// (and "all"). See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..table5, fig1, fig4..fig7, all)")
+	samples := flag.Int("samples", 25, "samples per evaluation cell")
+	ctx := flag.Int("context", 768, "context tokens per sample")
+	seed := flag.Uint64("seed", 2025, "experiment seed")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(experiments.Config{
+		Samples: *samples, ContextTokens: *ctx, MaxSeq: 2048, MaxNew: 24, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		run("table1", func() error { fmt.Println(experiments.Table1().String()); return nil })
+	}
+	if want("fig1") {
+		ran = true
+		run("fig1", func() error { fmt.Println(experiments.Fig1(env).String()); return nil })
+	}
+	if want("table2") {
+		ran = true
+		run("table2", func() error {
+			t, err := experiments.Table2(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if want("fig4") {
+		ran = true
+		run("fig4", func() error {
+			t, err := experiments.Fig4(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if want("fig5") {
+		ran = true
+		run("fig5", func() error {
+			t, err := experiments.Fig5(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if want("fig6") {
+		ran = true
+		run("fig6", func() error {
+			f, err := experiments.Fig6(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.String())
+			return nil
+		})
+	}
+	if want("fig7") {
+		ran = true
+		run("fig7", func() error {
+			fa, fb, err := experiments.Fig7(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fa.String())
+			fmt.Println(fb.String())
+			return nil
+		})
+	}
+	if want("table3") {
+		ran = true
+		run("table3", func() error {
+			t, err := experiments.Table3(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if want("table4") {
+		ran = true
+		run("table4", func() error {
+			t, err := experiments.Table4(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if want("table5") {
+		ran = true
+		run("table5", func() error {
+			t, err := experiments.Table5(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.String())
+			return nil
+		})
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cocktail-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command cocktail-serve exposes the pipeline over HTTP — the shape a
+// deployment of this library would take. Endpoints:
+//
+//	GET  /v1/info                  pipeline configuration and rosters
+//	POST /v1/answer                {"context": [...], "query": [...]}
+//	POST /v1/search                Module I only: plan + scores
+//	GET  /v1/sample?dataset=X&seed=N  generate a benchmark sample
+//
+// Usage:
+//
+//	cocktail-serve -addr :8080 -method Cocktail
+//	curl -s localhost:8080/v1/sample?dataset=Qasper&seed=7
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	cocktail "repro"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	method := flag.String("method", "Cocktail", "quantization method")
+	modelName := flag.String("model", "Llama2-7B-sim", "simulated model")
+	alpha := flag.Float64("alpha", 0.6, "T_low hyperparameter")
+	beta := flag.Float64("beta", 0.1, "T_high hyperparameter")
+	flag.Parse()
+
+	p, err := cocktail.New(cocktail.Config{
+		Model: *modelName, Method: *method, Alpha: *alpha, Beta: *beta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cocktail-serve: %s / %s listening on %s", *modelName, *method, *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New(p)))
+}

@@ -1,0 +1,101 @@
+// Command cocktail-sweep scans one Cocktail hyperparameter (alpha, beta or
+// chunk size) over a dataset and prints accuracy plus the resulting
+// precision mix — the tool behind Figure 7 and Table III style analyses.
+//
+// Usage:
+//
+//	cocktail-sweep -param alpha -dataset QMSum -samples 20
+//	cocktail-sweep -param beta  -values 0.02,0.05,0.1,0.3
+//	cocktail-sweep -param chunk -values 8,16,32,64,128,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cocktail "repro"
+)
+
+func main() {
+	param := flag.String("param", "alpha", "hyperparameter to sweep: alpha, beta or chunk")
+	valuesFlag := flag.String("values", "", "comma-separated sweep values (defaults per param)")
+	dataset := flag.String("dataset", "QMSum", "dataset name")
+	modelName := flag.String("model", "Llama2-7B-sim", "simulated model")
+	samples := flag.Int("samples", 20, "samples per sweep point")
+	seed := flag.Uint64("seed", 1234, "base sample seed")
+	flag.Parse()
+
+	values := strings.Split(*valuesFlag, ",")
+	if *valuesFlag == "" {
+		switch *param {
+		case "alpha":
+			values = []string{"0.1", "0.3", "0.5", "0.6", "0.7", "0.9"}
+		case "beta":
+			values = []string{"0.02", "0.05", "0.1", "0.2", "0.3", "0.5"}
+		case "chunk":
+			values = []string{"8", "16", "32", "64", "128", "256"}
+		default:
+			fatal(fmt.Errorf("unknown param %q", *param))
+		}
+	}
+
+	fmt.Printf("%-8s  %-8s  %s\n", *param, "score", "tokens by precision")
+	for _, raw := range values {
+		cfg := cocktail.Config{Model: *modelName}
+		switch *param {
+		case "alpha":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Alpha = v
+		case "beta":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Beta = v
+		case "chunk":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ChunkSize = v
+		default:
+			fatal(fmt.Errorf("unknown param %q", *param))
+		}
+		p, err := cocktail.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var total float64
+		mix := map[string]int{}
+		for i := 0; i < *samples; i++ {
+			s, err := p.NewSample(*dataset, *seed+uint64(i))
+			if err != nil {
+				fatal(err)
+			}
+			res, err := p.Answer(s.Context, s.Query)
+			if err != nil {
+				fatal(err)
+			}
+			sc, err := p.Score(*dataset, res.Answer, s.Answer)
+			if err != nil {
+				fatal(err)
+			}
+			total += sc
+			for k, v := range res.Plan.TokensByPrecision {
+				mix[k] += v
+			}
+		}
+		fmt.Printf("%-8s  %-8.3f  %v\n", raw, total/float64(*samples), mix)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cocktail-sweep:", err)
+	os.Exit(1)
+}

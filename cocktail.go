@@ -1,0 +1,322 @@
+// Package cocktail is the public API of the Cocktail reproduction:
+// chunk-adaptive mixed-precision KV cache quantization for long-context
+// LLM inference (Tao et al., DATE 2025), implemented in pure Go on a
+// simulated substrate (see DESIGN.md for the substitution map).
+//
+// A Pipeline bundles a synthetic lexicon, a constructed induction-head
+// transformer standing in for one of the paper's models, and a KV-cache
+// quantization method. Text in and out is word-token based:
+//
+//	p, _ := cocktail.New(cocktail.Config{})        // Cocktail on Llama2-7B-sim
+//	s, _ := p.NewSample("Qasper", 42)              // a planted-needle QA task
+//	res, _ := p.Answer(s.Context, s.Query)         // quantize, decode
+//	score, _ := p.Score("Qasper", res.Answer, s.Answer)
+//
+// The Result reports the quantization plan Module I chose and the memory
+// footprint Module II achieved, so applications can inspect the
+// precision/accuracy trade directly.
+package cocktail
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/rngx"
+	"repro/internal/search"
+)
+
+// Config selects the pipeline components. Zero values mean defaults
+// (Cocktail method, Llama2-7B-sim model, Contriever encoder, α=0.6,
+// β=0.1, chunk size 32, reordering on).
+type Config struct {
+	// Model is one of Models().
+	Model string
+	// Method is one of Methods().
+	Method string
+	// Encoder is one of Encoders(); only used by the Cocktail method.
+	Encoder string
+	// Alpha and Beta are the Module I thresholds' hyperparameters.
+	Alpha, Beta float64
+	// ChunkSize is the search granularity in tokens.
+	ChunkSize int
+	// DisableReorder turns off Module II chunk reordering (ablation).
+	DisableReorder bool
+	// MaxSeq bounds total sequence length (context + query + output).
+	MaxSeq int
+	// LexiconSeed selects the synthetic language; fixed corpora come from
+	// fixed seeds.
+	LexiconSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = "Llama2-7B-sim"
+	}
+	if c.Method == "" {
+		c.Method = "Cocktail"
+	}
+	if c.Encoder == "" {
+		c.Encoder = "contriever"
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.6
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.1
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 32
+	}
+	if c.MaxSeq == 0 {
+		c.MaxSeq = 2048
+	}
+	if c.LexiconSeed == 0 {
+		c.LexiconSeed = 1
+	}
+	return c
+}
+
+// Models lists the simulated model names (stand-ins for the paper's four
+// evaluation models).
+func Models() []string {
+	var out []string
+	for _, cfg := range model.Registry(16) {
+		out = append(out, cfg.Name)
+	}
+	return out
+}
+
+// Methods lists the KV-cache quantization methods of Table II.
+func Methods() []string {
+	return []string{"FP16", "Atom", "KIVI", "KVQuant", "Cocktail"}
+}
+
+// Encoders lists the Module I encoder names of Table IV.
+func Encoders() []string {
+	return []string{"contriever", "llm-embedder", "ada-002", "bm25"}
+}
+
+// DatasetInfo describes one benchmark task (Table I).
+type DatasetInfo struct {
+	Name, Task, Metric string
+}
+
+// Datasets lists the LongBench-analog tasks.
+func Datasets() []DatasetInfo {
+	var out []DatasetInfo
+	for _, d := range datasets.All() {
+		out = append(out, DatasetInfo{Name: d.Name, Task: d.Task, Metric: d.Metric.String()})
+	}
+	return out
+}
+
+// Pipeline is a ready-to-run inference stack.
+type Pipeline struct {
+	cfg    Config
+	lex    *corpus.Lexicon
+	model  *model.Model
+	method core.Method
+}
+
+// New builds a pipeline for cfg.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	lex := corpus.NewLexicon(corpus.Defaults(cfg.LexiconSeed))
+
+	var mcfg *model.Config
+	for _, mc := range model.Registry(cfg.MaxSeq) {
+		if mc.Name == cfg.Model {
+			mc := mc
+			mcfg = &mc
+			break
+		}
+	}
+	if mcfg == nil {
+		return nil, fmt.Errorf("cocktail: unknown model %q (have %v)", cfg.Model, Models())
+	}
+	m, err := model.New(*mcfg, lex)
+	if err != nil {
+		return nil, err
+	}
+
+	var meth core.Method
+	if cfg.Method == "Cocktail" {
+		ct := core.NewCocktail(lex)
+		enc, err := core.EncoderByName(lex, cfg.Encoder)
+		if err != nil {
+			return nil, err
+		}
+		ct.Encoder = enc
+		sc := search.Default()
+		sc.Alpha, sc.Beta = cfg.Alpha, cfg.Beta
+		sc.ChunkSize = cfg.ChunkSize
+		sc.Reorder = !cfg.DisableReorder
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		ct.Search = sc
+		meth = ct
+	} else {
+		meth, err = core.MethodByName(lex, cfg.Method)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Pipeline{cfg: cfg, lex: lex, model: m, method: meth}, nil
+}
+
+// Config returns the pipeline's effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Vocabulary returns the closed word list of the synthetic language.
+func (p *Pipeline) Vocabulary() []string { return p.lex.Vocab.Words() }
+
+// Sample is one generated benchmark instance, in surface-word form.
+type Sample struct {
+	Context, Query, Answer []string
+	// RelevantChunks are ground-truth chunk indices containing the needle.
+	RelevantChunks []int
+}
+
+// NewSample generates a deterministic instance of a Table I dataset.
+func (p *Pipeline) NewSample(dataset string, seed uint64) (*Sample, error) {
+	d, err := datasets.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	ctxTokens := p.cfg.MaxSeq / 2
+	if ctxTokens > 768 {
+		ctxTokens = 768
+	}
+	s := d.Gen(rngx.New(seed), p.lex, datasets.GenConfig{
+		ContextTokens: ctxTokens, ChunkSize: p.cfg.ChunkSize})
+	return &Sample{
+		Context:        p.lex.SurfacesOf(s.Context),
+		Query:          p.lex.SurfacesOf(s.Query),
+		Answer:         p.lex.SurfacesOf(s.Answer),
+		RelevantChunks: s.RelevantChunks,
+	}, nil
+}
+
+// Score evaluates a prediction with the dataset's Table I metric (0..1).
+func (p *Pipeline) Score(dataset string, pred, ref []string) (float64, error) {
+	d, err := datasets.ByName(dataset)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Score(d.Metric, pred, ref), nil
+}
+
+// PlanSummary reports what Module I decided and what it cost.
+type PlanSummary struct {
+	// ChunkPrecisions is the per-chunk precision ("INT2"/"INT4"/"FP16"…)
+	// in logical chunk order.
+	ChunkPrecisions []string
+	// TokensByPrecision counts context tokens per precision.
+	TokensByPrecision map[string]int
+	// Segments is the number of contiguous same-precision runs per
+	// layer/head after (optional) reordering.
+	Segments int
+	// ContextKVBytes is the sealed mixed-precision cache footprint;
+	// FP16KVBytes is what an unquantized cache would cost.
+	ContextKVBytes, FP16KVBytes int
+}
+
+// CompressionRatio is FP16 bytes over achieved bytes.
+func (s PlanSummary) CompressionRatio() float64 {
+	if s.ContextKVBytes == 0 {
+		return 0
+	}
+	return float64(s.FP16KVBytes) / float64(s.ContextKVBytes)
+}
+
+// Result is the outcome of one Answer call.
+type Result struct {
+	// Answer holds the generated words (EOS excluded).
+	Answer []string
+	Plan   PlanSummary
+}
+
+// Answer runs the full pipeline on (context, query): prefill, Module I
+// search (or the baseline policy), Module II seal, and greedy decoding.
+// All words must come from Vocabulary().
+func (p *Pipeline) Answer(context, query []string) (*Result, error) {
+	ctxIDs, err := p.encode(context)
+	if err != nil {
+		return nil, err
+	}
+	qIDs, err := p.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(ctxIDs)+len(qIDs)+128 > p.cfg.MaxSeq {
+		return nil, fmt.Errorf("cocktail: context+query too long for MaxSeq %d", p.cfg.MaxSeq)
+	}
+	b, err := p.model.Prefill(ctxIDs)
+	if err != nil {
+		return nil, err
+	}
+	cache, plan, err := p.method.Prepare(b, ctxIDs, qIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := p.model.Generate(cache, qIDs, 64)
+
+	stats := cache.Stats()
+	summary := PlanSummary{
+		Segments:       stats.Segments,
+		ContextKVBytes: stats.ContextBytes,
+		FP16KVBytes: len(ctxIDs) * model.Layers * model.Heads *
+			p.model.Config().Dim * 2 * 2,
+		TokensByPrecision: map[string]int{},
+	}
+	for prec, n := range stats.TokensByPrec {
+		summary.TokensByPrecision[prec.String()] = n
+	}
+	for _, prec := range plan.ChunkPrec {
+		summary.ChunkPrecisions = append(summary.ChunkPrecisions, prec.String())
+	}
+	return &Result{Answer: p.lex.SurfacesOf(out), Plan: summary}, nil
+}
+
+// SearchOnly runs Module I alone and returns the similarity scores,
+// thresholds and per-chunk precisions without any model inference. It is
+// only available when the pipeline method is Cocktail.
+func (p *Pipeline) SearchOnly(context, query []string) (scores []float64, tlow, thigh float64, precisions []string, err error) {
+	ct, ok := p.method.(*core.Cocktail)
+	if !ok {
+		return nil, 0, 0, nil, fmt.Errorf("cocktail: SearchOnly requires the Cocktail method, have %s", p.method.Name())
+	}
+	ctxIDs, err := p.encode(context)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	qIDs, err := p.encode(query)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	res, err := search.Run(ct.Encoder, ctxIDs, qIDs, ct.Search)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	for _, prec := range res.Plan.ChunkPrec {
+		precisions = append(precisions, prec.String())
+	}
+	return res.Scores, res.TLow, res.THigh, precisions, nil
+}
+
+func (p *Pipeline) encode(words []string) ([]int, error) {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		id := p.lex.Vocab.ID(w)
+		if id < 0 {
+			return nil, fmt.Errorf("cocktail: word %q not in the synthetic vocabulary", w)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}

@@ -1,0 +1,191 @@
+package cocktail
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.Method != "Cocktail" || cfg.Model != "Llama2-7B-sim" ||
+		cfg.Alpha != 0.6 || cfg.Beta != 0.1 || cfg.ChunkSize != 32 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if len(p.Vocabulary()) < 1000 {
+		t.Fatalf("vocabulary too small: %d", len(p.Vocabulary()))
+	}
+}
+
+func TestRosterFunctions(t *testing.T) {
+	if len(Models()) != 4 || len(Methods()) != 5 || len(Encoders()) != 4 || len(Datasets()) != 8 {
+		t.Fatalf("rosters wrong: %d/%d/%d/%d",
+			len(Models()), len(Methods()), len(Encoders()), len(Datasets()))
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Model: "gpt-99"},
+		{Method: "nope"},
+		{Encoder: "nope"},
+		{Alpha: 2},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v should fail", cfg)
+		}
+	}
+}
+
+// TestEndToEndAllMethods: every public method answers a Qasper sample; the
+// Cocktail pipeline recovers the reference answer and reports a compressed
+// plan.
+func TestEndToEndAllMethods(t *testing.T) {
+	for _, method := range Methods() {
+		p, err := New(Config{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NewSample("Qasper", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(res.Answer) == 0 {
+			t.Fatalf("%s: empty answer", method)
+		}
+		score, err := p.Score("Qasper", res.Answer, s.Answer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if method == "FP16" && score < 0.99 {
+			t.Errorf("FP16 should recover the sample, F1=%v", score)
+		}
+		if method == "Cocktail" {
+			if score < 0.7 {
+				t.Errorf("Cocktail F1 = %v on an easy sample", score)
+			}
+			if res.Plan.CompressionRatio() < 1.5 {
+				t.Errorf("Cocktail compression ratio %v too low", res.Plan.CompressionRatio())
+			}
+			if res.Plan.Segments > 4 {
+				t.Errorf("reordered plan has %d segments", res.Plan.Segments)
+			}
+		}
+		if method == "FP16" && res.Plan.CompressionRatio() > 1.01 {
+			t.Errorf("FP16 should not compress, ratio %v", res.Plan.CompressionRatio())
+		}
+	}
+}
+
+func TestAnswerRejectsOOV(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Answer([]string{"definitely-not-a-word"}, []string{"x"}); err == nil {
+		t.Fatal("expected OOV error")
+	}
+}
+
+func TestAnswerRejectsTooLong(t *testing.T) {
+	p, err := New(Config{MaxSeq: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]string, 400)
+	for i := range long {
+		long[i] = p.Vocabulary()[0]
+	}
+	if _, err := p.Answer(long, long[:2]); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSearchOnly(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("QMSum", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, tlow, thigh, precs, err := p.SearchOnly(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(precs) || len(scores) == 0 {
+		t.Fatalf("scores/precs length mismatch: %d vs %d", len(scores), len(precs))
+	}
+	if tlow > thigh {
+		t.Fatalf("tlow %v > thigh %v", tlow, thigh)
+	}
+	seen := map[string]bool{}
+	for _, pr := range precs {
+		seen[pr] = true
+	}
+	if !seen["INT2"] {
+		t.Errorf("search produced no INT2 chunks: %v", seen)
+	}
+	// The ground-truth needle chunk must not be INT2.
+	for _, c := range s.RelevantChunks {
+		if precs[c] == "INT2" {
+			t.Errorf("relevant chunk %d assigned INT2", c)
+		}
+	}
+}
+
+func TestSearchOnlyRequiresCocktail(t *testing.T) {
+	p, err := New(Config{Method: "Atom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, serr := p.SearchOnly([]string{"x"}, []string{"x"})
+	if serr == nil {
+		t.Fatal("expected method error")
+	}
+	if !strings.Contains(serr.Error(), "Cocktail") {
+		t.Fatalf("unhelpful error: %v", serr)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.NewSample("LCC", 9)
+	b, _ := p.NewSample("LCC", 9)
+	if strings.Join(a.Context, " ") != strings.Join(b.Context, " ") {
+		t.Fatal("samples not deterministic")
+	}
+}
+
+func TestDisableReorderStillCorrect(t *testing.T) {
+	p, err := New(Config{DisableReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, _ := p.Score("Qasper", res.Answer, s.Answer)
+	if score < 0.7 {
+		t.Errorf("no-reorder accuracy %v (reordering must not affect results)", score)
+	}
+	if res.Plan.Segments <= 3 {
+		t.Errorf("unreordered plan should be fragmented, got %d segments", res.Plan.Segments)
+	}
+}

@@ -1,0 +1,148 @@
+package cocktail
+
+// Integration tests exercising the full public pipeline across every
+// dataset, model and method combination at small sample counts — the
+// cross-module counterpart to the per-package unit suites.
+
+import (
+	"testing"
+)
+
+// TestAllDatasetsThroughCocktail runs two samples of every Table I task
+// through the default pipeline and checks accuracy and compression.
+func TestAllDatasetsThroughCocktail(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Datasets() {
+		var total float64
+		for seed := uint64(1); seed <= 2; seed++ {
+			s, err := p.NewSample(d.Name, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			res, err := p.Answer(s.Context, s.Query)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			sc, err := p.Score(d.Name, res.Answer, s.Answer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += sc
+			if res.Plan.CompressionRatio() < 1.5 {
+				t.Errorf("%s seed %d: compression %.2f too low",
+					d.Name, seed, res.Plan.CompressionRatio())
+			}
+		}
+		if total/2 < 0.5 {
+			t.Errorf("%s: Cocktail average %.2f over 2 samples", d.Name, total/2)
+		}
+	}
+}
+
+// TestAllModelsThroughPipeline: every simulated model answers a sample.
+func TestAllModelsThroughPipeline(t *testing.T) {
+	for _, modelName := range Models() {
+		p, err := New(Config{Model: modelName})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NewSample("TREC", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", modelName, err)
+		}
+		sc, err := p.Score("TREC", res.Answer, s.Answer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc != 1 {
+			t.Errorf("%s: TREC classification failed (score %v, pred %v, want %v)",
+				modelName, sc, res.Answer, s.Answer)
+		}
+	}
+}
+
+// TestEncoderConfigsEndToEnd: every Table IV encoder drives Module I.
+func TestEncoderConfigsEndToEnd(t *testing.T) {
+	for _, enc := range Encoders() {
+		p, err := New(Config{Encoder: enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NewSample("Qasper", 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Answer(s.Context, s.Query); err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+	}
+}
+
+// TestAlphaExtremes: α=0.99 sends almost everything to INT2 and still
+// produces a plan that covers the full context; α=0.01 sends almost
+// nothing.
+func TestAlphaExtremes(t *testing.T) {
+	for _, alpha := range []float64{0.01, 0.99} {
+		p, err := New(Config{Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NewSample("Qasper", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range res.Plan.TokensByPrecision {
+			total += n
+		}
+		if total != len(s.Context) {
+			t.Fatalf("alpha=%v: plan covers %d of %d tokens", alpha, total, len(s.Context))
+		}
+		int2 := res.Plan.TokensByPrecision["INT2"]
+		if alpha == 0.99 && int2 < len(s.Context)/2 {
+			t.Errorf("alpha=0.99 should be INT2-heavy, got %v", res.Plan.TokensByPrecision)
+		}
+		if alpha == 0.01 && int2 > len(s.Context)/2 {
+			t.Errorf("alpha=0.01 should avoid INT2, got %v", res.Plan.TokensByPrecision)
+		}
+	}
+}
+
+// TestRepeatAnswerDeterministic: the same request answers identically.
+func TestRepeatAnswerDeterministic(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("LCC", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answer) != len(b.Answer) {
+		t.Fatal("nondeterministic answer length")
+	}
+	for i := range a.Answer {
+		if a.Answer[i] != b.Answer[i] {
+			t.Fatal("nondeterministic answer")
+		}
+	}
+}

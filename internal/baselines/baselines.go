@@ -1,0 +1,112 @@
+// Package baselines implements the three published KV-cache quantization
+// methods the paper compares against (Section IV-A):
+//
+//   - Atom (Zhao et al., MLSys'24): uniform INT4 group quantization of the
+//     whole context KV, per-token groups.
+//   - KIVI (Liu et al., 2024): uniform INT4, but per-channel groups for the
+//     K cache and per-token groups for the V cache.
+//   - KVQuant (Hooper et al., 2024): token-level mixed precision — a small
+//     outlier fraction (1% in the paper's setup) of tokens kept in FP16,
+//     the rest quantized to INT4 with a non-uniform (nuqX-style) codebook.
+//
+// Each baseline is expressed as a kvcache plan policy plus cache kernel
+// options, so all methods share the exact same cache, kernels and
+// attention path as Cocktail — only the policy differs.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/kvcache"
+	"repro/internal/mathx"
+	"repro/internal/quant"
+)
+
+// FP16Plan keeps the whole context unquantized (the paper's FP16 row).
+func FP16Plan(numTokens, chunkSize int) *kvcache.Plan {
+	return kvcache.UniformPlan(numTokens, chunkSize, kvcache.FP16, false)
+}
+
+// AtomPlan quantizes every chunk uniformly to INT4. Uniform precision means
+// reordering is a no-op, matching Atom's plain contiguous layout.
+func AtomPlan(numTokens, chunkSize int) *kvcache.Plan {
+	return kvcache.UniformPlan(numTokens, chunkSize, kvcache.INT4, false)
+}
+
+// AtomConfigure sets Atom's kernel options: per-token group quantization
+// for both K and V.
+func AtomConfigure(cfg *kvcache.Config) {
+	cfg.KAxis = quant.PerToken
+	cfg.VAxis = quant.PerToken
+	cfg.UseCodebook = false
+}
+
+// KIVIPlan quantizes every chunk uniformly to INT4 (KIVI's bitwidth in the
+// paper's comparison).
+func KIVIPlan(numTokens, chunkSize int) *kvcache.Plan {
+	return kvcache.UniformPlan(numTokens, chunkSize, kvcache.INT4, false)
+}
+
+// KIVIConfigure sets KIVI's defining kernel options: per-channel K
+// quantization, per-token V quantization.
+func KIVIConfigure(cfg *kvcache.Config) {
+	cfg.KAxis = quant.PerChannel
+	cfg.VAxis = quant.PerToken
+	cfg.UseCodebook = false
+}
+
+// DefaultOutlierFraction is the FP16 token fraction used by the paper's
+// KVQuant configuration.
+const DefaultOutlierFraction = 0.01
+
+// KVQuantPlan performs KVQuant's token-level quantization search: it ranks
+// every context token by its aggregate K magnitude across layers and heads
+// (the tokens whose keys dominate attention are the ones FP16 must
+// preserve) and keeps the top outlierFrac in FP16; everything else is INT4.
+// The scattered FP16 tokens produce the fragmented physical layout whose
+// cost Figure 5/6 charges to KVQuant.
+func KVQuantPlan(b *kvcache.Builder, chunkSize int, outlierFrac float64) *kvcache.Plan {
+	n := b.NumTokens()
+	plan := kvcache.UniformPlan(n, chunkSize, kvcache.INT4, false)
+	plan.TokenPrec = make([]kvcache.Precision, n)
+	for i := range plan.TokenPrec {
+		plan.TokenPrec[i] = kvcache.INT4
+	}
+	type scored struct {
+		tok  int
+		norm float64
+	}
+	cfg := b.Config()
+	scores := make([]scored, n)
+	for t := 0; t < n; t++ {
+		var s float64
+		for l := 0; l < cfg.Layers; l++ {
+			for h := 0; h < cfg.Heads; h++ {
+				s += float64(mathx.Norm2(b.KRow(l, h, t)))
+			}
+		}
+		scores[t] = scored{tok: t, norm: s}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].norm > scores[j].norm })
+	keep := int(float64(n) * outlierFrac)
+	if keep < 1 && n > 0 {
+		keep = 1
+	}
+	for i := 0; i < keep && i < n; i++ {
+		plan.TokenPrec[scores[i].tok] = kvcache.FP16
+	}
+	// Tail tokens beyond the last full chunk stay FP16 (plan convention).
+	for t := plan.NumChunks() * chunkSize; t < n; t++ {
+		plan.TokenPrec[t] = kvcache.FP16
+	}
+	return plan
+}
+
+// KVQuantConfigure sets KVQuant's kernel options: per-channel K
+// quantization (as published), per-token V, with the non-uniform
+// Gaussian-quantile codebook (the nuqX analog).
+func KVQuantConfigure(cfg *kvcache.Config) {
+	cfg.KAxis = quant.PerChannel
+	cfg.VAxis = quant.PerToken
+	cfg.UseCodebook = true
+}

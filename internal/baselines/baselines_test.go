@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/quant"
+	"repro/internal/rngx"
+)
+
+func builder(seed uint64, n int) *kvcache.Builder {
+	cfg := kvcache.Config{Layers: 2, Heads: 1, HeadDim: 16, GroupSize: 16}
+	r := rngx.New(seed)
+	b := kvcache.NewBuilder(cfg)
+	for t := 0; t < n; t++ {
+		b.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			b.Append(l, 0, r.GaussianVec(16, 1), r.GaussianVec(16, 1))
+		}
+	}
+	return b
+}
+
+func TestFP16Plan(t *testing.T) {
+	p := FP16Plan(128, 32)
+	if c := p.Counts(); c[kvcache.FP16] != 128 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestAtomPlanUniformINT4(t *testing.T) {
+	p := AtomPlan(128, 32)
+	if c := p.Counts(); c[kvcache.INT4] != 128 {
+		t.Fatalf("counts = %v", c)
+	}
+	if runs := p.SegmentRuns(); len(runs) != 1 {
+		t.Fatalf("Atom should produce one contiguous run, got %v", runs)
+	}
+}
+
+func TestConfigures(t *testing.T) {
+	var cfg kvcache.Config
+	AtomConfigure(&cfg)
+	if cfg.KAxis != quant.PerToken || cfg.UseCodebook {
+		t.Fatal("Atom config wrong")
+	}
+	KIVIConfigure(&cfg)
+	if cfg.KAxis != quant.PerChannel || cfg.VAxis != quant.PerToken || cfg.UseCodebook {
+		t.Fatal("KIVI config wrong")
+	}
+	KVQuantConfigure(&cfg)
+	if !cfg.UseCodebook || cfg.KAxis != quant.PerChannel {
+		t.Fatal("KVQuant config wrong")
+	}
+}
+
+func TestKVQuantPlanOutliers(t *testing.T) {
+	n := 200
+	b := builder(3, n)
+	p := KVQuantPlan(b, 32, 0.05)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := p.Counts()
+	// 5% of 200 = 10 outliers plus the 8 FP16 tail tokens (200 - 6*32).
+	if counts[kvcache.FP16] < 10 || counts[kvcache.FP16] > 20 {
+		t.Fatalf("FP16 tokens = %d, want ~10-20", counts[kvcache.FP16])
+	}
+	if counts[kvcache.INT4] != n-counts[kvcache.FP16] {
+		t.Fatalf("INT4 tokens = %d", counts[kvcache.INT4])
+	}
+}
+
+func TestKVQuantKeepsHighestNormTokens(t *testing.T) {
+	cfg := kvcache.Config{Layers: 1, Heads: 1, HeadDim: 8, GroupSize: 8}
+	b := kvcache.NewBuilder(cfg)
+	r := rngx.New(9)
+	const big = 17
+	for t2 := 0; t2 < 64; t2++ {
+		b.BeginToken()
+		k := r.GaussianVec(8, 0.1)
+		if t2 == big {
+			for i := range k {
+				k[i] *= 100
+			}
+		}
+		b.Append(0, 0, k, r.GaussianVec(8, 1))
+	}
+	p := KVQuantPlan(b, 32, 0.01)
+	if p.TokenPrec[big] != kvcache.FP16 {
+		t.Fatalf("outlier token %d not kept FP16", big)
+	}
+}
+
+func TestKVQuantProducesFragmentedLayout(t *testing.T) {
+	b := builder(11, 320)
+	p := KVQuantPlan(b, 32, 0.02)
+	runs := p.SegmentRuns()
+	if len(runs) < 5 {
+		t.Fatalf("expected scattered outliers to fragment the layout, got %d runs", len(runs))
+	}
+}
+
+func TestKVQuantSealsAndAttends(t *testing.T) {
+	b := builder(13, 96)
+	p := KVQuantPlan(b, 32, 0.02)
+	cfg := b.Config()
+	KVQuantConfigure(&cfg)
+	b2 := kvcache.NewBuilder(cfg)
+	r := rngx.New(13) // rebuild with codebook config
+	for t2 := 0; t2 < 96; t2++ {
+		b2.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			b2.Append(l, 0, r.GaussianVec(16, 1), r.GaussianVec(16, 1))
+		}
+	}
+	cache, err := b2.Seal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 16)
+	cache.Attend(0, 0, rngx.New(5).GaussianVec(16, 1), 0.25, out)
+}
+
+func TestKVQuantEmptyBuilder(t *testing.T) {
+	cfg := kvcache.Config{Layers: 1, Heads: 1, HeadDim: 4, GroupSize: 4}
+	b := kvcache.NewBuilder(cfg)
+	p := KVQuantPlan(b, 32, 0.01)
+	if p.NumTokens != 0 {
+		t.Fatal("empty plan should cover zero tokens")
+	}
+}

@@ -1,0 +1,234 @@
+// Package core assembles the paper's system: it defines the Method
+// abstraction every KV-cache quantization policy implements (the FP16
+// baseline, Atom, KIVI, KVQuant and Cocktail itself, plus the Table V
+// ablations) and the Cocktail pipeline that wires Module I (chunk-level
+// quantization search over a retrieval encoder) to Module II (chunk
+// reordering + segment attention in the kvcache).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/hwmodel"
+	"repro/internal/kvcache"
+	"repro/internal/quant"
+	"repro/internal/rngx"
+	"repro/internal/search"
+)
+
+// Method is one KV-cache quantization policy. Prepare turns a prefilled
+// builder into a sealed cache for the given request; CostProfile exposes
+// the method's cost behaviour to the hardware model.
+type Method interface {
+	Name() string
+	// Prepare plans and seals the context KV cache for one request.
+	Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error)
+	// CostProfile returns the hwmodel profile used by Figures 4-6.
+	CostProfile() hwmodel.Profile
+}
+
+// ChunkSize is the paper's default chunk granularity.
+const ChunkSize = 32
+
+// fp16 is the unquantized baseline.
+type fp16 struct{}
+
+func (fp16) Name() string { return "FP16" }
+func (fp16) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	plan := baselines.FP16Plan(b.NumTokens(), ChunkSize)
+	c, err := b.SealWith(plan, kvcache.SealOptions{})
+	return c, plan, err
+}
+func (fp16) CostProfile() hwmodel.Profile { return hwmodel.ProfileFP16() }
+
+// atom is uniform INT4 per-token group quantization.
+type atom struct{}
+
+func (atom) Name() string { return "Atom" }
+func (atom) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	plan := baselines.AtomPlan(b.NumTokens(), ChunkSize)
+	var cfg kvcache.Config
+	baselines.AtomConfigure(&cfg)
+	c, err := b.SealWith(plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis})
+	return c, plan, err
+}
+func (atom) CostProfile() hwmodel.Profile { return hwmodel.ProfileAtom() }
+
+// kivi is uniform INT4 with per-channel keys.
+type kivi struct{}
+
+func (kivi) Name() string { return "KIVI" }
+func (kivi) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	plan := baselines.KIVIPlan(b.NumTokens(), ChunkSize)
+	var cfg kvcache.Config
+	baselines.KIVIConfigure(&cfg)
+	c, err := b.SealWith(plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis})
+	return c, plan, err
+}
+func (kivi) CostProfile() hwmodel.Profile { return hwmodel.ProfileKIVI() }
+
+// kvquant is token-level mixed precision with nuq codebooks.
+type kvquant struct{ outlierFrac float64 }
+
+func (kvquant) Name() string { return "KVQuant" }
+func (k kvquant) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	plan := baselines.KVQuantPlan(b, ChunkSize, k.outlierFrac)
+	var cfg kvcache.Config
+	baselines.KVQuantConfigure(&cfg)
+	c, err := b.SealWith(plan, kvcache.SealOptions{
+		KAxis: cfg.KAxis, VAxis: cfg.VAxis, UseCodebook: cfg.UseCodebook})
+	return c, plan, err
+}
+func (k kvquant) CostProfile() hwmodel.Profile { return hwmodel.ProfileKVQuant(k.outlierFrac) }
+
+// Cocktail is the paper's method: Module I search + Module II computation.
+type Cocktail struct {
+	Encoder encoder.Encoder
+	Search  search.Config
+}
+
+// NewCocktail builds the default pipeline: Facebook-Contriever encoder,
+// α=0.6, β=0.1, chunk size 32, reordering on.
+func NewCocktail(lex *corpus.Lexicon) *Cocktail {
+	return &Cocktail{Encoder: encoder.NewContriever(lex), Search: search.Default()}
+}
+
+// Name identifies the method.
+func (c *Cocktail) Name() string { return "Cocktail" }
+
+// Prepare runs chunk-level quantization search and seals with reordering.
+func (c *Cocktail) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	if len(ctx) != b.NumTokens() {
+		return nil, nil, fmt.Errorf("core: context length %d does not match builder %d", len(ctx), b.NumTokens())
+	}
+	res, err := search.Run(c.Encoder, ctx, query, c.Search)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache, err := b.SealWith(res.Plan, cocktailSealOptions())
+	return cache, res.Plan, err
+}
+
+// cocktailSealOptions selects Cocktail's quantization kernels: per-channel
+// keys and per-token values (the KIVI axis choice, state of the art for KV
+// caches and strictly better on K matching error).
+func cocktailSealOptions() kvcache.SealOptions {
+	return kvcache.SealOptions{KAxis: quant.PerChannel, VAxis: quant.PerToken}
+}
+
+// CostProfile uses the default measured precision mix; experiment drivers
+// that have real plans use hwmodel.ProfileFromPlan instead.
+func (c *Cocktail) CostProfile() hwmodel.Profile {
+	return hwmodel.ProfileCocktail(c.Search.ChunkSize, nil)
+}
+
+// cocktailNoSearch is the Table V "w/o Module I" ablation: the same
+// precision proportions as Cocktail's operating point, assigned to chunks
+// at random (similarity-blind), still reordered. Accuracy collapses while
+// memory and latency stay at Cocktail levels.
+type cocktailNoSearch struct{ frac map[kvcache.Precision]float64 }
+
+func (cocktailNoSearch) Name() string { return "Cocktail w/o Module I" }
+func (a cocktailNoSearch) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	n := b.NumTokens()
+	plan := kvcache.UniformPlan(n, ChunkSize, kvcache.INT4, true)
+	// Deterministic similarity-blind assignment with Cocktail proportions.
+	r := rngx.New(uint64(n)*0x9e37 + 0xab1e)
+	for i := range plan.ChunkPrec {
+		x := r.Float64()
+		switch {
+		case x < a.frac[kvcache.INT2]:
+			plan.ChunkPrec[i] = kvcache.INT2
+		case x < a.frac[kvcache.INT2]+a.frac[kvcache.INT4]:
+			plan.ChunkPrec[i] = kvcache.INT4
+		default:
+			plan.ChunkPrec[i] = kvcache.FP16
+		}
+	}
+	c, err := b.SealWith(plan, cocktailSealOptions())
+	return c, plan, err
+}
+func (a cocktailNoSearch) CostProfile() hwmodel.Profile {
+	return hwmodel.ProfileCocktail(ChunkSize, a.frac)
+}
+
+// cocktailNoReorder is the Table V "w/o Module II" ablation: real search,
+// but chunks stay in logical order, so the runtime falls back to a full
+// FP16 dequantization workspace.
+type cocktailNoReorder struct{ inner *Cocktail }
+
+func (cocktailNoReorder) Name() string { return "Cocktail w/o Module II" }
+func (a cocktailNoReorder) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	cfg := a.inner.Search
+	cfg.Reorder = false
+	res, err := search.Run(a.inner.Encoder, ctx, query, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := b.SealWith(res.Plan, cocktailSealOptions())
+	return c, res.Plan, err
+}
+func (a cocktailNoReorder) CostProfile() hwmodel.Profile {
+	return hwmodel.ProfileCocktailNoReorder(a.inner.Search.ChunkSize, nil)
+}
+
+// Methods returns the Table II comparison set in paper order:
+// FP16, Atom, KIVI, KVQuant, Cocktail.
+func Methods(lex *corpus.Lexicon) []Method {
+	return []Method{
+		fp16{},
+		atom{},
+		kivi{},
+		kvquant{outlierFrac: baselines.DefaultOutlierFraction},
+		NewCocktail(lex),
+	}
+}
+
+// MethodByName returns one of the Table II methods by name.
+func MethodByName(lex *corpus.Lexicon, name string) (Method, error) {
+	for _, m := range Methods(lex) {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown method %q", name)
+}
+
+// AblationMethods returns the Table V rows: baseline FP16, w/o Module I,
+// w/o Module II, and full Cocktail.
+func AblationMethods(lex *corpus.Lexicon) []Method {
+	return []Method{
+		fp16{},
+		cocktailNoSearch{frac: hwmodel.CocktailFractions()},
+		cocktailNoReorder{inner: NewCocktail(lex)},
+		NewCocktail(lex),
+	}
+}
+
+// EncoderByName builds one of the Table IV encoders.
+func EncoderByName(lex *corpus.Lexicon, name string) (encoder.Encoder, error) {
+	switch name {
+	case "contriever", "Facebook-Contriever":
+		return encoder.NewContriever(lex), nil
+	case "llm-embedder", "LLM Embedder":
+		return encoder.NewLLMEmbedder(lex), nil
+	case "ada-002", "ADA-002":
+		return encoder.NewADA002(lex), nil
+	case "bm25", "BM25":
+		return encoder.NewBM25(lex), nil
+	}
+	return nil, fmt.Errorf("core: unknown encoder %q", name)
+}
+
+// Encoders returns the Table IV encoder set in paper row order.
+func Encoders(lex *corpus.Lexicon) []encoder.Encoder {
+	return []encoder.Encoder{
+		encoder.NewADA002(lex),
+		encoder.NewBM25(lex),
+		encoder.NewLLMEmbedder(lex),
+		encoder.NewContriever(lex),
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/datasets"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/rngx"
+)
+
+func fixture(t *testing.T) (*corpus.Lexicon, *model.Model, datasets.Sample, *kvcache.Builder) {
+	t.Helper()
+	lex := corpus.NewLexicon(corpus.Defaults(1))
+	m, err := model.New(model.Registry(2048)[0], lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datasets.ByName("Qasper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Gen(rngx.New(5), lex, datasets.GenConfig{ContextTokens: 512})
+	b, err := m.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lex, m, s, b
+}
+
+func TestMethodsRoster(t *testing.T) {
+	lex := corpus.NewLexicon(corpus.Defaults(1))
+	ms := Methods(lex)
+	want := []string{"FP16", "Atom", "KIVI", "KVQuant", "Cocktail"}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d methods", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("method %d = %q, want %q", i, m.Name(), want[i])
+		}
+	}
+	if _, err := MethodByName(lex, "Cocktail"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MethodByName(lex, "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAllMethodsPrepareAndGenerate(t *testing.T) {
+	lex, m, s, b := fixture(t)
+	for _, meth := range append(Methods(lex), AblationMethods(lex)[1:]...) {
+		cache, plan, err := meth.Prepare(b, s.Context, s.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", meth.Name(), err)
+		}
+		if plan.NumTokens != len(s.Context) {
+			t.Fatalf("%s: plan covers %d tokens", meth.Name(), plan.NumTokens)
+		}
+		out := m.Generate(cache, s.Query, 16)
+		if len(out) == 0 {
+			t.Fatalf("%s: empty generation", meth.Name())
+		}
+		prof := meth.CostProfile()
+		if prof.Name == "" || prof.SearchSeconds == nil || prof.RunsPerHead == nil {
+			t.Fatalf("%s: incomplete cost profile", meth.Name())
+		}
+	}
+}
+
+// TestCocktailProtectsNeedleChunks: the plan must keep the ground-truth
+// relevant chunks at a higher precision than the context average.
+func TestCocktailProtectsNeedleChunks(t *testing.T) {
+	lex, _, s, b := fixture(t)
+	ct := NewCocktail(lex)
+	_, plan, err := ct.Prepare(b, s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.RelevantChunks {
+		if plan.ChunkPrec[c] == kvcache.INT2 {
+			t.Fatalf("relevant chunk %d assigned INT2", c)
+		}
+	}
+	if plan.Counts()[kvcache.INT2] == 0 {
+		t.Fatal("no chunk was assigned INT2 — search is not selective")
+	}
+	if !plan.Reorder {
+		t.Fatal("Cocktail plan should reorder")
+	}
+}
+
+// TestCocktailBeatsUniformLowBit: end-to-end, Cocktail accuracy must be
+// close to FP16 and clearly above the similarity-blind ablation.
+func TestCocktailBeatsUniformLowBit(t *testing.T) {
+	lex := corpus.NewLexicon(corpus.Defaults(1))
+	m, err := model.New(model.Registry(2048)[0], lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := datasets.ByName("Qasper")
+	ct := NewCocktail(lex)
+	abl := AblationMethods(lex)[1] // w/o Module I
+	fp, _ := MethodByName(lex, "FP16")
+
+	score := func(meth Method) float64 {
+		r := rngx.New(99)
+		var total float64
+		const trials = 15
+		for i := 0; i < trials; i++ {
+			s := d.Gen(r, lex, datasets.GenConfig{ContextTokens: 512})
+			b, err := m.Prefill(s.Context)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache, _, err := meth.Prepare(b, s.Context, s.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := m.Generate(cache, s.Query, 16)
+			total += metrics.Score(d.Metric, datasets.Surfaces(lex, pred), datasets.Surfaces(lex, s.Answer))
+		}
+		return total / trials
+	}
+
+	sFP, sCT, sAbl := score(fp), score(ct), score(abl)
+	if sCT < sFP-0.15 {
+		t.Fatalf("Cocktail %v too far below FP16 %v", sCT, sFP)
+	}
+	if sCT <= sAbl {
+		t.Fatalf("Cocktail %v should beat w/o-Module-I %v", sCT, sAbl)
+	}
+}
+
+func TestEncoderRoster(t *testing.T) {
+	lex := corpus.NewLexicon(corpus.Defaults(1))
+	encs := Encoders(lex)
+	if len(encs) != 4 {
+		t.Fatalf("got %d encoders", len(encs))
+	}
+	for _, name := range []string{"contriever", "bm25", "ada-002", "llm-embedder"} {
+		if _, err := EncoderByName(lex, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := EncoderByName(lex, "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPrepareRejectsMismatchedContext(t *testing.T) {
+	lex, _, s, b := fixture(t)
+	ct := NewCocktail(lex)
+	if _, _, err := ct.Prepare(b, s.Context[:100], s.Query); err == nil {
+		t.Fatal("expected context mismatch error")
+	}
+}

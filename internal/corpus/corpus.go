@@ -1,0 +1,317 @@
+// Package corpus generates the deterministic synthetic language used by
+// every experiment: a closed lexicon of pseudo-words organized into topics
+// and concepts, plus sentence/passage generators.
+//
+// Structure mirrors what the paper's components need from natural text:
+//
+//   - A concept is a unit of meaning. A concept may have several surface
+//     forms (synonyms). Dense retrieval encoders and the constructed LLM
+//     "know" the concept behind a surface form — that stands in for
+//     pretrained semantic knowledge — while the BM25 baseline only ever
+//     sees surface strings. This is what separates encoders in Table IV.
+//   - A topic groups related concepts. Distractor text is topically
+//     coherent, so chunk/query similarities show the graded structure of
+//     the paper's Figure 1 (few highly relevant chunks, a band of mildly
+//     related ones, mostly irrelevant ones).
+//   - Code-style topics render surfaces as camelCase identifiers for the
+//     LCC / RepoBench-P analog tasks.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/rngx"
+	"repro/internal/tokenizer"
+)
+
+// Style selects the surface style of a topic's words.
+type Style int
+
+const (
+	// Prose topics render lowercase syllabic pseudo-words.
+	Prose Style = iota
+	// Code topics render camelCase identifier-like pseudo-words.
+	Code
+)
+
+// WordInfo describes one vocabulary entry.
+type WordInfo struct {
+	Surface string
+	Concept int // synonyms share a concept id
+	Topic   int // topic id, or FunctionTopic for glue words
+}
+
+// FunctionTopic is the pseudo-topic of function (glue) words.
+const FunctionTopic = -1
+
+// Config sizes a lexicon. The zero value is replaced by Defaults.
+type Config struct {
+	Seed             uint64
+	ProseTopics      int // number of prose topics
+	CodeTopics       int // number of code topics
+	ConceptsPerTopic int
+	SynonymFraction  float64 // fraction of concepts with a second surface form
+	FunctionWords    int
+	Labels           int // classification label concepts (single-form)
+}
+
+// Defaults returns the lexicon configuration used by the experiments.
+func Defaults(seed uint64) Config {
+	return Config{
+		Seed:             seed,
+		ProseTopics:      28,
+		CodeTopics:       4,
+		ConceptsPerTopic: 40,
+		SynonymFraction:  0.45,
+		FunctionWords:    24,
+		Labels:           10,
+	}
+}
+
+// Lexicon is a deterministic closed vocabulary.
+type Lexicon struct {
+	cfg       Config
+	Words     []WordInfo
+	Vocab     *tokenizer.Vocab
+	byConcept [][]int // concept id -> word ids
+	topics    []Style // topic id -> style
+	labels    []int   // concept ids reserved as classification labels
+	funcIDs   []int   // word ids of function words
+	eosID     int     // word id of the end-of-sequence word
+	nConcepts int
+}
+
+// NewLexicon builds the lexicon for cfg. Identical configs yield identical
+// lexica (surfaces, ids, everything).
+func NewLexicon(cfg Config) *Lexicon {
+	if cfg.ProseTopics == 0 && cfg.CodeTopics == 0 {
+		cfg = Defaults(cfg.Seed)
+	}
+	r := rngx.New(cfg.Seed).Split(0x1e81c0)
+	l := &Lexicon{cfg: cfg}
+	seen := map[string]bool{}
+
+	fresh := func(gen func(*rngx.RNG) string) string {
+		for {
+			s := gen(r)
+			if !seen[s] {
+				seen[s] = true
+				return s
+			}
+		}
+	}
+	addWord := func(surface string, concept, topic int) int {
+		id := len(l.Words)
+		l.Words = append(l.Words, WordInfo{Surface: surface, Concept: concept, Topic: topic})
+		for concept >= len(l.byConcept) {
+			l.byConcept = append(l.byConcept, nil)
+		}
+		l.byConcept[concept] = append(l.byConcept[concept], id)
+		return id
+	}
+	newConcept := func() int {
+		c := l.nConcepts
+		l.nConcepts++
+		return c
+	}
+
+	// Topic styles: prose topics first, then code topics.
+	for i := 0; i < cfg.ProseTopics; i++ {
+		l.topics = append(l.topics, Prose)
+	}
+	for i := 0; i < cfg.CodeTopics; i++ {
+		l.topics = append(l.topics, Code)
+	}
+
+	// Topic concept words.
+	for topic, style := range l.topics {
+		gen := proseWord
+		if style == Code {
+			gen = codeWord
+		}
+		for k := 0; k < cfg.ConceptsPerTopic; k++ {
+			c := newConcept()
+			addWord(fresh(gen), c, topic)
+			if r.Float64() < cfg.SynonymFraction {
+				addWord(fresh(gen), c, topic) // a synonym surface form
+			}
+		}
+	}
+
+	// Function words: one form each, FunctionTopic.
+	for i := 0; i < cfg.FunctionWords; i++ {
+		c := newConcept()
+		l.funcIDs = append(l.funcIDs, addWord(fresh(shortWord), c, FunctionTopic))
+	}
+
+	// Label words for classification tasks: fixed recognizable surfaces.
+	for i := 0; i < cfg.Labels; i++ {
+		c := newConcept()
+		l.labels = append(l.labels, c)
+		addWord(fmt.Sprintf("label%d", i), c, FunctionTopic)
+	}
+
+	// End-of-sequence marker.
+	l.eosID = addWord("<eos>", newConcept(), FunctionTopic)
+
+	words := make([]string, len(l.Words))
+	for i, w := range l.Words {
+		words[i] = w.Surface
+	}
+	l.Vocab = tokenizer.NewVocab(words)
+	return l
+}
+
+func proseWord(r *rngx.RNG) string {
+	const cons = "bcdfgklmnprstvz"
+	const vow = "aeiou"
+	n := 2 + r.Intn(2) // 2-3 syllables
+	b := make([]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		b = append(b, cons[r.Intn(len(cons))], vow[r.Intn(len(vow))])
+	}
+	return string(b)
+}
+
+func shortWord(r *rngx.RNG) string {
+	const cons = "dfhlmnrstw"
+	const vow = "aeiou"
+	return string([]byte{cons[r.Intn(len(cons))], vow[r.Intn(len(vow))], cons[r.Intn(len(cons))]})
+}
+
+func codeWord(r *rngx.RNG) string {
+	verbs := []string{"get", "set", "load", "push", "emit", "scan", "map", "bind"}
+	nouns := []string{"Buf", "Ctx", "Node", "Page", "Idx", "Key", "Val", "Row", "Ptr", "Arg"}
+	s := rngx.Choice(r, verbs) + rngx.Choice(r, nouns)
+	if r.Float64() < 0.5 {
+		s += rngx.Choice(r, nouns)
+	}
+	return s
+}
+
+// NumTopics returns the number of content topics (excluding FunctionTopic).
+func (l *Lexicon) NumTopics() int { return len(l.topics) }
+
+// NumConcepts returns the number of concepts (including function/label/eos).
+func (l *Lexicon) NumConcepts() int { return l.nConcepts }
+
+// TopicStyle returns the style of a topic.
+func (l *Lexicon) TopicStyle(topic int) Style { return l.topics[topic] }
+
+// CodeTopics returns the topic ids styled as code.
+func (l *Lexicon) CodeTopics() []int {
+	var out []int
+	for i, s := range l.topics {
+		if s == Code {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ProseTopics returns the topic ids styled as prose.
+func (l *Lexicon) ProseTopics() []int {
+	var out []int
+	for i, s := range l.topics {
+		if s == Prose {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ConceptOf returns the concept id of a word id.
+func (l *Lexicon) ConceptOf(wordID int) int { return l.Words[wordID].Concept }
+
+// TopicOf returns the topic id of a word id (FunctionTopic for glue words).
+func (l *Lexicon) TopicOf(wordID int) int { return l.Words[wordID].Topic }
+
+// FormsOf returns all word ids sharing a concept.
+func (l *Lexicon) FormsOf(concept int) []int { return l.byConcept[concept] }
+
+// RandomForm picks one surface form of concept uniformly.
+func (l *Lexicon) RandomForm(r *rngx.RNG, concept int) int {
+	return rngx.Choice(r, l.byConcept[concept])
+}
+
+// AlternateForm returns a form of the concept different from avoid when one
+// exists, otherwise avoid itself. It is how queries paraphrase needles.
+func (l *Lexicon) AlternateForm(r *rngx.RNG, concept, avoid int) int {
+	forms := l.byConcept[concept]
+	if len(forms) == 1 {
+		return forms[0]
+	}
+	for {
+		id := rngx.Choice(r, forms)
+		if id != avoid {
+			return id
+		}
+	}
+}
+
+// TopicConcepts returns the concept ids belonging to a topic.
+func (l *Lexicon) TopicConcepts(topic int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, w := range l.Words {
+		if w.Topic == topic && !seen[w.Concept] {
+			seen[w.Concept] = true
+			out = append(out, w.Concept)
+		}
+	}
+	return out
+}
+
+// LabelConcepts returns the classification label concept ids.
+func (l *Lexicon) LabelConcepts() []int { return l.labels }
+
+// FunctionWordIDs returns the glue-word ids.
+func (l *Lexicon) FunctionWordIDs() []int { return l.funcIDs }
+
+// EOSID returns the end-of-sequence word id.
+func (l *Lexicon) EOSID() int { return l.eosID }
+
+// Sentence emits n word-ids of topically coherent text: topic concept words
+// interleaved with function words.
+func (l *Lexicon) Sentence(r *rngx.RNG, topic, n int) []int {
+	concepts := l.TopicConcepts(topic)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		if len(out)%4 == 3 {
+			out = append(out, rngx.Choice(r, l.funcIDs))
+			continue
+		}
+		c := rngx.Choice(r, concepts)
+		out = append(out, l.RandomForm(r, c))
+	}
+	return out
+}
+
+// PassageChunks generates nChunks chunks of chunkSize tokens each. Every
+// chunk is written in a topic drawn from topics (round-robin over a random
+// assignment), and the per-chunk topic list is returned alongside.
+func (l *Lexicon) PassageChunks(r *rngx.RNG, nChunks, chunkSize int, topics []int) (chunks [][]int, chunkTopics []int) {
+	if len(topics) == 0 {
+		topics = l.ProseTopics()
+	}
+	chunks = make([][]int, nChunks)
+	chunkTopics = make([]int, nChunks)
+	for i := range chunks {
+		tp := topics[r.Intn(len(topics))]
+		chunkTopics[i] = tp
+		chunks[i] = l.Sentence(r, tp, chunkSize)
+	}
+	return chunks, chunkTopics
+}
+
+// SurfaceOf returns the surface string of a word id.
+func (l *Lexicon) SurfaceOf(wordID int) string { return l.Words[wordID].Surface }
+
+// SurfacesOf maps word ids to surfaces.
+func (l *Lexicon) SurfacesOf(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = l.Words[id].Surface
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/rngx"
+)
+
+func lex(t *testing.T) *Lexicon {
+	t.Helper()
+	return NewLexicon(Defaults(1))
+}
+
+func TestDeterministic(t *testing.T) {
+	a := NewLexicon(Defaults(7))
+	b := NewLexicon(Defaults(7))
+	if len(a.Words) != len(b.Words) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			t.Fatalf("word %d differs: %+v vs %+v", i, a.Words[i], b.Words[i])
+		}
+	}
+}
+
+func TestSurfacesUnique(t *testing.T) {
+	l := lex(t)
+	seen := map[string]bool{}
+	for _, w := range l.Words {
+		if seen[w.Surface] {
+			t.Fatalf("duplicate surface %q", w.Surface)
+		}
+		seen[w.Surface] = true
+	}
+	if l.Vocab.Size() != len(l.Words) {
+		t.Fatalf("vocab size %d != words %d", l.Vocab.Size(), len(l.Words))
+	}
+}
+
+func TestConceptFormsConsistent(t *testing.T) {
+	l := lex(t)
+	for c := 0; c < l.NumConcepts(); c++ {
+		forms := l.FormsOf(c)
+		if len(forms) == 0 {
+			t.Fatalf("concept %d has no forms", c)
+		}
+		for _, id := range forms {
+			if l.ConceptOf(id) != c {
+				t.Fatalf("word %d concept mismatch", id)
+			}
+		}
+	}
+}
+
+func TestSynonymsExist(t *testing.T) {
+	l := lex(t)
+	multi := 0
+	for c := 0; c < l.NumConcepts(); c++ {
+		if len(l.FormsOf(c)) > 1 {
+			multi++
+		}
+	}
+	if multi < 100 {
+		t.Fatalf("too few multi-form concepts: %d", multi)
+	}
+}
+
+func TestAlternateForm(t *testing.T) {
+	l := lex(t)
+	r := rngx.New(3)
+	for c := 0; c < l.NumConcepts(); c++ {
+		forms := l.FormsOf(c)
+		if len(forms) < 2 {
+			continue
+		}
+		alt := l.AlternateForm(r, c, forms[0])
+		if alt == forms[0] {
+			t.Fatalf("AlternateForm returned the avoided form for concept %d", c)
+		}
+		return // one multi-form concept is enough
+	}
+	t.Skip("no multi-form concept found")
+}
+
+func TestTopicsAndStyles(t *testing.T) {
+	l := lex(t)
+	if len(l.CodeTopics()) != 4 || len(l.ProseTopics()) != 28 {
+		t.Fatalf("topic counts wrong: %d code, %d prose", len(l.CodeTopics()), len(l.ProseTopics()))
+	}
+	for _, tp := range l.CodeTopics() {
+		if l.TopicStyle(tp) != Code {
+			t.Fatal("code topic style mismatch")
+		}
+		cs := l.TopicConcepts(tp)
+		if len(cs) != Defaults(1).ConceptsPerTopic {
+			t.Fatalf("topic %d has %d concepts", tp, len(cs))
+		}
+	}
+}
+
+func TestLabelsAndEOS(t *testing.T) {
+	l := lex(t)
+	if len(l.LabelConcepts()) != 10 {
+		t.Fatalf("labels = %d", len(l.LabelConcepts()))
+	}
+	for i, c := range l.LabelConcepts() {
+		forms := l.FormsOf(c)
+		if len(forms) != 1 {
+			t.Fatalf("label concept %d has %d forms", c, len(forms))
+		}
+		want := "label" + string(rune('0'+i))
+		if l.SurfaceOf(forms[0]) != want {
+			t.Fatalf("label surface = %q, want %q", l.SurfaceOf(forms[0]), want)
+		}
+	}
+	if l.SurfaceOf(l.EOSID()) != "<eos>" {
+		t.Fatal("EOS surface wrong")
+	}
+}
+
+func TestSentence(t *testing.T) {
+	l := lex(t)
+	r := rngx.New(5)
+	tp := l.ProseTopics()[0]
+	s := l.Sentence(r, tp, 20)
+	if len(s) != 20 {
+		t.Fatalf("sentence length %d", len(s))
+	}
+	content := 0
+	for _, id := range s {
+		switch l.TopicOf(id) {
+		case tp:
+			content++
+		case FunctionTopic:
+		default:
+			t.Fatalf("word %q from unrelated topic %d", l.SurfaceOf(id), l.TopicOf(id))
+		}
+	}
+	if content < 10 {
+		t.Fatalf("too few topical words: %d", content)
+	}
+}
+
+func TestPassageChunks(t *testing.T) {
+	l := lex(t)
+	r := rngx.New(9)
+	chunks, topics := l.PassageChunks(r, 12, 32, nil)
+	if len(chunks) != 12 || len(topics) != 12 {
+		t.Fatal("wrong chunk count")
+	}
+	for i, c := range chunks {
+		if len(c) != 32 {
+			t.Fatalf("chunk %d has %d tokens", i, len(c))
+		}
+	}
+}
+
+func TestSurfacesOfRoundTrip(t *testing.T) {
+	l := lex(t)
+	ids := []int{0, 1, 2}
+	surfs := l.SurfacesOf(ids)
+	for i, s := range surfs {
+		if l.Vocab.ID(s) != ids[i] {
+			t.Fatal("surface/id mismatch")
+		}
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	l := NewLexicon(Config{Seed: 2})
+	if l.NumTopics() != 32 {
+		t.Fatalf("zero config should default, topics = %d", l.NumTopics())
+	}
+}

@@ -1,0 +1,404 @@
+// Package datasets generates the eight LongBench-analog tasks of the
+// paper's Table I. Every task plants "needle" spans — the information the
+// answer must be copied from — inside long, topically coherent distractor
+// text, with decoy spans (paraphrased triggers with wrong continuations)
+// that quantization noise can confuse the model onto.
+//
+// The shared anatomy of a sample:
+//
+//   - The needle chunk embeds the trigger span "trigger a₁ … a_k <eos>" and
+//     a few anchor concepts, each mentioned twice (relevant text discusses
+//     its entities repeatedly) — the anchors are what the retrieval
+//     encoder can see.
+//   - The query paraphrases the anchors (alternate surface forms) and ends
+//     with the exact trigger word, which drives the model's induction
+//     retrieval.
+//   - Decoy spans "trigger′ w₁ … w_k <eos>" use a synonym surface of the
+//     trigger, so their attention score sits a tuned margin below the
+//     needle's — FP16/INT4 retrieval survives, INT2 often flips onto them.
+//
+// Task differences (answer length, decoy count, prose vs code vocabulary,
+// few-shot structure, metric) follow the corresponding LongBench datasets.
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/rngx"
+)
+
+// Sample is one evaluation instance.
+type Sample struct {
+	Context []int // context token ids (quantization-managed)
+	Query   []int // query token ids (stays FP16)
+	Answer  []int // reference answer token ids
+	// RelevantChunks lists chunk indices that contain needle content
+	// (ground truth for retrieval diagnostics, not visible to methods).
+	RelevantChunks []int
+}
+
+// GenConfig sizes generated samples.
+type GenConfig struct {
+	// ContextTokens is the total context length (default 768).
+	ContextTokens int
+	// ChunkSize aligns needle placement to the search granularity
+	// (default 32). Samples remain valid for other chunk sizes.
+	ChunkSize int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.ContextTokens == 0 {
+		c.ContextTokens = 768
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 32
+	}
+	return c
+}
+
+// Dataset is one Table I task.
+type Dataset struct {
+	Name   string
+	Task   string
+	Metric metrics.Kind
+	Gen    func(r *rngx.RNG, lex *corpus.Lexicon, cfg GenConfig) Sample
+}
+
+// spec parametrizes the shared generator.
+type spec struct {
+	code    bool // use code-style topics (LCC, RepoBench-P)
+	ansLen  int
+	decoys  int
+	anchors int
+	fewShot int // extra unrelated example spans (TriviaQA-style prompts)
+}
+
+// All returns the eight datasets in Table I order.
+func All() []Dataset {
+	return []Dataset{
+		{Name: "Qasper", Task: "Single-Document QA", Metric: metrics.F1,
+			Gen: genSpec(spec{ansLen: 4, decoys: 3, anchors: 3})},
+		{Name: "QMSum", Task: "Summarization", Metric: metrics.Rouge,
+			Gen: genSpec(spec{ansLen: 10, decoys: 2, anchors: 3})},
+		{Name: "MultiNews", Task: "Summarization", Metric: metrics.Rouge,
+			Gen: genSpec(spec{ansLen: 12, decoys: 1, anchors: 3})},
+		{Name: "TREC", Task: "Few-shot Learning", Metric: metrics.Classification,
+			Gen: genTREC},
+		{Name: "TriviaQA", Task: "Few-shot Learning", Metric: metrics.F1,
+			Gen: genSpec(spec{ansLen: 3, decoys: 2, anchors: 3, fewShot: 2})},
+		{Name: "SAMSum", Task: "Few-shot Learning", Metric: metrics.Rouge,
+			Gen: genSpec(spec{ansLen: 8, decoys: 2, anchors: 3, fewShot: 1})},
+		{Name: "LCC", Task: "Code Completion", Metric: metrics.EditSim,
+			Gen: genSpec(spec{code: true, ansLen: 8, decoys: 1, anchors: 2})},
+		{Name: "RepoBench-P", Task: "Code Completion", Metric: metrics.EditSim,
+			Gen: genSpec(spec{code: true, ansLen: 8, decoys: 3, anchors: 2})},
+	}
+}
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+func genSpec(s spec) func(*rngx.RNG, *corpus.Lexicon, GenConfig) Sample {
+	return func(r *rngx.RNG, lex *corpus.Lexicon, cfg GenConfig) Sample {
+		return build(r, lex, cfg.withDefaults(), s)
+	}
+}
+
+// multiFormConcept draws a concept with >= 2 surface forms from topic.
+func multiFormConcept(r *rngx.RNG, lex *corpus.Lexicon, topic int, used map[int]bool) int {
+	concepts := lex.TopicConcepts(topic)
+	for tries := 0; tries < 10*len(concepts); tries++ {
+		c := concepts[r.Intn(len(concepts))]
+		if !used[c] && len(lex.FormsOf(c)) >= 2 {
+			used[c] = true
+			return c
+		}
+	}
+	panic("datasets: topic has too few multi-form concepts")
+}
+
+// uniqueWord draws a word (form 0 of an unused concept) from topic.
+func uniqueWord(r *rngx.RNG, lex *corpus.Lexicon, topic int, used map[int]bool) int {
+	concepts := lex.TopicConcepts(topic)
+	for tries := 0; tries < 10*len(concepts); tries++ {
+		c := concepts[r.Intn(len(concepts))]
+		if !used[c] {
+			used[c] = true
+			return lex.FormsOf(c)[0]
+		}
+	}
+	panic("datasets: topic exhausted for unique words")
+}
+
+// build implements the shared needle/decoy/anchor construction.
+func build(r *rngx.RNG, lex *corpus.Lexicon, cfg GenConfig, s spec) Sample {
+	topics := lex.ProseTopics()
+	if s.code {
+		topics = lex.CodeTopics()
+	}
+	cs := cfg.ChunkSize
+	nChunks := cfg.ContextTokens / cs
+	if nChunks < 4 {
+		panic("datasets: context too short for the chunk size")
+	}
+	chunks, _ := lex.PassageChunks(r, nChunks, cs, topics)
+	tail := lex.Sentence(r, topics[r.Intn(len(topics))], cfg.ContextTokens%cs)
+
+	usedConcepts := map[int]bool{}
+	needleTopic := topics[r.Intn(len(topics))]
+	ansTopic := topics[r.Intn(len(topics))]
+
+	trigConcept := multiFormConcept(r, lex, needleTopic, usedConcepts)
+	trigForm := lex.FormsOf(trigConcept)[0]
+	anchors := make([]int, s.anchors)
+	for i := range anchors {
+		anchors[i] = multiFormConcept(r, lex, needleTopic, usedConcepts)
+	}
+	answer := make([]int, s.ansLen)
+	for i := range answer {
+		answer[i] = uniqueWord(r, lex, ansTopic, usedConcepts)
+	}
+
+	// Scrub every form of every reserved concept from the distractor text
+	// so planted spans are the unique occurrences.
+	blocked := map[int]bool{}
+	note := func(c int) {
+		for _, id := range lex.FormsOf(c) {
+			blocked[id] = true
+		}
+	}
+	note(trigConcept)
+	for _, a := range anchors {
+		note(a)
+	}
+	// Block every form of the answer concepts: a synonym of an answer word
+	// left in distractor text would be a mid-chain decoy.
+	for _, id := range answer {
+		note(lex.ConceptOf(id))
+	}
+	scrub := func(tokens []int) {
+		fw := lex.FunctionWordIDs()
+		for i, id := range tokens {
+			if blocked[id] {
+				tokens[i] = fw[(i+len(tokens))%len(fw)]
+			}
+		}
+	}
+
+	// Needle chunk layout: [a1 a1 a2 a2 … | trigger answer… <eos> | filler].
+	span := make([]int, 0, s.ansLen+2)
+	span = append(span, trigForm)
+	span = append(span, answer...)
+	span = append(span, lex.EOSID())
+	if 2*len(anchors)+len(span) > cs {
+		panic("datasets: needle does not fit in a chunk")
+	}
+	needleChunk := r.Intn(nChunks)
+
+	// Decoys: alternate trigger surface + wrong continuations, placed in
+	// distinct non-needle chunks.
+	type planted struct {
+		chunk int
+		span  []int
+	}
+	var plants []planted
+	decoyForm := lex.AlternateForm(r, trigConcept, trigForm)
+	takenChunks := map[int]bool{needleChunk: true}
+	for k := 0; k < s.decoys; k++ {
+		wrong := make([]int, 0, s.ansLen+2)
+		wrong = append(wrong, decoyForm)
+		for i := 0; i < s.ansLen; i++ {
+			w := uniqueWord(r, lex, ansTopic, usedConcepts)
+			note(lex.ConceptOf(w))
+			wrong = append(wrong, w)
+		}
+		wrong = append(wrong, lex.EOSID())
+		c := r.Intn(nChunks)
+		for takenChunks[c] {
+			c = r.Intn(nChunks)
+		}
+		takenChunks[c] = true
+		plants = append(plants, planted{chunk: c, span: wrong})
+	}
+	// Few-shot example spans: independent trigger/answer pairs that make
+	// the prompt look like in-context examples (TriviaQA/SAMSum style).
+	for k := 0; k < s.fewShot; k++ {
+		exTrig := multiFormConcept(r, lex, needleTopic, usedConcepts)
+		note(exTrig)
+		ex := []int{lex.FormsOf(exTrig)[0]}
+		for i := 0; i < 2; i++ {
+			w := uniqueWord(r, lex, ansTopic, usedConcepts)
+			note(lex.ConceptOf(w))
+			ex = append(ex, w)
+		}
+		ex = append(ex, lex.EOSID())
+		c := r.Intn(nChunks)
+		for takenChunks[c] {
+			c = r.Intn(nChunks)
+		}
+		takenChunks[c] = true
+		plants = append(plants, planted{chunk: c, span: ex})
+	}
+
+	for _, ch := range chunks {
+		scrub(ch)
+	}
+	scrub(tail)
+
+	// Plant needle. A fraction of samples mention the anchors only once —
+	// retrieval visibility varies in real corpora, which is what makes the
+	// α threshold consequential (Figure 7): weakly visible needles sit in
+	// the mid score band and fall to INT2 when α grows.
+	visibility := r.Float64()
+	for i, a := range anchors {
+		// Each anchor is mentioned twice in well-covered samples; weakly
+		// covered samples (40%) mention anchors once, leaving the needle
+		// in the mid similarity band — protected at the paper's operating
+		// point, but lost once α pushes T_low into the mid band (Fig. 7).
+		chunks[needleChunk][2*i] = lex.FormsOf(a)[0]
+		if visibility >= 0.4 {
+			chunks[needleChunk][2*i+1] = lex.FormsOf(a)[0]
+		}
+	}
+	copy(chunks[needleChunk][2*len(anchors):], span)
+	// Plant decoys and few-shot examples at chunk starts. Decoy chunks are
+	// hard negatives: they also mention the query's anchor entities (in
+	// alternate surface forms), so a concept-aware encoder scores them as
+	// relevant and Module I keeps them at mid/high precision — anchors'
+	// followers never hijack the induction chain because anchor words are
+	// never generated.
+	for _, p := range plants {
+		copy(chunks[p.chunk], p.span)
+		for i, a := range anchors {
+			if i >= 2 {
+				break
+			}
+			alt := lex.AlternateForm(r, a, lex.FormsOf(a)[0])
+			for rep := 0; rep < 2; rep++ {
+				slot := len(p.span) + 2*i + rep*5
+				if slot < cs {
+					chunks[p.chunk][slot] = alt
+				}
+			}
+		}
+	}
+
+	var ctx []int
+	for _, ch := range chunks {
+		ctx = append(ctx, ch...)
+	}
+	ctx = append(ctx, tail...)
+
+	// Query: paraphrased anchors, a glue word, then the exact trigger.
+	var query []int
+	for _, a := range anchors {
+		query = append(query, lex.AlternateForm(r, a, lex.FormsOf(a)[0]))
+	}
+	query = append(query, lex.FunctionWordIDs()[0], trigForm)
+
+	return Sample{
+		Context:        ctx,
+		Query:          query,
+		Answer:         answer,
+		RelevantChunks: []int{needleChunk},
+	}
+}
+
+// genTREC builds the few-shot classification task: each class has a
+// signature concept; the context holds "sig label <eos>" examples; the
+// query names a signature and the answer is its class label.
+func genTREC(r *rngx.RNG, lex *corpus.Lexicon, cfg GenConfig) Sample {
+	cfg = cfg.withDefaults()
+	cs := cfg.ChunkSize
+	nChunks := cfg.ContextTokens / cs
+	topics := lex.ProseTopics()
+	chunks, _ := lex.PassageChunks(r, nChunks, cs, topics)
+	tail := lex.Sentence(r, topics[r.Intn(len(topics))], cfg.ContextTokens%cs)
+
+	labels := lex.LabelConcepts()
+	nClasses := 6
+	if nClasses > len(labels) {
+		nClasses = len(labels)
+	}
+	sigTopic := topics[r.Intn(len(topics))]
+	usedConcepts := map[int]bool{}
+	sigs := make([]int, nClasses)
+	blocked := map[int]bool{}
+	for i := range sigs {
+		sigs[i] = multiFormConcept(r, lex, sigTopic, usedConcepts)
+		for _, id := range lex.FormsOf(sigs[i]) {
+			blocked[id] = true
+		}
+	}
+	for _, c := range labels {
+		blocked[lex.FormsOf(c)[0]] = true
+	}
+	fw := lex.FunctionWordIDs()
+	for _, ch := range chunks {
+		for i, id := range ch {
+			if blocked[id] {
+				ch[i] = fw[(i+1)%len(fw)]
+			}
+		}
+	}
+	for i, id := range tail {
+		if blocked[id] {
+			tail[i] = fw[(i+1)%len(fw)]
+		}
+	}
+
+	// Two examples per class, each at the start of its own chunk. The
+	// signature concept is mentioned twice per chunk — once with the exact
+	// form (the example the induction head copies from) and once with the
+	// synonym form (extra encoder signal that cannot hijack the induction
+	// match, since its follower only scores at the synonym margin).
+	target := r.Intn(nClasses)
+	taken := map[int]bool{}
+	var relevant []int
+	for class := 0; class < nClasses; class++ {
+		sigForm := lex.FormsOf(sigs[class])[0]
+		altForm := lex.AlternateForm(r, sigs[class], sigForm)
+		labelWord := lex.FormsOf(labels[class])[0]
+		for e := 0; e < 2; e++ {
+			c := r.Intn(nChunks)
+			for taken[c] {
+				c = r.Intn(nChunks)
+			}
+			taken[c] = true
+			copy(chunks[c], []int{sigForm, labelWord, lex.EOSID()})
+			chunks[c][4] = altForm
+			if class == target {
+				relevant = append(relevant, c)
+			}
+		}
+	}
+
+	var ctx []int
+	for _, ch := range chunks {
+		ctx = append(ctx, ch...)
+	}
+	ctx = append(ctx, tail...)
+
+	sigForm := lex.FormsOf(sigs[target])[0]
+	query := []int{lex.AlternateForm(r, sigs[target], sigForm), fw[0], sigForm}
+	return Sample{
+		Context:        ctx,
+		Query:          query,
+		Answer:         []int{lex.FormsOf(labels[target])[0]},
+		RelevantChunks: relevant,
+	}
+}
+
+// Surfaces maps token ids to surface strings for metric scoring.
+func Surfaces(lex *corpus.Lexicon, ids []int) []string {
+	return lex.SurfacesOf(ids)
+}

@@ -1,0 +1,78 @@
+package encoder
+
+import (
+	"math"
+
+	"repro/internal/corpus"
+)
+
+// BM25 is the lexical retrieval baseline (Okapi BM25 with the standard
+// k1/b parametrization). It sees surface forms only: a query that
+// paraphrases the needle scores zero on the exact terms, which is why it
+// loses Table IV.
+type BM25 struct {
+	k1, b float64
+	vocab int
+}
+
+// NewBM25 returns a BM25 scorer with the conventional k1=1.2, b=0.75.
+func NewBM25(lex *corpus.Lexicon) *BM25 {
+	return &BM25{k1: 1.2, b: 0.75, vocab: len(lex.Words)}
+}
+
+// Name returns "BM25".
+func (s *BM25) Name() string { return "BM25" }
+
+// Similarities scores each chunk against the query with document
+// frequencies computed over the chunk collection itself.
+func (s *BM25) Similarities(query []int, chunks [][]int) []float64 {
+	n := len(chunks)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	// Document frequencies and average length.
+	df := map[int]int{}
+	var totalLen int
+	for _, c := range chunks {
+		totalLen += len(c)
+		seen := map[int]bool{}
+		for _, id := range c {
+			if !seen[id] {
+				seen[id] = true
+				df[id]++
+			}
+		}
+	}
+	avgLen := float64(totalLen) / float64(n)
+	if avgLen == 0 {
+		return out
+	}
+
+	// Query term frequencies (deduplicated with counts).
+	qtf := map[int]int{}
+	for _, id := range query {
+		if id >= 0 {
+			qtf[id]++
+		}
+	}
+
+	for i, c := range chunks {
+		tf := map[int]int{}
+		for _, id := range c {
+			tf[id]++
+		}
+		var score float64
+		for term := range qtf {
+			f := float64(tf[term])
+			if f == 0 {
+				continue
+			}
+			idf := math.Log(1 + (float64(n)-float64(df[term])+0.5)/(float64(df[term])+0.5))
+			denom := f + s.k1*(1-s.b+s.b*float64(len(c))/avgLen)
+			score += idf * f * (s.k1 + 1) / denom
+		}
+		out[i] = score
+	}
+	return out
+}

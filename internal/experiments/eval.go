@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/datasets"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/rngx"
+	"repro/internal/search"
+)
+
+// Config sizes the experiment runs. Zero values take defaults.
+type Config struct {
+	// Samples per (model, dataset, sweep-point) cell.
+	Samples int
+	// ContextTokens is the simulated context length.
+	ContextTokens int
+	// MaxSeq bounds the model position table.
+	MaxSeq int
+	// MaxNew bounds generation length per sample.
+	MaxNew int
+	// Seed derives all sample streams.
+	Seed uint64
+}
+
+// Default returns the configuration used by cocktail-bench.
+func Default() Config {
+	return Config{Samples: 25, ContextTokens: 768, MaxSeq: 2048, MaxNew: 24, Seed: 2025}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Samples == 0 {
+		c.Samples = d.Samples
+	}
+	if c.ContextTokens == 0 {
+		c.ContextTokens = d.ContextTokens
+	}
+	if c.MaxSeq == 0 {
+		c.MaxSeq = d.MaxSeq
+	}
+	if c.MaxNew == 0 {
+		c.MaxNew = d.MaxNew
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Env bundles the shared lexicon and simulated models.
+type Env struct {
+	Lex    *corpus.Lexicon
+	Models []*model.Model
+	cfg    Config
+}
+
+// NewEnv builds the evaluation environment deterministically.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	lex := corpus.NewLexicon(corpus.Defaults(1))
+	var models []*model.Model
+	for _, mc := range model.Registry(cfg.MaxSeq) {
+		m, err := model.New(mc, lex)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", mc.Name, err)
+		}
+		models = append(models, m)
+	}
+	return &Env{Lex: lex, Models: models, cfg: cfg}, nil
+}
+
+// Config returns the environment's effective configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// EvalRow scores every method on one (model, dataset) cell, reusing each
+// sample's prefill across methods (as the real system would: prefill is
+// method-independent).
+func (e *Env) EvalRow(m *model.Model, ds datasets.Dataset, methods []core.Method, seedOffset uint64) ([]float64, error) {
+	cfg := e.cfg
+	scores := make([]float64, len(methods))
+	r := rngx.New(cfg.Seed).Split(seedOffset)
+	for s := 0; s < cfg.Samples; s++ {
+		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: cfg.ContextTokens})
+		b, err := m.Prefill(sample.Context)
+		if err != nil {
+			return nil, err
+		}
+		for mi, meth := range methods {
+			cache, _, err := meth.Prepare(b, sample.Context, sample.Query)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", meth.Name(), ds.Name, err)
+			}
+			pred := m.Generate(cache, sample.Query, cfg.MaxNew)
+			scores[mi] += metrics.Score(ds.Metric,
+				datasets.Surfaces(e.Lex, pred), datasets.Surfaces(e.Lex, sample.Answer))
+		}
+	}
+	for i := range scores {
+		scores[i] /= float64(cfg.Samples)
+	}
+	return scores, nil
+}
+
+// EvalPlans scores one method variant per plan-producing closure on a
+// single model/dataset, reusing prefills (used by the α/β and chunk-size
+// sweeps, where only the plan changes). ctxTokens overrides the configured
+// context length when positive (the chunk-size sweep needs enough context
+// for at least four 256-token chunks).
+func (e *Env) EvalPlans(m *model.Model, ds datasets.Dataset,
+	prepare []func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error),
+	ctxTokens int, seedOffset uint64) ([]float64, error) {
+	cfg := e.cfg
+	if ctxTokens <= 0 {
+		ctxTokens = cfg.ContextTokens
+	}
+	scores := make([]float64, len(prepare))
+	r := rngx.New(cfg.Seed).Split(seedOffset)
+	for s := 0; s < cfg.Samples; s++ {
+		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: ctxTokens})
+		b, err := m.Prefill(sample.Context)
+		if err != nil {
+			return nil, err
+		}
+		for pi, prep := range prepare {
+			cache, err := prep(b, sample.Context, sample.Query)
+			if err != nil {
+				return nil, err
+			}
+			pred := m.Generate(cache, sample.Query, cfg.MaxNew)
+			scores[pi] += metrics.Score(ds.Metric,
+				datasets.Surfaces(e.Lex, pred), datasets.Surfaces(e.Lex, sample.Answer))
+		}
+	}
+	for i := range scores {
+		scores[i] /= float64(cfg.Samples)
+	}
+	return scores, nil
+}
+
+// MeasureCocktailMix runs Module I over QMSum-analog samples and returns
+// the average fraction of context tokens at each precision plus the mean
+// segment-run count — the measured inputs for the Figure 4/5 cost model.
+func (e *Env) MeasureCocktailMix() (map[kvcache.Precision]float64, error) {
+	ds, err := datasets.ByName("QMSum")
+	if err != nil {
+		return nil, err
+	}
+	ct := core.NewCocktail(e.Lex)
+	cfg := e.cfg
+	r := rngx.New(cfg.Seed).Split(0xf1ac)
+	totals := map[kvcache.Precision]float64{}
+	n := cfg.Samples
+	if n > 16 {
+		n = 16
+	}
+	for s := 0; s < n; s++ {
+		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: cfg.ContextTokens})
+		// Only the plan is needed, so run Module I directly (no prefill).
+		res, err := search.Run(ct.Encoder, sample.Context, sample.Query, ct.Search)
+		if err != nil {
+			return nil, err
+		}
+		for p, c := range res.Plan.Counts() {
+			totals[p] += float64(c) / float64(len(sample.Context))
+		}
+	}
+	for p := range totals {
+		totals[p] /= float64(n)
+	}
+	return totals, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/kvcache"
+)
+
+// smallEnv keeps test runtime low: fewer samples, shorter contexts.
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	e, err := NewEnv(Config{Samples: 10, ContextTokens: 512, MaxSeq: 2048, MaxNew: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Table I has %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Qasper" || tab.Rows[7][2] != "EditSim" {
+		t.Fatalf("Table I content wrong: %+v", tab.Rows)
+	}
+	if !strings.Contains(tab.String(), "Qasper") {
+		t.Fatal("rendering broken")
+	}
+}
+
+// TestTable2SmallShape: on a reduced run, the per-model averages must
+// reproduce the paper's ordering: FP16 >= Cocktail and Cocktail above the
+// uniform INT4 baselines' minimum.
+func TestTable2SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full accuracy grid in -short mode")
+	}
+	e := smallEnv(t)
+	tab, err := Table2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4*5 {
+		t.Fatalf("Table II has %d rows, want 20", len(tab.Rows))
+	}
+	avgCol := len(tab.Header) - 1
+	for mi := 0; mi < 4; mi++ {
+		base := mi * 5
+		fp := cell(t, tab, base+0, avgCol)
+		atom := cell(t, tab, base+1, avgCol)
+		ct := cell(t, tab, base+4, avgCol)
+		if ct < fp-6 {
+			t.Errorf("model %d: Cocktail avg %.1f too far below FP16 %.1f", mi, ct, fp)
+		}
+		if ct < atom-2 {
+			t.Errorf("model %d: Cocktail avg %.1f clearly below Atom %.1f", mi, ct, atom)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	e := smallEnv(t)
+	tab, err := Table3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := cell(t, tab, 0, 1)  // chunk 8
+	small := cell(t, tab, 0, 3) // chunk 32
+	large := cell(t, tab, 0, 6) // chunk 256
+	// Robust shape on this substrate: 32 is the safe operating point.
+	// Below it, the planted needle span fragments across chunks and loses
+	// relevance coverage; above it the score never improves.
+	if tiny >= small {
+		t.Errorf("chunk-8 score %.1f not below chunk-32 score %.1f", tiny, small)
+	}
+	if large > small+1 {
+		t.Errorf("chunk-256 score %.1f above chunk-32 score %.1f", large, small)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	e := smallEnv(t)
+	tab, err := Table4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Table IV has %d rows", len(tab.Rows))
+	}
+	// Average across the four datasets: Contriever (last row) must beat
+	// BM25 (row 2).
+	avg := func(row int) float64 {
+		var s float64
+		for c := 1; c <= 4; c++ {
+			s += cell(t, tab, row, c)
+		}
+		return s / 4
+	}
+	if avg(4) <= avg(2) {
+		t.Errorf("Contriever avg %.1f not above BM25 avg %.1f", avg(4), avg(2))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	e := smallEnv(t)
+	tab, err := Table5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table V has %d rows", len(tab.Rows))
+	}
+	baseScore := cell(t, tab, 0, 1)
+	noI := cell(t, tab, 1, 1)
+	cocktail := cell(t, tab, 3, 1)
+	if noI >= cocktail {
+		t.Errorf("w/o Module I score %.1f should be below Cocktail %.1f", noI, cocktail)
+	}
+	if cocktail < baseScore-12 {
+		t.Errorf("Cocktail %.1f too far below baseline %.1f", cocktail, baseScore)
+	}
+	memBase := cell(t, tab, 0, 2)
+	memNoII := cell(t, tab, 2, 2)
+	memCT := cell(t, tab, 3, 2)
+	if !(memCT < memBase && memBase < memNoII) {
+		t.Errorf("memory columns wrong: base=%v noII=%v ct=%v", memBase, memNoII, memCT)
+	}
+	tpotBase := cell(t, tab, 0, 3)
+	tpotNoII := cell(t, tab, 2, 3)
+	tpotCT := cell(t, tab, 3, 3)
+	if !(tpotCT < tpotBase && tpotBase < tpotNoII) {
+		t.Errorf("TPOT columns wrong: base=%v noII=%v ct=%v", tpotBase, tpotNoII, tpotCT)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	e := smallEnv(t)
+	h := Fig1(e)
+	if len(h.Data) != 10 || len(h.Data[0]) != 89 {
+		t.Fatalf("heatmap is %dx%d", len(h.Data), len(h.Data[0]))
+	}
+	// Most chunks must be far below each query's peak (Figure 1's point).
+	for q, row := range h.Data {
+		peak, lowCount := row[0], 0
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+		for _, v := range row {
+			if v < peak*0.5 {
+				lowCount++
+			}
+		}
+		if lowCount < 60 {
+			t.Errorf("query %d: only %d/89 chunks are clearly irrelevant", q, lowCount)
+		}
+	}
+	if !strings.Contains(h.String(), "Figure 1") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig4And5Shapes(t *testing.T) {
+	e := smallEnv(t)
+	t4, err := Fig4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5, err := Fig5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{t4, t5} {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s: %d rows", tab.Title, len(tab.Rows))
+		}
+		for r := range tab.Rows {
+			fp := cell(t, tab, r, 1)
+			ct := cell(t, tab, r, 5)
+			if ct >= fp {
+				t.Errorf("%s row %d: Cocktail %.1f not below FP16 %.1f", tab.Title, r, ct, fp)
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := smallEnv(t)
+	fig, err := Fig6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("Fig6 has %d series", len(fig.Series))
+	}
+	// FP16 must OOM (hit zero) before Cocktail does.
+	firstZero := func(s Series) int {
+		for i, v := range s.Y {
+			if v == 0 {
+				return i
+			}
+		}
+		return len(s.Y)
+	}
+	var fp16, cocktail Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "FP16":
+			fp16 = s
+		case "Cocktail":
+			cocktail = s
+		}
+	}
+	if firstZero(fp16) >= firstZero(cocktail) {
+		t.Errorf("FP16 OOM index %d not before Cocktail %d", firstZero(fp16), firstZero(cocktail))
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := smallEnv(t)
+	figA, figB, err := Fig7(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya := figA.Series[0].Y
+	if ya[0] < ya[len(ya)-1] {
+		t.Errorf("alpha sweep should not improve with alpha: %v", ya)
+	}
+	yb := figB.Series[0].Y
+	if yb[len(yb)-1] < yb[0]-2 {
+		t.Errorf("beta sweep should not degrade with beta: %v", yb)
+	}
+}
+
+func TestMeasureCocktailMix(t *testing.T) {
+	e := smallEnv(t)
+	mix, err := e.MeasureCocktailMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range mix {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("mix fractions sum to %v: %v", sum, mix)
+	}
+	if mix[kvcache.INT2] < 0.3 {
+		t.Fatalf("expected INT2-dominated mix, got %v", mix)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "22"}}, Notes: []string{"n"}}
+	out := tab.String()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "note: n") {
+		t.Fatalf("table render: %q", out)
+	}
+	fig := &Figure{Title: "f", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}}}
+	if !strings.Contains(fig.String(), "== f ==") {
+		t.Fatal("figure render broken")
+	}
+	h := &Heatmap{Title: "h", Data: [][]float64{{0, 1}}, RowNames: []string{"r"}}
+	if !strings.Contains(h.String(), "== h ==") {
+		t.Fatal("heatmap render broken")
+	}
+}

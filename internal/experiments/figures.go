@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/encoder"
+	"repro/internal/hwmodel"
+	"repro/internal/kvcache"
+	"repro/internal/rngx"
+	"repro/internal/search"
+)
+
+// Fig1 reproduces Figure 1: the similarity heatmap between a long passage
+// (89 chunks) and 10 different queries. Each query is relevant to one or
+// two planted chunks; most of the passage is irrelevant.
+func Fig1(e *Env) *Heatmap {
+	const nChunks = 89
+	const nQueries = 10
+	const chunkSize = 32
+	lex := e.Lex
+	r := rngx.New(e.cfg.Seed).Split(0xf1)
+	chunks, _ := lex.PassageChunks(r, nChunks, chunkSize, nil)
+
+	enc := encoder.NewContriever(lex)
+	data := make([][]float64, nQueries)
+	names := make([]string, nQueries)
+	for q := 0; q < nQueries; q++ {
+		// Plant 4 anchor concepts (twice each) into 1-2 chunks and build a
+		// paraphrased query over them.
+		prose := lex.ProseTopics()
+		tp := prose[r.Intn(len(prose))]
+		used := map[int]bool{}
+		var query []int
+		targets := []int{r.Intn(nChunks)}
+		if q%2 == 1 {
+			targets = append(targets, r.Intn(nChunks))
+		}
+		planted := 0
+		for _, c := range lex.TopicConcepts(tp) {
+			if len(lex.FormsOf(c)) < 2 || used[c] {
+				continue
+			}
+			used[c] = true
+			form := lex.FormsOf(c)[0]
+			for _, tgt := range targets {
+				chunks[tgt][(planted*2)%chunkSize] = form
+				chunks[tgt][(planted*2+1)%chunkSize] = form
+			}
+			query = append(query, lex.AlternateForm(r, c, form))
+			planted++
+			if planted == 4 {
+				break
+			}
+		}
+		scores := enc.Similarities(query, chunks)
+		data[q] = scores
+		names[q] = fmt.Sprintf("query %d", q+1)
+	}
+	return &Heatmap{
+		Title:    "Figure 1: similarity heatmap, 89-chunk passage x 10 queries (Contriever-sim)",
+		RowLabel: "queries",
+		ColLabel: "passage chunks",
+		Data:     data,
+		RowNames: names,
+	}
+}
+
+// methodProfiles resolves per-method cost profiles, substituting the
+// measured Cocktail precision mix when available.
+func methodProfiles(e *Env) ([]hwmodel.Profile, error) {
+	mix, err := e.MeasureCocktailMix()
+	if err != nil {
+		return nil, err
+	}
+	profiles := []hwmodel.Profile{
+		hwmodel.ProfileFP16(),
+		hwmodel.ProfileAtom(),
+		hwmodel.ProfileKIVI(),
+		hwmodel.ProfileKVQuant(0.01),
+		hwmodel.ProfileCocktail(core.ChunkSize, mix),
+	}
+	return profiles, nil
+}
+
+// Fig4 reproduces Figure 4: GPU memory per model per method on the QMSum
+// workload.
+func Fig4(e *Env) (*Table, error) {
+	profiles, err := methodProfiles(e)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 4: GPU memory (GB) by model and method (QMSum workload)",
+		Header: []string{"Model"},
+	}
+	for _, p := range profiles {
+		t.Header = append(t.Header, p.Name)
+	}
+	for _, dims := range hwmodel.AllModels() {
+		wl := hwmodel.QMSumWorkload(dims)
+		row := []string{dims.Name}
+		for _, p := range profiles {
+			row = append(row, gb(hwmodel.Memory(dims, wl, p)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "expected shape: Cocktail lowest; 12-42% below FP16")
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: time per output token (TPOT) per model per
+// method on the QMSum workload.
+func Fig5(e *Env) (*Table, error) {
+	profiles, err := methodProfiles(e)
+	if err != nil {
+		return nil, err
+	}
+	g := hwmodel.A800()
+	t := &Table{
+		Title:  "Figure 5: TPOT (us) by model and method (QMSum workload)",
+		Header: []string{"Model"},
+	}
+	for _, p := range profiles {
+		t.Header = append(t.Header, p.Name)
+	}
+	for _, dims := range hwmodel.AllModels() {
+		wl := hwmodel.QMSumWorkload(dims)
+		row := []string{dims.Name}
+		for _, p := range profiles {
+			row = append(row, us(hwmodel.TPOT(g, dims, wl, p)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "expected shape: Cocktail lowest (32-52% below FP16), KVQuant above the uniform methods")
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: throughput vs batch size on Llama2-7B with
+// the QMSum-length workload; zero marks the OOM line break.
+func Fig6(e *Env) (*Figure, error) {
+	profiles, err := methodProfiles(e)
+	if err != nil {
+		return nil, err
+	}
+	g := hwmodel.A800()
+	dims := hwmodel.Llama2_7B()
+	batches := []int{1, 10, 25, 50, 75, 100, 150, 200, 250, 300, 350, 400}
+	fig := &Figure{
+		Title:  "Figure 6: throughput vs batch size (Llama2-7B, ctx 2000, 128 output tokens)",
+		XLabel: "batch",
+		YLabel: "throughput (tokens/s); 0 = OOM",
+	}
+	for _, p := range profiles {
+		s := Series{Name: p.Name}
+		for _, b := range batches {
+			wl := hwmodel.Workload{ContextTokens: 2000, OutputTokens: 128, Batch: b}
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, hwmodel.Throughput(g, dims, wl, p))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"expected shape: FP16 OOMs first; Cocktail below uniform INT4 at small batch,",
+		"overtaking at large batch; Cocktail always above KVQuant")
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: QMSum accuracy on Llama2-7B-sim as α and β
+// vary (each sweep holds the other hyperparameter at the paper's
+// default). It returns the α sweep and the β sweep as separate figures.
+func Fig7(e *Env) (*Figure, *Figure, error) {
+	ds, err := datasets.ByName("QMSum")
+	if err != nil {
+		return nil, nil, err
+	}
+	m := e.Models[0]
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.8, 0.9}
+	betas := []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.5}
+
+	build := func(alpha, beta float64) func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error) {
+		ct := core.NewCocktail(e.Lex)
+		cfg := search.Default()
+		cfg.Alpha, cfg.Beta = alpha, beta
+		ct.Search = cfg
+		return func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error) {
+			c, _, err := ct.Prepare(b, ctx, query)
+			return c, err
+		}
+	}
+
+	var preps []func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error)
+	for _, a := range alphas {
+		preps = append(preps, build(a, 0.1))
+	}
+	for _, b := range betas {
+		preps = append(preps, build(0.6, b))
+	}
+	scores, err := e.EvalPlans(m, ds, preps, 0, 0xf7)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sa := Series{Name: "ROUGE x100"}
+	for i, a := range alphas {
+		sa.X = append(sa.X, a)
+		sa.Y = append(sa.Y, 100*scores[i])
+	}
+	figA := &Figure{
+		Title:  "Figure 7a: impact of alpha on QMSum (Llama2-7B-sim, beta=0.1)",
+		XLabel: "alpha",
+		YLabel: "ROUGE x100",
+		Series: []Series{sa},
+		Notes:  []string{"expected shape: accuracy falls as alpha rises (more INT2)"},
+	}
+	sb := Series{Name: "ROUGE x100"}
+	for i, b := range betas {
+		sb.X = append(sb.X, b)
+		sb.Y = append(sb.Y, 100*scores[len(alphas)+i])
+	}
+	figB := &Figure{
+		Title:  "Figure 7b: impact of beta on QMSum (Llama2-7B-sim, alpha=0.6)",
+		XLabel: "beta",
+		YLabel: "ROUGE x100",
+		Series: []Series{sb},
+		Notes:  []string{"expected shape: accuracy improves then saturates as beta rises (more FP16)"},
+	}
+	return figA, figB, nil
+}

@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Tables I-V, Figures 1 and 4-7) on the simulated
+// substrate, printing results in the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a collection of series over a shared x axis.
+type Figure struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+	Notes                 []string
+}
+
+// String renders the figure as a data table (one row per x value) — the
+// form the paper's figures can be re-plotted from.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			fmt.Fprintf(&b, "%-12.4g", f.Series[0].X[i])
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, "  %14.4g", s.Y[i])
+				} else {
+					fmt.Fprintf(&b, "  %14s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Heatmap is a 2-D score grid (Figure 1).
+type Heatmap struct {
+	Title    string
+	RowLabel string
+	ColLabel string
+	Data     [][]float64 // rows × cols
+	RowNames []string
+}
+
+// String renders the heatmap with ASCII shades, darkest = highest.
+func (h *Heatmap) String() string {
+	const shades = " .:-=+*#%@"
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", h.Title)
+	lo, hi := h.Data[0][0], h.Data[0][0]
+	for _, row := range h.Data {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for i, row := range h.Data {
+		name := ""
+		if i < len(h.RowNames) {
+			name = h.RowNames[i]
+		}
+		fmt.Fprintf(&b, "%-10s |", name)
+		for _, v := range row {
+			idx := int((v - lo) / span * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "rows: %s, cols: %s, range [%.3f, %.3f]\n", h.RowLabel, h.ColLabel, lo, hi)
+	return b.String()
+}
+
+// pct formats v*100 with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f", 100*v) }
+
+// gb formats bytes as GB with two decimals.
+func gb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<30)) }
+
+// us formats seconds as integer microseconds.
+func us(sec float64) string { return fmt.Sprintf("%.0f", sec*1e6) }

@@ -1,0 +1,113 @@
+// Package httpapi serves the public cocktail pipeline over HTTP with a
+// small JSON API (used by cmd/cocktail-serve). One pipeline instance is
+// shared across requests behind a mutex: the underlying KV cache machinery
+// is per-request but the model/lexicon are shared read-only, and the
+// simulated substrate is fast enough that serialization is not a
+// bottleneck for a demo server.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	cocktail "repro"
+)
+
+// New returns the HTTP handler tree for a pipeline.
+func New(p *cocktail.Pipeline) http.Handler {
+	s := &server{p: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", s.info)
+	mux.HandleFunc("POST /v1/answer", s.answer)
+	mux.HandleFunc("POST /v1/search", s.search)
+	mux.HandleFunc("GET /v1/sample", s.sample)
+	return mux
+}
+
+type server struct {
+	mu sync.Mutex
+	p  *cocktail.Pipeline
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) info(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"config":   s.p.Config(),
+		"models":   cocktail.Models(),
+		"methods":  cocktail.Methods(),
+		"encoders": cocktail.Encoders(),
+		"datasets": cocktail.Datasets(),
+	})
+}
+
+type answerRequest struct {
+	Context []string `json:"context"`
+	Query   []string `json:"query"`
+}
+
+func (s *server) answer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.p.Answer(req.Context, req.Query)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) search(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	scores, tlow, thigh, precs, err := s.p.SearchOnly(req.Context, req.Query)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scores":     scores,
+		"t_low":      tlow,
+		"t_high":     thigh,
+		"precisions": precs,
+	})
+}
+
+func (s *server) sample(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	if dataset == "" {
+		dataset = "Qasper"
+	}
+	seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+	if err != nil {
+		seed = 1
+	}
+	s.mu.Lock()
+	sample, serr := s.p.NewSample(dataset, seed)
+	s.mu.Unlock()
+	if serr != nil {
+		writeErr(w, http.StatusNotFound, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, sample)
+}

@@ -1,0 +1,130 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	cocktail "repro"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	p, err := cocktail.New(cocktail.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestInfo(t *testing.T) {
+	srv := testServer(t)
+	var info map[string]any
+	if code := getJSON(t, srv.URL+"/v1/info", &info); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(info["methods"].([]any)) != 5 {
+		t.Fatalf("info methods wrong: %v", info["methods"])
+	}
+}
+
+func TestSampleAndAnswerRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	var sample struct {
+		Context, Query, Answer []string
+	}
+	if code := getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=7", &sample); code != 200 {
+		t.Fatalf("sample status %d", code)
+	}
+	if len(sample.Context) == 0 || len(sample.Query) == 0 {
+		t.Fatal("empty sample")
+	}
+	var res struct {
+		Answer []string
+		Plan   struct {
+			Segments int
+		}
+	}
+	code := postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &res)
+	if code != 200 {
+		t.Fatalf("answer status %d", code)
+	}
+	if len(res.Answer) == 0 || res.Plan.Segments == 0 {
+		t.Fatalf("bad answer payload: %+v", res)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=QMSum&seed=3", &sample)
+	var res struct {
+		Scores     []float64 `json:"scores"`
+		TLow       float64   `json:"t_low"`
+		THigh      float64   `json:"t_high"`
+		Precisions []string  `json:"precisions"`
+	}
+	code := postJSON(t, srv.URL+"/v1/search",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &res)
+	if code != 200 {
+		t.Fatalf("search status %d", code)
+	}
+	if len(res.Scores) != len(res.Precisions) || len(res.Scores) == 0 {
+		t.Fatalf("bad search payload: %+v", res)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv := testServer(t)
+	var e map[string]string
+	if code := getJSON(t, srv.URL+"/v1/sample?dataset=nope", &e); code != 404 {
+		t.Fatalf("unknown dataset status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": []string{"not-a-word"}, "query": []string{"x"}}, &e); code != 422 {
+		t.Fatalf("OOV status %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/answer", "application/json", bytes.NewReader([]byte("{bad")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed JSON status %d", resp.StatusCode)
+	}
+}

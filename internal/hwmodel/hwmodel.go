@@ -1,0 +1,382 @@
+// Package hwmodel is the analytic GPU cost model standing in for the
+// paper's NVIDIA A800 testbed. It reproduces the quantities behind
+// Figures 4–6 and Table V's cost columns from first principles:
+//
+//	GPU memory  = weights + per-request KV bytes at the plan's precision
+//	              mix (including quantization scale/zero metadata and any
+//	              dequantization workspace) + activation scratch.
+//	TPOT        = decode-step memory traffic / effective HBM bandwidth,
+//	              where traffic = weights + KV reads + cache-line
+//	              over-fetch at every segment boundary of fragmented
+//	              mixed-precision layouts.
+//	Throughput  = generated tokens / (prefill + quantization search +
+//	              output·TPOT), zero once memory exceeds capacity (OOM).
+//
+// The model dimensions are the real Llama2-7B/13B, Mistral-7B and
+// Longchat-7B geometries; only the cost constants (bandwidth efficiency,
+// search latencies) are calibrated, and each is a named constant below.
+package hwmodel
+
+import (
+	"repro/internal/kvcache"
+)
+
+// GPUSpec describes the accelerator.
+type GPUSpec struct {
+	Name string
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// HBMBandwidth is peak memory bandwidth in bytes/second.
+	HBMBandwidth float64
+	// BandwidthEfficiency derates peak bandwidth to achieved decode
+	// bandwidth (kernel overheads, partial-line reads).
+	BandwidthEfficiency float64
+	// CacheLineBytes is the memory transaction granularity: every
+	// physically contiguous run of KV data wastes at most one line at
+	// each end.
+	CacheLineBytes int
+	// FP16FLOPS is peak FP16 tensor throughput in FLOP/s.
+	FP16FLOPS float64
+	// ComputeEfficiency derates peak FLOPs for prefill GEMMs.
+	ComputeEfficiency float64
+}
+
+// A800 returns the paper's testbed GPU (80 GB, ~2 TB/s HBM2e).
+func A800() GPUSpec {
+	return GPUSpec{
+		Name:                "NVIDIA A800 80GB",
+		MemoryBytes:         80 << 30,
+		HBMBandwidth:        2.0e12,
+		BandwidthEfficiency: 0.70,
+		CacheLineBytes:      128,
+		FP16FLOPS:           312e12,
+		ComputeEfficiency:   0.45,
+	}
+}
+
+// ModelDims is the geometry of a real served model.
+type ModelDims struct {
+	Name    string
+	Layers  int
+	Heads   int
+	KVHeads int // < Heads under grouped-query attention
+	HeadDim int
+	Hidden  int
+	Inter   int
+	Vocab   int
+	// MaxContext is the model's context window (tokens).
+	MaxContext int
+}
+
+// The four models of the paper's evaluation.
+func Llama2_7B() ModelDims {
+	return ModelDims{Name: "Llama2-7B", Layers: 32, Heads: 32, KVHeads: 32,
+		HeadDim: 128, Hidden: 4096, Inter: 11008, Vocab: 32000, MaxContext: 4096}
+}
+
+// Llama2_13B returns the Llama2-13B geometry.
+func Llama2_13B() ModelDims {
+	return ModelDims{Name: "Llama2-13B", Layers: 40, Heads: 40, KVHeads: 40,
+		HeadDim: 128, Hidden: 5120, Inter: 13824, Vocab: 32000, MaxContext: 4096}
+}
+
+// Mistral7B returns the Mistral-7B geometry (GQA: 8 KV heads).
+func Mistral7B() ModelDims {
+	return ModelDims{Name: "Mistral-7B", Layers: 32, Heads: 32, KVHeads: 8,
+		HeadDim: 128, Hidden: 4096, Inter: 14336, Vocab: 32000, MaxContext: 32768}
+}
+
+// Longchat7B returns the Longchat-7B geometry (Llama-7B with 32K RoPE).
+func Longchat7B() ModelDims {
+	return ModelDims{Name: "Longchat-7B", Layers: 32, Heads: 32, KVHeads: 32,
+		HeadDim: 128, Hidden: 4096, Inter: 11008, Vocab: 32000, MaxContext: 32768}
+}
+
+// AllModels returns the evaluation models in paper order.
+func AllModels() []ModelDims {
+	return []ModelDims{Llama2_7B(), Llama2_13B(), Mistral7B(), Longchat7B()}
+}
+
+// Params returns the parameter count implied by the geometry.
+func (d ModelDims) Params() int64 {
+	perLayer := int64(d.Hidden)*int64(d.Hidden)*2 + // Q, O projections
+		int64(d.Hidden)*int64(d.KVHeads*d.HeadDim)*2 + // K, V projections
+		int64(d.Hidden)*int64(d.Inter)*3 // gate/up/down MLP
+	return int64(d.Layers)*perLayer + 2*int64(d.Vocab)*int64(d.Hidden)
+}
+
+// WeightBytes returns FP16 weight storage.
+func (d ModelDims) WeightBytes() int64 { return 2 * d.Params() }
+
+// kvValuesPerToken is the number of KV scalars stored per token
+// (K and V across layers and KV heads).
+func (d ModelDims) kvValuesPerToken() int64 {
+	return int64(d.Layers) * int64(d.KVHeads) * int64(d.HeadDim) * 2
+}
+
+// KVBytesPerTokenFP16 is the FP16 KV footprint of one token.
+func (d ModelDims) KVBytesPerTokenFP16() int64 { return 2 * d.kvValuesPerToken() }
+
+// quantGroupSize is the scale-group size assumed for metadata accounting,
+// matching the functional cache's default.
+const quantGroupSize = 32
+
+// bytesPerValue returns storage bytes per KV scalar at a precision,
+// including FP16 scale+zero metadata per group for integer precisions.
+func bytesPerValue(p kvcache.Precision) float64 {
+	if p == kvcache.FP16 {
+		return 2
+	}
+	return float64(p.Bits())/8 + 4.0/quantGroupSize
+}
+
+// Profile captures the cost-relevant behaviour of one quantization method.
+type Profile struct {
+	Name string
+	// Frac is the fraction of context tokens stored at each precision.
+	Frac map[kvcache.Precision]float64
+	// RunsPerHead returns the number of contiguous same-precision runs in
+	// the physical layout of one (layer, head) K or V cache.
+	RunsPerHead func(contextTokens int) int
+	// DequantWorkspace marks methods that cannot run fused mixed-precision
+	// kernels (no reordering): the cache is dequantized into a full FP16
+	// workspace that must be both stored and re-read every decode step.
+	DequantWorkspace bool
+	// SearchSeconds is the total quantization-search latency added to a
+	// batch of requests. Search runs batched on the GPU, so it has a fixed
+	// latency-bound component plus a throughput-bound per-item component —
+	// which is exactly why the paper's Figure 6 shows Cocktail's search
+	// becoming negligible at large batch sizes.
+	SearchSeconds func(contextTokens, batch int) float64
+}
+
+// Calibrated search-latency constants.
+const (
+	// cocktailSearchFixed is the latency-bound encoder invocation cost
+	// (dominates at batch 1).
+	cocktailSearchFixed = 0.220
+	// cocktailSearchPerChunk is the throughput-bound batched per-chunk
+	// embedding cost.
+	cocktailSearchPerChunk = 10e-6
+	// kvquantSearchFixed is KVQuant's per-batch search setup cost.
+	kvquantSearchFixed = 0.250
+	// kvquantSearchPerToken is KVQuant's throughput-bound token-level
+	// search cost; the paper attributes its throughput loss to this term
+	// (token granularity means ~chunkSize× more work than Cocktail).
+	kvquantSearchPerToken = 30e-6
+)
+
+func noSearch(int, int) float64 { return 0 }
+
+// ProfileFP16 is the unquantized baseline.
+func ProfileFP16() Profile {
+	return Profile{
+		Name:          "FP16",
+		Frac:          map[kvcache.Precision]float64{kvcache.FP16: 1},
+		RunsPerHead:   func(int) int { return 1 },
+		SearchSeconds: noSearch,
+	}
+}
+
+// ProfileAtom is uniform INT4 (one contiguous run, no search).
+func ProfileAtom() Profile {
+	return Profile{
+		Name:          "Atom",
+		Frac:          map[kvcache.Precision]float64{kvcache.INT4: 1},
+		RunsPerHead:   func(int) int { return 1 },
+		SearchSeconds: noSearch,
+	}
+}
+
+// ProfileKIVI is uniform INT4 with KIVI's per-channel K grouping; the
+// byte/traffic accounting is the same as Atom's.
+func ProfileKIVI() Profile {
+	p := ProfileAtom()
+	p.Name = "KIVI"
+	return p
+}
+
+// ProfileKVQuant has outlierFrac of tokens FP16 scattered through the
+// layout (two extra runs per outlier) and a token-level search pass.
+func ProfileKVQuant(outlierFrac float64) Profile {
+	return Profile{
+		Name: "KVQuant",
+		Frac: map[kvcache.Precision]float64{
+			kvcache.INT4: 1 - outlierFrac,
+			kvcache.FP16: outlierFrac,
+		},
+		RunsPerHead: func(ctx int) int {
+			return 1 + 2*int(float64(ctx)*outlierFrac)
+		},
+		SearchSeconds: func(ctx, batch int) float64 {
+			return kvquantSearchFixed + kvquantSearchPerToken*float64(ctx)*float64(batch)
+		},
+	}
+}
+
+// CocktailFractions is the default precision mix measured on the
+// LongBench-analog workloads at the paper's operating point
+// (α=0.6, β=0.1): most chunks are irrelevant (INT2), a band is INT4 and
+// the few query-relevant chunks stay FP16.
+func CocktailFractions() map[kvcache.Precision]float64 {
+	return map[kvcache.Precision]float64{
+		kvcache.INT2: 0.72,
+		kvcache.INT4: 0.20,
+		kvcache.FP16: 0.08,
+	}
+}
+
+// ProfileCocktail is chunk-adaptive mixed precision with Module II
+// reordering: at most one run per precision, chunk-level search.
+func ProfileCocktail(chunkSize int, frac map[kvcache.Precision]float64) Profile {
+	if frac == nil {
+		frac = CocktailFractions()
+	}
+	return Profile{
+		Name:        "Cocktail",
+		Frac:        frac,
+		RunsPerHead: func(int) int { return len(frac) },
+		SearchSeconds: func(ctx, batch int) float64 {
+			chunks := ctx / chunkSize
+			return cocktailSearchFixed + cocktailSearchPerChunk*float64(chunks)*float64(batch)
+		},
+	}
+}
+
+// ProfileCocktailNoReorder is the Table V "w/o Module II" ablation:
+// the same precision mix, but chunks stay in logical order, so runs are
+// per-chunk and the fused kernels are replaced by a full FP16
+// dequantization workspace.
+func ProfileCocktailNoReorder(chunkSize int, frac map[kvcache.Precision]float64) Profile {
+	p := ProfileCocktail(chunkSize, frac)
+	p.Name = "Cocktail w/o reorder"
+	p.RunsPerHead = func(ctx int) int {
+		n := ctx / chunkSize
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	p.DequantWorkspace = true
+	return p
+}
+
+// ProfileFromPlan derives a profile from an actual kvcache plan (used to
+// feed measured Cocktail precision mixes into the cost model).
+func ProfileFromPlan(name string, plan *kvcache.Plan, search func(ctx, batch int) float64) Profile {
+	counts := plan.Counts()
+	frac := map[kvcache.Precision]float64{}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	for p, n := range counts {
+		if n > 0 {
+			frac[p] = float64(n) / float64(total)
+		}
+	}
+	runs := len(plan.SegmentRuns())
+	if search == nil {
+		search = noSearch
+	}
+	return Profile{
+		Name:          name,
+		Frac:          frac,
+		RunsPerHead:   func(int) int { return runs },
+		SearchSeconds: search,
+	}
+}
+
+// Workload describes one serving scenario.
+type Workload struct {
+	ContextTokens int
+	OutputTokens  int
+	Batch         int
+}
+
+// QMSumWorkload is the Figure 4/5 scenario: QMSum-length contexts
+// truncated to the model's window (3.5K for the 4K models, 10K for the
+// 32K models — QMSum meetings average ~10K tokens), batch 4, 128 output
+// tokens as in the paper's setup.
+func QMSumWorkload(d ModelDims) Workload {
+	ctx := 10000
+	if d.MaxContext <= 4096 {
+		ctx = 3500
+	}
+	return Workload{ContextTokens: ctx, OutputTokens: 128, Batch: 4}
+}
+
+// contextKVBytes is the per-request context KV footprint under a profile.
+func contextKVBytes(d ModelDims, ctx int, prof Profile) float64 {
+	vals := float64(d.kvValuesPerToken())
+	var perToken float64
+	for p, f := range prof.Frac {
+		perToken += f * bytesPerValue(p) * vals
+	}
+	return perToken * float64(ctx)
+}
+
+// activationBytes is the decode activation scratch per request.
+func activationBytes(d ModelDims) float64 {
+	return float64(8 * d.Hidden * 4) // a few hidden-sized FP32 buffers
+}
+
+// Memory returns the GPU memory footprint in bytes for the workload.
+func Memory(d ModelDims, wl Workload, prof Profile) int64 {
+	perReq := contextKVBytes(d, wl.ContextTokens, prof) +
+		float64(wl.OutputTokens)*float64(d.KVBytesPerTokenFP16()) + // decode KV stays FP16
+		activationBytes(d)
+	if prof.DequantWorkspace {
+		// The whole context is also materialized in FP16 for computation.
+		perReq += float64(wl.ContextTokens) * float64(d.KVBytesPerTokenFP16())
+	}
+	return d.WeightBytes() + int64(perReq*float64(wl.Batch))
+}
+
+// TPOT returns the decode time-per-output-token in seconds.
+func TPOT(g GPUSpec, d ModelDims, wl Workload, prof Profile) float64 {
+	bw := g.HBMBandwidth * g.BandwidthEfficiency
+
+	// Weights are streamed once per decode step (shared across the batch).
+	traffic := float64(d.WeightBytes())
+
+	// KV reads: quantized/FP16 context plus on average half the decode
+	// tail, per request.
+	kv := contextKVBytes(d, wl.ContextTokens, prof) +
+		0.5*float64(wl.OutputTokens)*float64(d.KVBytesPerTokenFP16())
+	if prof.DequantWorkspace {
+		// Fused kernels unavailable: the FP16 workspace is what decode
+		// actually reads, and the quantized copy is re-expanded into it.
+		kv += float64(wl.ContextTokens) * float64(d.KVBytesPerTokenFP16())
+	}
+
+	// Cache-line over-fetch: each contiguous run wastes up to one line at
+	// each boundary, per layer, per KV head, for K and for V.
+	runs := prof.RunsPerHead(wl.ContextTokens)
+	overfetch := float64(runs*d.Layers*d.KVHeads*2) * float64(g.CacheLineBytes)
+
+	traffic += float64(wl.Batch) * (kv + overfetch)
+	return traffic / bw
+}
+
+// PrefillLatency returns the prefill time in seconds (compute-bound GEMMs
+// plus quadratic attention).
+func PrefillLatency(g GPUSpec, d ModelDims, wl Workload) float64 {
+	flops := 2 * float64(d.Params()) * float64(wl.ContextTokens) * float64(wl.Batch)
+	attn := 4 * float64(d.Layers*d.Heads*d.HeadDim) *
+		float64(wl.ContextTokens) * float64(wl.ContextTokens) * float64(wl.Batch)
+	return (flops + attn) / (g.FP16FLOPS * g.ComputeEfficiency)
+}
+
+// Throughput returns end-to-end generation throughput in output tokens per
+// second for a full batch, or 0 when the workload does not fit in memory
+// (the OOM line breaks of Figure 6).
+func Throughput(g GPUSpec, d ModelDims, wl Workload, prof Profile) float64 {
+	if Memory(d, wl, prof) > g.MemoryBytes {
+		return 0
+	}
+	lat := PrefillLatency(g, d, wl) +
+		prof.SearchSeconds(wl.ContextTokens, wl.Batch) +
+		float64(wl.OutputTokens)*TPOT(g, d, wl, prof)
+	return float64(wl.Batch*wl.OutputTokens) / lat
+}

@@ -1,0 +1,226 @@
+package hwmodel
+
+import (
+	"testing"
+
+	"repro/internal/kvcache"
+)
+
+func profiles() []Profile {
+	return []Profile{
+		ProfileFP16(), ProfileAtom(), ProfileKIVI(),
+		ProfileKVQuant(0.01), ProfileCocktail(32, nil),
+	}
+}
+
+func TestParamCountsPlausible(t *testing.T) {
+	cases := []struct {
+		d      ModelDims
+		lo, hi float64 // billions
+	}{
+		{Llama2_7B(), 6.0, 7.5},
+		{Llama2_13B(), 12.0, 14.0},
+		{Mistral7B(), 6.5, 8.0},
+		{Longchat7B(), 6.0, 7.5},
+	}
+	for _, c := range cases {
+		b := float64(c.d.Params()) / 1e9
+		if b < c.lo || b > c.hi {
+			t.Fatalf("%s params = %.2fB, want in [%v, %v]", c.d.Name, b, c.lo, c.hi)
+		}
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// Llama2-7B: 32 layers * 32 heads * 128 dim * 2 (K,V) * 2 bytes = 512 KiB.
+	if got := Llama2_7B().KVBytesPerTokenFP16(); got != 512*1024 {
+		t.Fatalf("KV bytes/token = %d, want %d", got, 512*1024)
+	}
+	// Mistral GQA: 8 KV heads -> 4x smaller.
+	if got := Mistral7B().KVBytesPerTokenFP16(); got != 128*1024 {
+		t.Fatalf("Mistral KV bytes/token = %d", got)
+	}
+}
+
+func TestBytesPerValue(t *testing.T) {
+	if bytesPerValue(kvcache.FP16) != 2 {
+		t.Fatal("FP16 bytes wrong")
+	}
+	// INT4: 0.5 + 4/32 = 0.625.
+	if got := bytesPerValue(kvcache.INT4); got != 0.625 {
+		t.Fatalf("INT4 bytes/value = %v", got)
+	}
+	if got := bytesPerValue(kvcache.INT2); got != 0.375 {
+		t.Fatalf("INT2 bytes/value = %v", got)
+	}
+}
+
+// TestFig4MemoryShape: per model, Cocktail uses the least memory, FP16 the
+// most, and the Cocktail saving vs FP16 is in the paper's 12-42% band.
+func TestFig4MemoryShape(t *testing.T) {
+	for _, d := range AllModels() {
+		wl := QMSumWorkload(d)
+		memFP := Memory(d, wl, ProfileFP16())
+		memAtom := Memory(d, wl, ProfileAtom())
+		memKVQ := Memory(d, wl, ProfileKVQuant(0.01))
+		memCT := Memory(d, wl, ProfileCocktail(32, nil))
+		if !(memCT < memAtom && memAtom <= memKVQ && memKVQ < memFP) {
+			t.Fatalf("%s: memory ordering violated: CT=%d Atom=%d KVQ=%d FP=%d",
+				d.Name, memCT, memAtom, memKVQ, memFP)
+		}
+		saving := 1 - float64(memCT)/float64(memFP)
+		if saving < 0.10 || saving > 0.45 {
+			t.Errorf("%s: Cocktail memory saving %.1f%%, paper band is 12-42%%", d.Name, 100*saving)
+		}
+	}
+}
+
+// TestFig5TPOTShape: Cocktail has the lowest TPOT, 32-52% below FP16;
+// KVQuant is worse than the uniform methods (fragmentation).
+func TestFig5TPOTShape(t *testing.T) {
+	g := A800()
+	for _, d := range AllModels() {
+		wl := QMSumWorkload(d)
+		tFP := TPOT(g, d, wl, ProfileFP16())
+		tAtom := TPOT(g, d, wl, ProfileAtom())
+		tKVQ := TPOT(g, d, wl, ProfileKVQuant(0.01))
+		tCT := TPOT(g, d, wl, ProfileCocktail(32, nil))
+		if !(tCT < tAtom && tAtom < tKVQ && tKVQ < tFP) {
+			t.Fatalf("%s: TPOT ordering violated: CT=%v Atom=%v KVQ=%v FP=%v",
+				d.Name, tCT, tAtom, tKVQ, tFP)
+		}
+		saving := 1 - tCT/tFP
+		if saving < 0.15 || saving > 0.60 {
+			t.Errorf("%s: Cocktail TPOT saving %.1f%%, paper band is 32-52%%", d.Name, 100*saving)
+		}
+	}
+}
+
+// TestTableVAblationShape: w/o Module II must cost MORE memory than even
+// FP16 (quantized copy + FP16 workspace) and have FP16-like TPOT, while
+// full Cocktail is cheap — Table V's cost columns.
+func TestTableVAblationShape(t *testing.T) {
+	g := A800()
+	d := Llama2_7B()
+	wl := QMSumWorkload(d)
+	frac := CocktailFractions()
+	memFP := Memory(d, wl, ProfileFP16())
+	memCT := Memory(d, wl, ProfileCocktail(32, frac))
+	memNoRe := Memory(d, wl, ProfileCocktailNoReorder(32, frac))
+	if !(memCT < memFP && memFP < memNoRe) {
+		t.Fatalf("memory ablation violated: CT=%d FP=%d NoReorder=%d", memCT, memFP, memNoRe)
+	}
+	tFP := TPOT(g, d, wl, ProfileFP16())
+	tCT := TPOT(g, d, wl, ProfileCocktail(32, frac))
+	tNoRe := TPOT(g, d, wl, ProfileCocktailNoReorder(32, frac))
+	if !(tCT < tFP && tFP < tNoRe && tNoRe < 1.25*tFP) {
+		t.Fatalf("TPOT ablation violated: CT=%v FP=%v NoReorder=%v", tCT, tFP, tNoRe)
+	}
+}
+
+// TestFig6ThroughputShape reproduces Figure 6's qualitative behaviour on
+// Llama2-7B: (a) at batch 1 Cocktail is below the uniform methods (search
+// latency); (b) at large batch Cocktail overtakes them (lower TPOT);
+// (c) Cocktail always beats KVQuant; (d) FP16 hits OOM first.
+func TestFig6ThroughputShape(t *testing.T) {
+	g := A800()
+	d := Llama2_7B()
+	wl := func(b int) Workload { return Workload{ContextTokens: 2000, OutputTokens: 128, Batch: b} }
+
+	small := wl(1)
+	if !(Throughput(g, d, small, ProfileCocktail(32, nil)) < Throughput(g, d, small, ProfileAtom())) {
+		t.Fatal("at batch 1 Cocktail should trail uniform INT4 (search latency)")
+	}
+
+	// Find a batch where both still fit; Cocktail should win there.
+	big := wl(150)
+	ct := Throughput(g, d, big, ProfileCocktail(32, nil))
+	atom := Throughput(g, d, big, ProfileAtom())
+	if atom == 0 || ct == 0 {
+		t.Fatalf("batch 150 unexpectedly OOM: ct=%v atom=%v", ct, atom)
+	}
+	if ct <= atom {
+		t.Fatalf("at batch 150 Cocktail (%v) should beat Atom (%v)", ct, atom)
+	}
+
+	for _, b := range []int{1, 4, 16, 40} {
+		w := wl(b)
+		ct := Throughput(g, d, w, ProfileCocktail(32, nil))
+		kvq := Throughput(g, d, w, ProfileKVQuant(0.01))
+		if kvq != 0 && ct <= kvq {
+			t.Fatalf("batch %d: Cocktail (%v) should always beat KVQuant (%v)", b, ct, kvq)
+		}
+	}
+
+	oomBatch := func(p Profile) int {
+		for b := 1; b <= 4096; b++ {
+			if Throughput(g, d, wl(b), p) == 0 {
+				return b
+			}
+		}
+		return 4097
+	}
+	oFP := oomBatch(ProfileFP16())
+	oAtom := oomBatch(ProfileAtom())
+	oCT := oomBatch(ProfileCocktail(32, nil))
+	if !(oFP < oAtom && oAtom <= oCT) {
+		t.Fatalf("OOM ordering violated: FP16=%d Atom=%d Cocktail=%d", oFP, oAtom, oCT)
+	}
+}
+
+func TestThroughputZeroOnOOM(t *testing.T) {
+	g := A800()
+	d := Llama2_13B()
+	w := Workload{ContextTokens: 4000, OutputTokens: 128, Batch: 100000}
+	if Throughput(g, d, w, ProfileFP16()) != 0 {
+		t.Fatal("expected OOM")
+	}
+}
+
+func TestProfileFromPlan(t *testing.T) {
+	p := kvcache.UniformPlan(128, 32, kvcache.INT2, true)
+	p.ChunkPrec[0] = kvcache.FP16
+	prof := ProfileFromPlan("test", p, nil)
+	if prof.Frac[kvcache.FP16] != 0.25 || prof.Frac[kvcache.INT2] != 0.75 {
+		t.Fatalf("fractions = %v", prof.Frac)
+	}
+	if prof.RunsPerHead(128) != 2 {
+		t.Fatalf("runs = %d, want 2", prof.RunsPerHead(128))
+	}
+	if prof.SearchSeconds(128, 1) != 0 {
+		t.Fatal("nil search should mean zero latency")
+	}
+}
+
+func TestCocktailFractionsSumToOne(t *testing.T) {
+	var sum float64
+	for _, f := range CocktailFractions() {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestSearchLatencies(t *testing.T) {
+	ct := ProfileCocktail(32, nil)
+	kvq := ProfileKVQuant(0.01)
+	// Chunk-level search must be cheaper than token-level search for long
+	// contexts — the paper's core throughput claim against KVQuant.
+	if ct.SearchSeconds(4000, 8) >= kvq.SearchSeconds(4000, 8) {
+		t.Fatalf("Cocktail search %v not below KVQuant %v",
+			ct.SearchSeconds(4000, 8), kvq.SearchSeconds(4000, 8))
+	}
+}
+
+func TestMemoryMonotonicInBatch(t *testing.T) {
+	d := Llama2_7B()
+	prev := int64(0)
+	for b := 1; b <= 8; b *= 2 {
+		m := Memory(d, Workload{ContextTokens: 2000, OutputTokens: 128, Batch: b}, ProfileAtom())
+		if m <= prev {
+			t.Fatal("memory not monotonic in batch")
+		}
+		prev = m
+	}
+}

@@ -1,0 +1,317 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/f16"
+	"repro/internal/mathx"
+	"repro/internal/quant"
+)
+
+// Config describes the cache geometry and quantization kernel options.
+type Config struct {
+	Layers  int
+	Heads   int
+	HeadDim int
+
+	// GroupSize is the quantization group size (values per scale).
+	GroupSize int
+	// KAxis and VAxis select the quantization grouping direction for the
+	// K and V caches (KIVI: per-channel K, per-token V).
+	KAxis, VAxis quant.Axis
+	// UseCodebook enables the non-uniform Gaussian codebook for integer
+	// segments (the KVQuant nuqX analog).
+	UseCodebook bool
+}
+
+func (c Config) validate() error {
+	if c.Layers <= 0 || c.Heads <= 0 || c.HeadDim <= 0 {
+		return fmt.Errorf("kvcache: non-positive geometry %+v", c)
+	}
+	return nil
+}
+
+// Builder accumulates FP32 context KV rows during prefill, before the
+// quantization plan is known.
+type Builder struct {
+	cfg    Config
+	tokens int
+	// k[l*heads+h] and v[...] are row-major [tokens][headDim].
+	k, v [][]float32
+}
+
+// NewBuilder returns an empty prefill KV builder.
+func NewBuilder(cfg Config) *Builder {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Layers * cfg.Heads
+	return &Builder{cfg: cfg, k: make([][]float32, n), v: make([][]float32, n)}
+}
+
+// Config returns the builder's cache geometry.
+func (b *Builder) Config() Config { return b.cfg }
+
+// BeginToken starts the next context token; Append calls then fill its
+// per-layer/head K and V rows.
+func (b *Builder) BeginToken() { b.tokens++ }
+
+// NumTokens returns how many context tokens have been started.
+func (b *Builder) NumTokens() int { return b.tokens }
+
+// Append records the K and V rows of the current token for (layer, head).
+// Rows are copied.
+func (b *Builder) Append(layer, head int, k, v []float32) {
+	if len(k) != b.cfg.HeadDim || len(v) != b.cfg.HeadDim {
+		panic("kvcache: Append row width mismatch")
+	}
+	idx := layer*b.cfg.Heads + head
+	b.k[idx] = append(b.k[idx], k...)
+	b.v[idx] = append(b.v[idx], v...)
+}
+
+// KRow returns the raw FP32 K row of token t for (layer, head) — used by
+// prefill attention, which runs before quantization, and by baselines that
+// need statistics (e.g. KVQuant outlier selection).
+func (b *Builder) KRow(layer, head, t int) []float32 {
+	idx := layer*b.cfg.Heads + head
+	d := b.cfg.HeadDim
+	return b.k[idx][t*d : (t+1)*d]
+}
+
+// VRow returns the raw FP32 V row of token t for (layer, head).
+func (b *Builder) VRow(layer, head, t int) []float32 {
+	idx := layer*b.cfg.Heads + head
+	d := b.cfg.HeadDim
+	return b.v[idx][t*d : (t+1)*d]
+}
+
+// segment is one contiguous same-precision block of the sealed cache for a
+// single (layer, head) pair.
+type segment struct {
+	prec   Precision
+	tokens int
+	// Quantized storage (prec != FP16):
+	qk, qv *quant.Tensor
+	// FP16 storage (prec == FP16), row-major [tokens][headDim]:
+	fk, fv []f16.F16
+}
+
+// Cache is the sealed mixed-precision context KV cache plus the FP16 tail
+// that decode appends to. Attention over it follows Algorithm 1.
+type Cache struct {
+	cfg  Config
+	plan *Plan
+	segs [][]segment // [layer*heads+head][]
+	// Decode/query tail, always FP16: [layer*heads+head] row-major.
+	tailK, tailV [][]f16.F16
+	tailTokens   int
+
+	// scratch buffers reused across Attend calls (the cache is not
+	// safe for concurrent use, like a real per-request KV cache).
+	scores []float32
+	row    []float32
+}
+
+// SealOptions selects the quantization kernel variant used at Seal time,
+// so one prefilled Builder can be sealed repeatedly under different
+// methods (Atom, KIVI, KVQuant, Cocktail) without re-running prefill.
+type SealOptions struct {
+	GroupSize    int
+	KAxis, VAxis quant.Axis
+	UseCodebook  bool
+}
+
+// Seal quantizes with the builder's configured kernel options.
+func (b *Builder) Seal(plan *Plan) (*Cache, error) {
+	return b.SealWith(plan, SealOptions{
+		GroupSize:   b.cfg.GroupSize,
+		KAxis:       b.cfg.KAxis,
+		VAxis:       b.cfg.VAxis,
+		UseCodebook: b.cfg.UseCodebook,
+	})
+}
+
+// SealWith quantizes the builder's context KV according to plan and opts,
+// returning the immutable mixed-precision cache. The builder remains valid
+// and can be sealed again.
+func (b *Builder) SealWith(plan *Plan, opts SealOptions) (*Cache, error) {
+	if plan.NumTokens != b.tokens {
+		return nil, fmt.Errorf("kvcache: plan covers %d tokens, builder has %d", plan.NumTokens, b.tokens)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	precs, order := plan.TokenPrecisions()
+	c := &Cache{
+		cfg:   b.cfg,
+		plan:  plan,
+		segs:  make([][]segment, b.cfg.Layers*b.cfg.Heads),
+		tailK: make([][]f16.F16, b.cfg.Layers*b.cfg.Heads),
+		tailV: make([][]f16.F16, b.cfg.Layers*b.cfg.Heads),
+		row:   make([]float32, b.cfg.HeadDim),
+	}
+	d := b.cfg.HeadDim
+	var cb []float32
+	if opts.UseCodebook {
+		cb = quant.GaussianCodebook(quant.INT4)
+	}
+	for idx := range b.k {
+		// Split the physical order into equal-precision runs and build one
+		// segment per run.
+		for i := 0; i < len(precs); {
+			j := i
+			for j < len(precs) && precs[j] == precs[i] {
+				j++
+			}
+			n := j - i
+			seg := segment{prec: precs[i], tokens: n}
+			kbuf := make([]float32, 0, n*d)
+			vbuf := make([]float32, 0, n*d)
+			for _, t := range order[i:j] {
+				kbuf = append(kbuf, b.k[idx][t*d:(t+1)*d]...)
+				vbuf = append(vbuf, b.v[idx][t*d:(t+1)*d]...)
+			}
+			if seg.prec == FP16 {
+				seg.fk = f16.FromSlice(kbuf)
+				seg.fv = f16.FromSlice(vbuf)
+			} else {
+				bits := quant.Bits(seg.prec.Bits())
+				var segCB []float32
+				if cb != nil && bits == quant.INT4 {
+					segCB = cb
+				}
+				seg.qk = quant.Quantize(kbuf, n, d, quant.Config{
+					Bits: bits, Axis: opts.KAxis, GroupSize: opts.GroupSize, Codebook: segCB})
+				seg.qv = quant.Quantize(vbuf, n, d, quant.Config{
+					Bits: bits, Axis: opts.VAxis, GroupSize: opts.GroupSize, Codebook: segCB})
+			}
+			c.segs[idx] = append(c.segs[idx], seg)
+			i = j
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Plan returns the plan the cache was sealed with.
+func (c *Cache) Plan() *Plan { return c.plan }
+
+// ContextTokens returns the number of quantization-managed context tokens.
+func (c *Cache) ContextTokens() int { return c.plan.NumTokens }
+
+// TailTokens returns the number of FP16 decode/query tokens appended.
+func (c *Cache) TailTokens() int { return c.tailTokens }
+
+// Len returns the total number of cached tokens.
+func (c *Cache) Len() int { return c.plan.NumTokens + c.tailTokens }
+
+// BeginToken starts the next decode/query token; AppendTail calls fill it.
+func (c *Cache) BeginToken() { c.tailTokens++ }
+
+// AppendTail appends an FP16 K/V row for the current decode token.
+func (c *Cache) AppendTail(layer, head int, k, v []float32) {
+	if len(k) != c.cfg.HeadDim || len(v) != c.cfg.HeadDim {
+		panic("kvcache: AppendTail row width mismatch")
+	}
+	idx := layer*c.cfg.Heads + head
+	c.tailK[idx] = append(c.tailK[idx], f16.FromSlice(k)...)
+	c.tailV[idx] = append(c.tailV[idx], f16.FromSlice(v)...)
+}
+
+// Attend computes softmax(scale · q·Kᵀ) · V over the whole cache for
+// (layer, head), accumulating into out (len HeadDim, zeroed by the caller
+// if desired — Attend overwrites it).
+//
+// This is the paper's Algorithm 1: scores are computed per segment with
+// the fused quantized kernel (fqm) or the FP16 kernel (mm), concatenated,
+// softmaxed once, and the attention-weighted V sum is accumulated per
+// segment. The result is independent of segment order (Eq. 4 = Eq. 5).
+func (c *Cache) Attend(layer, head int, q []float32, scale float32, out []float32) {
+	if len(q) != c.cfg.HeadDim || len(out) != c.cfg.HeadDim {
+		panic("kvcache: Attend dimension mismatch")
+	}
+	idx := layer*c.cfg.Heads + head
+	total := c.Len()
+	if cap(c.scores) < total {
+		c.scores = make([]float32, total)
+	}
+	scores := c.scores[:total]
+
+	// Score pass, segment by segment.
+	pos := 0
+	for _, seg := range c.segs[idx] {
+		if seg.prec == FP16 {
+			d := c.cfg.HeadDim
+			for t := 0; t < seg.tokens; t++ {
+				f16.ToSliceInto(c.row, seg.fk[t*d:(t+1)*d])
+				scores[pos+t] = mathx.Dot(q, c.row)
+			}
+		} else {
+			seg.qk.ScoresInto(scores[pos:pos+seg.tokens], q)
+		}
+		pos += seg.tokens
+	}
+	d := c.cfg.HeadDim
+	for t := 0; t < c.tailTokens; t++ {
+		f16.ToSliceInto(c.row, c.tailK[idx][t*d:(t+1)*d])
+		scores[pos+t] = mathx.Dot(q, c.row)
+	}
+
+	mathx.Scale(scale, scores)
+	mathx.Softmax(scores)
+
+	// Value pass.
+	for i := range out {
+		out[i] = 0
+	}
+	pos = 0
+	for _, seg := range c.segs[idx] {
+		if seg.prec == FP16 {
+			for t := 0; t < seg.tokens; t++ {
+				f16.ToSliceInto(c.row, seg.fv[t*d:(t+1)*d])
+				mathx.Axpy(scores[pos+t], c.row, out)
+			}
+		} else {
+			for t := 0; t < seg.tokens; t++ {
+				seg.qv.AxpyRow(out, scores[pos+t], t)
+			}
+		}
+		pos += seg.tokens
+	}
+	for t := 0; t < c.tailTokens; t++ {
+		f16.ToSliceInto(c.row, c.tailV[idx][t*d:(t+1)*d])
+		mathx.Axpy(scores[pos+t], c.row, out)
+	}
+}
+
+// Stats describes the sealed cache footprint.
+type Stats struct {
+	ContextBytes int // quantized + FP16 context storage across layers/heads
+	TailBytes    int // FP16 decode/query tail
+	Segments     int // contiguous segments per (layer, head)
+	TokensByPrec map[Precision]int
+}
+
+// Stats computes the cache's storage footprint and layout shape.
+func (c *Cache) Stats() Stats {
+	s := Stats{TokensByPrec: c.plan.Counts()}
+	for _, segs := range c.segs {
+		for _, seg := range segs {
+			if seg.prec == FP16 {
+				s.ContextBytes += 2 * (len(seg.fk) + len(seg.fv))
+			} else {
+				s.ContextBytes += seg.qk.Bytes() + seg.qv.Bytes()
+			}
+		}
+	}
+	if len(c.segs) > 0 {
+		s.Segments = len(c.segs[0])
+	}
+	for idx := range c.tailK {
+		s.TailBytes += 2 * (len(c.tailK[idx]) + len(c.tailV[idx]))
+	}
+	return s
+}

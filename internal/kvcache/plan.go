@@ -1,0 +1,193 @@
+// Package kvcache implements the chunked, mixed-precision KV cache at the
+// center of the paper: context KV is split into fixed-size chunks, each
+// chunk is assigned a precision by Module I (or a baseline policy), chunks
+// are optionally reordered so equal-precision chunks become physically
+// contiguous (Module II), and decode attention runs per contiguous segment
+// exactly as the paper's Algorithm 1 (fqm per quantized block, mm for the
+// FP16 block, concatenated before softmax, summed after the V products).
+package kvcache
+
+import "fmt"
+
+// Precision is the storage precision of a KV chunk or token.
+type Precision uint8
+
+// Supported precisions, ordered from lowest to highest fidelity.
+const (
+	INT2 Precision = iota
+	INT4
+	INT8
+	FP16
+)
+
+// Bits returns the storage bits per value.
+func (p Precision) Bits() int {
+	switch p {
+	case INT2:
+		return 2
+	case INT4:
+		return 4
+	case INT8:
+		return 8
+	case FP16:
+		return 16
+	}
+	panic(fmt.Sprintf("kvcache: invalid precision %d", p))
+}
+
+func (p Precision) String() string {
+	switch p {
+	case INT2:
+		return "INT2"
+	case INT4:
+		return "INT4"
+	case INT8:
+		return "INT8"
+	case FP16:
+		return "FP16"
+	}
+	return fmt.Sprintf("Precision(%d)", uint8(p))
+}
+
+// Plan assigns a precision to every context token, at chunk granularity
+// with an optional token-level override (used by the KVQuant baseline,
+// whose outlier tokens are scattered).
+//
+// The trailing partial chunk (when NumTokens is not divisible by ChunkSize)
+// is always kept FP16, as in the paper.
+type Plan struct {
+	NumTokens int
+	ChunkSize int
+	// ChunkPrec assigns a precision to each full chunk
+	// (len == NumTokens/ChunkSize).
+	ChunkPrec []Precision
+	// TokenPrec, when non-nil, overrides chunk precisions per token
+	// (len == NumTokens).
+	TokenPrec []Precision
+	// Reorder enables Module II chunk reordering: chunks are laid out
+	// grouped by precision (INT2, INT4, INT8, FP16) instead of logically.
+	Reorder bool
+}
+
+// NumChunks returns the number of full chunks.
+func (p *Plan) NumChunks() int {
+	if p.ChunkSize <= 0 {
+		return 0
+	}
+	return p.NumTokens / p.ChunkSize
+}
+
+// Validate checks internal consistency.
+func (p *Plan) Validate() error {
+	if p.NumTokens < 0 {
+		return fmt.Errorf("kvcache: negative NumTokens")
+	}
+	if p.ChunkSize <= 0 {
+		return fmt.Errorf("kvcache: ChunkSize must be positive")
+	}
+	if len(p.ChunkPrec) != p.NumChunks() {
+		return fmt.Errorf("kvcache: ChunkPrec has %d entries, want %d", len(p.ChunkPrec), p.NumChunks())
+	}
+	if p.TokenPrec != nil && len(p.TokenPrec) != p.NumTokens {
+		return fmt.Errorf("kvcache: TokenPrec has %d entries, want %d", len(p.TokenPrec), p.NumTokens)
+	}
+	return nil
+}
+
+// UniformPlan builds a plan quantizing every full chunk to prec.
+func UniformPlan(numTokens, chunkSize int, prec Precision, reorder bool) *Plan {
+	n := numTokens / chunkSize
+	cp := make([]Precision, n)
+	for i := range cp {
+		cp[i] = prec
+	}
+	return &Plan{NumTokens: numTokens, ChunkSize: chunkSize, ChunkPrec: cp, Reorder: reorder}
+}
+
+// ChunkOrder returns the order in which chunks are laid out physically.
+// Without reordering it is the logical order. With reordering, chunks are
+// grouped by ascending precision (INT2 block, then INT4, INT8, FP16), and
+// within a group logical order is preserved (the layout in the paper's
+// Figure 3).
+func (p *Plan) ChunkOrder() []int {
+	n := p.NumChunks()
+	order := make([]int, 0, n)
+	if !p.Reorder {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	for _, prec := range []Precision{INT2, INT4, INT8, FP16} {
+		for i := 0; i < n; i++ {
+			if p.ChunkPrec[i] == prec {
+				order = append(order, i)
+			}
+		}
+	}
+	return order
+}
+
+// TokenPrecisions expands the plan to one precision per token in *physical*
+// layout order, returning also the physical token order (a permutation of
+// [0, NumTokens)). Tail tokens beyond the last full chunk are FP16 and
+// always placed last.
+func (p *Plan) TokenPrecisions() (precs []Precision, tokenOrder []int) {
+	precs = make([]Precision, 0, p.NumTokens)
+	tokenOrder = make([]int, 0, p.NumTokens)
+	cs := p.ChunkSize
+	for _, c := range p.ChunkOrder() {
+		for t := c * cs; t < (c+1)*cs; t++ {
+			prec := p.ChunkPrec[c]
+			if p.TokenPrec != nil {
+				prec = p.TokenPrec[t]
+			}
+			precs = append(precs, prec)
+			tokenOrder = append(tokenOrder, t)
+		}
+	}
+	for t := p.NumChunks() * cs; t < p.NumTokens; t++ {
+		prec := FP16
+		if p.TokenPrec != nil {
+			prec = p.TokenPrec[t]
+		}
+		precs = append(precs, prec)
+		tokenOrder = append(tokenOrder, t)
+	}
+	return precs, tokenOrder
+}
+
+// Counts returns how many tokens land at each precision.
+func (p *Plan) Counts() map[Precision]int {
+	precs, _ := p.TokenPrecisions()
+	m := make(map[Precision]int, 4)
+	for _, pr := range precs {
+		m[pr]++
+	}
+	return m
+}
+
+// SegmentRuns returns the physical layout as runs of equal precision:
+// the number of contiguous segments the cache will hold. Reordering
+// minimizes this (at most one run per precision); interleaved mixed
+// precision without reordering produces many runs — the fragmentation the
+// paper's Module II removes.
+func (p *Plan) SegmentRuns() []Run {
+	precs, _ := p.TokenPrecisions()
+	var runs []Run
+	for i := 0; i < len(precs); {
+		j := i
+		for j < len(precs) && precs[j] == precs[i] {
+			j++
+		}
+		runs = append(runs, Run{Prec: precs[i], Tokens: j - i})
+		i = j
+	}
+	return runs
+}
+
+// Run is a contiguous same-precision stretch of tokens in physical layout.
+type Run struct {
+	Prec   Precision
+	Tokens int
+}

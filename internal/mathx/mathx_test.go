@@ -1,0 +1,140 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rngx"
+)
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float32{1, 1}
+	Axpy(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy wrong: %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale wrong: %v", y)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float32{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("Cosine(a,a) = %v", got)
+	}
+	if got := Cosine(a, b); math.Abs(got) > 1e-6 {
+		t.Fatalf("Cosine(orthogonal) = %v", got)
+	}
+	if got := Cosine(a, []float32{0, 0}); got != 0 {
+		t.Fatalf("Cosine with zero vector = %v", got)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		r := rngx.New(seed)
+		x := r.GaussianVec(n, 5)
+		Softmax(x)
+		var sum float64
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-5
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{101, 102, 103}
+	Softmax(x)
+	Softmax(y)
+	for i := range x {
+		if math.Abs(float64(x[i]-y[i])) > 1e-6 {
+			t.Fatalf("softmax not shift invariant: %v vs %v", x, y)
+		}
+	}
+}
+
+func TestSoftmaxLargeValuesStable(t *testing.T) {
+	x := []float32{1e30, 1e30}
+	Softmax(x)
+	if math.IsNaN(float64(x[0])) || math.Abs(float64(x[0]-0.5)) > 1e-6 {
+		t.Fatalf("softmax unstable: %v", x)
+	}
+	Softmax(nil) // must not panic
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float32{1, 5, 3, 5}); got != 1 {
+		t.Fatalf("Argmax = %d, want 1 (first max)", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := MinMax([]float32{3, -1, 7, 0})
+	if mn != -1 || mx != 7 {
+		t.Fatalf("MinMax = %v, %v", mn, mx)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	if got := MeanAbsDiff([]float32{1, 2}, []float32{2, 4}); got != 1.5 {
+		t.Fatalf("MeanAbsDiff = %v", got)
+	}
+	if got := MeanAbsDiff(nil, nil); got != 0 {
+		t.Fatalf("MeanAbsDiff(nil) = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float32{3, 4}
+	Normalize(x)
+	if math.Abs(float64(Norm2(x)-1)) > 1e-6 {
+		t.Fatalf("Normalize norm = %v", Norm2(x))
+	}
+	z := []float32{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("Normalize mutated zero vector")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}

@@ -1,0 +1,219 @@
+// Package metrics implements the LongBench evaluation metrics of the
+// paper's Table I: token-level F1 (Qasper, TriviaQA), ROUGE (QMSum,
+// MultiNews, SAMSum), classification score (TREC) and edit similarity
+// (LCC, RepoBench-P). All metrics operate on word-token slices and return
+// scores in [0, 1]; experiment drivers rescale to the paper's 0–100 style.
+package metrics
+
+// Kind identifies which metric a dataset is scored with.
+type Kind int
+
+// Metric kinds, matching Table I.
+const (
+	F1 Kind = iota
+	Rouge
+	Classification
+	EditSim
+)
+
+func (k Kind) String() string {
+	switch k {
+	case F1:
+		return "F1"
+	case Rouge:
+		return "ROUGE-L"
+	case Classification:
+		return "Classification"
+	case EditSim:
+		return "EditSim"
+	}
+	return "Unknown"
+}
+
+// Score dispatches to the metric implementation.
+func Score(k Kind, pred, ref []string) float64 {
+	switch k {
+	case F1:
+		return TokenF1(pred, ref)
+	case Rouge:
+		return RougeL(pred, ref)
+	case Classification:
+		return ClassificationScore(pred, ref)
+	case EditSim:
+		return EditSimilarity(pred, ref)
+	default:
+		return 0
+	}
+}
+
+// TokenF1 is the SQuAD-style bag-of-tokens F1 between prediction and
+// reference.
+func TokenF1(pred, ref []string) float64 {
+	if len(pred) == 0 || len(ref) == 0 {
+		if len(pred) == 0 && len(ref) == 0 {
+			return 1
+		}
+		return 0
+	}
+	refCount := map[string]int{}
+	for _, w := range ref {
+		refCount[w]++
+	}
+	overlap := 0
+	for _, w := range pred {
+		if refCount[w] > 0 {
+			refCount[w]--
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		return 0
+	}
+	p := float64(overlap) / float64(len(pred))
+	r := float64(overlap) / float64(len(ref))
+	return 2 * p * r / (p + r)
+}
+
+// RougeN is the n-gram co-occurrence F1 (ROUGE-N).
+func RougeN(n int, pred, ref []string) float64 {
+	pg := ngrams(pred, n)
+	rg := ngrams(ref, n)
+	if len(pg) == 0 || len(rg) == 0 {
+		if len(pg) == 0 && len(rg) == 0 {
+			return 1
+		}
+		return 0
+	}
+	overlap := 0
+	for g, c := range pg {
+		if rc := rg[g]; rc > 0 {
+			if c < rc {
+				overlap += c
+			} else {
+				overlap += rc
+			}
+		}
+	}
+	if overlap == 0 {
+		return 0
+	}
+	p := float64(overlap) / float64(count(pg))
+	r := float64(overlap) / float64(count(rg))
+	return 2 * p * r / (p + r)
+}
+
+func ngrams(toks []string, n int) map[string]int {
+	out := map[string]int{}
+	for i := 0; i+n <= len(toks); i++ {
+		key := ""
+		for j := 0; j < n; j++ {
+			key += toks[i+j] + "\x00"
+		}
+		out[key]++
+	}
+	return out
+}
+
+func count(m map[string]int) int {
+	s := 0
+	for _, c := range m {
+		s += c
+	}
+	return s
+}
+
+// RougeL is the longest-common-subsequence F1 (ROUGE-L).
+func RougeL(pred, ref []string) float64 {
+	if len(pred) == 0 || len(ref) == 0 {
+		if len(pred) == 0 && len(ref) == 0 {
+			return 1
+		}
+		return 0
+	}
+	l := lcs(pred, ref)
+	if l == 0 {
+		return 0
+	}
+	p := float64(l) / float64(len(pred))
+	r := float64(l) / float64(len(ref))
+	return 2 * p * r / (p + r)
+}
+
+// lcs returns the longest common subsequence length (O(len(a)) memory).
+func lcs(a, b []string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// ClassificationScore is exact-match on the first predicted token, the
+// LongBench TREC convention (the answer is a single class label).
+func ClassificationScore(pred, ref []string) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	if pred[0] == ref[0] {
+		return 1
+	}
+	return 0
+}
+
+// EditSimilarity is 1 − normalized Levenshtein distance over tokens, the
+// LongBench code-completion similarity score.
+func EditSimilarity(pred, ref []string) float64 {
+	if len(pred) == 0 && len(ref) == 0 {
+		return 1
+	}
+	maxLen := len(pred)
+	if len(ref) > maxLen {
+		maxLen = len(ref)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(levenshtein(pred, ref))/float64(maxLen)
+}
+
+// levenshtein computes token-level edit distance (two-row DP).
+func levenshtein(a, b []string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rngx"
+)
+
+func w(s string) []string { return strings.Fields(s) }
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTokenF1(t *testing.T) {
+	cases := []struct {
+		pred, ref string
+		want      float64
+	}{
+		{"a b c", "a b c", 1},
+		{"a b", "c d", 0},
+		{"a b c d", "a b", 2 * 0.5 * 1.0 / 1.5}, // p=0.5 r=1
+		{"a a", "a", 2 * 0.5 * 1.0 / 1.5},       // multiset semantics
+		{"", "", 1},
+		{"", "a", 0},
+		{"a", "", 0},
+	}
+	for _, c := range cases {
+		if got := TokenF1(w(c.pred), w(c.ref)); !approx(got, c.want) {
+			t.Fatalf("F1(%q,%q) = %v, want %v", c.pred, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestRougeN(t *testing.T) {
+	if got := RougeN(2, w("a b c"), w("a b c")); !approx(got, 1) {
+		t.Fatalf("ROUGE-2 identical = %v", got)
+	}
+	if got := RougeN(2, w("a b x"), w("a b c")); got <= 0 || got >= 1 {
+		t.Fatalf("ROUGE-2 partial = %v, want in (0,1)", got)
+	}
+	if got := RougeN(2, w("a"), w("a")); !approx(got, 1) {
+		t.Fatalf("ROUGE-2 with no bigrams = %v, want 1 (both empty)", got)
+	}
+}
+
+func TestRougeL(t *testing.T) {
+	if got := RougeL(w("the cat sat"), w("the cat sat")); !approx(got, 1) {
+		t.Fatal("identical should be 1")
+	}
+	// LCS("a b c d", "a x c y") = "a c" (2); p=2/4, r=2/4 -> F1=0.5.
+	if got := RougeL(w("a b c d"), w("a x c y")); !approx(got, 0.5) {
+		t.Fatalf("RougeL = %v, want 0.5", got)
+	}
+	if got := RougeL(nil, w("a")); got != 0 {
+		t.Fatal("empty pred should be 0")
+	}
+}
+
+func TestClassificationScore(t *testing.T) {
+	if ClassificationScore(w("label3 junk"), w("label3")) != 1 {
+		t.Fatal("first-token match should score 1")
+	}
+	if ClassificationScore(w("label2"), w("label3")) != 0 {
+		t.Fatal("mismatch should score 0")
+	}
+	if ClassificationScore(nil, w("label3")) != 0 {
+		t.Fatal("empty pred should score 0")
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity(w("a b c"), w("a b c")); !approx(got, 1) {
+		t.Fatal("identical should be 1")
+	}
+	if got := EditSimilarity(w("a b c d"), w("a b x d")); !approx(got, 0.75) {
+		t.Fatalf("one substitution in four = %v, want 0.75", got)
+	}
+	if got := EditSimilarity(nil, nil); got != 1 {
+		t.Fatal("both empty should be 1")
+	}
+	if got := EditSimilarity(nil, w("a b")); got != 0 {
+		t.Fatalf("empty vs 2 tokens = %v, want 0", got)
+	}
+}
+
+func TestScoreDispatch(t *testing.T) {
+	pred, ref := w("a b"), w("a b")
+	for _, k := range []Kind{F1, Rouge, Classification, EditSim} {
+		if got := Score(k, pred, ref); !approx(got, 1) {
+			t.Fatalf("%v identical = %v", k, got)
+		}
+	}
+	if Score(Kind(99), pred, ref) != 0 {
+		t.Fatal("unknown kind should score 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if F1.String() != "F1" || Rouge.String() != "ROUGE-L" ||
+		Classification.String() != "Classification" || EditSim.String() != "EditSim" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(99).String() != "Unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+// Properties: all metrics are in [0,1], equal 1 on identity, and symmetric
+// where expected (F1, ROUGE are symmetric; edit similarity is symmetric).
+func randToks(r *rngx.RNG, n int) []string {
+	words := []string{"a", "b", "c", "d", "e"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.Intn(len(words))]
+	}
+	return out
+}
+
+func TestMetricProperties(t *testing.T) {
+	check := func(seed uint64, la, lb uint8) bool {
+		r := rngx.New(seed)
+		a := randToks(r, int(la)%12)
+		b := randToks(r, int(lb)%12)
+		for _, k := range []Kind{F1, Rouge, EditSim} {
+			s := Score(k, a, b)
+			if s < 0 || s > 1 {
+				return false
+			}
+			if !approx(Score(k, a, a), 1) {
+				return false
+			}
+			if !approx(s, Score(k, b, a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinKnown(t *testing.T) {
+	if d := levenshtein(w("kitten sits here"), w("sitting sits there")); d != 2 {
+		t.Fatalf("levenshtein = %d, want 2", d)
+	}
+	if d := levenshtein(nil, w("a b")); d != 2 {
+		t.Fatalf("levenshtein from empty = %d", d)
+	}
+}

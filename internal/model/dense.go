@@ -1,0 +1,187 @@
+package model
+
+// Dense-weights execution path.
+//
+// The main implementation specializes the constructed circuit: projection
+// matrices that are block-sparse selectors are applied as slice operations.
+// This file materializes the same circuit as explicit dense weight
+// matrices (Wq, Wk, Wv per layer over a residual stream) and runs
+// attention through tensor matmuls, so the specialization can be verified:
+// TestDenseMatchesFast asserts both paths produce identical KV rows and
+// identical generations.
+//
+// The residual stream is laid out as three stacked subspaces:
+//
+//	[ content (Dim) | prev-content (Dim) | position (Dim) ]
+//
+// Layer 0 reads queries from the position block (shifted by one), keys
+// from the position block, values from the content block, and writes its
+// output to the prev-content block. Layer 1 reads queries from content,
+// keys from prev-content, values from content.
+
+import (
+	"fmt"
+
+	"repro/internal/kvcache"
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// DenseModel executes the induction circuit through explicit weight
+// matrices. It is built from (and shares embeddings with) a Model.
+type DenseModel struct {
+	m *Model
+	// Per layer: projections from the 3*Dim residual stream to Dim-sized
+	// heads. Wq also folds the attention gain and inverse channel gains;
+	// Wk folds the channel gains.
+	wq, wk, wv [Layers]*tensor.Mat
+}
+
+// NewDense materializes the dense weights of m's circuit.
+func NewDense(m *Model) *DenseModel {
+	d := m.cfg.Dim
+	dm := &DenseModel{m: m}
+
+	// Block offsets within the residual stream.
+	const (
+		blkContent = 0
+		blkPrev    = 1
+		blkPos     = 2
+	)
+	sel := func(block int, scale []float32, gamma float32) *tensor.Mat {
+		w := tensor.New(d, 3*d)
+		for i := 0; i < d; i++ {
+			s := float32(1)
+			if scale != nil {
+				s = scale[i]
+			}
+			w.Set(i, block*d+i, s*gamma)
+		}
+		return w
+	}
+
+	// Layer 0: q from position block with inverse gains and gamma1
+	// (the position shift is applied to the input, as in the fast path),
+	// k from position block with channel gains, v from content.
+	dm.wq[0] = sel(blkPos, m.invGain, m.cfg.Gamma1)
+	dm.wk[0] = sel(blkPos, m.chGain, 1)
+	dm.wv[0] = sel(blkContent, nil, 1)
+	// Layer 1: q from content with inverse gains and gamma2, k from
+	// prev-content with channel gains, v from content.
+	dm.wq[1] = sel(blkContent, m.invGain, m.cfg.Gamma2)
+	dm.wk[1] = sel(blkPrev, m.chGain, 1)
+	dm.wv[1] = sel(blkContent, nil, 1)
+	return dm
+}
+
+// residual builds the pre-layer-0 residual stream for a token at a
+// position: content embedding, empty prev-content, and the *previous*
+// position's vector in the position-key slot paired with the own position
+// vector used for keys. To keep the stream a single vector (as in a real
+// transformer with relative-position keys), the query-side shift is
+// handled by writing pos(j-1) into the position block of the query input
+// and pos(j) into the key input.
+func (dm *DenseModel) residual(tok, pos int, posVec []float32) []float32 {
+	d := dm.m.cfg.Dim
+	r := make([]float32, 3*d)
+	copy(r[0:d], dm.m.emb[tok])
+	copy(r[2*d:3*d], posVec)
+	return r
+}
+
+// Prefill runs the dense path over the context and returns the KV builder.
+// The produced rows must match Model.Prefill exactly (up to float32
+// associativity, which is preserved because the same dot orders are used).
+func (dm *DenseModel) Prefill(context []int) (*kvcache.Builder, error) {
+	m := dm.m
+	if len(context) > m.cfg.MaxSeq {
+		return nil, fmt.Errorf("model: context length %d exceeds MaxSeq %d", len(context), m.cfg.MaxSeq)
+	}
+	cfg := m.CacheConfig()
+	b := kvcache.NewBuilder(cfg)
+	d := m.cfg.Dim
+	scores := make([]float32, 0, len(context))
+	for j, tok := range context {
+		if tok < 0 || tok >= len(m.emb) {
+			return nil, fmt.Errorf("model: token id %d out of vocabulary", tok)
+		}
+		b.BeginToken()
+
+		// Key/value input: residual with own position vector.
+		rin := dm.residual(tok, j, m.positionVec(j))
+		k0 := dm.wk[0].MulVec(rin)
+		if isSink(j) {
+			for i := 0; i < d; i += outlierChannelStride {
+				k0[i] += sinkSpike
+			}
+		}
+		v0 := dm.wv[0].MulVec(rin)
+		b.Append(0, 0, k0, v0)
+
+		// Query input: residual with the previous position's vector.
+		rq := dm.residual(tok, j, m.positionVec(j-1))
+		q0 := dm.wq[0].MulVec(rq)
+
+		scores = scores[:0]
+		for t := 0; t <= j; t++ {
+			scores = append(scores, mathx.Dot(q0, b.KRow(0, 0, t)))
+		}
+		mathx.Softmax(scores)
+		bvec := make([]float32, d)
+		for t := 0; t <= j; t++ {
+			mathx.Axpy(scores[t], b.VRow(0, 0, t), bvec)
+		}
+
+		// Layer-1 K/V from the post-layer-0 residual (prev block filled).
+		r1 := dm.residual(tok, j, m.positionVec(j))
+		copy(r1[d:2*d], bvec)
+		k1 := dm.wk[1].MulVec(r1)
+		if isSink(j) {
+			for i := 0; i < d; i += outlierChannelStride {
+				k1[i] += sinkSpike
+			}
+		}
+		b.Append(1, 0, k1, dm.wv[1].MulVec(r1))
+	}
+	return b, nil
+}
+
+// Generate mirrors Model.Generate on the dense path.
+func (dm *DenseModel) Generate(cache *kvcache.Cache, query []int, maxNew int) []int {
+	m := dm.m
+	d := m.cfg.Dim
+	pos := cache.ContextTokens()
+	bvec := make([]float32, d)
+	ovec := make([]float32, d)
+
+	step := func(tok int) int {
+		rq := dm.residual(tok, pos, m.positionVec(pos-1))
+		q0 := dm.wq[0].MulVec(rq)
+		cache.Attend(0, 0, q0, 1, bvec)
+
+		r1 := dm.residual(tok, pos, m.positionVec(pos))
+		copy(r1[d:2*d], bvec)
+		q1 := dm.wq[1].MulVec(r1)
+		cache.Attend(1, 0, q1, 1, ovec)
+
+		cache.BeginToken()
+		k0 := dm.wk[0].MulVec(r1)
+		cache.AppendTail(0, 0, k0, dm.wv[0].MulVec(r1))
+		k1 := dm.wk[1].MulVec(r1)
+		cache.AppendTail(1, 0, k1, dm.wv[1].MulVec(r1))
+		pos++
+		return m.Unembed(ovec)
+	}
+
+	next := -1
+	for _, tok := range query {
+		next = step(tok)
+	}
+	var out []int
+	eos := m.lex.EOSID()
+	for len(out) < maxNew && next != eos && next >= 0 {
+		out = append(out, next)
+		next = step(next)
+	}
+	return out
+}

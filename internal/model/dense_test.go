@@ -1,0 +1,89 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/rngx"
+)
+
+// TestDenseMatchesFastKV: the dense-weights path must produce exactly the
+// same KV rows as the specialized fast path.
+func TestDenseMatchesFastKV(t *testing.T) {
+	m := testModel(t)
+	dm := NewDense(m)
+	r := rngx.New(901)
+	ctx, _, _ := buildSample(r, m.Lexicon(), 256, 4, 2)
+
+	bf, err := m.Prefill(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := dm.Prefill(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.NumTokens() != bd.NumTokens() {
+		t.Fatalf("token counts differ: %d vs %d", bf.NumTokens(), bd.NumTokens())
+	}
+	for l := 0; l < Layers; l++ {
+		for tok := 0; tok < bf.NumTokens(); tok++ {
+			kf, kd := bf.KRow(l, 0, tok), bd.KRow(l, 0, tok)
+			vf, vd := bf.VRow(l, 0, tok), bd.VRow(l, 0, tok)
+			for i := range kf {
+				if kf[i] != kd[i] {
+					t.Fatalf("K row mismatch at layer %d token %d dim %d: %v vs %v", l, tok, i, kf[i], kd[i])
+				}
+				if vf[i] != vd[i] {
+					t.Fatalf("V row mismatch at layer %d token %d dim %d: %v vs %v", l, tok, i, vf[i], vd[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDenseMatchesFastGeneration: identical generations across both paths
+// under FP16 and under a mixed-precision plan.
+func TestDenseMatchesFastGeneration(t *testing.T) {
+	m := testModel(t)
+	dm := NewDense(m)
+	r := rngx.New(902)
+	for trial := 0; trial < 5; trial++ {
+		ctx, query, _ := buildSample(r, m.Lexicon(), 256, 4, 2)
+		for _, prec := range []kvcache.Precision{kvcache.FP16, kvcache.INT4} {
+			bf, err := m.Prefill(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd, err := dm.Prefill(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := kvcache.UniformPlan(len(ctx), 32, prec, true)
+			cf, err := bf.Seal(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := bd.Seal(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gf := m.Generate(cf, query, 16)
+			gd := dm.Generate(cd, query, 16)
+			if !equalIDs(gf, gd) {
+				t.Fatalf("trial %d prec %v: generations differ: %v vs %v", trial, prec, gf, gd)
+			}
+		}
+	}
+}
+
+func TestDensePrefillValidation(t *testing.T) {
+	m := testModel(t)
+	dm := NewDense(m)
+	if _, err := dm.Prefill(make([]int, m.Config().MaxSeq+1)); err == nil {
+		t.Fatal("expected MaxSeq error")
+	}
+	if _, err := dm.Prefill([]int{1 << 30}); err == nil {
+		t.Fatal("expected OOV error")
+	}
+}

@@ -1,0 +1,350 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/kvcache"
+	"repro/internal/rngx"
+)
+
+func testLex() *corpus.Lexicon {
+	return corpus.NewLexicon(corpus.Defaults(1))
+}
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := Registry(2048)[0]
+	m, err := New(cfg, testLex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildSample plants a needle "trigger a1 a2 a3 <eos>" into distractor text
+// and returns context, query and expected answer ids. If decoys > 0, spans
+// "synonym w1 w2 w3 <eos>" with wrong continuations are planted too.
+func buildSample(r *rngx.RNG, lex *corpus.Lexicon, nTokens, ansLen, decoys int) (ctx, query, answer []int) {
+	prose := lex.ProseTopics()
+	chunks, _ := lex.PassageChunks(r, nTokens/32, 32, prose)
+	for _, c := range chunks {
+		ctx = append(ctx, c...)
+	}
+	// Pick a trigger concept with at least two forms so decoys can
+	// paraphrase, and unique answer words from one topic.
+	var trigConcept int
+	for {
+		tp := prose[r.Intn(len(prose))]
+		cs := lex.TopicConcepts(tp)
+		trigConcept = cs[r.Intn(len(cs))]
+		if len(lex.FormsOf(trigConcept)) >= 2 {
+			break
+		}
+	}
+	trigForm := lex.FormsOf(trigConcept)[0]
+	ansTopic := prose[r.Intn(len(prose))]
+	used := map[int]bool{}
+	pick := func() int {
+		for {
+			c := lex.TopicConcepts(ansTopic)[r.Intn(len(lex.TopicConcepts(ansTopic)))]
+			id := lex.FormsOf(c)[0]
+			if !used[id] {
+				used[id] = true
+				return id
+			}
+		}
+	}
+	for i := 0; i < ansLen; i++ {
+		answer = append(answer, pick())
+	}
+	// Remove accidental occurrences of needle words from distractor text.
+	blocked := map[int]bool{}
+	for _, id := range lex.FormsOf(trigConcept) {
+		blocked[id] = true
+	}
+	for _, id := range answer {
+		blocked[id] = true
+	}
+	filler := lex.FunctionWordIDs()[0]
+	for i, id := range ctx {
+		if blocked[id] {
+			ctx[i] = filler
+		}
+	}
+	// Plant the needle at a random chunk-interior offset.
+	span := append([]int{trigForm}, answer...)
+	span = append(span, lex.EOSID())
+	pos := r.Intn(len(ctx) - len(span) - 64)
+	copy(ctx[pos:], span)
+	// Plant decoys using the alternate surface form and wrong answers
+	// (wrong words were reserved via used, so they are unique in context).
+	alt := lex.AlternateForm(r, trigConcept, trigForm)
+	for k := 0; k < decoys; k++ {
+		wrong := make([]int, 0, ansLen+2)
+		wrong = append(wrong, alt)
+		for i := 0; i < ansLen; i++ {
+			w := pick()
+			for j, id := range ctx {
+				if id == w {
+					ctx[j] = filler
+				}
+			}
+			wrong = append(wrong, w)
+		}
+		wrong = append(wrong, lex.EOSID())
+		dpos := r.Intn(len(ctx) - len(wrong))
+		if dpos < pos+len(span) && dpos+len(wrong) > pos { // avoid overlap
+			continue
+		}
+		copy(ctx[dpos:], wrong)
+	}
+	// Query: a few function words then the trigger (same surface form here;
+	// datasets exercise paraphrase via the encoder side).
+	query = []int{filler, lex.FunctionWordIDs()[1], trigForm}
+	return ctx, query, answer
+}
+
+func runSample(t *testing.T, m *Model, ctx, query []int, prec kvcache.Precision) []int {
+	t.Helper()
+	b, err := m.Prefill(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := m.CacheConfig()
+	cc.GroupSize = 32
+	cache, err := b.Seal(kvcache.UniformPlan(len(ctx), 32, prec, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cc
+	return m.Generate(cache, query, 16)
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Registry(128)[0]
+	cfg.TopicWeight = 0.9
+	if cfg.Validate() == nil {
+		t.Fatal("expected weight-sum error")
+	}
+	cfg = Registry(128)[0]
+	cfg.Dim = 0
+	if cfg.Validate() == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestEmbeddingStructure(t *testing.T) {
+	m := testModel(t)
+	lex := m.Lexicon()
+	// Find a two-form concept: synonyms should be much closer than
+	// random same-topic words.
+	for c := 0; c < lex.NumConcepts(); c++ {
+		forms := lex.FormsOf(c)
+		if len(forms) < 2 {
+			continue
+		}
+		synCos := cos(m.Embedding(forms[0]), m.Embedding(forms[1]))
+		if synCos < 0.6 || synCos > 0.98 {
+			t.Fatalf("synonym cos = %v, want within (0.6, 0.98)", synCos)
+		}
+		return
+	}
+	t.Fatal("no synonym found")
+}
+
+func cos(a, b []float32) float64 {
+	var num, na, nb float64
+	for i := range a {
+		num += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return num / math.Sqrt(na*nb)
+}
+
+func TestExactRecallFP16(t *testing.T) {
+	m := testModel(t)
+	r := rngx.New(100)
+	ok := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		ctx, query, answer := buildSample(r, m.Lexicon(), 512, 4, 0)
+		got := runSample(t, m, ctx, query, kvcache.FP16)
+		if equalIDs(got, answer) {
+			ok++
+		}
+	}
+	if ok < trials*9/10 {
+		t.Fatalf("FP16 recall %d/%d, want >= 90%%", ok, trials)
+	}
+}
+
+func TestINT4RecallNearFP16(t *testing.T) {
+	m := testModel(t)
+	r := rngx.New(200)
+	ok := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		ctx, query, answer := buildSample(r, m.Lexicon(), 512, 4, 3)
+		got := runSample(t, m, ctx, query, kvcache.INT4)
+		if equalIDs(got, answer) {
+			ok++
+		}
+	}
+	if ok < trials*6/10 {
+		t.Fatalf("INT4 recall %d/%d, want >= 60%%", ok, trials)
+	}
+}
+
+func TestINT2BreaksRecallWithDecoys(t *testing.T) {
+	m := testModel(t)
+	r := rngx.New(300)
+	okINT2, okFP16 := 0, 0
+	// Longer answers compound per-step INT2 failures (chained induction),
+	// mirroring the summarization datasets.
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		ctx, query, answer := buildSample(r, m.Lexicon(), 512, 6, 4)
+		if equalIDs(runSample(t, m, ctx, query, kvcache.INT2), answer) {
+			okINT2++
+		}
+		if equalIDs(runSample(t, m, ctx, query, kvcache.FP16), answer) {
+			okFP16++
+		}
+	}
+	if okINT2 >= okFP16 {
+		t.Fatalf("INT2 (%d/%d) should be below FP16 (%d/%d)", okINT2, trials, okFP16, trials)
+	}
+	if okFP16-okINT2 < trials/5 {
+		t.Fatalf("INT2 degradation too small: FP16 %d vs INT2 %d", okFP16, okINT2)
+	}
+}
+
+// TestMixedPlanProtectsNeedle: keeping only the needle chunk FP16 and
+// everything else INT2 must restore most of the accuracy — the core
+// Cocktail claim at model level.
+func TestMixedPlanProtectsNeedle(t *testing.T) {
+	m := testModel(t)
+	r := rngx.New(400)
+	okMixed, okINT2 := 0, 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		ctx, query, answer := buildSample(r, m.Lexicon(), 512, 4, 3)
+		b, err := m.Prefill(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle plan mirroring what Module I produces: chunks containing
+		// any form of the trigger concept (the needle and the synonym
+		// decoys, which a concept-aware encoder necessarily scores as
+		// relevant) stay FP16; everything else drops to INT2.
+		plan := kvcache.UniformPlan(len(ctx), 32, kvcache.INT2, true)
+		pos := findSubseq(ctx, answer)
+		if pos < 0 {
+			t.Fatal("answer span not found in context")
+		}
+		trigConcept := m.Lexicon().ConceptOf(query[len(query)-1])
+		for t2, id := range ctx {
+			inSpan := t2 >= pos-1 && t2 <= pos+len(answer)
+			if inSpan || m.Lexicon().ConceptOf(id) == trigConcept {
+				if c := t2 / 32; c < len(plan.ChunkPrec) {
+					plan.ChunkPrec[c] = kvcache.FP16
+				}
+			}
+		}
+		cache, err := b.Seal(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if equalIDs(m.Generate(cache, query, 16), answer) {
+			okMixed++
+		}
+		if equalIDs(runSample(t, m, ctx, query, kvcache.INT2), answer) {
+			okINT2++
+		}
+	}
+	if okMixed <= okINT2 {
+		t.Fatalf("oracle mixed plan (%d) should beat uniform INT2 (%d)", okMixed, okINT2)
+	}
+}
+
+// findSubseq returns the first index where needle appears in haystack.
+func findSubseq(haystack, needle []int) int {
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, v := range needle {
+			if haystack[i+j] != v {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+func TestGenerateStopsAtEOS(t *testing.T) {
+	m := testModel(t)
+	r := rngx.New(500)
+	ctx, query, answer := buildSample(r, m.Lexicon(), 512, 3, 0)
+	got := runSample(t, m, ctx, query, kvcache.FP16)
+	if len(got) > len(answer)+2 {
+		t.Fatalf("generation did not stop near EOS: %d tokens", len(got))
+	}
+	for _, id := range got {
+		if id == m.Lexicon().EOSID() {
+			t.Fatal("EOS id leaked into output")
+		}
+	}
+}
+
+func TestPrefillRejectsTooLong(t *testing.T) {
+	cfg := Registry(64)[0]
+	m, err := New(cfg, testLex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Prefill(make([]int, 65)); err == nil {
+		t.Fatal("expected MaxSeq error")
+	}
+}
+
+func TestPrefillRejectsBadToken(t *testing.T) {
+	m := testModel(t)
+	if _, err := m.Prefill([]int{0, 1, 1 << 30}); err == nil {
+		t.Fatal("expected OOV error")
+	}
+}
+
+func TestRegistryModelsDistinct(t *testing.T) {
+	regs := Registry(1024)
+	if len(regs) != 4 {
+		t.Fatalf("Registry has %d entries", len(regs))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range regs {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", cfg.Name, err)
+		}
+		if seen[cfg.Name] {
+			t.Fatal("duplicate model name")
+		}
+		seen[cfg.Name] = true
+	}
+}

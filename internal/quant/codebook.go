@@ -1,0 +1,166 @@
+package quant
+
+import (
+	"sort"
+
+	"repro/internal/f16"
+)
+
+// FitCodebook learns a non-uniform codebook from sample data with
+// Lloyd-Max (k-means in 1-D): levels are placed to minimize mean squared
+// error on the empirical distribution, then normalized to [0,1] for use
+// with Config.Codebook. This is the data-dependent alternative to the
+// fixed Gaussian-quantile codebook (KVQuant fits its nuqX levels offline
+// on calibration data in the same way).
+//
+// The returned codebook is strictly increasing. iters Lloyd iterations are
+// run (8 is plenty for 1-D); samples must contain at least 2^bits distinct
+// values or the uniform grid is returned.
+func FitCodebook(bits Bits, samples []float32, iters int) []float32 {
+	n := bits.Levels()
+	if len(samples) < n {
+		return uniformGrid(n)
+	}
+	sorted := make([]float64, len(samples))
+	for i, v := range samples {
+		sorted[i] = float64(v)
+	}
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi == lo {
+		return uniformGrid(n)
+	}
+
+	// Initialize at quantiles of the empirical distribution.
+	levels := make([]float64, n)
+	for i := range levels {
+		q := (float64(i) + 0.5) / float64(n)
+		levels[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+
+	assignSum := make([]float64, n)
+	assignCnt := make([]int, n)
+	for it := 0; it < iters; it++ {
+		for i := range assignSum {
+			assignSum[i], assignCnt[i] = 0, 0
+		}
+		// Assign each sample to its nearest level (two-pointer sweep over
+		// the sorted samples and sorted levels).
+		li := 0
+		for _, v := range sorted {
+			for li+1 < n && levels[li+1]-v < v-levels[li] {
+				li++
+			}
+			assignSum[li] += v
+			assignCnt[li]++
+		}
+		for i := range levels {
+			if assignCnt[i] > 0 {
+				levels[i] = assignSum[i] / float64(assignCnt[i])
+			}
+		}
+		sort.Float64s(levels) // guard against collapsed levels reordering
+	}
+
+	// Normalize to [0,1] and enforce strict monotonicity.
+	cb := make([]float32, n)
+	span := levels[n-1] - levels[0]
+	if span == 0 {
+		return uniformGrid(n)
+	}
+	for i := range cb {
+		cb[i] = float32((levels[i] - levels[0]) / span)
+	}
+	for i := 1; i < n; i++ {
+		if cb[i] <= cb[i-1] {
+			cb[i] = cb[i-1] + 1e-6
+		}
+	}
+	cb[n-1] = 1
+	cb[0] = 0
+	return cb
+}
+
+func uniformGrid(n int) []float32 {
+	cb := make([]float32, n)
+	for i := range cb {
+		cb[i] = float32(i) / float32(n-1)
+	}
+	return cb
+}
+
+// SymmetricRange reports, per group, the symmetric [-m, +m] envelope that
+// SymmetricQuantize uses (m = max|x| over the group).
+//
+// SymmetricQuantize quantizes with a symmetric grid: zero-point fixed at
+// -m and range [-m, +m], so the grid is centered on zero. Symmetric grids
+// waste range on skewed data (the design-choice ablation in bench_test.go
+// measures the cost) but real kernels like them because the zero-point
+// multiply disappears. Implemented by clamping each group's data envelope
+// to its symmetric hull and reusing the shared quantization machinery.
+func SymmetricQuantize(data []float32, rows, cols int, cfg Config) *Tensor {
+	if len(data) != rows*cols {
+		panic("quant: data length mismatch")
+	}
+	g := cfg.GroupSize
+	if g <= 0 {
+		g = DefaultGroupSize
+	}
+	// Compute per-group max|x| using a scratch tensor for group geometry.
+	probe := &Tensor{Bits: cfg.Bits, Rows: rows, Cols: cols, Axis: cfg.Axis, GroupSize: g}
+	ng := probe.numGroups()
+	m := make([]float32, ng)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			gi := probe.groupIndex(i, j)
+			v := data[i*cols+j]
+			if v < 0 {
+				v = -v
+			}
+			if v > m[gi] {
+				m[gi] = v
+			}
+		}
+	}
+	if !cfg.Bits.valid() {
+		panic("quant: unsupported bitwidth")
+	}
+	t := &Tensor{
+		Bits: cfg.Bits, Rows: rows, Cols: cols,
+		Axis: cfg.Axis, GroupSize: g,
+		codes:    make([]byte, (rows*cols*int(cfg.Bits)+7)/8),
+		codebook: cfg.Codebook,
+	}
+	t.scales = make([]f16.F16, ng)
+	t.zeros = make([]f16.F16, ng)
+	maxCode := float32(cfg.Bits.Levels() - 1)
+	for gi := 0; gi < ng; gi++ {
+		t.scales[gi] = f16.From32(2 * m[gi] / maxCode)
+		t.zeros[gi] = f16.From32(-m[gi])
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			gi := t.groupIndex(i, j)
+			scale := f16.To32(t.scales[gi])
+			zero := f16.To32(t.zeros[gi])
+			v := data[i*cols+j]
+			var code int
+			if scale == 0 {
+				code = 0
+			} else if t.codebook != nil {
+				code = nearestLevel(t.codebook, (v-zero)/(scale*maxCode))
+			} else {
+				c := (v-zero)/scale + 0.5
+				if c < 0 {
+					c = 0
+				}
+				if c > maxCode {
+					c = maxCode
+				}
+				code = int(c)
+			}
+			t.setCode(i*cols+j, code)
+		}
+	}
+	return t
+}

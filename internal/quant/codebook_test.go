@@ -1,0 +1,116 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rngx"
+)
+
+func TestFitCodebookShape(t *testing.T) {
+	r := rngx.New(1)
+	samples := r.GaussianVec(4096, 1)
+	cb := FitCodebook(INT4, samples, 8)
+	if len(cb) != 16 || cb[0] != 0 || cb[15] != 1 {
+		t.Fatalf("codebook malformed: %v", cb)
+	}
+	for i := 1; i < len(cb); i++ {
+		if cb[i] <= cb[i-1] {
+			t.Fatal("codebook not strictly increasing")
+		}
+	}
+}
+
+// TestFittedBeatsGaussianOnSkewedData: on a bimodal/skewed distribution
+// the fitted codebook must beat the fixed Gaussian-quantile one.
+func TestFittedBeatsGaussianOnSkewedData(t *testing.T) {
+	r := rngx.New(2)
+	n, d := 256, 32
+	data := make([]float32, n*d)
+	for i := range data {
+		// Bimodal: a narrow spike at 0 and a cluster near 3.
+		if r.Float64() < 0.7 {
+			data[i] = r.NormFloat32() * 0.05
+		} else {
+			data[i] = 3 + r.NormFloat32()*0.1
+		}
+	}
+	fitted := FitCodebook(INT2, data, 8)
+	qf := Quantize(data, n, d, Config{Bits: INT2, Codebook: fitted, GroupSize: 32})
+	qg := Quantize(data, n, d, Config{Bits: INT2, Codebook: GaussianCodebook(INT2), GroupSize: 32})
+	ef := mathx.MeanAbsDiff(qf.Dequantize(), data)
+	eg := mathx.MeanAbsDiff(qg.Dequantize(), data)
+	if ef >= eg {
+		t.Fatalf("fitted error %v not below Gaussian %v on bimodal data", ef, eg)
+	}
+}
+
+func TestFitCodebookDegenerate(t *testing.T) {
+	if cb := FitCodebook(INT2, []float32{1}, 4); len(cb) != 4 {
+		t.Fatal("short input should fall back to uniform grid")
+	}
+	same := []float32{2, 2, 2, 2, 2, 2}
+	cb := FitCodebook(INT2, same, 4)
+	if cb[0] != 0 || cb[3] != 1 {
+		t.Fatalf("constant input should fall back to uniform: %v", cb)
+	}
+}
+
+func TestSymmetricQuantizeCentered(t *testing.T) {
+	r := rngx.New(3)
+	n, d := 64, 32
+	data := r.GaussianVec(n*d, 1)
+	q := SymmetricQuantize(data, n, d, Config{Bits: INT4, GroupSize: 32})
+	// Round trip error bounded by one step (2*max/(levels-1)).
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			got, want := q.At(i, j), data[i*d+j]
+			if math.Abs(float64(got-want)) > 0.5 {
+				t.Fatalf("symmetric reconstruction too lossy at (%d,%d): %v vs %v", i, j, got, want)
+			}
+		}
+	}
+	// Zero inputs reconstruct near zero (grid is centered).
+	zero := make([]float32, 32)
+	zero[0] = 1 // non-degenerate range
+	qz := SymmetricQuantize(zero, 1, 32, Config{Bits: INT8, GroupSize: 32})
+	if math.Abs(float64(qz.At(0, 5))) > 0.01 {
+		t.Fatalf("zero not representable on symmetric INT8 grid: %v", qz.At(0, 5))
+	}
+}
+
+// TestAsymmetricBeatsSymmetricOnSkewedData: the design choice the main
+// implementation makes (asymmetric min/max grids) must pay off on skewed
+// groups.
+func TestAsymmetricBeatsSymmetricOnSkewedData(t *testing.T) {
+	r := rngx.New(4)
+	n, d := 128, 32
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = 2 + r.NormFloat32()*0.3 // all-positive, far from zero
+	}
+	qa := Quantize(data, n, d, Config{Bits: INT4, GroupSize: 32})
+	qs := SymmetricQuantize(data, n, d, Config{Bits: INT4, GroupSize: 32})
+	ea := mathx.MeanAbsDiff(qa.Dequantize(), data)
+	es := mathx.MeanAbsDiff(qs.Dequantize(), data)
+	if ea >= es {
+		t.Fatalf("asymmetric error %v not below symmetric %v on skewed data", ea, es)
+	}
+}
+
+func TestSymmetricDotRowConsistent(t *testing.T) {
+	r := rngx.New(5)
+	n, d := 16, 32
+	data := r.GaussianVec(n*d, 1)
+	q := SymmetricQuantize(data, n, d, Config{Bits: INT4, GroupSize: 16})
+	qv := r.GaussianVec(d, 1)
+	row := make([]float32, d)
+	for i := 0; i < n; i++ {
+		q.DequantRowInto(row, i)
+		want := mathx.Dot(qv, row)
+		if got := q.DotRow(qv, i); math.Abs(float64(got-want)) > 1e-3 {
+			t.Fatalf("DotRow mismatch on symmetric tensor: %v vs %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/rngx"
+)
+
+func gaussData(seed uint64, rows, cols int) []float32 {
+	return rngx.New(seed).GaussianVec(rows*cols, 1)
+}
+
+func TestRoundTripErrorBoundUniform(t *testing.T) {
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		for _, axis := range []Axis{PerToken, PerChannel} {
+			rows, cols := 37, 48 // non-divisible by group on the token axis
+			data := gaussData(uint64(bits), rows, cols)
+			q := Quantize(data, rows, cols, Config{Bits: bits, Axis: axis, GroupSize: 16})
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					got := q.At(i, j)
+					want := data[i*cols+j]
+					// Bound: uniform step/2 plus FP16 rounding of scale/zero.
+					bound := float64(q.MaxGroupError())*1.01 + 1e-3
+					if math.Abs(float64(got-want)) > bound {
+						t.Fatalf("bits=%d axis=%v (%d,%d): |%v-%v| > %v",
+							bits, axis, i, j, got, want, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHigherBitsLowerError(t *testing.T) {
+	data := gaussData(7, 64, 64)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		q := Quantize(data, 64, 64, Config{Bits: bits})
+		err := mathx.MeanAbsDiff(q.Dequantize(), data)
+		if err >= prev {
+			t.Fatalf("bits=%d error %v not below previous %v", bits, err, prev)
+		}
+		prev = err
+	}
+}
+
+func TestDequantRowMatchesAt(t *testing.T) {
+	data := gaussData(3, 10, 20)
+	q := Quantize(data, 10, 20, Config{Bits: INT4, GroupSize: 8})
+	row := make([]float32, 20)
+	for i := 0; i < 10; i++ {
+		q.DequantRowInto(row, i)
+		for j := 0; j < 20; j++ {
+			if row[j] != q.At(i, j) {
+				t.Fatalf("row dequant disagrees at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestDotRowMatchesDequantDot: the fused kernel must agree with
+// dequantize-then-dot for all bitwidths, axes and codebooks.
+func TestDotRowMatchesDequantDot(t *testing.T) {
+	r := rngx.New(11)
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		for _, axis := range []Axis{PerToken, PerChannel} {
+			for _, cb := range [][]float32{nil, GaussianCodebook(bits)} {
+				rows, cols := 9, 33
+				data := gaussData(uint64(bits)+100, rows, cols)
+				q := Quantize(data, rows, cols, Config{Bits: bits, Axis: axis, GroupSize: 16, Codebook: cb})
+				qv := r.GaussianVec(cols, 1)
+				row := make([]float32, cols)
+				for i := 0; i < rows; i++ {
+					q.DequantRowInto(row, i)
+					want := mathx.Dot(qv, row)
+					got := q.DotRow(qv, i)
+					if math.Abs(float64(got-want)) > 1e-3 {
+						t.Fatalf("bits=%d axis=%v cb=%v row=%d: %v != %v", bits, axis, cb != nil, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScoresIntoMatchesDotRow(t *testing.T) {
+	r := rngx.New(13)
+	data := gaussData(5, 12, 16)
+	q := Quantize(data, 12, 16, Config{Bits: INT4})
+	qv := r.GaussianVec(16, 1)
+	dst := make([]float32, 12)
+	q.ScoresInto(dst, qv)
+	for i := range dst {
+		if dst[i] != q.DotRow(qv, i) {
+			t.Fatalf("ScoresInto disagrees at %d", i)
+		}
+	}
+}
+
+func TestAxpyRowMatchesDequant(t *testing.T) {
+	data := gaussData(17, 6, 24)
+	q := Quantize(data, 6, 24, Config{Bits: INT2, GroupSize: 8})
+	dst := make([]float32, 24)
+	q.AxpyRow(dst, 0.5, 3)
+	row := make([]float32, 24)
+	q.DequantRowInto(row, 3)
+	for j := range dst {
+		if math.Abs(float64(dst[j]-0.5*row[j])) > 1e-6 {
+			t.Fatalf("AxpyRow wrong at %d", j)
+		}
+	}
+}
+
+func TestPerChannelBeatsPerTokenOnChannelStructure(t *testing.T) {
+	// Build data whose channels have very different scales: per-channel
+	// grouping should then quantize with lower error than per-token
+	// grouping — the KIVI observation for K caches.
+	r := rngx.New(23)
+	rows, cols := 64, 32
+	data := make([]float32, rows*cols)
+	for j := 0; j < cols; j++ {
+		chScale := float32(math.Pow(10, float64(j%4)-2)) // 0.01 .. 10
+		for i := 0; i < rows; i++ {
+			data[i*cols+j] = r.NormFloat32() * chScale
+		}
+	}
+	qc := Quantize(data, rows, cols, Config{Bits: INT4, Axis: PerChannel, GroupSize: 32})
+	qt := Quantize(data, rows, cols, Config{Bits: INT4, Axis: PerToken, GroupSize: 32})
+	errC := mathx.MeanAbsDiff(qc.Dequantize(), data)
+	errT := mathx.MeanAbsDiff(qt.Dequantize(), data)
+	if errC >= errT {
+		t.Fatalf("per-channel error %v not below per-token %v", errC, errT)
+	}
+}
+
+func TestCodebookBeatsUniformOnGaussian(t *testing.T) {
+	data := gaussData(29, 128, 32)
+	nu := Quantize(data, 128, 32, Config{Bits: INT4, Codebook: GaussianCodebook(INT4), GroupSize: 128})
+	un := Quantize(data, 128, 32, Config{Bits: INT4, GroupSize: 128})
+	errN := mathx.MeanAbsDiff(nu.Dequantize(), data)
+	errU := mathx.MeanAbsDiff(un.Dequantize(), data)
+	if errN >= errU {
+		t.Fatalf("nuq error %v not below uniform %v on Gaussian data", errN, errU)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	rows, cols, g := 64, 64, 32
+	for _, tc := range []struct {
+		bits Bits
+		want int
+	}{
+		{INT2, 64*64/4 + 4*(64*2)*2/2*2}, // codes + scales/zeros fp16
+		{INT4, 64 * 64 / 2},
+		{INT8, 64 * 64},
+	} {
+		q := Quantize(make([]float32, rows*cols), rows, cols, Config{Bits: tc.bits, GroupSize: g})
+		ng := rows * (cols / g)
+		wantBytes := rows*cols*int(tc.bits)/8 + 4*ng
+		if q.Bytes() != wantBytes {
+			t.Fatalf("bits=%d Bytes() = %d, want %d", tc.bits, q.Bytes(), wantBytes)
+		}
+	}
+}
+
+func TestConstantGroupIsExact(t *testing.T) {
+	data := make([]float32, 32)
+	for i := range data {
+		data[i] = 3.25 // exactly representable in FP16
+	}
+	q := Quantize(data, 1, 32, Config{Bits: INT2})
+	for j := 0; j < 32; j++ {
+		if q.At(0, j) != 3.25 {
+			t.Fatalf("constant group not exact: %v", q.At(0, j))
+		}
+	}
+}
+
+func TestEmptyTensor(t *testing.T) {
+	q := Quantize(nil, 0, 16, Config{Bits: INT4})
+	if q.Bytes() != 0 || len(q.Dequantize()) != 0 {
+		t.Fatal("empty tensor should have zero footprint")
+	}
+}
+
+func TestGaussianCodebookShape(t *testing.T) {
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		cb := GaussianCodebook(bits)
+		if len(cb) != bits.Levels() {
+			t.Fatalf("codebook size %d", len(cb))
+		}
+		if cb[0] != 0 || cb[len(cb)-1] != 1 {
+			t.Fatalf("codebook not normalized: %v..%v", cb[0], cb[len(cb)-1])
+		}
+		for i := 1; i < len(cb); i++ {
+			if cb[i] <= cb[i-1] {
+				t.Fatal("codebook not strictly increasing")
+			}
+		}
+		// Non-uniform: center gaps smaller than edge gaps.
+		n := len(cb)
+		if n >= 8 && cb[n/2]-cb[n/2-1] >= cb[1]-cb[0] {
+			t.Fatal("Gaussian codebook should be denser near the center")
+		}
+	}
+}
+
+// Property: quantization never produces values outside the group's
+// [min - eps, max + eps] envelope.
+func TestQuantStaysInEnvelope(t *testing.T) {
+	check := func(seed uint64) bool {
+		data := gaussData(seed, 8, 16)
+		q := Quantize(data, 8, 16, Config{Bits: INT2, GroupSize: 8})
+		mn, mx := mathx.MinMax(data)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 16; j++ {
+				v := q.At(i, j)
+				if v < mn-0.02 || v > mx+0.02 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantize(make([]float32, 4), 2, 3, Config{Bits: INT4}) },                            // bad len
+		func() { Quantize(make([]float32, 4), 2, 2, Config{Bits: 3}) },                               // bad bits
+		func() { Quantize(make([]float32, 4), 2, 2, Config{Bits: INT4, Codebook: []float32{0, 1}}) }, // bad cb size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNearestLevel(t *testing.T) {
+	cb := []float32{0, 0.4, 0.6, 1}
+	cases := []struct {
+		x    float32
+		want int
+	}{{-1, 0}, {0.19, 0}, {0.21, 1}, {0.5, 1}, {0.51, 2}, {0.9, 3}, {2, 3}}
+	for _, c := range cases {
+		if got := nearestLevel(cb, c.x); got != c.want {
+			t.Fatalf("nearestLevel(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

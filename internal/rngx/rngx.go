@@ -1,0 +1,135 @@
+// Package rngx provides a small, deterministic pseudo-random number
+// generator used by every stochastic component of the reproduction.
+//
+// All experiments in this repository must be bit-reproducible across runs
+// and platforms, so we avoid math/rand's global state and use an explicit
+// SplitMix64 generator. SplitMix64 is statistically strong enough for
+// synthetic-data generation and has a trivial, portable implementation.
+package rngx
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random generator.
+// The zero value is a valid generator seeded with 0; prefer New.
+type RNG struct {
+	state uint64
+	// spare holds a cached second Gaussian variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent child generator from the current state and a
+// label. The parent's stream is not advanced, so components can derive
+// stable sub-streams regardless of call order.
+func (r *RNG) Split(label uint64) *RNG {
+	return New(mix(r.state ^ mix(label)))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rngx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Norm returns a standard normal variate (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// NormFloat32 returns a standard normal variate as float32.
+func (r *RNG) NormFloat32() float32 { return float32(r.Norm()) }
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly chosen element of xs. It panics on empty input.
+func Choice[T any](r *RNG, xs []T) T {
+	if len(xs) == 0 {
+		panic("rngx: Choice of empty slice")
+	}
+	return xs[r.Intn(len(xs))]
+}
+
+// GaussianVec fills a fresh vector of length n with N(0, sigma^2) entries.
+func (r *RNG) GaussianVec(n int, sigma float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.Norm() * sigma)
+	}
+	return v
+}
+
+// HashString maps a string deterministically to 64 bits (FNV-1a variant
+// finished with SplitMix64's avalanche). It is used to derive stable
+// per-word embedding seeds without any global table.
+func HashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return mix(h)
+}

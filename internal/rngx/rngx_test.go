@@ -1,0 +1,178 @@
+package rngx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split(1)
+	c2 := r.Split(2)
+	c1again := r.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split is not stable for the same label")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("Split children with different labels coincide")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean too far from 0: %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance too far from 1: %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(5)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestChoice(t *testing.T) {
+	r := New(13)
+	xs := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Choice(r, xs)]++
+	}
+	for _, s := range xs {
+		if counts[s] < 500 {
+			t.Fatalf("choice badly skewed: %v", counts)
+		}
+	}
+}
+
+func TestGaussianVec(t *testing.T) {
+	v := New(17).GaussianVec(10000, 2.0)
+	var sumsq float64
+	for _, x := range v {
+		sumsq += float64(x) * float64(x)
+	}
+	sd := math.Sqrt(sumsq / float64(len(v)))
+	if math.Abs(sd-2.0) > 0.1 {
+		t.Fatalf("sd = %v, want ~2.0", sd)
+	}
+}
+
+func TestHashStringStableAndSpread(t *testing.T) {
+	if HashString("hello") != HashString("hello") {
+		t.Fatal("HashString not deterministic")
+	}
+	seen := map[uint64]bool{}
+	words := []string{"a", "b", "ab", "ba", "hello", "world", "", "x", "xx", "xxx"}
+	for _, w := range words {
+		h := HashString(w)
+		if seen[h] {
+			t.Fatalf("collision for %q", w)
+		}
+		seen[h] = true
+	}
+}

@@ -1,0 +1,129 @@
+// Package search implements the paper's Module I: chunk-level quantization
+// search. The context is split into fixed-size chunks, every chunk is
+// scored against the query by a retrieval encoder (Eq. 1), two thresholds
+// derived from hyperparameters α and β (Eq. 2–3) split the score range into
+// three bands, and each band maps to a precision:
+//
+//	score > T_high          → FP16
+//	T_low <= score <= T_high → INT4
+//	score < T_low           → INT2
+//
+// The output is a kvcache.Plan, optionally with Module II reordering.
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/encoder"
+	"repro/internal/kvcache"
+)
+
+// Config holds the Module I hyperparameters.
+type Config struct {
+	// Alpha positions T_low within the score range (Eq. 2); larger α sends
+	// more chunks to the Low precision.
+	Alpha float64
+	// Beta positions T_high within the score range (Eq. 3); larger β keeps
+	// more chunks at the High precision.
+	Beta float64
+	// ChunkSize is the tokens-per-chunk granularity.
+	ChunkSize int
+	// Low/Mid/High are the precisions of the three bands. Zero values mean
+	// the paper's INT2/INT4/FP16.
+	Low, Mid, High kvcache.Precision
+	// Reorder enables Module II chunk reordering in the produced plan.
+	Reorder bool
+}
+
+// Default returns the paper's operating point: α=0.6, β=0.1, chunk size 32,
+// INT2/INT4/FP16 bands, reordering on.
+func Default() Config {
+	return Config{
+		Alpha: 0.6, Beta: 0.1, ChunkSize: 32,
+		Low: kvcache.INT2, Mid: kvcache.INT4, High: kvcache.FP16,
+		Reorder: true,
+	}
+}
+
+// Validate checks hyperparameter sanity.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 || c.Beta < 0 || c.Beta > 1 {
+		return fmt.Errorf("search: alpha/beta must be in [0,1], got %v/%v", c.Alpha, c.Beta)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("search: ChunkSize must be positive")
+	}
+	return nil
+}
+
+// Result is the outcome of one quantization search.
+type Result struct {
+	// Scores holds the per-chunk similarity scores.
+	Scores []float64
+	// TLow and THigh are the thresholds computed by Eq. 2–3.
+	TLow, THigh float64
+	// Plan is the resulting per-chunk precision assignment.
+	Plan *kvcache.Plan
+}
+
+// Chunks splits ctx into full ChunkSize-sized chunks (the indivisible tail,
+// which the plan keeps FP16, is not scored, as in the paper).
+func Chunks(ctx []int, chunkSize int) [][]int {
+	n := len(ctx) / chunkSize
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = ctx[i*chunkSize : (i+1)*chunkSize]
+	}
+	return out
+}
+
+// Run performs the chunk-level quantization search for one (context, query)
+// pair and returns the scores, thresholds and plan.
+func Run(enc encoder.Encoder, ctx, query []int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chunks := Chunks(ctx, cfg.ChunkSize)
+	scores := enc.Similarities(query, chunks)
+	tlow, thigh := Thresholds(scores, cfg.Alpha, cfg.Beta)
+
+	plan := &kvcache.Plan{
+		NumTokens: len(ctx),
+		ChunkSize: cfg.ChunkSize,
+		ChunkPrec: make([]kvcache.Precision, len(chunks)),
+		Reorder:   cfg.Reorder,
+	}
+	for i, s := range scores {
+		switch {
+		case s > thigh:
+			plan.ChunkPrec[i] = cfg.High
+		case s < tlow:
+			plan.ChunkPrec[i] = cfg.Low
+		default:
+			plan.ChunkPrec[i] = cfg.Mid
+		}
+	}
+	return &Result{Scores: scores, TLow: tlow, THigh: thigh, Plan: plan}, nil
+}
+
+// Thresholds computes T_low and T_high per the paper's Eq. 2–3:
+//
+//	T_low  = s_min + (s_max − s_min)·α
+//	T_high = s_max − (s_max − s_min)·β
+//
+// With an empty score list both thresholds are zero.
+func Thresholds(scores []float64, alpha, beta float64) (tlow, thigh float64) {
+	if len(scores) == 0 {
+		return 0, 0
+	}
+	smin, smax := scores[0], scores[0]
+	for _, s := range scores[1:] {
+		if s < smin {
+			smin = s
+		}
+		if s > smax {
+			smax = s
+		}
+	}
+	return smin + (smax-smin)*alpha, smax - (smax-smin)*beta
+}

@@ -1,0 +1,182 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/kvcache"
+	"repro/internal/rngx"
+)
+
+// fakeEncoder returns preset scores regardless of input.
+type fakeEncoder struct{ scores []float64 }
+
+func (f fakeEncoder) Name() string { return "fake" }
+func (f fakeEncoder) Similarities(query []int, chunks [][]int) []float64 {
+	out := make([]float64, len(chunks))
+	copy(out, f.scores)
+	return out
+}
+
+func TestThresholdsEquations(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.9}
+	tlow, thigh := Thresholds(scores, 0.25, 0.125)
+	if math.Abs(tlow-0.3) > 1e-12 || math.Abs(thigh-0.8) > 1e-12 {
+		t.Fatalf("thresholds = %v, %v; want 0.3, 0.8", tlow, thigh)
+	}
+}
+
+func TestThresholdsDegenerate(t *testing.T) {
+	tlow, thigh := Thresholds(nil, 0.5, 0.5)
+	if tlow != 0 || thigh != 0 {
+		t.Fatal("empty scores should give zero thresholds")
+	}
+	tlow, thigh = Thresholds([]float64{0.4, 0.4}, 0.6, 0.1)
+	if tlow != 0.4 || thigh != 0.4 {
+		t.Fatalf("constant scores: %v, %v", tlow, thigh)
+	}
+}
+
+// Property: T_low <= T_high whenever alpha + beta <= 1.
+func TestThresholdOrderProperty(t *testing.T) {
+	check := func(seed uint64, aRaw, bRaw uint8) bool {
+		alpha := float64(aRaw) / 255
+		beta := (1 - alpha) * float64(bRaw) / 255
+		r := rngx.New(seed)
+		scores := make([]float64, 1+r.Intn(30))
+		for i := range scores {
+			scores[i] = r.Float64()
+		}
+		tlow, thigh := Thresholds(scores, alpha, beta)
+		return tlow <= thigh+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBandAssignment(t *testing.T) {
+	// Scores 0..0.9: alpha=0.5 -> tlow=0.45, beta=0.2 -> thigh=0.72.
+	scores := []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	cfg := Default()
+	cfg.Alpha, cfg.Beta = 0.5, 0.2
+	ctx := make([]int, 10*cfg.ChunkSize)
+	res, err := Run(fakeEncoder{scores}, ctx, []int{1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []kvcache.Precision{
+		kvcache.INT2, kvcache.INT2, kvcache.INT2, kvcache.INT2, kvcache.INT2,
+		kvcache.INT4, kvcache.INT4, kvcache.INT4,
+		kvcache.FP16, kvcache.FP16,
+	}
+	for i, p := range res.Plan.ChunkPrec {
+		if p != want[i] {
+			t.Fatalf("chunk %d = %v, want %v (tlow=%v thigh=%v)", i, p, want[i], res.TLow, res.THigh)
+		}
+	}
+	if !res.Plan.Reorder {
+		t.Fatal("Default config should enable reordering")
+	}
+}
+
+func TestRunAlphaMonotonicity(t *testing.T) {
+	// More alpha -> at least as many INT2 chunks.
+	scores := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75}
+	ctx := make([]int, 8*32)
+	prev := -1
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cfg := Default()
+		cfg.Alpha = alpha
+		res, err := Run(fakeEncoder{scores}, ctx, []int{1}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := res.Plan.Counts()[kvcache.INT2]
+		if n < prev {
+			t.Fatalf("INT2 count decreased from %d to %d at alpha=%v", prev, n, alpha)
+		}
+		prev = n
+	}
+}
+
+func TestRunBetaMonotonicity(t *testing.T) {
+	scores := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75}
+	ctx := make([]int, 8*32)
+	prev := -1
+	for _, beta := range []float64{0.05, 0.15, 0.3, 0.5} {
+		cfg := Default()
+		cfg.Beta = beta
+		res, err := Run(fakeEncoder{scores}, ctx, []int{1}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := res.Plan.Counts()[kvcache.FP16]
+		if n < prev {
+			t.Fatalf("FP16 count decreased to %d at beta=%v", n, beta)
+		}
+		prev = n
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Alpha = 2
+	if _, err := Run(fakeEncoder{}, make([]int, 64), nil, cfg); err == nil {
+		t.Fatal("expected alpha validation error")
+	}
+	cfg = Default()
+	cfg.ChunkSize = 0
+	if _, err := Run(fakeEncoder{}, make([]int, 64), nil, cfg); err == nil {
+		t.Fatal("expected chunk size validation error")
+	}
+}
+
+func TestChunksTailDropped(t *testing.T) {
+	ctx := make([]int, 70)
+	chunks := Chunks(ctx, 32)
+	if len(chunks) != 2 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+}
+
+// TestEndToEndFindsNeedle: with a real encoder and a planted needle chunk,
+// the needle must be assigned FP16 and the bulk INT2 at the paper's
+// operating point.
+func TestEndToEndFindsNeedle(t *testing.T) {
+	l := corpus.NewLexicon(corpus.Defaults(1))
+	r := rngx.New(77)
+	chunks, _ := l.PassageChunks(r, 16, 32, nil)
+	// Needle chunk 5 shares three multi-form concepts with the query.
+	var query []int
+	planted := 0
+	for _, c := range l.TopicConcepts(l.ProseTopics()[3]) {
+		if len(l.FormsOf(c)) < 2 {
+			continue
+		}
+		chunks[5][planted*4] = l.FormsOf(c)[0]
+		query = append(query, l.FormsOf(c)[1])
+		planted++
+		if planted == 3 {
+			break
+		}
+	}
+	var ctx []int
+	for _, c := range chunks {
+		ctx = append(ctx, c...)
+	}
+	res, err := Run(encoder.NewContriever(l), ctx, query, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.ChunkPrec[5] != kvcache.FP16 {
+		t.Fatalf("needle chunk got %v (scores=%v tlow=%v thigh=%v)",
+			res.Plan.ChunkPrec[5], res.Scores, res.TLow, res.THigh)
+	}
+	if res.Plan.Counts()[kvcache.INT2] < 32*8 {
+		t.Fatalf("expected most chunks INT2, counts=%v", res.Plan.Counts())
+	}
+}

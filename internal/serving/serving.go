@@ -1,0 +1,167 @@
+// Package serving is a discrete-event simulator of a batched LLM serving
+// system built on the hardware cost model. Figure 6's throughput curves
+// come from a closed-form formula at a fixed batch size; this simulator
+// generalizes them to arrival processes, admission control against GPU
+// memory, and static batch scheduling — the regime the paper's serving
+// comparison (vLLM-style) actually runs in.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hwmodel"
+	"repro/internal/rngx"
+)
+
+// Request is one inference job.
+type Request struct {
+	ID            int
+	ArrivalTime   float64 // seconds
+	ContextTokens int
+	OutputTokens  int
+}
+
+// PoissonTrace generates n requests with exponential inter-arrival times
+// at the given rate (requests/second) and fixed shape.
+func PoissonTrace(seed uint64, n int, rate float64, ctxTokens, outTokens int) []Request {
+	r := rngx.New(seed)
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += -math.Log(1-r.Float64()) / rate
+		reqs[i] = Request{ID: i, ArrivalTime: t, ContextTokens: ctxTokens, OutputTokens: outTokens}
+	}
+	return reqs
+}
+
+// Config describes the simulated server.
+type Config struct {
+	GPU     hwmodel.GPUSpec
+	Model   hwmodel.ModelDims
+	Profile hwmodel.Profile
+	// MaxBatch caps the scheduler's batch size (0 = memory-limited only).
+	MaxBatch int
+}
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	Completed       int
+	Rejected        int // requests that can never fit (even alone)
+	SimTime         float64
+	TokensGenerated int64
+	// ThroughputTokS is generated tokens per second of simulated time.
+	ThroughputTokS float64
+	// MeanLatency and P95Latency cover arrival -> completion.
+	MeanLatency, P95Latency float64
+	// MeanBatch is the average scheduled batch size.
+	MeanBatch float64
+	Batches   int
+}
+
+// maxFit returns the largest batch of identical requests that fits in GPU
+// memory under the profile, capped at limit.
+func maxFit(cfg Config, ctx, out, limit int) int {
+	lo, hi := 0, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		wl := hwmodel.Workload{ContextTokens: ctx, OutputTokens: out, Batch: mid}
+		if hwmodel.Memory(cfg.Model, wl, cfg.Profile) <= cfg.GPU.MemoryBytes {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Simulate runs static-batch scheduling over the request trace: when the
+// GPU is free, all waiting requests (up to the memory-fitting batch size)
+// are launched together; the batch occupies the GPU for search + prefill +
+// output·TPOT seconds.
+func Simulate(cfg Config, reqs []Request) (Stats, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 20
+	}
+	if len(reqs) == 0 {
+		return Stats{}, nil
+	}
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ArrivalTime < sorted[j].ArrivalTime })
+
+	var st Stats
+	var latencies []float64
+	now := 0.0
+	i := 0
+	for i < len(sorted) {
+		if sorted[i].ArrivalTime > now {
+			now = sorted[i].ArrivalTime
+		}
+		// Collect the waiting window (identical-shape batching).
+		j := i
+		for j < len(sorted) && sorted[j].ArrivalTime <= now {
+			j++
+		}
+		ctx, out := sorted[i].ContextTokens, sorted[i].OutputTokens
+		fit := maxFit(cfg, ctx, out, cfg.MaxBatch)
+		if fit == 0 {
+			// This request can never run on this GPU under this profile.
+			st.Rejected++
+			i++
+			continue
+		}
+		batch := j - i
+		if batch > fit {
+			batch = fit
+		}
+		wl := hwmodel.Workload{ContextTokens: ctx, OutputTokens: out, Batch: batch}
+		dur := hwmodel.PrefillLatency(cfg.GPU, cfg.Model, wl) +
+			cfg.Profile.SearchSeconds(ctx, batch) +
+			float64(out)*hwmodel.TPOT(cfg.GPU, cfg.Model, wl, cfg.Profile)
+		if dur <= 0 {
+			return st, fmt.Errorf("serving: non-positive batch duration")
+		}
+		now += dur
+		for k := i; k < i+batch; k++ {
+			latencies = append(latencies, now-sorted[k].ArrivalTime)
+			st.TokensGenerated += int64(out)
+		}
+		st.Completed += batch
+		st.Batches++
+		st.MeanBatch += float64(batch)
+		i += batch
+	}
+	st.SimTime = now
+	if st.Batches > 0 {
+		st.MeanBatch /= float64(st.Batches)
+	}
+	if now > 0 {
+		st.ThroughputTokS = float64(st.TokensGenerated) / now
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		st.MeanLatency = sum / float64(len(latencies))
+		sort.Float64s(latencies)
+		st.P95Latency = latencies[int(float64(len(latencies))*0.95)%len(latencies)]
+	}
+	return st, nil
+}
+
+// CompareMethods runs the same trace under several profiles and returns
+// per-profile stats — the serving-level analog of Figure 6.
+func CompareMethods(gpu hwmodel.GPUSpec, dims hwmodel.ModelDims, profiles []hwmodel.Profile, reqs []Request) (map[string]Stats, error) {
+	out := make(map[string]Stats, len(profiles))
+	for _, p := range profiles {
+		st, err := Simulate(Config{GPU: gpu, Model: dims, Profile: p}, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("serving: %s: %w", p.Name, err)
+		}
+		out[p.Name] = st
+	}
+	return out, nil
+}

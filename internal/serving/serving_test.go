@@ -1,0 +1,162 @@
+package serving
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hwmodel"
+)
+
+func testCfg(p hwmodel.Profile) Config {
+	return Config{GPU: hwmodel.A800(), Model: hwmodel.Llama2_7B(), Profile: p}
+}
+
+func TestPoissonTrace(t *testing.T) {
+	reqs := PoissonTrace(1, 500, 2.0, 2000, 128)
+	if len(reqs) != 500 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	prev := 0.0
+	for _, r := range reqs {
+		if r.ArrivalTime < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = r.ArrivalTime
+	}
+	// Mean inter-arrival should approximate 1/rate.
+	mean := reqs[len(reqs)-1].ArrivalTime / float64(len(reqs))
+	if math.Abs(mean-0.5) > 0.1 {
+		t.Fatalf("mean inter-arrival %v, want ~0.5", mean)
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	st, err := Simulate(testCfg(hwmodel.ProfileAtom()), nil)
+	if err != nil || st.Completed != 0 {
+		t.Fatalf("empty trace: %+v, %v", st, err)
+	}
+}
+
+func TestSimulateCompletesAll(t *testing.T) {
+	reqs := PoissonTrace(2, 200, 5, 2000, 128)
+	st, err := Simulate(testCfg(hwmodel.ProfileCocktail(32, nil)), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed+st.Rejected != 200 {
+		t.Fatalf("lost requests: %+v", st)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("unexpected rejections: %d", st.Rejected)
+	}
+	if st.MeanLatency <= 0 || st.P95Latency < st.MeanLatency/2 {
+		t.Fatalf("suspicious latencies: %+v", st)
+	}
+}
+
+// TestBackPressureBatches: under heavy load the scheduler should batch.
+func TestBackPressureBatches(t *testing.T) {
+	// All requests arrive at t~0 -> one big batch limited by memory.
+	reqs := make([]Request, 300)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, ArrivalTime: 0, ContextTokens: 2000, OutputTokens: 128}
+	}
+	st, err := Simulate(testCfg(hwmodel.ProfileAtom()), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanBatch < 10 {
+		t.Fatalf("expected large batches under pressure, got mean %v", st.MeanBatch)
+	}
+}
+
+// TestCocktailServesMoreUnderLoad: at saturating load, Cocktail's smaller
+// cache admits larger batches and yields higher throughput than FP16 —
+// the serving-level restatement of Figure 6.
+func TestCocktailServesMoreUnderLoad(t *testing.T) {
+	reqs := make([]Request, 400)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, ArrivalTime: 0, ContextTokens: 2000, OutputTokens: 128}
+	}
+	stFP, err := Simulate(testCfg(hwmodel.ProfileFP16()), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stCT, err := Simulate(testCfg(hwmodel.ProfileCocktail(32, nil)), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCT.ThroughputTokS <= stFP.ThroughputTokS {
+		t.Fatalf("Cocktail %v tok/s not above FP16 %v tok/s",
+			stCT.ThroughputTokS, stFP.ThroughputTokS)
+	}
+	if stCT.MeanBatch <= stFP.MeanBatch {
+		t.Fatalf("Cocktail mean batch %v not above FP16 %v", stCT.MeanBatch, stFP.MeanBatch)
+	}
+}
+
+// TestLightLoadFavorsNoSearch: at batch-1 load (sparse arrivals), the
+// uniform methods' zero search latency wins on mean latency.
+func TestLightLoadFavorsNoSearch(t *testing.T) {
+	reqs := PoissonTrace(3, 40, 0.05, 2000, 128) // one request every ~20s
+	stAtom, err := Simulate(testCfg(hwmodel.ProfileAtom()), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stCT, err := Simulate(testCfg(hwmodel.ProfileCocktail(32, nil)), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCT.MeanLatency <= stAtom.MeanLatency {
+		t.Fatalf("Cocktail latency %v should exceed Atom %v at light load",
+			stCT.MeanLatency, stAtom.MeanLatency)
+	}
+}
+
+func TestRejectImpossibleRequests(t *testing.T) {
+	cfg := testCfg(hwmodel.ProfileFP16())
+	reqs := []Request{{ID: 0, ArrivalTime: 0, ContextTokens: 1 << 20, OutputTokens: 128}}
+	st, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 1 || st.Completed != 0 {
+		t.Fatalf("expected rejection: %+v", st)
+	}
+}
+
+func TestMaxBatchCap(t *testing.T) {
+	cfg := testCfg(hwmodel.ProfileAtom())
+	cfg.MaxBatch = 4
+	reqs := make([]Request, 40)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, ArrivalTime: 0, ContextTokens: 2000, OutputTokens: 128}
+	}
+	st, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanBatch > 4 {
+		t.Fatalf("batch cap violated: %v", st.MeanBatch)
+	}
+	if st.Batches != 10 {
+		t.Fatalf("expected 10 batches, got %d", st.Batches)
+	}
+}
+
+func TestCompareMethods(t *testing.T) {
+	reqs := PoissonTrace(5, 60, 2, 2000, 128)
+	stats, err := CompareMethods(hwmodel.A800(), hwmodel.Llama2_7B(),
+		[]hwmodel.Profile{hwmodel.ProfileFP16(), hwmodel.ProfileCocktail(32, nil)}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	for name, st := range stats {
+		if st.Completed == 0 {
+			t.Fatalf("%s completed nothing", name)
+		}
+	}
+}

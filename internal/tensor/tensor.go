@@ -1,0 +1,180 @@
+// Package tensor provides the dense row-major matrix type used by the
+// transformer substrate. It is intentionally minimal: the reproduction only
+// needs 2-D float32 matrices with matmul, transposed matmul and row views.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/rngx"
+)
+
+// Mat is a dense row-major matrix of float32.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float32) *Mat {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Gaussian returns a matrix with i.i.d. N(0, sigma^2) entries.
+func Gaussian(r *rngx.RNG, rows, cols int, sigma float64) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(r.Norm() * sigma)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Mat) Row(i int) []float32 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range [0,%d)", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 {
+	if j < 0 || j >= m.Cols {
+		panic("tensor: col out of range")
+	}
+	return m.Row(i)[j]
+}
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float32) {
+	if j < 0 || j >= m.Cols {
+		panic("tensor: col out of range")
+	}
+	m.Row(i)[j] = v
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Mat) T() *Mat {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MulVec computes m · x for a vector x of length m.Cols.
+func (m *Mat) MulVec(x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic("tensor: MulVec dimension mismatch")
+	}
+	y := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = mathx.Dot(m.Row(i), x)
+	}
+	return y
+}
+
+// VecMul computes xᵀ · m for a vector x of length m.Rows (i.e. mᵀ·x).
+func (m *Mat) VecMul(x []float32) []float32 {
+	if len(x) != m.Rows {
+		panic("tensor: VecMul dimension mismatch")
+	}
+	y := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mathx.Axpy(x[i], m.Row(i), y)
+	}
+	return y
+}
+
+// Mul computes a · b.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic("tensor: Mul dimension mismatch")
+	}
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			mathx.Axpy(av, b.Row(k), crow)
+		}
+	}
+	return c
+}
+
+// MulT computes a · bᵀ, the attention-score shape (rows of b are keys).
+func MulT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic("tensor: MulT dimension mismatch")
+	}
+	c := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			crow[j] = mathx.Dot(arow, b.Row(j))
+		}
+	}
+	return c
+}
+
+// Add computes a + b element-wise into a new matrix.
+func Add(a, b *Mat) *Mat {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: Add shape mismatch")
+	}
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] += v
+	}
+	return c
+}
+
+// AppendRow grows the matrix by one row (copying the data).
+func (m *Mat) AppendRow(row []float32) {
+	if len(row) != m.Cols {
+		panic("tensor: AppendRow width mismatch")
+	}
+	m.Data = append(m.Data, row...)
+	m.Rows++
+}
+
+// SliceRows returns a view matrix of rows [lo, hi) sharing storage with m.
+func (m *Mat) SliceRows(lo, hi int) *Mat {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic("tensor: SliceRows out of range")
+	}
+	return &Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rngx"
+)
+
+func TestRowSetAt(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows != 3 || tt.Cols != 2 || tt.At(2, 1) != 6 || tt.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %+v", tt)
+	}
+}
+
+func TestMulVecVecMul(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	y := m.MulVec([]float32{1, 1})
+	if y[0] != 3 || y[1] != 7 || y[2] != 11 {
+		t.Fatalf("MulVec wrong: %v", y)
+	}
+	z := m.VecMul([]float32{1, 0, 1})
+	if z[0] != 6 || z[1] != 8 {
+		t.Fatalf("VecMul wrong: %v", z)
+	}
+}
+
+func TestMulMatchesManual(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float32{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+// TestMulTConsistency: MulT(a, b) must equal Mul(a, b.T()).
+func TestMulTConsistency(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rngx.New(seed)
+		a := Gaussian(r, 4, 6, 1)
+		b := Gaussian(r, 5, 6, 1)
+		x := MulT(a, b)
+		y := Mul(a, b.T())
+		for i := range x.Data {
+			if math.Abs(float64(x.Data[i]-y.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulAssociativityWithVec: (a·b)·x == a·(b·x) within float tolerance.
+func TestMulAssociativityWithVec(t *testing.T) {
+	r := rngx.New(3)
+	a := Gaussian(r, 3, 4, 1)
+	b := Gaussian(r, 4, 5, 1)
+	x := r.GaussianVec(5, 1)
+	left := Mul(a, b).MulVec(x)
+	right := a.MulVec(b.MulVec(x))
+	for i := range left {
+		if math.Abs(float64(left[i]-right[i])) > 1e-4 {
+			t.Fatalf("associativity violated at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{3, 4}})
+	c := Add(a, b)
+	if c.At(0, 0) != 4 || c.At(0, 1) != 6 {
+		t.Fatalf("Add wrong: %v", c.Data)
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatal("Add mutated input")
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	m := New(0, 2)
+	m.AppendRow([]float32{1, 2})
+	m.AppendRow([]float32{3, 4})
+	if m.Rows != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("AppendRow wrong: %+v", m)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float32{{1}, {2}, {3}, {4}})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Fatalf("SliceRows wrong: %+v", s)
+	}
+	s.Set(0, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("SliceRows is not a view")
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.MulVec([]float32{1}) },
+		func() { m.VecMul([]float32{1}) },
+		func() { Mul(m, New(3, 2)) },
+		func() { MulT(m, New(2, 3)) },
+		func() { Add(m, New(1, 2)) },
+		func() { m.AppendRow([]float32{1}) },
+		func() { m.SliceRows(1, 3) },
+		func() { m.Row(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+// Package tokenizer provides a deterministic word-level tokenizer.
+//
+// The reproduction works on a closed synthetic vocabulary (see
+// internal/corpus), so a word-level tokenizer is faithful: LongBench tasks
+// are evaluated on word-level metrics anyway, and the paper's mechanism
+// (chunk-granular KV quantization) is independent of subword choices.
+// Token ids are dense indices into the Vocab word list.
+package tokenizer
+
+import "strings"
+
+// Vocab maps between word surface forms and dense integer ids.
+type Vocab struct {
+	words []string
+	ids   map[string]int
+}
+
+// UnknownID is returned by ID for out-of-vocabulary words.
+const UnknownID = -1
+
+// NewVocab builds a vocabulary from words, dropping duplicates while
+// keeping first-seen order (ids are therefore stable for a fixed corpus).
+func NewVocab(words []string) *Vocab {
+	v := &Vocab{ids: make(map[string]int, len(words))}
+	for _, w := range words {
+		if _, ok := v.ids[w]; ok {
+			continue
+		}
+		v.ids[w] = len(v.words)
+		v.words = append(v.words, w)
+	}
+	return v
+}
+
+// Size returns the number of distinct words.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// ID returns the id for a word, or UnknownID if absent.
+func (v *Vocab) ID(w string) int {
+	id, ok := v.ids[w]
+	if !ok {
+		return UnknownID
+	}
+	return id
+}
+
+// Word returns the surface form of id. It panics on out-of-range ids.
+func (v *Vocab) Word(id int) string {
+	return v.words[id]
+}
+
+// Words returns the backing word list (callers must not mutate it).
+func (v *Vocab) Words() []string { return v.words }
+
+// Encode tokenizes text on whitespace and maps to ids (UnknownID for OOV).
+func (v *Vocab) Encode(text string) []int {
+	fields := strings.Fields(text)
+	ids := make([]int, len(fields))
+	for i, f := range fields {
+		ids[i] = v.ID(f)
+	}
+	return ids
+}
+
+// EncodeWords maps a word slice to ids (UnknownID for OOV).
+func (v *Vocab) EncodeWords(words []string) []int {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		ids[i] = v.ID(w)
+	}
+	return ids
+}
+
+// Decode maps ids back to a space-joined string, skipping UnknownID.
+func (v *Vocab) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id == UnknownID || id < 0 || id >= len(v.words) {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.words[id])
+	}
+	return b.String()
+}
+
+// DecodeWords maps ids to a word slice, skipping UnknownID.
+func (v *Vocab) DecodeWords(ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id == UnknownID || id < 0 || id >= len(v.words) {
+			continue
+		}
+		out = append(out, v.words[id])
+	}
+	return out
+}
+
+// Tokenize splits text into word tokens (whitespace separated).
+func Tokenize(text string) []string { return strings.Fields(text) }

@@ -1,0 +1,72 @@
+package tokenizer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabBasics(t *testing.T) {
+	v := NewVocab([]string{"a", "b", "a", "c"})
+	if v.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (dup dropped)", v.Size())
+	}
+	if v.ID("a") != 0 || v.ID("b") != 1 || v.ID("c") != 2 {
+		t.Fatal("ids not first-seen ordered")
+	}
+	if v.ID("zzz") != UnknownID {
+		t.Fatal("OOV should be UnknownID")
+	}
+	if v.Word(1) != "b" {
+		t.Fatal("Word(1) wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := NewVocab([]string{"the", "cat", "sat"})
+	ids := v.Encode("the cat sat the")
+	if len(ids) != 4 || ids[3] != 0 {
+		t.Fatalf("Encode wrong: %v", ids)
+	}
+	if got := v.Decode(ids); got != "the cat sat the" {
+		t.Fatalf("Decode = %q", got)
+	}
+}
+
+func TestDecodeSkipsUnknown(t *testing.T) {
+	v := NewVocab([]string{"x"})
+	if got := v.Decode([]int{UnknownID, 0, 99, 0}); got != "x x" {
+		t.Fatalf("Decode = %q", got)
+	}
+}
+
+func TestEncodeWordsDecodeWords(t *testing.T) {
+	v := NewVocab([]string{"p", "q"})
+	ids := v.EncodeWords([]string{"q", "p", "nope"})
+	if ids[0] != 1 || ids[1] != 0 || ids[2] != UnknownID {
+		t.Fatalf("EncodeWords = %v", ids)
+	}
+	ws := v.DecodeWords(ids)
+	if len(ws) != 2 || ws[0] != "q" || ws[1] != "p" {
+		t.Fatalf("DecodeWords = %v", ws)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("  a  b\tc\n")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+// Property: Word(ID(w)) == w for every in-vocab word.
+func TestIDWordInverse(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	v := NewVocab(words)
+	check := func(iRaw uint8) bool {
+		i := int(iRaw) % v.Size()
+		return v.ID(v.Word(i)) == i
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
