@@ -26,10 +26,12 @@ func main() {
 	samples := flag.Int("samples", 25, "samples per evaluation cell")
 	ctx := flag.Int("context", 768, "context tokens per sample")
 	seed := flag.Uint64("seed", 2025, "experiment seed")
+	workers := flag.Int("workers", 0, "parallel sample evaluations (0 = NumCPU; output is identical at any setting)")
 	flag.Parse()
 
 	env, err := experiments.NewEnv(experiments.Config{
-		Samples: *samples, ContextTokens: *ctx, MaxSeq: 2048, MaxNew: 24, Seed: *seed})
+		Samples: *samples, ContextTokens: *ctx, MaxSeq: 2048, MaxNew: 24, Seed: *seed,
+		Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

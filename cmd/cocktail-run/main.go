@@ -33,7 +33,7 @@ func main() {
 
 	p, err := cocktail.New(cocktail.Config{
 		Model: *modelName, Method: *method, Encoder: *enc,
-		Alpha: *alpha, Beta: *beta, ChunkSize: *chunk,
+		Alpha: cocktail.Float(*alpha), Beta: cocktail.Float(*beta), ChunkSize: *chunk,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,14 +1,16 @@
 // Command cocktail-serve exposes the pipeline over HTTP — the shape a
-// deployment of this library would take. Endpoints:
+// deployment of this library would take. Requests run concurrently on a
+// bounded worker pool (see internal/httpapi). Endpoints:
 //
 //	GET  /v1/info                  pipeline configuration and rosters
 //	POST /v1/answer                {"context": [...], "query": [...]}
 //	POST /v1/search                Module I only: plan + scores
 //	GET  /v1/sample?dataset=X&seed=N  generate a benchmark sample
+//	GET  /v1/metrics               per-endpoint counters and pool state
 //
 // Usage:
 //
-//	cocktail-serve -addr :8080 -method Cocktail
+//	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64
 //	curl -s localhost:8080/v1/sample?dataset=Qasper&seed=7
 package main
 
@@ -27,13 +29,17 @@ func main() {
 	modelName := flag.String("model", "Llama2-7B-sim", "simulated model")
 	alpha := flag.Float64("alpha", 0.6, "T_low hyperparameter")
 	beta := flag.Float64("beta", 0.1, "T_high hyperparameter")
+	workers := flag.Int("workers", 0, "concurrent pipeline executions (0 = NumCPU)")
+	queue := flag.Int("queue", 0, "waiting-request queue depth (0 = 4x workers)")
 	flag.Parse()
 
 	p, err := cocktail.New(cocktail.Config{
-		Model: *modelName, Method: *method, Alpha: *alpha, Beta: *beta})
+		Model: *modelName, Method: *method,
+		Alpha: cocktail.Float(*alpha), Beta: cocktail.Float(*beta)})
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := httpapi.NewServer(p, httpapi.Options{Workers: *workers, QueueDepth: *queue})
 	log.Printf("cocktail-serve: %s / %s listening on %s", *modelName, *method, *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(p)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

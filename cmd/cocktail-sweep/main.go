@@ -2,11 +2,15 @@
 // chunk size) over a dataset and prints accuracy plus the resulting
 // precision mix — the tool behind Figure 7 and Table III style analyses.
 //
+// The pipeline is safe for concurrent use, so each sweep point's samples
+// are evaluated in parallel across CPUs; results are reduced in sample
+// order, keeping the printed table identical to a serial run.
+//
 // Usage:
 //
 //	cocktail-sweep -param alpha -dataset QMSum -samples 20
 //	cocktail-sweep -param beta  -values 0.02,0.05,0.1,0.3
-//	cocktail-sweep -param chunk -values 8,16,32,64,128,256
+//	cocktail-sweep -param chunk -values 8,16,32,64,128,256 -workers 4
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	cocktail "repro"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -26,6 +31,7 @@ func main() {
 	modelName := flag.String("model", "Llama2-7B-sim", "simulated model")
 	samples := flag.Int("samples", 20, "samples per sweep point")
 	seed := flag.Uint64("seed", 1234, "base sample seed")
+	workers := flag.Int("workers", 0, "parallel sample evaluations (0 = NumCPU)")
 	flag.Parse()
 
 	values := strings.Split(*valuesFlag, ",")
@@ -41,6 +47,13 @@ func main() {
 			fatal(fmt.Errorf("unknown param %q", *param))
 		}
 	}
+	// Samples are generated once per seed at the paper-default granularity
+	// while only the pipeline under test varies (as in Table III): a small
+	// search chunk size must not constrain needle placement.
+	genP, err := cocktail.New(cocktail.Config{Model: *modelName})
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("%-8s  %-8s  %s\n", *param, "score", "tokens by precision")
 	for _, raw := range values {
@@ -51,13 +64,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			cfg.Alpha = v
+			cfg.Alpha = cocktail.Float(v)
 		case "beta":
 			v, err := strconv.ParseFloat(raw, 64)
 			if err != nil {
 				fatal(err)
 			}
-			cfg.Beta = v
+			cfg.Beta = cocktail.Float(v)
 		case "chunk":
 			v, err := strconv.Atoi(raw)
 			if err != nil {
@@ -71,28 +84,46 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		scores := make([]float64, *samples)
+		mixes := make([]map[string]int, *samples)
+		err = parallel.ForEach(*workers, *samples, func(i int) error {
+			return evalSample(genP, p, *dataset, *seed+uint64(i), &scores[i], &mixes[i])
+		})
+		if err != nil {
+			fatal(err)
+		}
+
+		// Reduce in sample order so output matches a serial run exactly.
 		var total float64
 		mix := map[string]int{}
 		for i := 0; i < *samples; i++ {
-			s, err := p.NewSample(*dataset, *seed+uint64(i))
-			if err != nil {
-				fatal(err)
-			}
-			res, err := p.Answer(s.Context, s.Query)
-			if err != nil {
-				fatal(err)
-			}
-			sc, err := p.Score(*dataset, res.Answer, s.Answer)
-			if err != nil {
-				fatal(err)
-			}
-			total += sc
-			for k, v := range res.Plan.TokensByPrecision {
+			total += scores[i]
+			for k, v := range mixes[i] {
 				mix[k] += v
 			}
 		}
 		fmt.Printf("%-8s  %-8.3f  %v\n", raw, total/float64(*samples), mix)
 	}
+}
+
+// evalSample runs one (sample, answer, score) round trip on the shared
+// concurrency-safe pipelines: genP generates the sample, p answers it.
+func evalSample(genP, p *cocktail.Pipeline, dataset string, seed uint64, score *float64, mix *map[string]int) error {
+	s, err := genP.NewSample(dataset, seed)
+	if err != nil {
+		return err
+	}
+	res, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		return err
+	}
+	sc, err := p.Score(dataset, res.Answer, s.Answer)
+	if err != nil {
+		return err
+	}
+	*score = sc
+	*mix = res.Plan.TokensByPrecision
+	return nil
 }
 
 func fatal(err error) {

@@ -39,8 +39,11 @@ type Config struct {
 	Method string
 	// Encoder is one of Encoders(); only used by the Cocktail method.
 	Encoder string
-	// Alpha and Beta are the Module I thresholds' hyperparameters.
-	Alpha, Beta float64
+	// Alpha and Beta are the Module I thresholds' hyperparameters. Nil
+	// means the paper defaults (α=0.6, β=0.1); an explicit zero is valid
+	// (search accepts the full [0,1] range) and is not overridden. Use
+	// Float to build the pointers inline.
+	Alpha, Beta *float64
 	// ChunkSize is the search granularity in tokens.
 	ChunkSize int
 	// DisableReorder turns off Module II chunk reordering (ablation).
@@ -52,6 +55,10 @@ type Config struct {
 	LexiconSeed uint64
 }
 
+// Float returns a pointer to v, for the Config fields where nil selects
+// the default and zero is a meaningful explicit value.
+func Float(v float64) *float64 { return &v }
+
 func (c Config) withDefaults() Config {
 	if c.Model == "" {
 		c.Model = "Llama2-7B-sim"
@@ -62,11 +69,17 @@ func (c Config) withDefaults() Config {
 	if c.Encoder == "" {
 		c.Encoder = "contriever"
 	}
-	if c.Alpha == 0 {
-		c.Alpha = 0.6
+	// Re-point at fresh allocations even when set, so the caller cannot
+	// mutate the pipeline's stored config through a shared pointer.
+	if c.Alpha == nil {
+		c.Alpha = Float(0.6)
+	} else {
+		c.Alpha = Float(*c.Alpha)
 	}
-	if c.Beta == 0 {
-		c.Beta = 0.1
+	if c.Beta == nil {
+		c.Beta = Float(0.1)
+	} else {
+		c.Beta = Float(*c.Beta)
 	}
 	if c.ChunkSize == 0 {
 		c.ChunkSize = 32
@@ -115,6 +128,12 @@ func Datasets() []DatasetInfo {
 }
 
 // Pipeline is a ready-to-run inference stack.
+//
+// A Pipeline is immutable after New and safe for concurrent use: Answer,
+// SearchOnly, NewSample and Score may be called from any number of
+// goroutines. The shared lexicon, model weights and encoder tables are
+// read-only; every call allocates its own per-request state (prefill
+// builder, quantization plan, sealed cache, decoder scratch).
 type Pipeline struct {
 	cfg    Config
 	lex    *corpus.Lexicon
@@ -152,7 +171,7 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		ct.Encoder = enc
 		sc := search.Default()
-		sc.Alpha, sc.Beta = cfg.Alpha, cfg.Beta
+		sc.Alpha, sc.Beta = *cfg.Alpha, *cfg.Beta
 		sc.ChunkSize = cfg.ChunkSize
 		sc.Reorder = !cfg.DisableReorder
 		if err := sc.Validate(); err != nil {
@@ -169,8 +188,15 @@ func New(cfg Config) (*Pipeline, error) {
 	return &Pipeline{cfg: cfg, lex: lex, model: m, method: meth}, nil
 }
 
-// Config returns the pipeline's effective configuration.
-func (p *Pipeline) Config() Config { return p.cfg }
+// Config returns a copy of the pipeline's effective configuration. The
+// Alpha/Beta pointers are freshly allocated so callers cannot mutate the
+// pipeline's view through them.
+func (p *Pipeline) Config() Config {
+	cfg := p.cfg
+	cfg.Alpha = Float(*p.cfg.Alpha)
+	cfg.Beta = Float(*p.cfg.Beta)
+	return cfg
+}
 
 // Vocabulary returns the closed word list of the synthetic language.
 func (p *Pipeline) Vocabulary() []string { return p.lex.Vocab.Words() }
@@ -182,12 +208,21 @@ type Sample struct {
 	RelevantChunks []int
 }
 
-// NewSample generates a deterministic instance of a Table I dataset.
-func (p *Pipeline) NewSample(dataset string, seed uint64) (*Sample, error) {
+// NewSample generates a deterministic instance of a Table I dataset. An
+// unsatisfiable configuration (e.g. a ChunkSize too small to host the
+// dataset's needle span) is reported as an error.
+func (p *Pipeline) NewSample(dataset string, seed uint64) (sample *Sample, err error) {
 	d, err := datasets.ByName(dataset)
 	if err != nil {
 		return nil, err
 	}
+	// The generators panic on configurations they cannot satisfy; surface
+	// that as an error at the public API boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			sample, err = nil, fmt.Errorf("cocktail: generating %s sample: %v", dataset, r)
+		}
+	}()
 	ctxTokens := p.cfg.MaxSeq / 2
 	if ctxTokens > 768 {
 		ctxTokens = 768
@@ -268,10 +303,9 @@ func (p *Pipeline) Answer(context, query []string) (*Result, error) {
 
 	stats := cache.Stats()
 	summary := PlanSummary{
-		Segments:       stats.Segments,
-		ContextKVBytes: stats.ContextBytes,
-		FP16KVBytes: len(ctxIDs) * model.Layers * model.Heads *
-			p.model.Config().Dim * 2 * 2,
+		Segments:          stats.Segments,
+		ContextKVBytes:    stats.ContextBytes,
+		FP16KVBytes:       p.model.CacheConfig().FP16Bytes(len(ctxIDs)),
 		TokensByPrecision: map[string]int{},
 	}
 	for prec, n := range stats.TokensByPrec {

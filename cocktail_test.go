@@ -2,6 +2,7 @@ package cocktail
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -12,7 +13,7 @@ func TestDefaults(t *testing.T) {
 	}
 	cfg := p.Config()
 	if cfg.Method != "Cocktail" || cfg.Model != "Llama2-7B-sim" ||
-		cfg.Alpha != 0.6 || cfg.Beta != 0.1 || cfg.ChunkSize != 32 {
+		*cfg.Alpha != 0.6 || *cfg.Beta != 0.1 || cfg.ChunkSize != 32 {
 		t.Fatalf("defaults wrong: %+v", cfg)
 	}
 	if len(p.Vocabulary()) < 1000 {
@@ -32,7 +33,8 @@ func TestInvalidConfigs(t *testing.T) {
 		{Model: "gpt-99"},
 		{Method: "nope"},
 		{Encoder: "nope"},
-		{Alpha: 2},
+		{Alpha: Float(2)},
+		{Beta: Float(-0.5)},
 	} {
 		if _, err := New(cfg); err == nil {
 			t.Fatalf("config %+v should fail", cfg)
@@ -80,6 +82,94 @@ func TestEndToEndAllMethods(t *testing.T) {
 		}
 		if method == "FP16" && res.Plan.CompressionRatio() > 1.01 {
 			t.Errorf("FP16 should not compress, ratio %v", res.Plan.CompressionRatio())
+		}
+	}
+}
+
+// TestExplicitZeroAlphaBeta: zero is inside search's valid [0,1] range and
+// must survive defaulting instead of being silently replaced by 0.6/0.1.
+func TestExplicitZeroAlphaBeta(t *testing.T) {
+	p, err := New(Config{Alpha: Float(0), Beta: Float(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if *cfg.Alpha != 0 || *cfg.Beta != 0 {
+		t.Fatalf("explicit zeros overridden: alpha=%v beta=%v", *cfg.Alpha, *cfg.Beta)
+	}
+	s, err := p.NewSample("Qasper", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α=0 puts T_low at the score minimum, so no chunk scores strictly
+	// below it: nothing may be INT2.
+	if n := res.Plan.TokensByPrecision["INT2"]; n != 0 {
+		t.Errorf("alpha=0 still produced %d INT2 tokens: %v", n, res.Plan.TokensByPrecision)
+	}
+}
+
+// TestConcurrentPipelineUse exercises the documented concurrency contract:
+// many goroutines sharing one Pipeline must produce exactly the results of
+// serial calls. Run with -race this guards the serving path.
+func TestConcurrentPipelineUse(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	samples := make([]*Sample, n)
+	want := make([]string, n)
+	for i := range samples {
+		s, err := p.NewSample("Qasper", uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[i] = s
+		want[i] = strings.Join(res.Answer, " ")
+	}
+	var wg sync.WaitGroup
+	got := make([]string, n)
+	gotSamples := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Answer(samples[i].Context, samples[i].Query)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = strings.Join(res.Answer, " ")
+			// Sample generation is also part of the contract (the HTTP
+			// /v1/sample endpoint runs it unpooled).
+			s, err := p.NewSample("Qasper", uint64(i+1))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			gotSamples[i] = strings.Join(s.Context, " ")
+			_, _, _, _, errs[i] = p.SearchOnly(samples[i].Context, samples[i].Query)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("goroutine %d: concurrent answer %q != serial %q", i, got[i], want[i])
+		}
+		if gotSamples[i] != strings.Join(samples[i].Context, " ") {
+			t.Errorf("goroutine %d: concurrent NewSample differs from serial", i)
 		}
 	}
 }

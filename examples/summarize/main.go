@@ -15,7 +15,7 @@ import (
 const trials = 10
 
 func run(alpha, beta float64) (score float64, bytes int) {
-	p, err := cocktail.New(cocktail.Config{Alpha: alpha, Beta: beta})
+	p, err := cocktail.New(cocktail.Config{Alpha: cocktail.Float(alpha), Beta: cocktail.Float(beta)})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -90,7 +90,7 @@ func TestEncoderConfigsEndToEnd(t *testing.T) {
 // nothing.
 func TestAlphaExtremes(t *testing.T) {
 	for _, alpha := range []float64{0.01, 0.99} {
-		p, err := New(Config{Alpha: alpha})
+		p, err := New(Config{Alpha: Float(alpha)})
 		if err != nil {
 			t.Fatal(err)
 		}

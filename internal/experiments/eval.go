@@ -9,6 +9,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/rngx"
 	"repro/internal/search"
 )
@@ -25,6 +26,11 @@ type Config struct {
 	MaxNew int
 	// Seed derives all sample streams.
 	Seed uint64
+	// Workers bounds parallel sample evaluation (0 = runtime.NumCPU(),
+	// 1 = serial). Results are identical at any setting: samples are
+	// generated serially from the seed stream and scores are reduced in
+	// sample order.
+	Workers int
 }
 
 // Default returns the configuration used by cocktail-bench.
@@ -77,27 +83,59 @@ func NewEnv(cfg Config) (*Env, error) {
 // Config returns the environment's effective configuration.
 func (e *Env) Config() Config { return e.cfg }
 
+// runSamples evaluates fn(i) for every i in [0, n) across the
+// environment's worker count. Callers store per-index results and reduce
+// them in index order, so the outcome is independent of scheduling.
+func (e *Env) runSamples(n int, fn func(i int) error) error {
+	return parallel.ForEach(e.cfg.Workers, n, fn)
+}
+
+// genSamples draws n samples from the sequential seed stream. Generation
+// stays serial (the stream is stateful) and is cheap next to prefill and
+// decoding; the heavy per-sample work is what runSamples parallelizes.
+func (e *Env) genSamples(ds datasets.Dataset, n, ctxTokens int, seedOffset uint64) []datasets.Sample {
+	r := rngx.New(e.cfg.Seed).Split(seedOffset)
+	samples := make([]datasets.Sample, n)
+	for i := range samples {
+		samples[i] = ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: ctxTokens})
+	}
+	return samples
+}
+
 // EvalRow scores every method on one (model, dataset) cell, reusing each
 // sample's prefill across methods (as the real system would: prefill is
-// method-independent).
+// method-independent). Samples are evaluated in parallel; the reduction
+// runs in sample order, so scores are bit-identical to a serial run.
 func (e *Env) EvalRow(m *model.Model, ds datasets.Dataset, methods []core.Method, seedOffset uint64) ([]float64, error) {
 	cfg := e.cfg
-	scores := make([]float64, len(methods))
-	r := rngx.New(cfg.Seed).Split(seedOffset)
-	for s := 0; s < cfg.Samples; s++ {
-		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: cfg.ContextTokens})
+	samples := e.genSamples(ds, cfg.Samples, cfg.ContextTokens, seedOffset)
+	perSample := make([][]float64, cfg.Samples)
+	err := e.runSamples(cfg.Samples, func(s int) error {
+		sample := samples[s]
 		b, err := m.Prefill(sample.Context)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		row := make([]float64, len(methods))
 		for mi, meth := range methods {
 			cache, _, err := meth.Prepare(b, sample.Context, sample.Query)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", meth.Name(), ds.Name, err)
+				return fmt.Errorf("experiments: %s on %s: %w", meth.Name(), ds.Name, err)
 			}
 			pred := m.Generate(cache, sample.Query, cfg.MaxNew)
-			scores[mi] += metrics.Score(ds.Metric,
+			row[mi] = metrics.Score(ds.Metric,
 				datasets.Surfaces(e.Lex, pred), datasets.Surfaces(e.Lex, sample.Answer))
+		}
+		perSample[s] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(methods))
+	for s := range perSample {
+		for mi := range scores {
+			scores[mi] += perSample[s][mi]
 		}
 	}
 	for i := range scores {
@@ -118,22 +156,34 @@ func (e *Env) EvalPlans(m *model.Model, ds datasets.Dataset,
 	if ctxTokens <= 0 {
 		ctxTokens = cfg.ContextTokens
 	}
-	scores := make([]float64, len(prepare))
-	r := rngx.New(cfg.Seed).Split(seedOffset)
-	for s := 0; s < cfg.Samples; s++ {
-		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: ctxTokens})
+	samples := e.genSamples(ds, cfg.Samples, ctxTokens, seedOffset)
+	perSample := make([][]float64, cfg.Samples)
+	err := e.runSamples(cfg.Samples, func(s int) error {
+		sample := samples[s]
 		b, err := m.Prefill(sample.Context)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		row := make([]float64, len(prepare))
 		for pi, prep := range prepare {
 			cache, err := prep(b, sample.Context, sample.Query)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pred := m.Generate(cache, sample.Query, cfg.MaxNew)
-			scores[pi] += metrics.Score(ds.Metric,
+			row[pi] = metrics.Score(ds.Metric,
 				datasets.Surfaces(e.Lex, pred), datasets.Surfaces(e.Lex, sample.Answer))
+		}
+		perSample[s] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(prepare))
+	for s := range perSample {
+		for pi := range scores {
+			scores[pi] += perSample[s][pi]
 		}
 	}
 	for i := range scores {
@@ -152,21 +202,28 @@ func (e *Env) MeasureCocktailMix() (map[kvcache.Precision]float64, error) {
 	}
 	ct := core.NewCocktail(e.Lex)
 	cfg := e.cfg
-	r := rngx.New(cfg.Seed).Split(0xf1ac)
-	totals := map[kvcache.Precision]float64{}
 	n := cfg.Samples
 	if n > 16 {
 		n = 16
 	}
-	for s := 0; s < n; s++ {
-		sample := ds.Gen(r, e.Lex, datasets.GenConfig{ContextTokens: cfg.ContextTokens})
+	samples := e.genSamples(ds, n, cfg.ContextTokens, 0xf1ac)
+	perSample := make([]map[kvcache.Precision]int, n)
+	err = e.runSamples(n, func(s int) error {
 		// Only the plan is needed, so run Module I directly (no prefill).
-		res, err := search.Run(ct.Encoder, sample.Context, sample.Query, ct.Search)
+		res, err := search.Run(ct.Encoder, samples[s].Context, samples[s].Query, ct.Search)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for p, c := range res.Plan.Counts() {
-			totals[p] += float64(c) / float64(len(sample.Context))
+		perSample[s] = res.Plan.Counts()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totals := map[kvcache.Precision]float64{}
+	for s, counts := range perSample {
+		for p, c := range counts {
+			totals[p] += float64(c) / float64(len(samples[s].Context))
 		}
 	}
 	for p := range totals {

@@ -263,6 +263,46 @@ func TestMeasureCocktailMix(t *testing.T) {
 	}
 }
 
+// TestParallelEvalMatchesSerial: evaluation fans out across workers, but
+// samples come from the serial seed stream and scores reduce in sample
+// order, so rendered output must be byte-identical at any worker count.
+func TestParallelEvalMatchesSerial(t *testing.T) {
+	cfg := Config{Samples: 4, ContextTokens: 384, MaxSeq: 2048, MaxNew: 16, Seed: 31}
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	parallelCfg.Workers = 8
+	se, err := NewEnv(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewEnv(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Table5(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Table5(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.String() != pt.String() {
+		t.Errorf("Table V differs by worker count:\nserial:\n%s\nparallel:\n%s", st, pt)
+	}
+	sa, sb, err := Fig7(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, err := Fig7(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != pa.String() || sb.String() != pb.String() {
+		t.Error("Figure 7 differs by worker count")
+	}
+}
+
 func TestRenderers(t *testing.T) {
 	tab := &Table{Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "22"}}, Notes: []string{"n"}}
 	out := tab.String()

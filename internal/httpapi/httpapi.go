@@ -1,34 +1,259 @@
 // Package httpapi serves the public cocktail pipeline over HTTP with a
-// small JSON API (used by cmd/cocktail-serve). One pipeline instance is
-// shared across requests behind a mutex: the underlying KV cache machinery
-// is per-request but the model/lexicon are shared read-only, and the
-// simulated substrate is fast enough that serialization is not a
-// bottleneck for a demo server.
+// small JSON API (used by cmd/cocktail-serve).
+//
+// The pipeline itself is safe for concurrent use (all shared state —
+// lexicon, model weights, encoder tables — is read-only; every request
+// allocates its own KV builder, plan, cache and decoder), so requests are
+// not serialized. Instead, inference work runs on a bounded worker pool
+// with a bounded wait queue: the pool caps concurrent pipeline executions
+// at Options.Workers, up to Options.QueueDepth further requests wait in
+// the queue, and beyond that the server sheds load with 503 rather than
+// letting latency grow without bound.
+//
+// Endpoints:
+//
+//	GET  /v1/info     pipeline configuration and rosters
+//	POST /v1/answer   full inference (pooled)
+//	POST /v1/search   Module I only (pooled)
+//	GET  /v1/sample   benchmark sample generation (inline, cheap)
+//	GET  /v1/metrics  per-endpoint counters and pool state
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	cocktail "repro"
 )
 
-// New returns the HTTP handler tree for a pipeline.
-func New(p *cocktail.Pipeline) http.Handler {
-	s := &server{p: p}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/info", s.info)
-	mux.HandleFunc("POST /v1/answer", s.answer)
-	mux.HandleFunc("POST /v1/search", s.search)
-	mux.HandleFunc("GET /v1/sample", s.sample)
-	return mux
+// Options sizes the serving pool. Zero values take defaults.
+type Options struct {
+	// Workers is the number of concurrent pipeline executions
+	// (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth is how many requests may wait for a worker beyond the
+	// ones executing; requests arriving past that are rejected with 503
+	// (default 4×Workers).
+	QueueDepth int
 }
 
-type server struct {
-	mu sync.Mutex
-	p  *cocktail.Pipeline
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	return o
+}
+
+// ErrQueueFull is returned by the pool when the wait queue is at capacity.
+var ErrQueueFull = errors.New("httpapi: request queue full")
+
+// Server is the HTTP API over one pipeline. It implements http.Handler.
+type Server struct {
+	p    *cocktail.Pipeline
+	mux  *http.ServeMux
+	opts Options
+
+	jobs    chan func()
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	stats map[string]*endpointStats
+}
+
+// New returns the HTTP handler tree for a pipeline with default pool
+// sizing. The pool's worker goroutines live for the rest of the process;
+// callers that need to tear the pool down use NewServer and Close.
+func New(p *cocktail.Pipeline) http.Handler { return NewServer(p, Options{}) }
+
+// NewServer builds the API server and starts its worker pool. Call Close
+// to stop the workers when the server is no longer needed.
+func NewServer(p *cocktail.Pipeline, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		p:    p,
+		opts: opts,
+		jobs: make(chan func(), opts.QueueDepth),
+		stats: map[string]*endpointStats{
+			"/v1/info":    {},
+			"/v1/answer":  {},
+			"/v1/search":  {},
+			"/v1/sample":  {},
+			"/v1/metrics": {},
+		},
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.jobs {
+				job()
+			}
+		}()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", s.track("/v1/info", s.info))
+	mux.HandleFunc("POST /v1/answer", s.track("/v1/answer", s.answer))
+	mux.HandleFunc("POST /v1/search", s.track("/v1/search", s.search))
+	mux.HandleFunc("GET /v1/sample", s.track("/v1/sample", s.sample))
+	mux.HandleFunc("GET /v1/metrics", s.track("/v1/metrics", s.metrics))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool after draining queued jobs. The server must
+// not receive further requests once Close is called.
+func (s *Server) Close() {
+	s.closing.Do(func() {
+		close(s.jobs)
+		s.wg.Wait()
+	})
+}
+
+// submit runs fn on the worker pool and waits for it to finish. It
+// returns ErrQueueFull without running fn when the queue is saturated,
+// and the context error if the caller gives up while fn is still queued
+// or running (fn's writes must then be discarded). A job whose context
+// died while it sat in the queue is dropped when a worker picks it up,
+// so abandoned requests cannot monopolize the pool.
+func (s *Server) submit(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		if ctx.Err() == nil {
+			fn()
+		}
+	}
+	select {
+	case s.jobs <- job:
+	default:
+		return ErrQueueFull
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// endpointStats aggregates one endpoint's counters; all fields are
+// updated atomically so the hot path never takes a lock.
+type endpointStats struct {
+	requests   atomic.Int64
+	completed  atomic.Int64 // requests whose latency is in totalNanos
+	errors     atomic.Int64 // responses with status >= 400
+	rejected   atomic.Int64 // 503s from a saturated queue
+	inFlight   atomic.Int64
+	totalNanos atomic.Int64
+	maxNanos   atomic.Int64
+}
+
+func (e *endpointStats) observe(d time.Duration, status int) {
+	e.completed.Add(1)
+	e.totalNanos.Add(int64(d))
+	for {
+		max := e.maxNanos.Load()
+		if int64(d) <= max || e.maxNanos.CompareAndSwap(max, int64(d)) {
+			break
+		}
+	}
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	if status == http.StatusServiceUnavailable {
+		e.rejected.Add(1)
+	}
+}
+
+// EndpointMetrics is the per-endpoint block of the /v1/metrics payload.
+type EndpointMetrics struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Rejected      int64   `json:"rejected"`
+	InFlight      int64   `json:"in_flight"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	MaxLatencyMS  float64 `json:"max_latency_ms"`
+}
+
+// PoolMetrics describes the worker pool's configuration and queue state.
+type PoolMetrics struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	QueueLen   int `json:"queue_len"`
+}
+
+// Metrics is the full /v1/metrics payload.
+type Metrics struct {
+	Pool      PoolMetrics                `json:"pool"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// Snapshot returns the server's current metrics.
+func (s *Server) Snapshot() Metrics {
+	m := Metrics{
+		Pool: PoolMetrics{
+			Workers:    s.opts.Workers,
+			QueueDepth: s.opts.QueueDepth,
+			QueueLen:   len(s.jobs),
+		},
+		Endpoints: make(map[string]EndpointMetrics, len(s.stats)),
+	}
+	for path, e := range s.stats {
+		em := EndpointMetrics{
+			Requests: e.requests.Load(),
+			Errors:   e.errors.Load(),
+			Rejected: e.rejected.Load(),
+			InFlight: e.inFlight.Load(),
+		}
+		// Mean over completed requests only: in-flight ones have no
+		// latency recorded yet and would deflate the mean under load.
+		if done := e.completed.Load(); done > 0 {
+			em.MeanLatencyMS = float64(e.totalNanos.Load()) / float64(done) / 1e6
+		}
+		em.MaxLatencyMS = float64(e.maxNanos.Load()) / 1e6
+		m.Endpoints[path] = em
+	}
+	return m
+}
+
+// statusRecorder captures the response status for the metrics layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// track wraps a handler with the endpoint's latency/throughput counters.
+func (s *Server) track(path string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.stats[path]
+	return func(w http.ResponseWriter, r *http.Request) {
+		st.requests.Add(1)
+		st.inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		st.inFlight.Add(-1)
+		st.observe(time.Since(start), rec.status)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -38,10 +263,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func (s *server) info(w http.ResponseWriter, r *http.Request) {
+func (s *Server) info(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"config":   s.p.Config(),
 		"models":   cocktail.Models(),
@@ -51,20 +279,32 @@ func (s *server) info(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
 type answerRequest struct {
 	Context []string `json:"context"`
 	Query   []string `json:"query"`
 }
 
-func (s *server) answer(w http.ResponseWriter, r *http.Request) {
+func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	res, err := s.p.Answer(req.Context, req.Query)
-	s.mu.Unlock()
+	var (
+		res *cocktail.Result
+		err error
+	)
+	perr := s.submit(r.Context(), func() {
+		res, err = s.p.Answer(req.Context, req.Query)
+	})
+	if perr != nil {
+		s.poolErr(w, perr)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -72,15 +312,25 @@ func (s *server) answer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (s *server) search(w http.ResponseWriter, r *http.Request) {
+func (s *Server) search(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	scores, tlow, thigh, precs, err := s.p.SearchOnly(req.Context, req.Query)
-	s.mu.Unlock()
+	var (
+		scores      []float64
+		tlow, thigh float64
+		precs       []string
+		err         error
+	)
+	perr := s.submit(r.Context(), func() {
+		scores, tlow, thigh, precs, err = s.p.SearchOnly(req.Context, req.Query)
+	})
+	if perr != nil {
+		s.poolErr(w, perr)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -93,7 +343,18 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) sample(w http.ResponseWriter, r *http.Request) {
+// poolErr maps submit failures: queue saturation is load shedding (503),
+// anything else means the client went away mid-flight (499-style; the
+// response is moot but a status keeps logs honest).
+func (s *Server) poolErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeErr(w, http.StatusRequestTimeout, err)
+}
+
+func (s *Server) sample(w http.ResponseWriter, r *http.Request) {
 	dataset := r.URL.Query().Get("dataset")
 	if dataset == "" {
 		dataset = "Qasper"
@@ -102,9 +363,9 @@ func (s *server) sample(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		seed = 1
 	}
-	s.mu.Lock()
+	// Sample generation is cheap and the pipeline is concurrency-safe, so
+	// this endpoint bypasses the inference pool.
 	sample, serr := s.p.NewSample(dataset, seed)
-	s.mu.Unlock()
 	if serr != nil {
 		writeErr(w, http.StatusNotFound, serr)
 		return

@@ -2,21 +2,33 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	cocktail "repro"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testPipeline(t *testing.T) *cocktail.Pipeline {
 	t.Helper()
 	p, err := cocktail.New(cocktail.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(p))
+	return p
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := NewServer(testPipeline(t), Options{})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -106,6 +118,173 @@ func TestSearchEndpoint(t *testing.T) {
 	}
 	if len(res.Scores) != len(res.Precisions) || len(res.Scores) == 0 {
 		t.Fatalf("bad search payload: %+v", res)
+	}
+}
+
+// TestConcurrentAnswersMatchSerial fires 16 concurrent /v1/answer and 8
+// concurrent /v1/search requests over distinct samples through the worker
+// pool and checks every response equals the one the pipeline produces
+// serially. Run under -race this is the serving path's thread-safety
+// proof.
+func TestConcurrentAnswersMatchSerial(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{Workers: 4, QueueDepth: 64})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	const nAnswer, nSearch = 16, 8
+	type expect struct {
+		sample *cocktail.Sample
+		answer []string
+	}
+	answers := make([]expect, nAnswer)
+	for i := range answers {
+		sample, err := p.NewSample("Qasper", uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Answer(sample.Context, sample.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[i] = expect{sample: sample, answer: res.Answer}
+	}
+	searches := make([]*cocktail.Sample, nSearch)
+	wantScores := make([][]float64, nSearch)
+	for i := range searches {
+		sample, err := p.NewSample("QMSum", uint64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores, _, _, _, err := p.SearchOnly(sample.Context, sample.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		searches[i] = sample
+		wantScores[i] = scores
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nAnswer+nSearch)
+	for i := 0; i < nAnswer; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res struct{ Answer []string }
+			code := postJSON(t, srv.URL+"/v1/answer", map[string]any{
+				"context": answers[i].sample.Context,
+				"query":   answers[i].sample.Query,
+			}, &res)
+			if code != 200 {
+				errs <- fmt.Errorf("answer %d: status %d", i, code)
+				return
+			}
+			if strings.Join(res.Answer, " ") != strings.Join(answers[i].answer, " ") {
+				errs <- fmt.Errorf("answer %d: concurrent %v != serial %v", i, res.Answer, answers[i].answer)
+			}
+		}(i)
+	}
+	for i := 0; i < nSearch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res struct {
+				Scores []float64 `json:"scores"`
+			}
+			code := postJSON(t, srv.URL+"/v1/search", map[string]any{
+				"context": searches[i].Context,
+				"query":   searches[i].Query,
+			}, &res)
+			if code != 200 {
+				errs <- fmt.Errorf("search %d: status %d", i, code)
+				return
+			}
+			if len(res.Scores) != len(wantScores[i]) {
+				errs <- fmt.Errorf("search %d: %d scores, want %d", i, len(res.Scores), len(wantScores[i]))
+				return
+			}
+			for c := range res.Scores {
+				if res.Scores[c] != wantScores[i][c] {
+					errs <- fmt.Errorf("search %d chunk %d: %v != %v", i, c, res.Scores[c], wantScores[i][c])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQueueSaturation drives the pool bookkeeping directly: with one
+// worker and a one-slot queue, a running job plus a queued job must make
+// the third submission fail fast with ErrQueueFull.
+func TestQueueSaturation(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 1})
+	t.Cleanup(s.Close)
+
+	release := make(chan struct{})
+	released := false
+	releaseWorker := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	// Registered after NewServer so it runs before s.Close on failure —
+	// otherwise a tripped assertion would leave the worker blocked and
+	// Close's wg.Wait hanging.
+	t.Cleanup(releaseWorker)
+	running := make(chan struct{})
+	go s.submit(context.Background(), func() {
+		close(running)
+		<-release
+	})
+	<-running // worker occupied
+	queued := make(chan error, 1)
+	go func() {
+		queued <- s.submit(context.Background(), func() {})
+	}()
+	// Wait until the queued job occupies the single queue slot.
+	for len(s.jobs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.submit(context.Background(), func() {}); err != ErrQueueFull {
+		t.Fatalf("third submit: err %v, want ErrQueueFull", err)
+	}
+	releaseWorker()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued submit failed: %v", err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=7", &sample)
+	var res struct{ Answer []string }
+	postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &res)
+	var e map[string]string
+	getJSON(t, srv.URL+"/v1/sample?dataset=nope", &e)
+
+	var m Metrics
+	if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Pool.Workers < 1 || m.Pool.QueueDepth < m.Pool.Workers {
+		t.Fatalf("bad pool metrics: %+v", m.Pool)
+	}
+	ans := m.Endpoints["/v1/answer"]
+	if ans.Requests != 1 || ans.Errors != 0 || ans.MeanLatencyMS <= 0 || ans.MaxLatencyMS < ans.MeanLatencyMS {
+		t.Fatalf("bad answer metrics: %+v", ans)
+	}
+	smp := m.Endpoints["/v1/sample"]
+	if smp.Requests != 2 || smp.Errors != 1 {
+		t.Fatalf("bad sample metrics: %+v", smp)
 	}
 }
 

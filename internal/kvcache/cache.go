@@ -24,6 +24,14 @@ type Config struct {
 	UseCodebook bool
 }
 
+// FP16Bytes returns the footprint of n cached tokens stored unquantized:
+// one K and one V row per layer/head, two bytes per FP16 value. It is the
+// reference numerator for compression ratios, derived from the cache
+// geometry so callers never restate layer/head/dim constants.
+func (c Config) FP16Bytes(tokens int) int {
+	return tokens * c.Layers * c.Heads * c.HeadDim * 2 * 2
+}
+
 func (c Config) validate() error {
 	if c.Layers <= 0 || c.Heads <= 0 || c.HeadDim <= 0 {
 		return fmt.Errorf("kvcache: non-positive geometry %+v", c)
@@ -32,7 +40,9 @@ func (c Config) validate() error {
 }
 
 // Builder accumulates FP32 context KV rows during prefill, before the
-// quantization plan is known.
+// quantization plan is known. A Builder is per-request state and is not
+// safe for concurrent use; sharing one across goroutines requires
+// external synchronization (concurrent servers allocate one per request).
 type Builder struct {
 	cfg    Config
 	tokens int
@@ -98,7 +108,10 @@ type segment struct {
 }
 
 // Cache is the sealed mixed-precision context KV cache plus the FP16 tail
-// that decode appends to. Attention over it follows Algorithm 1.
+// that decode appends to. Attention over it follows Algorithm 1. Like a
+// real per-request KV cache, a Cache is owned by one request and is not
+// safe for concurrent use (Attend reuses scratch buffers, AppendTail
+// mutates the tail).
 type Cache struct {
 	cfg  Config
 	plan *Plan

@@ -1,0 +1,54 @@
+// Package parallel provides the deterministic fan-out primitive shared by
+// the evaluation drivers (internal/experiments, cmd/cocktail-sweep):
+// indices are executed on a bounded worker pool while callers write
+// results into per-index slots and reduce them in index order, so the
+// outcome is independent of goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects runtime.NumCPU(); the count is capped at n and
+// 1 degrades to a plain serial loop). It always completes all n calls
+// and returns the first error in index order — deterministic regardless
+// of which worker hit it first.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var calls atomic.Int64
+		got := make([]int, 37)
+		err := ForEach(workers, len(got), func(i int) error {
+			calls.Add(1)
+			got[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != int64(len(got)) {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, calls.Load(), len(got))
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: index %d not executed", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachFirstErrorInIndexOrder: the returned error is the lowest
+// failing index's, independent of scheduling, and all calls still run.
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var calls atomic.Int64
+		err := ForEach(workers, 20, func(i int) error {
+			calls.Add(1)
+			if i%2 == 1 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 1" {
+			t.Fatalf("workers=%d: err %v, want fail 1", workers, err)
+		}
+		if calls.Load() != 20 {
+			t.Fatalf("workers=%d: %d calls, want 20", workers, calls.Load())
+		}
+	}
+}
