@@ -198,6 +198,59 @@ func BenchmarkPipelineAnswer(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionAnswerWarm measures a warm-session Answer against
+// BenchmarkPipelineAnswer's cold path: the session retains the prefilled
+// context KV, so each iteration pays only Module I planning, a memoized
+// seal lookup and decoding — prefill is skipped entirely. The ns/op gap
+// to BenchmarkPipelineAnswer is the cross-request reuse win.
+func BenchmarkSessionAnswerWarm(b *testing.B) {
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := p.Prefill(s.Context)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Answer(s.Query); err != nil { // warm the seal memo
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Answer(s.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionCacheAnswerHit measures the fully transparent path: a
+// repeated (context, query) through SessionCache.Answer, hitting both the
+// prefill and the sealed-cache entries of the shared store.
+func BenchmarkSessionCacheAnswerHit(b *testing.B) {
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{})
+	if _, err := sc.Answer(s.Context, s.Query); err != nil { // populate
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Answer(s.Context, s.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Kernel microbenchmarks -------------------------------------------
 
 func benchRows(n, d int) []float32 {

@@ -2,15 +2,24 @@
 // deployment of this library would take. Requests run concurrently on a
 // bounded worker pool (see internal/httpapi). Endpoints:
 //
-//	GET  /v1/info                  pipeline configuration and rosters
-//	POST /v1/answer                {"context": [...], "query": [...]}
-//	POST /v1/search                Module I only: plan + scores
-//	GET  /v1/sample?dataset=X&seed=N  generate a benchmark sample
-//	GET  /v1/metrics               per-endpoint counters and pool state
+//	GET    /v1/info                  pipeline configuration and rosters
+//	POST   /v1/answer                {"context": [...], "query": [...]}
+//	POST   /v1/search                Module I only: plan + scores
+//	GET    /v1/sample?dataset=X&seed=N  generate a benchmark sample
+//	POST   /v1/session               {"context": [...]} -> prefill once, open a session
+//	POST   /v1/session/{id}/answer   {"query": [...]} -> answer without re-prefilling
+//	DELETE /v1/session/{id}          close a session
+//	GET    /v1/metrics               per-endpoint counters, pool and cache state
+//
+// Repeated contexts hit the byte-budgeted session/prefix cache (sized by
+// -session-cache-mb, idle entries dropped after -session-ttl), skipping
+// prefill with byte-identical results; see docs/API.md for the full
+// reference.
 //
 // Usage:
 //
-//	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64
+//	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64 \
+//	    -session-cache-mb 128 -session-ttl 10m
 //	curl -s localhost:8080/v1/sample?dataset=Qasper&seed=7
 package main
 
@@ -31,6 +40,9 @@ func main() {
 	beta := flag.Float64("beta", 0.1, "T_high hyperparameter")
 	workers := flag.Int("workers", 0, "concurrent pipeline executions (0 = NumCPU)")
 	queue := flag.Int("queue", 0, "waiting-request queue depth (0 = 4x workers)")
+	cacheMB := flag.Int("session-cache-mb", 0, "session/prefix cache budget in MiB (0 = 64, negative disables)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle session and cache-entry lifetime (0 = 15m)")
+	maxSessions := flag.Int("max-sessions", 0, "open-session cap, LRU-evicted beyond it (0 = 1024)")
 	flag.Parse()
 
 	p, err := cocktail.New(cocktail.Config{
@@ -39,7 +51,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := httpapi.NewServer(p, httpapi.Options{Workers: *workers, QueueDepth: *queue})
+	srv := httpapi.NewServer(p, httpapi.Options{
+		Workers: *workers, QueueDepth: *queue,
+		SessionCacheMB: *cacheMB, SessionTTL: *sessionTTL,
+		MaxSessions: *maxSessions})
 	log.Printf("cocktail-serve: %s / %s listening on %s", *modelName, *method, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

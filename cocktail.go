@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/datasets"
+	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/rngx"
@@ -139,6 +140,8 @@ type Pipeline struct {
 	lex    *corpus.Lexicon
 	model  *model.Model
 	method core.Method
+	// fingerprint caches Fingerprint()'s config hash (set once in New).
+	fingerprint string
 }
 
 // New builds a pipeline for cfg.
@@ -185,7 +188,9 @@ func New(cfg Config) (*Pipeline, error) {
 			return nil, err
 		}
 	}
-	return &Pipeline{cfg: cfg, lex: lex, model: m, method: meth}, nil
+	p := &Pipeline{cfg: cfg, lex: lex, model: m, method: meth}
+	p.fingerprint = p.computeFingerprint()
+	return p, nil
 }
 
 // Config returns a copy of the pipeline's effective configuration. The
@@ -276,9 +281,23 @@ type Result struct {
 	Plan   PlanSummary
 }
 
+// maxNewTokens is the decode budget of one Answer call; the sequence
+// bound below reserves room for it on top of context + query.
+const maxNewTokens = 64
+
+// checkSeqBound verifies context + query + decode budget fit in MaxSeq.
+func (p *Pipeline) checkSeqBound(ctxTokens, queryTokens int) error {
+	if ctxTokens+queryTokens+2*maxNewTokens > p.cfg.MaxSeq {
+		return fmt.Errorf("cocktail: context+query too long for MaxSeq %d", p.cfg.MaxSeq)
+	}
+	return nil
+}
+
 // Answer runs the full pipeline on (context, query): prefill, Module I
 // search (or the baseline policy), Module II seal, and greedy decoding.
-// All words must come from Vocabulary().
+// All words must come from Vocabulary(). For repeated queries over the
+// same context, Prefill/Session (or a SessionCache) skips the prefill
+// stage and produces byte-identical results.
 func (p *Pipeline) Answer(context, query []string) (*Result, error) {
 	ctxIDs, err := p.encode(context)
 	if err != nil {
@@ -288,24 +307,30 @@ func (p *Pipeline) Answer(context, query []string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(ctxIDs)+len(qIDs)+128 > p.cfg.MaxSeq {
-		return nil, fmt.Errorf("cocktail: context+query too long for MaxSeq %d", p.cfg.MaxSeq)
+	if err := p.checkSeqBound(len(ctxIDs), len(qIDs)); err != nil {
+		return nil, err
 	}
 	b, err := p.model.Prefill(ctxIDs)
 	if err != nil {
 		return nil, err
 	}
-	cache, plan, err := p.method.Prepare(b, ctxIDs, qIDs)
+	cache, plan, err := core.Prepare(p.method, b, ctxIDs, qIDs)
 	if err != nil {
 		return nil, err
 	}
-	out := p.model.Generate(cache, qIDs, 64)
+	out := p.model.Generate(cache, qIDs, maxNewTokens)
+	return p.buildResult(cache, plan, len(ctxIDs), out), nil
+}
 
+// buildResult assembles the public Result from a decoded cache and its
+// plan; it is shared by the cold Answer path and the session path so the
+// two report identical payloads.
+func (p *Pipeline) buildResult(cache *kvcache.Cache, plan *kvcache.Plan, ctxTokens int, out []int) *Result {
 	stats := cache.Stats()
 	summary := PlanSummary{
 		Segments:          stats.Segments,
 		ContextKVBytes:    stats.ContextBytes,
-		FP16KVBytes:       p.model.CacheConfig().FP16Bytes(len(ctxIDs)),
+		FP16KVBytes:       p.model.CacheConfig().FP16Bytes(ctxTokens),
 		TokensByPrecision: map[string]int{},
 	}
 	for prec, n := range stats.TokensByPrec {
@@ -314,7 +339,7 @@ func (p *Pipeline) Answer(context, query []string) (*Result, error) {
 	for _, prec := range plan.ChunkPrec {
 		summary.ChunkPrecisions = append(summary.ChunkPrecisions, prec.String())
 	}
-	return &Result{Answer: p.lex.SurfacesOf(out), Plan: summary}, nil
+	return &Result{Answer: p.lex.SurfacesOf(out), Plan: summary}
 }
 
 // SearchOnly runs Module I alone and returns the similarity scores,

@@ -19,15 +19,39 @@ import (
 	"repro/internal/search"
 )
 
-// Method is one KV-cache quantization policy. Prepare turns a prefilled
-// builder into a sealed cache for the given request; CostProfile exposes
-// the method's cost behaviour to the hardware model.
+// Method is one KV-cache quantization policy. Plan decides the precision
+// assignment (and kernel options) for one request without touching the
+// cache; Prepare seals a builder under that plan. Splitting the two lets
+// session stores reuse a sealed cache whenever a new query produces the
+// same plan, re-quantizing only when the plan actually changes.
+// CostProfile exposes the method's cost behaviour to the hardware model.
+//
+// Methods are immutable after construction and safe for concurrent use;
+// the Builder passed to Plan/Prepare is only read.
 type Method interface {
 	Name() string
-	// Prepare plans and seals the context KV cache for one request.
-	Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error)
+	// Plan chooses the per-chunk precisions and quantization kernel
+	// options for one (context, query) request. The builder is read-only
+	// (some baselines inspect raw KV statistics, e.g. KVQuant outliers).
+	Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error)
 	// CostProfile returns the hwmodel profile used by Figures 4-6.
 	CostProfile() hwmodel.Profile
+}
+
+// Prepare plans and seals the context KV cache for one request: the
+// historical one-shot path (cold requests, experiment drivers). Session
+// stores call Plan and SealWith separately to insert a cache-reuse lookup
+// between the two.
+func Prepare(m Method, b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+	plan, opts, err := m.Plan(b, ctx, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := b.SealWith(plan, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, plan, nil
 }
 
 // ChunkSize is the paper's default chunk granularity.
@@ -37,10 +61,8 @@ const ChunkSize = 32
 type fp16 struct{}
 
 func (fp16) Name() string { return "FP16" }
-func (fp16) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
-	plan := baselines.FP16Plan(b.NumTokens(), ChunkSize)
-	c, err := b.SealWith(plan, kvcache.SealOptions{})
-	return c, plan, err
+func (fp16) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
+	return baselines.FP16Plan(b.NumTokens(), ChunkSize), kvcache.SealOptions{}, nil
 }
 func (fp16) CostProfile() hwmodel.Profile { return hwmodel.ProfileFP16() }
 
@@ -48,12 +70,11 @@ func (fp16) CostProfile() hwmodel.Profile { return hwmodel.ProfileFP16() }
 type atom struct{}
 
 func (atom) Name() string { return "Atom" }
-func (atom) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+func (atom) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	plan := baselines.AtomPlan(b.NumTokens(), ChunkSize)
 	var cfg kvcache.Config
 	baselines.AtomConfigure(&cfg)
-	c, err := b.SealWith(plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis})
-	return c, plan, err
+	return plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis}, nil
 }
 func (atom) CostProfile() hwmodel.Profile { return hwmodel.ProfileAtom() }
 
@@ -61,12 +82,11 @@ func (atom) CostProfile() hwmodel.Profile { return hwmodel.ProfileAtom() }
 type kivi struct{}
 
 func (kivi) Name() string { return "KIVI" }
-func (kivi) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+func (kivi) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	plan := baselines.KIVIPlan(b.NumTokens(), ChunkSize)
 	var cfg kvcache.Config
 	baselines.KIVIConfigure(&cfg)
-	c, err := b.SealWith(plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis})
-	return c, plan, err
+	return plan, kvcache.SealOptions{KAxis: cfg.KAxis, VAxis: cfg.VAxis}, nil
 }
 func (kivi) CostProfile() hwmodel.Profile { return hwmodel.ProfileKIVI() }
 
@@ -74,13 +94,12 @@ func (kivi) CostProfile() hwmodel.Profile { return hwmodel.ProfileKIVI() }
 type kvquant struct{ outlierFrac float64 }
 
 func (kvquant) Name() string { return "KVQuant" }
-func (k kvquant) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+func (k kvquant) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	plan := baselines.KVQuantPlan(b, ChunkSize, k.outlierFrac)
 	var cfg kvcache.Config
 	baselines.KVQuantConfigure(&cfg)
-	c, err := b.SealWith(plan, kvcache.SealOptions{
-		KAxis: cfg.KAxis, VAxis: cfg.VAxis, UseCodebook: cfg.UseCodebook})
-	return c, plan, err
+	return plan, kvcache.SealOptions{
+		KAxis: cfg.KAxis, VAxis: cfg.VAxis, UseCodebook: cfg.UseCodebook}, nil
 }
 func (k kvquant) CostProfile() hwmodel.Profile { return hwmodel.ProfileKVQuant(k.outlierFrac) }
 
@@ -99,17 +118,17 @@ func NewCocktail(lex *corpus.Lexicon) *Cocktail {
 // Name identifies the method.
 func (c *Cocktail) Name() string { return "Cocktail" }
 
-// Prepare runs chunk-level quantization search and seals with reordering.
-func (c *Cocktail) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+// Plan runs chunk-level quantization search (Module I) and returns the
+// query-adaptive plan with Cocktail's kernel options.
+func (c *Cocktail) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	if len(ctx) != b.NumTokens() {
-		return nil, nil, fmt.Errorf("core: context length %d does not match builder %d", len(ctx), b.NumTokens())
+		return nil, kvcache.SealOptions{}, fmt.Errorf("core: context length %d does not match builder %d", len(ctx), b.NumTokens())
 	}
 	res, err := search.Run(c.Encoder, ctx, query, c.Search)
 	if err != nil {
-		return nil, nil, err
+		return nil, kvcache.SealOptions{}, err
 	}
-	cache, err := b.SealWith(res.Plan, cocktailSealOptions())
-	return cache, res.Plan, err
+	return res.Plan, cocktailSealOptions(), nil
 }
 
 // cocktailSealOptions selects Cocktail's quantization kernels: per-channel
@@ -132,7 +151,7 @@ func (c *Cocktail) CostProfile() hwmodel.Profile {
 type cocktailNoSearch struct{ frac map[kvcache.Precision]float64 }
 
 func (cocktailNoSearch) Name() string { return "Cocktail w/o Module I" }
-func (a cocktailNoSearch) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+func (a cocktailNoSearch) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	n := b.NumTokens()
 	plan := kvcache.UniformPlan(n, ChunkSize, kvcache.INT4, true)
 	// Deterministic similarity-blind assignment with Cocktail proportions.
@@ -148,8 +167,7 @@ func (a cocktailNoSearch) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcach
 			plan.ChunkPrec[i] = kvcache.FP16
 		}
 	}
-	c, err := b.SealWith(plan, cocktailSealOptions())
-	return c, plan, err
+	return plan, cocktailSealOptions(), nil
 }
 func (a cocktailNoSearch) CostProfile() hwmodel.Profile {
 	return hwmodel.ProfileCocktail(ChunkSize, a.frac)
@@ -161,15 +179,14 @@ func (a cocktailNoSearch) CostProfile() hwmodel.Profile {
 type cocktailNoReorder struct{ inner *Cocktail }
 
 func (cocktailNoReorder) Name() string { return "Cocktail w/o Module II" }
-func (a cocktailNoReorder) Prepare(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, *kvcache.Plan, error) {
+func (a cocktailNoReorder) Plan(b *kvcache.Builder, ctx, query []int) (*kvcache.Plan, kvcache.SealOptions, error) {
 	cfg := a.inner.Search
 	cfg.Reorder = false
 	res, err := search.Run(a.inner.Encoder, ctx, query, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, kvcache.SealOptions{}, err
 	}
-	c, err := b.SealWith(res.Plan, cocktailSealOptions())
-	return c, res.Plan, err
+	return res.Plan, cocktailSealOptions(), nil
 }
 func (a cocktailNoReorder) CostProfile() hwmodel.Profile {
 	return hwmodel.ProfileCocktailNoReorder(a.inner.Search.ChunkSize, nil)

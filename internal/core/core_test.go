@@ -53,7 +53,7 @@ func TestMethodsRoster(t *testing.T) {
 func TestAllMethodsPrepareAndGenerate(t *testing.T) {
 	lex, m, s, b := fixture(t)
 	for _, meth := range append(Methods(lex), AblationMethods(lex)[1:]...) {
-		cache, plan, err := meth.Prepare(b, s.Context, s.Query)
+		cache, plan, err := Prepare(meth, b, s.Context, s.Query)
 		if err != nil {
 			t.Fatalf("%s: %v", meth.Name(), err)
 		}
@@ -76,7 +76,7 @@ func TestAllMethodsPrepareAndGenerate(t *testing.T) {
 func TestCocktailProtectsNeedleChunks(t *testing.T) {
 	lex, _, s, b := fixture(t)
 	ct := NewCocktail(lex)
-	_, plan, err := ct.Prepare(b, s.Context, s.Query)
+	_, plan, err := Prepare(ct, b, s.Context, s.Query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestCocktailBeatsUniformLowBit(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cache, _, err := meth.Prepare(b, s.Context, s.Query)
+			cache, _, err := Prepare(meth, b, s.Context, s.Query)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,7 +154,7 @@ func TestEncoderRoster(t *testing.T) {
 func TestPrepareRejectsMismatchedContext(t *testing.T) {
 	lex, _, s, b := fixture(t)
 	ct := NewCocktail(lex)
-	if _, _, err := ct.Prepare(b, s.Context[:100], s.Query); err == nil {
+	if _, _, err := Prepare(ct, b, s.Context[:100], s.Query); err == nil {
 		t.Fatal("expected context mismatch error")
 	}
 }

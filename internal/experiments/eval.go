@@ -118,7 +118,7 @@ func (e *Env) EvalRow(m *model.Model, ds datasets.Dataset, methods []core.Method
 		}
 		row := make([]float64, len(methods))
 		for mi, meth := range methods {
-			cache, _, err := meth.Prepare(b, sample.Context, sample.Query)
+			cache, _, err := core.Prepare(meth, b, sample.Context, sample.Query)
 			if err != nil {
 				return fmt.Errorf("experiments: %s on %s: %w", meth.Name(), ds.Name, err)
 			}

@@ -185,7 +185,7 @@ func Fig7(e *Env) (*Figure, *Figure, error) {
 		cfg.Alpha, cfg.Beta = alpha, beta
 		ct.Search = cfg
 		return func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error) {
-			c, _, err := ct.Prepare(b, ctx, query)
+			c, _, err := core.Prepare(ct, b, ctx, query)
 			return c, err
 		}
 	}

@@ -82,7 +82,7 @@ func Table3(e *Env) (*Table, error) {
 		ct := core.NewCocktail(e.Lex)
 		ct.Search = scfg
 		preps[i] = func(b *kvcache.Builder, ctx, query []int) (*kvcache.Cache, error) {
-			c, _, err := ct.Prepare(b, ctx, query)
+			c, _, err := core.Prepare(ct, b, ctx, query)
 			return c, err
 		}
 	}

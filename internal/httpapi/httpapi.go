@@ -10,19 +10,31 @@
 // the queue, and beyond that the server sheds load with 503 rather than
 // letting latency grow without bound.
 //
+// Cross-request KV reuse: the server keeps a byte-accounted session/prefix
+// cache (cocktail.SessionCache) so a repeated context skips prefill — both
+// transparently on /v1/answer and explicitly through the session endpoints,
+// which prefill once and then answer any number of queries against the
+// retained context KV. Results are byte-identical to the cold path.
+//
 // Endpoints:
 //
-//	GET  /v1/info     pipeline configuration and rosters
-//	POST /v1/answer   full inference (pooled)
-//	POST /v1/search   Module I only (pooled)
-//	GET  /v1/sample   benchmark sample generation (inline, cheap)
-//	GET  /v1/metrics  per-endpoint counters and pool state
+//	GET    /v1/info                 pipeline configuration and rosters
+//	POST   /v1/answer               full inference (pooled, prefix-cached)
+//	POST   /v1/search               Module I only (pooled)
+//	GET    /v1/sample               benchmark sample generation (inline, cheap)
+//	POST   /v1/session              prefill a context, open a session (pooled)
+//	POST   /v1/session/{id}/answer  answer a query in a session (pooled)
+//	DELETE /v1/session/{id}         close a session
+//	GET    /v1/metrics              per-endpoint counters, pool and cache state
 package httpapi
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -33,7 +45,8 @@ import (
 	cocktail "repro"
 )
 
-// Options sizes the serving pool. Zero values take defaults.
+// Options sizes the serving pool and the session/prefix cache. Zero
+// values take defaults.
 type Options struct {
 	// Workers is the number of concurrent pipeline executions
 	// (default runtime.NumCPU()).
@@ -42,6 +55,24 @@ type Options struct {
 	// ones executing; requests arriving past that are rejected with 503
 	// (default 4×Workers).
 	QueueDepth int
+	// SessionCacheMB is the session/prefix cache byte budget in MiB
+	// (0 = default 64). Negative disables cross-request reuse entirely:
+	// /v1/answer always runs cold and sessions share nothing (each still
+	// retains its own prefill state for its own lifetime).
+	SessionCacheMB int
+	// SessionTTL bounds both cache-entry idleness and session idleness:
+	// entries and sessions untouched for longer are dropped
+	// (0 = default 15 minutes). A background janitor sweeps expired
+	// sessions and cache entries even when the server is idle.
+	SessionTTL time.Duration
+	// MaxSessions caps the number of open sessions; opening one past the
+	// cap evicts the least-recently-used session (0 = default 1024).
+	// Open sessions are additionally byte-capped: the registry evicts
+	// LRU sessions whenever their retained prefill KV would exceed the
+	// SessionCacheMB budget (its default applies even when the shared
+	// cache itself is disabled), so session registrations cannot pin an
+	// unbounded multiple of the configured memory.
+	MaxSessions int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +81,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 4 * o.Workers
+	}
+	if o.SessionCacheMB == 0 {
+		o.SessionCacheMB = 64
+	}
+	// <= 0, not == 0: the registry's idle check and the store's expiry
+	// treat negative TTLs differently, so normalize both to the default.
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 15 * time.Minute
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
 	}
 	return o
 }
@@ -66,6 +108,11 @@ type Server struct {
 	jobs    chan func()
 	wg      sync.WaitGroup
 	closing sync.Once
+	stop    chan struct{} // closed by Close; ends the janitor
+
+	// sc is the cross-request session/prefix cache; nil when disabled.
+	sc       *cocktail.SessionCache
+	sessions *sessionRegistry
 
 	stats map[string]*endpointStats
 }
@@ -80,17 +127,54 @@ func New(p *cocktail.Pipeline) http.Handler { return NewServer(p, Options{}) }
 func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		p:    p,
-		opts: opts,
-		jobs: make(chan func(), opts.QueueDepth),
+		p:        p,
+		opts:     opts,
+		jobs:     make(chan func(), opts.QueueDepth),
+		stop:     make(chan struct{}),
+		sessions: newSessionRegistry(opts.SessionTTL, opts.MaxSessions, sessionByteBudget(opts)),
 		stats: map[string]*endpointStats{
-			"/v1/info":    {},
-			"/v1/answer":  {},
-			"/v1/search":  {},
-			"/v1/sample":  {},
-			"/v1/metrics": {},
+			"/v1/info":           {},
+			"/v1/answer":         {},
+			"/v1/search":         {},
+			"/v1/sample":         {},
+			"/v1/metrics":        {},
+			"/v1/session":        {},
+			"/v1/session/answer": {},
+			"/v1/session/delete": {},
 		},
 	}
+	if opts.SessionCacheMB > 0 {
+		s.sc = cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+			MaxBytes: int64(opts.SessionCacheMB) << 20,
+			TTL:      opts.SessionTTL,
+		})
+	}
+	// Janitor: Get/Put expire lazily, but an idle server would otherwise
+	// hold expired sessions and cache entries until the next request.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := opts.SessionTTL / 4
+		if tick > time.Minute {
+			tick = time.Minute
+		}
+		if tick < time.Second {
+			tick = time.Second
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sessions.sweep()
+				if s.sc != nil {
+					s.sc.Sweep()
+				}
+			}
+		}
+	}()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -106,6 +190,9 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 	mux.HandleFunc("POST /v1/search", s.track("/v1/search", s.search))
 	mux.HandleFunc("GET /v1/sample", s.track("/v1/sample", s.sample))
 	mux.HandleFunc("GET /v1/metrics", s.track("/v1/metrics", s.metrics))
+	mux.HandleFunc("POST /v1/session", s.track("/v1/session", s.createSession))
+	mux.HandleFunc("POST /v1/session/{id}/answer", s.track("/v1/session/answer", s.sessionAnswer))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.track("/v1/session/delete", s.deleteSession))
 	s.mux = mux
 	return s
 }
@@ -115,22 +202,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the worker pool after draining queued jobs. The server must
-// not receive further requests once Close is called.
+// Close stops the worker pool (after draining queued jobs) and the
+// TTL janitor. The server must not receive further requests once Close
+// is called.
 func (s *Server) Close() {
 	s.closing.Do(func() {
 		close(s.jobs)
+		close(s.stop)
 		s.wg.Wait()
 	})
 }
 
-// submit runs fn on the worker pool and waits for it to finish. It
-// returns ErrQueueFull without running fn when the queue is saturated,
-// and the context error if the caller gives up while fn is still queued
-// or running (fn's writes must then be discarded). A job whose context
+// enqueue wraps fn in a context-guarded job and places it on the worker
+// queue, returning the job's completion channel. It returns ErrQueueFull
+// without enqueueing when the queue is saturated. A job whose context
 // died while it sat in the queue is dropped when a worker picks it up,
 // so abandoned requests cannot monopolize the pool.
-func (s *Server) submit(ctx context.Context, fn func()) error {
+func (s *Server) enqueue(ctx context.Context, fn func()) (<-chan struct{}, error) {
 	done := make(chan struct{})
 	job := func() {
 		defer close(done)
@@ -140,8 +228,20 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 	}
 	select {
 	case s.jobs <- job:
+		return done, nil
 	default:
-		return ErrQueueFull
+		return nil, ErrQueueFull
+	}
+}
+
+// submit runs fn on the worker pool and waits for it to finish. It
+// returns ErrQueueFull without running fn when the queue is saturated,
+// and the context error if the caller gives up while fn is still queued
+// or running (fn's writes must then be discarded).
+func (s *Server) submit(ctx context.Context, fn func()) error {
+	done, err := s.enqueue(ctx, fn)
+	if err != nil {
+		return err
 	}
 	select {
 	case <-done:
@@ -149,6 +249,22 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// submitWait runs fn on the worker pool like submit, but never abandons
+// it: once enqueued, submitWait blocks until the job has actually
+// finished (or was skipped because the context died while it was still
+// queued), even if the caller's context is canceled mid-execution. The
+// session path needs this: its caller holds the per-session mutex that
+// fn's execution depends on, so returning before fn completes would let
+// a second Answer run concurrently on the single-owner Session.
+func (s *Server) submitWait(ctx context.Context, fn func()) error {
+	done, err := s.enqueue(ctx, fn)
+	if err != nil {
+		return err
+	}
+	<-done
+	return ctx.Err()
 }
 
 // endpointStats aggregates one endpoint's counters; all fields are
@@ -197,10 +313,20 @@ type PoolMetrics struct {
 	QueueLen   int `json:"queue_len"`
 }
 
+// SessionCacheMetrics is the session/prefix cache block of the
+// /v1/metrics payload: the store's hit/miss/eviction/expiration counters
+// and byte occupancy, plus the number of open sessions.
+type SessionCacheMetrics struct {
+	Enabled bool `json:"enabled"`
+	cocktail.CacheStats
+	ActiveSessions int `json:"active_sessions"`
+}
+
 // Metrics is the full /v1/metrics payload.
 type Metrics struct {
-	Pool      PoolMetrics                `json:"pool"`
-	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	Pool         PoolMetrics                `json:"pool"`
+	SessionCache SessionCacheMetrics        `json:"session_cache"`
+	Endpoints    map[string]EndpointMetrics `json:"endpoints"`
 }
 
 // Snapshot returns the server's current metrics.
@@ -211,7 +337,14 @@ func (s *Server) Snapshot() Metrics {
 			QueueDepth: s.opts.QueueDepth,
 			QueueLen:   len(s.jobs),
 		},
+		SessionCache: SessionCacheMetrics{
+			ActiveSessions: s.sessions.len(),
+		},
 		Endpoints: make(map[string]EndpointMetrics, len(s.stats)),
+	}
+	if s.sc != nil {
+		m.SessionCache.Enabled = true
+		m.SessionCache.CacheStats = s.sc.Stats()
 	}
 	for path, e := range s.stats {
 		em := EndpointMetrics{
@@ -299,7 +432,13 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	perr := s.submit(r.Context(), func() {
-		res, err = s.p.Answer(req.Context, req.Query)
+		// With the prefix cache enabled a repeated context skips prefill
+		// transparently; the output is byte-identical to the cold path.
+		if s.sc != nil {
+			res, err = s.sc.Answer(req.Context, req.Query)
+		} else {
+			res, err = s.p.Answer(req.Context, req.Query)
+		}
 	})
 	if perr != nil {
 		s.poolErr(w, perr)
@@ -352,6 +491,238 @@ func (s *Server) poolErr(w http.ResponseWriter, err error) {
 		return
 	}
 	writeErr(w, http.StatusRequestTimeout, err)
+}
+
+// liveSession is one open session. The wrapped cocktail.Session is
+// single-owner; mu serializes Answer calls so concurrent HTTP requests
+// against the same session id are safe (they queue, in arbitrary order).
+type liveSession struct {
+	id   string
+	mu   sync.Mutex
+	sess *cocktail.Session
+	// bytes is the session's retained prefill KV footprint (fixed at
+	// creation); lastUsed is guarded by the registry mutex.
+	bytes    int64
+	lastUsed time.Time
+}
+
+// sessionRegistry maps session ids to open sessions. Sessions idle
+// beyond the TTL are expired lazily on every access and by the server's
+// janitor; the session count is capped (LRU session evicted at the cap),
+// which bounds the prefill state session registrations can pin — the
+// registry holds the only server-side reference to a session's prefill
+// state, so expiry, eviction or DELETE is what releases session memory
+// not shared through the byte-budgeted store. Safe for concurrent use.
+type sessionRegistry struct {
+	mu       sync.Mutex
+	ttl      time.Duration
+	max      int
+	maxBytes int64 // cap on the sessions' summed retained prefill KV
+	m        map[string]*liveSession
+	bytes    int64 // current sum of liveSession.bytes
+}
+
+// sessionByteBudget derives the registry's byte cap from the cache
+// budget; a disabled cache (negative MB) still gets the default budget
+// so store-less sessions stay bounded.
+func sessionByteBudget(opts Options) int64 {
+	if opts.SessionCacheMB <= 0 {
+		return 64 << 20
+	}
+	return int64(opts.SessionCacheMB) << 20
+}
+
+func newSessionRegistry(ttl time.Duration, max int, maxBytes int64) *sessionRegistry {
+	return &sessionRegistry{ttl: ttl, max: max, maxBytes: maxBytes, m: make(map[string]*liveSession)}
+}
+
+// removeLocked drops one session and its byte accounting. Callers hold r.mu.
+func (r *sessionRegistry) removeLocked(id string) {
+	if ls, ok := r.m[id]; ok {
+		r.bytes -= ls.bytes
+		delete(r.m, id)
+	}
+}
+
+// expireLocked drops sessions idle beyond the TTL. Callers hold r.mu.
+func (r *sessionRegistry) expireLocked(now time.Time) {
+	for id, ls := range r.m {
+		if now.Sub(ls.lastUsed) > r.ttl {
+			r.removeLocked(id)
+		}
+	}
+}
+
+// sweep drops expired sessions now (the janitor's entry point).
+func (r *sessionRegistry) sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(time.Now())
+}
+
+func (r *sessionRegistry) add(sess *cocktail.Session) (*liveSession, error) {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	ls := &liveSession{id: hex.EncodeToString(buf[:]), sess: sess, bytes: sess.SizeBytes()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Like the store, refuse a session that alone exceeds the whole byte
+	// budget — admitting it would both blow the cap and evict every
+	// other session for nothing.
+	if ls.bytes > r.maxBytes {
+		return nil, fmt.Errorf("httpapi: context prefill KV (%d bytes) exceeds the session byte budget (%d bytes)",
+			ls.bytes, r.maxBytes)
+	}
+	now := time.Now()
+	r.expireLocked(now)
+	// At either cap — session count or summed prefill KV bytes — evict
+	// the least-recently-used session (clients see a 404 on its next use
+	// and reopen — session-as-cache semantics).
+	for len(r.m) > 0 && (len(r.m) >= r.max || r.bytes+ls.bytes > r.maxBytes) {
+		var oldest *liveSession
+		for _, cand := range r.m {
+			if oldest == nil || cand.lastUsed.Before(oldest.lastUsed) {
+				oldest = cand
+			}
+		}
+		r.removeLocked(oldest.id)
+	}
+	ls.lastUsed = now
+	r.m[ls.id] = ls
+	r.bytes += ls.bytes
+	return ls, nil
+}
+
+func (r *sessionRegistry) get(id string) (*liveSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.expireLocked(now)
+	ls, ok := r.m[id]
+	if ok {
+		ls.lastUsed = now
+	}
+	return ls, ok
+}
+
+func (r *sessionRegistry) delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Expire first so deleting a TTL-stale id reports 404 exactly like
+	// any other access to it would.
+	r.expireLocked(time.Now())
+	_, ok := r.m[id]
+	r.removeLocked(id)
+	return ok
+}
+
+func (r *sessionRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(time.Now())
+	return len(r.m)
+}
+
+type sessionRequest struct {
+	Context []string `json:"context"`
+}
+
+// SessionInfo is the POST /v1/session response payload.
+type SessionInfo struct {
+	SessionID     string `json:"session_id"`
+	ContextTokens int    `json:"context_tokens"`
+	// CachedPrefill reports whether the context KV came from the shared
+	// prefix cache rather than a fresh prefill run.
+	CachedPrefill bool `json:"cached_prefill"`
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		sess *cocktail.Session
+		err  error
+	)
+	perr := s.submit(r.Context(), func() {
+		if s.sc != nil {
+			sess, err = s.sc.Prefill(req.Context)
+		} else {
+			sess, err = s.p.Prefill(req.Context)
+		}
+	})
+	if perr != nil {
+		s.poolErr(w, perr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ls, err := s.sessions.add(sess)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionInfo{
+		SessionID:     ls.id,
+		ContextTokens: sess.ContextTokens(),
+		CachedPrefill: sess.CachedPrefill(),
+	})
+}
+
+type sessionAnswerRequest struct {
+	Query []string `json:"query"`
+}
+
+func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown or expired session"))
+		return
+	}
+	var req sessionAnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		res *cocktail.Result
+		err error
+	)
+	// Serialize on the session BEFORE taking a pool slot: requests racing
+	// on one session id queue here holding no worker, so a hot session
+	// can occupy at most one worker and cannot starve other endpoints.
+	// submitWait (not submit) so the lock is never released while the
+	// job is still running Answer on the single-owner Session.
+	perr := func() error {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		return s.submitWait(r.Context(), func() {
+			res, err = ls.sess.Answer(req.Query)
+		})
+	}()
+	if perr != nil {
+		s.poolErr(w, perr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.delete(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown or expired session"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) sample(w http.ResponseWriter, r *http.Request) {

@@ -261,6 +261,45 @@ func TestQueueSaturation(t *testing.T) {
 	}
 }
 
+// TestSubmitWaitHoldsThroughCancel: submitWait must not return while its
+// job is still executing, even after the caller's context is canceled —
+// the session path relies on this to keep the per-session lock held for
+// the whole Answer.
+func TestSubmitWaitHoldsThroughCancel(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 4})
+	t.Cleanup(s.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	released := false
+	releaseJob := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	t.Cleanup(releaseJob)
+	running := make(chan struct{})
+	returned := make(chan error, 1)
+	go func() {
+		returned <- s.submitWait(ctx, func() {
+			close(running)
+			<-release
+		})
+	}()
+	<-running // job is executing
+	cancel()  // client goes away mid-execution
+	select {
+	case err := <-returned:
+		t.Fatalf("submitWait returned %v while the job was still running", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	releaseJob()
+	if err := <-returned; err != context.Canceled {
+		t.Fatalf("submitWait error = %v, want context.Canceled", err)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	var sample struct{ Context, Query []string }
@@ -285,6 +324,322 @@ func TestMetricsEndpoint(t *testing.T) {
 	smp := m.Endpoints["/v1/sample"]
 	if smp.Requests != 2 || smp.Errors != 1 {
 		t.Fatalf("bad sample metrics: %+v", smp)
+	}
+}
+
+// TestSessionLifecycle walks the session surface end to end: open a
+// session, answer through it (byte-identical to /v1/answer), observe the
+// prefix-cache hit on a second session over the same context, and close.
+func TestSessionLifecycle(t *testing.T) {
+	srv := testServer(t)
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=11", &sample)
+
+	var cold struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &cold); code != 200 {
+		t.Fatalf("cold answer failed")
+	}
+
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatalf("create session status != 200")
+	}
+	if info.SessionID == "" || info.ContextTokens != len(sample.Context) {
+		t.Fatalf("bad session info: %+v", info)
+	}
+	// The /v1/answer call above already prefilled this context into the
+	// shared store, so the session opens on a cache hit.
+	if !info.CachedPrefill {
+		t.Fatalf("expected cached prefill: %+v", info)
+	}
+
+	for i := 0; i < 2; i++ {
+		var warm struct{ Answer []string }
+		code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+			map[string]any{"query": sample.Query}, &warm)
+		if code != 200 {
+			t.Fatalf("session answer %d status %d", i, code)
+		}
+		if strings.Join(warm.Answer, " ") != strings.Join(cold.Answer, " ") {
+			t.Fatalf("session answer %d diverged: %v != %v", i, warm.Answer, cold.Answer)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+info.SessionID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+		map[string]any{"query": sample.Query}, &e); code != 404 {
+		t.Fatalf("answer after delete status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/session/nope/answer",
+		map[string]any{"query": sample.Query}, &e); code != 404 {
+		t.Fatalf("unknown session status %d", code)
+	}
+}
+
+// TestAnswerPrefixCacheHit: repeating a context through plain /v1/answer
+// must hit the prefix cache and surface it in /v1/metrics.
+func TestAnswerPrefixCacheHit(t *testing.T) {
+	srv := testServer(t)
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=TREC&seed=5", &sample)
+
+	var first, second struct{ Answer []string }
+	postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &first)
+	postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &second)
+	if strings.Join(first.Answer, " ") != strings.Join(second.Answer, " ") {
+		t.Fatalf("prefix-cached answer diverged")
+	}
+
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if !m.SessionCache.Enabled {
+		t.Fatalf("session cache should be enabled by default: %+v", m.SessionCache)
+	}
+	// Second request hits both the prefill and the sealed entry.
+	if m.SessionCache.Hits < 2 || m.SessionCache.Entries == 0 || m.SessionCache.Bytes <= 0 {
+		t.Fatalf("prefix cache metrics: %+v", m.SessionCache)
+	}
+}
+
+// TestSessionCacheDisabled: a negative budget turns off cross-request
+// reuse but sessions must still work (store-less, per-session state).
+func TestSessionCacheDisabled(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{SessionCacheMB: -1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=3", &sample)
+	var cold struct{ Answer []string }
+	postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &cold)
+
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatalf("create session status != 200")
+	}
+	if info.CachedPrefill {
+		t.Fatalf("store-less session reported a cache hit")
+	}
+	var warm struct{ Answer []string }
+	postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+		map[string]any{"query": sample.Query}, &warm)
+	if strings.Join(warm.Answer, " ") != strings.Join(cold.Answer, " ") {
+		t.Fatalf("store-less session diverged from cold")
+	}
+
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.SessionCache.Enabled || m.SessionCache.ActiveSessions != 1 {
+		t.Fatalf("disabled-cache metrics: %+v", m.SessionCache)
+	}
+}
+
+// TestMaxSessionsEvictsLRU: the session cap must hold and evict the
+// least-recently-used session, never the most recent one.
+func TestMaxSessionsEvictsLRU(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{MaxSessions: 2})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=21", &sample)
+
+	ids := make([]string, 3)
+	for i := range ids {
+		var info SessionInfo
+		if code := postJSON(t, srv.URL+"/v1/session",
+			map[string]any{"context": sample.Context}, &info); code != 200 {
+			t.Fatalf("create %d failed", i)
+		}
+		ids[i] = info.SessionID
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.SessionCache.ActiveSessions != 2 {
+		t.Fatalf("cap not enforced: %d active", m.SessionCache.ActiveSessions)
+	}
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/session/"+ids[0]+"/answer",
+		map[string]any{"query": sample.Query}, &e); code != 404 {
+		t.Fatalf("oldest session should be evicted, got %d", code)
+	}
+	var res struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/session/"+ids[2]+"/answer",
+		map[string]any{"query": sample.Query}, &res); code != 200 {
+		t.Fatalf("newest session must survive, got %d", code)
+	}
+}
+
+// TestSessionByteCapEvictsLRU: open sessions are byte-capped by the
+// cache budget, not only count-capped — a 1 MiB budget holds one
+// ~0.6 MiB prefilled context, so a second session evicts the first.
+func TestSessionByteCapEvictsLRU(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{SessionCacheMB: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=23", &sample)
+
+	ids := make([]string, 2)
+	for i := range ids {
+		var info SessionInfo
+		if code := postJSON(t, srv.URL+"/v1/session",
+			map[string]any{"context": sample.Context}, &info); code != 200 {
+			t.Fatalf("create %d failed", i)
+		}
+		ids[i] = info.SessionID
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.SessionCache.ActiveSessions != 1 {
+		t.Fatalf("byte cap not enforced: %d active sessions", m.SessionCache.ActiveSessions)
+	}
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/session/"+ids[0]+"/answer",
+		map[string]any{"query": sample.Query}, &e); code != 404 {
+		t.Fatalf("byte-evicted session should 404, got %d", code)
+	}
+	var res struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/session/"+ids[1]+"/answer",
+		map[string]any{"query": sample.Query}, &res); code != 200 {
+		t.Fatalf("resident session must answer, got %d", code)
+	}
+}
+
+// TestOversizedSessionRejected: a context whose prefill KV alone exceeds
+// the session byte budget must be refused with 422 — not admitted over
+// budget after evicting every other session.
+func TestOversizedSessionRejected(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{SessionCacheMB: 1}) // 1 MiB budget
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=29", &sample)
+	// Inflate the context to ~1500 tokens (all vocabulary words), whose
+	// FP32 prefill KV (~1.1 MiB at the default geometry) tops 1 MiB.
+	big := sample.Context
+	for len(big) < 1500 {
+		big = append(big, sample.Context...)
+	}
+	big = big[:1500]
+
+	// A small session must still be admitted before and after.
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatalf("small session status %d", code)
+	}
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": big}, &e); code != 422 {
+		t.Fatalf("oversized session status %d, want 422", code)
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.SessionCache.ActiveSessions != 1 {
+		t.Fatalf("oversized reject must not evict residents: %+v", m.SessionCache)
+	}
+}
+
+// TestDeleteExpiredSessionIs404: DELETE on a TTL-stale id must report 404
+// like every other access to it, not 204.
+func TestDeleteExpiredSessionIs404(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{SessionTTL: 50 * time.Millisecond})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=37", &sample)
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create failed")
+	}
+	time.Sleep(120 * time.Millisecond) // past TTL, before the janitor's 1s tick
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+info.SessionID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete of expired session status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSessionAnswers hammers one session id from many
+// goroutines; the per-session mutex must serialize the single-owner
+// Session underneath (run under -race).
+func TestConcurrentSessionAnswers(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{Workers: 4, QueueDepth: 64})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	sample, err := p.NewSample("Qasper", 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Answer(sample.Context, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create session failed")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res struct{ Answer []string }
+			code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+				map[string]any{"query": sample.Query}, &res)
+			if code != 200 {
+				errs <- fmt.Errorf("request %d: status %d", i, code)
+				return
+			}
+			if strings.Join(res.Answer, " ") != strings.Join(want.Answer, " ") {
+				errs <- fmt.Errorf("request %d diverged", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -9,9 +9,13 @@ import (
 )
 
 // Config describes the cache geometry and quantization kernel options.
+// A Config is a plain value: copy freely, share read-only.
 type Config struct {
-	Layers  int
-	Heads   int
+	// Layers and Heads give the attention geometry; the cache stores one
+	// K and one V row per (layer, head, token).
+	Layers int
+	Heads  int
+	// HeadDim is the per-head row width in values (not bytes).
 	HeadDim int
 
 	// GroupSize is the quantization group size (values per scale).
@@ -80,6 +84,18 @@ func (b *Builder) Append(layer, head int, k, v []float32) {
 	b.v[idx] = append(b.v[idx], v...)
 }
 
+// SizeBytes returns the resident FP32 footprint of the accumulated
+// context KV in bytes (4 bytes per value, K and V across all layers and
+// heads). It is the accounting unit session stores charge for retaining a
+// prefilled builder across requests.
+func (b *Builder) SizeBytes() int64 {
+	var n int64
+	for idx := range b.k {
+		n += int64(len(b.k[idx]) + len(b.v[idx]))
+	}
+	return 4 * n
+}
+
 // KRow returns the raw FP32 K row of token t for (layer, head) — used by
 // prefill attention, which runs before quantization, and by baselines that
 // need statistics (e.g. KVQuant outlier selection).
@@ -111,7 +127,10 @@ type segment struct {
 // that decode appends to. Attention over it follows Algorithm 1. Like a
 // real per-request KV cache, a Cache is owned by one request and is not
 // safe for concurrent use (Attend reuses scratch buffers, AppendTail
-// mutates the tail).
+// mutates the tail). The sealed context segments themselves are immutable
+// after SealWith, which is what makes Fork cheap: forks share segments
+// and own everything mutable, so cross-request reuse stores one pristine
+// Cache and decodes on forks.
 type Cache struct {
 	cfg  Config
 	plan *Plan
@@ -204,6 +223,44 @@ func (b *Builder) SealWith(plan *Plan, opts SealOptions) (*Cache, error) {
 		}
 	}
 	return c, nil
+}
+
+// Fork returns a new cache sharing this cache's immutable sealed context
+// segments (and plan) but with its own decode tail and scratch buffers.
+// The sealed segments are written only at SealWith time, so any number of
+// forks may decode concurrently — each fork is single-owner per-request
+// state exactly like a freshly sealed Cache, while the underlying
+// quantized context bytes exist once. Tail tokens already appended to the
+// receiver are copied, not shared, so forking mid-decode is safe too.
+//
+// Fork is the mechanism behind cross-request KV reuse: a session store
+// keeps one pristine sealed Cache per (context, plan) and every request
+// decodes on a fork.
+func (c *Cache) Fork() *Cache {
+	f := &Cache{
+		cfg:        c.cfg,
+		plan:       c.plan,
+		segs:       c.segs,
+		tailK:      make([][]f16.F16, len(c.tailK)),
+		tailV:      make([][]f16.F16, len(c.tailV)),
+		tailTokens: c.tailTokens,
+		row:        make([]float32, c.cfg.HeadDim),
+	}
+	for idx := range c.tailK {
+		f.tailK[idx] = append([]f16.F16(nil), c.tailK[idx]...)
+		f.tailV[idx] = append([]f16.F16(nil), c.tailV[idx]...)
+	}
+	return f
+}
+
+// SizeBytes returns the resident footprint of the sealed cache in bytes:
+// quantized and FP16 context storage plus the FP16 decode tail. It is the
+// accounting unit session stores charge for retaining a sealed cache, and
+// it uses the same honest byte formulas as the hardware model (packed
+// codes + FP16 scale/zero metadata, 2 bytes per FP16 value).
+func (c *Cache) SizeBytes() int64 {
+	s := c.Stats()
+	return int64(s.ContextBytes + s.TailBytes)
 }
 
 // Config returns the cache geometry.
@@ -300,10 +357,12 @@ func (c *Cache) Attend(layer, head int, q []float32, scale float32, out []float3
 	}
 }
 
-// Stats describes the sealed cache footprint.
+// Stats describes the sealed cache footprint. Byte fields are storage
+// bytes (packed codes + FP16 scale/zero metadata for quantized segments,
+// 2 bytes per FP16 value); token counts are context tokens.
 type Stats struct {
-	ContextBytes int // quantized + FP16 context storage across layers/heads
-	TailBytes    int // FP16 decode/query tail
+	ContextBytes int // quantized + FP16 context storage across layers/heads, in bytes
+	TailBytes    int // FP16 decode/query tail, in bytes
 	Segments     int // contiguous segments per (layer, head)
 	TokensByPrec map[Precision]int
 }

@@ -335,3 +335,70 @@ func TestKIVIAxesConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestForkIsolation: forks share the sealed context but own their decode
+// tails — decoding on one fork must not disturb its siblings or the
+// pristine parent, and pre-fork tail tokens are copied, not shared.
+func TestForkIsolation(t *testing.T) {
+	cfg := testConfig()
+	b := fillBuilder(31, cfg, 64)
+	parent, err := b.Seal(UniformPlan(64, 32, INT4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rngx.New(32)
+	q := r.GaussianVec(cfg.HeadDim, 1)
+	ref := make([]float32, cfg.HeadDim)
+	parentBytes := parent.SizeBytes()
+	parent.Attend(0, 0, q, 0.25, ref)
+
+	f1, f2 := parent.Fork(), parent.Fork()
+	// Decode three tokens on f1 only.
+	for i := 0; i < 3; i++ {
+		f1.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			for h := 0; h < cfg.Heads; h++ {
+				f1.AppendTail(l, h, r.GaussianVec(cfg.HeadDim, 1), r.GaussianVec(cfg.HeadDim, 1))
+			}
+		}
+	}
+	if parent.Len() != 64 || f2.Len() != 64 || f1.Len() != 67 {
+		t.Fatalf("tail leaked across forks: parent=%d f1=%d f2=%d", parent.Len(), f1.Len(), f2.Len())
+	}
+	if parent.SizeBytes() != parentBytes {
+		t.Fatal("decoding on a fork changed the parent's footprint")
+	}
+	got := make([]float32, cfg.HeadDim)
+	f2.Attend(0, 0, q, 0.25, got)
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("untouched fork attention diverged at %d: %v != %v", i, got[i], ref[i])
+		}
+	}
+
+	// Forking mid-decode copies the existing tail.
+	f3 := f1.Fork()
+	if f3.Len() != 67 || f3.TailTokens() != 3 {
+		t.Fatalf("mid-decode fork lost the tail: len=%d tail=%d", f3.Len(), f3.TailTokens())
+	}
+	f3.BeginToken()
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			f3.AppendTail(l, h, r.GaussianVec(cfg.HeadDim, 1), r.GaussianVec(cfg.HeadDim, 1))
+		}
+	}
+	if f1.Len() != 67 {
+		t.Fatal("appending on a mid-decode fork mutated its source")
+	}
+}
+
+// TestBuilderSizeBytes: the FP32 accounting must match geometry exactly.
+func TestBuilderSizeBytes(t *testing.T) {
+	cfg := testConfig()
+	n := 48
+	b := fillBuilder(33, cfg, n)
+	want := int64(4 * 2 * n * cfg.Layers * cfg.Heads * cfg.HeadDim) // K+V FP32
+	if got := b.SizeBytes(); got != want {
+		t.Fatalf("Builder.SizeBytes = %d, want %d", got, want)
+	}
+}

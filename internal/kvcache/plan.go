@@ -35,6 +35,7 @@ func (p Precision) Bits() int {
 	panic(fmt.Sprintf("kvcache: invalid precision %d", p))
 }
 
+// String returns the precision's table label ("INT2", "FP16", …).
 func (p Precision) String() string {
 	switch p {
 	case INT2:
@@ -55,8 +56,14 @@ func (p Precision) String() string {
 //
 // The trailing partial chunk (when NumTokens is not divisible by ChunkSize)
 // is always kept FP16, as in the paper.
+//
+// A Plan is built once (by Module I search or a baseline policy) and
+// read-only afterwards: sealed caches keep a reference to it, and plans
+// are hashed as cache keys, so mutating a plan after sealing is invalid.
 type Plan struct {
+	// NumTokens is the number of context tokens the plan covers.
 	NumTokens int
+	// ChunkSize is the chunk granularity in tokens.
 	ChunkSize int
 	// ChunkPrec assigns a precision to each full chunk
 	// (len == NumTokens/ChunkSize).
@@ -186,7 +193,8 @@ func (p *Plan) SegmentRuns() []Run {
 	return runs
 }
 
-// Run is a contiguous same-precision stretch of tokens in physical layout.
+// Run is a contiguous same-precision stretch in physical layout; Tokens
+// is its length in context tokens.
 type Run struct {
 	Prec   Precision
 	Tokens int

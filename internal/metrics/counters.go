@@ -1,0 +1,24 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a lock-free event counter for serving-side instrumentation
+// (cache hits/misses/evictions, request tallies, byte gauges). It
+// complements the offline scoring metrics in this package: scoring
+// functions grade answers, Counters observe the system producing them.
+//
+// The zero value is ready to use. A Counter is shared state by design:
+// Add and Load may be called from any number of goroutines without
+// external locking. Counts are dimensionless event totals; callers that
+// track bytes or durations document the unit at the field site.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add records n further events (n may be negative for gauge-style use,
+// e.g. net bytes resident).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current total.
+func (c *Counter) Load() int64 { return c.v.Load() }

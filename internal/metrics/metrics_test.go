@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -148,5 +149,27 @@ func TestLevenshteinKnown(t *testing.T) {
 	}
 	if d := levenshtein(nil, w("a b")); d != 2 {
 		t.Fatalf("levenshtein from empty = %d", d)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value must start at 0")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(-500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000-8*500 {
+		t.Fatalf("Counter total = %d, want %d", got, 8*1000-8*500)
 	}
 }

@@ -89,15 +89,13 @@ func uniformGrid(n int) []float32 {
 	return cb
 }
 
-// SymmetricRange reports, per group, the symmetric [-m, +m] envelope that
-// SymmetricQuantize uses (m = max|x| over the group).
-//
-// SymmetricQuantize quantizes with a symmetric grid: zero-point fixed at
-// -m and range [-m, +m], so the grid is centered on zero. Symmetric grids
-// waste range on skewed data (the design-choice ablation in bench_test.go
-// measures the cost) but real kernels like them because the zero-point
-// multiply disappears. Implemented by clamping each group's data envelope
-// to its symmetric hull and reusing the shared quantization machinery.
+// SymmetricQuantize quantizes a rows×cols row-major matrix with a
+// symmetric grid: per group, the zero-point is fixed at -m and the range
+// at [-m, +m] with m = max|x| over the group, so the grid is centered on
+// zero. Symmetric grids waste range on skewed data (the design-choice
+// ablation in bench_test.go measures the cost) but real kernels like them
+// because the zero-point multiply disappears. The returned Tensor obeys
+// the same immutability contract as Quantize's.
 func SymmetricQuantize(data []float32, rows, cols int, cfg Config) *Tensor {
 	if len(data) != rows*cols {
 		panic("quant: data length mismatch")

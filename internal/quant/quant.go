@@ -47,6 +47,7 @@ const (
 	PerChannel
 )
 
+// String returns the axis label ("per-token" or "per-channel").
 func (a Axis) String() string {
 	if a == PerChannel {
 		return "per-channel"
@@ -54,7 +55,9 @@ func (a Axis) String() string {
 	return "per-token"
 }
 
-// Tensor is a quantized rows×cols matrix.
+// Tensor is a quantized rows×cols matrix. A Tensor is immutable after
+// Quantize and safe for any number of concurrent readers — sealed KV
+// caches rely on this to share quantized segments across request forks.
 type Tensor struct {
 	Bits       Bits
 	Rows, Cols int
@@ -323,8 +326,9 @@ func (t *Tensor) AxpyRow(dst []float32, alpha float32, i int) {
 	}
 }
 
-// Bytes returns the storage footprint: packed codes, FP16 scales and zeros,
-// and the codebook if present.
+// Bytes returns the storage footprint in bytes: packed codes, FP16 scales
+// and zeros, and the codebook if present. This is the honest accounting
+// the hardware model and the session store's byte budget both consume.
 func (t *Tensor) Bytes() int {
 	b := len(t.codes) + 2*len(t.scales) + 2*len(t.zeros)
 	if t.codebook != nil {

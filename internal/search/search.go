@@ -18,7 +18,8 @@ import (
 	"repro/internal/kvcache"
 )
 
-// Config holds the Module I hyperparameters.
+// Config holds the Module I hyperparameters. It is a plain value — copy
+// freely; a validated Config shared read-only across goroutines is safe.
 type Config struct {
 	// Alpha positions T_low within the score range (Eq. 2); larger α sends
 	// more chunks to the Low precision.
@@ -56,9 +57,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result is the outcome of one quantization search.
+// Result is the outcome of one quantization search: per-request state
+// owned by the caller.
 type Result struct {
-	// Scores holds the per-chunk similarity scores.
+	// Scores holds the per-chunk similarity scores (dimensionless, higher
+	// = more query-relevant; the scale depends on the encoder).
 	Scores []float64
 	// TLow and THigh are the thresholds computed by Eq. 2–3.
 	TLow, THigh float64
@@ -78,7 +81,9 @@ func Chunks(ctx []int, chunkSize int) [][]int {
 }
 
 // Run performs the chunk-level quantization search for one (context, query)
-// pair and returns the scores, thresholds and plan.
+// pair and returns the scores, thresholds and plan. Run keeps no state of
+// its own — with an encoder that is safe for concurrent use (all shipped
+// encoders are read-only after construction), concurrent Runs are safe.
 func Run(enc encoder.Encoder, ctx, query []int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

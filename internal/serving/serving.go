@@ -15,12 +15,13 @@ import (
 	"repro/internal/rngx"
 )
 
-// Request is one inference job.
+// Request is one inference job. Requests are plain values owned by the
+// caller; Simulate never mutates its input slice.
 type Request struct {
 	ID            int
-	ArrivalTime   float64 // seconds
-	ContextTokens int
-	OutputTokens  int
+	ArrivalTime   float64 // seconds since trace start
+	ContextTokens int     // prompt length in tokens
+	OutputTokens  int     // generation length in tokens
 }
 
 // PoissonTrace generates n requests with exponential inter-arrival times
@@ -36,7 +37,9 @@ func PoissonTrace(seed uint64, n int, rate float64, ctxTokens, outTokens int) []
 	return reqs
 }
 
-// Config describes the simulated server.
+// Config describes the simulated server. It is a plain value; sharing
+// one Config across concurrent Simulate calls is safe (Simulate only
+// reads it).
 type Config struct {
 	GPU     hwmodel.GPUSpec
 	Model   hwmodel.ModelDims
@@ -45,17 +48,18 @@ type Config struct {
 	MaxBatch int
 }
 
-// Stats summarizes one simulation run.
+// Stats summarizes one simulation run. Time fields are in simulated
+// seconds; token counts are generated output tokens.
 type Stats struct {
 	Completed       int
-	Rejected        int // requests that can never fit (even alone)
-	SimTime         float64
+	Rejected        int     // requests that can never fit (even alone)
+	SimTime         float64 // total simulated span in seconds
 	TokensGenerated int64
 	// ThroughputTokS is generated tokens per second of simulated time.
 	ThroughputTokS float64
-	// MeanLatency and P95Latency cover arrival -> completion.
+	// MeanLatency and P95Latency cover arrival -> completion, in seconds.
 	MeanLatency, P95Latency float64
-	// MeanBatch is the average scheduled batch size.
+	// MeanBatch is the average scheduled batch size (requests per batch).
 	MeanBatch float64
 	Batches   int
 }
@@ -79,7 +83,8 @@ func maxFit(cfg Config, ctx, out, limit int) int {
 // Simulate runs static-batch scheduling over the request trace: when the
 // GPU is free, all waiting requests (up to the memory-fitting batch size)
 // are launched together; the batch occupies the GPU for search + prefill +
-// output·TPOT seconds.
+// output·TPOT seconds. Simulate is pure (its only state is local), so
+// concurrent simulations over shared configs and traces are safe.
 func Simulate(cfg Config, reqs []Request) (Stats, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1 << 20

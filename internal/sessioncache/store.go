@@ -1,0 +1,264 @@
+// Package sessioncache is a concurrency-safe, byte-accounted LRU store
+// for cross-request KV-cache reuse. It holds the two artifacts the
+// serving layer wants to keep between requests:
+//
+//   - prefilled kvcache.Builders (raw FP32 context KV, so any future
+//     query can be re-planned and re-sealed byte-identically), and
+//   - pristine sealed kvcache.Caches (quantized context KV for one plan,
+//     decoded on via Cache.Fork so the stored copy is never mutated).
+//
+// The store itself is value-agnostic: anything implementing Sized can be
+// cached, keyed by (pipeline config fingerprint, kind, content hash).
+// Eviction is strict LRU over a byte budget — entry sizes come from the
+// same honest byte accounting the hardware model uses (packed quantized
+// codes + FP16 scale/zero metadata, 2 bytes per FP16 value, 4 bytes per
+// FP32 value) — with an optional idle TTL. Hit/miss/eviction/expiration
+// counters are metrics.Counter values (lock-free atomics) surfaced to the
+// serving metrics endpoint.
+//
+// Ownership: a Store is shared state, safe for concurrent use from any
+// number of goroutines; all methods lock internally. Values handed out by
+// Get are shared too — callers must only read them (for caches: fork
+// before decoding). Eviction only drops the store's reference; callers
+// holding a value keep it alive, so evicting under a live session is
+// always safe.
+package sessioncache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Sized is a cacheable value that knows its resident footprint in bytes.
+type Sized interface {
+	SizeBytes() int64
+}
+
+// Kind distinguishes the artifact classes sharing one byte budget.
+type Kind string
+
+// The two artifact kinds of the serving layer.
+const (
+	// KindPrefill entries hold prefilled FP32 builders (context hash key).
+	KindPrefill Kind = "prefill"
+	// KindSealed entries hold pristine sealed caches (context hash + plan
+	// fingerprint key).
+	KindSealed Kind = "sealed"
+)
+
+// Key identifies one cached artifact. All fields participate in equality;
+// Fingerprint isolates pipelines with different configs (model, method,
+// hyperparameters) from each other so a hit can never cross configs.
+type Key struct {
+	// Fingerprint is the pipeline configuration fingerprint.
+	Fingerprint string
+	// Kind is the artifact class (prefill or sealed).
+	Kind Kind
+	// Hash identifies the content: the context-token hash, plus the plan
+	// fingerprint for sealed entries.
+	Hash string
+}
+
+// Options configures a Store. The zero value is usable: 256 MiB budget,
+// no TTL.
+type Options struct {
+	// MaxBytes is the eviction budget in bytes summed over all entries
+	// (<= 0 selects 256 MiB). A single value larger than the whole budget
+	// is not admitted at all.
+	MaxBytes int64
+	// TTL is the idle lifetime of an entry; an entry untouched (no Get or
+	// Put) for longer is expired on the next access. Zero disables
+	// expiry.
+	TTL time.Duration
+
+	// now overrides the clock in tests; nil means time.Now.
+	now func() time.Time
+}
+
+// DefaultMaxBytes is the byte budget used when Options.MaxBytes <= 0.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of the store's counters and
+// occupancy. Counter fields are monotonic event totals since creation;
+// Entries/Bytes/MaxBytes describe current state (Bytes and MaxBytes in
+// bytes).
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Insertions  int64 `json:"insertions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+type entry struct {
+	key      Key
+	value    Sized
+	bytes    int64
+	lastUsed time.Time
+}
+
+// Store is the byte-accounted LRU. See the package comment for the
+// ownership rules.
+type Store struct {
+	mu    sync.Mutex
+	opts  Options
+	ll    *list.List // front = most recently used; values are *entry
+	items map[Key]*list.Element
+	bytes int64
+
+	hits        metrics.Counter
+	misses      metrics.Counter
+	evictions   metrics.Counter
+	expirations metrics.Counter
+	insertions  metrics.Counter
+}
+
+// New builds an empty store.
+func New(opts Options) *Store {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Store{
+		opts:  opts,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// MaxBytes returns the configured byte budget.
+func (s *Store) MaxBytes() int64 { return s.opts.MaxBytes }
+
+// Get returns the value under k, bumping its recency and refreshing its
+// TTL. The second result is false on miss (including a TTL expiry, which
+// counts as both an expiration and a miss).
+func (s *Store) Get(k Key) (Sized, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.now()
+	el, ok := s.items[k]
+	if ok && s.expired(el.Value.(*entry), now) {
+		s.removeLocked(el)
+		s.expirations.Inc()
+		ok = false
+	}
+	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	e.lastUsed = now
+	s.ll.MoveToFront(el)
+	s.hits.Inc()
+	return e.value, true
+}
+
+// Put inserts (or replaces) the value under k and evicts least-recently
+// used entries until the byte budget holds. A value alone exceeding the
+// whole budget is not stored; Put then reports false. Replacing an
+// existing key does not count as an eviction.
+func (s *Store) Put(k Key, v Sized) bool {
+	bytes := v.SizeBytes()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bytes > s.opts.MaxBytes {
+		return false
+	}
+	if el, ok := s.items[k]; ok {
+		s.removeLocked(el)
+	}
+	el := s.ll.PushFront(&entry{key: k, value: v, bytes: bytes, lastUsed: s.opts.now()})
+	s.items[k] = el
+	s.bytes += bytes
+	s.insertions.Inc()
+	for s.bytes > s.opts.MaxBytes {
+		lru := s.ll.Back()
+		if lru == nil || lru == el {
+			break
+		}
+		s.removeLocked(lru)
+		s.evictions.Inc()
+	}
+	return true
+}
+
+// Delete removes the entry under k, reporting whether it existed. Manual
+// deletion counts as neither eviction nor expiration.
+func (s *Store) Delete(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if ok {
+		s.removeLocked(el)
+	}
+	return ok
+}
+
+// Sweep drops every TTL-expired entry now (Get/Put expire lazily; a
+// periodic Sweep bounds how long idle entries linger). It returns how
+// many entries were expired.
+func (s *Store) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.now()
+	n := 0
+	for el := s.ll.Back(); el != nil; {
+		prev := el.Prev()
+		if s.expired(el.Value.(*entry), now) {
+			s.removeLocked(el)
+			s.expirations.Inc()
+			n++
+		}
+		el = prev
+	}
+	return n
+}
+
+// Len returns the current number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Bytes returns the current resident total in bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats snapshots the counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Expirations: s.expirations.Load(),
+		Insertions:  s.insertions.Load(),
+		Entries:     len(s.items),
+		Bytes:       s.bytes,
+		MaxBytes:    s.opts.MaxBytes,
+	}
+}
+
+func (s *Store) expired(e *entry, now time.Time) bool {
+	return s.opts.TTL > 0 && now.Sub(e.lastUsed) > s.opts.TTL
+}
+
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.bytes
+}

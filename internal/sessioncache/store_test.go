@@ -1,0 +1,162 @@
+package sessioncache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeValue is a Sized stub with a fixed footprint.
+type fakeValue struct {
+	id    int
+	bytes int64
+}
+
+func (f fakeValue) SizeBytes() int64 { return f.bytes }
+
+func key(i int) Key {
+	return Key{Fingerprint: "fp", Kind: KindPrefill, Hash: fmt.Sprintf("ctx-%d", i)}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	for i := 0; i < 3; i++ { // 3 × 40 bytes: third insert evicts the first
+		s.Put(key(i), fakeValue{id: i, bytes: 40})
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("entry %d should survive", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+
+	// Touching key(1) makes key(2) the LRU victim of the next insert.
+	s.Get(key(1))
+	s.Put(key(3), fakeValue{id: 3, bytes: 40})
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("key 2 was LRU and should have been evicted")
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("recently used key 1 should survive")
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	s.Put(key(0), fakeValue{bytes: 60})
+	if s.Put(key(1), fakeValue{bytes: 150}) {
+		t.Fatal("value larger than the whole budget must be rejected")
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("rejected insert must not evict residents")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestReplaceDoesNotLeakBytes(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	s.Put(key(0), fakeValue{bytes: 60})
+	s.Put(key(0), fakeValue{bytes: 30})
+	if got := s.Bytes(); got != 30 {
+		t.Fatalf("bytes after replace = %d, want 30", got)
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Insertions != 2 {
+		t.Fatalf("replace counted as eviction: %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{MaxBytes: 100, TTL: time.Minute, now: func() time.Time { return now }})
+	s.Put(key(0), fakeValue{bytes: 10})
+	s.Put(key(1), fakeValue{bytes: 10})
+
+	now = now.Add(30 * time.Second)
+	if _, ok := s.Get(key(0)); !ok { // refreshes key 0's TTL
+		t.Fatal("entry must survive within TTL")
+	}
+
+	now = now.Add(45 * time.Second) // key 1 idle 75s > TTL, key 0 idle 45s
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("idle entry must expire")
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("refreshed entry must survive")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 || st.Misses != 1 {
+		t.Fatalf("expiry bookkeeping: %+v", st)
+	}
+
+	now = now.Add(2 * time.Minute)
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("Sweep expired %d entries, want 1", n)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("store not empty after sweep: len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	s.Put(key(0), fakeValue{bytes: 10})
+	if !s.Delete(key(0)) {
+		t.Fatal("delete of resident entry must report true")
+	}
+	if s.Delete(key(0)) {
+		t.Fatal("second delete must report false")
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Expirations != 0 || st.Bytes != 0 {
+		t.Fatalf("delete bookkeeping: %+v", st)
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	s.Get(key(0))
+	s.Put(key(0), fakeValue{bytes: 10})
+	s.Get(key(0))
+	s.Get(key(0))
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// TestConcurrentAccess hammers the store from many goroutines; run under
+// -race this is the store's thread-safety proof.
+func TestConcurrentAccess(t *testing.T) {
+	s := New(Options{MaxBytes: 1 << 10, TTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(i % 16)
+				if v, ok := s.Get(k); ok {
+					_ = v.SizeBytes()
+				} else {
+					s.Put(k, fakeValue{id: i, bytes: 64})
+				}
+				if i%50 == 0 {
+					s.Stats()
+					s.Sweep()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Bytes() > 1<<10 {
+		t.Fatalf("budget exceeded: %d", s.Bytes())
+	}
+}

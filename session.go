@@ -1,0 +1,291 @@
+package cocktail
+
+// Cross-request KV-cache reuse: the incremental path of the public API.
+//
+// A cold Answer pays prefill (quadratic attention over the context),
+// quantization search, sealing and decoding on every call. Multi-turn and
+// repeated-context traffic re-pays the prefill — by far the dominant cost
+// — for the same context words each time. The types here eliminate that:
+//
+//   - Session  — prefill once (Pipeline.Prefill), then Answer any number
+//     of queries against the retained context KV. The quantization plan
+//     is still recomputed per query (Module I is query-adaptive), but the
+//     sealed cache is memoized per plan and decoding runs on a Fork, so a
+//     repeated plan skips quantization too.
+//   - SessionCache — a byte-accounted, TTL'd LRU (internal/sessioncache)
+//     shared across sessions and plain Answer calls, keyed by (config
+//     fingerprint, context hash). SessionCache.Answer is a drop-in
+//     replacement for Pipeline.Answer that hits the cache transparently.
+//
+// Results are byte-identical to the cold path by construction: prefill,
+// planning, sealing and greedy decoding are all deterministic, the
+// session merely skips recomputing stages whose inputs are unchanged.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/kvcache"
+	"repro/internal/sessioncache"
+)
+
+// Fingerprint returns a stable hash of the pipeline's effective
+// configuration (model, method, encoder, hyperparameters, lexicon seed).
+// Two pipelines with equal fingerprints produce identical outputs for
+// identical inputs, so the fingerprint namespaces all cross-request cache
+// keys: a cache entry can never leak across configurations. The hash is
+// computed once at New (the Pipeline is immutable).
+func (p *Pipeline) Fingerprint() string { return p.fingerprint }
+
+// computeFingerprint hashes the effective config; called from New.
+func (p *Pipeline) computeFingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%v|%v|%d|%t|%d|%d",
+		p.cfg.Model, p.cfg.Method, p.cfg.Encoder, *p.cfg.Alpha, *p.cfg.Beta,
+		p.cfg.ChunkSize, p.cfg.DisableReorder, p.cfg.MaxSeq, p.cfg.LexiconSeed)))
+	return hex.EncodeToString(h[:12])
+}
+
+// hashTokens hashes a token-id sequence (the cache key for a context).
+func hashTokens(ids []int) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(buf[:], uint64(id))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// planFingerprint hashes a quantization plan plus seal options: two equal
+// fingerprints seal to byte-identical caches from the same builder.
+func planFingerprint(plan *kvcache.Plan, opts kvcache.SealOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%d|%t|%d|%d|%d|%t|", plan.NumTokens, plan.ChunkSize, plan.Reorder,
+		opts.GroupSize, opts.KAxis, opts.VAxis, opts.UseCodebook)
+	for _, prec := range plan.ChunkPrec {
+		h.Write([]byte{byte(prec)})
+	}
+	if plan.TokenPrec != nil {
+		h.Write([]byte{0xff})
+		for _, prec := range plan.TokenPrec {
+			h.Write([]byte{byte(prec)})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// Session is the incremental counterpart of Answer: the context is
+// prefilled once and retained, each Answer call reuses it. A Session is
+// the single-owner mutable object of the concurrency contract — it is
+// NOT safe for concurrent use (callers serialize Answer calls or hold one
+// Session per goroutine). Everything a Session shares with other sessions
+// — the Pipeline, the prefilled builder, pristine sealed caches, the
+// backing store — is read-only or internally locked, so any number of
+// Sessions may run concurrently, including over the same context.
+type Session struct {
+	p     *Pipeline
+	store *sessioncache.Store // nil for store-less sessions
+
+	ctxIDs  []int
+	ctxHash string
+	builder *kvcache.Builder // read-only after prefill
+
+	// Single-slot seal memo: the last plan's pristine sealed cache.
+	// Store-backed sessions additionally share seals via the store.
+	lastPlanFP string
+	lastSealed *kvcache.Cache
+
+	prefillHit bool
+}
+
+// Prefill runs the prefill stage over context (all words must come from
+// Vocabulary()) and returns a Session that answers queries against it
+// without re-running prefill. The Session retains the raw FP32 context KV
+// (kvcache.Builder.SizeBytes bytes) for query-adaptive re-planning; use a
+// SessionCache to share that state across sessions under a byte budget.
+func (p *Pipeline) Prefill(context []string) (*Session, error) {
+	return p.prefill(context, nil)
+}
+
+func (p *Pipeline) prefill(context []string, store *sessioncache.Store) (*Session, error) {
+	ctxIDs, err := p.encode(context)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSeqBound(len(ctxIDs), 0); err != nil {
+		return nil, err
+	}
+	s := &Session{p: p, store: store, ctxIDs: ctxIDs, ctxHash: hashTokens(ctxIDs)}
+	if store != nil {
+		if v, ok := store.Get(s.prefillKey()); ok {
+			s.builder = v.(*kvcache.Builder)
+			s.prefillHit = true
+			return s, nil
+		}
+	}
+	b, err := p.model.Prefill(ctxIDs)
+	if err != nil {
+		return nil, err
+	}
+	s.builder = b
+	if store != nil {
+		store.Put(s.prefillKey(), b)
+	}
+	return s, nil
+}
+
+func (s *Session) prefillKey() sessioncache.Key {
+	return sessioncache.Key{
+		Fingerprint: s.p.Fingerprint(), Kind: sessioncache.KindPrefill, Hash: s.ctxHash}
+}
+
+func (s *Session) sealedKey(planFP string) sessioncache.Key {
+	return sessioncache.Key{
+		Fingerprint: s.p.Fingerprint(), Kind: sessioncache.KindSealed,
+		Hash: s.ctxHash + "/" + planFP}
+}
+
+// ContextTokens returns the number of prefilled context tokens.
+func (s *Session) ContextTokens() int { return len(s.ctxIDs) }
+
+// SizeBytes returns the resident footprint of the session's retained
+// prefill KV in bytes (the FP32 builder — the dominant, fixed cost of
+// keeping a session open; per-plan sealed caches are accounted by the
+// shared store's own budget). Servers use this to byte-cap the total
+// prefill state pinned by open sessions.
+func (s *Session) SizeBytes() int64 { return s.builder.SizeBytes() }
+
+// CachedPrefill reports whether this session's prefill state came from a
+// SessionCache hit rather than a fresh prefill run.
+func (s *Session) CachedPrefill() bool { return s.prefillHit }
+
+// Answer answers one query against the session's prefilled context. The
+// result is byte-identical to Pipeline.Answer(context, query): the
+// quantization plan is recomputed for this query (Module I is
+// query-adaptive), the sealed cache is reused when the plan is unchanged
+// (and re-quantized from the retained FP32 KV when it is not), and
+// decoding always runs on a private fork so the shared sealed cache stays
+// pristine.
+func (s *Session) Answer(query []string) (*Result, error) {
+	qIDs, err := s.p.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.p.checkSeqBound(len(s.ctxIDs), len(qIDs)); err != nil {
+		return nil, err
+	}
+	plan, opts, err := s.p.method.Plan(s.builder, s.ctxIDs, qIDs)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := s.sealedFor(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	cache := sealed.Fork()
+	out := s.p.model.Generate(cache, qIDs, maxNewTokens)
+	return s.p.buildResult(cache, plan, len(s.ctxIDs), out), nil
+}
+
+// sealedFor returns the pristine sealed cache for plan, from the
+// session's memo, the shared store, or a fresh SealWith (in that order).
+func (s *Session) sealedFor(plan *kvcache.Plan, opts kvcache.SealOptions) (*kvcache.Cache, error) {
+	fp := planFingerprint(plan, opts)
+	if s.lastSealed != nil && s.lastPlanFP == fp {
+		return s.lastSealed, nil
+	}
+	if s.store != nil {
+		if v, ok := s.store.Get(s.sealedKey(fp)); ok {
+			c := v.(*kvcache.Cache)
+			s.lastPlanFP, s.lastSealed = fp, c
+			return c, nil
+		}
+	}
+	c, err := s.builder.SealWith(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.lastPlanFP, s.lastSealed = fp, c
+	if s.store != nil {
+		s.store.Put(s.sealedKey(fp), c)
+	}
+	return c, nil
+}
+
+// SessionCacheOptions sizes a SessionCache.
+type SessionCacheOptions struct {
+	// MaxBytes is the LRU byte budget over all retained prefill builders
+	// and sealed caches (<= 0 selects the 256 MiB default).
+	MaxBytes int64
+	// TTL is the idle lifetime of a cache entry (0 = no expiry).
+	TTL time.Duration
+}
+
+// CacheStats reports a SessionCache's counters and occupancy (mirrors
+// sessioncache.Stats; counter fields are monotonic totals, Bytes/MaxBytes
+// are bytes).
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Insertions  int64 `json:"insertions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+// SessionCache shares prefilled context KV and pristine sealed caches
+// across requests, keyed by (pipeline fingerprint, context hash) with
+// byte-accounted LRU eviction and TTL expiry. It is safe for concurrent
+// use; the sessions it vends follow the single-owner Session contract.
+//
+// Two racing misses on the same context may both run prefill and the last
+// Put wins — wasted work, never wrong results, and the benign race keeps
+// the hot path lock-free outside the store's own mutex.
+type SessionCache struct {
+	p     *Pipeline
+	store *sessioncache.Store
+}
+
+// NewSessionCache builds a shared cache over p.
+func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
+	return &SessionCache{
+		p: p,
+		store: sessioncache.New(sessioncache.Options{
+			MaxBytes: opts.MaxBytes, TTL: opts.TTL}),
+	}
+}
+
+// Pipeline returns the pipeline the cache serves.
+func (c *SessionCache) Pipeline() *Pipeline { return c.p }
+
+// Prefill returns a Session backed by this cache: its prefill state is
+// fetched from (or inserted into) the shared store, and the sealed caches
+// it produces are shared with every other session over the same context.
+func (c *SessionCache) Prefill(context []string) (*Session, error) {
+	return c.p.prefill(context, c.store)
+}
+
+// Answer is the transparent prefix-cache path: identical signature and
+// byte-identical output to Pipeline.Answer, but a repeated context skips
+// prefill (and, for a repeated plan, quantization too).
+func (c *SessionCache) Answer(context, query []string) (*Result, error) {
+	s, err := c.Prefill(context)
+	if err != nil {
+		return nil, err
+	}
+	return s.Answer(query)
+}
+
+// Stats snapshots the cache counters.
+func (c *SessionCache) Stats() CacheStats {
+	return CacheStats(c.store.Stats())
+}
+
+// Sweep drops every TTL-expired entry now and reports how many were
+// expired (Get/Put expire lazily; servers call this periodically).
+func (c *SessionCache) Sweep() int { return c.store.Sweep() }

@@ -1,0 +1,280 @@
+package cocktail
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sessioncache"
+)
+
+// TestSessionAnswerMatchesCold is the cache-transparency contract: for
+// fixed seeds, answering through a session (warm path, prefill skipped,
+// sealed cache reused) must be byte-identical to a cold Answer — answers
+// and the full plan summary.
+func TestSessionAnswerMatchesCold(t *testing.T) {
+	for _, method := range []string{"Cocktail", "FP16", "KVQuant"} {
+		p, err := New(Config{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dataset := range []string{"Qasper", "QMSum"} {
+			s, err := p.NewSample(dataset, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := p.Answer(s.Context, s.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := p.Prefill(s.Context)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Twice: first call seals fresh, second hits the seal memo.
+			for call := 0; call < 2; call++ {
+				warm, err := sess.Answer(s.Query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(cold, warm) {
+					t.Fatalf("%s/%s call %d: session result diverged\ncold: %+v\nwarm: %+v",
+						method, dataset, call, cold, warm)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionReplansPerQuery: Module I is query-adaptive, so a different
+// query through the same session must still match its own cold run (the
+// session may not reuse the previous query's plan).
+func TestSessionReplansPerQuery(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.NewSample("Qasper", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.NewSample("Qasper", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Prefill(s1.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]string{s1.Query, s2.Query, s1.Query} {
+		cold, err := p.Answer(s1.Context, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := sess.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("session diverged from cold on re-planned query")
+		}
+	}
+}
+
+// TestSessionCacheTransparentAnswer: SessionCache.Answer must be a
+// drop-in for Pipeline.Answer, and repeated contexts must hit the store.
+func TestSessionCacheTransparentAnswer(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("TREC", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{MaxBytes: 32 << 20, TTL: time.Minute})
+	for i := 0; i < 3; i++ {
+		got, err := sc.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Fatalf("call %d: transparent answer diverged from cold", i)
+		}
+	}
+	st := sc.Stats()
+	// Call 0 misses prefill+seal; calls 1 and 2 hit both entries.
+	if st.Misses != 2 || st.Hits != 4 || st.Entries != 2 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("implausible byte accounting: %+v", st)
+	}
+}
+
+// TestSessionCacheIsolatesConfigs: equal contexts under different
+// pipeline configurations must never share cache entries. Two pipelines
+// with different models share ONE store; if the fingerprint namespace
+// broke, config B would pick up config A's prefill KV and produce
+// A-model answers.
+func TestSessionCacheIsolatesConfigs(t *testing.T) {
+	pa, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := New(Config{Model: "Mistral-7B-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Fingerprint() == pb.Fingerprint() {
+		t.Fatal("distinct configs produced equal fingerprints")
+	}
+	s, err := pa.NewSample("Qasper", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := sessioncache.New(sessioncache.Options{})
+	for _, p := range []*Pipeline{pa, pb} {
+		cold, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := p.prefill(s.Context, store) // same shared store for both
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := sess.Answer(s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%s: shared-store answer diverged from cold — cross-config leak",
+				p.Config().Model)
+		}
+	}
+	// Both configs inserted their own prefill + sealed entries: a key
+	// collision would leave fewer than 4.
+	if st := store.Stats(); st.Entries != 4 || st.Hits != 0 {
+		t.Fatalf("expected 4 isolated entries and no cross-config hits: %+v", st)
+	}
+}
+
+// TestConcurrentSessionsRaceClean runs many single-owner sessions (over
+// both shared and distinct contexts) concurrently against one pipeline
+// and one shared store. Under -race this is the reuse layer's
+// thread-safety proof; outputs must equal the serial cold answers.
+func TestConcurrentSessionsRaceClean(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{MaxBytes: 64 << 20, TTL: time.Minute})
+
+	const goroutines = 8
+	type task struct {
+		sample *Sample
+		cold   *Result
+	}
+	// Goroutines 0-3 share one context; 4-7 get their own.
+	tasks := make([]task, goroutines)
+	shared, err := p.NewSample("Qasper", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedCold, err := p.Answer(shared.Context, shared.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		if i < 4 {
+			tasks[i] = task{sample: shared, cold: sharedCold}
+			continue
+		}
+		s, err := p.NewSample("QMSum", uint64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task{sample: s, cold: cold}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(tk task) {
+			defer wg.Done()
+			sess, err := sc.Prefill(tk.sample.Context)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for call := 0; call < 3; call++ {
+				got, err := sess.Answer(tk.sample.Query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(tk.cold, got) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(tasks[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("byte budget exceeded: %+v", st)
+	}
+}
+
+// TestSessionCacheEvictsUnderPressure: a budget too small for every
+// context must evict, never exceed its bytes, and still answer correctly.
+func TestSessionCacheEvictsUnderPressure(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One prefilled 768-token builder is ~600 KiB; 1 MiB fits one context
+	// (builder + sealed cache) but not three.
+	sc := NewSessionCache(p, SessionCacheOptions{MaxBytes: 1 << 20})
+	for i := 0; i < 3; i++ {
+		s, err := p.NewSample("Qasper", uint64(40+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := p.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Fatalf("context %d: answer diverged under eviction pressure", i)
+		}
+	}
+	st := sc.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a 1 MiB budget: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("byte budget exceeded: %+v", st)
+	}
+}
+
+var errMismatch = errors.New("concurrent session answer diverged from serial cold answer")
