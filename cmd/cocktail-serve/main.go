@@ -13,13 +13,16 @@
 //
 // Repeated contexts hit the byte-budgeted session/prefix cache (sized by
 // -session-cache-mb, idle entries dropped after -session-ttl), skipping
-// prefill with byte-identical results; see docs/API.md for the full
+// prefill with byte-identical results. -cache-policy 2q makes the cache
+// scan-resistant: a context is admitted only on its second sighting
+// (probation keys bounded by -ghost-entries), so crawler-style one-shot
+// traffic cannot flush warm sessions; see docs/API.md for the full
 // reference.
 //
 // Usage:
 //
 //	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64 \
-//	    -session-cache-mb 128 -session-ttl 10m
+//	    -session-cache-mb 128 -session-ttl 10m -cache-policy 2q
 //	curl -s localhost:8080/v1/sample?dataset=Qasper&seed=7
 package main
 
@@ -43,8 +46,14 @@ func main() {
 	cacheMB := flag.Int("session-cache-mb", 0, "session/prefix cache budget in MiB (0 = 64, negative disables)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session and cache-entry lifetime (0 = 15m)")
 	maxSessions := flag.Int("max-sessions", 0, "open-session cap, LRU-evicted beyond it (0 = 1024)")
+	cachePolicy := flag.String("cache-policy", "lru", "prefix-cache admission policy: lru (admit everything) or 2q (scan-resistant second-sighting admission)")
+	ghostEntries := flag.Int("ghost-entries", 0, "2q ghost-list capacity: seen-once keys remembered on probation (0 = 1024)")
 	flag.Parse()
 
+	policy, err := cocktail.ParseCachePolicy(*cachePolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	p, err := cocktail.New(cocktail.Config{
 		Model: *modelName, Method: *method,
 		Alpha: cocktail.Float(*alpha), Beta: cocktail.Float(*beta)})
@@ -54,7 +63,8 @@ func main() {
 	srv := httpapi.NewServer(p, httpapi.Options{
 		Workers: *workers, QueueDepth: *queue,
 		SessionCacheMB: *cacheMB, SessionTTL: *sessionTTL,
-		MaxSessions: *maxSessions})
+		MaxSessions: *maxSessions,
+		CachePolicy: policy, GhostEntries: *ghostEntries})
 	log.Printf("cocktail-serve: %s / %s listening on %s", *modelName, *method, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -73,6 +73,14 @@ type Options struct {
 	// cache itself is disabled), so session registrations cannot pin an
 	// unbounded multiple of the configured memory.
 	MaxSessions int
+	// CachePolicy is the prefix-cache admission policy (zero value =
+	// CachePolicyLRU, the historical semantics; CachePolicy2Q admits a
+	// context only on its second sighting within the TTL window, which
+	// protects reused sessions from one-shot scan traffic).
+	CachePolicy cocktail.CachePolicy
+	// GhostEntries bounds the 2Q ghost list (0 = default 1024); ignored
+	// under the LRU policy.
+	GhostEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -145,8 +153,10 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 	}
 	if opts.SessionCacheMB > 0 {
 		s.sc = cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
-			MaxBytes: int64(opts.SessionCacheMB) << 20,
-			TTL:      opts.SessionTTL,
+			MaxBytes:     int64(opts.SessionCacheMB) << 20,
+			TTL:          opts.SessionTTL,
+			Policy:       opts.CachePolicy,
+			GhostEntries: opts.GhostEntries,
 		})
 	}
 	// Janitor: Get/Put expire lazily, but an idle server would otherwise
@@ -314,8 +324,9 @@ type PoolMetrics struct {
 }
 
 // SessionCacheMetrics is the session/prefix cache block of the
-// /v1/metrics payload: the store's hit/miss/eviction/expiration counters
-// and byte occupancy, plus the number of open sessions.
+// /v1/metrics payload: the store's hit/miss/eviction/expiration counters,
+// byte occupancy and admission-policy counters (probation hits, ghost
+// promotions, scan rejections), plus the number of open sessions.
 type SessionCacheMetrics struct {
 	Enabled bool `json:"enabled"`
 	cocktail.CacheStats

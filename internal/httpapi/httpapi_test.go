@@ -415,6 +415,49 @@ func TestAnswerPrefixCacheHit(t *testing.T) {
 	}
 }
 
+// TestCachePolicy2QMetrics: with -cache-policy 2q semantics, the first
+// sighting of a context is rejected (scan protection), the second admits
+// it, the third hits — all byte-identical — and the admission counters
+// surface in the /v1/metrics session_cache block.
+func TestCachePolicy2QMetrics(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{CachePolicy: cocktail.CachePolicy2Q, GhostEntries: 64})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=TREC&seed=9", &sample)
+
+	answers := make([]string, 3)
+	for i := range answers {
+		var res struct{ Answer []string }
+		if code := postJSON(t, srv.URL+"/v1/answer",
+			map[string]any{"context": sample.Context, "query": sample.Query}, &res); code != 200 {
+			t.Fatalf("answer %d status %d", i, code)
+		}
+		answers[i] = strings.Join(res.Answer, " ")
+	}
+	if answers[0] != answers[1] || answers[1] != answers[2] {
+		t.Fatalf("probation/admitted/hit answers diverged: %q %q %q", answers[0], answers[1], answers[2])
+	}
+
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	adm := m.SessionCache.Admission
+	if adm.Policy != "2q" || adm.GhostLimit != 64 {
+		t.Fatalf("admission config not surfaced: %+v", adm)
+	}
+	// Request 1 ghosts prefill+sealed (2 rejections); request 2 promotes
+	// both and its earlier misses count as probation hits; request 3 hits
+	// the main store.
+	if adm.ScanRejections < 2 || adm.GhostPromotions < 2 || adm.ProbationHits < 1 {
+		t.Fatalf("admission counters: %+v", adm)
+	}
+	if m.SessionCache.Hits < 2 {
+		t.Fatalf("third request should hit the admitted entries: %+v", m.SessionCache)
+	}
+}
+
 // TestSessionCacheDisabled: a negative budget turns off cross-request
 // reuse but sessions must still work (store-less, per-session state).
 func TestSessionCacheDisabled(t *testing.T) {
@@ -640,6 +683,93 @@ func TestConcurrentSessionAnswers(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestErrorPathsTable sweeps the error surface row by row: malformed
+// JSON bodies, unknown and TTL-expired session ids, oversized contexts
+// and out-of-vocabulary words, asserting the documented status code and
+// that every error response carries a JSON {"error": ...} body.
+func TestErrorPathsTable(t *testing.T) {
+	p := testPipeline(t)
+	// Default-TTL server for every row whose fixtures must stay alive;
+	// a separate short-TTL server only for the expired-session rows, so
+	// no live fixture can age out under a slow CI runner.
+	s := NewServer(p, Options{})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	sShort := NewServer(p, Options{SessionTTL: 80 * time.Millisecond})
+	t.Cleanup(sShort.Close)
+	srvShort := httptest.NewServer(sShort)
+	t.Cleanup(srvShort.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=41", &sample)
+
+	// A context beyond MaxSeq (2048 here, minus query and decode budget).
+	big := sample.Context
+	for len(big) < 2100 {
+		big = append(big, sample.Context...)
+	}
+	big = big[:2100]
+	bigBody, err := json.Marshal(map[string]any{"context": big, "query": sample.Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A session aged past the short server's TTL (its janitor ticks at
+	// 1s, so expiry here is the lazy on-access path), and a live one on
+	// the default server for body-decode rows.
+	var expired SessionInfo
+	if code := postJSON(t, srvShort.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &expired); code != 200 {
+		t.Fatal("create expired-session fixture failed")
+	}
+	time.Sleep(160 * time.Millisecond)
+	var live SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &live); code != 200 {
+		t.Fatal("create live-session fixture failed")
+	}
+
+	cases := []struct {
+		name, method, base, path, body string
+		want                           int
+	}{
+		{"answer malformed json", "POST", srv.URL, "/v1/answer", `{"context": [}`, 400},
+		{"answer truncated json", "POST", srv.URL, "/v1/answer", `{"context": ["a"`, 400},
+		{"search malformed json", "POST", srv.URL, "/v1/search", `[not json`, 400},
+		{"session malformed json", "POST", srv.URL, "/v1/session", `{"context": }`, 400},
+		{"session answer malformed json", "POST", srv.URL, "/v1/session/" + live.SessionID + "/answer", `{`, 400},
+		{"answer unknown session", "POST", srv.URL, "/v1/session/nope/answer", `{"query": ["x"]}`, 404},
+		{"delete unknown session", "DELETE", srv.URL, "/v1/session/nope", "", 404},
+		{"answer expired session", "POST", srvShort.URL, "/v1/session/" + expired.SessionID + "/answer", `{"query": ["x"]}`, 404},
+		{"delete expired session", "DELETE", srvShort.URL, "/v1/session/" + expired.SessionID, "", 404},
+		{"answer oversized context", "POST", srv.URL, "/v1/answer", string(bigBody), 422},
+		{"session oversized context", "POST", srv.URL, "/v1/session", string(bigBody), 422},
+		{"answer OOV word", "POST", srv.URL, "/v1/answer", `{"context": ["not-a-word"], "query": ["x"]}`, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, tc.base+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Fatalf("error body missing or undecodable: %v %v", e, err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,92 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/f16"
+)
+
+// FuzzSymmetricQuantize fuzzes matrix geometry (rows, cols, bitwidth,
+// axis, group size) and contents and asserts the symmetric grid's
+// contract: codes stay in range and every reconstructed value is within
+// the grid's half-step of the input (plus the FP16 scale/zero rounding
+// the format pays by design).
+//
+// Values are decoded from raw bytes onto odd multiples of 1/32 in
+// (-8, 8), so every group has max|x| >= 1/32 and the FP16 scale can
+// never collapse to zero — the bound below is then exact, not vacuous.
+func FuzzSymmetricQuantize(f *testing.F) {
+	f.Add([]byte{0, 255, 128, 7, 19, 200, 90, 31}, byte(3), byte(4), byte(0))
+	f.Add([]byte{1, 2, 3, 4}, byte(1), byte(1), byte(1))
+	f.Add([]byte{250, 250, 250, 0, 0, 0}, byte(2), byte(3), byte(5))
+	f.Add([]byte{42}, byte(12), byte(16), byte(17))
+	f.Fuzz(func(t *testing.T, raw []byte, rows8, cols8, pick byte) {
+		rows := int(rows8 % 13)   // 0..12 (rows == 0 is a legal empty matrix)
+		cols := int(cols8%16) + 1 // 1..16
+		bits := []Bits{INT2, INT4, INT8}[int(pick)%3]
+		axis := Axis(int(pick/3) % 2)
+		group := int(pick/8) % 40 // 0 selects DefaultGroupSize
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		data := make([]float32, rows*cols)
+		for i := range data {
+			data[i] = (float32(raw[i%len(raw)]) - 127.5) / 16
+		}
+
+		q := SymmetricQuantize(data, rows, cols, Config{Bits: bits, Axis: axis, GroupSize: group})
+		if q.Rows != rows || q.Cols != cols {
+			t.Fatalf("geometry mangled: %dx%d != %dx%d", q.Rows, q.Cols, rows, cols)
+		}
+		if got := q.Bytes(); got < (rows*cols*int(bits)+7)/8 {
+			t.Fatalf("Bytes() = %d below packed-code floor", got)
+		}
+
+		maxCode := bits.Levels() - 1
+		for idx := range data {
+			if c := q.Code(idx); c < 0 || c > maxCode {
+				t.Fatalf("code %d at %d outside [0, %d]", c, idx, maxCode)
+			}
+		}
+
+		deq := q.Dequantize()
+		if len(deq) != rows*cols {
+			t.Fatalf("Dequantize length %d != %d", len(deq), rows*cols)
+		}
+		// Per-group max|x|, mirroring the quantizer's range choice.
+		m := make([]float32, q.numGroups())
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				v := data[i*cols+j]
+				if v < 0 {
+					v = -v
+				}
+				if gi := q.groupIndex(i, j); v > m[gi] {
+					m[gi] = v
+				}
+			}
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				gi := q.groupIndex(i, j)
+				scale := f16.To32(q.scales[gi])
+				// Half a grid step, plus the clamp shortfall FP16
+				// rounding of scale/zero can introduce at the range
+				// edges (|zero| <= m, relative error 2^-11 each).
+				bound := scale/2 + m[gi]/512 + 1e-5
+				got, want := deq[i*cols+j], data[i*cols+j]
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > bound {
+					t.Fatalf("(%d,%d): |%g - %g| = %g exceeds bound %g (scale %g, group max %g, bits %d, axis %v, group %d)",
+						i, j, got, want, diff, bound, scale, m[gi], bits, axis, q.GroupSize)
+				}
+				if a := q.At(i, j); a != got {
+					t.Fatalf("At(%d,%d) = %g disagrees with Dequantize %g", i, j, a, got)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package sessioncache
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Policy is the admission side of the cache: it decides which keys may
+// occupy the byte-accounted main store. Eviction order stays strict LRU
+// over the byte budget (that part is the Store's job); the policy only
+// answers "does this key deserve main-cache residency yet?" — which is
+// what makes the store scan-resistant or not.
+//
+// The Store calls every method with its own mutex held, so
+// implementations need no internal locking — but a Policy used standalone
+// (tests, other stores) is NOT safe for concurrent use and must be
+// externally serialized. A Policy instance must not be shared between two
+// Stores.
+type Policy interface {
+	// Name returns the policy label surfaced in stats ("lru", "2q").
+	Name() string
+	// Admit is consulted on Put of a key not currently resident in the
+	// main cache. Returning false drops the value (the caller's Put
+	// reports false); the policy may remember the sighting so a repeat
+	// Put is admitted. now is the store's clock reading for this call.
+	Admit(k Key, now time.Time) bool
+	// OnMiss observes a main-cache Get miss on k (including TTL-expiry
+	// misses). Policies use it for observability only — it must not
+	// count as a sighting, or a single request's Get-miss + Put pair
+	// would defeat two-sighting admission.
+	OnMiss(k Key, now time.Time)
+	// OnEvict observes k leaving the main cache under byte pressure
+	// (not TTL expiry, not manual Delete). A 2Q-style policy re-ghosts
+	// the victim so a still-warm key that lost an eviction race is
+	// readmitted on its next sighting instead of starting over.
+	OnEvict(k Key, now time.Time)
+	// Stats snapshots the policy's admission counters.
+	Stats() AdmissionStats
+}
+
+// AdmissionStats is a point-in-time snapshot of a policy's admission
+// counters. Counter fields are monotonic totals; GhostEntries/GhostLimit
+// describe the current probation state (always zero for PolicyLRU).
+type AdmissionStats struct {
+	// Policy is the policy label ("lru" or "2q").
+	Policy string `json:"policy"`
+	// ProbationHits counts Get misses on keys that were on probation —
+	// requests that would have been hits had the key been admitted.
+	ProbationHits int64 `json:"probation_hits"`
+	// GhostPromotions counts admissions earned by a second sighting
+	// (the key was on the ghost list and got promoted into the store).
+	GhostPromotions int64 `json:"ghost_promotions"`
+	// ScanRejections counts Puts declined on first sighting (the value
+	// was dropped and only the key was remembered).
+	ScanRejections int64 `json:"scan_rejections"`
+	// GhostEntries is the current ghost-list population; GhostLimit its
+	// capacity.
+	GhostEntries int `json:"ghost_entries"`
+	GhostLimit   int `json:"ghost_limit"`
+}
+
+// PolicyLRU is the PR-2 behavior: every Put is admitted, recency alone
+// decides who survives. It keeps no state.
+type PolicyLRU struct{}
+
+// NewPolicyLRU returns the admit-everything policy.
+func NewPolicyLRU() *PolicyLRU { return &PolicyLRU{} }
+
+// Name returns "lru".
+func (*PolicyLRU) Name() string { return "lru" }
+
+// Admit always reports true.
+func (*PolicyLRU) Admit(Key, time.Time) bool { return true }
+
+// OnMiss is a no-op.
+func (*PolicyLRU) OnMiss(Key, time.Time) {}
+
+// OnEvict is a no-op.
+func (*PolicyLRU) OnEvict(Key, time.Time) {}
+
+// Stats reports zero counters under the "lru" label.
+func (*PolicyLRU) Stats() AdmissionStats { return AdmissionStats{Policy: "lru"} }
+
+// DefaultGhostEntries is Policy2Q's ghost-list capacity when the
+// configured limit is <= 0.
+const DefaultGhostEntries = 1024
+
+// Policy2Q is scan-resistant two-sighting admission (the probation half
+// of the classic 2Q design). A key's first Put is declined: the value is
+// dropped and only the key lands on a bounded ghost list (keys and
+// timestamps, no bytes). A second Put within the sighting window promotes
+// the key into the main store. One-shot scan traffic therefore never
+// displaces admitted entries — each scan key dies on the ghost list —
+// while anything seen twice (a reused session context) is cached exactly
+// as under PolicyLRU, one extra cold run later.
+//
+// Keys evicted from the main store under byte pressure are re-ghosted,
+// so a warm key squeezed out by other warm traffic is readmitted on its
+// next single sighting.
+type Policy2Q struct {
+	limit  int
+	window time.Duration // max gap between sightings; <= 0 means unbounded
+
+	ll     *list.List // front = most recent sighting; values are *ghost
+	ghosts map[Key]*list.Element
+
+	probationHits metrics.Counter
+	promotions    metrics.Counter
+	rejections    metrics.Counter
+}
+
+type ghost struct {
+	key  Key
+	seen time.Time
+}
+
+// NewPolicy2Q builds a 2Q admission policy holding up to ghostEntries
+// probation keys (<= 0 selects DefaultGhostEntries). window bounds the
+// gap between the two sightings: a ghost older than the window does not
+// count as a first sighting anymore (<= 0 disables the bound). Stores
+// pass their TTL here so admission and retention share one idleness
+// horizon.
+func NewPolicy2Q(ghostEntries int, window time.Duration) *Policy2Q {
+	if ghostEntries <= 0 {
+		ghostEntries = DefaultGhostEntries
+	}
+	return &Policy2Q{
+		limit:  ghostEntries,
+		window: window,
+		ll:     list.New(),
+		ghosts: make(map[Key]*list.Element),
+	}
+}
+
+// Name returns "2q".
+func (p *Policy2Q) Name() string { return "2q" }
+
+// Admit promotes a key sighted within the window and ghosts everything
+// else. See the type comment for the full protocol.
+func (p *Policy2Q) Admit(k Key, now time.Time) bool {
+	if el, ok := p.ghosts[k]; ok {
+		g := el.Value.(*ghost)
+		p.ll.Remove(el)
+		delete(p.ghosts, k)
+		if p.window <= 0 || now.Sub(g.seen) <= p.window {
+			p.promotions.Inc()
+			return true
+		}
+		// The earlier sighting is stale; treat this one as the first.
+	}
+	p.addGhost(k, now)
+	p.rejections.Inc()
+	return false
+}
+
+// addGhost records a sighting for a key with no ghost entry, trimming
+// the list to its bound (oldest sightings forgotten first).
+func (p *Policy2Q) addGhost(k Key, now time.Time) {
+	p.ghosts[k] = p.ll.PushFront(&ghost{key: k, seen: now})
+	for p.ll.Len() > p.limit {
+		lru := p.ll.Back()
+		delete(p.ghosts, lru.Value.(*ghost).key)
+		p.ll.Remove(lru)
+	}
+}
+
+// OnMiss counts misses on ghosted keys (observability only; it never
+// creates or refreshes a ghost — see the Policy contract).
+func (p *Policy2Q) OnMiss(k Key, now time.Time) {
+	if el, ok := p.ghosts[k]; ok {
+		if g := el.Value.(*ghost); p.window <= 0 || now.Sub(g.seen) <= p.window {
+			p.probationHits.Inc()
+		}
+	}
+}
+
+// OnEvict re-ghosts a byte-pressure victim so its next sighting readmits.
+func (p *Policy2Q) OnEvict(k Key, now time.Time) {
+	if el, ok := p.ghosts[k]; ok { // shouldn't happen (resident ⇒ not ghosted)
+		p.ll.Remove(el)
+	}
+	p.addGhost(k, now)
+}
+
+// Stats snapshots the admission counters and ghost occupancy.
+func (p *Policy2Q) Stats() AdmissionStats {
+	return AdmissionStats{
+		Policy:          "2q",
+		ProbationHits:   p.probationHits.Load(),
+		GhostPromotions: p.promotions.Load(),
+		ScanRejections:  p.rejections.Load(),
+		GhostEntries:    p.ll.Len(),
+		GhostLimit:      p.limit,
+	}
+}

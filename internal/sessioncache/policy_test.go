@@ -1,0 +1,154 @@
+package sessioncache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPolicy2QTwoSightingAdmission: first Put is ghosted, second admits,
+// third (now resident) replaces without consulting admission.
+func TestPolicy2QTwoSightingAdmission(t *testing.T) {
+	s := New(Options{MaxBytes: 1000, Policy: NewPolicy2Q(16, 0)})
+	if s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("first sighting must be rejected")
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("rejected value must not be resident")
+	}
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("second sighting must be admitted")
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("admitted value must be resident")
+	}
+	if !s.Put(key(0), fakeValue{bytes: 20}) {
+		t.Fatal("replacing a resident key must not need a new sighting")
+	}
+	st := s.Stats()
+	if st.Admission.Policy != "2q" || st.Admission.ScanRejections != 1 ||
+		st.Admission.GhostPromotions != 1 || st.Admission.GhostEntries != 0 {
+		t.Fatalf("admission stats: %+v", st.Admission)
+	}
+	// Get(key(0)) before admission missed while the key was ghosted.
+	if st.Admission.ProbationHits != 1 {
+		t.Fatalf("probation hits: %+v", st.Admission)
+	}
+}
+
+// TestPolicy2QScanResistance: a stream of one-shot keys must never
+// displace an admitted entry, no matter how long the scan runs.
+func TestPolicy2QScanResistance(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicy2Q(8, 0)})
+	s.Put(key(0), fakeValue{bytes: 40})
+	s.Put(key(0), fakeValue{bytes: 40}) // admitted
+	for i := 1; i <= 200; i++ {
+		if s.Put(key(i), fakeValue{bytes: 40}) {
+			t.Fatalf("scan key %d admitted on first sighting", i)
+		}
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("scan traffic flushed the admitted entry")
+	}
+	st := s.Stats()
+	// 201: the warm key's own first sighting plus the 200 scan keys.
+	if st.Evictions != 0 || st.Admission.ScanRejections != 201 {
+		t.Fatalf("scan bookkeeping: %+v", st)
+	}
+	if st.Admission.GhostEntries != 8 || st.Admission.GhostLimit != 8 {
+		t.Fatalf("ghost list must stay bounded: %+v", st.Admission)
+	}
+}
+
+// TestPolicy2QGhostCapacity: with a full ghost list the oldest sighting
+// is forgotten first, so its second Put counts as a first sighting again.
+func TestPolicy2QGhostCapacity(t *testing.T) {
+	s := New(Options{MaxBytes: 1000, Policy: NewPolicy2Q(2, 0)})
+	s.Put(key(0), fakeValue{bytes: 1}) // ghost: [0]
+	s.Put(key(1), fakeValue{bytes: 1}) // ghost: [1 0]
+	s.Put(key(2), fakeValue{bytes: 1}) // ghost: [2 1]; 0 forgotten
+	if !s.Put(key(1), fakeValue{bytes: 1}) {
+		t.Fatal("remembered sighting must admit")
+	}
+	if s.Put(key(0), fakeValue{bytes: 1}) {
+		t.Fatal("forgotten sighting must not admit")
+	}
+}
+
+// TestPolicy2QSightingWindow: a ghost older than the window is stale —
+// the next Put restarts probation instead of promoting.
+func TestPolicy2QSightingWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 1000, TTL: time.Minute,
+		Policy: NewPolicy2Q(16, time.Minute),
+		now:    func() time.Time { return now },
+	})
+	s.Put(key(0), fakeValue{bytes: 1})
+	now = now.Add(2 * time.Minute)
+	if s.Put(key(0), fakeValue{bytes: 1}) {
+		t.Fatal("stale sighting must not admit")
+	}
+	now = now.Add(30 * time.Second)
+	if !s.Put(key(0), fakeValue{bytes: 1}) {
+		t.Fatal("fresh second sighting must admit")
+	}
+}
+
+// TestPolicy2QEvictionReghosts: a byte-pressure victim goes back on the
+// ghost list, so one sighting (not two) readmits it.
+func TestPolicy2QEvictionReghosts(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicy2Q(16, 0)})
+	for i := 0; i < 3; i++ { // admit three 40-byte entries: third evicts first
+		s.Put(key(i), fakeValue{bytes: 40})
+		s.Put(key(i), fakeValue{bytes: 40})
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("key 0 should have been evicted")
+	}
+	if !s.Put(key(0), fakeValue{bytes: 40}) {
+		t.Fatal("eviction victim must readmit on a single sighting")
+	}
+}
+
+// TestPolicyLRUAdmitsEverything pins the default policy's stats label
+// and pass-through admission.
+func TestPolicyLRUAdmitsEverything(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("LRU must admit on first sighting")
+	}
+	st := s.Stats()
+	if st.Admission.Policy != "lru" || st.Admission.ScanRejections != 0 ||
+		st.Admission.GhostEntries != 0 {
+		t.Fatalf("lru admission stats: %+v", st.Admission)
+	}
+}
+
+// TestPolicy2QConcurrent hammers a 2Q store from many goroutines; run
+// under -race this proves the policy inherits the store's locking.
+func TestPolicy2QConcurrent(t *testing.T) {
+	s := New(Options{MaxBytes: 1 << 10, TTL: time.Minute, Policy: NewPolicy2Q(64, time.Minute)})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 300; i++ {
+				k := Key{Fingerprint: "fp", Kind: KindPrefill, Hash: fmt.Sprintf("c-%d", (g+i)%24)}
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, fakeValue{bytes: 64})
+				}
+				if i%100 == 0 {
+					s.Stats()
+					s.Sweep()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Bytes() > 1<<10 {
+		t.Fatalf("budget exceeded: %d", s.Bytes())
+	}
+}

@@ -16,6 +16,11 @@
 // counters are metrics.Counter values (lock-free atomics) surfaced to the
 // serving metrics endpoint.
 //
+// Admission is pluggable (Options.Policy): PolicyLRU admits every Put
+// (the historical behavior and the default), Policy2Q requires a second
+// sighting within the TTL window before a key may occupy main-cache
+// bytes, which keeps one-shot scan traffic from flushing reused entries.
+//
 // Ownership: a Store is shared state, safe for concurrent use from any
 // number of goroutines; all methods lock internally. Values handed out by
 // Get are shared too — callers must only read them (for caches: fork
@@ -73,6 +78,10 @@ type Options struct {
 	// Put) for longer is expired on the next access. Zero disables
 	// expiry.
 	TTL time.Duration
+	// Policy is the admission policy; nil selects PolicyLRU (admit
+	// everything). The store takes ownership: the policy must not be
+	// shared with another store or called directly afterwards.
+	Policy Policy
 
 	// now overrides the clock in tests; nil means time.Now.
 	now func() time.Time
@@ -94,6 +103,9 @@ type Stats struct {
 	Entries     int   `json:"entries"`
 	Bytes       int64 `json:"bytes"`
 	MaxBytes    int64 `json:"max_bytes"`
+	// Admission is the admission policy's counter block (all zeros
+	// under PolicyLRU apart from the label).
+	Admission AdmissionStats `json:"admission"`
 }
 
 type entry struct {
@@ -106,11 +118,12 @@ type entry struct {
 // Store is the byte-accounted LRU. See the package comment for the
 // ownership rules.
 type Store struct {
-	mu    sync.Mutex
-	opts  Options
-	ll    *list.List // front = most recently used; values are *entry
-	items map[Key]*list.Element
-	bytes int64
+	mu     sync.Mutex
+	opts   Options
+	policy Policy
+	ll     *list.List // front = most recently used; values are *entry
+	items  map[Key]*list.Element
+	bytes  int64
 
 	hits        metrics.Counter
 	misses      metrics.Counter
@@ -127,10 +140,14 @@ func New(opts Options) *Store {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.Policy == nil {
+		opts.Policy = NewPolicyLRU()
+	}
 	return &Store{
-		opts:  opts,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element),
+		opts:   opts,
+		policy: opts.Policy,
+		ll:     list.New(),
+		items:  make(map[Key]*list.Element),
 	}
 }
 
@@ -152,6 +169,7 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	}
 	if !ok {
 		s.misses.Inc()
+		s.policy.OnMiss(k, now)
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -163,8 +181,11 @@ func (s *Store) Get(k Key) (Sized, bool) {
 
 // Put inserts (or replaces) the value under k and evicts least-recently
 // used entries until the byte budget holds. A value alone exceeding the
-// whole budget is not stored; Put then reports false. Replacing an
-// existing key does not count as an eviction.
+// whole budget is not stored, and a non-resident key the admission
+// policy declines is dropped (only its sighting is remembered); Put
+// reports false in both cases. Replacing an existing key is always
+// admitted (the key earned residency already) and does not count as an
+// eviction.
 func (s *Store) Put(k Key, v Sized) bool {
 	bytes := v.SizeBytes()
 	s.mu.Lock()
@@ -172,10 +193,13 @@ func (s *Store) Put(k Key, v Sized) bool {
 	if bytes > s.opts.MaxBytes {
 		return false
 	}
+	now := s.opts.now()
 	if el, ok := s.items[k]; ok {
 		s.removeLocked(el)
+	} else if !s.policy.Admit(k, now) {
+		return false
 	}
-	el := s.ll.PushFront(&entry{key: k, value: v, bytes: bytes, lastUsed: s.opts.now()})
+	el := s.ll.PushFront(&entry{key: k, value: v, bytes: bytes, lastUsed: now})
 	s.items[k] = el
 	s.bytes += bytes
 	s.insertions.Inc()
@@ -184,6 +208,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 		if lru == nil || lru == el {
 			break
 		}
+		s.policy.OnEvict(lru.Value.(*entry).key, now)
 		s.removeLocked(lru)
 		s.evictions.Inc()
 	}
@@ -249,6 +274,7 @@ func (s *Store) Stats() Stats {
 		Entries:     len(s.items),
 		Bytes:       s.bytes,
 		MaxBytes:    s.opts.MaxBytes,
+		Admission:   s.policy.Stats(),
 	}
 }
 

@@ -132,6 +132,93 @@ func TestHitMissCounters(t *testing.T) {
 	}
 }
 
+// TestZeroByteEntries: zero-byte values are legal residents — they must
+// count as entries without consuming budget or ever triggering eviction.
+func TestZeroByteEntries(t *testing.T) {
+	s := New(Options{MaxBytes: 10})
+	for i := 0; i < 100; i++ {
+		if !s.Put(key(i), fakeValue{id: i, bytes: 0}) {
+			t.Fatalf("zero-byte put %d rejected", i)
+		}
+	}
+	if s.Len() != 100 || s.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d, want 100/0", s.Len(), s.Bytes())
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("zero-byte entries must not evict: %+v", st)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("zero-byte entry %d lost", i)
+		}
+	}
+	// A sized value still evicts zero-byte LRU victims when over budget.
+	if !s.Put(key(100), fakeValue{bytes: 10}) {
+		t.Fatal("sized put rejected")
+	}
+	if s.Bytes() != 10 {
+		t.Fatalf("bytes=%d, want 10", s.Bytes())
+	}
+}
+
+// TestBudgetSmallerThanAnyEntry: a cap below every entry size must
+// reject each Put outright — never admit-then-thrash, never evict a
+// resident for a value that cannot fit anyway.
+func TestBudgetSmallerThanAnyEntry(t *testing.T) {
+	s := New(Options{MaxBytes: 8})
+	for i := 0; i < 10; i++ {
+		if s.Put(key(i), fakeValue{id: i, bytes: 9}) {
+			t.Fatalf("put %d admitted over a smaller cap", i)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Evictions != 0 || st.Insertions != 0 {
+		t.Fatalf("store must stay empty and quiet: %+v", st)
+	}
+}
+
+// TestTTLExpiryRacesGet races concurrent Gets against TTL expiry (real
+// clock, microsecond TTL) and concurrent Sweeps; run under -race this
+// proves lazy expiry and access never corrupt the byte accounting.
+func TestTTLExpiryRacesGet(t *testing.T) {
+	s := New(Options{MaxBytes: 1 << 20, TTL: 50 * time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i % 8)
+				switch g % 3 {
+				case 0:
+					s.Put(k, fakeValue{id: i, bytes: 32})
+				case 1:
+					if v, ok := s.Get(k); ok {
+						_ = v.SizeBytes()
+					}
+				default:
+					if i%16 == 0 {
+						s.Sweep()
+					} else if _, ok := s.Get(k); !ok {
+						s.Put(k, fakeValue{id: i, bytes: 32})
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Let everything age out, then verify the accounting drains to zero.
+	time.Sleep(time.Millisecond)
+	s.Sweep()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("after final sweep: len=%d bytes=%d, want 0/0", s.Len(), s.Bytes())
+	}
+	st := s.Stats()
+	if st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats disagree with store: %+v", st)
+	}
+}
+
 // TestConcurrentAccess hammers the store from many goroutines; run under
 // -race this is the store's thread-safety proof.
 func TestConcurrentAccess(t *testing.T) {

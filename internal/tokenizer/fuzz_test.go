@@ -1,0 +1,62 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize drives the tokenize → vocab → encode → decode loop with
+// arbitrary text and asserts the round-trip contract the pipeline relies
+// on: any word a text tokenizes to is in a vocab built from that text,
+// ids are dense and stable, and decoding reproduces the whitespace-
+// normalized input exactly.
+func FuzzTokenize(f *testing.F) {
+	f.Add("the quick brown fox")
+	f.Add("")
+	f.Add("  padded \t with \n mixed   whitespace ")
+	f.Add("dup dup dup distinct dup")
+	f.Add("π ∞ unicode-∂ words £µ")
+	f.Add("a")
+	f.Fuzz(func(t *testing.T, text string) {
+		words := Tokenize(text)
+		v := NewVocab(words)
+		if v.Size() > len(words) {
+			t.Fatalf("vocab size %d exceeds word count %d", v.Size(), len(words))
+		}
+
+		ids := v.Encode(text)
+		if len(ids) != len(words) {
+			t.Fatalf("Encode returned %d ids for %d words", len(ids), len(words))
+		}
+		for i, id := range ids {
+			if id == UnknownID {
+				t.Fatalf("word %d %q unknown in a vocab built from its own text", i, words[i])
+			}
+			if id < 0 || id >= v.Size() {
+				t.Fatalf("id %d out of dense range [0, %d)", id, v.Size())
+			}
+			if got := v.Word(id); got != words[i] {
+				t.Fatalf("Word(ID(%q)) = %q", words[i], got)
+			}
+		}
+
+		norm := strings.Join(words, " ")
+		if got := v.Decode(ids); got != norm {
+			t.Fatalf("Decode round-trip: %q != %q", got, norm)
+		}
+		back := v.DecodeWords(v.EncodeWords(words))
+		if len(back) != len(words) {
+			t.Fatalf("DecodeWords dropped words: %d != %d", len(back), len(words))
+		}
+		for i := range back {
+			if back[i] != words[i] {
+				t.Fatalf("word %d round-tripped to %q, want %q", i, back[i], words[i])
+			}
+		}
+
+		// Unknown ids must be skipped, never panic or leak placeholder text.
+		if got := v.Decode([]int{UnknownID, -7, v.Size()}); got != "" {
+			t.Fatalf("Decode of invalid ids produced %q", got)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// BenchmarkPrefixCacheUnderScan replays the soak workload against each
+// admission policy and reports the warm hit-rate and mean per-request
+// latency — the observable cost of LRU's scan flush and 2Q's fix. Run
+// with:
+//
+//	go test -bench PrefixCacheUnderScan ./internal/workload -benchtime 1x
+func BenchmarkPrefixCacheUnderScan(b *testing.B) {
+	p := soakPipeline(b)
+	reqs := soakStream(b, p)
+	for _, pol := range []cocktail.CachePolicy{cocktail.CachePolicyLRU, cocktail.CachePolicy2Q} {
+		b.Run(pol.String(), func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+					MaxBytes: soakBudget, TTL: time.Minute, Policy: pol, GhostEntries: 256})
+				rep, err := Replay(sc, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hitRate = rep.WarmHitRate()
+			}
+			b.ReportMetric(hitRate, "warm-hit-rate")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(reqs))/1e6, "ms/req")
+		})
+	}
+}

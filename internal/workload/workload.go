@@ -1,0 +1,203 @@
+// Package workload generates deterministic serving request streams and
+// replays them against the public cocktail surface. It exists to make
+// cache-policy claims testable: the generator produces a seeded mix of
+// Zipf-reused session traffic (a few contexts queried again and again)
+// interleaved with one-shot scans (crawler/sweep-style contexts never
+// seen twice), and the replay harness reports per-class prefix-cache
+// hit-rates plus every request's output so tests can assert hit-rate
+// floors, byte accounting and byte-identical-output invariants.
+//
+// Everything is deterministic for a fixed Options value: contexts and
+// queries come from Pipeline.NewSample seeds derived from Options.Seed,
+// and the scan/reuse interleaving comes from a math/rand stream seeded
+// the same way — so a soak test failure always reproduces.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	cocktail "repro"
+	"repro/internal/parallel"
+)
+
+// ScanSession is the Request.Session value of one-shot scan requests.
+const ScanSession = -1
+
+// Request is one serving request of a generated stream.
+type Request struct {
+	// Session is the warm session index in [0, Options.Sessions) for
+	// reuse traffic, or ScanSession for a one-shot scan.
+	Session int
+	// Context and Query are surface words from the pipeline vocabulary.
+	Context []string
+	Query   []string
+}
+
+// IsScan reports whether the request is one-shot scan traffic.
+func (r Request) IsScan() bool { return r.Session == ScanSession }
+
+// Options parameterizes a generated stream. The zero value is usable.
+type Options struct {
+	// Seed selects the stream; equal seeds give byte-identical streams.
+	Seed uint64
+	// Requests is the stream length (<= 0 selects 64).
+	Requests int
+	// Sessions is the number of distinct warm contexts the reuse
+	// traffic draws from (<= 0 selects 3).
+	Sessions int
+	// ZipfS is the Zipf skew over warm sessions (must be > 1; <= 0
+	// selects 1.2). Higher values concentrate reuse on fewer sessions.
+	ZipfS float64
+	// ScanFraction is the probability a request is a one-shot scan
+	// (< 0 selects 0.5; 0 is honored — an all-warm stream).
+	ScanFraction float64
+	// Dataset names the Table I generator backing the contexts
+	// ("" selects Qasper).
+	Dataset string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 64
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 3
+	}
+	if o.ZipfS <= 0 {
+		o.ZipfS = 1.2
+	}
+	if o.ScanFraction < 0 {
+		o.ScanFraction = 0.5
+	}
+	if o.Dataset == "" {
+		o.Dataset = "Qasper"
+	}
+	return o
+}
+
+// Generate builds a deterministic request stream over p's vocabulary.
+// Warm session i always replays the same (context, query) pair; every
+// scan request gets a context of its own.
+func Generate(p *cocktail.Pipeline, opts Options) ([]Request, error) {
+	opts = opts.withDefaults()
+	if opts.ZipfS <= 1 {
+		return nil, fmt.Errorf("workload: ZipfS must be > 1, have %v", opts.ZipfS)
+	}
+	if opts.ScanFraction > 1 {
+		return nil, fmt.Errorf("workload: ScanFraction must be <= 1, have %v", opts.ScanFraction)
+	}
+	// Sample seeds live in disjoint lanes off the stream seed so warm
+	// and scan contexts can never alias for a fixed Options.Seed.
+	base := opts.Seed * 0x9e3779b97f4a7c15
+	warm := make([]*cocktail.Sample, opts.Sessions)
+	for i := range warm {
+		s, err := p.NewSample(opts.Dataset, base+1+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("workload: warm sample %d: %w", i, err)
+		}
+		warm[i] = s
+	}
+	rng := rand.New(rand.NewSource(int64(opts.Seed) + 1))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.Sessions-1))
+	reqs := make([]Request, 0, opts.Requests)
+	scans := uint64(0)
+	for len(reqs) < opts.Requests {
+		if rng.Float64() < opts.ScanFraction {
+			s, err := p.NewSample(opts.Dataset, base+1_000_000+scans)
+			if err != nil {
+				return nil, fmt.Errorf("workload: scan sample %d: %w", scans, err)
+			}
+			scans++
+			reqs = append(reqs, Request{Session: ScanSession, Context: s.Context, Query: s.Query})
+			continue
+		}
+		i := int(zipf.Uint64())
+		reqs = append(reqs, Request{Session: i, Context: warm[i].Context, Query: warm[i].Query})
+	}
+	return reqs, nil
+}
+
+// Prefiller is the serving surface a replay drives. *cocktail.Pipeline
+// (always-cold) and *cocktail.SessionCache (prefix-cached) both
+// implement it, so the same stream measures any policy against the
+// uncached baseline.
+type Prefiller interface {
+	Prefill(context []string) (*cocktail.Session, error)
+}
+
+// Report aggregates one replay. Outputs is index-aligned with the
+// request stream regardless of replay concurrency; the hit counters
+// split by traffic class.
+type Report struct {
+	Requests, Warm, Scans int
+	// WarmPrefillHits counts warm requests whose prefill state came
+	// from the cache; ScanPrefillHits the same for scans (non-zero only
+	// when distinct scan contexts collide, which the generator avoids).
+	WarmPrefillHits, ScanPrefillHits int
+	// Outputs[i] is request i's space-joined answer.
+	Outputs []string
+}
+
+// WarmHitRate is the fraction of warm requests served from cached
+// prefill state — the quantity scan-resistant admission protects.
+func (r *Report) WarmHitRate() float64 {
+	if r.Warm == 0 {
+		return 0
+	}
+	return float64(r.WarmPrefillHits) / float64(r.Warm)
+}
+
+// Replay drives every request through c in stream order and reports
+// hit-rates and outputs. Serial replay makes the hit counters
+// deterministic: request i sees exactly the cache state requests 0..i-1
+// left behind.
+func Replay(c Prefiller, reqs []Request) (*Report, error) {
+	return replay(c, reqs, 1)
+}
+
+// ReplayParallel replays the stream on up to workers goroutines
+// (workers <= 0 selects NumCPU). Outputs stay index-aligned and each
+// individual answer is still byte-identical to its cold run, but hit
+// counters depend on request interleaving — racing misses on one
+// context may each count a miss where serial replay counts hits.
+func ReplayParallel(c Prefiller, reqs []Request, workers int) (*Report, error) {
+	return replay(c, reqs, workers)
+}
+
+func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
+	outputs := make([]string, len(reqs))
+	hits := make([]bool, len(reqs))
+	err := parallel.ForEach(workers, len(reqs), func(i int) error {
+		s, err := c.Prefill(reqs[i].Context)
+		if err != nil {
+			return fmt.Errorf("workload: request %d prefill: %w", i, err)
+		}
+		hits[i] = s.CachedPrefill()
+		res, err := s.Answer(reqs[i].Query)
+		if err != nil {
+			return fmt.Errorf("workload: request %d answer: %w", i, err)
+		}
+		outputs[i] = strings.Join(res.Answer, " ")
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Requests: len(reqs), Outputs: outputs}
+	for i, r := range reqs {
+		if r.IsScan() {
+			rep.Scans++
+			if hits[i] {
+				rep.ScanPrefillHits++
+			}
+		} else {
+			rep.Warm++
+			if hits[i] {
+				rep.WarmPrefillHits++
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	cocktail "repro"
+)
+
+// soakPipeline uses a small MaxSeq so generated contexts are ~256 tokens
+// and a replayed request costs ~10ms — soaks stay fast under -race.
+func soakPipeline(t testing.TB) *cocktail.Pipeline {
+	t.Helper()
+	p, err := cocktail.New(cocktail.Config{MaxSeq: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := soakPipeline(t)
+	opts := Options{Seed: 42, Requests: 32, Sessions: 3, ScanFraction: 0.5}
+	a, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("stream lengths %d/%d, want 32", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Session != b[i].Session ||
+			strings.Join(a[i].Context, " ") != strings.Join(b[i].Context, " ") ||
+			strings.Join(a[i].Query, " ") != strings.Join(b[i].Query, " ") {
+			t.Fatalf("request %d differs between equal-seed streams", i)
+		}
+	}
+	c, err := Generate(p, Options{Seed: 43, Requests: 32, Sessions: 3, ScanFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Session == c[i].Session {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical interleaving")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := soakPipeline(t)
+	reqs, err := Generate(p, Options{Seed: 7, Requests: 48, Sessions: 3, ScanFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCtx := map[int]string{}
+	scanCtx := map[string]bool{}
+	warm, scans := 0, 0
+	for i, r := range reqs {
+		if r.IsScan() {
+			scans++
+			key := strings.Join(r.Context, " ")
+			if scanCtx[key] {
+				t.Fatalf("request %d: scan context repeated", i)
+			}
+			scanCtx[key] = true
+			continue
+		}
+		warm++
+		if r.Session < 0 || r.Session >= 3 {
+			t.Fatalf("request %d: session %d out of range", i, r.Session)
+		}
+		key := strings.Join(r.Context, " ")
+		if prev, ok := warmCtx[r.Session]; ok && prev != key {
+			t.Fatalf("session %d context changed mid-stream", r.Session)
+		}
+		warmCtx[r.Session] = key
+	}
+	if warm == 0 || scans == 0 {
+		t.Fatalf("degenerate mix: warm=%d scans=%d", warm, scans)
+	}
+}
+
+func TestGenerateRejectsBadOptions(t *testing.T) {
+	p := soakPipeline(t)
+	if _, err := Generate(p, Options{ZipfS: 1.0}); err == nil {
+		t.Fatal("ZipfS <= 1 must be rejected")
+	}
+	if _, err := Generate(p, Options{ScanFraction: 1.5}); err == nil {
+		t.Fatal("ScanFraction > 1 must be rejected")
+	}
+}
+
+// TestReplayColdBaseline: replaying against the bare pipeline hits
+// nothing and every output is byte-identical to a direct Answer call.
+func TestReplayColdBaseline(t *testing.T) {
+	p := soakPipeline(t)
+	reqs, err := Generate(p, Options{Seed: 3, Requests: 6, Sessions: 2, ScanFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarmPrefillHits != 0 || rep.ScanPrefillHits != 0 {
+		t.Fatalf("bare pipeline reported cache hits: %+v", rep)
+	}
+	if rep.Warm+rep.Scans != rep.Requests || rep.Requests != 6 {
+		t.Fatalf("request classification: %+v", rep)
+	}
+	for i, r := range reqs {
+		res, err := p.Answer(r.Context, r.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rep.Outputs[i], strings.Join(res.Answer, " "); got != want {
+			t.Fatalf("request %d: replay output %q != cold answer %q", i, got, want)
+		}
+	}
+}

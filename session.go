@@ -215,13 +215,76 @@ func (s *Session) sealedFor(plan *kvcache.Plan, opts kvcache.SealOptions) (*kvca
 	return c, nil
 }
 
+// CachePolicy selects the SessionCache admission policy. The zero value
+// (CachePolicyLRU) preserves the historical admit-everything semantics.
+type CachePolicy int
+
+const (
+	// CachePolicyLRU admits every insert; recency alone decides who
+	// survives the byte budget. Sustained one-shot traffic can flush
+	// warm entries.
+	CachePolicyLRU CachePolicy = iota
+	// CachePolicy2Q admits a context's state only on its second
+	// sighting within the TTL window (first sightings land on a
+	// bytes-free ghost list), so one-shot scan traffic cannot displace
+	// reused sessions. The cost: a context pays the cold path twice
+	// before it starts hitting.
+	CachePolicy2Q
+)
+
+// String returns the policy's flag spelling ("lru" or "2q").
+func (p CachePolicy) String() string {
+	if p == CachePolicy2Q {
+		return "2q"
+	}
+	return "lru"
+}
+
+// ParseCachePolicy maps the flag spellings "lru" (or "") and "2q" to a
+// CachePolicy, erroring on anything else.
+func ParseCachePolicy(s string) (CachePolicy, error) {
+	switch s {
+	case "", "lru":
+		return CachePolicyLRU, nil
+	case "2q":
+		return CachePolicy2Q, nil
+	}
+	return CachePolicyLRU, fmt.Errorf("cocktail: unknown cache policy %q (have lru, 2q)", s)
+}
+
 // SessionCacheOptions sizes a SessionCache.
 type SessionCacheOptions struct {
 	// MaxBytes is the LRU byte budget over all retained prefill builders
 	// and sealed caches (<= 0 selects the 256 MiB default).
 	MaxBytes int64
-	// TTL is the idle lifetime of a cache entry (0 = no expiry).
+	// TTL is the idle lifetime of a cache entry (0 = no expiry). Under
+	// CachePolicy2Q it also bounds the gap between the two sightings
+	// that earn admission.
 	TTL time.Duration
+	// Policy is the admission policy (default CachePolicyLRU).
+	Policy CachePolicy
+	// GhostEntries bounds CachePolicy2Q's ghost list — the number of
+	// seen-once keys remembered while on probation (<= 0 selects the
+	// 1024 default). Ignored under CachePolicyLRU.
+	GhostEntries int
+}
+
+// AdmissionStats reports a SessionCache's admission-policy counters
+// (mirrors sessioncache.AdmissionStats). Counter fields are monotonic
+// totals; under CachePolicyLRU everything but Policy is zero.
+type AdmissionStats struct {
+	// Policy is the active policy label ("lru" or "2q").
+	Policy string `json:"policy"`
+	// ProbationHits counts cache misses on keys that were on probation —
+	// lookups that would have hit had the key been admitted already.
+	ProbationHits int64 `json:"probation_hits"`
+	// GhostPromotions counts admissions earned by a second sighting.
+	GhostPromotions int64 `json:"ghost_promotions"`
+	// ScanRejections counts inserts declined on first sighting.
+	ScanRejections int64 `json:"scan_rejections"`
+	// GhostEntries/GhostLimit are the ghost list's population and cap.
+	GhostEntries int `json:"ghost_entries"`
+	GhostLimit   int `json:"ghost_limit"`
 }
 
 // CacheStats reports a SessionCache's counters and occupancy (mirrors
@@ -236,12 +299,16 @@ type CacheStats struct {
 	Entries     int   `json:"entries"`
 	Bytes       int64 `json:"bytes"`
 	MaxBytes    int64 `json:"max_bytes"`
+	// Admission is the admission policy's counter block.
+	Admission AdmissionStats `json:"admission"`
 }
 
 // SessionCache shares prefilled context KV and pristine sealed caches
 // across requests, keyed by (pipeline fingerprint, context hash) with
-// byte-accounted LRU eviction and TTL expiry. It is safe for concurrent
-// use; the sessions it vends follow the single-owner Session contract.
+// byte-accounted LRU eviction, TTL expiry and a pluggable admission
+// policy (SessionCacheOptions.Policy; CachePolicy2Q makes the cache
+// scan-resistant). It is safe for concurrent use; the sessions it vends
+// follow the single-owner Session contract.
 //
 // Two racing misses on the same context may both run prefill and the last
 // Put wins — wasted work, never wrong results, and the benign race keeps
@@ -253,10 +320,14 @@ type SessionCache struct {
 
 // NewSessionCache builds a shared cache over p.
 func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
+	var pol sessioncache.Policy // nil selects the store's LRU default
+	if opts.Policy == CachePolicy2Q {
+		pol = sessioncache.NewPolicy2Q(opts.GhostEntries, opts.TTL)
+	}
 	return &SessionCache{
 		p: p,
 		store: sessioncache.New(sessioncache.Options{
-			MaxBytes: opts.MaxBytes, TTL: opts.TTL}),
+			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol}),
 	}
 }
 
@@ -283,7 +354,18 @@ func (c *SessionCache) Answer(context, query []string) (*Result, error) {
 
 // Stats snapshots the cache counters.
 func (c *SessionCache) Stats() CacheStats {
-	return CacheStats(c.store.Stats())
+	st := c.store.Stats()
+	return CacheStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Expirations: st.Expirations,
+		Insertions:  st.Insertions,
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+		MaxBytes:    st.MaxBytes,
+		Admission:   AdmissionStats(st.Admission),
+	}
 }
 
 // Sweep drops every TTL-expired entry now and reports how many were

@@ -278,3 +278,60 @@ func TestSessionCacheEvictsUnderPressure(t *testing.T) {
 }
 
 var errMismatch = errors.New("concurrent session answer diverged from serial cold answer")
+
+// TestParseCachePolicy pins the flag spellings and rejects the rest.
+func TestParseCachePolicy(t *testing.T) {
+	for s, want := range map[string]CachePolicy{"": CachePolicyLRU, "lru": CachePolicyLRU, "2q": CachePolicy2Q} {
+		got, err := ParseCachePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseCachePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCachePolicy("arc"); err == nil {
+		t.Fatal("unknown policy must be rejected")
+	}
+	if CachePolicyLRU.String() != "lru" || CachePolicy2Q.String() != "2q" {
+		t.Fatal("policy String() spelling drifted from the flag values")
+	}
+}
+
+// TestSessionCache2QByteIdentical: the 2Q cache's probation (first
+// sighting, value dropped), admission (second) and hit (third) paths
+// must all produce the cold answer, and the admission counters must
+// tell that exact story.
+func TestSessionCache2QByteIdentical(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{
+		MaxBytes: 8 << 20, TTL: time.Minute, Policy: CachePolicy2Q})
+	for call := 0; call < 3; call++ {
+		sess, err := sc.Prefill(s.Context)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit, wantHit := sess.CachedPrefill(), call == 2; hit != wantHit {
+			t.Fatalf("call %d: CachedPrefill = %v, want %v", call, hit, wantHit)
+		}
+		got, err := sess.Answer(s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Fatalf("call %d: 2q answer diverged from cold", call)
+		}
+	}
+	adm := sc.Stats().Admission
+	if adm.Policy != "2q" || adm.ScanRejections != 2 || adm.GhostPromotions != 2 {
+		t.Fatalf("admission history: %+v", adm)
+	}
+}
