@@ -13,58 +13,113 @@
 //
 // Repeated contexts hit the byte-budgeted session/prefix cache (sized by
 // -session-cache-mb, idle entries dropped after -session-ttl), skipping
-// prefill with byte-identical results. -cache-policy 2q makes the cache
-// scan-resistant: a context is admitted only on its second sighting
-// (probation keys bounded by -ghost-entries), so crawler-style one-shot
-// traffic cannot flush warm sessions; see docs/API.md for the full
-// reference.
+// prefill with byte-identical results. -cache-policy picks the admission
+// policy: lru admits everything (default), 2q admits a context only on
+// its second sighting (probation keys bounded by -ghost-entries), a1 is
+// the full A1in/A1out design (first sightings trialled in a probation
+// byte segment sized by -probation-pct), and adaptive flips between
+// admit-everything and second-sighting admission automatically by
+// watching the workload over -adapt-window admission decisions; see
+// docs/API.md for the full reference.
 //
 // Usage:
 //
 //	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64 \
-//	    -session-cache-mb 128 -session-ttl 10m -cache-policy 2q
+//	    -session-cache-mb 128 -session-ttl 10m -cache-policy adaptive
 //	curl -s localhost:8080/v1/sample?dataset=Qasper&seed=7
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 
 	cocktail "repro"
 	"repro/internal/httpapi"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	method := flag.String("method", "Cocktail", "quantization method")
-	modelName := flag.String("model", "Llama2-7B-sim", "simulated model")
-	alpha := flag.Float64("alpha", 0.6, "T_low hyperparameter")
-	beta := flag.Float64("beta", 0.1, "T_high hyperparameter")
-	workers := flag.Int("workers", 0, "concurrent pipeline executions (0 = NumCPU)")
-	queue := flag.Int("queue", 0, "waiting-request queue depth (0 = 4x workers)")
-	cacheMB := flag.Int("session-cache-mb", 0, "session/prefix cache budget in MiB (0 = 64, negative disables)")
-	sessionTTL := flag.Duration("session-ttl", 0, "idle session and cache-entry lifetime (0 = 15m)")
-	maxSessions := flag.Int("max-sessions", 0, "open-session cap, LRU-evicted beyond it (0 = 1024)")
-	cachePolicy := flag.String("cache-policy", "lru", "prefix-cache admission policy: lru (admit everything) or 2q (scan-resistant second-sighting admission)")
-	ghostEntries := flag.Int("ghost-entries", 0, "2q ghost-list capacity: seen-once keys remembered on probation (0 = 1024)")
-	flag.Parse()
+// serveConfig is everything parseArgs extracts from the command line.
+type serveConfig struct {
+	addr     string
+	pipeline cocktail.Config
+	opts     httpapi.Options
+}
+
+// parseArgs parses and validates the command line. Range violations are
+// rejected with an error (they exit the process non-zero from main)
+// rather than silently clamped, so a typo in a deployment manifest is
+// caught at rollout instead of quietly misconfiguring the cache.
+func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
+	fs := flag.NewFlagSet("cocktail-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	method := fs.String("method", "Cocktail", "quantization method")
+	modelName := fs.String("model", "Llama2-7B-sim", "simulated model")
+	alpha := fs.Float64("alpha", 0.6, "T_low hyperparameter")
+	beta := fs.Float64("beta", 0.1, "T_high hyperparameter")
+	workers := fs.Int("workers", 0, "concurrent pipeline executions (0 = NumCPU)")
+	queue := fs.Int("queue", 0, "waiting-request queue depth (0 = 4x workers)")
+	cacheMB := fs.Int("session-cache-mb", 0, "session/prefix cache budget in MiB (0 = 64, negative disables)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle session and cache-entry lifetime (0 = 15m)")
+	maxSessions := fs.Int("max-sessions", 0, "open-session cap, LRU-evicted beyond it (0 = 1024)")
+	cachePolicy := fs.String("cache-policy", "lru",
+		"prefix-cache admission policy: lru (admit everything), 2q (scan-resistant second-sighting admission), a1 (full A1in/A1out with a probation byte segment) or adaptive (flips between lru and 2q by watching the workload)")
+	ghostEntries := fs.Int("ghost-entries", 0, "2q/a1/adaptive ghost-list capacity: seen-once keys remembered on probation (0 = 1024)")
+	probationPct := fs.Float64("probation-pct", cocktail.DefaultProbationPct,
+		"a1 probation segment share of the cache budget, percent in (0, 100)")
+	adaptWindow := fs.Int("adapt-window", 0, "adaptive evaluation window in admission decisions (0 = 64)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	policy, err := cocktail.ParseCachePolicy(*cachePolicy)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	p, err := cocktail.New(cocktail.Config{
-		Model: *modelName, Method: *method,
-		Alpha: cocktail.Float(*alpha), Beta: cocktail.Float(*beta)})
+	if *ghostEntries < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -ghost-entries must be >= 0, have %d", *ghostEntries)
+	}
+	if *probationPct <= 0 || *probationPct >= 100 {
+		return nil, fmt.Errorf("cocktail-serve: -probation-pct must lie in (0, 100), have %v", *probationPct)
+	}
+	if *adaptWindow < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -adapt-window must be >= 0, have %d", *adaptWindow)
+	}
+
+	return &serveConfig{
+		addr: *addr,
+		pipeline: cocktail.Config{
+			Model: *modelName, Method: *method,
+			Alpha: cocktail.Float(*alpha), Beta: cocktail.Float(*beta)},
+		opts: httpapi.Options{
+			Workers: *workers, QueueDepth: *queue,
+			SessionCacheMB: *cacheMB, SessionTTL: *sessionTTL,
+			MaxSessions:  *maxSessions,
+			CachePolicy:  policy,
+			GhostEntries: *ghostEntries,
+			ProbationPct: *probationPct,
+			AdaptWindow:  *adaptWindow,
+		},
+	}, nil
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h / -help: usage already printed, clean exit
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := httpapi.NewServer(p, httpapi.Options{
-		Workers: *workers, QueueDepth: *queue,
-		SessionCacheMB: *cacheMB, SessionTTL: *sessionTTL,
-		MaxSessions: *maxSessions,
-		CachePolicy: policy, GhostEntries: *ghostEntries})
-	log.Printf("cocktail-serve: %s / %s listening on %s", *modelName, *method, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	p, err := cocktail.New(cfg.pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpapi.NewServer(p, cfg.opts)
+	log.Printf("cocktail-serve: %s / %s listening on %s", cfg.pipeline.Model, cfg.pipeline.Method, cfg.addr)
+	log.Fatal(http.ListenAndServe(cfg.addr, srv))
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// TestMain doubles as the subprocess entry point for the exit-code
+// tests: when COCKTAIL_SERVE_ARGS is set, it runs the real main with
+// those arguments instead of the test suite, so a test can observe the
+// process exit status of a flag-validation failure.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("COCKTAIL_SERVE_ARGS"); args != "" {
+		os.Args = append([]string{"cocktail-serve"}, strings.Fields(args)...)
+		main() // must log.Fatal (exit 1) on the invalid flags under test
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestInvalidFlagsExitNonZero: out-of-range flags must terminate the
+// process with a non-zero exit code and a diagnostic — never be silently
+// clamped into a running server.
+func TestInvalidFlagsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name, args, diag string
+	}{
+		{"negative-ghost-entries", "-ghost-entries -1", "-ghost-entries"},
+		{"negative-probation-pct", "-probation-pct -5", "-probation-pct"},
+		{"zero-probation-pct", "-probation-pct 0", "-probation-pct"},
+		{"probation-pct-100", "-probation-pct 100", "-probation-pct"},
+		{"probation-pct-over", "-probation-pct 250", "-probation-pct"},
+		{"negative-adapt-window", "-adapt-window -3", "-adapt-window"},
+		{"unknown-policy", "-cache-policy arc", "cache policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run=^$")
+			cmd.Env = append(os.Environ(), "COCKTAIL_SERVE_ARGS="+tc.args)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want non-zero exit, got err=%v output=%q", err, out)
+			}
+			if code := ee.ExitCode(); code != 1 {
+				t.Fatalf("exit code %d, want 1; output: %q", code, out)
+			}
+			if !strings.Contains(string(out), tc.diag) {
+				t.Fatalf("diagnostic missing %q: %q", tc.diag, out)
+			}
+		})
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and exits 0 — it is a request, not
+// a configuration error.
+func TestHelpExitsZero(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), "COCKTAIL_SERVE_ARGS=-h")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-h must exit 0, got %v; output: %q", err, out)
+	}
+	if !strings.Contains(string(out), "-cache-policy") {
+		t.Fatalf("usage text missing from -h output: %q", out)
+	}
+}
+
+// TestParseArgsValid pins the happy path: every policy spelling parses,
+// defaults survive, and the knobs reach httpapi.Options untouched.
+func TestParseArgsValid(t *testing.T) {
+	cfg, err := parseArgs(strings.Fields(
+		"-addr :9090 -cache-policy adaptive -ghost-entries 512 -probation-pct 25 -adapt-window 32 -session-ttl 5m"),
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9090" || cfg.opts.CachePolicy != cocktail.CachePolicyAdaptive ||
+		cfg.opts.GhostEntries != 512 || cfg.opts.ProbationPct != 25 ||
+		cfg.opts.AdaptWindow != 32 || cfg.opts.SessionTTL != 5*time.Minute {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+	for _, spelling := range []string{"lru", "2q", "a1", "adaptive"} {
+		if _, err := parseArgs([]string{"-cache-policy", spelling}, io.Discard); err != nil {
+			t.Errorf("policy %q rejected: %v", spelling, err)
+		}
+	}
+	// Defaults: probation-pct starts inside its valid range, so a bare
+	// invocation parses.
+	cfg, err = parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.ProbationPct != cocktail.DefaultProbationPct || cfg.opts.CachePolicy != cocktail.CachePolicyLRU {
+		t.Fatalf("default config: %+v", cfg.opts)
+	}
+}
+
+// TestParseArgsInvalid mirrors the exit-code cases at the function level
+// so the error text itself is covered.
+func TestParseArgsInvalid(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ghost-entries", "-1"},
+		{"-probation-pct", "0"},
+		{"-probation-pct", "100"},
+		{"-probation-pct", "-2"},
+		{"-adapt-window", "-1"},
+		{"-cache-policy", "clock"},
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+	// -h is not a configuration error: it surfaces as flag.ErrHelp so
+	// main can exit 0.
+	if _, err := parseArgs([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

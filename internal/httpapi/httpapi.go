@@ -74,13 +74,26 @@ type Options struct {
 	// unbounded multiple of the configured memory.
 	MaxSessions int
 	// CachePolicy is the prefix-cache admission policy (zero value =
-	// CachePolicyLRU, the historical semantics; CachePolicy2Q admits a
+	// CachePolicyLRU, the historical semantics). CachePolicy2Q admits a
 	// context only on its second sighting within the TTL window, which
-	// protects reused sessions from one-shot scan traffic).
+	// protects reused sessions from one-shot scan traffic;
+	// CachePolicyA1 additionally trials first sightings in a probation
+	// byte segment (ProbationPct); CachePolicyAdaptive flips between
+	// admit-everything and second-sighting admission by watching the
+	// workload (AdaptWindow).
 	CachePolicy cocktail.CachePolicy
-	// GhostEntries bounds the 2Q ghost list (0 = default 1024); ignored
-	// under the LRU policy.
+	// GhostEntries bounds the 2Q-family ghost list (0 = default 1024);
+	// ignored under the LRU policy.
 	GhostEntries int
+	// ProbationPct is CachePolicyA1's probation share of the cache
+	// budget in percent, carved out of SessionCacheMB; must lie in
+	// (0, 100), values outside select the 10% default. Ignored by the
+	// other policies.
+	ProbationPct float64
+	// AdaptWindow is CachePolicyAdaptive's evaluation window in
+	// admission decisions (0 = default 64). Ignored by the static
+	// policies.
+	AdaptWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +170,8 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			TTL:          opts.SessionTTL,
 			Policy:       opts.CachePolicy,
 			GhostEntries: opts.GhostEntries,
+			ProbationPct: opts.ProbationPct,
+			AdaptWindow:  opts.AdaptWindow,
 		})
 	}
 	// Janitor: Get/Put expire lazily, but an idle server would otherwise
@@ -326,7 +341,11 @@ type PoolMetrics struct {
 // SessionCacheMetrics is the session/prefix cache block of the
 // /v1/metrics payload: the store's hit/miss/eviction/expiration counters,
 // byte occupancy and admission-policy counters (probation hits, ghost
-// promotions, scan rejections), plus the number of open sessions.
+// promotions, scan rejections, segment occupancy, adaptive policy
+// flips), plus the number of open sessions. The admission block is
+// present in every configuration — zeros under the policy label when the
+// policy keeps no such state, so dashboards never need policy-aware
+// parsing.
 type SessionCacheMetrics struct {
 	Enabled bool `json:"enabled"`
 	cocktail.CacheStats
@@ -356,6 +375,11 @@ func (s *Server) Snapshot() Metrics {
 	if s.sc != nil {
 		m.SessionCache.Enabled = true
 		m.SessionCache.CacheStats = s.sc.Stats()
+	} else {
+		// The admission block is emitted in every configuration — all
+		// zeros under the configured policy label when the cache is
+		// disabled — so dashboards never need policy-aware parsing.
+		m.SessionCache.Admission.Policy = s.opts.CachePolicy.String()
 	}
 	for path, e := range s.stats {
 		em := EndpointMetrics{

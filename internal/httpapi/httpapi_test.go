@@ -792,3 +792,69 @@ func TestErrors(t *testing.T) {
 		t.Fatalf("malformed JSON status %d", resp.StatusCode)
 	}
 }
+
+// TestMetricsAdmissionBlockAllPolicies: the session_cache.admission
+// block must be present and fully keyed in every configuration — zeros
+// under the policy label for LRU and even with the cache disabled — so
+// dashboards can parse /v1/metrics without knowing the policy.
+func TestMetricsAdmissionBlockAllPolicies(t *testing.T) {
+	p := testPipeline(t)
+	cases := []struct {
+		name   string
+		opts   Options
+		policy string
+		mode   string // adaptive only; "" means the key must be absent
+	}{
+		{"lru-default", Options{}, "lru", ""},
+		{"2q", Options{CachePolicy: cocktail.CachePolicy2Q, GhostEntries: 32}, "2q", ""},
+		{"a1", Options{CachePolicy: cocktail.CachePolicyA1, ProbationPct: 25}, "a1", ""},
+		{"adaptive", Options{CachePolicy: cocktail.CachePolicyAdaptive, AdaptWindow: 8}, "adaptive", "permissive"},
+		{"disabled", Options{SessionCacheMB: -1, CachePolicy: cocktail.CachePolicy2Q}, "2q", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewServer(p, tc.opts)
+			t.Cleanup(s.Close)
+			srv := httptest.NewServer(s)
+			t.Cleanup(srv.Close)
+
+			// Decode generically: the assertion is about the payload's
+			// shape, which typed decoding would mask.
+			var m map[string]any
+			if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+				t.Fatalf("metrics status %d", code)
+			}
+			sc, ok := m["session_cache"].(map[string]any)
+			if !ok {
+				t.Fatalf("session_cache block missing: %v", m)
+			}
+			adm, ok := sc["admission"].(map[string]any)
+			if !ok {
+				t.Fatalf("admission block missing under %s: %v", tc.name, sc)
+			}
+			if got := adm["policy"]; got != tc.policy {
+				t.Fatalf("admission.policy = %v, want %q", got, tc.policy)
+			}
+			for _, key := range []string{
+				"probation_hits", "ghost_promotions", "segment_promotions",
+				"scan_rejections", "policy_flips", "ghost_entries", "ghost_limit",
+				"probation_entries", "probation_bytes", "probation_cap_bytes",
+				"protected_entries", "protected_bytes",
+			} {
+				if _, ok := adm[key]; !ok {
+					t.Errorf("admission.%s missing under %s", key, tc.name)
+				}
+			}
+			if mode, ok := adm["mode"]; (tc.mode != "") != ok || (ok && mode != tc.mode) {
+				t.Errorf("admission.mode = %v (present=%v), want %q", mode, ok, tc.mode)
+			}
+			// The a1 probation cap must reflect the configured percentage
+			// of the budget (25% of the 64 MiB default).
+			if tc.name == "a1" {
+				if got := adm["probation_cap_bytes"].(float64); got != float64(64<<20)*0.25 {
+					t.Errorf("probation_cap_bytes = %v, want %v", got, float64(64<<20)*0.25)
+				}
+			}
+		})
+	}
+}

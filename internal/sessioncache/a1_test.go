@@ -1,0 +1,244 @@
+package sessioncache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPolicyA1ProbationAdmission: unlike ghost-only 2Q, a first sighting
+// is resident immediately (in the probation segment) and a re-reference
+// promotes it to the protected segment.
+func TestPolicyA1ProbationAdmission(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("a1 must admit a first sighting into probation")
+	}
+	st := s.Stats()
+	if st.Admission.Policy != "a1" || st.Admission.ProbationEntries != 1 ||
+		st.Admission.ProbationBytes != 10 || st.Admission.ProbationCapBytes != 20 ||
+		st.Admission.ProtectedEntries != 0 || st.Admission.ScanRejections != 0 {
+		t.Fatalf("post-insert admission stats: %+v", st.Admission)
+	}
+	if _, ok := s.Get(key(0)); !ok { // burst hit from probation + promotion
+		t.Fatal("probation resident must be hittable")
+	}
+	st = s.Stats()
+	if st.Admission.ProbationEntries != 0 || st.Admission.ProtectedEntries != 1 ||
+		st.Admission.ProtectedBytes != 10 || st.Admission.SegmentPromotions != 1 ||
+		st.Admission.ProbationHits != 1 {
+		t.Fatalf("post-promotion admission stats: %+v", st.Admission)
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("promoted entry must stay resident")
+	}
+	if st := s.Stats(); st.Admission.SegmentPromotions != 1 {
+		t.Fatalf("a protected hit must not re-promote: %+v", st.Admission)
+	}
+}
+
+// TestPolicyA1WashoutFeedsGhost: probation evictions of never-hit
+// entries count as scan rejections and land on the ghost list, from
+// where one sighting readmits straight to protected.
+func TestPolicyA1WashoutFeedsGhost(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	s.Put(key(0), fakeValue{bytes: 15})
+	s.Put(key(1), fakeValue{bytes: 15}) // probation cap 20: washes key 0 out
+	st := s.Stats()
+	if st.Admission.ProbationEntries != 1 || st.Admission.ScanRejections != 1 ||
+		st.Admission.GhostEntries != 1 {
+		t.Fatalf("washout bookkeeping: %+v", st.Admission)
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("washed-out entry must be gone")
+	}
+	if !s.Put(key(0), fakeValue{bytes: 15}) {
+		t.Fatal("ghosted washout must readmit on one sighting")
+	}
+	st = s.Stats()
+	if st.Admission.GhostPromotions != 1 || st.Admission.ProtectedEntries != 1 {
+		t.Fatalf("ghost promotion must go straight to protected: %+v", st.Admission)
+	}
+}
+
+// TestPolicyA1OversizeForProbation: a value too big for the probation
+// cap cannot be trialled byte-wise, so it falls back to ghost-only
+// second-sighting admission.
+func TestPolicyA1OversizeForProbation(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	if s.Put(key(0), fakeValue{bytes: 50}) {
+		t.Fatal("oversize-for-probation first sighting must be declined")
+	}
+	if st := s.Stats(); st.Admission.ScanRejections != 1 || st.Admission.GhostEntries != 1 {
+		t.Fatalf("oversize sighting must be ghosted: %+v", st.Admission)
+	}
+	if !s.Put(key(0), fakeValue{bytes: 50}) {
+		t.Fatal("second sighting must admit to protected")
+	}
+	if st := s.Stats(); st.Admission.ProtectedEntries != 1 || st.Admission.ProbationEntries != 0 {
+		t.Fatalf("oversize value must land in protected: %+v", st.Admission)
+	}
+}
+
+// TestPolicyA1ScanResistance: a one-shot flood churns only the probation
+// segment; promoted warm entries are untouchable, exactly as under
+// ghost-only 2Q — but unlike 2Q, any scan key repeated within a burst
+// hits (from probation).
+func TestPolicyA1ScanResistance(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(64, 0, 20)})
+	s.Put(key(0), fakeValue{bytes: 15})
+	if _, ok := s.Get(key(0)); !ok { // promote the warm key
+		t.Fatal("warm key must be resident")
+	}
+	for i := 1; i <= 100; i++ {
+		if !s.Put(key(i), fakeValue{bytes: 10}) {
+			t.Fatalf("scan key %d must be trialled in probation", i)
+		}
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("scan flood must not displace the protected entry")
+	}
+	st := s.Stats()
+	if st.Admission.ProbationBytes > 20 || st.Bytes > 100 {
+		t.Fatalf("probation overflowed its cap: %+v", st)
+	}
+	// A scan key re-seen while still on probation hits without any
+	// promotion dance having been prepaid.
+	if _, ok := s.Get(key(100)); !ok {
+		t.Fatal("recent scan key must hit from probation")
+	}
+}
+
+// TestPolicyA1ProtectedCarveOut: the probation cap is carved out of
+// MaxBytes, so protected residency is bounded by MaxBytes - probation
+// cap and a value exceeding that is not stored even on its second
+// sighting.
+func TestPolicyA1ProtectedCarveOut(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	// 90 bytes fits no segment (protected budget is 80): rejected before
+	// the policy ever records a sighting, so no ghost, no counters, and
+	// no ghost promotion is ever consumed for an unstorable value.
+	for i := 0; i < 2; i++ {
+		if s.Put(key(0), fakeValue{bytes: 90}) {
+			t.Fatal("value exceeding the protected budget (80) must be refused")
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("refused value must not be resident: %d entries", s.Len())
+	}
+	if st := s.Stats(); st.Admission.GhostEntries != 0 || st.Admission.ScanRejections != 0 ||
+		st.Admission.GhostPromotions != 0 {
+		t.Fatalf("unstorable value moved admission state: %+v", st.Admission)
+	}
+	// Protected evictions at the carved-out budget, not at MaxBytes: two
+	// second-sighting 40-byte entries fit (80), a third evicts the LRU
+	// one. (40 > the 20-byte probation cap, so admission is ghost-only.)
+	for i := 1; i <= 3; i++ {
+		s.Put(key(i), fakeValue{bytes: 40})
+		s.Put(key(i), fakeValue{bytes: 40})
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("protected LRU must have been evicted at the 80-byte carve-out")
+	}
+	st := s.Stats()
+	if st.Admission.ProtectedBytes != 80 || st.Evictions == 0 {
+		t.Fatalf("carve-out accounting: %+v", st)
+	}
+}
+
+// TestPolicyA1SightingWindow: the ghost window applies in A1 mode too —
+// a stale ghost restarts probation instead of promoting.
+func TestPolicyA1SightingWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 100, TTL: time.Minute,
+		Policy: NewPolicyA1(16, time.Minute, 20),
+		now:    func() time.Time { return now },
+	})
+	s.Put(key(0), fakeValue{bytes: 50}) // oversize for probation: ghosted
+	now = now.Add(2 * time.Minute)
+	if s.Put(key(0), fakeValue{bytes: 50}) {
+		t.Fatal("stale sighting must not admit")
+	}
+	now = now.Add(30 * time.Second)
+	if !s.Put(key(0), fakeValue{bytes: 50}) {
+		t.Fatal("fresh second sighting must admit")
+	}
+}
+
+// TestProbationCapClamped: a probation cap above half the budget is
+// clamped to exactly half, so the protected segment always dominates
+// and anything that fits probation also fits protected (the store's
+// reject-before-Admit check relies on that invariant).
+func TestProbationCapClamped(t *testing.T) {
+	for _, configured := range []int64{60, 500} {
+		s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, configured)})
+		if st := s.Stats(); st.Admission.ProbationCapBytes != 50 {
+			t.Fatalf("cap %d: probation cap must clamp to MaxBytes/2: %+v",
+				configured, st.Admission)
+		}
+		// A value that fits the clamped cap really is trialled.
+		if !s.Put(key(0), fakeValue{bytes: 45}) {
+			t.Fatalf("cap %d: value fitting the clamped cap must be trialled", configured)
+		}
+		if st := s.Stats(); st.Admission.ProbationEntries != 1 {
+			t.Fatalf("cap %d: trial entry missing: %+v", configured, st.Admission)
+		}
+	}
+}
+
+// TestReplaceOversizeLeavesPolicyUntouched: a replacement rejected for
+// size must not move any policy counter — OnHit runs only once storage
+// is assured.
+func TestReplaceOversizeLeavesPolicyUntouched(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	s.Put(key(0), fakeValue{id: 1, bytes: 10}) // probation
+	if s.Put(key(0), fakeValue{id: 2, bytes: 90}) {
+		t.Fatal("oversize replacement must be refused")
+	}
+	st := s.Stats()
+	if st.Admission.ProbationHits != 0 || st.Admission.SegmentPromotions != 0 ||
+		st.Admission.ProbationEntries != 1 {
+		t.Fatalf("refused replacement moved policy state: %+v", st.Admission)
+	}
+	if v, ok := s.Get(key(0)); !ok || v.(fakeValue).id != 1 {
+		t.Fatalf("probation resident lost: %v %v", v, ok)
+	}
+}
+
+// TestPolicyA1ReplacePromotes: re-Putting a probation resident (the
+// benign last-Put-wins race) is a re-reference — the replacement lands
+// in the protected segment and the promotion is counted.
+func TestPolicyA1ReplacePromotes(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	s.Put(key(0), fakeValue{id: 1, bytes: 10}) // probation
+	if !s.Put(key(0), fakeValue{id: 2, bytes: 12}) {
+		t.Fatal("replacing a probation resident must be admitted")
+	}
+	st := s.Stats()
+	if st.Admission.SegmentPromotions != 1 || st.Admission.ProtectedEntries != 1 ||
+		st.Admission.ProbationEntries != 0 || st.Admission.ProtectedBytes != 12 {
+		t.Fatalf("replace-promotion bookkeeping: %+v", st.Admission)
+	}
+	if v, ok := s.Get(key(0)); !ok || v.(fakeValue).id != 2 {
+		t.Fatalf("replacement value lost: %v %v", v, ok)
+	}
+}
+
+// TestReplaceOversizeKeepsResident: a replacement that no longer fits
+// its target segment is refused and the resident entry survives — Put
+// must never destroy state it cannot replace.
+func TestReplaceOversizeKeepsResident(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	s.Put(key(0), fakeValue{id: 1, bytes: 40}) // ghost-only path (40 > probation cap)
+	s.Put(key(0), fakeValue{id: 1, bytes: 40}) // second sighting: protected
+	if s.Put(key(0), fakeValue{id: 2, bytes: 90}) {
+		t.Fatal("oversize replacement must be refused")
+	}
+	v, ok := s.Get(key(0))
+	if !ok || v.(fakeValue).id != 1 || v.(fakeValue).bytes != 40 {
+		t.Fatalf("resident entry destroyed by refused replacement: %v %v", v, ok)
+	}
+	if st := s.Stats(); st.Bytes != 40 || st.Entries != 1 {
+		t.Fatalf("accounting after refused replacement: %+v", st)
+	}
+}

@@ -1,0 +1,188 @@
+package sessioncache
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultAdaptWindow is PolicyAdaptive's evaluation window (in admission
+// decisions) when the configured window is <= 0.
+const DefaultAdaptWindow = 64
+
+// Adaptive mode labels surfaced in AdmissionStats.Mode.
+const (
+	// ModePermissive is admit-everything (PolicyLRU semantics).
+	ModePermissive = "permissive"
+	// ModeConservative is ghost-only second-sighting admission
+	// (Policy2Q semantics).
+	ModeConservative = "conservative"
+)
+
+// PolicyAdaptive is a runtime controller over admission: it flips between
+// admit-everything (PolicyLRU semantics, optimal when everything inserted
+// gets reused) and ghost-only second-sighting admission (Policy2Q
+// semantics, optimal under one-shot scan floods) by watching the
+// workload itself, so the operator never has to guess a static policy.
+//
+// Mechanism: every Put of a non-resident key is one admission decision.
+// Decisions are counted into tumbling windows of `window` decisions; at
+// each window boundary the controller evaluates the window's evidence
+// and flips at most once:
+//
+//   - In permissive mode the tell for scan pressure is eviction churn of
+//     never-re-referenced entries: when at least half of the window's
+//     decisions were matched by one-shot evictions (entries evicted with
+//     hit=false), admit-everything is demonstrably flushing bytes for
+//     keys that never come back, and the controller flips to
+//     conservative. While the budget has slack (no evictions), admit-all
+//     is harmless and no flip happens.
+//   - In conservative mode the tell for reuse-dominated traffic is the
+//     rejected keys coming back: when the window's ghost promotions plus
+//     probation hits (misses that a warmer policy would have served)
+//     exceed its scan rejections, second-sighting admission is mostly
+//     taxing keys that deserve residency, and the controller flips to
+//     permissive.
+//
+// Hysteresis comes from three properties: a flip requires a full window
+// of decisions (steady all-hit traffic produces no decisions and never
+// flips), the two directions trigger on different signals with
+// strictly-crossing thresholds, and counters reset at every boundary so
+// one burst cannot echo across windows.
+//
+// The ghost list is shared across modes and persists through flips:
+// permissive-mode eviction victims are ghosted too, so right after a
+// flip to conservative the recently flushed warm keys readmit on a
+// single sighting instead of starting probation from scratch.
+//
+// Like every Policy, an adaptive policy is driven under the store's
+// mutex and must not be shared between stores.
+type PolicyAdaptive struct {
+	inner  *Policy2Q // conservative machinery; ghost list persists across flips
+	window int
+
+	permissive bool
+	flips      metrics.Counter
+
+	// Tumbling-window state, reset at each boundary. The winRej* fields
+	// snapshot the inner policy's reject-origin counters at the window
+	// start, so each evaluation sees only its own window's tax.
+	decisions        int
+	oneShotEvicts    int
+	winRejections    int64
+	winRejPromotions int64
+	winRejProbHits   int64
+}
+
+// NewPolicyAdaptive builds the adaptive controller. ghostEntries and
+// window parameterize the conservative mode's ghost list exactly as in
+// NewPolicy2Q; adaptWindow is the evaluation window in admission
+// decisions (<= 0 selects DefaultAdaptWindow). The controller starts
+// permissive — the historical default behavior — and earns its way to
+// conservative on evidence of scan pressure.
+func NewPolicyAdaptive(ghostEntries int, window time.Duration, adaptWindow int) *PolicyAdaptive {
+	if adaptWindow <= 0 {
+		adaptWindow = DefaultAdaptWindow
+	}
+	return &PolicyAdaptive{
+		inner:      NewPolicy2Q(ghostEntries, window),
+		window:     adaptWindow,
+		permissive: true,
+	}
+}
+
+// Name returns "adaptive".
+func (p *PolicyAdaptive) Name() string { return "adaptive" }
+
+// Mode returns the current mode label (ModePermissive or
+// ModeConservative).
+func (p *PolicyAdaptive) Mode() string {
+	if p.permissive {
+		return ModePermissive
+	}
+	return ModeConservative
+}
+
+// Admit counts one decision and answers per the current mode: permissive
+// admits outright, conservative delegates to the 2Q machinery. Window
+// boundaries are evaluated here, after the decision.
+func (p *PolicyAdaptive) Admit(k Key, bytes int64, now time.Time) (Segment, bool) {
+	seg, ok := SegmentProtected, true
+	if !p.permissive {
+		seg, ok = p.inner.Admit(k, bytes, now)
+	}
+	p.decisions++
+	if p.decisions >= p.window {
+		p.evaluate()
+	}
+	return seg, ok
+}
+
+// evaluate closes the current window, flipping the mode if the window's
+// evidence crossed the threshold for the current direction.
+func (p *PolicyAdaptive) evaluate() {
+	if p.permissive {
+		// Scan pressure: at least half the window's admissions were paid
+		// for by evicting entries that were never re-referenced.
+		if 2*p.oneShotEvicts >= p.window {
+			p.permissive = false
+			p.flips.Inc()
+		}
+	} else {
+		promotions := p.inner.rejPromotions.Load() - p.winRejPromotions
+		probHits := p.inner.rejProbHits.Load() - p.winRejProbHits
+		rejections := p.inner.rejections.Load() - p.winRejections
+		// Reuse-dominated: the keys we reject mostly come back — only
+		// reject-origin promotions and probation hits count, so byte
+		// pressure recycling warm keys through the ghost list cannot
+		// masquerade as admission pain. This direction needs a 1.5x
+		// margin (pure reuse onboarding scores 2:1, scans 0:1), because
+		// the cost asymmetry favors staying conservative: the 2Q tax is
+		// one extra cold run per reused key, while admit-everything
+		// under a scan flood loses the whole warm set — so mixed
+		// traffic must not ping-pong the mode.
+		if 2*(promotions+probHits) > 3*rejections {
+			p.permissive = true
+			p.flips.Inc()
+		}
+	}
+	p.decisions = 0
+	p.oneShotEvicts = 0
+	p.winRejections = p.inner.rejections.Load()
+	p.winRejPromotions = p.inner.rejPromotions.Load()
+	p.winRejProbHits = p.inner.rejProbHits.Load()
+}
+
+// OnHit keeps the entry where it is (adaptive never uses the probation
+// segment, so there is nothing to promote).
+func (p *PolicyAdaptive) OnHit(k Key, seg Segment, now time.Time) Segment {
+	return p.inner.OnHit(k, seg, now)
+}
+
+// OnMiss feeds the 2Q machinery in both modes, so probation hits (misses
+// on ghosted keys) keep accruing as a signal even while permissive.
+func (p *PolicyAdaptive) OnMiss(k Key, now time.Time) { p.inner.OnMiss(k, now) }
+
+// OnEvict records the one-shot signal and re-ghosts the victim in both
+// modes, so a flip to conservative readmits just-flushed warm keys on a
+// single sighting.
+func (p *PolicyAdaptive) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
+	if !hit {
+		p.oneShotEvicts++
+	}
+	p.inner.OnEvict(k, seg, hit, now)
+}
+
+// ProbationCap reports 0: the adaptive policy's conservative mode is
+// ghost-only.
+func (p *PolicyAdaptive) ProbationCap(int64) int64 { return 0 }
+
+// Stats snapshots the shared 2Q counters under the "adaptive" label,
+// plus the current mode and the flip counter.
+func (p *PolicyAdaptive) Stats() AdmissionStats {
+	st := p.inner.Stats()
+	st.Policy = "adaptive"
+	st.Mode = p.Mode()
+	st.PolicyFlips = p.flips.Load()
+	return st
+}

@@ -1,0 +1,151 @@
+package sessioncache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// adaptiveStore is the shared fixture: a small budget so evictions start
+// quickly, and a short window so flips are observable in a few Puts.
+func adaptiveStore(window int) *Store {
+	return New(Options{MaxBytes: 100, Policy: NewPolicyAdaptive(64, 0, window)})
+}
+
+// scanFlood Puts n distinct one-shot keys (40 bytes each — 2 fit the
+// budget, so steady eviction churn) starting at id.
+func scanFlood(s *Store, id, n int) {
+	for i := 0; i < n; i++ {
+		s.Put(key(id+i), fakeValue{bytes: 40})
+	}
+}
+
+// TestAdaptiveStartsPermissive: the controller begins with the
+// historical admit-everything semantics and says so in its stats.
+func TestAdaptiveStartsPermissive(t *testing.T) {
+	s := adaptiveStore(8)
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("permissive mode must admit a first sighting")
+	}
+	st := s.Stats()
+	if st.Admission.Policy != "adaptive" || st.Admission.Mode != ModePermissive ||
+		st.Admission.PolicyFlips != 0 {
+		t.Fatalf("initial admission stats: %+v", st.Admission)
+	}
+}
+
+// TestAdaptiveFlipsToConservativeUnderScan: one-shot eviction churn over
+// a full window flips the controller, after which first sightings are
+// rejected to the ghost list.
+func TestAdaptiveFlipsToConservativeUnderScan(t *testing.T) {
+	s := adaptiveStore(8)
+	scanFlood(s, 0, 16) // 16 decisions, ~14 one-shot evictions
+	st := s.Stats()
+	if st.Admission.Mode != ModeConservative || st.Admission.PolicyFlips != 1 {
+		t.Fatalf("scan flood must flip to conservative: %+v", st.Admission)
+	}
+	if s.Put(key(1000), fakeValue{bytes: 40}) {
+		t.Fatal("conservative mode must reject a first sighting")
+	}
+	if st := s.Stats(); st.Admission.ScanRejections == 0 {
+		t.Fatalf("conservative rejections must be counted: %+v", st.Admission)
+	}
+}
+
+// TestAdaptiveFlipsBackOnReuse: once the rejected keys start coming back
+// (miss, re-Put — the serving layer's natural Get-then-Put pattern), the
+// promotions-plus-probation-hits signal outweighs the rejections and the
+// controller returns to admit-everything.
+func TestAdaptiveFlipsBackOnReuse(t *testing.T) {
+	s := adaptiveStore(8)
+	scanFlood(s, 0, 16)
+	if st := s.Stats(); st.Admission.Mode != ModeConservative {
+		t.Fatalf("precondition: %+v", st.Admission)
+	}
+	// Reuse-dominated epoch: distinct small keys, each seen twice with a
+	// Get miss in between. Per key: 1 rejection, 1 probation hit, 1 ghost
+	// promotion -> promotions+hits strictly beat rejections each window.
+	for i := 0; i < 8; i++ {
+		k := key(2000 + i)
+		s.Put(k, fakeValue{bytes: 4})
+		s.Get(k) // miss on the ghosted key: a probation hit
+		s.Put(k, fakeValue{bytes: 4})
+	}
+	st := s.Stats()
+	if st.Admission.Mode != ModePermissive || st.Admission.PolicyFlips != 2 {
+		t.Fatalf("reuse traffic must flip back to permissive: %+v", st.Admission)
+	}
+	if !s.Put(key(3000), fakeValue{bytes: 4}) {
+		t.Fatal("permissive mode must admit a first sighting again")
+	}
+}
+
+// TestAdaptiveGhostPersistsAcrossFlip: keys flushed while permissive are
+// ghosted on eviction, so right after the flip to conservative they
+// readmit on a single sighting instead of paying probation again.
+func TestAdaptiveGhostPersistsAcrossFlip(t *testing.T) {
+	s := adaptiveStore(8)
+	s.Put(key(9000), fakeValue{bytes: 40}) // warm key, admitted permissively
+	scanFlood(s, 0, 16)                    // evicts it (ghosting it) and flips the mode
+	if st := s.Stats(); st.Admission.Mode != ModeConservative {
+		t.Fatalf("precondition: %+v", st.Admission)
+	}
+	if !s.Put(key(9000), fakeValue{bytes: 40}) {
+		t.Fatal("a permissively-evicted key must readmit on one sighting")
+	}
+	if st := s.Stats(); st.Admission.GhostPromotions == 0 {
+		t.Fatalf("readmission must come from the ghost list: %+v", st.Admission)
+	}
+}
+
+// TestAdaptiveHysteresis: evidence short of a full window never flips —
+// neither a sub-window scan burst nor (with no admissions at all) any
+// amount of hit traffic.
+func TestAdaptiveHysteresis(t *testing.T) {
+	s := adaptiveStore(64)
+	scanFlood(s, 0, 63) // one decision short of the window
+	if st := s.Stats(); st.Admission.Mode != ModePermissive || st.Admission.PolicyFlips != 0 {
+		t.Fatalf("sub-window burst must not flip: %+v", st.Admission)
+	}
+	// Steady all-hit traffic produces no admission decisions: the 64th
+	// decision is what closes the window, not time or hit volume.
+	for i := 0; i < 1000; i++ {
+		s.Get(key(62)) // resident: the most recent scan key
+	}
+	if st := s.Stats(); st.Admission.PolicyFlips != 0 {
+		t.Fatalf("hit traffic must not advance the window: %+v", st.Admission)
+	}
+	s.Put(key(5000), fakeValue{bytes: 40}) // 64th decision: now it flips
+	if st := s.Stats(); st.Admission.Mode != ModeConservative || st.Admission.PolicyFlips != 1 {
+		t.Fatalf("full window must flip: %+v", st.Admission)
+	}
+}
+
+// TestAdaptiveConcurrent hammers an adaptive store from many goroutines;
+// run under -race this proves the controller inherits the store's
+// locking on the serving hot path.
+func TestAdaptiveConcurrent(t *testing.T) {
+	s := New(Options{MaxBytes: 1 << 10, TTL: time.Minute, Policy: NewPolicyAdaptive(64, time.Minute, 16)})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 300; i++ {
+				k := Key{Fingerprint: "fp", Kind: KindPrefill, Hash: fmt.Sprintf("c-%d", (g+i)%24)}
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, fakeValue{bytes: 64})
+				}
+				if i%100 == 0 {
+					s.Stats()
+					s.Sweep()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Bytes() > 1<<10 {
+		t.Fatalf("budget exceeded: %d", s.Bytes())
+	}
+}

@@ -7,11 +7,36 @@ import (
 	"repro/internal/metrics"
 )
 
+// Segment identifies the residency class of an admitted entry. The store
+// keeps one LRU list per segment: SegmentProtected is the main cache
+// (budget MaxBytes minus the probation cap), SegmentProbation is the
+// small A1in trial segment a full-2Q policy admits first sightings into.
+// Policies with no probation segment place everything in
+// SegmentProtected.
+type Segment int
+
+const (
+	// SegmentProtected is the main cache segment.
+	SegmentProtected Segment = iota
+	// SegmentProbation is the byte-budgeted A1in trial segment.
+	SegmentProbation
+)
+
+// String returns the segment label used in stats ("protected",
+// "probation").
+func (s Segment) String() string {
+	if s == SegmentProbation {
+		return "probation"
+	}
+	return "protected"
+}
+
 // Policy is the admission side of the cache: it decides which keys may
-// occupy the byte-accounted main store. Eviction order stays strict LRU
-// over the byte budget (that part is the Store's job); the policy only
-// answers "does this key deserve main-cache residency yet?" — which is
-// what makes the store scan-resistant or not.
+// occupy byte-accounted residency and in which segment. Eviction order
+// stays strict LRU within each segment over that segment's byte budget
+// (that part is the Store's job); the policy only answers "does this key
+// deserve residency yet, and in which segment?" — which is what makes
+// the store scan-resistant or not.
 //
 // The Store calls every method with its own mutex held, so
 // implementations need no internal locking — but a Policy used standalone
@@ -19,50 +44,99 @@ import (
 // externally serialized. A Policy instance must not be shared between two
 // Stores.
 type Policy interface {
-	// Name returns the policy label surfaced in stats ("lru", "2q").
+	// Name returns the policy label surfaced in stats ("lru", "2q",
+	// "a1", "adaptive").
 	Name() string
-	// Admit is consulted on Put of a key not currently resident in the
-	// main cache. Returning false drops the value (the caller's Put
-	// reports false); the policy may remember the sighting so a repeat
-	// Put is admitted. now is the store's clock reading for this call.
-	Admit(k Key, now time.Time) bool
-	// OnMiss observes a main-cache Get miss on k (including TTL-expiry
+	// Admit is consulted on Put of a key not currently resident in
+	// either segment. bytes is the value's footprint (an A1 policy uses
+	// it to refuse probation residency to values that could never fit
+	// the probation cap). Returning ok=false drops the value (the
+	// caller's Put reports false); the policy may remember the sighting
+	// so a repeat Put is admitted. now is the store's clock reading.
+	// The store only calls Admit for values that fit the protected
+	// segment's budget, and a policy must not route a value to the
+	// probation segment unless it fits the probation cap — so an
+	// admitted value always fits its segment.
+	Admit(k Key, bytes int64, now time.Time) (seg Segment, ok bool)
+	// OnHit observes a Get hit (or a Put replacing a resident key) on a
+	// key resident in seg, and returns the segment the entry should now
+	// live in — returning SegmentProtected for a probation resident is
+	// how an A1 policy promotes on re-reference. Returning seg unchanged
+	// is always valid.
+	OnHit(k Key, seg Segment, now time.Time) Segment
+	// OnMiss observes a full Get miss on k (including TTL-expiry
 	// misses). Policies use it for observability only — it must not
 	// count as a sighting, or a single request's Get-miss + Put pair
 	// would defeat two-sighting admission.
 	OnMiss(k Key, now time.Time)
-	// OnEvict observes k leaving the main cache under byte pressure
-	// (not TTL expiry, not manual Delete). A 2Q-style policy re-ghosts
+	// OnEvict observes k leaving seg under byte pressure (not TTL
+	// expiry, not manual Delete). hit reports whether the entry was ever
+	// re-referenced while resident — an eviction with hit=false is the
+	// signature of one-shot scan traffic. A 2Q-style policy re-ghosts
 	// the victim so a still-warm key that lost an eviction race is
 	// readmitted on its next sighting instead of starting over.
-	OnEvict(k Key, now time.Time)
-	// Stats snapshots the policy's admission counters.
+	OnEvict(k Key, seg Segment, hit bool, now time.Time)
+	// ProbationCap is called once by the store at New with its byte
+	// budget and returns the probation segment's carve-out; 0 means the
+	// policy uses no probation segment. The cap must not exceed
+	// maxBytes/2 (clamp and remember the clamped value — the returned
+	// cap is the one Admit must enforce), so the store and the policy
+	// can never disagree on what fits probation, and anything that fits
+	// probation always fits the protected segment too.
+	ProbationCap(maxBytes int64) int64
+	// Stats snapshots the policy's admission counters. The store overlays
+	// the segment-occupancy fields (and the promotion counter), which
+	// only it can know.
 	Stats() AdmissionStats
 }
 
 // AdmissionStats is a point-in-time snapshot of a policy's admission
-// counters. Counter fields are monotonic totals; GhostEntries/GhostLimit
-// describe the current probation state (always zero for PolicyLRU).
+// counters plus the store's segment occupancy. Counter fields are
+// monotonic totals; the entry/byte fields describe current state (always
+// zero for PolicyLRU apart from the protected occupancy).
 type AdmissionStats struct {
-	// Policy is the policy label ("lru" or "2q").
+	// Policy is the policy label ("lru", "2q", "a1" or "adaptive").
 	Policy string `json:"policy"`
-	// ProbationHits counts Get misses on keys that were on probation —
-	// requests that would have been hits had the key been admitted.
+	// Mode is the adaptive controller's current mode ("permissive" or
+	// "conservative"); empty for the static policies.
+	Mode string `json:"mode,omitempty"`
+	// ProbationHits counts re-references that found the key on
+	// probation: for ghost-only 2Q, Get misses on ghosted keys (requests
+	// that would have been hits had the key been admitted); for A1, Get
+	// hits served from the probation byte segment.
 	ProbationHits int64 `json:"probation_hits"`
-	// GhostPromotions counts admissions earned by a second sighting
-	// (the key was on the ghost list and got promoted into the store).
+	// GhostPromotions counts admissions earned by a remembered sighting
+	// (the key was on the ghost list and went straight to the protected
+	// segment).
 	GhostPromotions int64 `json:"ghost_promotions"`
-	// ScanRejections counts Puts declined on first sighting (the value
-	// was dropped and only the key was remembered).
+	// SegmentPromotions counts probation residents promoted to the
+	// protected segment on re-reference (A1 only; counted by the store,
+	// which performs the move).
+	SegmentPromotions int64 `json:"segment_promotions"`
+	// ScanRejections counts sightings judged scan-like: Puts declined
+	// with only the key remembered (ghost-only 2Q, or an A1 value too
+	// big for the probation cap), plus probation entries evicted without
+	// ever being re-referenced (A1 washouts).
 	ScanRejections int64 `json:"scan_rejections"`
+	// PolicyFlips counts adaptive mode changes (always 0 for the static
+	// policies).
+	PolicyFlips int64 `json:"policy_flips"`
 	// GhostEntries is the current ghost-list population; GhostLimit its
 	// capacity.
 	GhostEntries int `json:"ghost_entries"`
 	GhostLimit   int `json:"ghost_limit"`
+	// Segment occupancy (filled by the store): current entry counts and
+	// byte totals per segment, plus the probation segment's byte cap.
+	ProbationEntries  int   `json:"probation_entries"`
+	ProbationBytes    int64 `json:"probation_bytes"`
+	ProbationCapBytes int64 `json:"probation_cap_bytes"`
+	ProtectedEntries  int   `json:"protected_entries"`
+	ProtectedBytes    int64 `json:"protected_bytes"`
 }
 
-// PolicyLRU is the PR-2 behavior: every Put is admitted, recency alone
-// decides who survives. It keeps no state.
+// PolicyLRU is the PR-2 behavior: every Put is admitted straight to the
+// protected segment, recency alone decides who survives. It keeps no
+// state.
 type PolicyLRU struct{}
 
 // NewPolicyLRU returns the admit-everything policy.
@@ -71,14 +145,20 @@ func NewPolicyLRU() *PolicyLRU { return &PolicyLRU{} }
 // Name returns "lru".
 func (*PolicyLRU) Name() string { return "lru" }
 
-// Admit always reports true.
-func (*PolicyLRU) Admit(Key, time.Time) bool { return true }
+// Admit always reports (SegmentProtected, true).
+func (*PolicyLRU) Admit(Key, int64, time.Time) (Segment, bool) { return SegmentProtected, true }
+
+// OnHit keeps the entry where it is.
+func (*PolicyLRU) OnHit(_ Key, seg Segment, _ time.Time) Segment { return seg }
 
 // OnMiss is a no-op.
 func (*PolicyLRU) OnMiss(Key, time.Time) {}
 
 // OnEvict is a no-op.
-func (*PolicyLRU) OnEvict(Key, time.Time) {}
+func (*PolicyLRU) OnEvict(Key, Segment, bool, time.Time) {}
+
+// ProbationCap reports 0: LRU has no probation segment.
+func (*PolicyLRU) ProbationCap(int64) int64 { return 0 }
 
 // Stats reports zero counters under the "lru" label.
 func (*PolicyLRU) Stats() AdmissionStats { return AdmissionStats{Policy: "lru"} }
@@ -87,21 +167,37 @@ func (*PolicyLRU) Stats() AdmissionStats { return AdmissionStats{Policy: "lru"} 
 // configured limit is <= 0.
 const DefaultGhostEntries = 1024
 
-// Policy2Q is scan-resistant two-sighting admission (the probation half
-// of the classic 2Q design). A key's first Put is declined: the value is
-// dropped and only the key lands on a bounded ghost list (keys and
-// timestamps, no bytes). A second Put within the sighting window promotes
-// the key into the main store. One-shot scan traffic therefore never
-// displaces admitted entries — each scan key dies on the ghost list —
-// while anything seen twice (a reused session context) is cached exactly
-// as under PolicyLRU, one extra cold run later.
+// Policy2Q is scan-resistant 2Q admission. It runs in one of two modes,
+// selected at construction:
 //
-// Keys evicted from the main store under byte pressure are re-ghosted,
-// so a warm key squeezed out by other warm traffic is readmitted on its
-// next single sighting.
+// Ghost-only (NewPolicy2Q, name "2q"): the probation half of the classic
+// 2Q design with no probation bytes. A key's first Put is declined: the
+// value is dropped and only the key lands on a bounded ghost list (keys
+// and timestamps, no bytes — the A1out queue). A second Put within the
+// sighting window promotes the key into the protected segment. One-shot
+// scan traffic therefore never displaces admitted entries — each scan key
+// dies on the ghost list — while anything seen twice (a reused session
+// context) is cached exactly as under PolicyLRU, one extra cold run
+// later.
+//
+// Full A1in/A1out (NewPolicyA1, name "a1"): first sightings are admitted
+// after all, but only into a small byte-budgeted probation segment (the
+// A1in queue), so even a one-shot key can hit within a burst. A
+// re-reference while on probation promotes the entry to the protected
+// segment (the store performs the move); a probation entry evicted
+// without re-reference was a scan and its key falls through to the ghost
+// list, from where a later sighting readmits straight to protected. A
+// value too large for the probation cap cannot be trialled byte-wise and
+// falls back to ghost-only admission.
+//
+// In both modes, keys evicted from the protected segment under byte
+// pressure are re-ghosted, so a warm key squeezed out by other warm
+// traffic is readmitted on its next single sighting.
 type Policy2Q struct {
-	limit  int
-	window time.Duration // max gap between sightings; <= 0 means unbounded
+	name    string
+	limit   int
+	window  time.Duration // max gap between sightings; <= 0 means unbounded
+	probCap int64         // probation-segment byte budget; 0 = ghost-only
 
 	ll     *list.List // front = most recent sighting; values are *ghost
 	ghosts map[Key]*list.Element
@@ -109,61 +205,111 @@ type Policy2Q struct {
 	probationHits metrics.Counter
 	promotions    metrics.Counter
 	rejections    metrics.Counter
+
+	// Reject-origin slices of the two counters above: only sightings of
+	// ghosts created by a *declined Put* (not by eviction re-ghosting).
+	// They measure the second-sighting tax actually paid by reused keys,
+	// which is the adaptive controller's flip-back evidence — an evicted
+	// warm key readmits on one sighting and pays no tax, so counting it
+	// would make byte pressure masquerade as admission pain.
+	rejPromotions metrics.Counter
+	rejProbHits   metrics.Counter
 }
 
 type ghost struct {
 	key  Key
 	seen time.Time
+	// rejected records the ghost's origin: true for a declined Put,
+	// false for an eviction re-ghost.
+	rejected bool
 }
 
-// NewPolicy2Q builds a 2Q admission policy holding up to ghostEntries
-// probation keys (<= 0 selects DefaultGhostEntries). window bounds the
-// gap between the two sightings: a ghost older than the window does not
-// count as a first sighting anymore (<= 0 disables the bound). Stores
-// pass their TTL here so admission and retention share one idleness
-// horizon.
+// NewPolicy2Q builds a ghost-only 2Q admission policy holding up to
+// ghostEntries probation keys (<= 0 selects DefaultGhostEntries). window
+// bounds the gap between the two sightings: a ghost older than the window
+// does not count as a first sighting anymore (<= 0 disables the bound).
+// Stores pass their TTL here so admission and retention share one
+// idleness horizon.
 func NewPolicy2Q(ghostEntries int, window time.Duration) *Policy2Q {
+	return newPolicy2Q("2q", ghostEntries, window, 0)
+}
+
+// NewPolicyA1 builds the full A1in/A1out policy: like NewPolicy2Q, plus
+// first sightings are admitted into a probation segment of up to
+// probationBytes (must be > 0 and less than the owning store's MaxBytes;
+// the store carves it out of the main budget).
+func NewPolicyA1(ghostEntries int, window time.Duration, probationBytes int64) *Policy2Q {
+	if probationBytes < 0 {
+		probationBytes = 0
+	}
+	return newPolicy2Q("a1", ghostEntries, window, probationBytes)
+}
+
+func newPolicy2Q(name string, ghostEntries int, window time.Duration, probCap int64) *Policy2Q {
 	if ghostEntries <= 0 {
 		ghostEntries = DefaultGhostEntries
 	}
 	return &Policy2Q{
-		limit:  ghostEntries,
-		window: window,
-		ll:     list.New(),
-		ghosts: make(map[Key]*list.Element),
+		name:    name,
+		limit:   ghostEntries,
+		window:  window,
+		probCap: probCap,
+		ll:      list.New(),
+		ghosts:  make(map[Key]*list.Element),
 	}
 }
 
-// Name returns "2q".
-func (p *Policy2Q) Name() string { return "2q" }
+// Name returns "2q" (ghost-only) or "a1" (full A1in/A1out).
+func (p *Policy2Q) Name() string { return p.name }
 
-// Admit promotes a key sighted within the window and ghosts everything
-// else. See the type comment for the full protocol.
-func (p *Policy2Q) Admit(k Key, now time.Time) bool {
+// Admit promotes a key sighted within the window straight to the
+// protected segment; a first sighting is admitted to probation when the
+// value can fit the probation cap, and ghosted otherwise. See the type
+// comment for the full protocol.
+func (p *Policy2Q) Admit(k Key, bytes int64, now time.Time) (Segment, bool) {
 	if el, ok := p.ghosts[k]; ok {
 		g := el.Value.(*ghost)
 		p.ll.Remove(el)
 		delete(p.ghosts, k)
 		if p.window <= 0 || now.Sub(g.seen) <= p.window {
 			p.promotions.Inc()
-			return true
+			if g.rejected {
+				p.rejPromotions.Inc()
+			}
+			return SegmentProtected, true
 		}
 		// The earlier sighting is stale; treat this one as the first.
 	}
-	p.addGhost(k, now)
+	if p.probCap > 0 && bytes <= p.probCap {
+		// First sighting, A1 mode: trial residency in the probation
+		// segment instead of a bytes-free ghost. The resident entry
+		// itself is the sighting record, so no ghost is added.
+		return SegmentProbation, true
+	}
+	p.addGhost(k, now, true)
 	p.rejections.Inc()
-	return false
+	return SegmentProtected, false
 }
 
 // addGhost records a sighting for a key with no ghost entry, trimming
 // the list to its bound (oldest sightings forgotten first).
-func (p *Policy2Q) addGhost(k Key, now time.Time) {
-	p.ghosts[k] = p.ll.PushFront(&ghost{key: k, seen: now})
+func (p *Policy2Q) addGhost(k Key, now time.Time, rejected bool) {
+	p.ghosts[k] = p.ll.PushFront(&ghost{key: k, seen: now, rejected: rejected})
 	for p.ll.Len() > p.limit {
 		lru := p.ll.Back()
 		delete(p.ghosts, lru.Value.(*ghost).key)
 		p.ll.Remove(lru)
 	}
+}
+
+// OnHit promotes probation residents to the protected segment on
+// re-reference (the A1in -> Am transition) and counts the hit.
+func (p *Policy2Q) OnHit(_ Key, seg Segment, _ time.Time) Segment {
+	if seg == SegmentProbation {
+		p.probationHits.Inc()
+		return SegmentProtected
+	}
+	return seg
 }
 
 // OnMiss counts misses on ghosted keys (observability only; it never
@@ -172,22 +318,46 @@ func (p *Policy2Q) OnMiss(k Key, now time.Time) {
 	if el, ok := p.ghosts[k]; ok {
 		if g := el.Value.(*ghost); p.window <= 0 || now.Sub(g.seen) <= p.window {
 			p.probationHits.Inc()
+			if g.rejected {
+				p.rejProbHits.Inc()
+			}
 		}
 	}
 }
 
-// OnEvict re-ghosts a byte-pressure victim so its next sighting readmits.
-func (p *Policy2Q) OnEvict(k Key, now time.Time) {
+// OnEvict re-ghosts a byte-pressure victim so its next sighting readmits
+// straight to protected. A probation victim that was never re-referenced
+// is counted as a scan rejection — it is the A1 analogue of a declined
+// Put: the key was trialled and the traffic never came back.
+func (p *Policy2Q) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
 	if el, ok := p.ghosts[k]; ok { // shouldn't happen (resident ⇒ not ghosted)
 		p.ll.Remove(el)
 	}
-	p.addGhost(k, now)
+	if seg == SegmentProbation && !hit {
+		p.rejections.Inc()
+	}
+	p.addGhost(k, now, false)
+}
+
+// ProbationCap returns the probation byte budget (0 in ghost-only
+// mode), clamping a configured cap above half the store's budget to
+// exactly half. The bound keeps the trial segment from dominating the
+// protected one and preserves the store's invariant that anything
+// fitting probation also fits protected — without it, values sized
+// between the two caps would be rejected before the policy ever saw
+// them. The clamped value is remembered: Admit enforces the same cap
+// the store carves out.
+func (p *Policy2Q) ProbationCap(maxBytes int64) int64 {
+	if p.probCap > maxBytes/2 {
+		p.probCap = maxBytes / 2
+	}
+	return p.probCap
 }
 
 // Stats snapshots the admission counters and ghost occupancy.
 func (p *Policy2Q) Stats() AdmissionStats {
 	return AdmissionStats{
-		Policy:          "2q",
+		Policy:          p.name,
 		ProbationHits:   p.probationHits.Load(),
 		GhostPromotions: p.promotions.Load(),
 		ScanRejections:  p.rejections.Load(),

@@ -16,10 +16,16 @@
 // counters are metrics.Counter values (lock-free atomics) surfaced to the
 // serving metrics endpoint.
 //
-// Admission is pluggable (Options.Policy): PolicyLRU admits every Put
-// (the historical behavior and the default), Policy2Q requires a second
-// sighting within the TTL window before a key may occupy main-cache
-// bytes, which keeps one-shot scan traffic from flushing reused entries.
+// Admission is pluggable (Options.Policy) and segment-aware: PolicyLRU
+// admits every Put (the historical behavior and the default), Policy2Q
+// requires a second sighting within the TTL window before a key may
+// occupy main-cache bytes, the full A1in/A1out variant (NewPolicyA1)
+// instead trials first sightings in a small probation byte segment and
+// promotes them on re-reference, and PolicyAdaptive flips between
+// admit-everything and second-sighting admission by watching the
+// workload. The store keeps one LRU list per segment; the probation
+// segment's byte cap is carved out of MaxBytes, so the total budget is
+// never exceeded.
 //
 // Ownership: a Store is shared state, safe for concurrent use from any
 // number of goroutines; all methods lock internally. Values handed out by
@@ -70,9 +76,9 @@ type Key struct {
 // Options configures a Store. The zero value is usable: 256 MiB budget,
 // no TTL.
 type Options struct {
-	// MaxBytes is the eviction budget in bytes summed over all entries
-	// (<= 0 selects 256 MiB). A single value larger than the whole budget
-	// is not admitted at all.
+	// MaxBytes is the eviction budget in bytes summed over all entries of
+	// both segments (<= 0 selects 256 MiB). A single value larger than
+	// its target segment's budget is not admitted at all.
 	MaxBytes int64
 	// TTL is the idle lifetime of an entry; an entry untouched (no Get or
 	// Put) for longer is expired on the next access. Zero disables
@@ -80,7 +86,10 @@ type Options struct {
 	TTL time.Duration
 	// Policy is the admission policy; nil selects PolicyLRU (admit
 	// everything). The store takes ownership: the policy must not be
-	// shared with another store or called directly afterwards.
+	// shared with another store or called directly afterwards. A policy
+	// with a probation segment (Policy.ProbationCap > 0) has that cap
+	// carved out of MaxBytes; a cap at or beyond MaxBytes is clamped to
+	// half the budget so the protected segment always exists.
 	Policy Policy
 
 	// now overrides the clock in tests; nil means time.Now.
@@ -93,7 +102,7 @@ const DefaultMaxBytes = 256 << 20
 // Stats is a point-in-time snapshot of the store's counters and
 // occupancy. Counter fields are monotonic event totals since creation;
 // Entries/Bytes/MaxBytes describe current state (Bytes and MaxBytes in
-// bytes).
+// bytes, summed over both segments).
 type Stats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
@@ -103,8 +112,9 @@ type Stats struct {
 	Entries     int   `json:"entries"`
 	Bytes       int64 `json:"bytes"`
 	MaxBytes    int64 `json:"max_bytes"`
-	// Admission is the admission policy's counter block (all zeros
-	// under PolicyLRU apart from the label).
+	// Admission is the admission policy's counter block plus the store's
+	// segment occupancy (all zeros under PolicyLRU apart from the label
+	// and the protected occupancy).
 	Admission AdmissionStats `json:"admission"`
 }
 
@@ -113,23 +123,29 @@ type entry struct {
 	value    Sized
 	bytes    int64
 	lastUsed time.Time
+	seg      Segment
+	hit      bool // re-referenced (Get or replacing Put) while resident
 }
 
-// Store is the byte-accounted LRU. See the package comment for the
-// ownership rules.
+// Store is the byte-accounted, segment-aware LRU. See the package
+// comment for the ownership rules.
 type Store struct {
-	mu     sync.Mutex
-	opts   Options
-	policy Policy
-	ll     *list.List // front = most recently used; values are *entry
-	items  map[Key]*list.Element
-	bytes  int64
+	mu      sync.Mutex
+	opts    Options
+	policy  Policy
+	probCap int64      // probation budget, carved out of MaxBytes
+	ll      *list.List // protected segment; front = most recently used
+	prob    *list.List // probation segment; front = most recently used
+	items   map[Key]*list.Element
+	bytes   int64 // both segments
+	prBytes int64 // probation segment only
 
 	hits        metrics.Counter
 	misses      metrics.Counter
 	evictions   metrics.Counter
 	expirations metrics.Counter
 	insertions  metrics.Counter
+	promotions  metrics.Counter // probation -> protected segment moves
 }
 
 // New builds an empty store.
@@ -143,20 +159,49 @@ func New(opts Options) *Store {
 	if opts.Policy == nil {
 		opts.Policy = NewPolicyLRU()
 	}
+	// The policy clamps its own cap against the budget and remembers
+	// the result, so store and policy always agree on what fits the
+	// probation segment.
+	probCap := opts.Policy.ProbationCap(opts.MaxBytes)
+	if probCap < 0 {
+		probCap = 0
+	}
 	return &Store{
-		opts:   opts,
-		policy: opts.Policy,
-		ll:     list.New(),
-		items:  make(map[Key]*list.Element),
+		opts:    opts,
+		policy:  opts.Policy,
+		probCap: probCap,
+		ll:      list.New(),
+		prob:    list.New(),
+		items:   make(map[Key]*list.Element),
 	}
 }
 
 // MaxBytes returns the configured byte budget.
 func (s *Store) MaxBytes() int64 { return s.opts.MaxBytes }
 
+// listOf returns the LRU list backing a segment.
+func (s *Store) listOf(seg Segment) *list.List {
+	if seg == SegmentProbation {
+		return s.prob
+	}
+	return s.ll
+}
+
+// capOf returns a segment's byte budget. The caps are disjoint: the
+// probation cap is carved out of MaxBytes, so their sum is the total
+// budget and the store can never exceed it.
+func (s *Store) capOf(seg Segment) int64 {
+	if seg == SegmentProbation {
+		return s.probCap
+	}
+	return s.opts.MaxBytes - s.probCap
+}
+
 // Get returns the value under k, bumping its recency and refreshing its
 // TTL. The second result is false on miss (including a TTL expiry, which
-// counts as both an expiration and a miss).
+// counts as both an expiration and a miss). A hit on a probation entry
+// may promote it to the protected segment (the policy's call), which can
+// evict protected LRU entries to make room.
 func (s *Store) Get(k Key) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,44 +219,119 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	}
 	e := el.Value.(*entry)
 	e.lastUsed = now
-	s.ll.MoveToFront(el)
+	e.hit = true
+	s.listOf(e.seg).MoveToFront(el)
+	if seg := s.policy.OnHit(k, e.seg, now); seg != e.seg {
+		el = s.moveSegment(el, seg)
+		s.evictOver(seg, el, now)
+	}
 	s.hits.Inc()
 	return e.value, true
 }
 
+// moveSegment transfers an entry between segment lists (as the MRU of
+// its new segment) and fixes the byte accounting, counting a promotion
+// when the move is probation -> protected.
+func (s *Store) moveSegment(el *list.Element, seg Segment) *list.Element {
+	e := el.Value.(*entry)
+	s.listOf(e.seg).Remove(el)
+	if e.seg == SegmentProbation {
+		s.prBytes -= e.bytes
+		if seg == SegmentProtected {
+			s.promotions.Inc()
+		}
+	} else {
+		s.prBytes += e.bytes
+	}
+	e.seg = seg
+	el = s.listOf(seg).PushFront(e)
+	s.items[e.key] = el
+	return el
+}
+
+// evictOver evicts LRU entries of seg until its byte budget holds,
+// never evicting keep (the entry whose insertion or promotion caused the
+// pressure).
+func (s *Store) evictOver(seg Segment, keep *list.Element, now time.Time) {
+	ll, budget := s.listOf(seg), s.capOf(seg)
+	for s.segBytes(seg) > budget {
+		lru := ll.Back()
+		if lru == nil || lru == keep {
+			break
+		}
+		e := lru.Value.(*entry)
+		s.policy.OnEvict(e.key, e.seg, e.hit, now)
+		s.removeLocked(lru)
+		s.evictions.Inc()
+	}
+}
+
+// segBytes returns a segment's current resident byte total.
+func (s *Store) segBytes(seg Segment) int64 {
+	if seg == SegmentProbation {
+		return s.prBytes
+	}
+	return s.bytes - s.prBytes
+}
+
 // Put inserts (or replaces) the value under k and evicts least-recently
-// used entries until the byte budget holds. A value alone exceeding the
-// whole budget is not stored, and a non-resident key the admission
-// policy declines is dropped (only its sighting is remembered); Put
-// reports false in both cases. Replacing an existing key is always
-// admitted (the key earned residency already) and does not count as an
-// eviction.
+// used entries of the target segment until its byte budget holds. A
+// value alone exceeding its target segment's budget is not stored, and a
+// non-resident key the admission policy declines is dropped (only its
+// sighting is remembered); Put reports false in both cases. Replacing an
+// existing key is always admitted (the key earned residency already)
+// and counts as a re-reference for segment placement — unless the new
+// value no longer fits its target segment, in which case Put reports
+// false and the resident entry is kept. Replacement does not count as
+// an eviction.
 func (s *Store) Put(k Key, v Sized) bool {
 	bytes := v.SizeBytes()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if bytes > s.opts.MaxBytes {
+	if bytes > s.capOf(SegmentProtected) {
+		// Fits no segment (the probation cap never exceeds the
+		// protected one — ProbationCap clamps at half the budget):
+		// reject before the policy sees anything, so no sighting is
+		// ghosted, no ghost promotion is consumed, and no re-reference
+		// counter moves for a value that can never be stored.
 		return false
 	}
 	now := s.opts.now()
+	seg, hit := SegmentProtected, false
 	if el, ok := s.items[k]; ok {
+		// Replacement is a re-reference: the policy gets the same
+		// promotion say it has on Get hits. The pre-check above
+		// guarantees the value fits the promotion target, so the
+		// resident entry is only removed once storage is assured.
+		e := el.Value.(*entry)
+		seg = s.policy.OnHit(k, e.seg, now)
+		if bytes > s.capOf(seg) {
+			// Defensive: only reachable if a policy keeps an oversize
+			// replacement in probation; keep the resident entry.
+			return false
+		}
+		if e.seg == SegmentProbation && seg == SegmentProtected {
+			s.promotions.Inc()
+		}
 		s.removeLocked(el)
-	} else if !s.policy.Admit(k, now) {
+		hit = true
+	} else if seg, ok = s.policy.Admit(k, bytes, now); !ok {
+		return false
+	} else if bytes > s.capOf(seg) {
+		// Defensive against a policy routing a value to a segment it
+		// cannot fit (a Policy contract violation); refuse rather than
+		// evict everything for an entry that still would not fit.
 		return false
 	}
-	el := s.ll.PushFront(&entry{key: k, value: v, bytes: bytes, lastUsed: now})
+	e := &entry{key: k, value: v, bytes: bytes, lastUsed: now, seg: seg, hit: hit}
+	el := s.listOf(seg).PushFront(e)
 	s.items[k] = el
 	s.bytes += bytes
-	s.insertions.Inc()
-	for s.bytes > s.opts.MaxBytes {
-		lru := s.ll.Back()
-		if lru == nil || lru == el {
-			break
-		}
-		s.policy.OnEvict(lru.Value.(*entry).key, now)
-		s.removeLocked(lru)
-		s.evictions.Inc()
+	if seg == SegmentProbation {
+		s.prBytes += bytes
 	}
+	s.insertions.Inc()
+	s.evictOver(seg, el, now)
 	return true
 }
 
@@ -235,26 +355,28 @@ func (s *Store) Sweep() int {
 	defer s.mu.Unlock()
 	now := s.opts.now()
 	n := 0
-	for el := s.ll.Back(); el != nil; {
-		prev := el.Prev()
-		if s.expired(el.Value.(*entry), now) {
-			s.removeLocked(el)
-			s.expirations.Inc()
-			n++
+	for _, ll := range []*list.List{s.ll, s.prob} {
+		for el := ll.Back(); el != nil; {
+			prev := el.Prev()
+			if s.expired(el.Value.(*entry), now) {
+				s.removeLocked(el)
+				s.expirations.Inc()
+				n++
+			}
+			el = prev
 		}
-		el = prev
 	}
 	return n
 }
 
-// Len returns the current number of entries.
+// Len returns the current number of entries (both segments).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.items)
 }
 
-// Bytes returns the current resident total in bytes.
+// Bytes returns the current resident total in bytes (both segments).
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -265,6 +387,13 @@ func (s *Store) Bytes() int64 {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	adm := s.policy.Stats()
+	adm.SegmentPromotions = s.promotions.Load()
+	adm.ProbationEntries = s.prob.Len()
+	adm.ProbationBytes = s.prBytes
+	adm.ProbationCapBytes = s.probCap
+	adm.ProtectedEntries = s.ll.Len()
+	adm.ProtectedBytes = s.bytes - s.prBytes
 	return Stats{
 		Hits:        s.hits.Load(),
 		Misses:      s.misses.Load(),
@@ -274,7 +403,7 @@ func (s *Store) Stats() Stats {
 		Entries:     len(s.items),
 		Bytes:       s.bytes,
 		MaxBytes:    s.opts.MaxBytes,
-		Admission:   s.policy.Stats(),
+		Admission:   adm,
 	}
 }
 
@@ -284,7 +413,10 @@ func (s *Store) expired(e *entry, now time.Time) bool {
 
 func (s *Store) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
-	s.ll.Remove(el)
+	s.listOf(e.seg).Remove(el)
 	delete(s.items, e.key)
 	s.bytes -= e.bytes
+	if e.seg == SegmentProbation {
+		s.prBytes -= e.bytes
+	}
 }

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// allPolicies is every admission policy the cache supports; differential
+// tests iterate it so a future policy cannot dodge the invariants by
+// not being listed.
+var allPolicies = []cocktail.CachePolicy{
+	cocktail.CachePolicyLRU,
+	cocktail.CachePolicy2Q,
+	cocktail.CachePolicyA1,
+	cocktail.CachePolicyAdaptive,
+}
+
+// phaseCache builds the cache under test for the phase soaks: a budget
+// that holds the full warm working set (so the reuse epochs are
+// cacheable) but drowns under the scan flood, with every policy knob
+// pinned so the soak is reproducible.
+func phaseCache(p *cocktail.Pipeline, policy cocktail.CachePolicy) *cocktail.SessionCache {
+	return cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+		MaxBytes:     2 << 19, // 1 MiB
+		TTL:          time.Minute,
+		Policy:       policy,
+		GhostEntries: 512,
+		ProbationPct: 20,
+		AdaptWindow:  16,
+	})
+}
+
+// TestDifferentialPoliciesByteIdentical is the admission-is-correctness-
+// neutral property test: one seeded workload replayed through every
+// policy must produce answers byte-identical to the uncached path and to
+// each other — an admission decision may only ever change *when* work is
+// recomputed, never its result.
+func TestDifferentialPoliciesByteIdentical(t *testing.T) {
+	p := phasePipeline(t)
+	reqs, err := Generate(p, Options{
+		Seed: 17, Requests: 48, Sessions: 3, ZipfS: 1.3, ScanFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Replay(p, reqs) // uncached ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPolicies {
+		// A budget tight enough that every policy evicts, readmits and
+		// (where it has one) churns its probation segment mid-stream.
+		sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+			MaxBytes: 1 << 19, TTL: time.Minute, Policy: pol,
+			GhostEntries: 64, ProbationPct: 25, AdaptWindow: 8})
+		rep, err := Replay(sc, reqs)
+		if err != nil {
+			t.Fatalf("%v replay: %v", pol, err)
+		}
+		for i := range reqs {
+			if rep.Outputs[i] != cold.Outputs[i] {
+				t.Fatalf("policy %v request %d: output %q != uncached %q",
+					pol, i, rep.Outputs[i], cold.Outputs[i])
+			}
+		}
+		if st := sc.Stats(); st.Bytes < 0 || st.Bytes > st.MaxBytes {
+			t.Fatalf("policy %v: resident bytes %d outside [0, %d]", pol, st.Bytes, st.MaxBytes)
+		}
+	}
+}
+
+// soakPhases is the acceptance stream: a scan flood over a small warm
+// pool, then a reuse-heavy epoch that doubles the pool (a wave of fresh
+// sessions), then an even scan/reuse mix.
+func soakPhases() []Phase {
+	return []Phase{
+		{Name: "scan-flood", Requests: 120, ScanFraction: 0.85, Sessions: 4},
+		{Name: "reuse-heavy", Requests: 80, ScanFraction: 0.05, Sessions: 8},
+		{Name: "mixed", Requests: 120, ScanFraction: 0.5, Sessions: 8},
+	}
+}
+
+// TestSoakPhaseShiftAdaptivity is the PR's acceptance proof: on a
+// phase-shifting stream the adaptive policy must track the best static
+// policy — per-epoch warm hit-rate within 10% (relative) of the best of
+// lru/2q/a1 on *every* epoch — while every output stays byte-identical
+// to the uncached path, the byte budget holds for every policy, and the
+// controller demonstrably flips.
+func TestSoakPhaseShiftAdaptivity(t *testing.T) {
+	p := phasePipeline(t)
+	phases := soakPhases()
+	reqs, err := GeneratePhases(p, Options{Seed: 29, ZipfS: 1.3}, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Replay(p, reqs) // uncached ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reports := map[cocktail.CachePolicy]*Report{}
+	caches := map[cocktail.CachePolicy]*cocktail.SessionCache{}
+	for _, pol := range allPolicies {
+		sc := phaseCache(p, pol)
+		rep, err := Replay(sc, reqs)
+		if err != nil {
+			t.Fatalf("%v replay: %v", pol, err)
+		}
+		reports[pol], caches[pol] = rep, sc
+		for i := range reqs {
+			if rep.Outputs[i] != cold.Outputs[i] {
+				t.Fatalf("policy %v request %d: output diverged from uncached path", pol, i)
+			}
+		}
+		if st := sc.Stats(); st.Bytes < 0 || st.Bytes > st.MaxBytes {
+			t.Fatalf("policy %v: resident bytes %d outside [0, %d]", pol, st.Bytes, st.MaxBytes)
+		}
+	}
+
+	statics := []cocktail.CachePolicy{
+		cocktail.CachePolicyLRU, cocktail.CachePolicy2Q, cocktail.CachePolicyA1}
+	adaptive := reports[cocktail.CachePolicyAdaptive]
+	for e, ph := range phases {
+		best, bestPol := 0.0, cocktail.CachePolicyLRU
+		for _, pol := range statics {
+			if r := reports[pol].Epochs[e].WarmHitRate(); r > best {
+				best, bestPol = r, pol
+			}
+		}
+		got := adaptive.Epochs[e].WarmHitRate()
+		t.Logf("epoch %d %-11s lru=%.3f 2q=%.3f a1=%.3f adaptive=%.3f (best static %v=%.3f)",
+			e, ph.Name,
+			reports[cocktail.CachePolicyLRU].Epochs[e].WarmHitRate(),
+			reports[cocktail.CachePolicy2Q].Epochs[e].WarmHitRate(),
+			reports[cocktail.CachePolicyA1].Epochs[e].WarmHitRate(),
+			got, bestPol, best)
+		if got < 0.9*best {
+			t.Errorf("epoch %d (%s): adaptive warm hit-rate %.3f below 90%% of best static %.3f (%v)",
+				e, ph.Name, got, best, bestPol)
+		}
+	}
+
+	// The stream must actually stress the policies: LRU has to lose the
+	// scan-flood epoch badly enough that a static choice matters…
+	if lru, twoQ := reports[cocktail.CachePolicyLRU].Epochs[0].WarmHitRate(),
+		reports[cocktail.CachePolicy2Q].Epochs[0].WarmHitRate(); twoQ < 1.5*lru {
+		t.Errorf("scan epoch does not separate 2q (%.3f) from lru (%.3f) — stream too easy", twoQ, lru)
+	}
+	// …and the controller must have moved rather than ridden one mode.
+	adm := caches[cocktail.CachePolicyAdaptive].Stats().Admission
+	t.Logf("adaptive admission: %+v", adm)
+	if adm.PolicyFlips == 0 {
+		t.Error("adaptive controller never flipped on a phase-shifting stream")
+	}
+	// The A1 probation segment must have been exercised: first sightings
+	// trialled (occupancy or promotions) rather than ghost-rejected.
+	a1adm := caches[cocktail.CachePolicyA1].Stats().Admission
+	t.Logf("a1 admission: %+v", a1adm)
+	if a1adm.SegmentPromotions == 0 {
+		t.Error("a1 probation segment never promoted a re-referenced entry")
+	}
+}

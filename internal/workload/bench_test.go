@@ -16,12 +16,13 @@ import (
 func BenchmarkPrefixCacheUnderScan(b *testing.B) {
 	p := soakPipeline(b)
 	reqs := soakStream(b, p)
-	for _, pol := range []cocktail.CachePolicy{cocktail.CachePolicyLRU, cocktail.CachePolicy2Q} {
+	for _, pol := range allPolicies {
 		b.Run(pol.String(), func(b *testing.B) {
 			var hitRate float64
 			for i := 0; i < b.N; i++ {
 				sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
-					MaxBytes: soakBudget, TTL: time.Minute, Policy: pol, GhostEntries: 256})
+					MaxBytes: soakBudget, TTL: time.Minute, Policy: pol, GhostEntries: 256,
+					ProbationPct: 20, AdaptWindow: 16})
 				rep, err := Replay(sc, reqs)
 				if err != nil {
 					b.Fatal(err)

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	cocktail "repro"
+)
+
+// phasePipeline is a cheaper pipeline than soakPipeline (~128-token
+// contexts), so multi-epoch soaks replaying several policies stay fast
+// under -race.
+func phasePipeline(t testing.TB) *cocktail.Pipeline {
+	t.Helper()
+	p, err := cocktail.New(cocktail.Config{MaxSeq: 384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testPhases is the shared three-epoch shape: scan-flood, then
+// reuse-heavy with a wave of fresh sessions, then mixed.
+func testPhases() []Phase {
+	return []Phase{
+		{Name: "scan-flood", Requests: 40, ScanFraction: 0.85, Sessions: 4},
+		{Name: "reuse-heavy", Requests: 30, ScanFraction: 0.05, Sessions: 8},
+		{Name: "mixed", Requests: 30, ScanFraction: 0.5, Sessions: 8},
+	}
+}
+
+// TestGeneratePhasesDeterministic: a fixed (seed, phases) pair replays
+// byte-identically; a different seed does not.
+func TestGeneratePhasesDeterministic(t *testing.T) {
+	p := phasePipeline(t)
+	opts := Options{Seed: 21, ZipfS: 1.3}
+	a, err := GeneratePhases(p, opts, testPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePhases(p, opts, testPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal-seed phased streams differ")
+	}
+	c, err := GeneratePhases(p, Options{Seed: 22, ZipfS: 1.3}, testPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Session == c[i].Session {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical interleaving")
+	}
+}
+
+// TestGeneratePhasesEpochBoundaries: request i carries the epoch of the
+// phase whose [offset, offset+Requests) window contains i, with exact
+// per-epoch request counts and total length.
+func TestGeneratePhasesEpochBoundaries(t *testing.T) {
+	p := phasePipeline(t)
+	phases := testPhases()
+	reqs, err := GeneratePhases(p, Options{Seed: 5}, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, ph := range phases {
+		want += ph.Requests
+	}
+	if len(reqs) != want {
+		t.Fatalf("stream length %d, want %d", len(reqs), want)
+	}
+	off := 0
+	for e, ph := range phases {
+		for i := off; i < off+ph.Requests; i++ {
+			if reqs[i].Epoch != e {
+				t.Fatalf("request %d: epoch %d, want %d", i, reqs[i].Epoch, e)
+			}
+		}
+		off += ph.Requests
+	}
+}
+
+// TestGeneratePhasesSessionPools: each epoch draws warm sessions only
+// from its own pool, a session index shared by two epochs replays the
+// identical (context, query) pair in both, and the phase-2 pool
+// enlargement really introduces fresh contexts.
+func TestGeneratePhasesSessionPools(t *testing.T) {
+	p := phasePipeline(t)
+	phases := testPhases()
+	reqs, err := GeneratePhases(p, Options{Seed: 9, ZipfS: 1.2}, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxOf := map[int]string{}
+	seenHigh := false
+	for i, r := range reqs {
+		if r.IsScan() {
+			continue
+		}
+		if max := phases[r.Epoch].Sessions; r.Session < 0 || r.Session >= max {
+			t.Fatalf("request %d: session %d outside epoch pool [0, %d)", i, r.Session, max)
+		}
+		if r.Session >= 4 {
+			seenHigh = true
+		}
+		key := strings.Join(r.Context, " ")
+		if prev, ok := ctxOf[r.Session]; ok && prev != key {
+			t.Fatalf("session %d context changed across epochs", r.Session)
+		}
+		ctxOf[r.Session] = key
+	}
+	if !seenHigh {
+		t.Fatal("enlarged pool never drew a fresh session — tune the stream")
+	}
+}
+
+// TestGeneratePhasesZipfShare: the warm-session distribution keeps its
+// Zipf shape — session 0 is the strict plurality and, at a strong skew,
+// the head holds at least its asymptotic share.
+func TestGeneratePhasesZipfShare(t *testing.T) {
+	p := phasePipeline(t)
+	reqs, err := GeneratePhases(p, Options{Seed: 13, ZipfS: 1.5},
+		[]Phase{{Name: "warm", Requests: 300, ScanFraction: 0, Sessions: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 6)
+	for _, r := range reqs {
+		if r.IsScan() {
+			t.Fatal("all-warm epoch generated a scan")
+		}
+		counts[r.Session]++
+	}
+	for k := 1; k < len(counts); k++ {
+		if counts[0] <= counts[k] {
+			t.Fatalf("session 0 not the plurality: counts %v", counts)
+		}
+	}
+	// Zipf with s=1.5 over 6 ranks gives rank 1 a ~57% share; even with
+	// sampling noise the head must dominate.
+	if counts[0] < 300*2/5 {
+		t.Fatalf("head share collapsed: counts %v", counts)
+	}
+}
+
+// TestGeneratePhasesInheritsOptions: unset phase fields fall back to the
+// stream Options (ScanFraction < 0, Sessions/ZipfS <= 0), while 0 is an
+// honored all-warm ScanFraction.
+func TestGeneratePhasesInheritsOptions(t *testing.T) {
+	p := phasePipeline(t)
+	reqs, err := GeneratePhases(p, Options{Seed: 2, Sessions: 2, ZipfS: 1.4, ScanFraction: 1},
+		[]Phase{
+			{Name: "inherit-all-scan", Requests: 10, ScanFraction: -1},
+			{Name: "all-warm", Requests: 10, ScanFraction: 0},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if r.Epoch == 0 && !r.IsScan() {
+			t.Fatalf("request %d: inherited ScanFraction=1 epoch produced warm traffic", i)
+		}
+		if r.Epoch == 1 {
+			if r.IsScan() {
+				t.Fatalf("request %d: explicit ScanFraction=0 epoch produced a scan", i)
+			}
+			if r.Session < 0 || r.Session >= 2 {
+				t.Fatalf("request %d: inherited Sessions=2 violated (session %d)", i, r.Session)
+			}
+		}
+	}
+}
+
+// TestGeneratePhasesRejectsBadPhases: structural errors are rejected
+// up front, per phase.
+func TestGeneratePhasesRejectsBadPhases(t *testing.T) {
+	p := phasePipeline(t)
+	cases := []struct {
+		name   string
+		opts   Options
+		phases []Phase
+	}{
+		{"no-phases", Options{}, nil},
+		{"zero-requests", Options{}, []Phase{{Requests: 0}}},
+		{"bad-zipf", Options{}, []Phase{{Requests: 4, ZipfS: 1.0}}},
+		{"bad-scan-fraction", Options{}, []Phase{{Requests: 4, ScanFraction: 1.5}}},
+		{"bad-dataset", Options{Dataset: "nope"}, []Phase{{Requests: 4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := GeneratePhases(p, tc.opts, tc.phases); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+// TestReplayEpochAggregation: the per-epoch report blocks partition the
+// stream-level counters exactly.
+func TestReplayEpochAggregation(t *testing.T) {
+	p := phasePipeline(t)
+	reqs, err := GeneratePhases(p, Options{Seed: 3, ZipfS: 1.3}, []Phase{
+		{Name: "a", Requests: 6, ScanFraction: 0.5, Sessions: 2},
+		{Name: "b", Requests: 6, ScanFraction: 0, Sessions: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(p, reqs) // uncached: no hits anywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 2 {
+		t.Fatalf("epoch blocks: %+v", rep.Epochs)
+	}
+	var warm, scans, n int
+	for e, ep := range rep.Epochs {
+		if ep.Epoch != e || ep.Requests != 6 {
+			t.Fatalf("epoch block %d: %+v", e, ep)
+		}
+		if ep.WarmPrefillHits != 0 || ep.ScanPrefillHits != 0 || ep.WarmHitRate() != 0 {
+			t.Fatalf("uncached replay reported hits: %+v", ep)
+		}
+		warm += ep.Warm
+		scans += ep.Scans
+		n += ep.Requests
+	}
+	if warm != rep.Warm || scans != rep.Scans || n != rep.Requests {
+		t.Fatalf("epoch blocks do not partition the totals: %+v vs %+v", rep.Epochs, rep)
+	}
+	if rep.Epochs[1].Scans != 0 {
+		t.Fatalf("all-warm epoch b saw scans: %+v", rep.Epochs[1])
+	}
+}
+
+// TestGeneratePhasesDoesNotMutateInput: per-phase default resolution
+// happens on a copy, so a caller can reuse one phases slice with
+// different Options values.
+func TestGeneratePhasesDoesNotMutateInput(t *testing.T) {
+	p := phasePipeline(t)
+	phases := []Phase{{Name: "p", Requests: 4, ScanFraction: -1}}
+	if _, err := GeneratePhases(p, Options{Seed: 1, Sessions: 2, ZipfS: 1.4}, phases); err != nil {
+		t.Fatal(err)
+	}
+	if phases[0].Sessions != 0 || phases[0].ZipfS != 0 || phases[0].ScanFraction != -1 {
+		t.Fatalf("caller's phases slice was mutated: %+v", phases[0])
+	}
+}

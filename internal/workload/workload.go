@@ -7,6 +7,14 @@
 // hit-rates plus every request's output so tests can assert hit-rate
 // floors, byte accounting and byte-identical-output invariants.
 //
+// Streams can be phase-shifting (GeneratePhases): a sequence of epochs
+// with different scan pressure, Zipf skew and active-session counts —
+// scan-flood, then reuse-heavy, then mixed — over one shared warm
+// session pool. Each request carries its epoch index and the replay
+// report aggregates hit-rates per epoch, which is what lets a test
+// assert that an adaptive admission policy tracks the best static
+// policy through every phase, not just on average.
+//
 // Everything is deterministic for a fixed Options value: contexts and
 // queries come from Pipeline.NewSample seeds derived from Options.Seed,
 // and the scan/reuse interleaving comes from a math/rand stream seeded
@@ -27,9 +35,12 @@ const ScanSession = -1
 
 // Request is one serving request of a generated stream.
 type Request struct {
-	// Session is the warm session index in [0, Options.Sessions) for
-	// reuse traffic, or ScanSession for a one-shot scan.
+	// Session is the warm session index in [0, sessions) for reuse
+	// traffic, or ScanSession for a one-shot scan.
 	Session int
+	// Epoch is the index of the phase this request belongs to (always 0
+	// for single-phase streams).
+	Epoch int
 	// Context and Query are surface words from the pipeline vocabulary.
 	Context []string
 	Query   []string
@@ -39,10 +50,13 @@ type Request struct {
 func (r Request) IsScan() bool { return r.Session == ScanSession }
 
 // Options parameterizes a generated stream. The zero value is usable.
+// For phased streams the fields double as the per-phase defaults that a
+// Phase inherits when it leaves them unset.
 type Options struct {
 	// Seed selects the stream; equal seeds give byte-identical streams.
 	Seed uint64
-	// Requests is the stream length (<= 0 selects 64).
+	// Requests is the stream length (<= 0 selects 64). Ignored by
+	// GeneratePhases, where each phase sets its own length.
 	Requests int
 	// Sessions is the number of distinct warm contexts the reuse
 	// traffic draws from (<= 0 selects 3).
@@ -77,21 +91,83 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Generate builds a deterministic request stream over p's vocabulary.
-// Warm session i always replays the same (context, query) pair; every
-// scan request gets a context of its own.
+// Phase is one epoch of a phase-shifting stream. Unset fields inherit
+// the stream's Options: Sessions and ZipfS when <= 0, ScanFraction when
+// < 0 (0 is honored — an all-warm epoch).
+type Phase struct {
+	// Name labels the epoch in test output ("scan-flood", ...).
+	Name string
+	// Requests is the epoch length; must be > 0.
+	Requests int
+	// ScanFraction is the epoch's one-shot scan probability.
+	ScanFraction float64
+	// Sessions bounds the warm pool the epoch draws from: session
+	// indices [0, Sessions). A later phase with a larger value
+	// introduces fresh contexts mid-stream; a smaller one narrows
+	// reuse onto the hottest sessions.
+	Sessions int
+	// ZipfS is the epoch's Zipf skew over its session pool.
+	ZipfS float64
+}
+
+// Generate builds a deterministic single-phase request stream over p's
+// vocabulary. Warm session i always replays the same (context, query)
+// pair; every scan request gets a context of its own.
 func Generate(p *cocktail.Pipeline, opts Options) ([]Request, error) {
 	opts = opts.withDefaults()
-	if opts.ZipfS <= 1 {
-		return nil, fmt.Errorf("workload: ZipfS must be > 1, have %v", opts.ZipfS)
+	return GeneratePhases(p, opts, []Phase{{
+		Requests:     opts.Requests,
+		ScanFraction: opts.ScanFraction,
+		Sessions:     opts.Sessions,
+		ZipfS:        opts.ZipfS,
+	}})
+}
+
+// GeneratePhases builds a deterministic phase-shifting stream: the
+// concatenation of the given epochs, drawn from one RNG stream and one
+// shared warm session pool, so a fixed (Options.Seed, phases) pair
+// always yields a byte-identical stream. Warm session i keeps the same
+// (context, query) pair across every epoch that can draw it, which is
+// what makes cross-epoch reuse (and the cache-policy response to it)
+// observable.
+func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Request, error) {
+	opts = opts.withDefaults()
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: at least one phase required")
 	}
-	if opts.ScanFraction > 1 {
-		return nil, fmt.Errorf("workload: ScanFraction must be <= 1, have %v", opts.ScanFraction)
+	// Resolve per-phase defaults on a copy: the caller's slice must not
+	// be mutated (it may be reused with different Options).
+	phases = append([]Phase(nil), phases...)
+	total, maxSessions := 0, 0
+	for i := range phases {
+		ph := &phases[i]
+		if ph.Requests <= 0 {
+			return nil, fmt.Errorf("workload: phase %d: Requests must be > 0, have %d", i, ph.Requests)
+		}
+		if ph.Sessions <= 0 {
+			ph.Sessions = opts.Sessions
+		}
+		if ph.ZipfS <= 0 {
+			ph.ZipfS = opts.ZipfS
+		}
+		if ph.ZipfS <= 1 {
+			return nil, fmt.Errorf("workload: phase %d: ZipfS must be > 1, have %v", i, ph.ZipfS)
+		}
+		if ph.ScanFraction < 0 {
+			ph.ScanFraction = opts.ScanFraction
+		}
+		if ph.ScanFraction > 1 {
+			return nil, fmt.Errorf("workload: phase %d: ScanFraction must be <= 1, have %v", i, ph.ScanFraction)
+		}
+		total += ph.Requests
+		if ph.Sessions > maxSessions {
+			maxSessions = ph.Sessions
+		}
 	}
 	// Sample seeds live in disjoint lanes off the stream seed so warm
 	// and scan contexts can never alias for a fixed Options.Seed.
 	base := opts.Seed * 0x9e3779b97f4a7c15
-	warm := make([]*cocktail.Sample, opts.Sessions)
+	warm := make([]*cocktail.Sample, maxSessions)
 	for i := range warm {
 		s, err := p.NewSample(opts.Dataset, base+1+uint64(i))
 		if err != nil {
@@ -100,21 +176,25 @@ func Generate(p *cocktail.Pipeline, opts Options) ([]Request, error) {
 		warm[i] = s
 	}
 	rng := rand.New(rand.NewSource(int64(opts.Seed) + 1))
-	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.Sessions-1))
-	reqs := make([]Request, 0, opts.Requests)
+	reqs := make([]Request, 0, total)
 	scans := uint64(0)
-	for len(reqs) < opts.Requests {
-		if rng.Float64() < opts.ScanFraction {
-			s, err := p.NewSample(opts.Dataset, base+1_000_000+scans)
-			if err != nil {
-				return nil, fmt.Errorf("workload: scan sample %d: %w", scans, err)
+	for e, ph := range phases {
+		zipf := rand.NewZipf(rng, ph.ZipfS, 1, uint64(ph.Sessions-1))
+		for n := 0; n < ph.Requests; {
+			if rng.Float64() < ph.ScanFraction {
+				s, err := p.NewSample(opts.Dataset, base+1_000_000+scans)
+				if err != nil {
+					return nil, fmt.Errorf("workload: scan sample %d: %w", scans, err)
+				}
+				scans++
+				reqs = append(reqs, Request{Session: ScanSession, Epoch: e, Context: s.Context, Query: s.Query})
+				n++
+				continue
 			}
-			scans++
-			reqs = append(reqs, Request{Session: ScanSession, Context: s.Context, Query: s.Query})
-			continue
+			i := int(zipf.Uint64())
+			reqs = append(reqs, Request{Session: i, Epoch: e, Context: warm[i].Context, Query: warm[i].Query})
+			n++
 		}
-		i := int(zipf.Uint64())
-		reqs = append(reqs, Request{Session: i, Context: warm[i].Context, Query: warm[i].Query})
 	}
 	return reqs, nil
 }
@@ -127,15 +207,35 @@ type Prefiller interface {
 	Prefill(context []string) (*cocktail.Session, error)
 }
 
+// EpochReport aggregates one epoch of a replay; for single-phase streams
+// there is exactly one (epoch 0).
+type EpochReport struct {
+	Epoch                            int
+	Requests, Warm, Scans            int
+	WarmPrefillHits, ScanPrefillHits int
+}
+
+// WarmHitRate is the epoch's fraction of warm requests served from
+// cached prefill state.
+func (e *EpochReport) WarmHitRate() float64 {
+	if e.Warm == 0 {
+		return 0
+	}
+	return float64(e.WarmPrefillHits) / float64(e.Warm)
+}
+
 // Report aggregates one replay. Outputs is index-aligned with the
 // request stream regardless of replay concurrency; the hit counters
-// split by traffic class.
+// split by traffic class, over the whole stream and per epoch.
 type Report struct {
 	Requests, Warm, Scans int
 	// WarmPrefillHits counts warm requests whose prefill state came
 	// from the cache; ScanPrefillHits the same for scans (non-zero only
-	// when distinct scan contexts collide, which the generator avoids).
+	// when distinct scan contexts collide, which the generator avoids,
+	// or when a scan repeats while trialled in a probation segment).
 	WarmPrefillHits, ScanPrefillHits int
+	// Epochs[e] aggregates the requests of epoch e.
+	Epochs []EpochReport
 	// Outputs[i] is request i's space-joined answer.
 	Outputs []string
 }
@@ -186,16 +286,32 @@ func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{Requests: len(reqs), Outputs: outputs}
+	epochs := 0
+	for _, r := range reqs {
+		if r.Epoch >= epochs {
+			epochs = r.Epoch + 1
+		}
+	}
+	rep.Epochs = make([]EpochReport, epochs)
+	for e := range rep.Epochs {
+		rep.Epochs[e].Epoch = e
+	}
 	for i, r := range reqs {
+		ep := &rep.Epochs[r.Epoch]
+		ep.Requests++
 		if r.IsScan() {
 			rep.Scans++
+			ep.Scans++
 			if hits[i] {
 				rep.ScanPrefillHits++
+				ep.ScanPrefillHits++
 			}
 		} else {
 			rep.Warm++
+			ep.Warm++
 			if hits[i] {
 				rep.WarmPrefillHits++
+				ep.WarmPrefillHits++
 			}
 		}
 	}

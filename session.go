@@ -230,27 +230,56 @@ const (
 	// reused sessions. The cost: a context pays the cold path twice
 	// before it starts hitting.
 	CachePolicy2Q
+	// CachePolicyA1 is the full A1in/A1out 2Q design: first sightings
+	// are admitted into a small probation byte segment (sized by
+	// SessionCacheOptions.ProbationPct) so even one-shot contexts can
+	// hit within a burst, re-references promote to the protected
+	// segment, and probation evictions feed the ghost list.
+	CachePolicyA1
+	// CachePolicyAdaptive flips between admit-everything and
+	// second-sighting admission at runtime by watching the workload
+	// (one-shot eviction churn vs rejected keys coming back) over
+	// tumbling windows of SessionCacheOptions.AdaptWindow admission
+	// decisions — re-evaluated at window boundaries, at most one flip
+	// per window — so no static policy choice is needed.
+	CachePolicyAdaptive
 )
 
-// String returns the policy's flag spelling ("lru" or "2q").
+// String returns the policy's flag spelling ("lru", "2q", "a1" or
+// "adaptive").
 func (p CachePolicy) String() string {
-	if p == CachePolicy2Q {
+	switch p {
+	case CachePolicy2Q:
 		return "2q"
+	case CachePolicyA1:
+		return "a1"
+	case CachePolicyAdaptive:
+		return "adaptive"
 	}
 	return "lru"
 }
 
-// ParseCachePolicy maps the flag spellings "lru" (or "") and "2q" to a
-// CachePolicy, erroring on anything else.
+// ParseCachePolicy maps the flag spellings "lru" (or ""), "2q", "a1"
+// (A1in/A1out) and "adaptive" to a CachePolicy, erroring on anything
+// else.
 func ParseCachePolicy(s string) (CachePolicy, error) {
 	switch s {
 	case "", "lru":
 		return CachePolicyLRU, nil
 	case "2q":
 		return CachePolicy2Q, nil
+	case "a1":
+		return CachePolicyA1, nil
+	case "adaptive":
+		return CachePolicyAdaptive, nil
 	}
-	return CachePolicyLRU, fmt.Errorf("cocktail: unknown cache policy %q (have lru, 2q)", s)
+	return CachePolicyLRU, fmt.Errorf("cocktail: unknown cache policy %q (have lru, 2q, a1, adaptive)", s)
 }
+
+// DefaultProbationPct is the probation-segment share of the byte budget
+// (percent) used by CachePolicyA1 when SessionCacheOptions.ProbationPct
+// is outside (0, 100).
+const DefaultProbationPct = 10.0
 
 // SessionCacheOptions sizes a SessionCache.
 type SessionCacheOptions struct {
@@ -258,33 +287,62 @@ type SessionCacheOptions struct {
 	// and sealed caches (<= 0 selects the 256 MiB default).
 	MaxBytes int64
 	// TTL is the idle lifetime of a cache entry (0 = no expiry). Under
-	// CachePolicy2Q it also bounds the gap between the two sightings
-	// that earn admission.
+	// the 2Q-family policies it also bounds the gap between the two
+	// sightings that earn admission.
 	TTL time.Duration
 	// Policy is the admission policy (default CachePolicyLRU).
 	Policy CachePolicy
-	// GhostEntries bounds CachePolicy2Q's ghost list — the number of
+	// GhostEntries bounds the 2Q-family ghost list — the number of
 	// seen-once keys remembered while on probation (<= 0 selects the
 	// 1024 default). Ignored under CachePolicyLRU.
 	GhostEntries int
+	// ProbationPct is CachePolicyA1's probation-segment share of
+	// MaxBytes, in percent; it must lie in (0, 100) and is carved out of
+	// the budget (values outside the range select DefaultProbationPct;
+	// the effective carve-out is additionally capped at half the budget
+	// so the protected segment always dominates). Ignored by the other
+	// policies.
+	ProbationPct float64
+	// AdaptWindow is CachePolicyAdaptive's evaluation window in
+	// admission decisions (<= 0 selects the 64 default). Ignored by the
+	// static policies.
+	AdaptWindow int
 }
 
-// AdmissionStats reports a SessionCache's admission-policy counters
-// (mirrors sessioncache.AdmissionStats). Counter fields are monotonic
-// totals; under CachePolicyLRU everything but Policy is zero.
+// AdmissionStats reports a SessionCache's admission-policy counters and
+// segment occupancy (mirrors sessioncache.AdmissionStats). Counter
+// fields are monotonic totals; under CachePolicyLRU everything but
+// Policy and the protected occupancy is zero.
 type AdmissionStats struct {
-	// Policy is the active policy label ("lru" or "2q").
+	// Policy is the active policy label ("lru", "2q", "a1", "adaptive").
 	Policy string `json:"policy"`
-	// ProbationHits counts cache misses on keys that were on probation —
-	// lookups that would have hit had the key been admitted already.
+	// Mode is the adaptive controller's current mode ("permissive" or
+	// "conservative"); empty for static policies.
+	Mode string `json:"mode,omitempty"`
+	// ProbationHits counts re-references that found the key on probation:
+	// ghosted-key misses (2q/adaptive) or hits served from the probation
+	// byte segment (a1).
 	ProbationHits int64 `json:"probation_hits"`
-	// GhostPromotions counts admissions earned by a second sighting.
+	// GhostPromotions counts admissions earned by a remembered sighting.
 	GhostPromotions int64 `json:"ghost_promotions"`
-	// ScanRejections counts inserts declined on first sighting.
+	// SegmentPromotions counts probation residents promoted to the
+	// protected segment on re-reference (a1 only).
+	SegmentPromotions int64 `json:"segment_promotions"`
+	// ScanRejections counts sightings judged scan-like: declined inserts
+	// plus probation entries evicted without re-reference.
 	ScanRejections int64 `json:"scan_rejections"`
+	// PolicyFlips counts adaptive mode changes.
+	PolicyFlips int64 `json:"policy_flips"`
 	// GhostEntries/GhostLimit are the ghost list's population and cap.
 	GhostEntries int `json:"ghost_entries"`
 	GhostLimit   int `json:"ghost_limit"`
+	// Segment occupancy: current entry counts and byte totals per
+	// segment, plus the probation segment's byte cap.
+	ProbationEntries  int   `json:"probation_entries"`
+	ProbationBytes    int64 `json:"probation_bytes"`
+	ProbationCapBytes int64 `json:"probation_cap_bytes"`
+	ProtectedEntries  int   `json:"protected_entries"`
+	ProtectedBytes    int64 `json:"protected_bytes"`
 }
 
 // CacheStats reports a SessionCache's counters and occupancy (mirrors
@@ -321,8 +379,22 @@ type SessionCache struct {
 // NewSessionCache builds a shared cache over p.
 func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
 	var pol sessioncache.Policy // nil selects the store's LRU default
-	if opts.Policy == CachePolicy2Q {
+	switch opts.Policy {
+	case CachePolicy2Q:
 		pol = sessioncache.NewPolicy2Q(opts.GhostEntries, opts.TTL)
+	case CachePolicyA1:
+		maxBytes := opts.MaxBytes
+		if maxBytes <= 0 {
+			maxBytes = sessioncache.DefaultMaxBytes
+		}
+		pct := opts.ProbationPct
+		if pct <= 0 || pct >= 100 {
+			pct = DefaultProbationPct
+		}
+		pol = sessioncache.NewPolicyA1(opts.GhostEntries, opts.TTL,
+			int64(float64(maxBytes)*pct/100))
+	case CachePolicyAdaptive:
+		pol = sessioncache.NewPolicyAdaptive(opts.GhostEntries, opts.TTL, opts.AdaptWindow)
 	}
 	return &SessionCache{
 		p: p,

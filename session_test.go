@@ -281,7 +281,9 @@ var errMismatch = errors.New("concurrent session answer diverged from serial col
 
 // TestParseCachePolicy pins the flag spellings and rejects the rest.
 func TestParseCachePolicy(t *testing.T) {
-	for s, want := range map[string]CachePolicy{"": CachePolicyLRU, "lru": CachePolicyLRU, "2q": CachePolicy2Q} {
+	for s, want := range map[string]CachePolicy{
+		"": CachePolicyLRU, "lru": CachePolicyLRU, "2q": CachePolicy2Q,
+		"a1": CachePolicyA1, "adaptive": CachePolicyAdaptive} {
 		got, err := ParseCachePolicy(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseCachePolicy(%q) = %v, %v", s, got, err)
@@ -290,8 +292,12 @@ func TestParseCachePolicy(t *testing.T) {
 	if _, err := ParseCachePolicy("arc"); err == nil {
 		t.Fatal("unknown policy must be rejected")
 	}
-	if CachePolicyLRU.String() != "lru" || CachePolicy2Q.String() != "2q" {
-		t.Fatal("policy String() spelling drifted from the flag values")
+	for p, s := range map[CachePolicy]string{
+		CachePolicyLRU: "lru", CachePolicy2Q: "2q",
+		CachePolicyA1: "a1", CachePolicyAdaptive: "adaptive"} {
+		if p.String() != s {
+			t.Fatalf("policy String() spelling drifted: %v != %q", p, s)
+		}
 	}
 }
 
