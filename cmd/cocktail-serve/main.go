@@ -19,7 +19,11 @@
 // the full A1in/A1out design (first sightings trialled in a probation
 // byte segment sized by -probation-pct), and adaptive flips between
 // admit-everything and second-sighting admission automatically by
-// watching the workload over -adapt-window admission decisions; see
+// watching the workload over -adapt-window admission decisions.
+// -sealed-cache-pct splits the budget per artifact kind — that percent
+// is dedicated to sealed caches (own LRU, probation pool sized by
+// -sealed-probation-pct, admission state), the rest to prefill builders
+// — so cheap seal trials stop competing with ~3× bigger builders; see
 // docs/API.md for the full reference.
 //
 // Usage:
@@ -72,6 +76,10 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	probationPct := fs.Float64("probation-pct", cocktail.DefaultProbationPct,
 		"a1 probation segment share of the cache budget, percent in (0, 100)")
 	adaptWindow := fs.Int("adapt-window", 0, "adaptive evaluation window in admission decisions (0 = 64)")
+	sealedCachePct := fs.Float64("sealed-cache-pct", 0,
+		"dedicate this percent of the cache budget to sealed caches (prefill builders get the rest), giving each kind its own sub-budget, probation pool and admission state; 0 = one shared budget")
+	sealedProbationPct := fs.Float64("sealed-probation-pct", 0,
+		"a1 probation share of the sealed sub-budget, percent in (0, 100); 0 inherits -probation-pct (needs -sealed-cache-pct)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -89,6 +97,15 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	if *adaptWindow < 0 {
 		return nil, fmt.Errorf("cocktail-serve: -adapt-window must be >= 0, have %d", *adaptWindow)
 	}
+	if *sealedCachePct < 0 || *sealedCachePct >= 100 {
+		return nil, fmt.Errorf("cocktail-serve: -sealed-cache-pct must lie in [0, 100), have %v", *sealedCachePct)
+	}
+	if *sealedProbationPct < 0 || *sealedProbationPct >= 100 {
+		return nil, fmt.Errorf("cocktail-serve: -sealed-probation-pct must lie in [0, 100), have %v", *sealedProbationPct)
+	}
+	if *sealedProbationPct > 0 && *sealedCachePct == 0 {
+		return nil, fmt.Errorf("cocktail-serve: -sealed-probation-pct requires -sealed-cache-pct")
+	}
 
 	return &serveConfig{
 		addr: *addr,
@@ -98,11 +115,13 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 		opts: httpapi.Options{
 			Workers: *workers, QueueDepth: *queue,
 			SessionCacheMB: *cacheMB, SessionTTL: *sessionTTL,
-			MaxSessions:  *maxSessions,
-			CachePolicy:  policy,
-			GhostEntries: *ghostEntries,
-			ProbationPct: *probationPct,
-			AdaptWindow:  *adaptWindow,
+			MaxSessions:        *maxSessions,
+			CachePolicy:        policy,
+			GhostEntries:       *ghostEntries,
+			ProbationPct:       *probationPct,
+			AdaptWindow:        *adaptWindow,
+			SealedCachePct:     *sealedCachePct,
+			SealedProbationPct: *sealedProbationPct,
 		},
 	}, nil
 }

@@ -40,6 +40,10 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 		{"probation-pct-over", "-probation-pct 250", "-probation-pct"},
 		{"negative-adapt-window", "-adapt-window -3", "-adapt-window"},
 		{"unknown-policy", "-cache-policy arc", "cache policy"},
+		{"negative-sealed-cache-pct", "-sealed-cache-pct -1", "-sealed-cache-pct"},
+		{"sealed-cache-pct-100", "-sealed-cache-pct 100", "-sealed-cache-pct"},
+		{"sealed-probation-pct-over", "-sealed-cache-pct 40 -sealed-probation-pct 100", "-sealed-probation-pct"},
+		{"sealed-probation-without-split", "-sealed-probation-pct 25", "-sealed-cache-pct"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +92,20 @@ func TestParseArgsValid(t *testing.T) {
 		cfg.opts.AdaptWindow != 32 || cfg.opts.SessionTTL != 5*time.Minute {
 		t.Fatalf("parsed config: %+v", cfg)
 	}
+	cfg, err = parseArgs(strings.Fields(
+		"-cache-policy a1 -sealed-cache-pct 45 -sealed-probation-pct 30"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.SealedCachePct != 45 || cfg.opts.SealedProbationPct != 30 {
+		t.Fatalf("per-kind flags not threaded: %+v", cfg.opts)
+	}
+	// -sealed-probation-pct 0 (the default) inherits -probation-pct, so
+	// a bare -sealed-cache-pct parses.
+	if cfg, err = parseArgs(strings.Fields("-sealed-cache-pct 30"), io.Discard); err != nil ||
+		cfg.opts.SealedCachePct != 30 || cfg.opts.SealedProbationPct != 0 {
+		t.Fatalf("bare -sealed-cache-pct: cfg=%+v err=%v", cfg, err)
+	}
 	for _, spelling := range []string{"lru", "2q", "a1", "adaptive"} {
 		if _, err := parseArgs([]string{"-cache-policy", spelling}, io.Discard); err != nil {
 			t.Errorf("policy %q rejected: %v", spelling, err)
@@ -114,6 +132,10 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"-probation-pct", "-2"},
 		{"-adapt-window", "-1"},
 		{"-cache-policy", "clock"},
+		{"-sealed-cache-pct", "-3"},
+		{"-sealed-cache-pct", "100"},
+		{"-sealed-cache-pct", "40", "-sealed-probation-pct", "-1"},
+		{"-sealed-probation-pct", "20"},
 	} {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

@@ -94,6 +94,17 @@ type Options struct {
 	// admission decisions (0 = default 64). Ignored by the static
 	// policies.
 	AdaptWindow int
+	// SealedCachePct dedicates this percent of the cache budget to
+	// sealed-cache entries (prefill builders get the remainder), giving
+	// each artifact kind its own byte sub-budget, probation carve-out
+	// and admission state — so cheap seal trials and ~3× bigger prefill
+	// builders stop competing for one pool. Must lie in (0, 100); 0
+	// keeps the shared budget (the historical behavior).
+	SealedCachePct float64
+	// SealedProbationPct sizes the sealed sub-budget's probation
+	// carve-out in percent under CachePolicyA1; 0 inherits
+	// ProbationPct. Ignored unless SealedCachePct is set.
+	SealedProbationPct float64
 }
 
 func (o Options) withDefaults() Options {
@@ -166,12 +177,14 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 	}
 	if opts.SessionCacheMB > 0 {
 		s.sc = cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
-			MaxBytes:     int64(opts.SessionCacheMB) << 20,
-			TTL:          opts.SessionTTL,
-			Policy:       opts.CachePolicy,
-			GhostEntries: opts.GhostEntries,
-			ProbationPct: opts.ProbationPct,
-			AdaptWindow:  opts.AdaptWindow,
+			MaxBytes:           int64(opts.SessionCacheMB) << 20,
+			TTL:                opts.SessionTTL,
+			Policy:             opts.CachePolicy,
+			GhostEntries:       opts.GhostEntries,
+			ProbationPct:       opts.ProbationPct,
+			AdaptWindow:        opts.AdaptWindow,
+			SealedPct:          opts.SealedCachePct,
+			SealedProbationPct: opts.SealedProbationPct,
 		})
 	}
 	// Janitor: Get/Put expire lazily, but an idle server would otherwise
@@ -345,7 +358,9 @@ type PoolMetrics struct {
 // flips), plus the number of open sessions. The admission block is
 // present in every configuration — zeros under the policy label when the
 // policy keeps no such state, so dashboards never need policy-aware
-// parsing.
+// parsing. With the cache enabled, the kinds block breaks
+// entries/bytes/cap (and, under -sealed-cache-pct, per-kind admission)
+// down by artifact kind ("prefill", "sealed").
 type SessionCacheMetrics struct {
 	Enabled bool `json:"enabled"`
 	cocktail.CacheStats

@@ -858,3 +858,111 @@ func TestMetricsAdmissionBlockAllPolicies(t *testing.T) {
 		})
 	}
 }
+
+// TestPerKindCacheMetrics: with -sealed-cache-pct semantics the
+// session_cache.kinds block must expose each kind's sub-budget,
+// occupancy and its own admission counters, and real traffic must land
+// in both kinds' shards.
+func TestPerKindCacheMetrics(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{
+		CachePolicy:        cocktail.CachePolicyA1,
+		SealedCachePct:     40,
+		SealedProbationPct: 30,
+		ProbationPct:       20,
+	})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=TREC&seed=13", &sample)
+	answers := make([]string, 2)
+	for i := range answers {
+		var res struct{ Answer []string }
+		if code := postJSON(t, srv.URL+"/v1/answer",
+			map[string]any{"context": sample.Context, "query": sample.Query}, &res); code != 200 {
+			t.Fatalf("answer %d status %d", i, code)
+		}
+		answers[i] = strings.Join(res.Answer, " ")
+	}
+	if answers[0] != answers[1] {
+		t.Fatalf("per-kind cached answer diverged: %q %q", answers[0], answers[1])
+	}
+
+	var m map[string]any
+	if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	sc := m["session_cache"].(map[string]any)
+	kinds, ok := sc["kinds"].(map[string]any)
+	if !ok {
+		t.Fatalf("kinds block missing: %v", sc)
+	}
+	// Mirror the store's integer carve-out math: truncate at each step.
+	budget := int64(64 << 20) // default -session-cache-mb
+	sealedMax := int64(float64(budget) * 0.40)
+	prefillMax := budget - sealedMax
+	wantMax := map[string]float64{"sealed": float64(sealedMax), "prefill": float64(prefillMax)}
+	wantProbCap := map[string]float64{
+		"sealed":  float64(int64(float64(sealedMax) * 0.30)),
+		"prefill": float64(int64(float64(prefillMax) * 0.20)),
+	}
+	for _, kind := range []string{"prefill", "sealed"} {
+		kb, ok := kinds[kind].(map[string]any)
+		if !ok {
+			t.Fatalf("kind %s block missing: %v", kind, kinds)
+		}
+		if kb["dedicated"] != true || kb["max_bytes"].(float64) != wantMax[kind] {
+			t.Errorf("kind %s budget: %v", kind, kb)
+		}
+		if got := kb["probation_cap_bytes"].(float64); got != wantProbCap[kind] {
+			t.Errorf("kind %s probation cap = %v, want %v", kind, got, wantProbCap[kind])
+		}
+		if kb["entries"].(float64) == 0 || kb["bytes"].(float64) <= 0 {
+			t.Errorf("kind %s never populated: %v", kind, kb)
+		}
+		adm, ok := kb["admission"].(map[string]any)
+		if !ok {
+			t.Fatalf("kind %s admission block missing: %v", kind, kb)
+		}
+		if adm["policy"] != "a1" {
+			t.Errorf("kind %s admission.policy = %v, want a1", kind, adm["policy"])
+		}
+	}
+	// The aggregate admission block keeps its shape (and label) with the
+	// per-kind router in place.
+	if adm := sc["admission"].(map[string]any); adm["policy"] != "a1" {
+		t.Errorf("aggregate admission.policy = %v, want a1", adm["policy"])
+	}
+}
+
+// TestKindsBlockWithoutSplit: per-kind occupancy is reported even under
+// the default shared budget — dedicated=false, shared caps, no per-kind
+// admission blocks — so dashboards get one stable shape.
+func TestKindsBlockWithoutSplit(t *testing.T) {
+	srv := testServer(t)
+	var sample struct{ Context, Query []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=TREC&seed=15", &sample)
+	var res struct{ Answer []string }
+	postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &res)
+
+	var m map[string]any
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	kinds, ok := m["session_cache"].(map[string]any)["kinds"].(map[string]any)
+	if !ok {
+		t.Fatalf("kinds block missing under the shared budget")
+	}
+	for _, kind := range []string{"prefill", "sealed"} {
+		kb, ok := kinds[kind].(map[string]any)
+		if !ok {
+			t.Fatalf("kind %s block missing: %v", kind, kinds)
+		}
+		if kb["dedicated"] != false || kb["max_bytes"].(float64) != float64(64<<20) {
+			t.Errorf("kind %s must share the full budget: %v", kind, kb)
+		}
+		if _, hasAdm := kb["admission"]; hasAdm {
+			t.Errorf("kind-blind policy must not report per-kind admission: %v", kb)
+		}
+	}
+}

@@ -30,13 +30,17 @@ const (
 // each window boundary the controller evaluates the window's evidence
 // and flips at most once:
 //
-//   - In permissive mode the tell for scan pressure is eviction churn of
+//   - In permissive mode the tell for scan pressure is churn of
 //     never-re-referenced entries: when at least half of the window's
-//     decisions were matched by one-shot evictions (entries evicted with
-//     hit=false), admit-everything is demonstrably flushing bytes for
-//     keys that never come back, and the controller flips to
-//     conservative. While the budget has slack (no evictions), admit-all
-//     is harmless and no flip happens.
+//     decisions were matched by one-shot removals (entries evicted — or
+//     TTL-expired — with hit=false), admit-everything is demonstrably
+//     spending admissions on keys that never come back, and the
+//     controller flips to conservative. While the budget has slack and
+//     entries outlive the TTL (no evictions, no expiries), admit-all is
+//     harmless and no flip happens. Expiry churn counts on purpose:
+//     a one-shot key that idles out pays the same wasted admission as
+//     one that was evicted, and a key that truly never returns never
+//     pays the conservative mode's second-sighting tax either.
 //   - In conservative mode the tell for reuse-dominated traffic is the
 //     rejected keys coming back: when the window's ghost promotions plus
 //     probation hits (misses that a warmer policy would have served)
@@ -173,9 +177,21 @@ func (p *PolicyAdaptive) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
 	p.inner.OnEvict(k, seg, hit, now)
 }
 
-// ProbationCap reports 0: the adaptive policy's conservative mode is
-// ghost-only.
-func (p *PolicyAdaptive) ProbationCap(int64) int64 { return 0 }
+// OnExpire treats TTL expiry exactly like an eviction: an admitted
+// entry that idles out without ever being re-referenced is the same
+// evidence of a wasted admission as a one-shot eviction, so the flip
+// decision is identical whether churn arrives via byte pressure or via
+// the TTL (TTL-heavy traffic cannot hide scan pain from the window).
+func (p *PolicyAdaptive) OnExpire(k Key, seg Segment, hit bool, now time.Time) {
+	if !hit {
+		p.oneShotEvicts++
+	}
+	p.inner.OnExpire(k, seg, hit, now)
+}
+
+// ProbationCap reports 0 for every shard: the adaptive policy's
+// conservative mode is ghost-only.
+func (p *PolicyAdaptive) ProbationCap(Kind, int64, int64) int64 { return 0 }
 
 // Stats snapshots the shared 2Q counters under the "adaptive" label,
 // plus the current mode and the flip counter.

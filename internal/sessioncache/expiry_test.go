@@ -1,0 +1,335 @@
+package sessioncache
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpiryWashoutCountsAndReghosts is the TTL-bypass bugfix proof: an
+// A1 probation entry that *expires* without re-reference must be treated
+// exactly like a byte-pressure washout — counted as a scan rejection and
+// re-ghosted — instead of vanishing invisibly past the policy. (On the
+// pre-fix store, Sweep removed the entry without notifying the policy:
+// no rejection, no ghost, and the later Put restarted probation.)
+func TestExpiryWashoutCountsAndReghosts(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 100, TTL: time.Minute,
+		Policy: NewPolicyA1(16, time.Minute, 20),
+		now:    func() time.Time { return now },
+	})
+	s.Put(key(0), fakeValue{bytes: 10}) // probation trial
+	now = now.Add(2 * time.Minute)
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("Sweep expired %d entries, want 1", n)
+	}
+	st := s.Stats()
+	if st.Expirations != 1 || st.Admission.ScanRejections != 1 || st.Admission.GhostEntries != 1 {
+		t.Fatalf("expiry washout bookkeeping: %+v", st)
+	}
+	// The re-ghost is live (seen at expiry time): traffic returning
+	// right after the idle horizon readmits on a single sighting,
+	// exactly as it would after an eviction.
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("expired washout must readmit on one sighting")
+	}
+	if st := s.Stats(); st.Admission.GhostPromotions != 1 {
+		t.Fatalf("readmission must come from the ghost list: %+v", st.Admission)
+	}
+}
+
+// TestLazyExpiryNotifiesPolicy: the lazy expiry inside Get must follow
+// the same OnExpire path as Sweep — washout counted, key re-ghosted —
+// and the same Get's miss then observes the fresh ghost (a probation
+// hit: a request a longer-TTL cache would have served).
+func TestLazyExpiryNotifiesPolicy(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 100, TTL: time.Minute,
+		Policy: NewPolicyA1(16, time.Minute, 20),
+		now:    func() time.Time { return now },
+	})
+	s.Put(key(0), fakeValue{bytes: 10}) // probation trial
+	now = now.Add(2 * time.Minute)
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("idle entry must expire")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 || st.Misses != 1 ||
+		st.Admission.ScanRejections != 1 || st.Admission.GhostEntries != 1 {
+		t.Fatalf("lazy expiry bookkeeping: %+v", st)
+	}
+	if st.Admission.ProbationHits != 1 {
+		t.Fatalf("the expiring Get must count as a probation hit: %+v", st.Admission)
+	}
+}
+
+// TestPutExpiresStaleResident: a Put landing on a TTL-stale resident
+// must behave exactly like Get-then-Put — the stale entry is expired
+// through the policy (washout + re-ghost) and the new value faces
+// Admit — not be waved through as a live re-reference. Here the expiry
+// re-ghost makes the Put a ghost promotion; the stale key never skips
+// admission.
+func TestPutExpiresStaleResident(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 100, TTL: time.Minute,
+		Policy: NewPolicyA1(16, time.Minute, 20),
+		now:    func() time.Time { return now },
+	})
+	s.Put(key(0), fakeValue{bytes: 10}) // probation trial, never re-referenced
+	now = now.Add(2 * time.Minute)
+	if !s.Put(key(0), fakeValue{bytes: 10}) {
+		t.Fatal("the expiry re-ghost must readmit the key on this sighting")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 || st.Admission.ScanRejections != 1 {
+		t.Fatalf("stale resident must be expired as a washout first: %+v", st)
+	}
+	if st.Admission.GhostPromotions != 1 || st.Admission.ProtectedEntries != 1 ||
+		st.Admission.ProbationEntries != 0 {
+		t.Fatalf("replacement must re-earn residency through Admit: %+v", st.Admission)
+	}
+	// Counter-case: within the TTL the same Put is a plain replacement
+	// (re-reference), with no expiry and no admission consultation.
+	now = now.Add(30 * time.Second)
+	if !s.Put(key(0), fakeValue{bytes: 12}) {
+		t.Fatal("live replacement must be admitted")
+	}
+	if st := s.Stats(); st.Expirations != 1 || st.Admission.GhostPromotions != 1 {
+		t.Fatalf("live replacement must not touch expiry/admission state: %+v", st)
+	}
+}
+
+// TestDeleteStaysSilentTowardPolicy pins the contract's third removal
+// path: a manual Delete notifies nobody — no ghost, no washout count —
+// so the key's next Put is a plain first sighting.
+func TestDeleteStaysSilentTowardPolicy(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Policy: NewPolicyA1(16, 0, 20)})
+	s.Put(key(0), fakeValue{bytes: 10}) // probation trial
+	if !s.Delete(key(0)) {
+		t.Fatal("delete of resident entry must report true")
+	}
+	st := s.Stats()
+	if st.Admission.ScanRejections != 0 || st.Admission.GhostEntries != 0 ||
+		st.Admission.GhostPromotions != 0 {
+		t.Fatalf("manual delete moved admission state: %+v", st.Admission)
+	}
+	// Re-Put restarts as a first sighting (probation), not a ghost
+	// promotion.
+	s.Put(key(0), fakeValue{bytes: 10})
+	if st := s.Stats(); st.Admission.GhostPromotions != 0 || st.Admission.ProbationEntries != 1 {
+		t.Fatalf("post-delete re-insert must restart probation: %+v", st.Admission)
+	}
+}
+
+// TestAdaptiveFlipAgnosticToChurnOrigin: the adaptive controller must
+// make the identical flip decision whether one-shot churn reaches it as
+// byte-pressure evictions or as TTL expirations — the two stores below
+// see the same admission decisions, differing only in how the admitted
+// entries die.
+func TestAdaptiveFlipAgnosticToChurnOrigin(t *testing.T) {
+	// Eviction-churn store: tiny budget, no TTL.
+	evict := New(Options{MaxBytes: 100, Policy: NewPolicyAdaptive(64, 0, 8)})
+	// Expiry-churn store: roomy budget, entries die of idleness between
+	// decisions instead.
+	now := time.Unix(1000, 0)
+	expire := New(Options{
+		MaxBytes: 1 << 20, TTL: time.Minute,
+		Policy: NewPolicyAdaptive(64, time.Minute, 8),
+		now:    func() time.Time { return now },
+	})
+	for i := 0; i < 16; i++ {
+		evict.Put(key(i), fakeValue{bytes: 40}) // 2 fit: steady eviction churn
+		expire.Put(key(i), fakeValue{bytes: 40})
+		now = now.Add(2 * time.Minute) // the entry idles out before the next decision
+		expire.Sweep()
+	}
+	es, xs := evict.Stats().Admission, expire.Stats().Admission
+	if es.Mode != ModeConservative || es.PolicyFlips != 1 {
+		t.Fatalf("eviction churn must flip to conservative: %+v", es)
+	}
+	if xs.Mode != es.Mode || xs.PolicyFlips != es.PolicyFlips {
+		t.Fatalf("expiry churn decided differently: eviction=%+v expiry=%+v", es, xs)
+	}
+}
+
+// TestPolicy2QGhostStaleReap: ghosts whose sighting fell out of the
+// window are dropped proactively on the next admission-path access, so
+// the bounded list holds live sightings — not a scan flood's residue —
+// and its occupancy metric reflects keys that can still earn admission.
+func TestPolicy2QGhostStaleReap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 1000, TTL: time.Minute,
+		Policy: NewPolicy2Q(8, time.Minute),
+		now:    func() time.Time { return now },
+	})
+	for i := 0; i < 8; i++ { // fill the ghost list
+		s.Put(key(i), fakeValue{bytes: 1})
+	}
+	if st := s.Stats(); st.Admission.GhostEntries != 8 {
+		t.Fatalf("precondition: %+v", st.Admission)
+	}
+	now = now.Add(2 * time.Minute) // every sighting is now out of window
+	s.Put(key(100), fakeValue{bytes: 1})
+	if st := s.Stats(); st.Admission.GhostEntries != 1 {
+		t.Fatalf("stale ghosts must be reaped on access, have %d live, want 1", st.Admission.GhostEntries)
+	}
+	// The reaped sightings are really gone (first-sighting semantics
+	// again), while the fresh one admits.
+	if s.Put(key(0), fakeValue{bytes: 1}) {
+		t.Fatal("reaped sighting must not admit")
+	}
+	if !s.Put(key(100), fakeValue{bytes: 1}) {
+		t.Fatal("live sighting must admit")
+	}
+}
+
+// TestSweepBatchesLargeExpiry: a sweep far larger than one batch must
+// still expire everything exactly once and drain the accounting.
+func TestSweepBatchesLargeExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Options{
+		MaxBytes: 1 << 20, TTL: time.Minute,
+		Policy: NewPolicyA1(2048, time.Minute, 1<<18),
+		now:    func() time.Time { return now },
+	})
+	const n = 3*sweepBatchSize + 17
+	for i := 0; i < n; i++ {
+		if !s.Put(key(i), fakeValue{bytes: 8}) {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	now = now.Add(2 * time.Minute)
+	if got := s.Sweep(); got != n {
+		t.Fatalf("Sweep expired %d entries, want %d", got, n)
+	}
+	st := s.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Expirations != n {
+		t.Fatalf("store not drained: %+v", st)
+	}
+	if st.Kinds["prefill"].Entries != 0 || st.Kinds["prefill"].Bytes != 0 {
+		t.Fatalf("per-kind accounting not drained: %+v", st.Kinds)
+	}
+}
+
+// slowExpirePolicy delays every OnExpire, inflating each sweep batch's
+// lock hold so the latency test below can tell "lock released between
+// batches" from "lock held for the whole sweep".
+type slowExpirePolicy struct {
+	Policy
+	delay time.Duration
+}
+
+func (p slowExpirePolicy) OnExpire(k Key, seg Segment, hit bool, now time.Time) {
+	time.Sleep(p.delay)
+	p.Policy.OnExpire(k, seg, hit, now)
+}
+
+// TestSweepLatencyBound: while a janitor sweeps a large fully-expired
+// cache, concurrent Gets must only ever wait out one bounded batch, not
+// the whole sweep — the regression this guards is Sweep holding the
+// store mutex across its entire scan.
+func TestSweepLatencyBound(t *testing.T) {
+	const perEntry = 200 * time.Microsecond
+	s := New(Options{
+		MaxBytes: 1 << 20,
+		TTL:      time.Nanosecond, // everything expires immediately
+		Policy:   slowExpirePolicy{Policy: NewPolicyLRU(), delay: perEntry},
+	})
+	const n = 6 * sweepBatchSize
+	for i := 0; i < n; i++ {
+		s.Put(key(i), fakeValue{bytes: 8})
+	}
+	time.Sleep(time.Millisecond)
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		s.Sweep()
+		done <- time.Since(start)
+	}()
+	var maxGet time.Duration
+	for {
+		select {
+		case sweepTook := <-done:
+			// The sweep must have been slow enough for the bound to mean
+			// anything (6 batches × 128 entries × 200µs ≈ 150ms), and no
+			// Get may have waited anywhere near the whole sweep. The
+			// generous fraction absorbs scheduler noise on slow CI.
+			if sweepTook < 100*time.Millisecond {
+				t.Skipf("sweep too fast (%v) for a meaningful latency bound", sweepTook)
+			}
+			if maxGet > sweepTook/2 {
+				t.Fatalf("a Get stalled %v behind a %v sweep — batches are not releasing the lock",
+					maxGet, sweepTook)
+			}
+			t.Logf("sweep %v, max concurrent Get %v", sweepTook, maxGet)
+			return
+		default:
+			start := time.Now()
+			s.Get(key(1_000_000)) // plain miss; still takes the store mutex
+			if d := time.Since(start); d > maxGet {
+				maxGet = d
+			}
+		}
+	}
+}
+
+// TestExpiryAdmissionRace races TTL expiry (lazy and swept) against the
+// full per-kind A1 admission machinery; run under -race this proves the
+// OnExpire path and the per-kind accounting hold up on the serving hot
+// path.
+func TestExpiryAdmissionRace(t *testing.T) {
+	pol := NewPolicyPerKind([]Kind{KindPrefill, KindSealed},
+		func(Kind) Policy { return NewPolicyA1(128, 50*time.Microsecond, 256) })
+	s := New(Options{
+		MaxBytes: 1 << 20,
+		TTL:      50 * time.Microsecond,
+		Policy:   pol,
+		Kinds:    map[Kind]KindBudget{KindSealed: {MaxBytes: 1 << 19, ProbationPct: 25}},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kind := KindPrefill
+			if g%2 == 0 {
+				kind = KindSealed
+			}
+			for i := 0; i < 400; i++ {
+				k := kindKey(kind, i%16)
+				switch g % 3 {
+				case 0:
+					s.Put(k, fakeValue{bytes: 32})
+				case 1:
+					if _, ok := s.Get(k); !ok {
+						s.Put(k, fakeValue{bytes: 32})
+					}
+				default:
+					if i%32 == 0 {
+						s.Sweep()
+						s.Stats()
+					} else {
+						s.Get(k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	time.Sleep(time.Millisecond)
+	s.Sweep()
+	st := s.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("accounting did not drain after final sweep: %+v", st)
+	}
+	for kind, ks := range st.Kinds {
+		if ks.Entries != 0 || ks.Bytes != 0 || ks.ProbationEntries != 0 || ks.ProbationBytes != 0 {
+			t.Fatalf("kind %s accounting did not drain: %+v", kind, ks)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package sessioncache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func kindKey(kind Kind, i int) Key {
+	return Key{Fingerprint: "fp", Kind: kind, Hash: fmt.Sprintf("%s-%d", kind, i)}
+}
+
+// TestKindBudgetsIsolateEviction: a kind with a dedicated sub-budget
+// evicts only against itself — pressure on the sealed shard can never
+// displace prefill entries, and a sealed value is capped by the sealed
+// sub-budget, not the total.
+func TestKindBudgetsIsolateEviction(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Kinds: map[Kind]KindBudget{
+		KindSealed: {MaxBytes: 40},
+	}})
+	if !s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 50}) {
+		t.Fatal("prefill value must fit the 60-byte remainder shard")
+	}
+	s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 30})
+	if !s.Put(kindKey(KindSealed, 1), fakeValue{bytes: 30}) {
+		t.Fatal("second sealed value must be admitted (evicting the first)")
+	}
+	if _, ok := s.Get(kindKey(KindSealed, 0)); ok {
+		t.Fatal("sealed shard pressure must evict the sealed LRU")
+	}
+	if _, ok := s.Get(kindKey(KindPrefill, 0)); !ok {
+		t.Fatal("sealed pressure must never evict a prefill entry")
+	}
+	// A sealed value over the 40-byte sub-budget is refused even though
+	// the total budget would hold it.
+	if s.Put(kindKey(KindSealed, 2), fakeValue{bytes: 50}) {
+		t.Fatal("sealed value exceeding the sealed sub-budget must be refused")
+	}
+	st := s.Stats()
+	sealed, prefill := st.Kinds["sealed"], st.Kinds["prefill"]
+	if !sealed.Dedicated || sealed.MaxBytes != 40 || sealed.Entries != 1 || sealed.Bytes != 30 {
+		t.Fatalf("sealed kind stats: %+v", sealed)
+	}
+	if prefill.Dedicated || prefill.MaxBytes != 60 || prefill.Entries != 1 || prefill.Bytes != 50 {
+		t.Fatalf("prefill kind stats: %+v", prefill)
+	}
+	if st.Bytes != 80 || st.MaxBytes != 100 {
+		t.Fatalf("totals: %+v", st)
+	}
+}
+
+// TestKindBudgetsClampDeterministic: sub-budgets summing past MaxBytes
+// are clamped in kind-name order, so a misconfiguration degrades
+// deterministically instead of by map iteration order.
+func TestKindBudgetsClampDeterministic(t *testing.T) {
+	s := New(Options{MaxBytes: 100, Kinds: map[Kind]KindBudget{
+		KindPrefill: {MaxBytes: 80},
+		KindSealed:  {MaxBytes: 80},
+	}})
+	st := s.Stats()
+	// "prefill" < "sealed": prefill keeps its 80, sealed is clamped to
+	// the 20 remaining, the shared shard gets 0.
+	if st.Kinds["prefill"].MaxBytes != 80 || st.Kinds["sealed"].MaxBytes != 20 {
+		t.Fatalf("clamped budgets: %+v", st.Kinds)
+	}
+	// A dedicated kind outside the serving pair reports its sub-budget
+	// from New on — an operator can confirm a split took effect before
+	// any entry of that kind arrives.
+	other := New(Options{MaxBytes: 100, Kinds: map[Kind]KindBudget{"other": {MaxBytes: 30}}})
+	ks, ok := other.Stats().Kinds["other"]
+	if !ok || !ks.Dedicated || ks.MaxBytes != 30 || ks.Entries != 0 {
+		t.Fatalf("empty dedicated kind must still report its budget: %+v (present=%v)", ks, ok)
+	}
+	// A kind with no sub-budget lands on the now-empty shared shard and
+	// cannot cache anything.
+	if s.Put(Key{Fingerprint: "fp", Kind: "other", Hash: "x"}, fakeValue{bytes: 1}) {
+		t.Fatal("shared shard with zero budget must refuse sized values")
+	}
+}
+
+// TestKindAccountingWithoutSplit: per-kind occupancy is tracked (and
+// surfaced in Stats.Kinds) even when both kinds share one budget.
+func TestKindAccountingWithoutSplit(t *testing.T) {
+	s := New(Options{MaxBytes: 100})
+	s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 30})
+	s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 10})
+	s.Put(kindKey(KindSealed, 1), fakeValue{bytes: 10})
+	st := s.Stats()
+	prefill, sealed := st.Kinds["prefill"], st.Kinds["sealed"]
+	if prefill.Entries != 1 || prefill.Bytes != 30 || prefill.Dedicated {
+		t.Fatalf("prefill accounting: %+v", prefill)
+	}
+	if sealed.Entries != 2 || sealed.Bytes != 20 || sealed.Dedicated {
+		t.Fatalf("sealed accounting: %+v", sealed)
+	}
+	// Both kinds report the shared budget as their cap.
+	if prefill.MaxBytes != 100 || sealed.MaxBytes != 100 {
+		t.Fatalf("shared caps: %+v", st.Kinds)
+	}
+	if sealed.Admission != nil {
+		t.Fatalf("kind-blind policy must not report per-kind admission: %+v", sealed)
+	}
+	// Accounting follows removals too.
+	s.Delete(kindKey(KindSealed, 0))
+	if st := s.Stats(); st.Kinds["sealed"].Entries != 1 || st.Kinds["sealed"].Bytes != 10 {
+		t.Fatalf("sealed accounting after delete: %+v", st.Kinds["sealed"])
+	}
+}
+
+// TestPerKindGhostIsolation: with a PolicyPerKind router each kind owns
+// a ghost list, so a sealed scan flood cannot push a prefill sighting
+// off the bound — under a shared list the same flood would purge it and
+// the prefill key would have to start over.
+func TestPerKindGhostIsolation(t *testing.T) {
+	pol := NewPolicyPerKind([]Kind{KindPrefill, KindSealed},
+		func(Kind) Policy { return NewPolicy2Q(4, 0) })
+	s := New(Options{MaxBytes: 1000, Policy: pol})
+	s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 10}) // prefill sighting
+	for i := 0; i < 50; i++ {                            // 50 sealed rejections: would purge a shared 4-entry list
+		s.Put(kindKey(KindSealed, i), fakeValue{bytes: 10})
+	}
+	if !s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 10}) {
+		t.Fatal("prefill sighting must survive the sealed flood and admit")
+	}
+	st := s.Stats()
+	pa, sa := st.Kinds["prefill"].Admission, st.Kinds["sealed"].Admission
+	if pa == nil || sa == nil {
+		t.Fatalf("per-kind admission blocks missing: %+v", st.Kinds)
+	}
+	if pa.GhostPromotions != 1 || pa.ScanRejections != 1 || pa.GhostEntries != 0 {
+		t.Fatalf("prefill admission: %+v", pa)
+	}
+	if sa.ScanRejections != 50 || sa.GhostEntries != 4 || sa.GhostLimit != 4 {
+		t.Fatalf("sealed admission: %+v", sa)
+	}
+	// The aggregate block sums the kinds (plus the idle fallback).
+	if st.Admission.ScanRejections != 51 || st.Admission.GhostEntries != 4 {
+		t.Fatalf("aggregate admission: %+v", st.Admission)
+	}
+}
+
+// TestPerKindAdaptiveWindows: per-kind adaptive controllers keep
+// separate decision windows and modes — sealed one-shot churn flips the
+// sealed mode only, so builders keep admit-everything semantics.
+func TestPerKindAdaptiveWindows(t *testing.T) {
+	pol := NewPolicyPerKind([]Kind{KindPrefill, KindSealed},
+		func(Kind) Policy { return NewPolicyAdaptive(64, 0, 8) })
+	s := New(Options{
+		MaxBytes: 200,
+		Policy:   pol,
+		Kinds:    map[Kind]KindBudget{KindSealed: {MaxBytes: 100}},
+	})
+	for i := 0; i < 16; i++ { // sealed one-shot churn: 40-byte entries, 2 fit
+		s.Put(kindKey(KindSealed, i), fakeValue{bytes: 40})
+	}
+	st := s.Stats()
+	sa, pa := st.Kinds["sealed"].Admission, st.Kinds["prefill"].Admission
+	if sa.Mode != ModeConservative || sa.PolicyFlips != 1 {
+		t.Fatalf("sealed churn must flip the sealed controller: %+v", sa)
+	}
+	if pa.Mode != ModePermissive || pa.PolicyFlips != 0 {
+		t.Fatalf("seal churn must not flip the prefill mode: %+v", pa)
+	}
+	if st.Admission.Mode != "mixed" || st.Admission.PolicyFlips != 1 {
+		t.Fatalf("aggregate mode: %+v", st.Admission)
+	}
+	// The builders really do keep permissive semantics: a first-sighting
+	// prefill Put is admitted while sealed ones are rejected.
+	if !s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 40}) {
+		t.Fatal("prefill first sighting must still be admitted")
+	}
+	if s.Put(kindKey(KindSealed, 99), fakeValue{bytes: 40}) {
+		t.Fatal("sealed first sighting must be rejected after the flip")
+	}
+	// Once prefill churns too and both controllers agree, the aggregate
+	// mode must read the shared label — the idle fallback inner (which
+	// serves no kind here and can never flip) must not drag agreeing
+	// controllers to "mixed".
+	for i := 100; i < 120; i++ {
+		s.Put(kindKey(KindPrefill, i), fakeValue{bytes: 40})
+	}
+	st = s.Stats()
+	if st.Kinds["prefill"].Admission.Mode != ModeConservative {
+		t.Fatalf("prefill churn must flip the prefill controller: %+v", st.Kinds["prefill"].Admission)
+	}
+	if st.Admission.Mode != ModeConservative {
+		t.Fatalf("agreeing controllers must surface their shared mode, not %q", st.Admission.Mode)
+	}
+}
+
+// TestPerKindProbationPools: under per-kind A1 every kind trials first
+// sightings against its own probation carve-out — sealed washouts churn
+// the sealed pool without touching prefill trials, and each shard's cap
+// comes from its KindBudget.ProbationPct.
+func TestPerKindProbationPools(t *testing.T) {
+	pol := NewPolicyPerKind([]Kind{KindPrefill, KindSealed},
+		func(Kind) Policy { return NewPolicyA1(16, 0, 10) })
+	s := New(Options{
+		MaxBytes: 200,
+		Policy:   pol,
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 100, ProbationPct: 20}, // 20-byte trial pool
+			KindPrefill: {MaxBytes: 100, ProbationPct: 40}, // 40-byte trial pool
+		},
+	})
+	st := s.Stats()
+	if st.Kinds["sealed"].ProbationCapBytes != 20 || st.Kinds["prefill"].ProbationCapBytes != 40 {
+		t.Fatalf("per-kind probation caps: %+v", st.Kinds)
+	}
+	if !s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 30}) {
+		t.Fatal("30-byte prefill trial must fit the 40-byte prefill pool")
+	}
+	if s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 30}) {
+		t.Fatal("30-byte sealed value must be ghost-only against the 20-byte sealed pool")
+	}
+	s.Put(kindKey(KindSealed, 1), fakeValue{bytes: 15})
+	s.Put(kindKey(KindSealed, 2), fakeValue{bytes: 15}) // washes sealed-1 out of the sealed pool
+	st = s.Stats()
+	if st.Kinds["prefill"].ProbationEntries != 1 || st.Kinds["prefill"].ProbationBytes != 30 {
+		t.Fatalf("sealed churn touched the prefill trial pool: %+v", st.Kinds["prefill"])
+	}
+	if st.Kinds["sealed"].ProbationEntries != 1 ||
+		st.Kinds["sealed"].Admission.ScanRejections != 2 { // oversize ghost + washout
+		t.Fatalf("sealed trial pool bookkeeping: %+v", st.Kinds["sealed"])
+	}
+	if _, ok := s.Get(kindKey(KindPrefill, 0)); !ok {
+		t.Fatal("prefill trial entry lost")
+	}
+	if st := s.Stats(); st.Kinds["prefill"].Admission.SegmentPromotions != 0 {
+		// SegmentPromotions is store-counted and not per-kind; the
+		// per-kind block carries the policy counters only.
+		t.Fatalf("per-kind segment promotions should stay zero: %+v", st.Kinds["prefill"].Admission)
+	}
+}
+
+// TestPerKindConcurrent hammers a per-kind store (split budgets, routed
+// a1 policies, TTL) from many goroutines; run under -race this is the
+// kind-aware store's thread-safety proof.
+func TestPerKindConcurrent(t *testing.T) {
+	pol := NewPolicyPerKind([]Kind{KindPrefill, KindSealed},
+		func(Kind) Policy { return NewPolicyA1(64, time.Minute, 64) })
+	s := New(Options{
+		MaxBytes: 2 << 10,
+		TTL:      time.Minute,
+		Policy:   pol,
+		Kinds:    map[Kind]KindBudget{KindSealed: {MaxBytes: 1 << 10, ProbationPct: 25}},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kind := KindPrefill
+			if g%2 == 0 {
+				kind = KindSealed
+			}
+			for i := 0; i < 300; i++ {
+				k := kindKey(kind, (g+i)%24)
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, fakeValue{bytes: 64})
+				}
+				if i%100 == 0 {
+					s.Stats()
+					s.Sweep()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Bytes > 2<<10 {
+		t.Fatalf("budget exceeded: %d", st.Bytes)
+	}
+	if st.Kinds["sealed"].Bytes > 1<<10 || st.Kinds["prefill"].Bytes > 1<<10 {
+		t.Fatalf("a sub-budget was exceeded: %+v", st.Kinds)
+	}
+}

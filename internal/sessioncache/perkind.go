@@ -1,0 +1,123 @@
+package sessioncache
+
+import (
+	"sort"
+	"time"
+)
+
+// PolicyPerKind routes every admission decision to a per-kind inner
+// policy, so artifact kinds cannot pollute each other's admission
+// state: each kind gets its own ghost list (a sealed-cache scan flood
+// cannot push prefill sightings off the bound), its own probation cap
+// negotiation, and — with adaptive inners — its own decision window and
+// mode, so seal churn can never flip the builder mode or vice versa.
+//
+// The router is the admission-side complement of the store's per-kind
+// byte shards (Options.Kinds): configure both with the same kind set.
+// Keys of a kind the router was not configured with fall through to a
+// shared fallback inner policy, mirroring the store's shared shard.
+//
+// Like every Policy, a router (and its inners) is driven under one
+// store's mutex and must not be shared between stores.
+type PolicyPerKind struct {
+	inner    map[Kind]Policy
+	fallback Policy
+}
+
+// NewPolicyPerKind builds a router with one dedicated inner policy per
+// listed kind plus a fallback for every other kind. make is invoked once
+// per kind (and once with "" for the fallback) and must return a fresh
+// policy each call — inners are never shared.
+func NewPolicyPerKind(kinds []Kind, make func(Kind) Policy) *PolicyPerKind {
+	p := &PolicyPerKind{inner: map[Kind]Policy{}, fallback: make("")}
+	for _, k := range kinds {
+		p.inner[k] = make(k)
+	}
+	return p
+}
+
+// policyFor returns the inner policy owning a kind's admission state.
+func (p *PolicyPerKind) policyFor(kind Kind) Policy {
+	if in, ok := p.inner[kind]; ok {
+		return in
+	}
+	return p.fallback
+}
+
+// Name returns the fallback inner's label — the router is transparent in
+// the policy name (the per-kind split shows up in Stats().Kinds).
+func (p *PolicyPerKind) Name() string { return p.fallback.Name() }
+
+// Admit routes to the key's kind policy.
+func (p *PolicyPerKind) Admit(k Key, bytes int64, now time.Time) (Segment, bool) {
+	return p.policyFor(k.Kind).Admit(k, bytes, now)
+}
+
+// OnHit routes to the key's kind policy.
+func (p *PolicyPerKind) OnHit(k Key, seg Segment, now time.Time) Segment {
+	return p.policyFor(k.Kind).OnHit(k, seg, now)
+}
+
+// OnMiss routes to the key's kind policy.
+func (p *PolicyPerKind) OnMiss(k Key, now time.Time) {
+	p.policyFor(k.Kind).OnMiss(k, now)
+}
+
+// OnEvict routes to the key's kind policy.
+func (p *PolicyPerKind) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
+	p.policyFor(k.Kind).OnEvict(k, seg, hit, now)
+}
+
+// OnExpire routes to the key's kind policy.
+func (p *PolicyPerKind) OnExpire(k Key, seg Segment, hit bool, now time.Time) {
+	p.policyFor(k.Kind).OnExpire(k, seg, hit, now)
+}
+
+// ProbationCap routes the shard negotiation to the kind's inner policy,
+// so each kind's shard cap is clamped and remembered by exactly the
+// policy that will enforce it in Admit.
+func (p *PolicyPerKind) ProbationCap(kind Kind, maxBytes, want int64) int64 {
+	return p.policyFor(kind).ProbationCap(kind, maxBytes, want)
+}
+
+// Stats aggregates the inner policies' counters (sums) under the
+// fallback's label and reports each dedicated kind's own block in
+// Kinds. Mode is the dedicated inners' shared mode label when they
+// agree and "mixed" when adaptive inners have diverged — the per-kind
+// blocks carry the individual modes. The fallback's mode only speaks
+// when there is no dedicated adaptive inner: it serves kinds outside
+// the configured set, so with a matching store shard config it is idle
+// and its never-flipping mode must not drag agreeing controllers to
+// "mixed".
+func (p *PolicyPerKind) Stats() AdmissionStats {
+	fb := p.fallback.Stats()
+	agg := fb
+	agg.Mode = ""
+	kinds := make([]Kind, 0, len(p.inner))
+	for k := range p.inner {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	agg.Kinds = make(map[string]AdmissionStats, len(kinds))
+	for _, k := range kinds {
+		st := p.inner[k].Stats()
+		agg.Kinds[string(k)] = st
+		agg.ProbationHits += st.ProbationHits
+		agg.GhostPromotions += st.GhostPromotions
+		agg.ScanRejections += st.ScanRejections
+		agg.PolicyFlips += st.PolicyFlips
+		agg.GhostEntries += st.GhostEntries
+		agg.GhostLimit += st.GhostLimit
+		if st.Mode != "" && st.Mode != agg.Mode {
+			if agg.Mode == "" {
+				agg.Mode = st.Mode
+			} else {
+				agg.Mode = "mixed"
+			}
+		}
+	}
+	if agg.Mode == "" {
+		agg.Mode = fb.Mode
+	}
+	return agg
+}

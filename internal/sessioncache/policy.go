@@ -8,10 +8,10 @@ import (
 )
 
 // Segment identifies the residency class of an admitted entry. The store
-// keeps one LRU list per segment: SegmentProtected is the main cache
-// (budget MaxBytes minus the probation cap), SegmentProbation is the
-// small A1in trial segment a full-2Q policy admits first sightings into.
-// Policies with no probation segment place everything in
+// keeps one LRU list per segment (per shard): SegmentProtected is the
+// main cache (shard budget minus the probation cap), SegmentProbation is
+// the small A1in trial segment a full-2Q policy admits first sightings
+// into. Policies with no probation segment place everything in
 // SegmentProtected.
 type Segment int
 
@@ -36,7 +36,9 @@ func (s Segment) String() string {
 // stays strict LRU within each segment over that segment's byte budget
 // (that part is the Store's job); the policy only answers "does this key
 // deserve residency yet, and in which segment?" — which is what makes
-// the store scan-resistant or not.
+// the store scan-resistant or not. Every callback receives the full Key,
+// so a policy may route on Key.Kind (see PolicyPerKind) and keep
+// separate admission state per artifact kind.
 //
 // The Store calls every method with its own mutex held, so
 // implementations need no internal locking — but a Policy used standalone
@@ -54,9 +56,9 @@ type Policy interface {
 	// caller's Put reports false); the policy may remember the sighting
 	// so a repeat Put is admitted. now is the store's clock reading.
 	// The store only calls Admit for values that fit the protected
-	// segment's budget, and a policy must not route a value to the
-	// probation segment unless it fits the probation cap — so an
-	// admitted value always fits its segment.
+	// budget of the key's shard, and a policy must not route a value to
+	// the probation segment unless it fits that shard's probation cap —
+	// so an admitted value always fits its segment.
 	Admit(k Key, bytes int64, now time.Time) (seg Segment, ok bool)
 	// OnHit observes a Get hit (or a Put replacing a resident key) on a
 	// key resident in seg, and returns the segment the entry should now
@@ -76,17 +78,35 @@ type Policy interface {
 	// the victim so a still-warm key that lost an eviction race is
 	// readmitted on its next sighting instead of starting over.
 	OnEvict(k Key, seg Segment, hit bool, now time.Time)
-	// ProbationCap is called once by the store at New with its byte
-	// budget and returns the probation segment's carve-out; 0 means the
-	// policy uses no probation segment. The cap must not exceed
-	// maxBytes/2 (clamp and remember the clamped value — the returned
-	// cap is the one Admit must enforce), so the store and the policy
-	// can never disagree on what fits probation, and anything that fits
-	// probation always fits the protected segment too.
-	ProbationCap(maxBytes int64) int64
+	// OnExpire observes k leaving seg by TTL expiry (the lazy expiry in
+	// Get, or Sweep) — the idle analogue of OnEvict with the same
+	// arguments. A 2Q-style policy treats it exactly like an eviction:
+	// a probation entry that expires without re-reference is a washout
+	// (counted as a scan rejection and ghosted) just as if byte
+	// pressure had evicted it, so TTL-heavy traffic cannot hide
+	// admission pain from an adaptive controller.
+	//
+	// Manual Store.Delete is deliberately NOT reported through this (or
+	// any) callback: the caller invalidated the value, so the key earns
+	// neither a ghost re-sighting nor a washout count.
+	OnExpire(k Key, seg Segment, hit bool, now time.Time)
+	// ProbationCap is called once per shard by the store at New, with
+	// the shard's kind ("" for the shared shard), its byte budget, and
+	// the store's configured carve-out for it in bytes (want <= 0 when
+	// Options.Kinds specifies none — the policy then sizes the cap
+	// itself). It returns the probation carve-out the store reserves; 0
+	// means no probation segment for that shard. The cap must not
+	// exceed maxBytes/2 (clamp and remember the clamped value per kind —
+	// the returned cap is the one Admit must enforce for that kind's
+	// keys), so the store and the policy can never disagree on what
+	// fits probation, and anything that fits probation always fits the
+	// protected segment too. A policy with no probation machinery
+	// (lru, ghost-only 2q, adaptive) returns 0 regardless of want.
+	ProbationCap(kind Kind, maxBytes, want int64) int64
 	// Stats snapshots the policy's admission counters. The store overlays
 	// the segment-occupancy fields (and the promotion counter), which
-	// only it can know.
+	// only it can know, and redistributes the per-kind breakdown (Kinds)
+	// into its own per-kind stats blocks.
 	Stats() AdmissionStats
 }
 
@@ -98,12 +118,19 @@ type AdmissionStats struct {
 	// Policy is the policy label ("lru", "2q", "a1" or "adaptive").
 	Policy string `json:"policy"`
 	// Mode is the adaptive controller's current mode ("permissive" or
-	// "conservative"); empty for the static policies.
+	// "conservative"); empty for the static policies. Under a per-kind
+	// router whose kinds disagree it reads "mixed" — the per-kind
+	// blocks carry the individual modes.
 	Mode string `json:"mode,omitempty"`
 	// ProbationHits counts re-references that found the key on
 	// probation: for ghost-only 2Q, Get misses on ghosted keys (requests
 	// that would have been hits had the key been admitted); for A1, Get
-	// hits served from the probation byte segment.
+	// hits served from the probation byte segment. A lazy-expiry Get
+	// counts too (the expiry re-ghosts the key, and the same Get then
+	// misses on that ghost) — deliberately, mirroring the evict-then-
+	// miss sequence it compresses into one call; only the reject-origin
+	// slice feeds adaptive decisions, so this never reads as admission
+	// pain.
 	ProbationHits int64 `json:"probation_hits"`
 	// GhostPromotions counts admissions earned by a remembered sighting
 	// (the key was on the ghost list and went straight to the protected
@@ -115,8 +142,8 @@ type AdmissionStats struct {
 	SegmentPromotions int64 `json:"segment_promotions"`
 	// ScanRejections counts sightings judged scan-like: Puts declined
 	// with only the key remembered (ghost-only 2Q, or an A1 value too
-	// big for the probation cap), plus probation entries evicted without
-	// ever being re-referenced (A1 washouts).
+	// big for the probation cap), plus probation entries evicted — or
+	// TTL-expired — without ever being re-referenced (A1 washouts).
 	ScanRejections int64 `json:"scan_rejections"`
 	// PolicyFlips counts adaptive mode changes (always 0 for the static
 	// policies).
@@ -126,12 +153,19 @@ type AdmissionStats struct {
 	GhostEntries int `json:"ghost_entries"`
 	GhostLimit   int `json:"ghost_limit"`
 	// Segment occupancy (filled by the store): current entry counts and
-	// byte totals per segment, plus the probation segment's byte cap.
+	// byte totals per segment, plus the probation byte cap (summed over
+	// shards).
 	ProbationEntries  int   `json:"probation_entries"`
 	ProbationBytes    int64 `json:"probation_bytes"`
 	ProbationCapBytes int64 `json:"probation_cap_bytes"`
 	ProtectedEntries  int   `json:"protected_entries"`
 	ProtectedBytes    int64 `json:"protected_bytes"`
+	// Kinds is the per-kind admission breakdown a routing policy
+	// (PolicyPerKind) reports; nil for kind-blind policies. The store's
+	// Stats moves these blocks into its own per-kind stats, so the
+	// field is populated only on a Policy.Stats read, never through
+	// Store.Stats.
+	Kinds map[string]AdmissionStats `json:"kinds,omitempty"`
 }
 
 // PolicyLRU is the PR-2 behavior: every Put is admitted straight to the
@@ -157,8 +191,11 @@ func (*PolicyLRU) OnMiss(Key, time.Time) {}
 // OnEvict is a no-op.
 func (*PolicyLRU) OnEvict(Key, Segment, bool, time.Time) {}
 
-// ProbationCap reports 0: LRU has no probation segment.
-func (*PolicyLRU) ProbationCap(int64) int64 { return 0 }
+// OnExpire is a no-op.
+func (*PolicyLRU) OnExpire(Key, Segment, bool, time.Time) {}
+
+// ProbationCap reports 0 for every shard: LRU has no probation segment.
+func (*PolicyLRU) ProbationCap(Kind, int64, int64) int64 { return 0 }
 
 // Stats reports zero counters under the "lru" label.
 func (*PolicyLRU) Stats() AdmissionStats { return AdmissionStats{Policy: "lru"} }
@@ -184,20 +221,26 @@ const DefaultGhostEntries = 1024
 // after all, but only into a small byte-budgeted probation segment (the
 // A1in queue), so even a one-shot key can hit within a burst. A
 // re-reference while on probation promotes the entry to the protected
-// segment (the store performs the move); a probation entry evicted
-// without re-reference was a scan and its key falls through to the ghost
-// list, from where a later sighting readmits straight to protected. A
-// value too large for the probation cap cannot be trialled byte-wise and
-// falls back to ghost-only admission.
+// segment (the store performs the move); a probation entry evicted — or
+// TTL-expired — without re-reference was a scan and its key falls
+// through to the ghost list, from where a later sighting readmits
+// straight to protected. A value too large for the probation cap cannot
+// be trialled byte-wise and falls back to ghost-only admission. The
+// probation cap is negotiated per shard kind through ProbationCap, so a
+// store with per-kind budgets trials each kind against its own cap.
 //
 // In both modes, keys evicted from the protected segment under byte
-// pressure are re-ghosted, so a warm key squeezed out by other warm
-// traffic is readmitted on its next single sighting.
+// pressure (or expired idle) are re-ghosted, so a warm key squeezed out
+// by other warm traffic is readmitted on its next single sighting. The
+// ghost list proactively drops sightings older than the window: a scan
+// flood's dead ghosts cannot linger at the bound's expense once they can
+// no longer earn an admission.
 type Policy2Q struct {
 	name    string
 	limit   int
-	window  time.Duration // max gap between sightings; <= 0 means unbounded
-	probCap int64         // probation-segment byte budget; 0 = ghost-only
+	window  time.Duration  // max gap between sightings; <= 0 means unbounded
+	probCap int64          // configured probation byte budget; 0 = ghost-only
+	caps    map[Kind]int64 // per-shard clamped caps negotiated at store New
 
 	ll     *list.List // front = most recent sighting; values are *ghost
 	ghosts map[Key]*list.Element
@@ -220,7 +263,7 @@ type ghost struct {
 	key  Key
 	seen time.Time
 	// rejected records the ghost's origin: true for a declined Put,
-	// false for an eviction re-ghost.
+	// false for an eviction/expiry re-ghost.
 	rejected bool
 }
 
@@ -236,8 +279,9 @@ func NewPolicy2Q(ghostEntries int, window time.Duration) *Policy2Q {
 
 // NewPolicyA1 builds the full A1in/A1out policy: like NewPolicy2Q, plus
 // first sightings are admitted into a probation segment of up to
-// probationBytes (must be > 0 and less than the owning store's MaxBytes;
-// the store carves it out of the main budget).
+// probationBytes (must be > 0 and less than the owning store's budget;
+// the store carves it out per shard, and a per-kind KindBudget's
+// ProbationPct overrides this figure for that kind's shard).
 func NewPolicyA1(ghostEntries int, window time.Duration, probationBytes int64) *Policy2Q {
 	if probationBytes < 0 {
 		probationBytes = 0
@@ -254,6 +298,7 @@ func newPolicy2Q(name string, ghostEntries int, window time.Duration, probCap in
 		limit:   ghostEntries,
 		window:  window,
 		probCap: probCap,
+		caps:    make(map[Kind]int64),
 		ll:      list.New(),
 		ghosts:  make(map[Key]*list.Element),
 	}
@@ -262,25 +307,38 @@ func newPolicy2Q(name string, ghostEntries int, window time.Duration, probCap in
 // Name returns "2q" (ghost-only) or "a1" (full A1in/A1out).
 func (p *Policy2Q) Name() string { return p.name }
 
+// capFor returns the probation cap governing a kind's keys: the cap
+// negotiated for its dedicated shard, else the shared shard's, else the
+// constructor figure (a policy driven without a store attach).
+func (p *Policy2Q) capFor(kind Kind) int64 {
+	if c, ok := p.caps[kind]; ok {
+		return c
+	}
+	if c, ok := p.caps[""]; ok {
+		return c
+	}
+	return p.probCap
+}
+
 // Admit promotes a key sighted within the window straight to the
 // protected segment; a first sighting is admitted to probation when the
-// value can fit the probation cap, and ghosted otherwise. See the type
-// comment for the full protocol.
+// value can fit its shard's probation cap, and ghosted otherwise. See
+// the type comment for the full protocol.
 func (p *Policy2Q) Admit(k Key, bytes int64, now time.Time) (Segment, bool) {
+	p.reapStale(now)
 	if el, ok := p.ghosts[k]; ok {
+		// reapStale just dropped every out-of-window sighting, so a
+		// surviving ghost is in-window by construction: promote.
 		g := el.Value.(*ghost)
 		p.ll.Remove(el)
 		delete(p.ghosts, k)
-		if p.window <= 0 || now.Sub(g.seen) <= p.window {
-			p.promotions.Inc()
-			if g.rejected {
-				p.rejPromotions.Inc()
-			}
-			return SegmentProtected, true
+		p.promotions.Inc()
+		if g.rejected {
+			p.rejPromotions.Inc()
 		}
-		// The earlier sighting is stale; treat this one as the first.
+		return SegmentProtected, true
 	}
-	if p.probCap > 0 && bytes <= p.probCap {
+	if cap := p.capFor(k.Kind); cap > 0 && bytes <= cap {
 		// First sighting, A1 mode: trial residency in the probation
 		// segment instead of a bytes-free ghost. The resident entry
 		// itself is the sighting record, so no ghost is added.
@@ -292,13 +350,35 @@ func (p *Policy2Q) Admit(k Key, bytes int64, now time.Time) (Segment, bool) {
 }
 
 // addGhost records a sighting for a key with no ghost entry, trimming
-// the list to its bound (oldest sightings forgotten first).
+// the list to its bound (oldest sightings forgotten first). Stale
+// sightings are reaped before the bound applies, so the limit bounds
+// live sightings — ones that could still earn an admission — rather
+// than a scan flood's dead residue.
 func (p *Policy2Q) addGhost(k Key, now time.Time, rejected bool) {
+	p.reapStale(now)
 	p.ghosts[k] = p.ll.PushFront(&ghost{key: k, seen: now, rejected: rejected})
 	for p.ll.Len() > p.limit {
 		lru := p.ll.Back()
 		delete(p.ghosts, lru.Value.(*ghost).key)
 		p.ll.Remove(lru)
+	}
+}
+
+// reapStale drops ghosts whose sighting fell out of the window. The list
+// is ordered by sighting time (the store's clock is monotonic across
+// calls), so only dead tail entries plus one live sentinel are touched —
+// O(dropped), not O(list).
+func (p *Policy2Q) reapStale(now time.Time) {
+	if p.window <= 0 {
+		return
+	}
+	for el := p.ll.Back(); el != nil; el = p.ll.Back() {
+		g := el.Value.(*ghost)
+		if now.Sub(g.seen) <= p.window {
+			break
+		}
+		delete(p.ghosts, g.key)
+		p.ll.Remove(el)
 	}
 }
 
@@ -332,6 +412,7 @@ func (p *Policy2Q) OnMiss(k Key, now time.Time) {
 func (p *Policy2Q) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
 	if el, ok := p.ghosts[k]; ok { // shouldn't happen (resident ⇒ not ghosted)
 		p.ll.Remove(el)
+		delete(p.ghosts, k)
 	}
 	if seg == SegmentProbation && !hit {
 		p.rejections.Inc()
@@ -339,19 +420,36 @@ func (p *Policy2Q) OnEvict(k Key, seg Segment, hit bool, now time.Time) {
 	p.addGhost(k, now, false)
 }
 
-// ProbationCap returns the probation byte budget (0 in ghost-only
-// mode), clamping a configured cap above half the store's budget to
-// exactly half. The bound keeps the trial segment from dominating the
-// protected one and preserves the store's invariant that anything
-// fitting probation also fits protected — without it, values sized
-// between the two caps would be rejected before the policy ever saw
-// them. The clamped value is remembered: Admit enforces the same cap
-// the store carves out.
-func (p *Policy2Q) ProbationCap(maxBytes int64) int64 {
-	if p.probCap > maxBytes/2 {
-		p.probCap = maxBytes / 2
+// OnExpire treats TTL expiry exactly like a byte-pressure eviction: a
+// never-re-referenced probation entry that merely expired is still a
+// washout (counted as a scan rejection), and the key is re-ghosted so
+// traffic returning right after the idle horizon readmits on one
+// sighting. Without this, TTL-heavy streams would wash trials out
+// invisibly and under-report admission pain.
+func (p *Policy2Q) OnExpire(k Key, seg Segment, hit bool, now time.Time) {
+	p.OnEvict(k, seg, hit, now)
+}
+
+// ProbationCap negotiates one shard's probation carve-out (see the
+// Policy contract): ghost-only mode always reports 0; A1 mode takes the
+// store's configured carve-out when given (want > 0) and its own
+// constructor figure otherwise, clamps to half the shard budget so the
+// protected segment always dominates and anything fitting probation also
+// fits protected, and remembers the clamped value per kind — Admit then
+// enforces exactly the cap the store carves out for that kind's shard.
+func (p *Policy2Q) ProbationCap(kind Kind, maxBytes, want int64) int64 {
+	if p.probCap <= 0 {
+		return 0
 	}
-	return p.probCap
+	c := p.probCap
+	if want > 0 {
+		c = want
+	}
+	if c > maxBytes/2 {
+		c = maxBytes / 2
+	}
+	p.caps[kind] = c
+	return c
 }
 
 // Stats snapshots the admission counters and ghost occupancy.

@@ -24,8 +24,20 @@
 // promotes them on re-reference, and PolicyAdaptive flips between
 // admit-everything and second-sighting admission by watching the
 // workload. The store keeps one LRU list per segment; the probation
-// segment's byte cap is carved out of MaxBytes, so the total budget is
+// segment's byte cap is carved out of the budget, so the total budget is
 // never exceeded.
+//
+// The budget can be split per artifact Kind (Options.Kinds): a kind with
+// a KindBudget gets a dedicated shard — its own byte sub-budget, its own
+// probation carve-out and its own LRU lists, carved out of MaxBytes —
+// while kinds without one share the remainder shard. Sealed caches are
+// typically several times smaller than prefill builders; a dedicated
+// sealed shard stops a handful of builders from monopolizing the budget
+// (and the probation trial space) that dozens of cheap seal trials could
+// use. The store additionally keeps per-kind occupancy accounting
+// (entries/bytes per kind, resident and on probation) whether or not the
+// budget is split, surfaced in Stats.Kinds. With a PolicyPerKind router
+// the admission state (ghost lists, adaptive windows) is per-kind too.
 //
 // Ownership: a Store is shared state, safe for concurrent use from any
 // number of goroutines; all methods lock internally. Values handed out by
@@ -37,6 +49,7 @@ package sessioncache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"time"
 
@@ -73,12 +86,31 @@ type Key struct {
 	Hash string
 }
 
+// KindBudget dedicates a byte sub-budget to one artifact kind. Dedicated
+// kinds get their own shard: their own LRU lists, byte cap and probation
+// carve-out, so another kind's traffic can never evict them.
+type KindBudget struct {
+	// MaxBytes is the kind's sub-budget in bytes, carved out of
+	// Options.MaxBytes (the remainder is the shared shard for kinds
+	// without a budget). Entries with MaxBytes <= 0 are ignored; if the
+	// budgets sum past MaxBytes the excess is clamped off in kind-name
+	// order so the carve-outs never exceed the total.
+	MaxBytes int64
+	// ProbationPct is the kind's probation carve-out in percent of its
+	// MaxBytes, overriding the policy's own sizing for this shard. It
+	// only takes effect under a probation-capable policy (NewPolicyA1) —
+	// a ghost-only or LRU policy has no probation segment to size — and
+	// is clamped to at most half the sub-budget. <= 0 defers to the
+	// policy.
+	ProbationPct float64
+}
+
 // Options configures a Store. The zero value is usable: 256 MiB budget,
 // no TTL.
 type Options struct {
 	// MaxBytes is the eviction budget in bytes summed over all entries of
-	// both segments (<= 0 selects 256 MiB). A single value larger than
-	// its target segment's budget is not admitted at all.
+	// all shards and segments (<= 0 selects 256 MiB). A single value
+	// larger than its target segment's budget is not admitted at all.
 	MaxBytes int64
 	// TTL is the idle lifetime of an entry; an entry untouched (no Get or
 	// Put) for longer is expired on the next access. Zero disables
@@ -87,10 +119,13 @@ type Options struct {
 	// Policy is the admission policy; nil selects PolicyLRU (admit
 	// everything). The store takes ownership: the policy must not be
 	// shared with another store or called directly afterwards. A policy
-	// with a probation segment (Policy.ProbationCap > 0) has that cap
-	// carved out of MaxBytes; a cap at or beyond MaxBytes is clamped to
-	// half the budget so the protected segment always exists.
+	// with a probation segment has its per-shard cap negotiated through
+	// Policy.ProbationCap at New; a cap at or beyond a shard's budget is
+	// clamped to half so the protected segment always exists.
 	Policy Policy
+	// Kinds optionally splits MaxBytes into per-kind sub-budgets; nil or
+	// empty keeps the single shared budget (the historical behavior).
+	Kinds map[Kind]KindBudget
 
 	// now overrides the clock in tests; nil means time.Now.
 	now func() time.Time
@@ -102,7 +137,7 @@ const DefaultMaxBytes = 256 << 20
 // Stats is a point-in-time snapshot of the store's counters and
 // occupancy. Counter fields are monotonic event totals since creation;
 // Entries/Bytes/MaxBytes describe current state (Bytes and MaxBytes in
-// bytes, summed over both segments).
+// bytes, summed over all shards).
 type Stats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
@@ -113,9 +148,37 @@ type Stats struct {
 	Bytes       int64 `json:"bytes"`
 	MaxBytes    int64 `json:"max_bytes"`
 	// Admission is the admission policy's counter block plus the store's
-	// segment occupancy (all zeros under PolicyLRU apart from the label
-	// and the protected occupancy).
+	// segment occupancy summed over all shards (all zeros under
+	// PolicyLRU apart from the label and the protected occupancy). Its
+	// per-kind breakdown, if the policy keeps one, is redistributed into
+	// Kinds.
 	Admission AdmissionStats `json:"admission"`
+	// Kinds is the per-kind occupancy (and, for dedicated kinds, budget)
+	// breakdown. The serving kinds (prefill, sealed) are always present;
+	// other kinds appear once they hold entries or have a dedicated
+	// sub-budget.
+	Kinds map[string]KindStats `json:"kinds"`
+}
+
+// KindStats describes one artifact kind's occupancy, budget and — when
+// the policy keeps per-kind admission state — admission counters.
+type KindStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the byte cap governing this kind: its dedicated
+	// sub-budget, or the shared shard's budget when it has none.
+	MaxBytes int64 `json:"max_bytes"`
+	// Dedicated reports whether the kind has its own sub-budget (and so
+	// its own LRU and probation carve-out).
+	Dedicated bool `json:"dedicated"`
+	// Probation occupancy of this kind's entries and the probation cap
+	// of the shard the kind lives in.
+	ProbationEntries  int   `json:"probation_entries"`
+	ProbationBytes    int64 `json:"probation_bytes"`
+	ProbationCapBytes int64 `json:"probation_cap_bytes"`
+	// Admission is the kind's own admission counter block when the
+	// policy routes per kind (PolicyPerKind); nil otherwise.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 type entry struct {
@@ -123,22 +186,77 @@ type entry struct {
 	value    Sized
 	bytes    int64
 	lastUsed time.Time
+	sh       *shard
 	seg      Segment
 	hit      bool // re-referenced (Get or replacing Put) while resident
 }
 
-// Store is the byte-accounted, segment-aware LRU. See the package
-// comment for the ownership rules.
-type Store struct {
-	mu      sync.Mutex
-	opts    Options
-	policy  Policy
-	probCap int64      // probation budget, carved out of MaxBytes
-	ll      *list.List // protected segment; front = most recently used
-	prob    *list.List // probation segment; front = most recently used
-	items   map[Key]*list.Element
+// shard is one byte-budgeted slice of the store: the shared remainder
+// ("" kind) or a kind's dedicated sub-budget. Each shard has its own
+// protected and probation LRU lists; both are ordered by last use (front
+// = most recently used), which Sweep relies on to stop at the first
+// unexpired entry.
+type shard struct {
+	kind    Kind  // "" for the shared shard
+	max     int64 // the shard's byte budget
+	probCap int64 // probation carve-out, out of max
+	ll      *list.List
+	prob    *list.List
 	bytes   int64 // both segments
 	prBytes int64 // probation segment only
+}
+
+func newShard(kind Kind, max, probCap int64) *shard {
+	return &shard{kind: kind, max: max, probCap: probCap, ll: list.New(), prob: list.New()}
+}
+
+// listOf returns the LRU list backing a segment.
+func (sh *shard) listOf(seg Segment) *list.List {
+	if seg == SegmentProbation {
+		return sh.prob
+	}
+	return sh.ll
+}
+
+// capOf returns a segment's byte budget. The caps are disjoint: the
+// probation cap is carved out of the shard budget, so their sum is the
+// shard's total and the store can never exceed it.
+func (sh *shard) capOf(seg Segment) int64 {
+	if seg == SegmentProbation {
+		return sh.probCap
+	}
+	return sh.max - sh.probCap
+}
+
+// segBytes returns a segment's current resident byte total.
+func (sh *shard) segBytes(seg Segment) int64 {
+	if seg == SegmentProbation {
+		return sh.prBytes
+	}
+	return sh.bytes - sh.prBytes
+}
+
+// kindAcct is the store's per-kind occupancy accounting, kept whether or
+// not the kind has a dedicated shard.
+type kindAcct struct {
+	entries     int
+	bytes       int64
+	probEntries int
+	probBytes   int64
+}
+
+// Store is the byte-accounted, shard- and segment-aware LRU. See the
+// package comment for the ownership rules.
+type Store struct {
+	mu        sync.Mutex
+	opts      Options
+	policy    Policy
+	shared    *shard
+	dedicated map[Kind]*shard
+	ordered   []*shard // dedicated shards in kind order, then shared
+	items     map[Key]*list.Element
+	bytes     int64 // all shards
+	acct      map[Kind]*kindAcct
 
 	hits        metrics.Counter
 	misses      metrics.Counter
@@ -159,57 +277,94 @@ func New(opts Options) *Store {
 	if opts.Policy == nil {
 		opts.Policy = NewPolicyLRU()
 	}
-	// The policy clamps its own cap against the budget and remembers
-	// the result, so store and policy always agree on what fits the
-	// probation segment.
-	probCap := opts.Policy.ProbationCap(opts.MaxBytes)
-	if probCap < 0 {
-		probCap = 0
+	s := &Store{
+		opts:      opts,
+		policy:    opts.Policy,
+		dedicated: make(map[Kind]*shard),
+		items:     make(map[Key]*list.Element),
+		acct:      map[Kind]*kindAcct{KindPrefill: {}, KindSealed: {}},
 	}
-	return &Store{
-		opts:    opts,
-		policy:  opts.Policy,
-		probCap: probCap,
-		ll:      list.New(),
-		prob:    list.New(),
-		items:   make(map[Key]*list.Element),
+	// Dedicated shards first (sorted by kind so clamping an over-budget
+	// configuration is deterministic), the remainder is the shared shard.
+	kinds := make([]Kind, 0, len(opts.Kinds))
+	for k, b := range opts.Kinds {
+		if b.MaxBytes > 0 {
+			kinds = append(kinds, k)
+		}
 	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	remaining := opts.MaxBytes
+	for _, k := range kinds {
+		b := opts.Kinds[k]
+		max := b.MaxBytes
+		if max > remaining {
+			max = remaining
+		}
+		remaining -= max
+		sh := newShard(k, max, s.negotiateProbCap(k, max, b.ProbationPct))
+		s.dedicated[k] = sh
+		s.ordered = append(s.ordered, sh)
+		s.acctOf(k) // dedicated kinds report in Stats.Kinds from day one
+	}
+	s.shared = newShard("", remaining, s.negotiateProbCap("", remaining, 0))
+	s.ordered = append(s.ordered, s.shared)
+	return s
 }
 
-// MaxBytes returns the configured byte budget.
+// negotiateProbCap asks the policy for a shard's probation carve-out.
+// The policy clamps the cap against the shard budget and remembers the
+// result, so store and policy always agree on what fits probation.
+func (s *Store) negotiateProbCap(kind Kind, max int64, pct float64) int64 {
+	want := int64(0)
+	if pct > 0 {
+		want = int64(float64(max) * pct / 100)
+	}
+	cap := s.policy.ProbationCap(kind, max, want)
+	if cap < 0 {
+		cap = 0
+	}
+	return cap
+}
+
+// MaxBytes returns the configured byte budget (all shards).
 func (s *Store) MaxBytes() int64 { return s.opts.MaxBytes }
 
-// listOf returns the LRU list backing a segment.
-func (s *Store) listOf(seg Segment) *list.List {
-	if seg == SegmentProbation {
-		return s.prob
+// shardOf returns the shard holding entries of a kind: its dedicated
+// shard if it has one, the shared shard otherwise.
+func (s *Store) shardOf(kind Kind) *shard {
+	if sh, ok := s.dedicated[kind]; ok {
+		return sh
 	}
-	return s.ll
+	return s.shared
 }
 
-// capOf returns a segment's byte budget. The caps are disjoint: the
-// probation cap is carved out of MaxBytes, so their sum is the total
-// budget and the store can never exceed it.
-func (s *Store) capOf(seg Segment) int64 {
-	if seg == SegmentProbation {
-		return s.probCap
+// shards returns every shard, dedicated ones first in kind order — the
+// deterministic iteration Sweep and Stats use. The set is fixed at New.
+func (s *Store) shards() []*shard { return s.ordered }
+
+// acctOf returns (creating if needed) a kind's occupancy account.
+func (s *Store) acctOf(kind Kind) *kindAcct {
+	a, ok := s.acct[kind]
+	if !ok {
+		a = &kindAcct{}
+		s.acct[kind] = a
 	}
-	return s.opts.MaxBytes - s.probCap
+	return a
 }
 
 // Get returns the value under k, bumping its recency and refreshing its
 // TTL. The second result is false on miss (including a TTL expiry, which
-// counts as both an expiration and a miss). A hit on a probation entry
-// may promote it to the protected segment (the policy's call), which can
-// evict protected LRU entries to make room.
+// counts as both an expiration and a miss; the policy is notified via
+// OnExpire, then OnMiss). A hit on a probation entry may promote it to
+// the protected segment (the policy's call), which can evict protected
+// LRU entries to make room.
 func (s *Store) Get(k Key) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.opts.now()
 	el, ok := s.items[k]
 	if ok && s.expired(el.Value.(*entry), now) {
-		s.removeLocked(el)
-		s.expirations.Inc()
+		s.expireLocked(el, now)
 		ok = false
 	}
 	if !ok {
@@ -220,41 +375,46 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	e := el.Value.(*entry)
 	e.lastUsed = now
 	e.hit = true
-	s.listOf(e.seg).MoveToFront(el)
+	e.sh.listOf(e.seg).MoveToFront(el)
 	if seg := s.policy.OnHit(k, e.seg, now); seg != e.seg {
 		el = s.moveSegment(el, seg)
-		s.evictOver(seg, el, now)
+		s.evictOver(e.sh, seg, el, now)
 	}
 	s.hits.Inc()
 	return e.value, true
 }
 
-// moveSegment transfers an entry between segment lists (as the MRU of
-// its new segment) and fixes the byte accounting, counting a promotion
-// when the move is probation -> protected.
+// moveSegment transfers an entry between its shard's segment lists (as
+// the MRU of its new segment) and fixes the byte accounting, counting a
+// promotion when the move is probation -> protected.
 func (s *Store) moveSegment(el *list.Element, seg Segment) *list.Element {
 	e := el.Value.(*entry)
-	s.listOf(e.seg).Remove(el)
+	a := s.acctOf(e.key.Kind)
+	e.sh.listOf(e.seg).Remove(el)
 	if e.seg == SegmentProbation {
-		s.prBytes -= e.bytes
+		e.sh.prBytes -= e.bytes
+		a.probEntries--
+		a.probBytes -= e.bytes
 		if seg == SegmentProtected {
 			s.promotions.Inc()
 		}
 	} else {
-		s.prBytes += e.bytes
+		e.sh.prBytes += e.bytes
+		a.probEntries++
+		a.probBytes += e.bytes
 	}
 	e.seg = seg
-	el = s.listOf(seg).PushFront(e)
+	el = e.sh.listOf(seg).PushFront(e)
 	s.items[e.key] = el
 	return el
 }
 
-// evictOver evicts LRU entries of seg until its byte budget holds,
-// never evicting keep (the entry whose insertion or promotion caused the
-// pressure).
-func (s *Store) evictOver(seg Segment, keep *list.Element, now time.Time) {
-	ll, budget := s.listOf(seg), s.capOf(seg)
-	for s.segBytes(seg) > budget {
+// evictOver evicts LRU entries of a shard's segment until its byte
+// budget holds, never evicting keep (the entry whose insertion or
+// promotion caused the pressure).
+func (s *Store) evictOver(sh *shard, seg Segment, keep *list.Element, now time.Time) {
+	ll, budget := sh.listOf(seg), sh.capOf(seg)
+	for sh.segBytes(seg) > budget {
 		lru := ll.Back()
 		if lru == nil || lru == keep {
 			break
@@ -266,14 +426,6 @@ func (s *Store) evictOver(seg Segment, keep *list.Element, now time.Time) {
 	}
 }
 
-// segBytes returns a segment's current resident byte total.
-func (s *Store) segBytes(seg Segment) int64 {
-	if seg == SegmentProbation {
-		return s.prBytes
-	}
-	return s.bytes - s.prBytes
-}
-
 // Put inserts (or replaces) the value under k and evicts least-recently
 // used entries of the target segment until its byte budget holds. A
 // value alone exceeding its target segment's budget is not stored, and a
@@ -283,29 +435,46 @@ func (s *Store) segBytes(seg Segment) int64 {
 // and counts as a re-reference for segment placement — unless the new
 // value no longer fits its target segment, in which case Put reports
 // false and the resident entry is kept. Replacement does not count as
-// an eviction.
+// an eviction. A resident entry already past its TTL is expired first
+// (through the policy, like Get and Sweep would) and the value then
+// faces Admit as a non-resident, so admission cannot depend on whether
+// a Get or a Put reaches a stale entry first.
 func (s *Store) Put(k Key, v Sized) bool {
 	bytes := v.SizeBytes()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if bytes > s.capOf(SegmentProtected) {
-		// Fits no segment (the probation cap never exceeds the
-		// protected one — ProbationCap clamps at half the budget):
-		// reject before the policy sees anything, so no sighting is
-		// ghosted, no ghost promotion is consumed, and no re-reference
-		// counter moves for a value that can never be stored.
+	sh := s.shardOf(k.Kind)
+	now := s.opts.now()
+	el, resident := s.items[k]
+	if resident && s.expired(el.Value.(*entry), now) {
+		// A TTL-stale resident is not a live re-reference: expire it
+		// through the policy (washout counting, re-ghosting) exactly as
+		// Get or Sweep would have, then make the value re-earn
+		// residency through Admit — so admission cannot depend on
+		// whether a Get or a Put reaches the stale entry first. This
+		// runs before the size pre-check below: the stale entry's fate
+		// must not depend on the replacement value's size either.
+		s.expireLocked(el, now)
+		resident = false
+	}
+	if bytes > sh.capOf(SegmentProtected) {
+		// Fits no segment of its shard (the probation cap never exceeds
+		// the protected one — ProbationCap clamps at half the shard
+		// budget): reject before the policy sees anything, so no
+		// sighting is ghosted, no ghost promotion is consumed, and no
+		// re-reference counter moves for a value that can never be
+		// stored.
 		return false
 	}
-	now := s.opts.now()
 	seg, hit := SegmentProtected, false
-	if el, ok := s.items[k]; ok {
+	if resident {
 		// Replacement is a re-reference: the policy gets the same
 		// promotion say it has on Get hits. The pre-check above
 		// guarantees the value fits the promotion target, so the
 		// resident entry is only removed once storage is assured.
 		e := el.Value.(*entry)
 		seg = s.policy.OnHit(k, e.seg, now)
-		if bytes > s.capOf(seg) {
+		if bytes > sh.capOf(seg) {
 			// Defensive: only reachable if a policy keeps an oversize
 			// replacement in probation; keep the resident entry.
 			return false
@@ -315,28 +484,42 @@ func (s *Store) Put(k Key, v Sized) bool {
 		}
 		s.removeLocked(el)
 		hit = true
-	} else if seg, ok = s.policy.Admit(k, bytes, now); !ok {
-		return false
-	} else if bytes > s.capOf(seg) {
-		// Defensive against a policy routing a value to a segment it
-		// cannot fit (a Policy contract violation); refuse rather than
-		// evict everything for an entry that still would not fit.
-		return false
+	} else {
+		var ok bool
+		if seg, ok = s.policy.Admit(k, bytes, now); !ok {
+			return false
+		}
+		if bytes > sh.capOf(seg) {
+			// Defensive against a policy routing a value to a segment
+			// it cannot fit (a Policy contract violation); refuse
+			// rather than evict everything for an entry that still
+			// would not fit.
+			return false
+		}
 	}
-	e := &entry{key: k, value: v, bytes: bytes, lastUsed: now, seg: seg, hit: hit}
-	el := s.listOf(seg).PushFront(e)
+	e := &entry{key: k, value: v, bytes: bytes, lastUsed: now, sh: sh, seg: seg, hit: hit}
+	el = sh.listOf(seg).PushFront(e)
 	s.items[k] = el
 	s.bytes += bytes
+	sh.bytes += bytes
+	a := s.acctOf(k.Kind)
+	a.entries++
+	a.bytes += bytes
 	if seg == SegmentProbation {
-		s.prBytes += bytes
+		sh.prBytes += bytes
+		a.probEntries++
+		a.probBytes += bytes
 	}
 	s.insertions.Inc()
-	s.evictOver(seg, el, now)
+	s.evictOver(sh, seg, el, now)
 	return true
 }
 
 // Delete removes the entry under k, reporting whether it existed. Manual
-// deletion counts as neither eviction nor expiration.
+// deletion counts as neither eviction nor expiration and is deliberately
+// silent toward the admission policy (see the Policy contract): the
+// caller invalidated the value, so its key must not be re-ghosted for
+// one-sighting readmission nor counted as admission pain.
 func (s *Store) Delete(k Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -347,36 +530,64 @@ func (s *Store) Delete(k Key) bool {
 	return ok
 }
 
+// sweepBatchSize bounds how many expired entries one Sweep lock hold may
+// remove, so a sweep over a large fully-expired cache cannot stall
+// concurrent serve-path Gets for the whole scan.
+const sweepBatchSize = 128
+
 // Sweep drops every TTL-expired entry now (Get/Put expire lazily; a
-// periodic Sweep bounds how long idle entries linger). It returns how
-// many entries were expired.
+// periodic Sweep bounds how long idle entries linger), notifying the
+// policy of each via OnExpire. It returns how many entries were expired.
+//
+// The store mutex is released and re-acquired between bounded batches of
+// removals, so concurrent Gets interleave with a large sweep instead of
+// stalling behind it; entries touched between batches are simply seen
+// with their refreshed recency.
 func (s *Store) Sweep() int {
+	n := 0
+	for {
+		removed, more := s.sweepBatch()
+		n += removed
+		if !more {
+			return n
+		}
+	}
+}
+
+// sweepBatch removes up to sweepBatchSize expired entries under one lock
+// hold, reporting whether another batch is (or may be) needed. Each LRU
+// list is ordered by last use, so scanning from the back touches only
+// expired entries plus one unexpired sentinel per list.
+func (s *Store) sweepBatch() (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.opts.now()
 	n := 0
-	for _, ll := range []*list.List{s.ll, s.prob} {
-		for el := ll.Back(); el != nil; {
-			prev := el.Prev()
-			if s.expired(el.Value.(*entry), now) {
-				s.removeLocked(el)
-				s.expirations.Inc()
+	for _, sh := range s.shards() {
+		for _, ll := range []*list.List{sh.ll, sh.prob} {
+			for el := ll.Back(); el != nil; el = ll.Back() {
+				if !s.expired(el.Value.(*entry), now) {
+					break
+				}
+				if n >= sweepBatchSize {
+					return n, true
+				}
+				s.expireLocked(el, now)
 				n++
 			}
-			el = prev
 		}
 	}
-	return n
+	return n, false
 }
 
-// Len returns the current number of entries (both segments).
+// Len returns the current number of entries (all shards).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.items)
 }
 
-// Bytes returns the current resident total in bytes (both segments).
+// Bytes returns the current resident total in bytes (all shards).
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -389,11 +600,36 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	adm := s.policy.Stats()
 	adm.SegmentPromotions = s.promotions.Load()
-	adm.ProbationEntries = s.prob.Len()
-	adm.ProbationBytes = s.prBytes
-	adm.ProbationCapBytes = s.probCap
-	adm.ProtectedEntries = s.ll.Len()
-	adm.ProtectedBytes = s.bytes - s.prBytes
+	for _, sh := range s.shards() {
+		adm.ProbationEntries += sh.prob.Len()
+		adm.ProbationBytes += sh.prBytes
+		adm.ProbationCapBytes += sh.probCap
+		adm.ProtectedEntries += sh.ll.Len()
+		adm.ProtectedBytes += sh.bytes - sh.prBytes
+	}
+	// Per-kind blocks: occupancy from the store's accounting, budget
+	// from the kind's shard, admission counters redistributed from the
+	// policy's per-kind breakdown (PolicyPerKind) when it keeps one.
+	perKindAdm := adm.Kinds
+	adm.Kinds = nil
+	kinds := make(map[string]KindStats, len(s.acct))
+	for kind, a := range s.acct {
+		sh := s.shardOf(kind)
+		ks := KindStats{
+			Entries:           a.entries,
+			Bytes:             a.bytes,
+			MaxBytes:          sh.max,
+			Dedicated:         sh != s.shared,
+			ProbationEntries:  a.probEntries,
+			ProbationBytes:    a.probBytes,
+			ProbationCapBytes: sh.probCap,
+		}
+		if ka, ok := perKindAdm[string(kind)]; ok {
+			ka := ka
+			ks.Admission = &ka
+		}
+		kinds[string(kind)] = ks
+	}
 	return Stats{
 		Hits:        s.hits.Load(),
 		Misses:      s.misses.Load(),
@@ -404,6 +640,7 @@ func (s *Store) Stats() Stats {
 		Bytes:       s.bytes,
 		MaxBytes:    s.opts.MaxBytes,
 		Admission:   adm,
+		Kinds:       kinds,
 	}
 }
 
@@ -411,12 +648,29 @@ func (s *Store) expired(e *entry, now time.Time) bool {
 	return s.opts.TTL > 0 && now.Sub(e.lastUsed) > s.opts.TTL
 }
 
+// expireLocked drops one TTL-expired entry, notifying the policy first
+// (OnExpire with the entry's segment and re-reference bit, exactly like
+// an eviction) so expiry-driven churn is as visible to admission as
+// byte-pressure churn. Callers hold s.mu.
+func (s *Store) expireLocked(el *list.Element, now time.Time) {
+	e := el.Value.(*entry)
+	s.policy.OnExpire(e.key, e.seg, e.hit, now)
+	s.removeLocked(el)
+	s.expirations.Inc()
+}
+
 func (s *Store) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
-	s.listOf(e.seg).Remove(el)
+	e.sh.listOf(e.seg).Remove(el)
 	delete(s.items, e.key)
 	s.bytes -= e.bytes
+	e.sh.bytes -= e.bytes
+	a := s.acctOf(e.key.Kind)
+	a.entries--
+	a.bytes -= e.bytes
 	if e.seg == SegmentProbation {
-		s.prBytes -= e.bytes
+		e.sh.prBytes -= e.bytes
+		a.probEntries--
+		a.probBytes -= e.bytes
 	}
 }

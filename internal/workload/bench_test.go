@@ -34,3 +34,33 @@ func BenchmarkPrefixCacheUnderScan(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMixedKindWorkload replays the seal-heavy mixed-kind stream
+// (high PlanChurn: many sealed plans per context) against the A1 cache
+// with the shared budget versus the per-kind split, reporting prefill
+// and sealed warm hit-rates — the observable value of dedicating a
+// sub-budget to cheap seal trials. Run with:
+//
+//	go test -bench MixedKindWorkload ./internal/workload -benchtime 1x
+func BenchmarkMixedKindWorkload(b *testing.B) {
+	p := phasePipeline(b)
+	reqs := sealHeavyStream(b, p)
+	for _, cfg := range []struct {
+		name      string
+		sealedPct float64
+	}{{"shared", 0}, {"split-45", 45}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var warm, seal float64
+			for i := 0; i < b.N; i++ {
+				rep, err := Replay(kindSoakCache(p, cfg.sealedPct), reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm, seal = rep.WarmHitRate(), rep.WarmSealHitRate()
+			}
+			b.ReportMetric(warm, "warm-hit-rate")
+			b.ReportMetric(seal, "sealed-warm-hit-rate")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(reqs))/1e6, "ms/req")
+		})
+	}
+}

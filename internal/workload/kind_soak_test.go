@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// sealHeavyStream is the mixed-kind acceptance workload: a few warm
+// contexts, each cycling through several distinct queries (PlanChurn —
+// every distinct query seals its own plan, so sealed entries outnumber
+// builders several-fold), plus a scan side-channel whose one-shot
+// builders apply probation pressure. At MaxSeq 384 a prefill builder is
+// ~144 KiB and a sealed cache ~31 KiB (~4.6x smaller), which is the
+// size asymmetry the per-kind budget split exists for.
+func sealHeavyStream(t testing.TB, p *cocktail.Pipeline) []Request {
+	t.Helper()
+	reqs, err := Generate(p, Options{
+		Seed: 11, Requests: 140, Sessions: 4, ZipfS: 1.3,
+		ScanFraction: 0.3, PlanChurn: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// kindSoakBudget is the shared total both configurations get: enough
+// for the builders plus a slice of the sealed working set, so what the
+// sealed hit-rate becomes is purely the budget split's doing.
+const kindSoakBudget = 1 << 20
+
+// kindSoakCache builds the A1 cache under test; sealedPct 0 is the
+// shared-budget baseline, > 0 dedicates that share (with its own
+// probation pool) to sealed entries.
+func kindSoakCache(p *cocktail.Pipeline, sealedPct float64) *cocktail.SessionCache {
+	return cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+		MaxBytes:           kindSoakBudget,
+		TTL:                time.Minute,
+		Policy:             cocktail.CachePolicyA1,
+		GhostEntries:       256,
+		ProbationPct:       20,
+		AdaptWindow:        16,
+		SealedPct:          sealedPct,
+		SealedProbationPct: 30,
+	})
+}
+
+// TestSoakPerKindSplit is the PR's acceptance proof: on the seal-heavy
+// mixed-kind stream, splitting the byte budget per kind (sealed caches
+// get their own sub-budget and probation pool) must hold strictly more
+// seal trials per byte than the shared split — a strictly higher sealed
+// warm hit-rate at the exact same total budget — while every output
+// stays byte-identical to the uncached path and both stores honor their
+// budgets.
+func TestSoakPerKindSplit(t *testing.T) {
+	p := phasePipeline(t)
+	reqs := sealHeavyStream(t, p)
+
+	shared := kindSoakCache(p, 0)
+	sharedRep, err := Replay(shared, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := kindSoakCache(p, 45)
+	splitRep, err := Replay(split, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sealed warm hit-rate: shared=%.3f (%d/%d) split=%.3f (%d/%d)",
+		sharedRep.WarmSealHitRate(), sharedRep.WarmSealHits, sharedRep.Warm,
+		splitRep.WarmSealHitRate(), splitRep.WarmSealHits, splitRep.Warm)
+	t.Logf("prefill warm hit-rate: shared=%.3f split=%.3f",
+		sharedRep.WarmHitRate(), splitRep.WarmHitRate())
+	t.Logf("shared kinds: %+v", shared.Stats().Kinds)
+	t.Logf("split kinds: %+v", split.Stats().Kinds)
+
+	// The stream must actually be seal-heavy: distinct warm
+	// (context, query) pairs — each sealing its own plan — outnumber
+	// the distinct warm contexts several-fold. (Residency counts can't
+	// prove this: under the shared budget builders squeeze the seals
+	// out, which is the very failure mode under test.)
+	warmCtxs, warmPlans := map[string]bool{}, map[string]bool{}
+	for _, r := range reqs {
+		if r.IsScan() {
+			continue
+		}
+		ctx := strings.Join(r.Context, "\x00")
+		warmCtxs[ctx] = true
+		warmPlans[ctx+"\x01"+strings.Join(r.Query, "\x00")] = true
+	}
+	if len(warmPlans) < 3*len(warmCtxs) {
+		t.Errorf("stream not seal-heavy: %d warm (context, query) pairs over %d contexts",
+			len(warmPlans), len(warmCtxs))
+	}
+	// The acceptance inequality: strictly more sealed reuse per byte
+	// under the per-kind split, at equal total budget.
+	if lo, hi := sharedRep.WarmSealHitRate(), splitRep.WarmSealHitRate(); hi <= lo {
+		t.Errorf("per-kind split sealed warm hit-rate %.3f not strictly above shared %.3f", hi, lo)
+	}
+
+	// Byte accounting: equal totals, both within budget, and the split
+	// store must honor each sub-budget too.
+	for name, sc := range map[string]*cocktail.SessionCache{"shared": shared, "split": split} {
+		st := sc.Stats()
+		if st.MaxBytes != kindSoakBudget || st.Bytes < 0 || st.Bytes > st.MaxBytes {
+			t.Errorf("%s: resident bytes %d outside [0, %d]", name, st.Bytes, st.MaxBytes)
+		}
+	}
+	st := split.Stats()
+	for kind, ks := range st.Kinds {
+		if !ks.Dedicated {
+			t.Errorf("split cache: kind %s has no dedicated sub-budget: %+v", kind, ks)
+		}
+		if ks.Bytes > ks.MaxBytes {
+			t.Errorf("split cache: kind %s bytes %d over its %d sub-budget", kind, ks.Bytes, ks.MaxBytes)
+		}
+		if ks.Admission == nil {
+			t.Errorf("split cache: kind %s missing per-kind admission block", kind)
+		}
+	}
+
+	// Byte-identical outputs: every request — cold, probation or cached,
+	// under either budget split — must match the uncached path.
+	cold := map[string]string{}
+	for i, r := range reqs {
+		if sharedRep.Outputs[i] != splitRep.Outputs[i] {
+			t.Fatalf("request %d: shared output %q != split output %q",
+				i, sharedRep.Outputs[i], splitRep.Outputs[i])
+		}
+		key := strings.Join(r.Context, "\x00") + "\x01" + strings.Join(r.Query, "\x00")
+		if _, done := cold[key]; done {
+			continue
+		}
+		res, err := p.Answer(r.Context, r.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[key] = strings.Join(res.Answer, " ")
+		if sharedRep.Outputs[i] != cold[key] {
+			t.Fatalf("request %d: cached output %q != uncached %q", i, sharedRep.Outputs[i], cold[key])
+		}
+	}
+}
+
+// TestPerKindDifferentialByteIdentical extends the differential
+// admission property to per-kind budgets: one seeded mixed-kind stream
+// through every policy, each with and without the budget split, must
+// produce answers byte-identical to the uncached path — a budget split
+// may only ever change *when* work is recomputed, never its result.
+func TestPerKindDifferentialByteIdentical(t *testing.T) {
+	p := phasePipeline(t)
+	reqs, err := Generate(p, Options{
+		Seed: 23, Requests: 40, Sessions: 3, ZipfS: 1.3,
+		ScanFraction: 0.4, PlanChurn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := Replay(p, reqs) // uncached ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPolicies {
+		for _, sealedPct := range []float64{0, 40} {
+			sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+				MaxBytes: 1 << 19, TTL: time.Minute, Policy: pol,
+				GhostEntries: 64, ProbationPct: 25, AdaptWindow: 8,
+				SealedPct: sealedPct, SealedProbationPct: 30})
+			rep, err := Replay(sc, reqs)
+			if err != nil {
+				t.Fatalf("%v/sealed-pct=%v replay: %v", pol, sealedPct, err)
+			}
+			for i := range reqs {
+				if rep.Outputs[i] != coldRep.Outputs[i] {
+					t.Fatalf("policy %v sealed-pct %v request %d: output %q != uncached %q",
+						pol, sealedPct, i, rep.Outputs[i], coldRep.Outputs[i])
+				}
+			}
+			if st := sc.Stats(); st.Bytes < 0 || st.Bytes > st.MaxBytes {
+				t.Fatalf("policy %v sealed-pct %v: resident bytes %d outside [0, %d]",
+					pol, sealedPct, st.Bytes, st.MaxBytes)
+			}
+		}
+	}
+}

@@ -15,6 +15,14 @@
 // assert that an adaptive admission policy tracks the best static
 // policy through every phase, not just on average.
 //
+// Streams can also be mixed-kind (Options/Phase.PlanChurn): each warm
+// session cycles through several distinct queries, and since Module I
+// is query-adaptive every distinct query seals its own quantization
+// plan — so sealed-cache pressure scales with PlanChurn independently
+// of context reuse. The replay report splits seal reuse (WarmSealHits)
+// from prefill reuse, which is what lets a test weigh per-kind cache
+// budgets against the shared budget on a seal-heavy stream.
+//
 // Everything is deterministic for a fixed Options value: contexts and
 // queries come from Pipeline.NewSample seeds derived from Options.Seed,
 // and the scan/reuse interleaving comes from a math/rand stream seeded
@@ -67,10 +75,24 @@ type Options struct {
 	// ScanFraction is the probability a request is a one-shot scan
 	// (< 0 selects 0.5; 0 is honored — an all-warm stream).
 	ScanFraction float64
+	// PlanChurn is the number of distinct queries each warm session
+	// cycles through (<= 0 selects 1 — the historical fixed
+	// context/query pair; at most MaxPlanChurn). Module I is
+	// query-adaptive, so distinct queries seal distinct quantization
+	// plans: raising PlanChurn multiplies the sealed-cache entries per
+	// warm context without adding contexts, which is how a stream
+	// applies sealed-kind cache pressure independently of context
+	// reuse. With PlanChurn 1 the stream is byte-identical to the
+	// pre-knob generator.
+	PlanChurn int
 	// Dataset names the Table I generator backing the contexts
 	// ("" selects Qasper).
 	Dataset string
 }
+
+// MaxPlanChurn bounds Options/Phase.PlanChurn so per-variant sample
+// seeds stay in their own lane of the seed space.
+const MaxPlanChurn = 4096
 
 func (o Options) withDefaults() Options {
 	if o.Requests <= 0 {
@@ -84,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScanFraction < 0 {
 		o.ScanFraction = 0.5
+	}
+	if o.PlanChurn <= 0 {
+		o.PlanChurn = 1
 	}
 	if o.Dataset == "" {
 		o.Dataset = "Qasper"
@@ -108,6 +133,10 @@ type Phase struct {
 	Sessions int
 	// ZipfS is the epoch's Zipf skew over its session pool.
 	ZipfS float64
+	// PlanChurn is the epoch's per-session query-variant count (<= 0
+	// inherits Options.PlanChurn). Session i's variant j is the same
+	// query in every epoch, so cross-epoch sealed reuse is observable.
+	PlanChurn int
 }
 
 // Generate builds a deterministic single-phase request stream over p's
@@ -120,6 +149,7 @@ func Generate(p *cocktail.Pipeline, opts Options) ([]Request, error) {
 		ScanFraction: opts.ScanFraction,
 		Sessions:     opts.Sessions,
 		ZipfS:        opts.ZipfS,
+		PlanChurn:    opts.PlanChurn,
 	}})
 }
 
@@ -159,13 +189,22 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 		if ph.ScanFraction > 1 {
 			return nil, fmt.Errorf("workload: phase %d: ScanFraction must be <= 1, have %v", i, ph.ScanFraction)
 		}
+		if ph.PlanChurn <= 0 {
+			ph.PlanChurn = opts.PlanChurn
+		}
+		if ph.PlanChurn > MaxPlanChurn {
+			return nil, fmt.Errorf("workload: phase %d: PlanChurn must be <= %d, have %d", i, MaxPlanChurn, ph.PlanChurn)
+		}
 		total += ph.Requests
 		if ph.Sessions > maxSessions {
 			maxSessions = ph.Sessions
 		}
 	}
 	// Sample seeds live in disjoint lanes off the stream seed so warm
-	// and scan contexts can never alias for a fixed Options.Seed.
+	// contexts, scan contexts and warm query variants can never alias
+	// for a fixed Options.Seed (the scan lane is bounded at 1e6
+	// samples — enforced below — so it cannot run into the variant
+	// lane).
 	base := opts.Seed * 0x9e3779b97f4a7c15
 	warm := make([]*cocktail.Sample, maxSessions)
 	for i := range warm {
@@ -175,6 +214,27 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 		}
 		warm[i] = s
 	}
+	// queryFor returns warm session i's variant-j query: variant 0 is
+	// the session's own query (PlanChurn 1 reproduces the historical
+	// stream byte-for-byte), higher variants are drawn lazily from a
+	// dedicated seed lane — same-dataset queries against a same-length
+	// context, so the sequence bound holds by construction. Memoized so
+	// every epoch replays identical variants.
+	variants := make(map[[2]int][]string)
+	queryFor := func(i, j int) ([]string, error) {
+		if j == 0 {
+			return warm[i].Query, nil
+		}
+		if q, ok := variants[[2]int{i, j}]; ok {
+			return q, nil
+		}
+		s, err := p.NewSample(opts.Dataset, base+2_000_000+uint64(i)*MaxPlanChurn+uint64(j))
+		if err != nil {
+			return nil, fmt.Errorf("workload: query variant %d/%d: %w", i, j, err)
+		}
+		variants[[2]int{i, j}] = s.Query
+		return s.Query, nil
+	}
 	rng := rand.New(rand.NewSource(int64(opts.Seed) + 1))
 	reqs := make([]Request, 0, total)
 	scans := uint64(0)
@@ -182,6 +242,12 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 		zipf := rand.NewZipf(rng, ph.ZipfS, 1, uint64(ph.Sessions-1))
 		for n := 0; n < ph.Requests; {
 			if rng.Float64() < ph.ScanFraction {
+				if scans >= 1_000_000 {
+					// The scan lane [1e6, 2e6) would run into the
+					// variant lane; enforce the lane bound instead of
+					// silently aliasing samples.
+					return nil, fmt.Errorf("workload: stream exceeds 1e6 scan samples")
+				}
 				s, err := p.NewSample(opts.Dataset, base+1_000_000+scans)
 				if err != nil {
 					return nil, fmt.Errorf("workload: scan sample %d: %w", scans, err)
@@ -192,7 +258,18 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 				continue
 			}
 			i := int(zipf.Uint64())
-			reqs = append(reqs, Request{Session: i, Epoch: e, Context: warm[i].Context, Query: warm[i].Query})
+			j := 0
+			if ph.PlanChurn > 1 {
+				// Only churning phases draw a variant, so PlanChurn 1
+				// leaves the RNG stream — and thus the whole request
+				// interleaving — untouched.
+				j = rng.Intn(ph.PlanChurn)
+			}
+			q, err := queryFor(i, j)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, Request{Session: i, Epoch: e, Context: warm[i].Context, Query: q})
 			n++
 		}
 	}
@@ -213,6 +290,7 @@ type EpochReport struct {
 	Epoch                            int
 	Requests, Warm, Scans            int
 	WarmPrefillHits, ScanPrefillHits int
+	WarmSealHits, ScanSealHits       int
 }
 
 // WarmHitRate is the epoch's fraction of warm requests served from
@@ -222,6 +300,15 @@ func (e *EpochReport) WarmHitRate() float64 {
 		return 0
 	}
 	return float64(e.WarmPrefillHits) / float64(e.Warm)
+}
+
+// WarmSealHitRate is the epoch's fraction of warm requests whose Answer
+// reused a sealed cache instead of re-quantizing.
+func (e *EpochReport) WarmSealHitRate() float64 {
+	if e.Warm == 0 {
+		return 0
+	}
+	return float64(e.WarmSealHits) / float64(e.Warm)
 }
 
 // Report aggregates one replay. Outputs is index-aligned with the
@@ -234,6 +321,11 @@ type Report struct {
 	// when distinct scan contexts collide, which the generator avoids,
 	// or when a scan repeats while trialled in a probation segment).
 	WarmPrefillHits, ScanPrefillHits int
+	// WarmSealHits counts warm requests whose Answer reused a sealed
+	// cache (plan memo or shared store) instead of re-quantizing —
+	// sealed-kind reuse, which PlanChurn pressures independently of
+	// context reuse; ScanSealHits the same for scans.
+	WarmSealHits, ScanSealHits int
 	// Epochs[e] aggregates the requests of epoch e.
 	Epochs []EpochReport
 	// Outputs[i] is request i's space-joined answer.
@@ -247,6 +339,15 @@ func (r *Report) WarmHitRate() float64 {
 		return 0
 	}
 	return float64(r.WarmPrefillHits) / float64(r.Warm)
+}
+
+// WarmSealHitRate is the fraction of warm requests whose Answer reused
+// a sealed cache — the quantity a dedicated sealed sub-budget protects.
+func (r *Report) WarmSealHitRate() float64 {
+	if r.Warm == 0 {
+		return 0
+	}
+	return float64(r.WarmSealHits) / float64(r.Warm)
 }
 
 // Replay drives every request through c in stream order and reports
@@ -269,6 +370,7 @@ func ReplayParallel(c Prefiller, reqs []Request, workers int) (*Report, error) {
 func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 	outputs := make([]string, len(reqs))
 	hits := make([]bool, len(reqs))
+	seals := make([]bool, len(reqs))
 	err := parallel.ForEach(workers, len(reqs), func(i int) error {
 		s, err := c.Prefill(reqs[i].Context)
 		if err != nil {
@@ -279,6 +381,7 @@ func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 		if err != nil {
 			return fmt.Errorf("workload: request %d answer: %w", i, err)
 		}
+		seals[i] = s.CachedSeal()
 		outputs[i] = strings.Join(res.Answer, " ")
 		return nil
 	})
@@ -306,12 +409,20 @@ func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 				rep.ScanPrefillHits++
 				ep.ScanPrefillHits++
 			}
+			if seals[i] {
+				rep.ScanSealHits++
+				ep.ScanSealHits++
+			}
 		} else {
 			rep.Warm++
 			ep.Warm++
 			if hits[i] {
 				rep.WarmPrefillHits++
 				ep.WarmPrefillHits++
+			}
+			if seals[i] {
+				rep.WarmSealHits++
+				ep.WarmSealHits++
 			}
 		}
 	}

@@ -96,6 +96,109 @@ func TestGenerateRejectsBadOptions(t *testing.T) {
 	if _, err := Generate(p, Options{ScanFraction: 1.5}); err == nil {
 		t.Fatal("ScanFraction > 1 must be rejected")
 	}
+	if _, err := Generate(p, Options{PlanChurn: MaxPlanChurn + 1}); err == nil {
+		t.Fatal("PlanChurn beyond MaxPlanChurn must be rejected")
+	}
+}
+
+// TestGeneratePlanChurn: the plan-churn knob varies warm *queries* (and
+// so sealed plans) without touching warm contexts — per-session query
+// variants are drawn from a bounded pool, stable across the stream, and
+// by default (PlanChurn 1) each session keeps its single historical
+// query.
+func TestGeneratePlanChurn(t *testing.T) {
+	p := soakPipeline(t)
+	base := Options{Seed: 42, Requests: 96, Sessions: 3, ScanFraction: 0.25}
+
+	single, err := Generate(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := Generate(p, Options{
+		Seed: base.Seed, Requests: base.Requests, Sessions: base.Sessions,
+		ScanFraction: base.ScanFraction, PlanChurn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(p, Options{
+		Seed: base.Seed, Requests: base.Requests, Sessions: base.Sessions,
+		ScanFraction: base.ScanFraction, PlanChurn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := func(reqs []Request) map[int]map[string]bool {
+		per := map[int]map[string]bool{}
+		for i, r := range reqs {
+			if r.IsScan() {
+				continue
+			}
+			if per[r.Session] == nil {
+				per[r.Session] = map[string]bool{}
+			}
+			per[r.Session][strings.Join(r.Query, " ")] = true
+			// Context stays pinned to the session regardless of churn.
+			if i > 0 && !r.IsScan() {
+				for _, o := range reqs[:i] {
+					if o.Session == r.Session && strings.Join(o.Context, " ") != strings.Join(r.Context, " ") {
+						t.Fatalf("session %d context changed under churn", r.Session)
+					}
+				}
+			}
+		}
+		return per
+	}
+	for s, qs := range queries(single) {
+		if len(qs) != 1 {
+			t.Fatalf("PlanChurn 1: session %d has %d distinct queries, want 1", s, len(qs))
+		}
+	}
+	churnedQs := queries(churned)
+	multi := 0
+	for s, qs := range churnedQs {
+		if len(qs) > 4 {
+			t.Fatalf("session %d has %d distinct queries, want <= PlanChurn", s, len(qs))
+		}
+		if len(qs) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("PlanChurn 4 produced no session with multiple queries")
+	}
+	// Equal seeds give byte-identical churned streams.
+	for i := range churned {
+		if strings.Join(churned[i].Query, " ") != strings.Join(again[i].Query, " ") ||
+			strings.Join(churned[i].Context, " ") != strings.Join(again[i].Context, " ") {
+			t.Fatalf("request %d differs between equal-seed churned streams", i)
+		}
+	}
+	// Variant pools are shared across epochs: a two-phase stream with
+	// the same churn draws session queries from the same pool, so
+	// cross-epoch sealed reuse stays observable.
+	phased, err := GeneratePhases(p, Options{Seed: base.Seed, Sessions: 3, PlanChurn: 4},
+		[]Phase{{Requests: 48, ScanFraction: 0}, {Requests: 48, ScanFraction: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := map[int]map[string]bool{}
+	for _, r := range phased[:48] {
+		if pool[r.Session] == nil {
+			pool[r.Session] = map[string]bool{}
+		}
+		pool[r.Session][strings.Join(r.Query, " ")] = true
+	}
+	for _, r := range phased[48:] {
+		// Epoch 1 may only replay epoch-0 variants or unseen pool
+		// variants — never a query outside the 4-variant pool; checked
+		// via the pool bound above plus determinism. Here: variants per
+		// session across both epochs still bounded by PlanChurn.
+		pool[r.Session][strings.Join(r.Query, " ")] = true
+	}
+	for s, qs := range pool {
+		if len(qs) > 4 {
+			t.Fatalf("session %d drew %d variants across epochs, want <= 4", s, len(qs))
+		}
+	}
 }
 
 // TestReplayColdBaseline: replaying against the bare pipeline hits

@@ -99,6 +99,7 @@ type Session struct {
 	lastSealed *kvcache.Cache
 
 	prefillHit bool
+	sealHit    bool
 }
 
 // Prefill runs the prefill stage over context (all words must come from
@@ -162,6 +163,13 @@ func (s *Session) SizeBytes() int64 { return s.builder.SizeBytes() }
 // SessionCache hit rather than a fresh prefill run.
 func (s *Session) CachedPrefill() bool { return s.prefillHit }
 
+// CachedSeal reports whether the most recent Answer call reused a sealed
+// cache — from the session's own plan memo or the shared store — rather
+// than re-quantizing from the retained FP32 KV. False before the first
+// Answer. The workload harness uses this to measure sealed-kind cache
+// pressure separately from prefill reuse.
+func (s *Session) CachedSeal() bool { return s.sealHit }
+
 // Answer answers one query against the session's prefilled context. The
 // result is byte-identical to Pipeline.Answer(context, query): the
 // quantization plan is recomputed for this query (Module I is
@@ -195,12 +203,14 @@ func (s *Session) Answer(query []string) (*Result, error) {
 func (s *Session) sealedFor(plan *kvcache.Plan, opts kvcache.SealOptions) (*kvcache.Cache, error) {
 	fp := planFingerprint(plan, opts)
 	if s.lastSealed != nil && s.lastPlanFP == fp {
+		s.sealHit = true
 		return s.lastSealed, nil
 	}
 	if s.store != nil {
 		if v, ok := s.store.Get(s.sealedKey(fp)); ok {
 			c := v.(*kvcache.Cache)
 			s.lastPlanFP, s.lastSealed = fp, c
+			s.sealHit = true
 			return c, nil
 		}
 	}
@@ -209,6 +219,7 @@ func (s *Session) sealedFor(plan *kvcache.Plan, opts kvcache.SealOptions) (*kvca
 		return nil, err
 	}
 	s.lastPlanFP, s.lastSealed = fp, c
+	s.sealHit = false
 	if s.store != nil {
 		s.store.Put(s.sealedKey(fp), c)
 	}
@@ -301,12 +312,32 @@ type SessionCacheOptions struct {
 	// the budget (values outside the range select DefaultProbationPct;
 	// the effective carve-out is additionally capped at half the budget
 	// so the protected segment always dominates). Ignored by the other
-	// policies.
+	// policies. With SealedPct set it sizes the prefill sub-budget's
+	// probation carve-out.
 	ProbationPct float64
 	// AdaptWindow is CachePolicyAdaptive's evaluation window in
 	// admission decisions (<= 0 selects the 64 default). Ignored by the
-	// static policies.
+	// static policies. With SealedPct set, each kind runs its own
+	// window of this size.
 	AdaptWindow int
+	// SealedPct splits the byte budget per artifact kind: the given
+	// percent of MaxBytes is dedicated to sealed caches and the
+	// remainder to prefill builders, each kind with its own LRU
+	// sub-budget, its own probation carve-out and — under the 2Q-family
+	// policies — its own admission state (ghost list; for adaptive, its
+	// own decision window and mode). Sealed entries are typically
+	// several times smaller than prefill builders; the split stops a
+	// handful of builders from monopolizing the bytes (and probation
+	// trial space) that dozens of cheap seal trials could use, and
+	// keeps seal churn from flipping the builders' adaptive mode. Must
+	// lie in (0, 100); values outside keep the shared budget (the
+	// historical behavior).
+	SealedPct float64
+	// SealedProbationPct is the sealed sub-budget's probation share in
+	// percent under CachePolicyA1 (must lie in (0, 100); values outside
+	// inherit ProbationPct's resolved value). Ignored unless SealedPct
+	// is set.
+	SealedProbationPct float64
 }
 
 // AdmissionStats reports a SessionCache's admission-policy counters and
@@ -337,12 +368,34 @@ type AdmissionStats struct {
 	GhostEntries int `json:"ghost_entries"`
 	GhostLimit   int `json:"ghost_limit"`
 	// Segment occupancy: current entry counts and byte totals per
-	// segment, plus the probation segment's byte cap.
+	// segment, plus the probation segment's byte cap (summed over the
+	// per-kind sub-budgets when SealedPct splits them).
 	ProbationEntries  int   `json:"probation_entries"`
 	ProbationBytes    int64 `json:"probation_bytes"`
 	ProbationCapBytes int64 `json:"probation_cap_bytes"`
 	ProtectedEntries  int   `json:"protected_entries"`
 	ProtectedBytes    int64 `json:"protected_bytes"`
+}
+
+// KindStats reports one artifact kind's occupancy, byte cap and — when
+// SealedPct gives kinds their own admission state — admission counters
+// (mirrors sessioncache.KindStats).
+type KindStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the byte cap governing the kind: its dedicated
+	// sub-budget under SealedPct, or the shared budget otherwise.
+	MaxBytes int64 `json:"max_bytes"`
+	// Dedicated reports whether the kind has its own sub-budget.
+	Dedicated bool `json:"dedicated"`
+	// Probation occupancy of the kind's entries and its sub-budget's
+	// probation cap.
+	ProbationEntries  int   `json:"probation_entries"`
+	ProbationBytes    int64 `json:"probation_bytes"`
+	ProbationCapBytes int64 `json:"probation_cap_bytes"`
+	// Admission is the kind's own admission counter block when the
+	// policy keeps per-kind state; nil otherwise.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // CacheStats reports a SessionCache's counters and occupancy (mirrors
@@ -359,6 +412,9 @@ type CacheStats struct {
 	MaxBytes    int64 `json:"max_bytes"`
 	// Admission is the admission policy's counter block.
 	Admission AdmissionStats `json:"admission"`
+	// Kinds breaks occupancy (and, with SealedPct, budgets and
+	// admission) down per artifact kind ("prefill", "sealed").
+	Kinds map[string]KindStats `json:"kinds"`
 }
 
 // SessionCache shares prefilled context KV and pristine sealed caches
@@ -378,28 +434,62 @@ type SessionCache struct {
 
 // NewSessionCache builds a shared cache over p.
 func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = sessioncache.DefaultMaxBytes
+	}
+	probPct := opts.ProbationPct
+	if probPct <= 0 || probPct >= 100 {
+		probPct = DefaultProbationPct
+	}
+	// Per-kind split: dedicate SealedPct of the budget to sealed caches,
+	// the rest to prefill builders, each with its own probation share.
+	perKind := opts.SealedPct > 0 && opts.SealedPct < 100
+	var kinds map[sessioncache.Kind]sessioncache.KindBudget
+	if perKind {
+		sealedProbPct := opts.SealedProbationPct
+		if sealedProbPct <= 0 || sealedProbPct >= 100 {
+			sealedProbPct = probPct
+		}
+		sealedMax := int64(float64(maxBytes) * opts.SealedPct / 100)
+		kinds = map[sessioncache.Kind]sessioncache.KindBudget{
+			sessioncache.KindSealed:  {MaxBytes: sealedMax, ProbationPct: sealedProbPct},
+			sessioncache.KindPrefill: {MaxBytes: maxBytes - sealedMax, ProbationPct: probPct},
+		}
+	}
+	// makePolicy builds one admission policy instance; with the per-kind
+	// split every kind gets its own instance (own ghost list, own
+	// adaptive window) via a PolicyPerKind router.
+	makePolicy := func(sessioncache.Kind) sessioncache.Policy {
+		switch opts.Policy {
+		case CachePolicy2Q:
+			return sessioncache.NewPolicy2Q(opts.GhostEntries, opts.TTL)
+		case CachePolicyA1:
+			// The store's KindBudget.ProbationPct (or, unsplit, this
+			// same figure) overrides the carve-out per shard at attach;
+			// the constructor value only matters for a policy driven
+			// without a store.
+			return sessioncache.NewPolicyA1(opts.GhostEntries, opts.TTL,
+				int64(float64(maxBytes)*probPct/100))
+		case CachePolicyAdaptive:
+			return sessioncache.NewPolicyAdaptive(opts.GhostEntries, opts.TTL, opts.AdaptWindow)
+		}
+		return sessioncache.NewPolicyLRU()
+	}
 	var pol sessioncache.Policy // nil selects the store's LRU default
-	switch opts.Policy {
-	case CachePolicy2Q:
-		pol = sessioncache.NewPolicy2Q(opts.GhostEntries, opts.TTL)
-	case CachePolicyA1:
-		maxBytes := opts.MaxBytes
-		if maxBytes <= 0 {
-			maxBytes = sessioncache.DefaultMaxBytes
-		}
-		pct := opts.ProbationPct
-		if pct <= 0 || pct >= 100 {
-			pct = DefaultProbationPct
-		}
-		pol = sessioncache.NewPolicyA1(opts.GhostEntries, opts.TTL,
-			int64(float64(maxBytes)*pct/100))
-	case CachePolicyAdaptive:
-		pol = sessioncache.NewPolicyAdaptive(opts.GhostEntries, opts.TTL, opts.AdaptWindow)
+	switch {
+	case perKind && opts.Policy != CachePolicyLRU:
+		// PolicyLRU is stateless, so routing it per kind buys nothing;
+		// the byte split alone (Options.Kinds) isolates the kinds.
+		pol = sessioncache.NewPolicyPerKind(
+			[]sessioncache.Kind{sessioncache.KindPrefill, sessioncache.KindSealed}, makePolicy)
+	case opts.Policy != CachePolicyLRU:
+		pol = makePolicy("")
 	}
 	return &SessionCache{
 		p: p,
 		store: sessioncache.New(sessioncache.Options{
-			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol}),
+			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol, Kinds: kinds}),
 	}
 }
 
@@ -427,7 +517,7 @@ func (c *SessionCache) Answer(context, query []string) (*Result, error) {
 // Stats snapshots the cache counters.
 func (c *SessionCache) Stats() CacheStats {
 	st := c.store.Stats()
-	return CacheStats{
+	out := CacheStats{
 		Hits:        st.Hits,
 		Misses:      st.Misses,
 		Evictions:   st.Evictions,
@@ -436,7 +526,47 @@ func (c *SessionCache) Stats() CacheStats {
 		Entries:     st.Entries,
 		Bytes:       st.Bytes,
 		MaxBytes:    st.MaxBytes,
-		Admission:   AdmissionStats(st.Admission),
+		Admission:   admissionStats(st.Admission),
+		Kinds:       make(map[string]KindStats, len(st.Kinds)),
+	}
+	for kind, ks := range st.Kinds {
+		mk := KindStats{
+			Entries:           ks.Entries,
+			Bytes:             ks.Bytes,
+			MaxBytes:          ks.MaxBytes,
+			Dedicated:         ks.Dedicated,
+			ProbationEntries:  ks.ProbationEntries,
+			ProbationBytes:    ks.ProbationBytes,
+			ProbationCapBytes: ks.ProbationCapBytes,
+		}
+		if ks.Admission != nil {
+			adm := admissionStats(*ks.Admission)
+			mk.Admission = &adm
+		}
+		out.Kinds[kind] = mk
+	}
+	return out
+}
+
+// admissionStats mirrors the store's admission block into the public
+// type (field-by-field: the types differ only in the store-internal
+// per-kind transport map, which Store.Stats has already redistributed).
+func admissionStats(a sessioncache.AdmissionStats) AdmissionStats {
+	return AdmissionStats{
+		Policy:            a.Policy,
+		Mode:              a.Mode,
+		ProbationHits:     a.ProbationHits,
+		GhostPromotions:   a.GhostPromotions,
+		SegmentPromotions: a.SegmentPromotions,
+		ScanRejections:    a.ScanRejections,
+		PolicyFlips:       a.PolicyFlips,
+		GhostEntries:      a.GhostEntries,
+		GhostLimit:        a.GhostLimit,
+		ProbationEntries:  a.ProbationEntries,
+		ProbationBytes:    a.ProbationBytes,
+		ProbationCapBytes: a.ProbationCapBytes,
+		ProtectedEntries:  a.ProtectedEntries,
+		ProtectedBytes:    a.ProtectedBytes,
 	}
 }
 

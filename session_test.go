@@ -341,3 +341,101 @@ func TestSessionCache2QByteIdentical(t *testing.T) {
 		t.Fatalf("admission history: %+v", adm)
 	}
 }
+
+// TestSessionCachedSeal pins the CachedSeal observability contract: a
+// fresh seal reports false, a repeated plan (memo) and a store hit from
+// another session both report true.
+func TestSessionCachedSeal(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{MaxBytes: 32 << 20, TTL: time.Minute})
+	sess, err := sc.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.CachedSeal() {
+		t.Fatal("CachedSeal must be false before the first Answer")
+	}
+	if _, err := sess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+	if sess.CachedSeal() {
+		t.Fatal("first Answer seals fresh: CachedSeal must be false")
+	}
+	if _, err := sess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.CachedSeal() {
+		t.Fatal("repeated plan must hit the seal memo")
+	}
+	// A second session over the same context hits the store's sealed
+	// entry without ever having sealed itself.
+	other, err := sc.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+	if !other.CachedSeal() {
+		t.Fatal("second session must reuse the shared sealed cache")
+	}
+}
+
+// TestSessionCachePerKindSplit: SealedPct carves per-kind sub-budgets —
+// answers stay byte-identical to cold, both kinds report dedicated
+// budgets with per-kind admission state, and the sub-budgets sum to the
+// total.
+func TestSessionCachePerKindSplit(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSessionCache(p, SessionCacheOptions{
+		MaxBytes: 32 << 20, TTL: time.Minute, Policy: CachePolicyA1,
+		ProbationPct: 20, SealedPct: 40, SealedProbationPct: 30})
+	for i := 0; i < 2; i++ {
+		got, err := sc.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Fatalf("call %d: per-kind cached answer diverged from cold", i)
+		}
+	}
+	st := sc.Stats()
+	sealed, prefill := st.Kinds["sealed"], st.Kinds["prefill"]
+	if !sealed.Dedicated || !prefill.Dedicated {
+		t.Fatalf("kinds not dedicated: %+v", st.Kinds)
+	}
+	if sealed.MaxBytes+prefill.MaxBytes != st.MaxBytes {
+		t.Fatalf("sub-budgets %d + %d do not sum to %d", sealed.MaxBytes, prefill.MaxBytes, st.MaxBytes)
+	}
+	if sealed.MaxBytes != int64(float64(st.MaxBytes)*0.40) {
+		t.Fatalf("sealed sub-budget: %+v", sealed)
+	}
+	if sealed.Admission == nil || prefill.Admission == nil ||
+		sealed.Admission.Policy != "a1" {
+		t.Fatalf("per-kind admission state missing: %+v", st.Kinds)
+	}
+	if sealed.Entries == 0 || prefill.Entries == 0 {
+		t.Fatalf("both kinds must be resident: %+v", st.Kinds)
+	}
+	if st.Admission.Policy != "a1" {
+		t.Fatalf("aggregate policy label: %+v", st.Admission)
+	}
+}
