@@ -1,0 +1,137 @@
+// Command cocktail-benchjson converts `go test -bench` text output into
+// a stable JSON document, so benchmark runs can be committed (the
+// BENCH_PR6.json snapshot at the repo root) and archived as CI
+// artifacts without anyone parsing benchmark text downstream.
+//
+// Usage:
+//
+//	go test -bench ... | cocktail-benchjson [-o out.json]
+//
+// Every `value unit` pair on a benchmark line is kept, so custom
+// testing.B.ReportMetric units (warm-hit-rate, ms/req) survive next to
+// ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	// Package is the import path from the preceding "pkg:" header.
+	Package string `json:"package"`
+	// Name is the benchmark name verbatim, sub-benchmark path and any
+	// -procs suffix included: a trailing -N is ambiguous against
+	// sub-benchmark names that end in a number (split-45), so nothing
+	// is stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported pair (ns/op plus
+	// any ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "cocktail-benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go test -bench output: header lines (goos/goarch/pkg/cpu)
+// set context, Benchmark lines become entries, everything else (PASS,
+// ok, test logs) is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(pkg, line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine splits one result line:
+//
+//	BenchmarkName/sub-8   	 125	 9.302 ms/req	 0.75 warm-hit-rate
+func parseBenchLine(pkg, line string) (Bench, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Bench{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	b := Bench{
+		Package:    pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSessionAnswerWarm 	     100	  15294813 ns/op
+PASS
+ok  	repro	0.114s
+pkg: repro/internal/workload
+BenchmarkPrefixCacheUnderScan/lru-8         	       1	1116262616 ns/op	         9.302 ms/req	         0.3125 warm-hit-rate
+BenchmarkMixedKindWorkload/split-45         	       1	2554378230 ns/op	        18.25 ms/req	         0.5054 sealed-warm-hit-rate	         0.7957 warm-hit-rate
+PASS
+ok  	repro/internal/workload	9.775s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("headers: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	warm := rep.Benchmarks[0]
+	if warm.Package != "repro" || warm.Name != "BenchmarkSessionAnswerWarm" || warm.Iterations != 100 {
+		t.Fatalf("warm: %+v", warm)
+	}
+	if warm.Metrics["ns/op"] != 15294813 {
+		t.Fatalf("warm ns/op: %v", warm.Metrics)
+	}
+
+	scan := rep.Benchmarks[1]
+	if scan.Package != "repro/internal/workload" {
+		t.Fatalf("scan package: %q", scan.Package)
+	}
+	if scan.Name != "BenchmarkPrefixCacheUnderScan/lru-8" {
+		t.Fatalf("name must be verbatim: %q", scan.Name)
+	}
+	if scan.Metrics["warm-hit-rate"] != 0.3125 || scan.Metrics["ms/req"] != 9.302 {
+		t.Fatalf("scan metrics: %v", scan.Metrics)
+	}
+
+	mixed := rep.Benchmarks[2]
+	if mixed.Name != "BenchmarkMixedKindWorkload/split-45" {
+		t.Fatalf("numeric sub-benchmark suffix must survive: %q", mixed.Name)
+	}
+	if len(mixed.Metrics) != 4 {
+		t.Fatalf("mixed metrics: %v", mixed.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOdd 1 2",             // odd value/unit split
+		"BenchmarkNoIters x 1 ns/op",   // non-numeric iterations
+		"BenchmarkBadValue 1 zz ns/op", // non-numeric metric
+		"BenchmarkShort 1",             // no metrics at all
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse(%q): want error", line)
+		}
+	}
+}

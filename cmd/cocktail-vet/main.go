@@ -1,0 +1,55 @@
+// Command cocktail-vet runs the repo-contract analyzer suite
+// (internal/analysis) over this module: determinism, clockinject,
+// lockdiscipline and immutability — the prose invariants of DESIGN.md
+// turned into build failures. CI runs it between `go vet` and the test
+// step; it exits non-zero when any diagnostic survives the
+// //cocktail:allow annotations.
+//
+// Usage:
+//
+//	cocktail-vet [-list] [packages]
+//
+// Packages follow the go tool's pattern shape ("./...", "./internal/x");
+// with no argument the whole module is analyzed. -list prints the
+// analyzer roster and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	diags, err := vet(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cocktail-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cocktail-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// vet loads the selected packages and runs the full suite.
+func vet(root string, patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, analysis.All()), nil
+}

@@ -135,6 +135,8 @@ func Datasets() []DatasetInfo {
 // goroutines. The shared lexicon, model weights and encoder tables are
 // read-only; every call allocates its own per-request state (prefill
 // builder, quantization plan, sealed cache, decoder scratch).
+//
+//cocktail:immutable
 type Pipeline struct {
 	cfg    Config
 	lex    *corpus.Lexicon

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the comment prefix that suppresses a finding:
+//
+//	//cocktail:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a bare allow (or one naming an unknown analyzer) is
+// itself a diagnostic, and an allow that suppresses nothing is reported
+// as stale.
+const allowDirective = "cocktail:allow"
+
+// allowAnnotation is one parsed //cocktail:allow comment.
+type allowAnnotation struct {
+	analyzer   string
+	reason     string
+	pos        token.Pos
+	file       string
+	line       int
+	wellFormed bool // has both analyzer and reason
+	used       bool // suppressed at least one diagnostic
+}
+
+// collectAllows parses every //cocktail:allow annotation in the
+// package's files, returning the well-formed annotations plus the
+// hygiene diagnostics for malformed ones (missing reason, unknown
+// analyzer name).
+func collectAllows(pkg *Package, analyzers []*Analyzer) ([]*allowAnnotation, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var allows []*allowAnnotation
+	var hygiene []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					hygiene = append(hygiene, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message: fmt.Sprintf("bare //%s: the form is //%s <analyzer> <reason> — every allow must say why",
+							allowDirective, allowDirective),
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					hygiene = append(hygiene, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("//%s names unknown analyzer %q", allowDirective, name),
+					})
+					continue
+				}
+				allows = append(allows, &allowAnnotation{
+					analyzer:   name,
+					reason:     strings.Join(fields[1:], " "),
+					pos:        c.Pos(),
+					file:       pos.Filename,
+					line:       pos.Line,
+					wellFormed: true,
+				})
+			}
+		}
+	}
+	return allows, hygiene
+}
+
+// filterAllowed drops diagnostics covered by an allow annotation of the
+// same analyzer on the same line or the line directly above, marking the
+// annotations it consumed.
+func filterAllowed(diags []Diagnostic, allows []*allowAnnotation) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, al := range allows {
+			if al.analyzer != d.Analyzer || al.file != d.Pos.Filename {
+				continue
+			}
+			if al.line == d.Pos.Line || al.line == d.Pos.Line-1 {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

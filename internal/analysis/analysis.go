@@ -1,0 +1,178 @@
+// Package analysis implements cocktail-vet, the repo-contract analyzer
+// suite. It turns the prose invariants this reproduction's results stand
+// on — deterministic randomness, injectable clocks around TTL state, the
+// Sweep lock discipline, Pipeline immutability — into machine-checked
+// build failures, using nothing but the standard library (go/parser,
+// go/ast, go/types with the source importer; go.mod stays dependency
+// free).
+//
+// The suite (see DESIGN.md "Enforced invariants" for the contracts):
+//
+//   - determinism: forbids math/rand (global funcs, time-seeded sources,
+//     even the import — prefer internal/rngx) and map-range iteration
+//     feeding ordered output in the experiment-bearing packages.
+//   - clockinject: forbids direct time.Now/time.Since in the packages
+//     that own TTL/expiry state; they must use the injected
+//     now func() time.Time their Options already carry.
+//   - lockdiscipline: flags calls to the sessioncache Policy interface
+//     made while Store.mu is held, so every callback-under-mutex is a
+//     conscious, annotated decision (the PR 5 Sweep contract).
+//   - immutability: flags assignments to fields of types documented
+//     read-only after construction (cocktail.Pipeline and the
+//     //cocktail:immutable-marked internal equivalents) outside their
+//     constructors.
+//
+// Suppression: a finding that is intentional is silenced with a
+//
+//	//cocktail:allow <analyzer> <reason>
+//
+// comment on the offending line or the line directly above it. The
+// reason is mandatory — a bare allow is itself a diagnostic — and so is
+// honesty: an allow that suppresses nothing (stale after a refactor) is
+// reported too, so annotations cannot rot in place.
+//
+// The cmd/cocktail-vet binary wires Load + Run + All into a go-vet-style
+// driver; CI runs it between `go vet` and the test step.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: an invariant violation (or a malformed /
+// stale allow annotation) at a source position.
+type Diagnostic struct {
+	// Pos locates the finding (file:line:column).
+	Pos token.Position
+	// Analyzer names the rule that fired ("determinism", ...; allow
+	// hygiene findings use "allow").
+	Analyzer string
+	// Message states the violation and the sanctioned alternative.
+	Message string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one type-checked package. Analyzers
+// read the AST and type information and call Reportf; they must not
+// retain the Pass past Run.
+type Pass struct {
+	// Fset maps token positions to file positions for every file of the
+	// package (and its imports).
+	Fset *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's resolutions (Uses, Defs, Types,
+	// Selections) for Files.
+	Info *types.Info
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one rule of the suite.
+type Analyzer struct {
+	// Name is the rule's identifier, used in diagnostics and in
+	// //cocktail:allow annotations.
+	Name string
+	// Doc is the one-paragraph contract the rule enforces.
+	Doc string
+	// Applies reports whether the rule covers the package with the given
+	// import path; nil means every package. The driver consults it —
+	// fixture tests bypass it to exercise a rule on synthetic packages.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings on the Pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in diagnostic-label order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerClockInject,
+		AnalyzerDeterminism,
+		AnalyzerImmutability,
+		AnalyzerLockDiscipline,
+	}
+}
+
+// Run applies analyzers to pkgs, honoring each analyzer's Applies
+// predicate and the //cocktail:allow annotations in the sources, and
+// returns the surviving diagnostics in file/line order. Allow-annotation
+// hygiene findings (bare allow, unknown analyzer, stale allow) are
+// appended under the "allow" label.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, runPackage(pkg, analyzers)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// runPackage runs the applicable analyzers over one package and filters
+// the findings through the package's allow annotations.
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allows, hygiene := collectAllows(pkg, analyzers)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		diags = append(diags, runAnalyzer(pkg, a)...)
+	}
+	kept := filterAllowed(diags, allows)
+	for _, al := range allows {
+		if !al.used && al.wellFormed {
+			hygiene = append(hygiene, Diagnostic{
+				Pos:      pkg.Fset.Position(al.pos),
+				Analyzer: "allow",
+				Message: fmt.Sprintf("stale //cocktail:allow %s: it suppresses nothing — delete it (reason was: %s)",
+					al.analyzer, al.reason),
+			})
+		}
+	}
+	return append(kept, hygiene...)
+}
+
+// runAnalyzer runs one analyzer over one package.
+func runAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
+	pass := &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		analyzer: a,
+	}
+	a.Run(pass)
+	return pass.diags
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// clockPkgs are the import-path suffixes of the packages that own
+// TTL/expiry state. A direct wall-clock read there makes expiry
+// untestable without real sleeps and lets two code paths disagree about
+// "now" mid-operation; both packages carry an injectable
+// now func() time.Time (sessioncache.Options.Now, httpapi.Options.Now)
+// that every expiry decision must flow through.
+var clockPkgs = map[string]bool{
+	"sessioncache": true,
+	"httpapi":      true,
+}
+
+// AnalyzerClockInject forbids direct time.Now / time.Since calls in the
+// TTL-owning packages. Referencing time.Now as a value (the injection
+// default, `o.Now = time.Now`) is fine — only reading the clock inline
+// is a violation. Latency-metric call sites, which genuinely want the
+// real clock and never feed expiry state, carry a reasoned
+// //cocktail:allow clockinject annotation.
+var AnalyzerClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc: "forbid direct time.Now/time.Since in packages owning TTL/expiry " +
+		"state; use the injected now func() time.Time",
+	Applies: func(pkgPath string) bool {
+		i := strings.LastIndex(pkgPath, "/")
+		return i >= 0 && strings.HasSuffix(pkgPath[:i], "internal") && clockPkgs[pkgPath[i+1:]]
+	},
+	Run: runClockInject,
+}
+
+func runClockInject(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if name := fn.Name(); name == "Now" || name == "Since" || name == "Until" {
+				p.Reportf(call.Pos(), "direct time.%s in a TTL-owning package: expiry state must read "+
+					"the injected clock (Options.Now / now func() time.Time) so tests control time — "+
+					"latency-metric sites annotate //cocktail:allow clockinject <reason>", name)
+			}
+			return true
+		})
+	}
+}

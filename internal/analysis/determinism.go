@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// deterministicPkgs are the import-path suffixes of the packages whose
+// outputs feed the paper's tables and the byte-identical cache
+// guarantees; every draw of randomness there must come from an explicit
+// seeded stream (internal/rngx) so runs reproduce bit-for-bit.
+var deterministicPkgs = map[string]bool{
+	"core": true, "search": true, "kvcache": true, "quant": true,
+	"encoder": true, "model": true, "datasets": true, "corpus": true,
+	"workload": true, "experiments": true,
+}
+
+// AnalyzerDeterminism forbids the randomness and ordering hazards that
+// would break bit-reproducibility in the experiment-bearing packages:
+// the math/rand import itself (global funcs draw from shared process
+// state, and even a seeded source is a second RNG lineage — prefer
+// rngx.RNG.Split-derived streams), time-seeded sources, and ranging over
+// a map while writing ordered output (slices, writers), since map
+// iteration order changes run to run.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid math/rand and map-range iteration feeding ordered output " +
+		"in the packages whose results must be bit-reproducible",
+	Applies: func(pkgPath string) bool {
+		i := strings.LastIndex(pkgPath, "/")
+		return i >= 0 && strings.HasSuffix(pkgPath[:i], "internal") && deterministicPkgs[pkgPath[i+1:]]
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s in a bit-reproducible package: prefer repro/internal/rngx "+
+					"(derive per-component streams with rngx.RNG.Split)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkRandCall(n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					p.checkMapRangeOutput(n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRandCall flags calls to math/rand's package-level functions. The
+// seeded constructors (New, NewSource, NewZipf, NewPCG, ...) are exempt —
+// a deliberately retained seeded stream is annotatable at the import —
+// except that a source seeded from the clock is flagged outright: it is
+// unreproducible by construction.
+func (p *Pass) checkRandCall(call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on *rand.Rand etc. draw from an explicit source
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		if arg := clockSeededArg(p.Info, call); arg != nil {
+			p.Reportf(call.Pos(), "rand.%s seeded from the clock: the stream differs every run — "+
+				"seed from configuration (or use repro/internal/rngx)", fn.Name())
+		}
+		return
+	}
+	p.Reportf(call.Pos(), "global math/rand.%s draws from shared process-wide state: "+
+		"use an explicit seeded stream (repro/internal/rngx, rngx.RNG.Split)", fn.Name())
+}
+
+// clockSeededArg returns the first argument expression that reads the
+// clock (any call into package time), or nil.
+func clockSeededArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		var found bool
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, inner); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return arg
+		}
+	}
+	return nil
+}
+
+// checkMapRangeOutput flags range-over-map loops whose body feeds
+// ordered output: appending to a slice that outlives the loop, or
+// writing through an io.Writer / strings.Builder style method. A loop
+// whose collected slice is sorted later in the same function is clean —
+// collect-then-sort is exactly the sanctioned pattern.
+func (p *Pass) checkMapRangeOutput(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.checkMapRangeBody(fn, rng)
+		return true
+	})
+}
+
+// orderedWriteMethods are method names that emit output in call order.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func (p *Pass) checkMapRangeBody(fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.ObjectOf(dst)
+				if obj == nil || within(rng.Pos(), rng.End(), obj.Pos()) {
+					continue // loop-local accumulator: invisible outside
+				}
+				if sortedLater(p.Info, fn, rng, obj) {
+					continue
+				}
+				p.Reportf(n.Pos(), "append to %q inside range over a map: iteration order is "+
+					"nondeterministic — collect keys, sort, then iterate (or sort %q before use)",
+					dst.Name, dst.Name)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !orderedWriteMethods[sel.Sel.Name] {
+				return true
+			}
+			fnObj := calleeFunc(p.Info, n)
+			if fnObj == nil {
+				return true
+			}
+			p.Reportf(n.Pos(), "%s inside range over a map emits output in map order, which is "+
+				"nondeterministic — collect keys, sort, then iterate", sel.Sel.Name)
+			return false
+		}
+		return true
+	})
+}
+
+// sortedLater reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range loop, anywhere in the function.
+func sortedLater(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if pkg := callee.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// within reports whether pos lies in [start, end].
+func within(start, end, pos token.Pos) bool { return pos >= start && pos <= end }
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// calleeFunc resolves a call's static callee to its *types.Func, nil for
+// builtins, type conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}

@@ -1,0 +1,248 @@
+package analysis
+
+// Fixture harness: each analyzer is proven against a synthetic package
+// under testdata/src/<name>/ whose sources carry analysistest-style
+//
+//	// want `regex`
+//
+// comments on the lines expected to fire. The harness type-checks the
+// fixture with the same source importer the real loader uses, runs the
+// full runPackage path (so //cocktail:allow filtering is exercised
+// in-fixture too), and then demands an exact bijection: every
+// diagnostic must match a want on its line, every want must be
+// consumed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one fixture directory as a
+// package with the given import path — chosen per test so the analyzer
+// under test's Applies predicate matches, which keeps the predicate
+// itself under test.
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture sources in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// fixtureWant is one expectation: a message regex pinned to a line.
+type fixtureWant struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// fixtureWants collects the want-comments per file:line.
+func fixtureWants(t *testing.T, pkg *Package) map[string][]*fixtureWant {
+	t.Helper()
+	wants := make(map[string][]*fixtureWant)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regex %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &fixtureWant{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the analyzers over the fixture through the full
+// Run path and verifies the diagnostics against the want-comments.
+func checkFixture(t *testing.T, pkg *Package, analyzers ...*Analyzer) {
+	t.Helper()
+	wants := fixtureWants(t, pkg)
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		var hit bool
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, hit = true, true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: want %q: no diagnostic fired", key, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "determinism"), "fixture/internal/search")
+	checkFixture(t, pkg, AnalyzerDeterminism)
+}
+
+func TestClockInjectFixture(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "clockinject"), "fixture/internal/httpapi")
+	checkFixture(t, pkg, AnalyzerClockInject)
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "lockdiscipline"), "fixture/internal/sessioncache")
+	checkFixture(t, pkg, AnalyzerLockDiscipline)
+}
+
+func TestImmutabilityFixture(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "immutability"), "fixture/immutability")
+	checkFixture(t, pkg, AnalyzerImmutability)
+}
+
+// TestLockDisciplineWithoutPolicy: a sessioncache-pathed package that
+// declares no Policy interface produces no findings (the analyzer has
+// nothing to guard).
+func TestLockDisciplineWithoutPolicy(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "immutability"), "fixture2/internal/sessioncache")
+	if diags := Run([]*Package{pkg}, []*Analyzer{AnalyzerLockDiscipline}); len(diags) != 0 {
+		t.Errorf("got %v, want none", diags)
+	}
+}
+
+// TestLockDisciplineNonInterfacePolicy: a package-scope Policy that is
+// not an interface type is ignored.
+func TestLockDisciplineNonInterfacePolicy(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\n// Policy is a value type here, not the callback interface.\ntype Policy int\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, dir, "fixture3/internal/sessioncache")
+	if diags := Run([]*Package{pkg}, []*Analyzer{AnalyzerLockDiscipline}); len(diags) != 0 {
+		t.Errorf("got %v, want none", diags)
+	}
+}
+
+// TestAllowHygiene pins the annotation-hygiene diagnostics (bare allow,
+// unknown analyzer, stale allow) and proves a consumed allow is not
+// reported stale. Expectations are positional because the findings
+// land on comment lines, where want-comments cannot ride along.
+func TestAllowHygiene(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "allowhygiene"), "fixture/internal/httpapi")
+	diags := Run([]*Package{pkg}, All())
+	expect := []string{
+		"bare //cocktail:allow",
+		"unknown analyzer \"nosuchanalyzer\"",
+		"stale //cocktail:allow immutability",
+	}
+	if len(diags) != len(expect) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(expect), diags)
+	}
+	for i, substr := range expect {
+		if diags[i].Analyzer != "allow" {
+			t.Errorf("diags[%d].Analyzer = %q, want \"allow\"", i, diags[i].Analyzer)
+		}
+		if !strings.Contains(diags[i].Message, substr) {
+			t.Errorf("diags[%d] = %q, want substring %q", i, diags[i].Message, substr)
+		}
+	}
+}
+
+// TestAppliesRosters pins each analyzer's package roster, the exact
+// surface CI relies on when deciding what a clean run proved.
+func TestAppliesRosters(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{AnalyzerDeterminism, "repro/internal/search", true},
+		{AnalyzerDeterminism, "repro/internal/workload", true},
+		{AnalyzerDeterminism, "repro/internal/httpapi", false},
+		{AnalyzerDeterminism, "repro/internal/analysis", false},
+		{AnalyzerDeterminism, "repro", false},
+		{AnalyzerClockInject, "repro/internal/sessioncache", true},
+		{AnalyzerClockInject, "repro/internal/httpapi", true},
+		{AnalyzerClockInject, "repro/internal/core", false},
+		{AnalyzerLockDiscipline, "repro/internal/sessioncache", true},
+		{AnalyzerLockDiscipline, "repro/internal/httpapi", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	if AnalyzerImmutability.Applies != nil {
+		t.Error("immutability must apply to every package (nil Applies)")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "determinism",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "x.go:3:7: determinism: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllRoster(t *testing.T) {
+	names := make([]string, 0, 4)
+	for _, a := range All() {
+		names = append(names, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+	want := []string{"clockinject", "determinism", "immutability", "lockdiscipline"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("All() = %v, want %v", names, want)
+	}
+}

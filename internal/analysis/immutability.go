@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// immutableDirective marks a type declaration whose fields are read-only
+// after construction; the analyzer enforces it within the declaring
+// package (where the unexported fields live).
+const immutableDirective = "cocktail:immutable"
+
+// immutableTypes is the cross-package roster of shared read-only types
+// from DESIGN.md's concurrency contract. Their declarations also carry
+// the //cocktail:immutable marker; this list keeps the contract
+// enforced for their exported fields even from other packages, where the
+// marker (which lives on the declaration's AST) is out of view.
+var immutableTypes = map[[2]string]bool{
+	{"repro", "Pipeline"}:                true,
+	{"repro/internal/model", "Model"}:    true,
+	{"repro/internal/corpus", "Lexicon"}: true,
+}
+
+// AnalyzerImmutability flags assignments to fields of immutable-after-New
+// types outside their constructors. The whole concurrency model rests on
+// these types being frozen once built — every request reads them without
+// a lock — so a stray field write is a data race by design, not just a
+// style problem. Constructors are the declaring package's New*/new*
+// functions (and init); everything else, methods included, is read-only
+// territory.
+var AnalyzerImmutability = &Analyzer{
+	Name: "immutability",
+	Doc: "flag assignments to fields of //cocktail:immutable types " +
+		"(Pipeline and DESIGN.md's read-only equivalents) outside their " +
+		"constructors",
+	Run: runImmutability,
+}
+
+func runImmutability(p *Pass) {
+	marked := markedTypes(p)
+	isProtected := func(obj *types.TypeName) bool {
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		if marked[obj] {
+			return true
+		}
+		return immutableTypes[[2]string{obj.Pkg().Path(), obj.Name()}]
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inConstructor := isConstructorName(fn.Name.Name)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						p.checkImmutableWrite(lhs, inConstructor, isProtected)
+					}
+				case *ast.IncDecStmt:
+					p.checkImmutableWrite(n.X, inConstructor, isProtected)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// markedTypes collects the package's //cocktail:immutable-marked type
+// objects from the declarations' doc comments.
+func markedTypes(p *Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, immutableDirective) && !hasDirective(ts.Doc, immutableDirective) {
+					continue
+				}
+				if obj, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					marked[obj] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// hasDirective reports whether the comment group contains the given
+// //-directive on a line of its own.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstructorName reports whether a function name is a sanctioned
+// construction context for immutable types: the New*/new* builders and
+// package init.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// checkImmutableWrite flags lhs when it writes a field of a protected
+// type outside a constructor. The constructor exception only covers the
+// declaring package's own New* functions: another package assigning an
+// exported field is never construction.
+func (p *Pass) checkImmutableWrite(lhs ast.Expr, inConstructor bool, isProtected func(*types.TypeName) bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if !isProtected(obj) {
+		return
+	}
+	if inConstructor && obj.Pkg() == p.Pkg {
+		return
+	}
+	p.Reportf(lhs.Pos(), "assignment to %s.%s outside its constructor: %s is read-only after New "+
+		"(//cocktail:immutable — the concurrency model lets every request read it lock-free)",
+		obj.Name(), sel.Sel.Name, obj.Name())
+}

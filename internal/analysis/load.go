@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset positions the package's files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's resolutions for Files.
+	Info *types.Info
+}
+
+// Load parses and type-checks the packages selected by patterns,
+// resolved relative to root (the module directory, which must hold a
+// go.mod). Patterns follow the go tool's shape: "./..." walks the whole
+// module, "./internal/foo" names one package. Test files are not loaded:
+// the contracts the suite enforces are production invariants, and tests
+// legitimately use real clocks and ad-hoc randomness.
+//
+// Type-checking uses go/types with the stdlib source importer, so the
+// analyzers see fully resolved types without any external dependency.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One importer for every package: it caches its from-source
+	// type-checks, so shared dependencies (the module root package, the
+	// stdlib) are resolved once per process, not once per package.
+	imp := importer.ForCompiler(fset, "source", nil)
+	conf := types.Config{Importer: imp}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, &conf, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module path out of root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// expand resolves go-tool-style package patterns to package directories
+// under root, deduplicated and sorted.
+func expand(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		fi, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// testdata trees are analyzer fixtures, not module packages;
+			// hidden dirs (.git, .github) are never Go packages.
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: walking %q: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses and type-checks one directory's non-test files,
+// returning nil (no error) when the directory holds no Go package.
+func loadDir(fset *token.FileSet, conf *types.Config, root, modPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

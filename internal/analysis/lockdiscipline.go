@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerLockDiscipline enforces the sessioncache Sweep contract: a
+// Policy callback executed while the store mutex is held stalls every
+// concurrent Get/Put for the duration of arbitrary policy code, so each
+// such call must be a conscious, annotated decision (the store's own
+// callbacks are bounded — Sweep releases the mutex every batch — and
+// each site carries a //cocktail:allow lockdiscipline with that reason).
+//
+// Detection is a linear lock-span walk over each function body: a
+// sync.Mutex/RWMutex Lock() opens a span, Unlock() closes it, a deferred
+// Unlock holds it to the end of the function, and a function whose name
+// ends in "Locked" (the package's callers-hold-mu convention) starts
+// with the span open. Any call whose receiver's static type is the
+// package's Policy interface inside an open span is flagged.
+var AnalyzerLockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag Policy interface callbacks made while the store mutex is " +
+		"held (the Sweep contract: batched release, callbacks outside " +
+		"the critical section)",
+	Applies: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/sessioncache")
+	},
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	policy := policyInterface(p.Pkg)
+	if policy == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: p, policy: policy}
+			// The package convention: a function named *Locked runs with
+			// the caller's lock held.
+			w.held = strings.HasSuffix(fn.Name.Name, "Locked")
+			w.stmts(fn.Body.List)
+		}
+	}
+}
+
+// policyInterface resolves the package-scope interface type named
+// "Policy", or nil when the package declares none.
+func policyInterface(pkg *types.Package) *types.TypeName {
+	obj, ok := pkg.Scope().Lookup("Policy").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, isIface := obj.Type().Underlying().(*types.Interface); !isIface {
+		return nil
+	}
+	return obj
+}
+
+// lockWalker tracks whether a mutex is held while walking one function
+// body in source order.
+type lockWalker struct {
+	pass   *Pass
+	policy *types.TypeName
+	held   bool
+}
+
+// stmts processes a statement list in order, updating the lock state at
+// Lock/Unlock/defer-Unlock statements and checking every other
+// statement's expressions for Policy calls under the open span.
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, ok := w.mutexCall(s.X); ok {
+			switch name {
+			case "Lock", "RLock":
+				w.held = true
+			case "Unlock", "RUnlock":
+				w.held = false
+			}
+			return
+		}
+		w.check(s.X)
+	case *ast.DeferStmt:
+		if name, ok := w.mutexCall(s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			// defer mu.Unlock(): the span stays open for the rest of the
+			// function body.
+			w.held = true
+			return
+		}
+		w.check(s.Call)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.check(s.Cond)
+		w.stmt(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.check(s.Cond)
+		}
+		w.stmt(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.check(s.X)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.check(s.Tag)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.check(e)
+		}
+		w.stmts(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm)
+		}
+		w.stmts(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	default:
+		// Assignments, returns, go statements, sends, ...: no lock-state
+		// change, but their expressions may call the policy.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkShallow(e)
+			}
+			return true
+		})
+	}
+}
+
+// check inspects one expression tree for Policy method calls under the
+// open span.
+func (w *lockWalker) check(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.policyCall(call)
+		}
+		return true
+	})
+}
+
+// checkShallow checks a single node (used by the generic statement
+// fallback, where ast.Inspect already provides the traversal).
+func (w *lockWalker) checkShallow(e ast.Expr) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		w.policyCall(call)
+	}
+}
+
+// policyCall reports call if its receiver's static type is the package's
+// Policy interface and the mutex span is open.
+func (w *lockWalker) policyCall(call *ast.CallExpr) {
+	if !w.held {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	t := w.pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() != w.policy.Type().(*types.Named).Obj() {
+		return
+	}
+	w.pass.Reportf(call.Pos(), "Policy.%s called while the store mutex is held: policy callbacks "+
+		"stall every concurrent Get/Put — run them outside the critical section or in bounded "+
+		"batches, and annotate the deliberate sites //cocktail:allow lockdiscipline <reason>",
+		sel.Sel.Name)
+}
+
+// mutexCall reports whether e is a method call on a sync.Mutex or
+// sync.RWMutex (by the receiver's static type), returning the method
+// name.
+func (w *lockWalker) mutexCall(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := w.pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if name := obj.Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

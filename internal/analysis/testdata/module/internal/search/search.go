@@ -1,0 +1,10 @@
+// Package search sits at a path the determinism analyzer applies to
+// and imports math/rand, so an end-to-end Load + Run over this module
+// yields exactly one finding.
+package search
+
+import "math/rand"
+
+// Draw violates the determinism contract twice over (import + global
+// draw); the import finding is what the loader test pins.
+func Draw() int { return rand.Intn(3) }

@@ -1,0 +1,6 @@
+// This file exists so the loader test can prove test files are NOT
+// loaded: it would not type-check against the fixture module (package
+// testing is fine, the undefined identifier below is not).
+package search
+
+var _ = thisIdentifierDoesNotExist

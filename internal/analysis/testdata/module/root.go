@@ -1,0 +1,6 @@
+// Package fixturemod is the root package of the loader fixture module:
+// Load must resolve its import path to the bare module path.
+package fixturemod
+
+// Version is read by nothing; the package exists to be loaded.
+const Version = "fixture"

@@ -1,0 +1,27 @@
+// Package allowhygiene holds malformed, unknown-name, stale and
+// consumed //cocktail:allow annotations. The expectations live in
+// TestAllowHygiene rather than want-comments: the findings point at the
+// annotation lines themselves, where a second comment cannot ride
+// along.
+package allowhygiene
+
+import "time"
+
+//cocktail:allow
+var bare = 1
+
+//cocktail:allow nosuchanalyzer a reason does not save an unknown name
+var unknown = 2
+
+// stale: well-formed, but immutability never fires on this line.
+//
+//cocktail:allow immutability this suppresses nothing
+var stale = 3
+
+// consumed suppresses the clockinject finding below (the fixture's
+// package path is chosen so clockinject applies) and must not be
+// reported stale.
+func consumed() time.Time {
+	//cocktail:allow clockinject fixture: consumed allow
+	return time.Now()
+}

@@ -1,0 +1,45 @@
+// Package clockinject exercises the clockinject analyzer: direct clock
+// reads fire, the injected-now pattern and value references stay clean,
+// and //cocktail:allow works on the same line and the line above.
+package clockinject
+
+import "time"
+
+type registry struct {
+	now func() time.Time
+	ttl time.Duration
+}
+
+// newRegistry shows the injection default: referencing time.Now as a
+// value is legal — only calling it inline reads the wall clock.
+func newRegistry(ttl time.Duration) *registry {
+	return &registry{now: time.Now, ttl: ttl}
+}
+
+// expired flows the expiry decision through the injected clock.
+func (r *registry) expired(last time.Time) bool {
+	return r.now().Sub(last) > r.ttl
+}
+
+func direct() time.Time {
+	return time.Now() // want `direct time\.Now in a TTL-owning package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct time\.Since in a TTL-owning package`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `direct time\.Until in a TTL-owning package`
+}
+
+// allowedSameLine is a latency-metric style site annotated in place.
+func allowedSameLine() time.Time {
+	return time.Now() //cocktail:allow clockinject fixture: same-line placement
+}
+
+// allowedLineAbove is annotated on the line directly above.
+func allowedLineAbove() time.Time {
+	//cocktail:allow clockinject fixture: line-above placement
+	return time.Now()
+}

@@ -1,0 +1,74 @@
+// Package determinism exercises the determinism analyzer: the
+// math/rand import, global draws, clock-seeded sources, and map-range
+// loops feeding ordered output (plus the sanctioned collect-then-sort
+// and loop-local shapes, which must stay clean).
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in a bit-reproducible package`
+	"sort"
+	"strings"
+	"time"
+)
+
+// globals draws from shared process-wide state.
+func globals() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from shared process-wide state`
+}
+
+// seeded retains an explicit seeded stream: the constructors are
+// exempt (the import-level finding is the annotation point).
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// clockSeeded is unreproducible by construction.
+func clockSeeded() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seeded from the clock`
+}
+
+// mapOrder feeds ordered output straight out of map iteration.
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over a map`
+	}
+	return out
+}
+
+// mapCollectSort is the sanctioned pattern: collect, sort, use.
+func mapCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapLocal accumulates into a loop-local slice: invisible outside the
+// iteration, so order cannot leak.
+func mapLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// mapWrite emits through a writer in map order.
+func mapWrite(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `Fprintf inside range over a map emits output in map order`
+	}
+}
+
+// sliceRange is not a map: ordered output from a slice range is fine.
+func sliceRange(xs []string, b *strings.Builder) {
+	for _, x := range xs {
+		b.WriteString(x)
+	}
+}

@@ -1,0 +1,45 @@
+// Package immutability exercises the //cocktail:immutable contract:
+// writes inside the declaring package's constructors (and init) are
+// sanctioned construction, every other field write fires, and unmarked
+// types stay writable.
+package immutability
+
+// Frozen is read-only after NewFrozen.
+//
+//cocktail:immutable
+type Frozen struct {
+	N    int
+	name string
+}
+
+// Mutable carries no marker: writes anywhere are fine.
+type Mutable struct{ N int }
+
+var def = &Frozen{}
+
+// init is a sanctioned construction context.
+func init() {
+	def.N = 1
+}
+
+// NewFrozen is the sanctioned constructor.
+func NewFrozen(n int, name string) *Frozen {
+	f := &Frozen{}
+	f.N = n
+	f.name = name
+	return f
+}
+
+// Rename writes a frozen field from a method: under the lock-free
+// concurrency model this is a data race by design.
+func (f *Frozen) Rename(name string) {
+	f.name = name // want `assignment to Frozen\.name outside its constructor`
+}
+
+func bump(f *Frozen) {
+	f.N++ // want `assignment to Frozen\.N outside its constructor`
+}
+
+func mutate(m *Mutable) {
+	m.N = 7
+}

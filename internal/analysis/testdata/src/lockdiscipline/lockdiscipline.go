@@ -1,0 +1,116 @@
+// Package lockdiscipline exercises the lock-span walker: explicit
+// Lock/Unlock spans, deferred unlocks, RWMutex read spans, the *Locked
+// naming convention, loop bodies, and the annotated escape hatch.
+package lockdiscipline
+
+import (
+	"sync"
+	"time"
+)
+
+// Policy mirrors the store's callback interface; the analyzer resolves
+// it by its package-scope name.
+type Policy interface {
+	OnHit(k string, now time.Time)
+	OnMiss(k string, now time.Time)
+	Stats() int
+}
+
+type Store struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	policy Policy
+}
+
+// span: a callback inside an explicit Lock/Unlock span fires; after the
+// Unlock the span is closed.
+func (s *Store) span(now time.Time) {
+	s.mu.Lock()
+	s.policy.OnHit("k", now) // want `Policy\.OnHit called while the store mutex is held`
+	s.mu.Unlock()
+	s.policy.OnMiss("k", now)
+}
+
+// deferred: a deferred Unlock holds the span to the end of the
+// function, through branches and assignments.
+func (s *Store) deferred(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now.IsZero() {
+		s.policy.OnMiss("k", now) // want `Policy\.OnMiss called while the store mutex is held`
+	}
+	n := s.policy.Stats() // want `Policy\.Stats called while the store mutex is held`
+	return n
+}
+
+// reader: an RLock opens a span too — policy work stalls writers.
+func (s *Store) reader(now time.Time) {
+	s.rw.RLock()
+	s.policy.OnHit("k", now) // want `Policy\.OnHit called while the store mutex is held`
+	s.rw.RUnlock()
+}
+
+// sweepLocked follows the callers-hold-mu naming convention: the span
+// is open on entry, including inside loops.
+func (s *Store) sweepLocked(keys []string, now time.Time) {
+	for _, k := range keys {
+		s.policy.OnMiss(k, now) // want `Policy\.OnMiss called while the store mutex is held`
+	}
+}
+
+// unlocked holds no span: callbacks run outside the critical section.
+func (s *Store) unlocked(now time.Time) {
+	s.policy.OnHit("k", now)
+}
+
+// allowed is the deliberate, annotated site.
+func (s *Store) allowed(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//cocktail:allow lockdiscipline fixture: bounded O(1) callback by contract
+	s.policy.OnHit("k", now)
+}
+
+// branches drives the walker through the remaining statement shapes:
+// switch, type switch, select, labeled loops.
+func (s *Store) branches(mode int, ch chan string, now time.Time) {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.policy.OnHit("k", now) // want `Policy\.OnHit called while the store mutex is held`
+	default:
+		s.policy.OnMiss("k", now) // want `Policy\.OnMiss called while the store mutex is held`
+	}
+	switch v := any(mode).(type) {
+	case int:
+		_ = v
+		s.policy.OnHit("ts", now) // want `Policy\.OnHit called while the store mutex is held`
+	}
+	select {
+	case k := <-ch:
+		s.policy.OnMiss(k, now) // want `Policy\.OnMiss called while the store mutex is held`
+	default:
+	}
+loop:
+	for i := 0; i < 1; i++ {
+		s.policy.OnHit("f", now) // want `Policy\.OnHit called while the store mutex is held`
+		break loop
+	}
+	s.mu.Unlock()
+}
+
+// fakeLocker has Lock/Unlock methods but is not a sync mutex: its span
+// must not count, and calls on non-Policy receivers must not fire.
+type fakeLocker struct{}
+
+func (fakeLocker) Lock()   {}
+func (fakeLocker) Unlock() {}
+
+func (s *Store) notAMutex(fl fakeLocker, now time.Time) {
+	fl.Lock()
+	s.policy.OnHit("k", now)
+	fl.Unlock()
+	s.mu.Lock()
+	fl.Lock() // a non-mutex call under the real span: not a Policy call
+	s.mu.Unlock()
+}

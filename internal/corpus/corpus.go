@@ -68,7 +68,11 @@ func Defaults(seed uint64) Config {
 	}
 }
 
-// Lexicon is a deterministic closed vocabulary.
+// Lexicon is a deterministic closed vocabulary. It is read-only after
+// NewLexicon; pipelines share one instance across goroutines without
+// locking.
+//
+//cocktail:immutable
 type Lexicon struct {
 	cfg       Config
 	Words     []WordInfo

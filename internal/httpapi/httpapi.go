@@ -105,6 +105,12 @@ type Options struct {
 	// carve-out in percent under CachePolicyA1; 0 inherits
 	// ProbationPct. Ignored unless SealedCachePct is set.
 	SealedProbationPct float64
+	// Now overrides the wall clock for every TTL/expiry decision — the
+	// session registry's idle checks and the session/prefix cache's
+	// entry expiry (nil = time.Now). Tests inject a fake clock here to
+	// drive expiry without real sleeps. The janitor's tick cadence stays
+	// on the real clock: it is scheduling, not expiry state.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +130,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 1024
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -163,7 +172,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 		opts:     opts,
 		jobs:     make(chan func(), opts.QueueDepth),
 		stop:     make(chan struct{}),
-		sessions: newSessionRegistry(opts.SessionTTL, opts.MaxSessions, sessionByteBudget(opts)),
+		sessions: newSessionRegistry(opts.SessionTTL, opts.MaxSessions, sessionByteBudget(opts), opts.Now),
 		stats: map[string]*endpointStats{
 			"/v1/info":           {},
 			"/v1/answer":         {},
@@ -185,6 +194,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			AdaptWindow:        opts.AdaptWindow,
 			SealedPct:          opts.SealedCachePct,
 			SealedProbationPct: opts.SealedProbationPct,
+			Now:                opts.Now,
 		})
 	}
 	// Janitor: Get/Put expire lazily, but an idle server would otherwise
@@ -431,10 +441,12 @@ func (s *Server) track(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Add(1)
 		st.inFlight.Add(1)
+		//cocktail:allow clockinject latency metric, not expiry state: endpoint timings must reflect real elapsed time even under a fake test clock
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		st.inFlight.Add(-1)
+		//cocktail:allow clockinject latency metric, not expiry state: pairs with the time.Now above
 		st.observe(time.Since(start), rec.status)
 	}
 }
@@ -568,6 +580,7 @@ type sessionRegistry struct {
 	ttl      time.Duration
 	max      int
 	maxBytes int64 // cap on the sessions' summed retained prefill KV
+	now      func() time.Time
 	m        map[string]*liveSession
 	bytes    int64 // current sum of liveSession.bytes
 }
@@ -582,8 +595,11 @@ func sessionByteBudget(opts Options) int64 {
 	return int64(opts.SessionCacheMB) << 20
 }
 
-func newSessionRegistry(ttl time.Duration, max int, maxBytes int64) *sessionRegistry {
-	return &sessionRegistry{ttl: ttl, max: max, maxBytes: maxBytes, m: make(map[string]*liveSession)}
+func newSessionRegistry(ttl time.Duration, max int, maxBytes int64, now func() time.Time) *sessionRegistry {
+	if now == nil {
+		now = time.Now
+	}
+	return &sessionRegistry{ttl: ttl, max: max, maxBytes: maxBytes, now: now, m: make(map[string]*liveSession)}
 }
 
 // removeLocked drops one session and its byte accounting. Callers hold r.mu.
@@ -607,7 +623,7 @@ func (r *sessionRegistry) expireLocked(now time.Time) {
 func (r *sessionRegistry) sweep() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expireLocked(time.Now())
+	r.expireLocked(r.now())
 }
 
 func (r *sessionRegistry) add(sess *cocktail.Session) (*liveSession, error) {
@@ -625,7 +641,7 @@ func (r *sessionRegistry) add(sess *cocktail.Session) (*liveSession, error) {
 		return nil, fmt.Errorf("httpapi: context prefill KV (%d bytes) exceeds the session byte budget (%d bytes)",
 			ls.bytes, r.maxBytes)
 	}
-	now := time.Now()
+	now := r.now()
 	r.expireLocked(now)
 	// At either cap — session count or summed prefill KV bytes — evict
 	// the least-recently-used session (clients see a 404 on its next use
@@ -648,7 +664,7 @@ func (r *sessionRegistry) add(sess *cocktail.Session) (*liveSession, error) {
 func (r *sessionRegistry) get(id string) (*liveSession, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	now := time.Now()
+	now := r.now()
 	r.expireLocked(now)
 	ls, ok := r.m[id]
 	if ok {
@@ -662,7 +678,7 @@ func (r *sessionRegistry) delete(id string) bool {
 	defer r.mu.Unlock()
 	// Expire first so deleting a TTL-stale id reports 404 exactly like
 	// any other access to it would.
-	r.expireLocked(time.Now())
+	r.expireLocked(r.now())
 	_, ok := r.m[id]
 	r.removeLocked(id)
 	return ok
@@ -671,7 +687,7 @@ func (r *sessionRegistry) delete(id string) bool {
 func (r *sessionRegistry) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expireLocked(time.Now())
+	r.expireLocked(r.now())
 	return len(r.m)
 }
 

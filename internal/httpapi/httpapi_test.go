@@ -24,6 +24,29 @@ func testPipeline(t *testing.T) *cocktail.Pipeline {
 	return p
 }
 
+// fakeClock is a mutex-guarded manual clock for Options.Now: TTL tests
+// advance it explicitly instead of sleeping, so expiry coverage costs
+// no wall time and cannot flake on a slow runner. The guard matters —
+// the janitor goroutine reads the clock concurrently under -race.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	s := NewServer(testPipeline(t), Options{})
@@ -613,7 +636,8 @@ func TestOversizedSessionRejected(t *testing.T) {
 // like every other access to it, not 204.
 func TestDeleteExpiredSessionIs404(t *testing.T) {
 	p := testPipeline(t)
-	s := NewServer(p, Options{SessionTTL: 50 * time.Millisecond})
+	clk := newFakeClock()
+	s := NewServer(p, Options{SessionTTL: 50 * time.Millisecond, Now: clk.Now})
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
@@ -625,7 +649,7 @@ func TestDeleteExpiredSessionIs404(t *testing.T) {
 		map[string]any{"context": sample.Context}, &info); code != 200 {
 		t.Fatal("create failed")
 	}
-	time.Sleep(120 * time.Millisecond) // past TTL, before the janitor's 1s tick
+	clk.Advance(51 * time.Millisecond) // past TTL with no sleep: expiry is the lazy on-access path
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+info.SessionID, nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -634,6 +658,40 @@ func TestDeleteExpiredSessionIs404(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("delete of expired session status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJanitorSweepFakeClock drives the janitor's proactive expiry path
+// (sweep, not lazy on-access) purely by advancing the injected clock:
+// the registry drops the aged session and the metrics reflect it,
+// without a single sleep.
+func TestJanitorSweepFakeClock(t *testing.T) {
+	p := testPipeline(t)
+	clk := newFakeClock()
+	s := NewServer(p, Options{SessionTTL: 50 * time.Millisecond, Now: clk.Now})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var sample struct{ Context []string }
+	getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=43", &sample)
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create failed")
+	}
+	if n := s.sessions.len(); n != 1 {
+		t.Fatalf("registry has %d sessions, want 1", n)
+	}
+	clk.Advance(51 * time.Millisecond)
+	s.sessions.sweep() // what the 1s janitor tick runs, minus the wait
+	if n := s.sessions.len(); n != 0 {
+		t.Fatalf("registry has %d sessions after sweep, want 0", n)
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.SessionCache.ActiveSessions != 0 {
+		t.Fatalf("metrics still report %d active sessions", m.SessionCache.ActiveSessions)
 	}
 }
 
@@ -699,7 +757,8 @@ func TestErrorPathsTable(t *testing.T) {
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
-	sShort := NewServer(p, Options{SessionTTL: 80 * time.Millisecond})
+	shortClk := newFakeClock()
+	sShort := NewServer(p, Options{SessionTTL: 80 * time.Millisecond, Now: shortClk.Now})
 	t.Cleanup(sShort.Close)
 	srvShort := httptest.NewServer(sShort)
 	t.Cleanup(srvShort.Close)
@@ -718,15 +777,15 @@ func TestErrorPathsTable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A session aged past the short server's TTL (its janitor ticks at
-	// 1s, so expiry here is the lazy on-access path), and a live one on
-	// the default server for body-decode rows.
+	// A session aged past the short server's TTL by advancing its fake
+	// clock (expiry is the lazy on-access path; nothing sleeps), and a
+	// live one on the default real-clock server for body-decode rows.
 	var expired SessionInfo
 	if code := postJSON(t, srvShort.URL+"/v1/session",
 		map[string]any{"context": sample.Context}, &expired); code != 200 {
 		t.Fatal("create expired-session fixture failed")
 	}
-	time.Sleep(160 * time.Millisecond)
+	shortClk.Advance(81 * time.Millisecond)
 	var live SessionInfo
 	if code := postJSON(t, srv.URL+"/v1/session",
 		map[string]any{"context": sample.Context}, &live); code != 200 {

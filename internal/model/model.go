@@ -82,6 +82,9 @@ func (c Config) Validate() error {
 }
 
 // Model is a constructed two-layer induction transformer over a lexicon.
+// Weights are frozen at New; every request reads them lock-free.
+//
+//cocktail:immutable
 type Model struct {
 	cfg Config
 	lex *corpus.Lexicon

@@ -152,7 +152,7 @@ func TestPolicyA1SightingWindow(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 100, TTL: time.Minute,
 		Policy: NewPolicyA1(16, time.Minute, 20),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	s.Put(key(0), fakeValue{bytes: 50}) // oversize for probation: ghosted
 	now = now.Add(2 * time.Minute)

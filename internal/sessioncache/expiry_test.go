@@ -17,7 +17,7 @@ func TestExpiryWashoutCountsAndReghosts(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 100, TTL: time.Minute,
 		Policy: NewPolicyA1(16, time.Minute, 20),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	s.Put(key(0), fakeValue{bytes: 10}) // probation trial
 	now = now.Add(2 * time.Minute)
@@ -48,7 +48,7 @@ func TestLazyExpiryNotifiesPolicy(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 100, TTL: time.Minute,
 		Policy: NewPolicyA1(16, time.Minute, 20),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	s.Put(key(0), fakeValue{bytes: 10}) // probation trial
 	now = now.Add(2 * time.Minute)
@@ -76,7 +76,7 @@ func TestPutExpiresStaleResident(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 100, TTL: time.Minute,
 		Policy: NewPolicyA1(16, time.Minute, 20),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	s.Put(key(0), fakeValue{bytes: 10}) // probation trial, never re-referenced
 	now = now.Add(2 * time.Minute)
@@ -138,7 +138,7 @@ func TestAdaptiveFlipAgnosticToChurnOrigin(t *testing.T) {
 	expire := New(Options{
 		MaxBytes: 1 << 20, TTL: time.Minute,
 		Policy: NewPolicyAdaptive(64, time.Minute, 8),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	for i := 0; i < 16; i++ {
 		evict.Put(key(i), fakeValue{bytes: 40}) // 2 fit: steady eviction churn
@@ -164,7 +164,7 @@ func TestPolicy2QGhostStaleReap(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 1000, TTL: time.Minute,
 		Policy: NewPolicy2Q(8, time.Minute),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	for i := 0; i < 8; i++ { // fill the ghost list
 		s.Put(key(i), fakeValue{bytes: 1})
@@ -194,7 +194,7 @@ func TestSweepBatchesLargeExpiry(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 1 << 20, TTL: time.Minute,
 		Policy: NewPolicyA1(2048, time.Minute, 1<<18),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	const n = 3*sweepBatchSize + 17
 	for i := 0; i < n; i++ {

@@ -82,7 +82,7 @@ func TestPolicy2QSightingWindow(t *testing.T) {
 	s := New(Options{
 		MaxBytes: 1000, TTL: time.Minute,
 		Policy: NewPolicy2Q(16, time.Minute),
-		now:    func() time.Time { return now },
+		Now:    func() time.Time { return now },
 	})
 	s.Put(key(0), fakeValue{bytes: 1})
 	now = now.Add(2 * time.Minute)

@@ -127,8 +127,11 @@ type Options struct {
 	// empty keeps the single shared budget (the historical behavior).
 	Kinds map[Kind]KindBudget
 
-	// now overrides the clock in tests; nil means time.Now.
-	now func() time.Time
+	// Now overrides the clock for every TTL/expiry decision; nil means
+	// time.Now. Serving layers thread one injected clock through here
+	// and their own registries so all expiry state agrees on "now" and
+	// tests drive it without real sleeps.
+	Now func() time.Time
 }
 
 // DefaultMaxBytes is the byte budget used when Options.MaxBytes <= 0.
@@ -271,8 +274,8 @@ func New(opts Options) *Store {
 	if opts.MaxBytes <= 0 {
 		opts.MaxBytes = DefaultMaxBytes
 	}
-	if opts.now == nil {
-		opts.now = time.Now
+	if opts.Now == nil {
+		opts.Now = time.Now
 	}
 	if opts.Policy == nil {
 		opts.Policy = NewPolicyLRU()
@@ -361,7 +364,7 @@ func (s *Store) acctOf(kind Kind) *kindAcct {
 func (s *Store) Get(k Key) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := s.opts.now()
+	now := s.opts.Now()
 	el, ok := s.items[k]
 	if ok && s.expired(el.Value.(*entry), now) {
 		s.expireLocked(el, now)
@@ -369,6 +372,7 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	}
 	if !ok {
 		s.misses.Inc()
+		//cocktail:allow lockdiscipline Policy contract: callbacks run under mu (policies keep no locks of their own); OnMiss is O(1) counter work
 		s.policy.OnMiss(k, now)
 		return nil, false
 	}
@@ -376,9 +380,10 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	e.lastUsed = now
 	e.hit = true
 	e.sh.listOf(e.seg).MoveToFront(el)
+	//cocktail:allow lockdiscipline promotion decision must be atomic with the recency bump it justifies; OnHit is O(1)
 	if seg := s.policy.OnHit(k, e.seg, now); seg != e.seg {
 		el = s.moveSegment(el, seg)
-		s.evictOver(e.sh, seg, el, now)
+		s.evictOverLocked(e.sh, seg, el, now)
 	}
 	s.hits.Inc()
 	return e.value, true
@@ -409,10 +414,10 @@ func (s *Store) moveSegment(el *list.Element, seg Segment) *list.Element {
 	return el
 }
 
-// evictOver evicts LRU entries of a shard's segment until its byte
+// evictOverLocked evicts LRU entries of a shard's segment until its byte
 // budget holds, never evicting keep (the entry whose insertion or
-// promotion caused the pressure).
-func (s *Store) evictOver(sh *shard, seg Segment, keep *list.Element, now time.Time) {
+// promotion caused the pressure). Callers hold s.mu.
+func (s *Store) evictOverLocked(sh *shard, seg Segment, keep *list.Element, now time.Time) {
 	ll, budget := sh.listOf(seg), sh.capOf(seg)
 	for sh.segBytes(seg) > budget {
 		lru := ll.Back()
@@ -420,6 +425,7 @@ func (s *Store) evictOver(sh *shard, seg Segment, keep *list.Element, now time.T
 			break
 		}
 		e := lru.Value.(*entry)
+		//cocktail:allow lockdiscipline the victim must be ghosted before another Put can race its key; the per-Put eviction count is bounded by the incoming entry's size
 		s.policy.OnEvict(e.key, e.seg, e.hit, now)
 		s.removeLocked(lru)
 		s.evictions.Inc()
@@ -444,7 +450,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sh := s.shardOf(k.Kind)
-	now := s.opts.now()
+	now := s.opts.Now()
 	el, resident := s.items[k]
 	if resident && s.expired(el.Value.(*entry), now) {
 		// A TTL-stale resident is not a live re-reference: expire it
@@ -473,6 +479,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 		// guarantees the value fits the promotion target, so the
 		// resident entry is only removed once storage is assured.
 		e := el.Value.(*entry)
+		//cocktail:allow lockdiscipline replacement placement must be atomic with the remove+reinsert below; OnHit is O(1)
 		seg = s.policy.OnHit(k, e.seg, now)
 		if bytes > sh.capOf(seg) {
 			// Defensive: only reachable if a policy keeps an oversize
@@ -486,6 +493,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 		hit = true
 	} else {
 		var ok bool
+		//cocktail:allow lockdiscipline admission must be atomic with residency (a racing Put on the same key would double-count sightings); Admit is O(1) plus amortized ghost reaping
 		if seg, ok = s.policy.Admit(k, bytes, now); !ok {
 			return false
 		}
@@ -511,7 +519,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 		a.probBytes += bytes
 	}
 	s.insertions.Inc()
-	s.evictOver(sh, seg, el, now)
+	s.evictOverLocked(sh, seg, el, now)
 	return true
 }
 
@@ -561,7 +569,7 @@ func (s *Store) Sweep() int {
 func (s *Store) sweepBatch() (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := s.opts.now()
+	now := s.opts.Now()
 	n := 0
 	for _, sh := range s.shards() {
 		for _, ll := range []*list.List{sh.ll, sh.prob} {
@@ -598,6 +606,7 @@ func (s *Store) Bytes() int64 {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//cocktail:allow lockdiscipline snapshot consistency: counters and occupancy must be read under one lock hold; Stats is read-only O(kinds)
 	adm := s.policy.Stats()
 	adm.SegmentPromotions = s.promotions.Load()
 	for _, sh := range s.shards() {
@@ -654,6 +663,7 @@ func (s *Store) expired(e *entry, now time.Time) bool {
 // byte-pressure churn. Callers hold s.mu.
 func (s *Store) expireLocked(el *list.Element, now time.Time) {
 	e := el.Value.(*entry)
+	//cocktail:allow lockdiscipline the Sweep contract's bounded hold: sweepBatch releases mu every sweepBatchSize removals, so a slow OnExpire stalls Gets for at most one batch (TestSweepLatencyBound)
 	s.policy.OnExpire(e.key, e.seg, e.hit, now)
 	s.removeLocked(el)
 	s.expirations.Inc()

@@ -76,7 +76,7 @@ func TestReplaceDoesNotLeakBytes(t *testing.T) {
 
 func TestTTLExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
-	s := New(Options{MaxBytes: 100, TTL: time.Minute, now: func() time.Time { return now }})
+	s := New(Options{MaxBytes: 100, TTL: time.Minute, Now: func() time.Time { return now }})
 	s.Put(key(0), fakeValue{bytes: 10})
 	s.Put(key(1), fakeValue{bytes: 10})
 

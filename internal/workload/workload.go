@@ -31,6 +31,7 @@ package workload
 
 import (
 	"fmt"
+	//cocktail:allow determinism seeded rand.NewSource(Seed+1) reproduces the historical byte-identical draw stream that the soak suite's exact hit-rate pins depend on; migrating to rngx.Split would silently rewrite every golden number (TestStreamDrawsPinned guards the stream)
 	"math/rand"
 	"strings"
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# bench.sh runs the serving-path benchmark trio (warm session answers,
+# prefix cache under scan, mixed-kind workload) and converts the output
+# to BENCH_PR6.json at the repo root via cocktail-benchjson.
+#
+#   BENCHTIME=1x   per-benchmark time/iterations (default 1x: a smoke
+#                  run; use e.g. 2s for a measurement run)
+#   OUT=...        output path (default BENCH_PR6.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="${OUT:-BENCH_PR6.json}"
+
+{
+  go test -run '^$' -bench '^BenchmarkSessionAnswerWarm$' -benchtime "$benchtime" .
+  go test -run '^$' -bench '^(BenchmarkPrefixCacheUnderScan|BenchmarkMixedKindWorkload)$' \
+    -benchtime "$benchtime" ./internal/workload
+} | tee /dev/stderr | go run ./cmd/cocktail-benchjson -o "$out"
+
+echo "wrote $out" >&2

@@ -338,6 +338,11 @@ type SessionCacheOptions struct {
 	// inherit ProbationPct's resolved value). Ignored unless SealedPct
 	// is set.
 	SealedProbationPct float64
+	// Now overrides the wall clock for TTL/expiry decisions (nil =
+	// time.Now). Tests inject a fake clock to drive expiry without real
+	// sleeps; servers thread their own injected clock through here so
+	// registry TTLs and cache TTLs tick together.
+	Now func() time.Time
 }
 
 // AdmissionStats reports a SessionCache's admission-policy counters and
@@ -489,7 +494,7 @@ func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
 	return &SessionCache{
 		p: p,
 		store: sessioncache.New(sessioncache.Options{
-			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol, Kinds: kinds}),
+			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol, Kinds: kinds, Now: opts.Now}),
 	}
 }
 
