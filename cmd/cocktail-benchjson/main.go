@@ -1,15 +1,25 @@
 // Command cocktail-benchjson converts `go test -bench` text output into
 // a stable JSON document, so benchmark runs can be committed (the
-// BENCH_PR6.json snapshot at the repo root) and archived as CI
+// BENCH_PR*.json snapshots at the repo root) and archived as CI
 // artifacts without anyone parsing benchmark text downstream.
 //
 // Usage:
 //
 //	go test -bench ... | cocktail-benchjson [-o out.json]
+//	cocktail-benchjson -compare [-tolerance 20] old.json new.json
 //
 // Every `value unit` pair on a benchmark line is kept, so custom
 // testing.B.ReportMetric units (warm-hit-rate, ms/req) survive next to
 // ns/op.
+//
+// Compare mode diffs two snapshots and exits 1 on regression — the CI
+// gate against the previous PR's committed snapshot. Timing-sensitive
+// units (ns/op, ms/req, req/s, …) are only compared when both runs did
+// more than one iteration: a 1-iteration smoke run measures scheduler
+// luck, not the code. Deterministic units (the *-rate hit-rate metrics)
+// are always compared. A benchmark present in the old snapshot but
+// missing from the new one fails the comparison — losing a benchmark is
+// itself a regression.
 package main
 
 import (
@@ -19,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,7 +61,34 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two snapshots: cocktail-benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 20, "compare mode: allowed regression in percent before failing")
 	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "cocktail-benchjson: -compare needs exactly two snapshot paths")
+			os.Exit(2)
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
+			os.Exit(2)
+		}
+		regressions := compare(os.Stdout, old, cur, *tolerance)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "cocktail-benchjson: %d regression(s) beyond %.0f%% vs %s:\n", len(regressions), *tolerance, flag.Arg(0))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cocktail-benchjson:", err)
@@ -134,4 +173,116 @@ func parseBenchLine(pkg, line string) (Bench, error) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, nil
+}
+
+// loadReport reads a snapshot written by this tool.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// procsSuffix matches the -N GOMAXPROCS suffix go test appends to
+// benchmark names on multi-proc runs (and omits at GOMAXPROCS=1).
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// matchBench finds old's counterpart for a new benchmark. Names match
+// exactly, or with exactly one side's procs suffix stripped — so a
+// snapshot taken at GOMAXPROCS=1 (no suffix) compares against a
+// multi-proc run of the same benchmark. Both-sides stripping is
+// deliberately not attempted: it would alias sub-benchmarks whose names
+// end in a number (split-45 vs split-46).
+func matchBench(oldByKey map[string]Bench, b Bench) (Bench, bool) {
+	if o, ok := oldByKey[b.Package+"\x00"+b.Name]; ok {
+		return o, true
+	}
+	if s := procsSuffix.ReplaceAllString(b.Name, ""); s != b.Name {
+		if o, ok := oldByKey[b.Package+"\x00"+s]; ok {
+			return o, true
+		}
+	}
+	if o, ok := oldByKey[b.Package+"\x00"+b.Name+"-1"]; ok {
+		return o, true
+	}
+	return Bench{}, false
+}
+
+// deterministicUnit reports whether a metric is run-to-run stable (the
+// seeded hit-rate metrics) rather than timing-derived. Deterministic
+// units are compared even between 1-iteration smoke runs.
+func deterministicUnit(unit string) bool {
+	return strings.HasSuffix(unit, "-rate")
+}
+
+// higherBetter reports the improvement direction for a unit: rates and
+// per-second figures regress downward, latencies and allocation counts
+// regress upward.
+func higherBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "-rate")
+}
+
+// compare diffs two snapshots, prints one line per compared (or skipped)
+// metric to w, and returns the descriptions of every regression beyond
+// tolerance percent. A benchmark in old with no counterpart in new is a
+// regression; benchmarks new in new are reported but never failing.
+func compare(w io.Writer, old, cur *Report, tolerance float64) []string {
+	oldByKey := make(map[string]Bench, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByKey[b.Package+"\x00"+b.Name] = b
+	}
+	var regressions []string
+	matched := make(map[string]bool, len(old.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		o, ok := matchBench(oldByKey, b)
+		if !ok {
+			fmt.Fprintf(w, "new       %s %s (no baseline)\n", b.Package, b.Name)
+			continue
+		}
+		matched[o.Package+"\x00"+o.Name] = true
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if _, ok := o.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := o.Metrics[unit], b.Metrics[unit]
+			if !deterministicUnit(unit) && (o.Iterations == 1 || b.Iterations == 1) {
+				fmt.Fprintf(w, "skipped   %s %s %s (1-iteration smoke run)\n", b.Package, b.Name, unit)
+				continue
+			}
+			if ov == 0 {
+				// No baseline magnitude to take a percentage of.
+				fmt.Fprintf(w, "skipped   %s %s %s (zero baseline)\n", b.Package, b.Name, unit)
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			worse := delta > tolerance
+			if higherBetter(unit) {
+				worse = delta < -tolerance
+			}
+			verdict := "ok       "
+			if worse {
+				verdict = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s %s: %g -> %g (%+.1f%%)", b.Package, b.Name, unit, ov, nv, delta))
+			}
+			fmt.Fprintf(w, "%s %s %s %s: %g -> %g (%+.1f%%)\n", verdict, b.Package, b.Name, unit, ov, nv, delta)
+		}
+	}
+	for _, o := range old.Benchmarks {
+		if !matched[o.Package+"\x00"+o.Name] {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: present in baseline, missing from new run", o.Package, o.Name))
+			fmt.Fprintf(w, "MISSING   %s %s\n", o.Package, o.Name)
+		}
+	}
+	return regressions
 }

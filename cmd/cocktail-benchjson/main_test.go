@@ -59,6 +59,110 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// rpt builds a one-package report from (name, iterations, metrics)
+// triples for the compare tests.
+func rpt(benches ...Bench) *Report {
+	r := &Report{}
+	for _, b := range benches {
+		b.Package = "repro/x"
+		r.Benchmarks = append(r.Benchmarks, b)
+	}
+	return r
+}
+
+func bench(name string, iters int64, metrics map[string]float64) Bench {
+	return Bench{Name: name, Iterations: iters, Metrics: metrics}
+}
+
+func regressionsOf(t *testing.T, old, cur *Report, tol float64) []string {
+	t.Helper()
+	var out strings.Builder
+	regs := compare(&out, old, cur, tol)
+	t.Logf("compare output:\n%s", out.String())
+	return regs
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := rpt(
+		bench("BenchmarkA", 50, map[string]float64{"ns/op": 100, "req/s": 40, "warm-hit-rate": 0.8}),
+	)
+	// Within tolerance both ways: no regression.
+	ok := rpt(
+		bench("BenchmarkA", 50, map[string]float64{"ns/op": 110, "req/s": 36, "warm-hit-rate": 0.75}),
+	)
+	if regs := regressionsOf(t, old, ok, 20); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	// ns/op regresses upward, req/s and hit-rate regress downward.
+	bad := rpt(
+		bench("BenchmarkA", 50, map[string]float64{"ns/op": 130, "req/s": 25, "warm-hit-rate": 0.5}),
+	)
+	regs := regressionsOf(t, old, bad, 20)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (ns/op up, req/s down, hit-rate down), got %v", regs)
+	}
+	// Improvements in every direction never fail.
+	good := rpt(
+		bench("BenchmarkA", 50, map[string]float64{"ns/op": 10, "req/s": 400, "warm-hit-rate": 1.0}),
+	)
+	if regs := regressionsOf(t, old, good, 20); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsSmokeTimings(t *testing.T) {
+	// Either side at 1 iteration: timing units are scheduler luck, but
+	// the seeded hit-rate is deterministic and must still gate.
+	old := rpt(bench("BenchmarkA", 1, map[string]float64{"ns/op": 100, "ms/req": 9, "warm-hit-rate": 0.75}))
+	cur := rpt(bench("BenchmarkA-4", 1, map[string]float64{"ns/op": 900, "ms/req": 80, "warm-hit-rate": 0.75}))
+	if regs := regressionsOf(t, old, cur, 20); len(regs) != 0 {
+		t.Fatalf("smoke-run timings gated: %v", regs)
+	}
+	worse := rpt(bench("BenchmarkA-4", 1, map[string]float64{"ns/op": 100, "ms/req": 9, "warm-hit-rate": 0.25}))
+	regs := regressionsOf(t, old, worse, 20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "warm-hit-rate") {
+		t.Fatalf("deterministic hit-rate drop not gated: %v", regs)
+	}
+}
+
+func TestCompareProcsSuffixMatching(t *testing.T) {
+	// A GOMAXPROCS=1 baseline has no -N suffix; multi-proc CI runs do —
+	// and vice versa. Numeric sub-benchmark names must not alias.
+	old := rpt(
+		bench("BenchmarkMixed/split-45", 10, map[string]float64{"warm-hit-rate": 0.8}),
+		bench("BenchmarkWarm-1", 10, map[string]float64{"warm-hit-rate": 0.9}),
+	)
+	cur := rpt(
+		bench("BenchmarkMixed/split-45-4", 10, map[string]float64{"warm-hit-rate": 0.8}),
+		bench("BenchmarkWarm", 10, map[string]float64{"warm-hit-rate": 0.9}),
+	)
+	if regs := regressionsOf(t, old, cur, 20); len(regs) != 0 {
+		t.Fatalf("suffix-insensitive match failed: %v", regs)
+	}
+	// A different numeric sub-benchmark is NOT its sibling's baseline:
+	// split-46 finds no counterpart, and split-45 goes missing.
+	renamed := rpt(bench("BenchmarkMixed/split-46", 10, map[string]float64{"warm-hit-rate": 0.1}))
+	regs := regressionsOf(t, rpt(old.Benchmarks[0]), renamed, 20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("want exactly the missing-benchmark regression, got %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := rpt(
+		bench("BenchmarkA", 10, map[string]float64{"ns/op": 100}),
+		bench("BenchmarkGone", 10, map[string]float64{"ns/op": 100}),
+	)
+	cur := rpt(
+		bench("BenchmarkA", 10, map[string]float64{"ns/op": 100}),
+		bench("BenchmarkNew", 10, map[string]float64{"ns/op": 100}),
+	)
+	regs := regressionsOf(t, old, cur, 20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkGone") {
+		t.Fatalf("dropped benchmark must regress (and a new one must not): %v", regs)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkOdd 1 2",             // odd value/unit split

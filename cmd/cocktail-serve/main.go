@@ -26,6 +26,12 @@
 // — so cheap seal trials stop competing with ~3× bigger builders; see
 // docs/API.md for the full reference.
 //
+// The answer endpoints run under a continuous-batching scheduler:
+// concurrent requests coalesce into batches of up to -batch-max
+// interleaved decode turns (1 disables batching), each batch holding its
+// first request up to -batch-window while arrivals accumulate; see the
+// "batching" block of /v1/metrics for the resulting batch shapes.
+//
 // Usage:
 //
 //	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64 \
@@ -41,6 +47,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	cocktail "repro"
 	"repro/internal/httpapi"
@@ -80,6 +87,10 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 		"dedicate this percent of the cache budget to sealed caches (prefill builders get the rest), giving each kind its own sub-budget, probation pool and admission state; 0 = one shared budget")
 	sealedProbationPct := fs.Float64("sealed-probation-pct", 0,
 		"a1 probation share of the sealed sub-budget, percent in (0, 100); 0 inherits -probation-pct (needs -sealed-cache-pct)")
+	batchMax := fs.Int("batch-max", 0,
+		"max interleaved answer turns per batch worker (0 = 8, 1 disables continuous batching)")
+	batchWindow := fs.Duration("batch-window", 0,
+		"how long a new batch holds its first request to coalesce arrivals, at most 1s (0 = 2ms, negative = no hold); also sizes the cold-join deadline budget at 8x the window")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -106,6 +117,20 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	if *sealedProbationPct > 0 && *sealedCachePct == 0 {
 		return nil, fmt.Errorf("cocktail-serve: -sealed-probation-pct requires -sealed-cache-pct")
 	}
+	// The library accepts negative spellings for both batching knobs
+	// (disable / no hold); the CLI rejects them because a stray sign in
+	// a deployment manifest is a typo, not a request. Disabling batching
+	// is spelled -batch-max 1, and a negligible -batch-window (e.g. 1ns)
+	// gets as close to "no hold" as a manifest should need.
+	if *batchMax < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -batch-max must be >= 0 (1 disables batching), have %d", *batchMax)
+	}
+	if *batchWindow < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -batch-window must be >= 0, have %v", *batchWindow)
+	}
+	if *batchWindow > time.Second {
+		return nil, fmt.Errorf("cocktail-serve: -batch-window must be <= 1s (the cold-join deadline budget is 8x the window), have %v", *batchWindow)
+	}
 
 	return &serveConfig{
 		addr: *addr,
@@ -122,6 +147,8 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 			AdaptWindow:        *adaptWindow,
 			SealedCachePct:     *sealedCachePct,
 			SealedProbationPct: *sealedProbationPct,
+			BatchMax:           *batchMax,
+			BatchWindow:        *batchWindow,
 		},
 	}, nil
 }

@@ -44,6 +44,9 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 		{"sealed-cache-pct-100", "-sealed-cache-pct 100", "-sealed-cache-pct"},
 		{"sealed-probation-pct-over", "-sealed-cache-pct 40 -sealed-probation-pct 100", "-sealed-probation-pct"},
 		{"sealed-probation-without-split", "-sealed-probation-pct 25", "-sealed-cache-pct"},
+		{"negative-batch-max", "-batch-max -1", "-batch-max"},
+		{"negative-batch-window", "-batch-window -2ms", "-batch-window"},
+		{"oversize-batch-window", "-batch-window 2s", "-batch-window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,6 +114,18 @@ func TestParseArgsValid(t *testing.T) {
 			t.Errorf("policy %q rejected: %v", spelling, err)
 		}
 	}
+	// Batching knobs thread through untouched; 1 is the disable spelling
+	// and the library default (0) needs no flags at all.
+	cfg, err = parseArgs(strings.Fields("-batch-max 16 -batch-window 5ms"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.BatchMax != 16 || cfg.opts.BatchWindow != 5*time.Millisecond {
+		t.Fatalf("batching flags not threaded: %+v", cfg.opts)
+	}
+	if cfg, err = parseArgs(strings.Fields("-batch-max 1"), io.Discard); err != nil || cfg.opts.BatchMax != 1 {
+		t.Fatalf("-batch-max 1 (disable) rejected: cfg=%+v err=%v", cfg, err)
+	}
 	// Defaults: probation-pct starts inside its valid range, so a bare
 	// invocation parses.
 	cfg, err = parseArgs(nil, io.Discard)
@@ -136,6 +151,9 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"-sealed-cache-pct", "100"},
 		{"-sealed-cache-pct", "40", "-sealed-probation-pct", "-1"},
 		{"-sealed-probation-pct", "20"},
+		{"-batch-max", "-2"},
+		{"-batch-window", "-1ms"},
+		{"-batch-window", "90s"},
 	} {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

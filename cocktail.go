@@ -301,27 +301,11 @@ func (p *Pipeline) checkSeqBound(ctxTokens, queryTokens int) error {
 // same context, Prefill/Session (or a SessionCache) skips the prefill
 // stage and produces byte-identical results.
 func (p *Pipeline) Answer(context, query []string) (*Result, error) {
-	ctxIDs, err := p.encode(context)
+	t, err := p.StartAnswer(context, query)
 	if err != nil {
 		return nil, err
 	}
-	qIDs, err := p.encode(query)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.checkSeqBound(len(ctxIDs), len(qIDs)); err != nil {
-		return nil, err
-	}
-	b, err := p.model.Prefill(ctxIDs)
-	if err != nil {
-		return nil, err
-	}
-	cache, plan, err := core.Prepare(p.method, b, ctxIDs, qIDs)
-	if err != nil {
-		return nil, err
-	}
-	out := p.model.Generate(cache, qIDs, maxNewTokens)
-	return p.buildResult(cache, plan, len(ctxIDs), out), nil
+	return t.Result(), nil
 }
 
 // buildResult assembles the public Result from a decoded cache and its

@@ -1,0 +1,377 @@
+package httpapi
+
+// Continuous batching for the answer endpoints.
+//
+// The legacy dispatch runs one request per pool worker start-to-finish.
+// The batcher replaces that for /v1/answer and /v1/session/{id}/answer:
+// each batch worker owns a set of in-flight cocktail.Turns and advances
+// them one decode step at a time, round-robin. Because a Turn shares
+// nothing mutable with its siblings (see turn.go in the root package),
+// interleaving is free of locks on the hot path — and because Answer is
+// literally StartAnswer + drain, the batched output is byte-identical to
+// the serial path by construction.
+//
+// Where the throughput comes from: requests in one batch that share a
+// context share one Session, so the batch pays prefill (and, for a
+// repeated plan, quantization) once per *unique* context instead of once
+// per request — the same work elimination a GPU server gets from batching
+// prefill GEMMs, translated to this CPU substrate. Decode-step
+// interleaving is what creates those sharing opportunities: new arrivals
+// join a running batch at step boundaries instead of waiting behind it.
+//
+// Scheduling contract (documented in DESIGN.md, asserted by the tests):
+//
+//   - Admission-aware priority: two FIFO lanes. The warm lane holds
+//     session answers (prefill pinned by the session) and /v1/answer
+//     requests whose context is resident in the prefix cache
+//     (SessionCache.Cached — a pure peek); the cold lane holds requests
+//     that must pay a fresh prefill. Warm work is dispatched first: it
+//     finishes quickly and never stalls a running batch.
+//   - Collect window: a worker seeding a new batch holds its first
+//     request up to BatchWindow, coalescing queued arrivals, then runs.
+//   - Step-boundary joins: while a batch decodes, queued requests join at
+//     step boundaries up to BatchMax. Warm requests join any time; a cold
+//     request joins only while the batch is younger than the deadline
+//     budget (batchDeadlineMult × BatchWindow), because its prefill would
+//     stall every running batchmate's decode by a whole prefill latency.
+//   - Solo fallback: a cold request refused by a deadline-expired batch
+//     is deferred, not dropped — the next free worker seeds a fresh batch
+//     with it (counted as solo_fallbacks), so coalescing can never blow a
+//     cold request's time-to-first-token beyond one batch drain. A cold
+//     request that has waited past the deadline budget outranks warm
+//     arrivals at seed time, so the warm lane cannot starve it.
+//   - Cancellation: a request whose context dies is dropped at the next
+//     step boundary (or at pickup); its batchmates keep decoding
+//     unaffected. Session items follow submitWait semantics — the handler
+//     holds the session lock until the batcher has definitively stopped
+//     touching the Session.
+//
+// Clocking: waiting (collect window) uses real timers — that is
+// scheduling, like the janitor's tick. Deadline/age *state* (batch age,
+// queue wait) is measured with the injected Options.Now so tests drive it
+// deterministically.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cocktail "repro"
+)
+
+// batchDeadlineMult sizes the per-batch deadline budget as a multiple of
+// BatchWindow: a batch older than this stops admitting cold joiners (and
+// a cold request queued longer than this outranks warm arrivals).
+const batchDeadlineMult = 8
+
+// batchItem is one answer request in flight through the batcher. Exactly
+// one of sess (session path; the HTTP handler holds the session mutex
+// for the item's whole lifetime) or contextWords (/v1/answer path) is
+// set. res/err are written by the batch worker before done is closed and
+// read by the handler only after done is closed.
+type batchItem struct {
+	ctx          context.Context
+	sess         *cocktail.Session
+	contextWords []string
+	query        []string
+	warm         bool
+	enqueued     time.Time // injected clock; queue-age state
+	deferred     bool      // guarded by batcher.mu once queued
+
+	res  *cocktail.Result
+	err  error
+	done chan struct{}
+}
+
+func (it *batchItem) finish(res *cocktail.Result, err error) {
+	it.res, it.err = res, err
+	close(it.done)
+}
+
+// batcher is the continuous-batching scheduler: a bounded two-lane queue
+// plus Workers batch-worker goroutines.
+type batcher struct {
+	s      *Server
+	max    int           // BatchMax
+	window time.Duration // BatchWindow (collect hold; <= 0 means no hold)
+	budget time.Duration // deadline budget for cold joins / queue age
+
+	mu    sync.Mutex
+	warm  []*batchItem
+	cold  []*batchItem
+	limit int           // queue capacity (both lanes)
+	ready chan struct{} // one token per queued item; capacity limit
+
+	batches       atomic.Int64
+	batchedReqs   atomic.Int64
+	maxBatch      atomic.Int64
+	stepJoins     atomic.Int64
+	sharedPrefill atomic.Int64
+	coldDeferrals atomic.Int64
+	soloFallbacks atomic.Int64
+	canceled      atomic.Int64
+}
+
+// newBatcher builds the scheduler and starts its workers on s.wg; they
+// exit — after draining the queue — when s.stop closes.
+func newBatcher(s *Server) *batcher {
+	b := &batcher{
+		s:      s,
+		max:    s.opts.BatchMax,
+		window: s.opts.BatchWindow,
+		limit:  s.opts.QueueDepth,
+		ready:  make(chan struct{}, s.opts.QueueDepth),
+	}
+	if b.window > 0 {
+		b.budget = batchDeadlineMult * b.window
+	}
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				seed, ok := b.popWait()
+				if !ok {
+					return
+				}
+				b.runBatch(seed)
+			}
+		}()
+	}
+	return b
+}
+
+// push queues an item, warm lane or cold, or reports ErrQueueFull at
+// capacity. One ready token is sent per queued item, so tokens can never
+// exceed the channel's capacity.
+func (b *batcher) push(it *batchItem) error {
+	it.done = make(chan struct{})
+	it.enqueued = b.s.opts.Now()
+	b.mu.Lock()
+	if len(b.warm)+len(b.cold) >= b.limit {
+		b.mu.Unlock()
+		return ErrQueueFull
+	}
+	if it.warm {
+		b.warm = append(b.warm, it)
+	} else {
+		b.cold = append(b.cold, it)
+	}
+	b.mu.Unlock()
+	b.ready <- struct{}{}
+	return nil
+}
+
+// queueLen reports the queued (not yet picked up) item count.
+func (b *batcher) queueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.warm) + len(b.cold)
+}
+
+// take removes and returns the next item; it is called exactly once per
+// consumed ready token, so an item is always available. Warm lane first —
+// unless a cold head has waited past the deadline budget (anti-starvation)
+// — then cold, but only when coldOK. A refused cold head is marked
+// deferred, its token is restored, and take returns nil: the caller's
+// join loop stops for this step boundary and a free worker picks the item
+// up as its own seed.
+func (b *batcher) take(coldOK bool) *batchItem {
+	b.mu.Lock()
+	var it *batchItem
+	switch {
+	case coldOK && len(b.cold) > 0 &&
+		(len(b.warm) == 0 || b.s.opts.Now().Sub(b.cold[0].enqueued) > b.budget):
+		it, b.cold = b.cold[0], b.cold[1:]
+	case len(b.warm) > 0:
+		it, b.warm = b.warm[0], b.warm[1:]
+	default:
+		// Only cold items remain and coldOK is false.
+		if !b.cold[0].deferred {
+			b.cold[0].deferred = true
+			b.coldDeferrals.Add(1)
+		}
+	}
+	b.mu.Unlock()
+	if it == nil {
+		b.ready <- struct{}{} // restore the consumed token
+	}
+	return it
+}
+
+// popWait blocks for the next seed item. It returns false once the
+// server is closing and the queue has drained.
+func (b *batcher) popWait() (*batchItem, bool) {
+	for {
+		select {
+		case <-b.ready:
+			return b.take(true), true // coldOK seed pop never refuses
+		case <-b.s.stop:
+			select {
+			case <-b.ready:
+				return b.take(true), true
+			default:
+				return nil, false
+			}
+		}
+	}
+}
+
+// popCollect takes a queued item during the collect phase, giving up when
+// the window timer fires; it does not wait once the server is closing.
+func (b *batcher) popCollect(timeout <-chan time.Time) (*batchItem, bool) {
+	select {
+	case <-b.ready:
+		return b.take(true), true
+	case <-timeout:
+		return nil, false
+	case <-b.s.stop:
+		select {
+		case <-b.ready:
+			return b.take(true), true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// tryPop takes a queued item at a step boundary without waiting. A nil
+// item means stop joining for this boundary (queue empty, or its head is
+// a cold item this batch may no longer admit).
+func (b *batcher) tryPop(coldOK bool) *batchItem {
+	select {
+	case <-b.ready:
+		return b.take(coldOK)
+	default:
+		return nil
+	}
+}
+
+// turnState is one admitted item's in-flight decode.
+type turnState struct {
+	item *batchItem
+	turn *cocktail.Turn
+}
+
+// contextKey identifies a /v1/answer context for within-batch sharing.
+func contextKey(words []string) string { return strings.Join(words, "\x00") }
+
+// admit starts an item's turn, sharing one Session per unique context
+// across the batch: the batch pays each distinct prefill once. Items
+// whose context died, or whose pipeline stages fail, are finished here
+// and not added. isSeed marks the solo-fallback accounting for items a
+// deadline-expired batch previously refused.
+func (b *batcher) admit(it *batchItem, shared map[string]*cocktail.Session, active []*turnState, isSeed bool) []*turnState {
+	if it.ctx.Err() != nil {
+		b.canceled.Add(1)
+		it.finish(nil, it.ctx.Err())
+		return active
+	}
+	if isSeed && it.deferred {
+		b.soloFallbacks.Add(1)
+	}
+	sess := it.sess
+	if sess == nil {
+		key := contextKey(it.contextWords)
+		if cached, ok := shared[key]; ok {
+			b.sharedPrefill.Add(1)
+			sess = cached
+		} else {
+			var err error
+			if b.s.sc != nil {
+				sess, err = b.s.sc.Prefill(it.contextWords)
+			} else {
+				sess, err = b.s.p.Prefill(it.contextWords)
+			}
+			if err != nil {
+				it.finish(nil, err)
+				return active
+			}
+			shared[key] = sess
+		}
+	}
+	turn, err := sess.StartAnswer(it.query)
+	if err != nil {
+		it.finish(nil, err)
+		return active
+	}
+	b.batchedReqs.Add(1)
+	return append(active, &turnState{item: it, turn: turn})
+}
+
+// runBatch drives one batch to completion: collect up to the window,
+// then interleave single-token decode steps across all active turns,
+// admitting step-boundary joiners, until every turn has finished.
+func (b *batcher) runBatch(seed *batchItem) {
+	started := b.s.opts.Now()
+	shared := make(map[string]*cocktail.Session)
+	active := b.admit(seed, shared, nil, true)
+	peak := len(active)
+
+	if b.window > 0 && len(active) > 0 && len(active) < b.max {
+		timer := time.NewTimer(b.window)
+		for len(active) < b.max {
+			it, ok := b.popCollect(timer.C)
+			if !ok {
+				break
+			}
+			if it != nil {
+				active = b.admit(it, shared, active, false)
+			}
+		}
+		timer.Stop()
+	}
+	if len(active) > peak {
+		peak = len(active)
+	}
+
+	for len(active) > 0 {
+		// Step-boundary joins: warm freely, cold only inside the budget.
+		coldOK := b.s.opts.Now().Sub(started) <= b.budget
+		for len(active) < b.max {
+			it := b.tryPop(coldOK)
+			if it == nil {
+				break
+			}
+			n := len(active)
+			active = b.admit(it, shared, active, false)
+			if len(active) > n {
+				b.stepJoins.Add(1)
+			}
+		}
+		if len(active) > peak {
+			peak = len(active)
+		}
+		// One decode step per turn; finished and canceled items drop out,
+		// the rest keep their relative order.
+		keep := active[:0]
+		for _, st := range active {
+			if st.item.ctx.Err() != nil {
+				b.canceled.Add(1)
+				st.item.finish(nil, st.item.ctx.Err())
+				continue
+			}
+			if st.turn.Step() {
+				keep = append(keep, st)
+			} else {
+				st.item.finish(st.turn.Result(), nil)
+			}
+		}
+		active = keep
+	}
+
+	// A seed that failed admission (cancel or pipeline error) never became
+	// a batch; don't let it skew the mean-batch figure.
+	if peak == 0 {
+		return
+	}
+	b.batches.Add(1)
+	for {
+		cur := b.maxBatch.Load()
+		if int64(peak) <= cur || b.maxBatch.CompareAndSwap(cur, int64(peak)) {
+			break
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// batchPipeline is a small-sequence pipeline (256-token contexts) so the
+// batching tests hammer scheduling, not prefill arithmetic.
+func batchPipeline(t *testing.T) *cocktail.Pipeline {
+	t.Helper()
+	p, err := cocktail.New(cocktail.Config{MaxSeq: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func batchSample(t *testing.T, p *cocktail.Pipeline, seed uint64) *cocktail.Sample {
+	t.Helper()
+	s, err := p.NewSample("Qasper", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestBatcherCoalesceSharesPrefill drives the scheduler directly: eight
+// items pushed while one worker holds its collect window must form a
+// single batch, pay each distinct context's prefill once, interleave
+// session turns next to cold turns — and every output must be
+// byte-identical to the serial Answer path.
+func TestBatcherCoalesceSharesPrefill(t *testing.T) {
+	p := batchPipeline(t)
+	s1, s2, s3 := batchSample(t, p, 1), batchSample(t, p, 2), batchSample(t, p, 3)
+	s := NewServer(p, Options{
+		Workers: 1, QueueDepth: 16, BatchMax: 8, BatchWindow: 300 * time.Millisecond})
+	defer s.Close()
+
+	sess, err := p.Prefill(s3.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		item *batchItem
+		want *cocktail.Result
+	}
+	var jobs []job
+	addAnswer := func(sm *cocktail.Sample) {
+		want, err := p.Answer(sm.Context, sm.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{
+			item: &batchItem{ctx: context.Background(), contextWords: sm.Context, query: sm.Query},
+			want: want,
+		})
+	}
+	// Six cold answers over two distinct contexts plus two session turns
+	// over a third: 8 turns, 3 unique prefills.
+	for i := 0; i < 3; i++ {
+		addAnswer(s1)
+		addAnswer(s2)
+	}
+	for i := 0; i < 2; i++ {
+		want, err := p.Answer(s3.Context, s3.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{
+			item: &batchItem{ctx: context.Background(), sess: sess, query: s3.Query, warm: true},
+			want: want,
+		})
+	}
+	for _, j := range jobs {
+		if err := s.batch.push(j.item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, j := range jobs {
+		<-j.item.done
+		if j.item.err != nil {
+			t.Fatalf("item %d: %v", i, j.item.err)
+		}
+		if !reflect.DeepEqual(j.item.res, j.want) {
+			t.Fatalf("item %d diverged from serial Answer\n got: %+v\nwant: %+v", i, j.item.res, j.want)
+		}
+	}
+
+	m := s.Snapshot().Batching
+	if !m.Enabled || m.BatchMax != 8 {
+		t.Fatalf("batching block misconfigured: %+v", m)
+	}
+	if m.Batches != 1 || m.BatchedRequests != 8 || m.MeanBatch != 8 || m.MaxBatch != 8 {
+		t.Fatalf("expected one batch of 8, got %+v", m)
+	}
+	// 6 answers over 2 contexts share 4 prefills; the session items bring
+	// their own pinned prefill and share nothing through the batch map.
+	if m.SharedPrefills != 4 {
+		t.Fatalf("shared_prefills = %d, want 4: %+v", m.SharedPrefills, m)
+	}
+	if m.QueueLen != 0 {
+		t.Fatalf("queue not drained: %+v", m)
+	}
+}
+
+// TestBatcherCancellationDoesNotPoisonBatchmates: two of four batchmates
+// are canceled while the batch is still collecting/decoding (the 300ms
+// window makes "still running at 5ms" certain); the survivors' outputs
+// must stay byte-identical and the canceled items must surface their
+// context error.
+func TestBatcherCancellationDoesNotPoisonBatchmates(t *testing.T) {
+	p := batchPipeline(t)
+	s1, s2 := batchSample(t, p, 4), batchSample(t, p, 5)
+	want1, err := p.Answer(s1.Context, s1.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(p, Options{
+		Workers: 1, QueueDepth: 16, BatchMax: 4, BatchWindow: 300 * time.Millisecond})
+	defer s.Close()
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	items := []*batchItem{
+		{ctx: context.Background(), contextWords: s1.Context, query: s1.Query},
+		{ctx: ctx1, contextWords: s2.Context, query: s2.Query},
+		{ctx: ctx2, contextWords: s2.Context, query: s2.Query},
+		{ctx: context.Background(), contextWords: s1.Context, query: s1.Query},
+	}
+	for _, it := range items {
+		if err := s.batch.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No turn can finish before the collect window closes, so these land
+	// mid-batch by construction.
+	time.Sleep(5 * time.Millisecond)
+	cancel1()
+	cancel2()
+	for _, it := range items {
+		<-it.done
+	}
+	for _, i := range []int{0, 3} {
+		if items[i].err != nil {
+			t.Fatalf("survivor %d: %v", i, items[i].err)
+		}
+		if !reflect.DeepEqual(items[i].res, want1) {
+			t.Fatalf("survivor %d diverged after batchmate cancellation\n got: %+v\nwant: %+v",
+				i, items[i].res, want1)
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(items[i].err, context.Canceled) {
+			t.Fatalf("canceled item %d: err = %v, want context.Canceled", i, items[i].err)
+		}
+	}
+	if m := s.Snapshot().Batching; m.Canceled != 2 {
+		t.Fatalf("canceled = %d, want 2: %+v", m.Canceled, m)
+	}
+	// The batch survives cancellation for future work too.
+	it := &batchItem{ctx: context.Background(), contextWords: s1.Context, query: s1.Query}
+	if err := s.batch.push(it); err != nil {
+		t.Fatal(err)
+	}
+	<-it.done
+	if it.err != nil || !reflect.DeepEqual(it.res, want1) {
+		t.Fatalf("post-cancel request diverged: res=%+v err=%v", it.res, it.err)
+	}
+}
+
+// TestBatcherLanesAndSaturation unit-tests the two-lane queue: capacity
+// rejection, warm-first dispatch, cold refusal outside the deadline
+// budget (marked deferred exactly once, token restored), and the
+// age-based anti-starvation that lets an old cold request outrank warm
+// arrivals at seed time.
+func TestBatcherLanesAndSaturation(t *testing.T) {
+	clock := newFakeClock()
+	s := &Server{opts: Options{Workers: 1, QueueDepth: 3, Now: clock.Now}.withDefaults(),
+		stop: make(chan struct{})}
+	defer close(s.stop)
+	// Hand-built so no workers race the pops.
+	b := &batcher{s: s, max: 8, window: 2 * time.Millisecond,
+		budget: 16 * time.Millisecond, limit: 3, ready: make(chan struct{}, 3)}
+
+	mk := func(warm bool) *batchItem {
+		return &batchItem{ctx: context.Background(), warm: warm}
+	}
+	c1, w1, c2 := mk(false), mk(true), mk(false)
+	for _, it := range []*batchItem{c1, w1, c2} {
+		if err := b.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.push(mk(false)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push at capacity: err = %v, want ErrQueueFull", err)
+	}
+	if n := b.queueLen(); n != 3 {
+		t.Fatalf("queueLen = %d, want 3", n)
+	}
+
+	if it := b.tryPop(true); it != w1 {
+		t.Fatalf("warm item should dispatch first, got %+v", it)
+	}
+	// Cold-only queue, cold not admissible: refuse, defer once, restore
+	// the token so the item stays poppable.
+	if it := b.tryPop(false); it != nil {
+		t.Fatalf("cold item dispatched past the deadline budget: %+v", it)
+	}
+	if !c1.deferred || b.coldDeferrals.Load() != 1 {
+		t.Fatalf("cold head not deferred exactly once: deferred=%v count=%d",
+			c1.deferred, b.coldDeferrals.Load())
+	}
+	if it := b.tryPop(false); it != nil || b.coldDeferrals.Load() != 1 {
+		t.Fatalf("second refusal must not re-count: item=%v count=%d", it, b.coldDeferrals.Load())
+	}
+	if it := b.tryPop(true); it != c1 {
+		t.Fatalf("deferred cold item lost, got %+v", it)
+	}
+
+	// Anti-starvation: once c2 has waited past the budget, it outranks a
+	// fresh warm arrival even though the warm lane normally wins.
+	clock.Advance(17 * time.Millisecond)
+	w2 := mk(true)
+	if err := b.push(w2); err != nil {
+		t.Fatal(err)
+	}
+	if it := b.tryPop(true); it != c2 {
+		t.Fatalf("aged cold item should outrank warm, got %+v", it)
+	}
+	if it := b.tryPop(true); it != w2 {
+		t.Fatalf("expected the warm item last, got %+v", it)
+	}
+	if it := b.tryPop(true); it != nil {
+		t.Fatalf("queue should be empty, got %+v", it)
+	}
+}
+
+// TestBatchingDisabledLegacyPath: BatchMax 1 restores direct pool
+// dispatch — no batcher is built, answers still serve correctly, and the
+// metrics block reports batching disabled with zeroed counters.
+func TestBatchingDisabledLegacyPath(t *testing.T) {
+	p := batchPipeline(t)
+	sm := batchSample(t, p, 6)
+	want, err := p.Answer(sm.Context, sm.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(p, Options{BatchMax: -1})
+	defer s.Close()
+	if s.batch != nil {
+		t.Fatal("batcher built despite BatchMax disabling it")
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var res cocktail.Result
+	if code := postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sm.Context, "query": sm.Query}, &res); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if strings.Join(res.Answer, " ") != strings.Join(want.Answer, " ") {
+		t.Fatalf("legacy path diverged: %q != %q", res.Answer, want.Answer)
+	}
+	m := s.Snapshot().Batching
+	if m.Enabled || m.Batches != 0 || m.BatchedRequests != 0 {
+		t.Fatalf("disabled batching block should be zeroed: %+v", m)
+	}
+}
+
+// TestBatchedMixedHammer fires concurrent answer + session-answer +
+// DELETE traffic with mid-flight client cancellations through the real
+// HTTP surface; run under -race this is the serve-path half of the
+// cancellation satellite. Every 200 must carry byte-identical output no
+// matter which batch it rode in or which batchmates died beside it.
+func TestBatchedMixedHammer(t *testing.T) {
+	p := batchPipeline(t)
+	samples := []*cocktail.Sample{
+		batchSample(t, p, 10), batchSample(t, p, 11), batchSample(t, p, 12)}
+	want := make(map[string]string, len(samples))
+	for _, sm := range samples {
+		res, err := p.Answer(sm.Context, sm.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[strings.Join(sm.Context, " ")] = strings.Join(res.Answer, " ")
+	}
+	s := NewServer(p, Options{
+		Workers: 2, QueueDepth: 32, BatchMax: 4, BatchWindow: 10 * time.Millisecond})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// One long-lived session per sample for the session-answer mix.
+	sids := make([]string, len(samples))
+	for i, sm := range samples {
+		var info SessionInfo
+		if code := postJSON(t, srv.URL+"/v1/session",
+			map[string]any{"context": sm.Context}, &info); code != 200 {
+			t.Fatalf("session create status %d", code)
+		}
+		sids[i] = info.SessionID
+	}
+
+	client := srv.Client()
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	post := func(ctx context.Context, url string, body map[string]any, wantAnswer string) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			// Client-side cancellation is an expected outcome here.
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		defer resp.Body.Close()
+		var res cocktail.Result
+		if resp.StatusCode != http.StatusOK {
+			if ctx.Err() != nil || resp.StatusCode == http.StatusRequestTimeout {
+				return nil
+			}
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if got := strings.Join(res.Answer, " "); got != wantAnswer {
+			return fmt.Errorf("%s: output diverged under the hammer: %q != %q", url, got, wantAnswer)
+		}
+		return nil
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 6; i++ {
+			sm := samples[i%len(samples)]
+			wg.Add(1)
+			go func(i int, sm *cocktail.Sample) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i%3 == 0 {
+					// A third of the answers die mid-batch.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(3+i)*time.Millisecond)
+					defer cancel()
+				}
+				errc <- post(ctx, srv.URL+"/v1/answer",
+					map[string]any{"context": sm.Context, "query": sm.Query},
+					want[strings.Join(sm.Context, " ")])
+			}(i, sm)
+		}
+		for i := 0; i < 2; i++ {
+			idx := (round + i) % len(samples)
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				errc <- post(context.Background(),
+					srv.URL+"/v1/session/"+sids[idx]+"/answer",
+					map[string]any{"query": samples[idx].Query},
+					want[strings.Join(samples[idx].Context, " ")])
+			}(idx)
+		}
+		// Churn an unrelated session with create+DELETE in the same mix.
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			var info SessionInfo
+			sm := samples[round%len(samples)]
+			if code := postJSON(t, srv.URL+"/v1/session",
+				map[string]any{"context": sm.Context}, &info); code != 200 {
+				errc <- fmt.Errorf("churn session create status %d", code)
+				return
+			}
+			req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+info.SessionID, nil)
+			resp, err := client.Do(req)
+			if err != nil {
+				errc <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNoContent {
+				errc <- fmt.Errorf("churn DELETE status %d", resp.StatusCode)
+				return
+			}
+			errc <- nil
+		}(round)
+		wg.Wait()
+	}
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server stays fully serviceable after the hammer.
+	for _, sm := range samples {
+		var res cocktail.Result
+		if code := postJSON(t, srv.URL+"/v1/answer",
+			map[string]any{"context": sm.Context, "query": sm.Query}, &res); code != 200 {
+			t.Fatalf("post-hammer status %d", code)
+		}
+		if got := strings.Join(res.Answer, " "); got != want[strings.Join(sm.Context, " ")] {
+			t.Fatalf("post-hammer output diverged: %q", got)
+		}
+	}
+}
+
+// TestBatchedExpiryAdmissionRace extends the sessioncache expiry/
+// admission race to the batched serve path: concurrent batched answers
+// and session churn race TTL expiry driven by a fake clock, under the
+// per-kind A1 admission machinery — and after a final sweep the byte
+// accounting must drain to zero, exactly like the store-level test.
+func TestBatchedExpiryAdmissionRace(t *testing.T) {
+	p := batchPipeline(t)
+	samples := make([]*cocktail.Sample, 4)
+	want := make([]string, len(samples))
+	for i := range samples {
+		samples[i] = batchSample(t, p, uint64(20+i))
+		res, err := p.Answer(samples[i].Context, samples[i].Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = strings.Join(res.Answer, " ")
+	}
+	clock := newFakeClock()
+	s := NewServer(p, Options{
+		Workers: 2, QueueDepth: 32, BatchMax: 4, BatchWindow: -1, // no hold: hammer at full speed
+		SessionCacheMB: 8, SessionTTL: 100 * time.Microsecond,
+		CachePolicy: cocktail.CachePolicyA1, ProbationPct: 25,
+		SealedCachePct: 40, GhostEntries: 128,
+		Now: clock.Now,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				idx := (g + i) % len(samples)
+				switch {
+				case g == 3 && i%2 == 1:
+					// TTL expiry races the in-flight admissions.
+					clock.Advance(150 * time.Microsecond)
+					s.sc.Sweep()
+				case g == 2 && i%3 == 2:
+					var info SessionInfo
+					if code := postJSON(t, srv.URL+"/v1/session",
+						map[string]any{"context": samples[idx].Context}, &info); code != 200 {
+						errc <- fmt.Errorf("session create status %d", code)
+						return
+					}
+				default:
+					var res cocktail.Result
+					code := postJSON(t, srv.URL+"/v1/answer",
+						map[string]any{"context": samples[idx].Context, "query": samples[idx].Query}, &res)
+					if code != 200 {
+						errc <- fmt.Errorf("answer status %d", code)
+						return
+					}
+					if got := strings.Join(res.Answer, " "); got != want[idx] {
+						errc <- fmt.Errorf("output diverged under expiry race: %q != %q", got, want[idx])
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	clock.Advance(time.Second)
+	s.sc.Sweep()
+	st := s.sc.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("cache accounting did not drain after final sweep: %+v", st)
+	}
+	for kind, ks := range st.Kinds {
+		if ks.Entries != 0 || ks.Bytes != 0 || ks.ProbationEntries != 0 || ks.ProbationBytes != 0 {
+			t.Fatalf("kind %s accounting did not drain: %+v", kind, ks)
+		}
+	}
+	if n := s.sessions.len(); n != 0 {
+		t.Fatalf("%d sessions survived the final expiry", n)
+	}
+}

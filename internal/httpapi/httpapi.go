@@ -4,11 +4,19 @@
 // The pipeline itself is safe for concurrent use (all shared state —
 // lexicon, model weights, encoder tables — is read-only; every request
 // allocates its own KV builder, plan, cache and decoder), so requests are
-// not serialized. Instead, inference work runs on a bounded worker pool
-// with a bounded wait queue: the pool caps concurrent pipeline executions
-// at Options.Workers, up to Options.QueueDepth further requests wait in
-// the queue, and beyond that the server sheds load with 503 rather than
-// letting latency grow without bound.
+// not serialized. Inference work runs on two bounded lanes, each sized by
+// Options.Workers with an Options.QueueDepth wait queue and 503 load
+// shedding beyond it:
+//
+//   - The answer endpoints go through a continuous-batching scheduler
+//     (batcher.go): concurrent /v1/answer and /v1/session/{id}/answer
+//     requests are coalesced into batches whose decode steps interleave,
+//     new arrivals join running batches at step boundaries, and requests
+//     sharing a context share one prefill. Outputs are byte-identical to
+//     serial execution (see the batching contract in DESIGN.md). BatchMax
+//     1 disables this and restores direct pool dispatch.
+//   - /v1/search and /v1/session prefill run one-request-per-worker on
+//     the direct pool (their work has no decode phase to interleave).
 //
 // Cross-request KV reuse: the server keeps a byte-accounted session/prefix
 // cache (cocktail.SessionCache) so a repeated context skips prefill — both
@@ -105,11 +113,25 @@ type Options struct {
 	// carve-out in percent under CachePolicyA1; 0 inherits
 	// ProbationPct. Ignored unless SealedCachePct is set.
 	SealedProbationPct float64
+	// BatchMax caps how many in-flight answer turns one batch worker
+	// interleaves (continuous batching; see batcher.go). 0 selects the
+	// default 8; 1 (or any negative value) disables batching entirely —
+	// the answer endpoints then dispatch directly to the worker pool, the
+	// historical semantics.
+	BatchMax int
+	// BatchWindow is how long a batch worker holds its first request
+	// while coalescing queued arrivals into the batch. 0 selects the
+	// default 2ms; negative means no hold (arrivals still join running
+	// batches at decode-step boundaries). The window also sizes the
+	// per-batch deadline budget (batchDeadlineMult × window) beyond which
+	// a running batch stops admitting cold prefills.
+	BatchWindow time.Duration
 	// Now overrides the wall clock for every TTL/expiry decision — the
 	// session registry's idle checks and the session/prefix cache's
-	// entry expiry (nil = time.Now). Tests inject a fake clock here to
-	// drive expiry without real sleeps. The janitor's tick cadence stays
-	// on the real clock: it is scheduling, not expiry state.
+	// entry expiry (nil = time.Now) — and the batcher's deadline-budget
+	// state. Tests inject a fake clock here to drive expiry without real
+	// sleeps. The janitor's tick cadence and the batcher's collect-window
+	// hold stay on the real clock: that is scheduling, not expiry state.
 	Now func() time.Time
 }
 
@@ -130,6 +152,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 1024
+	}
+	if o.BatchMax == 0 {
+		o.BatchMax = 8
+	}
+	if o.BatchMax < 1 {
+		o.BatchMax = 1 // any disabling spelling normalizes to 1
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -154,6 +185,11 @@ type Server struct {
 	// sc is the cross-request session/prefix cache; nil when disabled.
 	sc       *cocktail.SessionCache
 	sessions *sessionRegistry
+
+	// batch is the continuous-batching scheduler for the answer
+	// endpoints; nil when BatchMax is 1 (batching disabled), in which
+	// case those endpoints dispatch directly to the worker pool.
+	batch *batcher
 
 	stats map[string]*endpointStats
 }
@@ -196,6 +232,9 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			SealedProbationPct: opts.SealedProbationPct,
 			Now:                opts.Now,
 		})
+	}
+	if opts.BatchMax > 1 {
+		s.batch = newBatcher(s)
 	}
 	// Janitor: Get/Put expire lazily, but an idle server would otherwise
 	// hold expired sessions and cache entries until the next request.
@@ -377,9 +416,47 @@ type SessionCacheMetrics struct {
 	ActiveSessions int `json:"active_sessions"`
 }
 
+// BatchingMetrics is the continuous-batching block of the /v1/metrics
+// payload. It is present in every configuration — all zeros with Enabled
+// false when batching is off — so dashboards never need mode-aware
+// parsing. Counter fields are monotonic totals.
+type BatchingMetrics struct {
+	Enabled bool `json:"enabled"`
+	// BatchMax / BatchWindowMS echo the effective configuration.
+	BatchMax      int     `json:"batch_max"`
+	BatchWindowMS float64 `json:"batch_window_ms"`
+	// QueueLen is the current number of queued (not yet picked up)
+	// answer requests, both lanes.
+	QueueLen int `json:"queue_len"`
+	// Batches counts completed batches; BatchedRequests counts the
+	// answer turns they ran (collect-phase members and step joiners
+	// alike), so MeanBatch = BatchedRequests / Batches.
+	Batches         int64   `json:"batches"`
+	BatchedRequests int64   `json:"batched_requests"`
+	MeanBatch       float64 `json:"mean_batch"`
+	// MaxBatch is the largest number of turns any batch interleaved at
+	// one step boundary.
+	MaxBatch int64 `json:"max_batch"`
+	// StepJoins counts requests that joined a batch mid-decode rather
+	// than during its collect window.
+	StepJoins int64 `json:"step_joins"`
+	// SharedPrefills counts requests that reused a batchmate's Session
+	// (their context's prefill was paid once for the whole batch).
+	SharedPrefills int64 `json:"shared_prefills"`
+	// ColdDeferrals counts cold requests a deadline-expired batch
+	// declined to absorb; SoloFallbacks counts those that subsequently
+	// seeded their own fresh batch (the TTFT fallback path).
+	ColdDeferrals int64 `json:"cold_deferrals"`
+	SoloFallbacks int64 `json:"solo_fallbacks"`
+	// Canceled counts requests dropped at a step boundary (or at pickup)
+	// because their client went away; their batchmates keep running.
+	Canceled int64 `json:"canceled"`
+}
+
 // Metrics is the full /v1/metrics payload.
 type Metrics struct {
 	Pool         PoolMetrics                `json:"pool"`
+	Batching     BatchingMetrics            `json:"batching"`
 	SessionCache SessionCacheMetrics        `json:"session_cache"`
 	Endpoints    map[string]EndpointMetrics `json:"endpoints"`
 }
@@ -396,6 +473,26 @@ func (s *Server) Snapshot() Metrics {
 			ActiveSessions: s.sessions.len(),
 		},
 		Endpoints: make(map[string]EndpointMetrics, len(s.stats)),
+	}
+	if s.batch != nil {
+		b := s.batch
+		m.Batching = BatchingMetrics{
+			Enabled:         true,
+			BatchMax:        b.max,
+			BatchWindowMS:   float64(b.window) / float64(time.Millisecond),
+			QueueLen:        b.queueLen(),
+			Batches:         b.batches.Load(),
+			BatchedRequests: b.batchedReqs.Load(),
+			MaxBatch:        b.maxBatch.Load(),
+			StepJoins:       b.stepJoins.Load(),
+			SharedPrefills:  b.sharedPrefill.Load(),
+			ColdDeferrals:   b.coldDeferrals.Load(),
+			SoloFallbacks:   b.soloFallbacks.Load(),
+			Canceled:        b.canceled.Load(),
+		}
+		if m.Batching.Batches > 0 {
+			m.Batching.MeanBatch = float64(m.Batching.BatchedRequests) / float64(m.Batching.Batches)
+		}
 	}
 	if s.sc != nil {
 		m.SessionCache.Enabled = true
@@ -493,15 +590,46 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		res *cocktail.Result
 		err error
 	)
-	perr := s.submit(r.Context(), func() {
-		// With the prefix cache enabled a repeated context skips prefill
-		// transparently; the output is byte-identical to the cold path.
-		if s.sc != nil {
-			res, err = s.sc.Answer(req.Context, req.Query)
-		} else {
-			res, err = s.p.Answer(req.Context, req.Query)
+	perr := func() error {
+		if s.batch != nil {
+			// Batched dispatch: warm-lane classification is a pure cache
+			// peek, then the batcher owns execution. Like submit, the
+			// handler abandons the wait when the client goes away — the
+			// batcher drops the item at pickup or a step boundary.
+			it := &batchItem{
+				ctx:          r.Context(),
+				contextWords: req.Context,
+				query:        req.Query,
+				warm:         s.sc != nil && s.sc.Cached(req.Context),
+			}
+			if err := s.batch.push(it); err != nil {
+				return err
+			}
+			select {
+			case <-it.done:
+				// A context error surfaced by the batcher means the
+				// client went away mid-batch: report it like an
+				// abandoned pool wait, not a pipeline failure.
+				if errors.Is(it.err, context.Canceled) || errors.Is(it.err, context.DeadlineExceeded) {
+					return it.err
+				}
+				res, err = it.res, it.err
+				return nil
+			case <-r.Context().Done():
+				return r.Context().Err()
+			}
 		}
-	})
+		return s.submit(r.Context(), func() {
+			// With the prefix cache enabled a repeated context skips
+			// prefill transparently; the output is byte-identical to the
+			// cold path.
+			if s.sc != nil {
+				res, err = s.sc.Answer(req.Context, req.Query)
+			} else {
+				res, err = s.p.Answer(req.Context, req.Query)
+			}
+		})
+	}()
 	if perr != nil {
 		s.poolErr(w, perr)
 		return
@@ -763,11 +891,26 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 	// Serialize on the session BEFORE taking a pool slot: requests racing
 	// on one session id queue here holding no worker, so a hot session
 	// can occupy at most one worker and cannot starve other endpoints.
-	// submitWait (not submit) so the lock is never released while the
-	// job is still running Answer on the single-owner Session.
+	// submitWait semantics in both modes — the lock is never released
+	// while the batcher or pool may still touch the single-owner Session.
 	perr := func() error {
 		ls.mu.Lock()
 		defer ls.mu.Unlock()
+		if s.batch != nil {
+			// Session answers ride the warm lane: their prefill is
+			// pinned by the session, so batching them never inserts a
+			// prefill stall into a running batch.
+			it := &batchItem{ctx: r.Context(), sess: ls.sess, query: req.Query, warm: true}
+			if berr := s.batch.push(it); berr != nil {
+				return berr
+			}
+			<-it.done
+			res, err = it.res, it.err
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				res, err = nil, nil
+			}
+			return r.Context().Err()
+		}
 		return s.submitWait(r.Context(), func() {
 			res, err = ls.sess.Answer(req.Query)
 		})

@@ -145,16 +145,46 @@ func Simulate(cfg Config, reqs []Request) (Stats, error) {
 	if now > 0 {
 		st.ThroughputTokS = float64(st.TokensGenerated) / now
 	}
-	if len(latencies) > 0 {
-		var sum float64
-		for _, l := range latencies {
-			sum += l
-		}
-		st.MeanLatency = sum / float64(len(latencies))
-		sort.Float64s(latencies)
-		st.P95Latency = latencies[int(float64(len(latencies))*0.95)%len(latencies)]
-	}
+	st.MeanLatency, st.P95Latency = LatencySummary(latencies)
 	return st, nil
+}
+
+// LatencySummary reduces a latency sample to (mean, p95). The p95 is the
+// nearest-rank element at index ⌊0.95·n⌋ of the sorted sample, clamped to
+// the last element — the previous `% len` spelling would wrap an index at
+// the boundary back to the *minimum*, silently reporting P0 as P95. For
+// n ≤ 20 the clamped rank is the sample maximum. A zero-length sample
+// yields zeros. The input slice is not mutated.
+func LatencySummary(latencies []float64) (mean, p95 float64) {
+	if len(latencies) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(latencies))
+	copy(sorted, latencies)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	idx := int(float64(len(sorted)) * 0.95)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sum / float64(len(sorted)), sorted[idx]
+}
+
+// ServiceTime returns the simulated duration of a single request of the
+// given shape run alone (batch 1): prefill + quantization search +
+// out·TPOT. It is the natural unit for normalizing arrival rates — a rate
+// of k/ServiceTime(...) loads the simulated server at k× its single-
+// stream capacity — which is how the sim-vs-live replay tests express
+// "the same pressure" in two systems whose absolute speeds differ by
+// orders of magnitude.
+func ServiceTime(cfg Config, ctxTokens, outTokens int) float64 {
+	wl := hwmodel.Workload{ContextTokens: ctxTokens, OutputTokens: outTokens, Batch: 1}
+	return hwmodel.PrefillLatency(cfg.GPU, cfg.Model, wl) +
+		cfg.Profile.SearchSeconds(ctxTokens, 1) +
+		float64(outTokens)*hwmodel.TPOT(cfg.GPU, cfg.Model, wl, cfg.Profile)
 }
 
 // CompareMethods runs the same trace under several profiles and returns

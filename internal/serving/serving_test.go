@@ -160,3 +160,59 @@ func TestCompareMethods(t *testing.T) {
 		}
 	}
 }
+
+// TestLatencySummarySmallN pins the clamped nearest-rank P95 at small
+// sample sizes — the regression test for the `% len(latencies)` indexing
+// this replaced, which would wrap a boundary index back to the sample
+// *minimum* instead of clamping to the maximum.
+func TestLatencySummarySmallN(t *testing.T) {
+	for n := 1; n <= 25; n++ {
+		sample := make([]float64, n)
+		// Descending input also proves the summary sorts a copy.
+		for i := range sample {
+			sample[i] = float64(n - i)
+		}
+		mean, p95 := LatencySummary(sample)
+		wantIdx := int(float64(n) * 0.95)
+		if wantIdx >= n {
+			wantIdx = n - 1
+		}
+		if want := float64(wantIdx + 1); p95 != want {
+			t.Fatalf("n=%d: p95 = %v, want sorted[%d] = %v", n, p95, wantIdx, want)
+		}
+		if n <= 20 && p95 != float64(n) {
+			t.Fatalf("n=%d: p95 = %v, want the sample max %d for n<=20", n, p95, n)
+		}
+		if want := float64(n+1) / 2; mean != want {
+			t.Fatalf("n=%d: mean = %v, want %v", n, mean, want)
+		}
+		if sample[0] != float64(n) {
+			t.Fatalf("n=%d: LatencySummary mutated its input", n)
+		}
+	}
+	if mean, p95 := LatencySummary(nil); mean != 0 || p95 != 0 {
+		t.Fatalf("empty sample: got (%v, %v), want zeros", mean, p95)
+	}
+}
+
+// TestServiceTimeMatchesSolo: ServiceTime must equal what Simulate
+// charges a lone request, so rate normalization built on it agrees with
+// the simulator it is normalizing for.
+func TestServiceTimeMatchesSolo(t *testing.T) {
+	cfg := testCfg(hwmodel.ProfileCocktail(32, nil))
+	reqs := []Request{{ID: 0, ArrivalTime: 1.5, ContextTokens: 2000, OutputTokens: 128}}
+	st, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := ServiceTime(cfg, 2000, 128)
+	if svc <= 0 {
+		t.Fatalf("non-positive service time %v", svc)
+	}
+	if got, want := st.SimTime, 1.5+svc; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("solo SimTime %v, want arrival + ServiceTime = %v", got, want)
+	}
+	if st.MeanLatency != st.P95Latency {
+		t.Fatalf("single sample: mean %v != p95 %v", st.MeanLatency, st.P95Latency)
+	}
+}

@@ -361,6 +361,19 @@ func (s *Store) acctOf(kind Kind) *kindAcct {
 // OnExpire, then OnMiss). A hit on a probation entry may promote it to
 // the protected segment (the policy's call), which can evict protected
 // LRU entries to make room.
+// Contains reports whether k is resident and unexpired, as a pure peek:
+// unlike Get it bumps no recency, refreshes no TTL, fires no policy
+// callback and moves no counters — and it does not even collect an
+// expired entry it finds (the next Get/Put/Sweep will). Schedulers use it
+// to classify work as warm/cold without the probe itself perturbing the
+// admission state it is asking about.
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	return ok && !s.expired(el.Value.(*entry), s.opts.Now())
+}
+
 func (s *Store) Get(k Key) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,198 @@
+package workload
+
+// Live replay: driving a generated stream through the real HTTP server
+// (internal/httpapi) instead of the in-process Prefiller surface. This is
+// what the batched-vs-serial differential soaks, the sim-vs-live
+// cross-validation tests and BenchmarkBatchedServeThroughput run on.
+//
+// Two drive modes mirror the two ways a serving system is loaded:
+//
+//   - ReplayHTTP is closed-loop: a fixed worker count, the next request
+//     fires when a worker frees up. workers=1 preserves stream order, so
+//     cache-behavior comparisons against the in-process Replay are exact.
+//   - ReplayTrace is open-loop: request i fires at its trace arrival
+//     time regardless of completions — the arrival process the serving
+//     simulator models, which is what makes live and simulated runs of
+//     one serving.PoissonTrace comparable.
+//
+// FromTrace maps a serving trace's (ID, ArrivalTime) stream onto warm
+// workload requests drawn from the same seed lanes as Generate, so the
+// simulator's trace vocabulary and the live server share one request
+// stream.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	cocktail "repro"
+	"repro/internal/parallel"
+	"repro/internal/serving"
+)
+
+// LiveReport aggregates one HTTP replay. Outputs is index-aligned with
+// the request stream regardless of drive mode or concurrency.
+type LiveReport struct {
+	Requests int
+	// Outputs[i] is request i's space-joined answer.
+	Outputs []string
+	// Latencies[i] covers request i's send -> response, in seconds. For
+	// open-loop replay that includes any server-side queueing the arrival
+	// process caused.
+	Latencies []float64
+	// MeanLatency / P95Latency summarize Latencies (serving.LatencySummary).
+	MeanLatency, P95Latency float64
+	// Elapsed is the span from replay start (the trace's t=0 for
+	// ReplayTrace) to the last completion, in seconds; ThroughputRPS is
+	// Requests / Elapsed — the live analog of the simulator's
+	// completions-over-SimTime figure.
+	Elapsed       float64
+	ThroughputRPS float64
+}
+
+func (r *LiveReport) finalize(elapsed time.Duration) {
+	r.MeanLatency, r.P95Latency = serving.LatencySummary(r.Latencies)
+	r.Elapsed = elapsed.Seconds()
+	if r.Elapsed > 0 {
+		r.ThroughputRPS = float64(r.Requests) / r.Elapsed
+	}
+}
+
+// postAnswer sends one /v1/answer call and returns the space-joined
+// answer. Any non-200 is an error: the replay harness sizes queue depth
+// for the load it offers, so shedding means the test asked wrong.
+func postAnswer(client *http.Client, baseURL string, req Request) (string, error) {
+	body, err := json.Marshal(map[string]any{"context": req.Context, "query": req.Query})
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(baseURL+"/v1/answer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return "", fmt.Errorf("workload: /v1/answer status %d: %s", resp.StatusCode, msg)
+	}
+	var res struct {
+		Answer []string `json:"answer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return "", err
+	}
+	return strings.Join(res.Answer, " "), nil
+}
+
+// ReplayHTTP drives every request through POST /v1/answer closed-loop on
+// up to workers goroutines (<= 1 means serial, in stream order — the
+// mode whose cache-state sequence matches the in-process Replay exactly).
+func ReplayHTTP(client *http.Client, baseURL string, reqs []Request, workers int) (*LiveReport, error) {
+	rep := &LiveReport{
+		Requests:  len(reqs),
+		Outputs:   make([]string, len(reqs)),
+		Latencies: make([]float64, len(reqs)),
+	}
+	start := time.Now()
+	err := parallel.ForEach(workers, len(reqs), func(i int) error {
+		sent := time.Now()
+		out, err := postAnswer(client, baseURL, reqs[i])
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		rep.Outputs[i] = out
+		rep.Latencies[i] = time.Since(sent).Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.finalize(time.Since(start))
+	return rep, nil
+}
+
+// ReplayTrace drives the requests open-loop: request i is sent at
+// arrivals[i] seconds after replay start (one goroutine per request, as
+// a Poisson arrival process demands), and the report's Elapsed spans the
+// trace's t=0 through the last completion — the same span the simulator
+// calls SimTime. len(arrivals) must equal len(reqs).
+func ReplayTrace(client *http.Client, baseURL string, reqs []Request, arrivals []float64) (*LiveReport, error) {
+	if len(arrivals) != len(reqs) {
+		return nil, fmt.Errorf("workload: %d arrivals for %d requests", len(arrivals), len(reqs))
+	}
+	rep := &LiveReport{
+		Requests:  len(reqs),
+		Outputs:   make([]string, len(reqs)),
+		Latencies: make([]float64, len(reqs)),
+	}
+	start := time.Now()
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			offset := time.Duration(arrivals[i] * float64(time.Second))
+			if d := time.Until(start.Add(offset)); d > 0 {
+				time.Sleep(d)
+			}
+			sent := time.Now()
+			out, err := postAnswer(client, baseURL, reqs[i])
+			if err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("request %d: %w", i, err)
+				}
+				mu.Unlock()
+				return
+			}
+			rep.Outputs[i] = out
+			rep.Latencies[i] = time.Since(sent).Seconds()
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	rep.finalize(time.Since(start))
+	return rep, nil
+}
+
+// FromTrace maps a serving trace onto live workload requests: request i
+// reuses warm context trace[i].ID mod sessions (sessions <= 0 selects
+// Options.Sessions' default), drawn from the same warm seed lanes as
+// Generate for the given Options.Seed, and arrivals[i] is the trace's
+// arrival time. The simulator and the live server then run one shared
+// (ID, ArrivalTime) stream; only the request *shapes* differ, since the
+// live pipeline's context/query lengths come from its own samples.
+func FromTrace(p *cocktail.Pipeline, opts Options, trace []serving.Request) ([]Request, []float64, error) {
+	opts = opts.withDefaults()
+	base := opts.Seed * 0x9e3779b97f4a7c15
+	warm := make([]*cocktail.Sample, opts.Sessions)
+	for i := range warm {
+		s, err := p.NewSample(opts.Dataset, base+1+uint64(i))
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: warm sample %d: %w", i, err)
+		}
+		warm[i] = s
+	}
+	reqs := make([]Request, len(trace))
+	arrivals := make([]float64, len(trace))
+	for i, tr := range trace {
+		id := tr.ID % opts.Sessions
+		if id < 0 {
+			id += opts.Sessions
+		}
+		reqs[i] = Request{Session: id, Context: warm[id].Context, Query: warm[id].Query}
+		arrivals[i] = tr.ArrivalTime
+	}
+	return reqs, arrivals, nil
+}

@@ -1,0 +1,516 @@
+package workload
+
+// Live-surface proofs for continuous batching: the differential soak
+// (batched vs serial vs uncached across every cache policy), the
+// sim-vs-live trace replay cross-validation, and the throughput-gain
+// acceptance test plus its benchmark. These drive the real HTTP server
+// (internal/httpapi) through the ReplayHTTP/ReplayTrace harness in
+// live.go.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	cocktail "repro"
+	"repro/internal/httpapi"
+	"repro/internal/hwmodel"
+	"repro/internal/serving"
+)
+
+// liveServer spins up the HTTP API over p, torn down via t.Cleanup. The
+// *httpapi.Server handle is returned alongside so tests can snapshot
+// metrics without going through the JSON endpoint.
+func liveServer(t testing.TB, p *cocktail.Pipeline, opts httpapi.Options) (*httpapi.Server, *httptest.Server) {
+	t.Helper()
+	srv := httpapi.NewServer(p, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// coldTruth answers every distinct (context, query) pair of the stream
+// on the bare pipeline and returns outputs index-aligned with reqs — the
+// uncached ground truth every replay mode must reproduce byte-for-byte.
+func coldTruth(t testing.TB, p *cocktail.Pipeline, reqs []Request) []string {
+	t.Helper()
+	byPair := map[string]string{}
+	outs := make([]string, len(reqs))
+	for i, r := range reqs {
+		key := strings.Join(r.Context, "\x00") + "\x01" + strings.Join(r.Query, "\x00")
+		out, ok := byPair[key]
+		if !ok {
+			res, err := p.Answer(r.Context, r.Query)
+			if err != nil {
+				t.Fatalf("cold answer %d: %v", i, err)
+			}
+			out = strings.Join(res.Answer, " ")
+			byPair[key] = out
+		}
+		outs[i] = out
+	}
+	return outs
+}
+
+// TestLiveDifferentialSoak is the batching PR's byte-identity proof: one
+// seeded scan-heavy stream replayed (a) serially in process against each
+// cache policy, (b) through the HTTP server with batching disabled, and
+// (c) through the HTTP server with batching enabled — for all four
+// policies — must produce byte-identical outputs everywhere, identical
+// store counters between the in-process and both server modes (so warm
+// hit-rates are provably unchanged by batching), and byte budgets
+// honored throughout. A final concurrent replay against the batched
+// server proves the identity holds when coalescing actually happens.
+func TestLiveDifferentialSoak(t *testing.T) {
+	p := soakPipeline(t)
+	reqs, err := Generate(p, Options{
+		Seed: 7, Requests: 80, Sessions: 4, ZipfS: 1.3, ScanFraction: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := coldTruth(t, p, reqs)
+
+	// One MiB mirrors soakBudget: the warm working set fits, the scan
+	// flood does not, so admission policy decisions are load-bearing.
+	cacheOpts := func(pol cocktail.CachePolicy, batchMax int) httpapi.Options {
+		return httpapi.Options{
+			Workers: 1, QueueDepth: 64,
+			SessionCacheMB: 1, SessionTTL: time.Minute, GhostEntries: 256,
+			CachePolicy: pol,
+			BatchMax:    batchMax, BatchWindow: -1,
+		}
+	}
+
+	policies := []cocktail.CachePolicy{
+		cocktail.CachePolicyLRU, cocktail.CachePolicy2Q,
+		cocktail.CachePolicyA1, cocktail.CachePolicyAdaptive,
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+				MaxBytes: 1 << 20, TTL: time.Minute, Policy: pol, GhostEntries: 256})
+			serial, err := Replay(sc, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range reqs {
+				if serial.Outputs[i] != truth[i] {
+					t.Fatalf("request %d: serial cached output %q != uncached %q", i, serial.Outputs[i], truth[i])
+				}
+			}
+			want := sc.Stats()
+			t.Logf("serial: warm hit-rate %.3f, stats %+v", serial.WarmHitRate(), want)
+
+			for _, mode := range []struct {
+				name     string
+				batchMax int
+			}{{"unbatched", -1}, {"batched", 8}} {
+				srv, ts := liveServer(t, p, cacheOpts(pol, mode.batchMax))
+				live, err := ReplayHTTP(ts.Client(), ts.URL, reqs, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range reqs {
+					if live.Outputs[i] != truth[i] {
+						t.Fatalf("%s request %d: output %q != uncached %q", mode.name, i, live.Outputs[i], truth[i])
+					}
+				}
+				m := srv.Snapshot()
+				// Serial-order replay issues the exact store-operation
+				// sequence of the in-process run — batch-of-1 included —
+				// so every counter (hits, misses, admission decisions,
+				// bytes) must match, not merely approximate. This is the
+				// "warm hit-rates unchanged by batching" proof: equal
+				// counters imply equal rates.
+				if got := m.SessionCache.CacheStats; !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: server cache stats diverge from in-process replay:\n got %+v\nwant %+v", mode.name, got, want)
+				}
+				if st := m.SessionCache.CacheStats; st.Bytes < 0 || st.Bytes > st.MaxBytes {
+					t.Errorf("%s: resident bytes %d outside [0, %d]", mode.name, st.Bytes, st.MaxBytes)
+				}
+				if wantEnabled := mode.batchMax > 1; m.Batching.Enabled != wantEnabled {
+					t.Errorf("%s: batching enabled=%v, want %v", mode.name, m.Batching.Enabled, wantEnabled)
+				}
+				if mode.batchMax > 1 && m.Batching.BatchedRequests != int64(len(reqs)) {
+					t.Errorf("%s: %d batched requests, want %d", mode.name, m.Batching.BatchedRequests, len(reqs))
+				}
+			}
+		})
+	}
+
+	// Concurrent replay against the batched 2Q server: interleaving may
+	// shuffle which request pays each miss, but every answer must still
+	// be byte-identical to the cold run, the budget must hold, and the
+	// batcher must have actually coalesced (otherwise this proves nothing).
+	t.Run("2q/concurrent-batched", func(t *testing.T) {
+		opts := cacheOpts(cocktail.CachePolicy2Q, 8)
+		opts.BatchWindow = 2 * time.Millisecond
+		srv, ts := liveServer(t, p, opts)
+		live, err := ReplayHTTP(ts.Client(), ts.URL, reqs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if live.Outputs[i] != truth[i] {
+				t.Fatalf("request %d: concurrent batched output %q != uncached %q", i, live.Outputs[i], truth[i])
+			}
+		}
+		m := srv.Snapshot()
+		if st := m.SessionCache.CacheStats; st.Bytes < 0 || st.Bytes > st.MaxBytes {
+			t.Errorf("budget violated under concurrent batching: %+v", st)
+		}
+		if m.Batching.BatchedRequests != int64(len(reqs)) {
+			t.Errorf("%d batched requests, want %d", m.Batching.BatchedRequests, len(reqs))
+		}
+		if m.Batching.MaxBatch < 2 {
+			t.Errorf("max batch %d — the concurrent replay never coalesced", m.Batching.MaxBatch)
+		}
+		t.Logf("concurrent batched: %+v", m.Batching)
+	})
+}
+
+// simVsLiveCfg is the simulated server the live trend is checked
+// against; MaxBatch matches the live server's BatchMax.
+func simVsLiveCfg() serving.Config {
+	return serving.Config{
+		GPU: hwmodel.A800(), Model: hwmodel.Llama2_7B(),
+		Profile: hwmodel.ProfileCocktail(32, nil), MaxBatch: 16,
+	}
+}
+
+// liveServiceTime measures one request's solo latency against the
+// server: the live analog of serving.ServiceTime, used to express
+// arrival rates as multiples of single-stream capacity in both domains.
+// Minimum of three runs, so a scheduler hiccup cannot inflate the unit.
+func liveServiceTime(t *testing.T, client *http.Client, baseURL string, req Request) float64 {
+	t.Helper()
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		rep, err := ReplayHTTP(client, baseURL, []Request{req}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == 0 || rep.MeanLatency < best {
+			best = rep.MeanLatency
+		}
+	}
+	return best
+}
+
+// TestSimVsLiveReplayTrend replays one serving.PoissonTrace shape
+// through both the discrete-event simulator and the live batched server
+// at three arrival rates — 0.5×, 4× and 16× each domain's own
+// single-stream capacity (rates normalized per domain via
+// serving.ServiceTime and a measured live solo latency, since absolute
+// speeds differ by orders of magnitude) — and checks that the live
+// trend matches the simulator's prediction: mean batch size and
+// throughput both grow with pressure.
+//
+// Tolerance (documented deliberately): the simulator is deterministic,
+// so its ordering is asserted strictly. The live side runs on a shared,
+// possibly loaded CPU, so it is held to trend agreement, not point
+// agreement — mean batch may jitter by a fraction of a request between
+// adjacent rates (slack 0.35) but must separate cleanly between the
+// extremes, and throughput must rise monotonically within a 10% slack.
+func TestSimVsLiveReplayTrend(t *testing.T) {
+	p := soakPipeline(t)
+	cfg := simVsLiveCfg()
+	const ctxTok, outTok, n = 2000, 128, 16
+	simUnit := serving.ServiceTime(cfg, ctxTok, outTok)
+	if simUnit <= 0 {
+		t.Fatalf("non-positive simulated service time %v", simUnit)
+	}
+	wopts := Options{Seed: 11, Sessions: 3}
+
+	// Live unit: solo latency against a server of the same configuration
+	// the rated runs use, minus the collect hold (window 0), so the unit
+	// is pure service time.
+	mkOpts := func(window time.Duration) httpapi.Options {
+		return httpapi.Options{
+			Workers: 1, QueueDepth: 64, SessionCacheMB: -1,
+			BatchMax: 16, BatchWindow: window,
+		}
+	}
+	probeTrace := serving.PoissonTrace(99, 1, 1, ctxTok, outTok)
+	probeReqs, _, err := FromTrace(p, wopts, probeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, probeTS := liveServer(t, p, mkOpts(0))
+	liveUnit := liveServiceTime(t, probeTS.Client(), probeTS.URL, probeReqs[0])
+	// The collect window matters twice — it is the coalescing hold, and
+	// it sizes the deadline budget (8×window ≈ several cold admissions)
+	// under which this all-cold stream is allowed to batch at all (with
+	// no window the budget is zero and every cold request runs solo by
+	// design) — so it must scale with the measured service time: arrival
+	// rates are normalized per domain, and a wall-clock-fixed window
+	// would shrink the coalescing opportunity whenever instrumentation
+	// (-race, ~10× slower) or machine load inflates the unit.
+	window := time.Duration(liveUnit * float64(time.Second) / 2)
+	if window < 5*time.Millisecond {
+		window = 5 * time.Millisecond
+	}
+	t.Logf("service time: sim %.4fs, live %.4fs (window %v)", simUnit, liveUnit, window)
+
+	multipliers := []float64{0.5, 4, 16}
+	simMB := make([]float64, len(multipliers))
+	simTput := make([]float64, len(multipliers))
+	liveMB := make([]float64, len(multipliers))
+	liveTput := make([]float64, len(multipliers))
+	for i, k := range multipliers {
+		trace := serving.PoissonTrace(uint64(300+i), n, k/simUnit, ctxTok, outTok)
+		st, err := serving.Simulate(cfg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != n {
+			t.Fatalf("k=%v: simulator completed %d of %d", k, st.Completed, n)
+		}
+		simMB[i], simTput[i] = st.MeanBatch, st.ThroughputTokS
+
+		reqs, arrivals, err := FromTrace(p, wopts, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The trace's arrival times are sim-seconds at k× sim capacity;
+		// rescaling by liveUnit/simUnit plays the identical normalized
+		// stream (same exponential draws) at k× live capacity.
+		for j := range arrivals {
+			arrivals[j] *= liveUnit / simUnit
+		}
+		srv, ts := liveServer(t, p, mkOpts(window))
+		rep, err := ReplayTrace(ts.Client(), ts.URL, reqs, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := coldTruth(t, p, reqs)
+		for j := range reqs {
+			if rep.Outputs[j] != truth[j] {
+				t.Fatalf("k=%v request %d: output %q != cold %q", k, j, rep.Outputs[j], truth[j])
+			}
+		}
+		m := srv.Snapshot()
+		liveMB[i] = m.Batching.MeanBatch
+		liveTput[i] = rep.ThroughputRPS
+		t.Logf("k=%-4v sim: meanBatch %.2f tput %.1f tok/s | live: meanBatch %.2f tput %.2f req/s (batches %d, stepJoins %d)",
+			k, simMB[i], simTput[i], liveMB[i], liveTput[i], m.Batching.Batches, m.Batching.StepJoins)
+	}
+
+	// Simulator prediction, asserted strictly (it is deterministic):
+	// pressure grows batches and throughput.
+	for i := 1; i < len(multipliers); i++ {
+		if simMB[i] < simMB[i-1] {
+			t.Errorf("sim mean batch not monotone: %v", simMB)
+		}
+		if simTput[i] < simTput[i-1] {
+			t.Errorf("sim throughput not monotone: %v", simTput)
+		}
+	}
+	if simMB[len(simMB)-1] <= simMB[0] {
+		t.Errorf("sim predicts no batching growth (%v) — rates too gentle to test anything", simMB)
+	}
+
+	// Live trend agreement, within the documented tolerance.
+	for i := 1; i < len(multipliers); i++ {
+		if liveMB[i] < liveMB[i-1]-0.35 {
+			t.Errorf("live mean batch fell between k=%v and k=%v: %v", multipliers[i-1], multipliers[i], liveMB)
+		}
+		if liveTput[i] < 0.9*liveTput[i-1] {
+			t.Errorf("live throughput fell between k=%v and k=%v: %v", multipliers[i-1], multipliers[i], liveTput)
+		}
+	}
+	if liveMB[len(liveMB)-1] <= liveMB[0] {
+		t.Errorf("live mean batch did not separate between extremes: %v (sim predicted %v)", liveMB, simMB)
+	}
+	if liveTput[len(liveTput)-1] <= liveTput[0] {
+		t.Errorf("live throughput did not grow with pressure: %v", liveTput)
+	}
+}
+
+// saturatingWave builds a wave of n requests over the warm pool that all
+// arrive at t=0 — the saturating open-loop load both the acceptance test
+// and the benchmark replay.
+func saturatingWave(t testing.TB, p *cocktail.Pipeline, n, sessions int) ([]Request, []float64) {
+	t.Helper()
+	trace := make([]serving.Request, n)
+	for i := range trace {
+		trace[i] = serving.Request{ID: i}
+	}
+	reqs, arrivals, err := FromTrace(p, Options{Seed: 13, Sessions: sessions}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs, arrivals
+}
+
+// gainPipeline uses full-length contexts (~512 tokens at MaxSeq 1024):
+// prefill and quantization dominate decode there, which is exactly the
+// regime continuous batching pays off in — the shared-prefill saving
+// caps the batched speedup near 2.9× at this shape (measured), versus
+// 2.0× at the soak pipeline's shorter contexts.
+func gainPipeline(t testing.TB) *cocktail.Pipeline {
+	t.Helper()
+	p, err := cocktail.New(cocktail.Config{MaxSeq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBatchedThroughputGain is the PR's throughput acceptance gate: at a
+// saturating arrival rate (a whole wave at t=0) on the uncached server,
+// batched /v1/answer must clear at least 1.5× the serial (batching
+// disabled) throughput. The gain comes from within-batch work sharing:
+// the wave spans two unique contexts, so a batch pays two prefills
+// instead of sixteen. Both modes run Workers=1 on the same pipeline, so
+// the ratio isolates the scheduler.
+func TestBatchedThroughputGain(t *testing.T) {
+	p := gainPipeline(t)
+	const n, sessions = 24, 2
+	reqs, arrivals := saturatingWave(t, p, n, sessions)
+	truth := coldTruth(t, p, reqs)
+
+	// The collect window scales with the measured solo service time so
+	// the 8×window cold-join budget covers a handful of admissions
+	// regardless of machine speed or instrumentation (-race inflates the
+	// service time ~10×; a wall-clock-fixed window would expire the
+	// budget before the all-cold wave could coalesce at all).
+	_, probeTS := liveServer(t, p, httpapi.Options{
+		Workers: 1, QueueDepth: n + 8, SessionCacheMB: -1, BatchMax: 1,
+	})
+	solo := liveServiceTime(t, probeTS.Client(), probeTS.URL, reqs[0])
+	window := time.Duration(solo * float64(time.Second) / 2)
+	if window < 15*time.Millisecond {
+		window = 15 * time.Millisecond
+	}
+	t.Logf("solo service time %.4fs (window %v)", solo, window)
+
+	run := func(batchMax int) (*LiveReport, httpapi.Metrics) {
+		srv, ts := liveServer(t, p, httpapi.Options{
+			Workers: 1, QueueDepth: n + 8, SessionCacheMB: -1,
+			BatchMax: batchMax, BatchWindow: window,
+		})
+		rep, err := ReplayTrace(ts.Client(), ts.URL, reqs, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if rep.Outputs[i] != truth[i] {
+				t.Fatalf("batchMax=%d request %d: output %q != cold %q", batchMax, i, rep.Outputs[i], truth[i])
+			}
+		}
+		return rep, srv.Snapshot()
+	}
+
+	serial, _ := run(-1)
+	batched, m := run(16)
+	ratio := batched.ThroughputRPS / serial.ThroughputRPS
+	t.Logf("serial %.2f req/s (p95 %.3fs) vs batched %.2f req/s (p95 %.3fs): %.2fx; %+v",
+		serial.ThroughputRPS, serial.P95Latency, batched.ThroughputRPS, batched.P95Latency, ratio, m.Batching)
+	if m.Batching.SharedPrefills == 0 {
+		t.Error("batched run shared no prefills — the wave never coalesced")
+	}
+	if ratio < 1.5 {
+		t.Errorf("batched throughput %.2f req/s is %.2fx serial %.2f req/s, below the 1.5x acceptance floor",
+			batched.ThroughputRPS, ratio, serial.ThroughputRPS)
+	}
+}
+
+// BenchmarkBatchedServeThroughput replays the saturating wave through
+// the live server with batching off and on, reporting req/s — the
+// figure the CI regression gate tracks across PR snapshots.
+func BenchmarkBatchedServeThroughput(b *testing.B) {
+	p := gainPipeline(b)
+	const n, sessions = 24, 2
+	reqs, arrivals := saturatingWave(b, p, n, sessions)
+	for _, mode := range []struct {
+		name     string
+		batchMax int
+	}{{"serial", -1}, {"batched", 16}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := httpapi.NewServer(p, httpapi.Options{
+				Workers: 1, QueueDepth: n + 8, SessionCacheMB: -1,
+				BatchMax: mode.batchMax, BatchWindow: 15 * time.Millisecond,
+			})
+			defer srv.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReplayTrace(client, ts.URL, reqs, arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*n)/secs, "req/s")
+			}
+		})
+	}
+}
+
+// TestLiveHarnessErrorPaths pins the harness's failure contract: replay
+// surfaces transport/protocol failures as errors — never as silently
+// empty outputs that a byte-identity assertion would then "pass" —
+// and the trace mapper rejects malformed inputs.
+func TestLiveHarnessErrorPaths(t *testing.T) {
+	t.Parallel()
+	reqs := []Request{{Context: []string{"alpha"}, Query: []string{"beta"}}}
+
+	// A shedding (non-200) server fails both drive modes with the status
+	// in the error: the harness sizes queue depth for the load it offers,
+	// so a 503 means the test asked wrong and must not be swallowed.
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer shed.Close()
+	if _, err := ReplayHTTP(shed.Client(), shed.URL, reqs, 1); err == nil || !strings.Contains(err.Error(), "status 503") {
+		t.Errorf("ReplayHTTP against shedding server: err=%v, want status 503", err)
+	}
+	if _, err := ReplayTrace(shed.Client(), shed.URL, reqs, []float64{0}); err == nil || !strings.Contains(err.Error(), "status 503") {
+		t.Errorf("ReplayTrace against shedding server: err=%v, want status 503", err)
+	}
+
+	// A 200 with a non-JSON body is a decode error, not an empty answer.
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not json"))
+	}))
+	defer garbled.Close()
+	if _, err := ReplayHTTP(garbled.Client(), garbled.URL, reqs, 1); err == nil {
+		t.Error("ReplayHTTP accepted a non-JSON 200 body")
+	}
+
+	// Open-loop replay requires one arrival per request.
+	if _, err := ReplayTrace(shed.Client(), shed.URL, reqs, []float64{0, 1}); err == nil || !strings.Contains(err.Error(), "arrivals") {
+		t.Errorf("ReplayTrace arrivals/requests mismatch: err=%v", err)
+	}
+
+	// FromTrace propagates sample-generation failures (unknown dataset).
+	p := soakPipeline(t)
+	if _, _, err := FromTrace(p, Options{Dataset: "no-such-dataset"}, []serving.Request{{ID: 0}}); err == nil {
+		t.Error("FromTrace accepted an unknown dataset")
+	}
+}
+
+// TestReportHitRateZeroWarm pins the zero-warm branches of the hit-rate
+// helpers: a stream with no warm requests reports rate 0, not NaN.
+func TestReportHitRateZeroWarm(t *testing.T) {
+	t.Parallel()
+	r := &Report{Requests: 3, Scans: 3}
+	if r.WarmHitRate() != 0 || r.WarmSealHitRate() != 0 {
+		t.Errorf("zero-warm Report rates: %v / %v, want 0 / 0", r.WarmHitRate(), r.WarmSealHitRate())
+	}
+	e := &EpochReport{Requests: 3, Scans: 3}
+	if e.WarmHitRate() != 0 || e.WarmSealHitRate() != 0 {
+		t.Errorf("zero-warm EpochReport rates: %v / %v, want 0 / 0", e.WarmHitRate(), e.WarmSealHitRate())
+	}
+	e = &EpochReport{Requests: 4, Warm: 4, WarmPrefillHits: 3, WarmSealHits: 2}
+	if e.WarmHitRate() != 0.75 || e.WarmSealHitRate() != 0.5 {
+		t.Errorf("EpochReport rates: %v / %v, want 0.75 / 0.5", e.WarmHitRate(), e.WarmSealHitRate())
+	}
+}

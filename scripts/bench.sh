@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# bench.sh runs the serving-path benchmark trio (warm session answers,
-# prefix cache under scan, mixed-kind workload) and converts the output
-# to BENCH_PR6.json at the repo root via cocktail-benchjson.
+# bench.sh runs the serving-path benchmark quartet (warm session
+# answers, prefix cache under scan, mixed-kind workload, batched serve
+# throughput) and converts the output to BENCH_PR7.json at the repo root
+# via cocktail-benchjson.
 #
 #   BENCHTIME=1x   per-benchmark time/iterations (default 1x: a smoke
 #                  run; use e.g. 2s for a measurement run)
-#   OUT=...        output path (default BENCH_PR6.json)
+#   OUT=...        output path (default BENCH_PR7.json)
+#
+# CI diffs the result against the committed previous snapshot with
+# `cocktail-benchjson -compare`; at the default 1x smoke setting only
+# the deterministic hit-rate metrics gate (timing metrics of 1-iteration
+# runs are skipped by design).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="${OUT:-BENCH_PR6.json}"
+out="${OUT:-BENCH_PR7.json}"
 
 {
   go test -run '^$' -bench '^BenchmarkSessionAnswerWarm$' -benchtime "$benchtime" .
-  go test -run '^$' -bench '^(BenchmarkPrefixCacheUnderScan|BenchmarkMixedKindWorkload)$' \
+  go test -run '^$' -bench '^(BenchmarkPrefixCacheUnderScan|BenchmarkMixedKindWorkload|BenchmarkBatchedServeThroughput)$' \
     -benchtime "$benchtime" ./internal/workload
 } | tee /dev/stderr | go run ./cmd/cocktail-benchjson -o "$out"
 

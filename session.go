@@ -178,24 +178,11 @@ func (s *Session) CachedSeal() bool { return s.sealHit }
 // decoding always runs on a private fork so the shared sealed cache stays
 // pristine.
 func (s *Session) Answer(query []string) (*Result, error) {
-	qIDs, err := s.p.encode(query)
+	t, err := s.StartAnswer(query)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.p.checkSeqBound(len(s.ctxIDs), len(qIDs)); err != nil {
-		return nil, err
-	}
-	plan, opts, err := s.p.method.Plan(s.builder, s.ctxIDs, qIDs)
-	if err != nil {
-		return nil, err
-	}
-	sealed, err := s.sealedFor(plan, opts)
-	if err != nil {
-		return nil, err
-	}
-	cache := sealed.Fork()
-	out := s.p.model.Generate(cache, qIDs, maxNewTokens)
-	return s.p.buildResult(cache, plan, len(s.ctxIDs), out), nil
+	return t.Result(), nil
 }
 
 // sealedFor returns the pristine sealed cache for plan, from the
@@ -517,6 +504,22 @@ func (c *SessionCache) Answer(context, query []string) (*Result, error) {
 		return nil, err
 	}
 	return s.Answer(query)
+}
+
+// Cached reports whether a prefill for context is resident in the cache
+// right now. It is a pure peek: no recency bump, no TTL refresh, and no
+// admission-policy callbacks fire, so probing cannot perturb what the
+// policies admit or evict. Schedulers use it to classify queued requests
+// as warm (prefill already paid) versus cold before dispatching them; the
+// answer is advisory — the entry can expire or be evicted between the
+// probe and the dispatch, which costs a re-prefill, never a wrong result.
+func (c *SessionCache) Cached(context []string) bool {
+	ids, err := c.p.encode(context)
+	if err != nil {
+		return false
+	}
+	return c.store.Contains(sessioncache.Key{
+		Fingerprint: c.p.Fingerprint(), Kind: sessioncache.KindPrefill, Hash: hashTokens(ids)})
 }
 
 // Stats snapshots the cache counters.

@@ -1,0 +1,132 @@
+package cocktail
+
+// Step-granular decoding: the decomposition of Answer that lets a serving
+// scheduler interleave decode steps across concurrent requests
+// (continuous batching, internal/httpapi's batcher).
+//
+// A Turn is one in-flight Answer call split at token granularity: all the
+// stages up to and including the query feed-through happen in StartAnswer
+// (prefill / plan / seal / fork — the "prefill phase" of the batching
+// literature), then each Step() emits at most one output token (the
+// "decode phase"). Answer itself is now literally StartAnswer + drain, so
+// there is a single code path and the batched and serial servers produce
+// byte-identical outputs by construction, not by parallel maintenance.
+
+import (
+	"repro/internal/core"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+)
+
+// Turn is one Answer call decomposed into single-token decode steps. It
+// owns its decoder state and its private cache fork outright — nothing
+// mutable is shared with the Pipeline, the Session that started it, or
+// any other Turn — so any number of Turns may be interleaved, but each
+// individual Turn is single-owner: callers serialize Step/Result calls.
+type Turn struct {
+	p         *Pipeline
+	dec       *model.Decoder
+	cache     *kvcache.Cache
+	plan      *kvcache.Plan
+	ctxTokens int
+	eos       int
+	next      int
+	out       []int
+	res       *Result
+}
+
+// newTurn feeds the query through a fresh decoder over cache (the
+// query-feed loop of model.Generate) and leaves the turn poised before
+// its first output token.
+func newTurn(p *Pipeline, cache *kvcache.Cache, plan *kvcache.Plan, ctxTokens int, qIDs []int) *Turn {
+	t := &Turn{
+		p: p, dec: p.model.NewDecoder(cache), cache: cache, plan: plan,
+		ctxTokens: ctxTokens, eos: p.lex.EOSID(), next: -1,
+	}
+	for _, tok := range qIDs {
+		t.next = t.dec.Step(tok)
+	}
+	return t
+}
+
+// Step advances the turn by at most one output token and reports whether
+// the turn is still running. It returns false exactly when the drain loop
+// of model.Generate would have stopped: the decode budget is spent, the
+// model emitted EOS, or the query was empty. Once false, Result is ready
+// and further Steps are no-ops.
+func (t *Turn) Step() bool {
+	if t.res != nil {
+		return false
+	}
+	if len(t.out) >= maxNewTokens || t.next == t.eos || t.next < 0 {
+		t.res = t.p.buildResult(t.cache, t.plan, t.ctxTokens, t.out)
+		return false
+	}
+	t.out = append(t.out, t.next)
+	t.next = t.dec.Step(t.next)
+	return true
+}
+
+// Finished reports whether the turn has produced its Result.
+func (t *Turn) Finished() bool { return t.res != nil }
+
+// Result drains any remaining decode steps and returns the turn's
+// outcome, byte-identical to what the corresponding Answer call returns.
+func (t *Turn) Result() *Result {
+	for t.Step() {
+	}
+	return t.res
+}
+
+// StartAnswer runs the cold pipeline on (context, query) up to the first
+// decode step and returns the in-flight Turn. Answer(context, query) is
+// exactly StartAnswer followed by Turn.Result.
+func (p *Pipeline) StartAnswer(context, query []string) (*Turn, error) {
+	ctxIDs, err := p.encode(context)
+	if err != nil {
+		return nil, err
+	}
+	qIDs, err := p.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkSeqBound(len(ctxIDs), len(qIDs)); err != nil {
+		return nil, err
+	}
+	b, err := p.model.Prefill(ctxIDs)
+	if err != nil {
+		return nil, err
+	}
+	cache, plan, err := core.Prepare(p.method, b, ctxIDs, qIDs)
+	if err != nil {
+		return nil, err
+	}
+	return newTurn(p, cache, plan, len(ctxIDs), qIDs), nil
+}
+
+// StartAnswer runs the session's incremental path (plan, memoized seal,
+// private fork) up to the first decode step and returns the in-flight
+// Turn. Session.Answer is exactly StartAnswer followed by Turn.Result.
+//
+// The returned Turn is independent of the Session: it decodes on the
+// private fork, so the session may start further turns (from the same
+// goroutine — the Session stays single-owner) while earlier turns are
+// still being stepped elsewhere in a batch.
+func (s *Session) StartAnswer(query []string) (*Turn, error) {
+	qIDs, err := s.p.encode(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.p.checkSeqBound(len(s.ctxIDs), len(qIDs)); err != nil {
+		return nil, err
+	}
+	plan, opts, err := s.p.method.Plan(s.builder, s.ctxIDs, qIDs)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := s.sealedFor(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newTurn(s.p, sealed.Fork(), plan, len(s.ctxIDs), qIDs), nil
+}

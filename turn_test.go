@@ -1,0 +1,148 @@
+package cocktail
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestInterleavedTurnsMatchAnswer is the contract the batcher builds on:
+// stepping several Turns round-robin — cold and session-backed mixed in
+// one schedule — must yield exactly what the corresponding Answer calls
+// yield, because a Turn shares nothing mutable with its siblings.
+func TestInterleavedTurnsMatchAnswer(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.NewSample("Qasper", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.NewSample("TREC", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]*Result, 3)
+	for i, pair := range [][2][]string{
+		{s1.Context, s1.Query}, {s2.Context, s2.Query}, {s1.Context, s2.Query},
+	} {
+		if want[i], err = p.Answer(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sess, err := p.Prefill(s1.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns := make([]*Turn, 3)
+	if turns[0], err = p.StartAnswer(s1.Context, s1.Query); err != nil {
+		t.Fatal(err)
+	}
+	if turns[1], err = p.StartAnswer(s2.Context, s2.Query); err != nil {
+		t.Fatal(err)
+	}
+	if turns[2], err = sess.StartAnswer(s2.Query); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-robin decode with staggered completion, the batcher's inner
+	// loop in miniature.
+	for running := 3; running > 0; {
+		running = 0
+		for _, tn := range turns {
+			if tn.Step() {
+				running++
+			}
+		}
+	}
+	for i, tn := range turns {
+		if !tn.Finished() {
+			t.Fatalf("turn %d not finished after drain", i)
+		}
+		if got := tn.Result(); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("turn %d diverged from Answer\n got: %+v\nwant: %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestTurnStepBudget: a drained turn keeps returning false from Step and
+// the same Result; the output never exceeds the decode budget.
+func TestTurnStepBudget(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := p.StartAnswer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for tn.Step() {
+		steps++
+	}
+	if steps > maxNewTokens {
+		t.Fatalf("turn took %d steps, budget is %d", steps, maxNewTokens)
+	}
+	res := tn.Result()
+	if len(res.Answer) > maxNewTokens {
+		t.Fatalf("answer %d tokens exceeds budget %d", len(res.Answer), maxNewTokens)
+	}
+	if tn.Step() {
+		t.Fatal("Step returned true after completion")
+	}
+	if tn.Result() != res {
+		t.Fatal("Result changed after completion")
+	}
+}
+
+// TestSessionCacheCachedPeek: the warm probe reports residency without
+// perturbing cache state — no hit/miss counters move and no TTL refresh
+// happens, so a probed entry still expires on schedule.
+func TestSessionCacheCachedPeek(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	sc := NewSessionCache(p, SessionCacheOptions{
+		MaxBytes: 64 << 20, TTL: time.Minute, Now: clock})
+
+	if sc.Cached(s.Context) {
+		t.Fatal("Cached true before any prefill")
+	}
+	if _, err := sc.Answer(s.Context, s.Query); err != nil {
+		t.Fatal(err)
+	}
+	before := sc.Stats()
+	for i := 0; i < 3; i++ {
+		if !sc.Cached(s.Context) {
+			t.Fatal("Cached false for a resident context")
+		}
+	}
+	after := sc.Stats()
+	if before.Hits != after.Hits || before.Misses != after.Misses {
+		t.Fatalf("peek moved counters: before %+v after %+v", before, after)
+	}
+	// Probing must not have refreshed the TTL: the entry still expires at
+	// its original deadline.
+	now = now.Add(2 * time.Minute)
+	if sc.Cached(s.Context) {
+		t.Fatal("Cached true after TTL expiry")
+	}
+	// Unknown words are never cached (and never panic).
+	if sc.Cached([]string{"definitely-not-in-the-synthetic-vocabulary"}) {
+		t.Fatal("Cached true for an unencodable context")
+	}
+}
