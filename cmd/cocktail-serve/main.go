@@ -23,8 +23,13 @@
 // -sealed-cache-pct splits the budget per artifact kind — that percent
 // is dedicated to sealed caches (own LRU, probation pool sized by
 // -sealed-probation-pct, admission state), the rest to prefill builders
-// — so cheap seal trials stop competing with ~3× bigger builders; see
-// docs/API.md for the full reference.
+// — so cheap seal trials stop competing with ~3× bigger builders.
+// -cache-shards lock-shards the store by key hash (default NumCPU rounded
+// up to a power of two) so concurrent requests on different contexts
+// never contend on one mutex, and -cache-persist-dir spills sealed caches
+// to versioned on-disk artifacts — reloaded on startup, so a restarted
+// server starts warm instead of cold (corrupt artifacts degrade to
+// misses, never errors); see docs/API.md for the full reference.
 //
 // The answer endpoints run under a continuous-batching scheduler:
 // concurrent requests coalesce into batches of up to -batch-max
@@ -91,6 +96,10 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 		"max interleaved answer turns per batch worker (0 = 8, 1 disables continuous batching)")
 	batchWindow := fs.Duration("batch-window", 0,
 		"how long a new batch holds its first request to coalesce arrivals, at most 1s (0 = 2ms, negative = no hold); also sizes the cold-join deadline budget at 8x the window")
+	cacheShards := fs.Int("cache-shards", 0,
+		"session/prefix cache lock-shard count, rounded up to a power of two; each shard has its own mutex, LRU state and admission policy so concurrent requests on different contexts never contend (0 = NumCPU rounded up to a power of two, 1 = the single-mutex store)")
+	cachePersistDir := fs.String("cache-persist-dir", "",
+		"directory for the sealed-cache spill tier: admitted sealed caches are written as versioned checksummed artifacts, reloaded on startup for warm restarts and consulted on cache misses; corrupt artifacts degrade to misses (empty disables persistence)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -131,6 +140,14 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	if *batchWindow > time.Second {
 		return nil, fmt.Errorf("cocktail-serve: -batch-window must be <= 1s (the cold-join deadline budget is 8x the window), have %v", *batchWindow)
 	}
+	// The library accepts a negative spelling (pin the single-mutex
+	// store); the CLI rejects it because that is spelled -cache-shards 1.
+	if *cacheShards < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -cache-shards must be >= 0 (0 = NumCPU rounded up to a power of two), have %d", *cacheShards)
+	}
+	if *cacheShards > 1<<16 {
+		return nil, fmt.Errorf("cocktail-serve: -cache-shards must be <= 65536, have %d", *cacheShards)
+	}
 
 	return &serveConfig{
 		addr: *addr,
@@ -149,6 +166,8 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 			SealedProbationPct: *sealedProbationPct,
 			BatchMax:           *batchMax,
 			BatchWindow:        *batchWindow,
+			CacheShards:        *cacheShards,
+			CachePersistDir:    *cachePersistDir,
 		},
 	}, nil
 }

@@ -47,6 +47,8 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 		{"negative-batch-max", "-batch-max -1", "-batch-max"},
 		{"negative-batch-window", "-batch-window -2ms", "-batch-window"},
 		{"oversize-batch-window", "-batch-window 2s", "-batch-window"},
+		{"negative-cache-shards", "-cache-shards -1", "-cache-shards"},
+		{"oversize-cache-shards", "-cache-shards 131072", "-cache-shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +128,18 @@ func TestParseArgsValid(t *testing.T) {
 	if cfg, err = parseArgs(strings.Fields("-batch-max 1"), io.Discard); err != nil || cfg.opts.BatchMax != 1 {
 		t.Fatalf("-batch-max 1 (disable) rejected: cfg=%+v err=%v", cfg, err)
 	}
+	// Sharding and persistence thread through; 1 is the single-mutex
+	// spelling and 0 (the default) defers to the NumCPU-derived count.
+	cfg, err = parseArgs(strings.Fields("-cache-shards 8 -cache-persist-dir /tmp/spill"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.CacheShards != 8 || cfg.opts.CachePersistDir != "/tmp/spill" {
+		t.Fatalf("sharding flags not threaded: %+v", cfg.opts)
+	}
+	if cfg, err = parseArgs(strings.Fields("-cache-shards 1"), io.Discard); err != nil || cfg.opts.CacheShards != 1 {
+		t.Fatalf("-cache-shards 1 (single mutex) rejected: cfg=%+v err=%v", cfg, err)
+	}
 	// Defaults: probation-pct starts inside its valid range, so a bare
 	// invocation parses.
 	cfg, err = parseArgs(nil, io.Discard)
@@ -154,6 +168,8 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"-batch-max", "-2"},
 		{"-batch-window", "-1ms"},
 		{"-batch-window", "90s"},
+		{"-cache-shards", "-1"},
+		{"-cache-shards", "70000"},
 	} {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

@@ -37,6 +37,7 @@
 package httpapi
 
 import (
+	"container/list"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -113,6 +114,24 @@ type Options struct {
 	// carve-out in percent under CachePolicyA1; 0 inherits
 	// ProbationPct. Ignored unless SealedCachePct is set.
 	SealedProbationPct float64
+	// CacheShards is the session/prefix cache's lock-shard count: the
+	// store is split N ways by key hash (rounded up to a power of two),
+	// each lock-shard with its own mutex, LRU lists and admission-policy
+	// instance, so concurrent requests on different contexts never
+	// contend on one lock. 0 selects cocktail.DefaultCacheShards()
+	// (NumCPU rounded up to a power of two); negative values pin the
+	// historical single-mutex store. Byte budgets split evenly across
+	// lock-shards (remainder on shard 0), so very small caches with many
+	// shards trade capacity granularity for concurrency.
+	CacheShards int
+	// CachePersistDir enables the sealed-cache spill tier: admitted
+	// sealed caches are also written to this directory as versioned,
+	// checksummed artifacts, reloaded on startup (warm restart — a
+	// restarted server's first-epoch sealed hit-rate recovers instead of
+	// starting cold) and consulted on cache misses as a capacity tier
+	// beyond RAM. Corrupt or stale artifacts are deleted and served as
+	// misses, never errors. Empty disables persistence.
+	CachePersistDir string
 	// BatchMax caps how many in-flight answer turns one batch worker
 	// interleaves (continuous batching; see batcher.go). 0 selects the
 	// default 8; 1 (or any negative value) disables batching entirely —
@@ -152,6 +171,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 1024
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = cocktail.DefaultCacheShards()
+	}
+	if o.CacheShards < 1 {
+		o.CacheShards = 1 // any negative spelling pins the single-mutex store
 	}
 	if o.BatchMax == 0 {
 		o.BatchMax = 8
@@ -230,6 +255,8 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			AdaptWindow:        opts.AdaptWindow,
 			SealedPct:          opts.SealedCachePct,
 			SealedProbationPct: opts.SealedProbationPct,
+			Shards:             opts.CacheShards,
+			PersistDir:         opts.CachePersistDir,
 			Now:                opts.Now,
 		})
 	}
@@ -703,14 +730,24 @@ type liveSession struct {
 // registry holds the only server-side reference to a session's prefill
 // state, so expiry, eviction or DELETE is what releases session memory
 // not shared through the byte-budgeted store. Safe for concurrent use.
+//
+// Alongside the id map the registry keeps one recency list (front = most
+// recently used, like the store's LRU lists), so the per-access expiry
+// check touches only the stale tail — O(expired), not O(sessions) — and
+// cap eviction pops the list tail instead of re-scanning the map per
+// victim. The list also makes eviction deterministic under equal
+// lastUsed stamps (common with an injected test clock): victims leave in
+// least-recently-touched order, where a map scan broke ties by random
+// iteration order.
 type sessionRegistry struct {
 	mu       sync.Mutex
 	ttl      time.Duration
 	max      int
 	maxBytes int64 // cap on the sessions' summed retained prefill KV
 	now      func() time.Time
-	m        map[string]*liveSession
-	bytes    int64 // current sum of liveSession.bytes
+	m        map[string]*list.Element // values are *liveSession
+	ll       *list.List               // recency order, front = MRU
+	bytes    int64                    // current sum of liveSession.bytes
 }
 
 // sessionByteBudget derives the registry's byte cap from the cache
@@ -727,23 +764,32 @@ func newSessionRegistry(ttl time.Duration, max int, maxBytes int64, now func() t
 	if now == nil {
 		now = time.Now
 	}
-	return &sessionRegistry{ttl: ttl, max: max, maxBytes: maxBytes, now: now, m: make(map[string]*liveSession)}
+	return &sessionRegistry{
+		ttl: ttl, max: max, maxBytes: maxBytes, now: now,
+		m: make(map[string]*list.Element), ll: list.New()}
 }
 
 // removeLocked drops one session and its byte accounting. Callers hold r.mu.
 func (r *sessionRegistry) removeLocked(id string) {
-	if ls, ok := r.m[id]; ok {
-		r.bytes -= ls.bytes
+	if el, ok := r.m[id]; ok {
+		r.bytes -= el.Value.(*liveSession).bytes
+		r.ll.Remove(el)
 		delete(r.m, id)
 	}
 }
 
-// expireLocked drops sessions idle beyond the TTL. Callers hold r.mu.
+// expireLocked drops sessions idle beyond the TTL. The recency list is
+// ordered by lastUsed (every touch moves the session to the front), so
+// walking from the back touches only expired sessions plus one unexpired
+// sentinel — the whole-map scan this replaces made every get/add O(n).
+// Callers hold r.mu.
 func (r *sessionRegistry) expireLocked(now time.Time) {
-	for id, ls := range r.m {
-		if now.Sub(ls.lastUsed) > r.ttl {
-			r.removeLocked(id)
+	for el := r.ll.Back(); el != nil; el = r.ll.Back() {
+		ls := el.Value.(*liveSession)
+		if now.Sub(ls.lastUsed) <= r.ttl {
+			break
 		}
+		r.removeLocked(ls.id)
 	}
 }
 
@@ -772,19 +818,16 @@ func (r *sessionRegistry) add(sess *cocktail.Session) (*liveSession, error) {
 	now := r.now()
 	r.expireLocked(now)
 	// At either cap — session count or summed prefill KV bytes — evict
-	// the least-recently-used session (clients see a 404 on its next use
-	// and reopen — session-as-cache semantics).
-	for len(r.m) > 0 && (len(r.m) >= r.max || r.bytes+ls.bytes > r.maxBytes) {
-		var oldest *liveSession
-		for _, cand := range r.m {
-			if oldest == nil || cand.lastUsed.Before(oldest.lastUsed) {
-				oldest = cand
-			}
-		}
-		r.removeLocked(oldest.id)
+	// the least-recently-used session: the recency list's tail (clients
+	// see a 404 on its next use and reopen — session-as-cache
+	// semantics). Tail order also pins the tie-break: sessions touched
+	// at the same instant (an injected clock makes that common) evict in
+	// least-recently-touched order, not map-iteration order.
+	for r.ll.Len() > 0 && (r.ll.Len() >= r.max || r.bytes+ls.bytes > r.maxBytes) {
+		r.removeLocked(r.ll.Back().Value.(*liveSession).id)
 	}
 	ls.lastUsed = now
-	r.m[ls.id] = ls
+	r.m[ls.id] = r.ll.PushFront(ls)
 	r.bytes += ls.bytes
 	return ls, nil
 }
@@ -794,11 +837,14 @@ func (r *sessionRegistry) get(id string) (*liveSession, bool) {
 	defer r.mu.Unlock()
 	now := r.now()
 	r.expireLocked(now)
-	ls, ok := r.m[id]
-	if ok {
-		ls.lastUsed = now
+	el, ok := r.m[id]
+	if !ok {
+		return nil, false
 	}
-	return ls, ok
+	ls := el.Value.(*liveSession)
+	ls.lastUsed = now
+	r.ll.MoveToFront(el)
+	return ls, true
 }
 
 func (r *sessionRegistry) delete(id string) bool {

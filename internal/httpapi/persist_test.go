@@ -1,0 +1,219 @@
+package httpapi
+
+// persist_test.go covers the serving-layer face of PR 8: kill-and-restart
+// warm starts through -cache-persist-dir, corrupt-artifact degradation,
+// the deterministic session-eviction tie-break, and the sessionRegistry
+// churn benchmark (the O(n)-scan hot-path fix).
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// persistServer builds a server whose sealed caches spill to dir. The
+// shard count is pinned to 1 so the metrics assertions below are
+// independent of the host's CPU count.
+func persistServer(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	s := NewServer(testPipeline(t), Options{CachePersistDir: dir, CacheShards: -1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestWarmRestartRecoversSealedHits is the kill-and-restart acceptance
+// test: a server restarted over its persist directory answers its first
+// repeated request from the preloaded sealed cache (first-epoch hits
+// strictly above a cold restart, answers byte-identical), while a cold
+// restart pays the full miss.
+func TestWarmRestartRecoversSealedHits(t *testing.T) {
+	dir := t.TempDir()
+	var sample struct{ Context, Query []string }
+	req := func(srv *httptest.Server) (struct{ Answer []string }, Metrics) {
+		var res struct{ Answer []string }
+		if code := postJSON(t, srv.URL+"/v1/answer",
+			map[string]any{"context": sample.Context, "query": sample.Query}, &res); code != 200 {
+			t.Fatalf("answer failed with %d", code)
+		}
+		var m Metrics
+		getJSON(t, srv.URL+"/v1/metrics", &m)
+		return res, m
+	}
+
+	// First life: one answer populates RAM and writes the sealed
+	// artifact.
+	srvA := persistServer(t, dir)
+	getJSON(t, srvA.URL+"/v1/sample?dataset=Qasper&seed=41", &sample)
+	resA, mA := req(srvA)
+	if mA.SessionCache.Persist == nil || mA.SessionCache.Persist.Writes < 1 {
+		t.Fatalf("no sealed artifact written: %+v", mA.SessionCache.Persist)
+	}
+	srvA.Close()
+
+	// Second life over the same directory: the sealed cache preloads, so
+	// the very first request hits it (the prefill builder is never
+	// persisted — its miss is the expected one).
+	srvB := persistServer(t, dir)
+	var m0 Metrics
+	getJSON(t, srvB.URL+"/v1/metrics", &m0)
+	if m0.SessionCache.Persist.Preloaded < 1 {
+		t.Fatalf("warm restart preloaded nothing: %+v", m0.SessionCache.Persist)
+	}
+	if ks := m0.SessionCache.Kinds["sealed"]; ks.Entries < 1 {
+		t.Fatalf("sealed entries absent after preload: %+v", m0.SessionCache.Kinds)
+	}
+	resB, mB := req(srvB)
+	warmHits := mB.SessionCache.Hits
+	if warmHits < 1 {
+		t.Fatalf("warm restart's first request must hit the preloaded sealed cache: %+v", mB.SessionCache.CacheStats)
+	}
+	if !reflect.DeepEqual(resA.Answer, resB.Answer) {
+		t.Fatalf("warm-restart answer diverged:\n%v\n%v", resA.Answer, resB.Answer)
+	}
+
+	// Cold control: a fresh directory serves the same first request with
+	// zero hits — the warm first epoch is strictly better.
+	srvC := persistServer(t, t.TempDir())
+	resC, mC := req(srvC)
+	if coldHits := mC.SessionCache.Hits; coldHits >= warmHits {
+		t.Fatalf("first-epoch hits: warm %d must be strictly above cold %d", warmHits, coldHits)
+	}
+	if !reflect.DeepEqual(resA.Answer, resC.Answer) {
+		t.Fatalf("cold answer diverged from the original")
+	}
+}
+
+// TestCorruptPersistDirServesCold: bit-flipped artifacts must not break
+// startup or answering — the server comes up, counts the corrupt
+// artifact, and serves the request cold with identical bytes.
+func TestCorruptPersistDirServesCold(t *testing.T) {
+	dir := t.TempDir()
+	var sample struct{ Context, Query []string }
+	srvA := persistServer(t, dir)
+	getJSON(t, srvA.URL+"/v1/sample?dataset=Qasper&seed=43", &sample)
+	var resA struct{ Answer []string }
+	postJSON(t, srvA.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &resA)
+	srvA.Close()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no artifacts to corrupt: %v", err)
+	}
+	for _, ent := range ents {
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/3] ^= 0x80
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srvB := persistServer(t, dir)
+	var m Metrics
+	getJSON(t, srvB.URL+"/v1/metrics", &m)
+	if m.SessionCache.Persist.Corrupt < 1 || m.SessionCache.Persist.Preloaded != 0 {
+		t.Fatalf("corrupt artifacts not degraded: %+v", m.SessionCache.Persist)
+	}
+	var resB struct{ Answer []string }
+	if code := postJSON(t, srvB.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &resB); code != 200 {
+		t.Fatalf("cold answer after corruption failed: %d", code)
+	}
+	if !reflect.DeepEqual(resA.Answer, resB.Answer) {
+		t.Fatal("answer after corrupt-artifact cold start diverged")
+	}
+}
+
+// TestSessionEvictionTieBreakDeterministic pins the LRU-victim tie-break
+// under an injected clock: three sessions opened at the same instant
+// with a cap of two must always evict the first-opened one (the recency
+// list's tail), where the old map scan broke the tie by random map
+// iteration order.
+func TestSessionEvictionTieBreakDeterministic(t *testing.T) {
+	var sample struct{ Context, Query []string }
+	for round := 0; round < 5; round++ {
+		clock := newFakeClock()
+		s := NewServer(testPipeline(t), Options{MaxSessions: 2, Now: clock.Now})
+		srv := httptest.NewServer(s)
+		if sample.Context == nil {
+			getJSON(t, srv.URL+"/v1/sample?dataset=Qasper&seed=47", &sample)
+		}
+		ids := make([]string, 3)
+		for i := range ids {
+			var info SessionInfo
+			if code := postJSON(t, srv.URL+"/v1/session",
+				map[string]any{"context": sample.Context}, &info); code != 200 {
+				t.Fatalf("create %d failed", i)
+			}
+			ids[i] = info.SessionID // all three carry the same lastUsed stamp
+		}
+		var e map[string]string
+		if code := postJSON(t, srv.URL+"/v1/session/"+ids[0]+"/answer",
+			map[string]any{"query": sample.Query}, &e); code != 404 {
+			t.Fatalf("round %d: first-opened session must be the tie-break victim, got %d", round, code)
+		}
+		for _, id := range ids[1:] {
+			var res struct{ Answer []string }
+			if code := postJSON(t, srv.URL+"/v1/session/"+id+"/answer",
+				map[string]any{"query": sample.Query}, &res); code != 200 {
+				t.Fatalf("round %d: survivor %s answered %d", round, id, code)
+			}
+		}
+		srv.Close()
+		s.Close()
+	}
+}
+
+// BenchmarkSessionRegistryChurn measures the registry's get/add hot path
+// at a realistic open-session count. Before PR 8 every get and add
+// walked the whole session map under the lock to expire idle sessions
+// (and eviction re-scanned it per victim, O(n²) at the cap); the recency
+// list makes both O(1) amortized. Run with -benchtime and compare
+// ns/op across the two revisions.
+func BenchmarkSessionRegistryChurn(b *testing.B) {
+	p, err := cocktail.New(cocktail.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample, err := p.NewSample("Qasper", 51)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := p.Prefill(sample.Context)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const open = 1024
+	now := time.Unix(1700000000, 0)
+	r := newSessionRegistry(15*time.Minute, open, 1<<40, func() time.Time { return now })
+	ids := make([]string, open)
+	for i := range ids {
+		ls, err := r.add(sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = ls.id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			// Churn: an add at the cap evicts the LRU tail.
+			if _, err := r.add(sess); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			r.get(ids[i%open])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package kvcache
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rngx"
+)
+
+// attendEqual asserts two caches produce bit-identical Attend output for
+// the same queries — the property the spill tier's byte-identical-answers
+// guarantee rests on.
+func attendEqual(t *testing.T, want, got *Cache, cfg Config, seed uint64) {
+	t.Helper()
+	r := rngx.New(seed)
+	scale := float32(1.0 / math.Sqrt(float64(cfg.HeadDim)))
+	a, b := make([]float32, cfg.HeadDim), make([]float32, cfg.HeadDim)
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			q := r.GaussianVec(cfg.HeadDim, 1)
+			want.Attend(l, h, q, scale, a)
+			got.Attend(l, h, q, scale, b)
+			for i := range a {
+				if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+					t.Fatalf("layer %d head %d dim %d: %v != %v", l, h, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheCodecRoundTrip: mixed-precision sealed caches (reordered and
+// not) survive MarshalBinary/UnmarshalCache with identical geometry,
+// byte accounting and Attend results.
+func TestCacheCodecRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	for _, reorder := range []bool{false, true} {
+		b := fillBuilder(3, cfg, 70) // 2 full chunks + tail
+		plan := mixedPlan(70, 32, reorder)
+		c, err := b.Seal(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalCache(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Config() != c.Config() || got.Len() != c.Len() ||
+			got.ContextTokens() != c.ContextTokens() || got.TailTokens() != c.TailTokens() {
+			t.Fatalf("geometry diverged: %+v vs %+v", got.Config(), c.Config())
+		}
+		if got.SizeBytes() != c.SizeBytes() {
+			t.Fatalf("SizeBytes %d -> %d", c.SizeBytes(), got.SizeBytes())
+		}
+		attendEqual(t, c, got, cfg, 99)
+	}
+}
+
+// TestCacheCodecRoundTripWithTail: a cache that has decoded past its
+// context (non-empty FP16 tail) round-trips too, tail included.
+func TestCacheCodecRoundTripWithTail(t *testing.T) {
+	cfg := testConfig()
+	b := fillBuilder(5, cfg, 64)
+	c, err := b.Seal(UniformPlan(64, 32, INT4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rngx.New(21)
+	for n := 0; n < 3; n++ {
+		c.BeginToken()
+		for l := 0; l < cfg.Layers; l++ {
+			for h := 0; h < cfg.Heads; h++ {
+				c.AppendTail(l, h, r.GaussianVec(cfg.HeadDim, 1), r.GaussianVec(cfg.HeadDim, 1))
+			}
+		}
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCache(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TailTokens() != 3 || got.Len() != 67 || got.SizeBytes() != c.SizeBytes() {
+		t.Fatalf("tail geometry: len=%d tail=%d", got.Len(), got.TailTokens())
+	}
+	attendEqual(t, c, got, cfg, 101)
+	// The decoded cache is fully functional: it can keep decoding.
+	f := got.Fork()
+	f.BeginToken()
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			f.AppendTail(l, h, r.GaussianVec(cfg.HeadDim, 1), r.GaussianVec(cfg.HeadDim, 1))
+		}
+	}
+	if f.Len() != 68 || got.Len() != 67 {
+		t.Fatalf("fork isolation after decode: fork=%d orig=%d", f.Len(), got.Len())
+	}
+}
+
+// TestCacheCodecRejectsMalformed: corrupt serializations error cleanly —
+// truncations at every prefix length, bit flips at every offset, and a
+// handful of targeted geometry lies.
+func TestCacheCodecRejectsMalformed(t *testing.T) {
+	cfg := testConfig()
+	b := fillBuilder(9, cfg, 70)
+	c, err := b.Seal(mixedPlan(70, 32, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCache(nil); err == nil {
+		t.Error("nil input decoded")
+	}
+	// Truncation at any point must error (never panic, never succeed —
+	// the format has no optional suffix).
+	for cut := 0; cut < len(data); cut += 97 {
+		if _, err := UnmarshalCache(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	// Trailing garbage is not tolerated either.
+	if _, err := UnmarshalCache(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing byte tolerated")
+	}
+	// Wrong version.
+	bad := append([]byte(nil), data...)
+	bad[0] = codecVersion + 1
+	if _, err := UnmarshalCache(bad); err == nil {
+		t.Error("wrong version decoded")
+	}
+	// Bit flips across the payload: decode must never panic, and the
+	// geometry cross-checks catch most lies (a flip inside code bytes is
+	// legitimately still a valid cache — we only require no panic).
+	for off := 0; off < len(data); off += 13 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x10
+		UnmarshalCache(bad) // must not panic
+	}
+}

@@ -1,0 +1,115 @@
+package quant
+
+// codec.go is the binary serialization of a Tensor, used by the sealed
+// KV-cache spill tier (internal/sessioncache persistence) to round-trip
+// quantized segments through disk bit-exactly. The format is
+// little-endian and self-describing enough to validate: every array
+// length is checked against the tensor geometry before use, so corrupt
+// input yields an error, never a panic or a silent mis-shape.
+//
+// Layout (all integers little-endian):
+//
+//	u8    bits (2, 4 or 8)
+//	u8    axis (0 per-token, 1 per-channel)
+//	u32   rows
+//	u32   cols
+//	u32   group size
+//	u8    codebook flag (0 or 1)
+//	bytes packed codes, ceil(rows*cols*bits/8)
+//	u16×n scales (FP16 bit patterns), n = numGroups
+//	u16×n zeros
+//	f32×L codebook (IEEE-754 bit patterns), L = 2^bits, when flagged
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/f16"
+)
+
+// errCodec is returned for any malformed Tensor serialization.
+var errCodec = errors.New("quant: malformed tensor encoding")
+
+// codecMaxDim bounds decoded dimensions so a corrupt length cannot drive
+// a giant allocation before the size cross-checks run.
+const codecMaxDim = 1 << 24
+
+// AppendBinary appends t's binary serialization to buf and returns the
+// extended slice. Tensors are immutable, so concurrent AppendBinary calls
+// on one tensor are safe.
+func (t *Tensor) AppendBinary(buf []byte) []byte {
+	buf = append(buf, byte(t.Bits), byte(t.Axis))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Cols))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.GroupSize))
+	if t.codebook != nil {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, t.codes...)
+	for _, s := range t.scales {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s))
+	}
+	for _, z := range t.zeros {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(z))
+	}
+	for _, c := range t.codebook {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(c))
+	}
+	return buf
+}
+
+// DecodeTensor decodes one Tensor from the front of data, returning the
+// tensor and the remaining bytes. The decoded tensor is geometry-checked
+// field by field; any inconsistency returns errCodec.
+func DecodeTensor(data []byte) (*Tensor, []byte, error) {
+	if len(data) < 15 {
+		return nil, nil, errCodec
+	}
+	t := &Tensor{
+		Bits:      Bits(data[0]),
+		Axis:      Axis(data[1]),
+		Rows:      int(binary.LittleEndian.Uint32(data[2:6])),
+		Cols:      int(binary.LittleEndian.Uint32(data[6:10])),
+		GroupSize: int(binary.LittleEndian.Uint32(data[10:14])),
+	}
+	hasCB := data[14]
+	rest := data[15:]
+	if !t.Bits.valid() || (t.Axis != PerToken && t.Axis != PerChannel) || hasCB > 1 {
+		return nil, nil, errCodec
+	}
+	if t.Rows < 0 || t.Cols < 0 || t.Rows > codecMaxDim || t.Cols > codecMaxDim || t.GroupSize <= 0 {
+		return nil, nil, errCodec
+	}
+	nCodes := (t.Rows*t.Cols*int(t.Bits) + 7) / 8
+	ng := t.numGroups()
+	nCB := 0
+	if hasCB == 1 {
+		nCB = t.Bits.Levels()
+	}
+	if len(rest) < nCodes+2*2*ng+4*nCB {
+		return nil, nil, errCodec
+	}
+	t.codes = append([]byte(nil), rest[:nCodes]...)
+	rest = rest[nCodes:]
+	readF16s := func(n int) []f16.F16 {
+		out := make([]f16.F16, n)
+		for i := range out {
+			out[i] = f16.F16(binary.LittleEndian.Uint16(rest[2*i:]))
+		}
+		rest = rest[2*n:]
+		return out
+	}
+	t.scales = readF16s(ng)
+	t.zeros = readF16s(ng)
+	if nCB > 0 {
+		t.codebook = make([]float32, nCB)
+		for i := range t.codebook {
+			t.codebook[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		rest = rest[4*nCB:]
+	}
+	return t, rest, nil
+}

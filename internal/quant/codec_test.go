@@ -1,0 +1,121 @@
+package quant
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rngx"
+)
+
+// TestCodecRoundTrip: every bitwidth × axis × codebook combination, with
+// ragged geometry (odd rows, partial groups, partial pack bytes), must
+// decode back field-identical — codes, FP16 scale/zero bit patterns and
+// codebook included — with SizeBytes preserved.
+func TestCodecRoundTrip(t *testing.T) {
+	r := rngx.New(7)
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		for _, axis := range []Axis{PerToken, PerChannel} {
+			for _, withCB := range []bool{false, true} {
+				for _, dims := range [][2]int{{1, 1}, {3, 5}, {17, 16}, {31, 33}} {
+					rows, cols := dims[0], dims[1]
+					data := r.GaussianVec(rows*cols, 1.5)
+					cfg := Config{Bits: bits, Axis: axis, GroupSize: 16}
+					if withCB {
+						cfg.Codebook = FitCodebook(bits, data, 4)
+					}
+					orig := Quantize(data, rows, cols, cfg)
+					got, rest, err := DecodeTensor(orig.AppendBinary(nil))
+					if err != nil {
+						t.Fatalf("%db %v rows=%d cols=%d cb=%v: %v", bits, axis, rows, cols, withCB, err)
+					}
+					if len(rest) != 0 {
+						t.Fatalf("%d bytes left over after decode", len(rest))
+					}
+					if !reflect.DeepEqual(orig, got) {
+						t.Fatalf("%db %v rows=%d cols=%d cb=%v: round trip diverged\norig %+v\ngot  %+v",
+							bits, axis, rows, cols, withCB, orig, got)
+					}
+					if orig.Bytes() != got.Bytes() {
+						t.Fatalf("Bytes %d -> %d", orig.Bytes(), got.Bytes())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecSequentialDecode: DecodeTensor consumes exactly one tensor
+// from the front and hands back the remainder — the contract the sealed
+// cache codec relies on when decoding K then V then further fields.
+func TestCodecSequentialDecode(t *testing.T) {
+	r := rngx.New(11)
+	a := Quantize(r.GaussianVec(8*16, 1), 8, 16, Config{Bits: INT4, GroupSize: 16})
+	b := Quantize(r.GaussianVec(4*16, 1), 4, 16, Config{Bits: INT2, GroupSize: 16})
+	buf := b.AppendBinary(a.AppendBinary(nil))
+	buf = append(buf, 0xAB, 0xCD) // trailing non-tensor bytes
+
+	gotA, rest, err := DecodeTensor(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := DecodeTensor(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, gotA) || !reflect.DeepEqual(b, gotB) {
+		t.Fatal("sequential decode diverged")
+	}
+	if len(rest) != 2 || rest[0] != 0xAB || rest[1] != 0xCD {
+		t.Fatalf("remainder mangled: %x", rest)
+	}
+}
+
+// TestCodecRejectsMalformed: every malformation errors cleanly — no
+// panic, no giant allocation, no silently mis-shaped tensor.
+func TestCodecRejectsMalformed(t *testing.T) {
+	valid := Quantize(make([]float32, 8*8), 8, 8, Config{Bits: INT4, GroupSize: 8}).AppendBinary(nil)
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short-header":  valid[:10],
+		"truncated":     valid[:len(valid)-1],
+		"bad-bits":      mutate(func(b []byte) { b[0] = 3 }),
+		"bad-axis":      mutate(func(b []byte) { b[1] = 7 }),
+		"bad-cb-flag":   mutate(func(b []byte) { b[14] = 2 }),
+		"zero-group":    mutate(func(b []byte) { b[10], b[11], b[12], b[13] = 0, 0, 0, 0 }),
+		"huge-rows":     mutate(func(b []byte) { b[2], b[3], b[4], b[5] = 0xff, 0xff, 0xff, 0xff }),
+		"oversize-rows": mutate(func(b []byte) { b[5] = 0x02 }), // > codecMaxDim, plausible size
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeTensor(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestCodecDequantIdentical: beyond field equality, the decoded tensor
+// must dequantize to bit-identical float rows (what Attend actually
+// consumes).
+func TestCodecDequantIdentical(t *testing.T) {
+	r := rngx.New(13)
+	orig := Quantize(r.GaussianVec(12*32, 2), 12, 32, Config{Bits: INT4, Axis: PerChannel, GroupSize: 16})
+	got, _, err := DecodeTensor(orig.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := make([]float32, 32), make([]float32, 32)
+	for row := 0; row < 12; row++ {
+		orig.DequantRowInto(a, row)
+		got.DequantRowInto(b, row)
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("row %d col %d: %v != %v", row, i, a[i], b[i])
+			}
+		}
+	}
+}

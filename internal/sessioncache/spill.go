@@ -1,0 +1,381 @@
+package sessioncache
+
+// spill.go is the store's on-disk persistence tier. Kinds with a
+// registered Codec spill their admitted entries to an artifact directory:
+// every admitted Put writes (or rewrites) the key's artifact, a Get miss
+// consults the directory before giving up, and New preloads every valid
+// artifact for a warm restart. Artifacts are a capacity tier, not a
+// source of truth — loss of the directory loses nothing but warmth.
+//
+// # Artifact format (version 1)
+//
+// One artifact per key, little-endian throughout:
+//
+//	offset  size  field
+//	0       4     magic "CKSP"
+//	4       2     format version (1)
+//	6       8     savedAt, unix nanoseconds (int64) — the store clock at
+//	              the Put; artifacts older than the store TTL are stale
+//	14      4+n   key.Fingerprint (u32 length prefix + bytes)
+//	...     4+n   key.Kind        (u32 length prefix + bytes)
+//	...     4+n   key.Hash        (u32 length prefix + bytes)
+//	...     4+n   payload         (u32 length prefix + Codec bytes)
+//	...     4     CRC-32 (IEEE) of everything above
+//
+// The filename is a hex-truncated SHA-256 of the key triple (the key's
+// Hash may contain '/' — sealed keys embed a plan fingerprint — so raw
+// hashes cannot name files), with the full key embedded in the header and
+// verified on load so a renamed or colliding file can never serve the
+// wrong bytes.
+//
+// # Corruption contract
+//
+// A truncated, bit-flipped, wrong-magic, wrong-version, key-mismatched or
+// undecodable artifact is never an error, let alone a startup failure: it
+// is deleted, counted in PersistStats.Corrupt, and the access proceeds as
+// an ordinary miss. A stale artifact (older than TTL) is deleted and
+// counted in Expired. Write failures (disk full, permissions) only count
+// in Errors — the in-RAM store is authoritative and unaffected.
+//
+// All I/O runs outside every lock-shard mutex. Writes are atomic
+// (unique temp file in the same directory, then rename), so a crash
+// mid-write leaves at worst a stale *.tmp* file and never a torn
+// artifact; leftover temp files are swept at preload.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Codec serializes one kind's values for the spill tier. Implementations
+// must be safe for concurrent use (the store encodes outside its locks)
+// and round-trip exactly: Decode(Encode(v)) must reproduce v's bytes,
+// SizeBytes included.
+type Codec interface {
+	// Encode serializes v. The store only passes values that were stored
+	// under the codec's kind.
+	Encode(v Sized) ([]byte, error)
+	// Decode reconstructs a value from Encode's output. Any error makes
+	// the caller treat the artifact as corrupt (delete + count + miss).
+	Decode(data []byte) (Sized, error)
+}
+
+// PersistOptions configures the spill tier (Options.Persist).
+type PersistOptions struct {
+	// Dir is the artifact directory; it is created if missing. Empty
+	// disables persistence.
+	Dir string
+	// Codecs maps each persistable kind to its serializer; kinds absent
+	// here stay RAM-only. Empty disables persistence.
+	Codecs map[Kind]Codec
+}
+
+// PersistStats is the spill tier's counter block (all counters monotonic
+// since store creation).
+type PersistStats struct {
+	// Dir is the configured artifact directory.
+	Dir string `json:"dir"`
+	// Writes counts artifacts written (admitted Puts of persistable
+	// kinds, including rewrites of an existing key).
+	Writes int64 `json:"writes"`
+	// Restores counts Get misses answered from disk.
+	Restores int64 `json:"restores"`
+	// Preloaded counts artifacts re-adopted at startup.
+	Preloaded int64 `json:"preloaded"`
+	// Corrupt counts artifacts deleted as unreadable: truncated,
+	// bit-flipped, wrong magic/version, key mismatch or codec failure.
+	Corrupt int64 `json:"corrupt"`
+	// Expired counts artifacts deleted as older than the store TTL.
+	Expired int64 `json:"expired"`
+	// Errors counts I/O failures (encode/write/read errors other than
+	// "not found") — never fatal, the RAM store is authoritative.
+	Errors int64 `json:"errors"`
+}
+
+const (
+	spillMagic   = "CKSP"
+	spillVersion = 1
+	spillSuffix  = ".ckspill"
+	// spillMaxField bounds each length-prefixed field when parsing, so a
+	// corrupt length cannot drive a giant allocation. Payloads are
+	// sealed KV caches — far under this — and key fields are hex
+	// strings.
+	spillMaxField = 1 << 31
+)
+
+// persister owns the artifact directory and the spill counters. It holds
+// no locks: every operation is a self-contained file transaction, and
+// racing writers of one key converge via atomic rename (last writer
+// wins, both artifacts were valid).
+type persister struct {
+	dir    string
+	codecs map[Kind]Codec
+
+	writes    metrics.Counter
+	restores  metrics.Counter
+	preloaded metrics.Counter
+	corrupt   metrics.Counter
+	expired   metrics.Counter
+	errs      metrics.Counter
+}
+
+func newPersister(opts PersistOptions) *persister {
+	codecs := make(map[Kind]Codec, len(opts.Codecs))
+	for k, c := range opts.Codecs {
+		if c != nil {
+			codecs[k] = c
+		}
+	}
+	return &persister{dir: opts.Dir, codecs: codecs}
+}
+
+// persists reports whether a kind has a registered codec.
+func (p *persister) persists(kind Kind) bool {
+	_, ok := p.codecs[kind]
+	return ok
+}
+
+// path returns k's artifact path: a hex-truncated SHA-256 of the key
+// triple (0xff separators, which no field contains) under the directory.
+func (p *persister) path(k Key) string {
+	h := sha256.New()
+	h.Write([]byte(k.Fingerprint))
+	h.Write([]byte{0xff})
+	h.Write([]byte(k.Kind))
+	h.Write([]byte{0xff})
+	h.Write([]byte(k.Hash))
+	sum := h.Sum(nil)
+	return filepath.Join(p.dir, hex.EncodeToString(sum[:16])+spillSuffix)
+}
+
+// appendField appends one u32-length-prefixed field.
+func appendField(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// encodeArtifact assembles the version-1 artifact bytes for (k, payload).
+func encodeArtifact(k Key, payload []byte, savedAt time.Time) []byte {
+	buf := make([]byte, 0, 14+12+len(k.Fingerprint)+len(k.Kind)+len(k.Hash)+4+len(payload)+4)
+	buf = append(buf, spillMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, spillVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(savedAt.UnixNano()))
+	buf = appendField(buf, k.Fingerprint)
+	buf = appendField(buf, string(k.Kind))
+	buf = appendField(buf, k.Hash)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// errCorruptArtifact is the internal "delete it and move on" sentinel
+// for every unreadable-artifact shape (see the corruption contract).
+var errCorruptArtifact = errors.New("sessioncache: corrupt spill artifact")
+
+// decodeArtifact parses and verifies artifact bytes, returning the
+// embedded key, payload and save time. Every malformation returns
+// errCorruptArtifact.
+func decodeArtifact(data []byte) (Key, []byte, time.Time, error) {
+	var zero Key
+	// Trailer first: a bit flip anywhere (header, key, payload) fails
+	// the checksum before any field is believed.
+	if len(data) < 18 || string(data[:4]) != spillMagic {
+		return zero, nil, time.Time{}, errCorruptArtifact
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return zero, nil, time.Time{}, errCorruptArtifact
+	}
+	if binary.LittleEndian.Uint16(body[4:6]) != spillVersion {
+		return zero, nil, time.Time{}, errCorruptArtifact
+	}
+	savedAt := time.Unix(0, int64(binary.LittleEndian.Uint64(body[6:14])))
+	rest := body[14:]
+	field := func() (string, bool) {
+		if len(rest) < 4 {
+			return "", false
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) || n >= spillMaxField {
+			return "", false
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, true
+	}
+	fp, ok1 := field()
+	kind, ok2 := field()
+	hash, ok3 := field()
+	payload, ok4 := field()
+	if !ok1 || !ok2 || !ok3 || !ok4 || len(rest) != 0 {
+		return zero, nil, time.Time{}, errCorruptArtifact
+	}
+	k := Key{Fingerprint: fp, Kind: Kind(kind), Hash: hash}
+	return k, []byte(payload), savedAt, nil
+}
+
+// save writes k's artifact (atomic temp+rename). Failures are counted,
+// never surfaced — the RAM store already holds the value.
+func (p *persister) save(k Key, v Sized, now time.Time) {
+	codec := p.codecs[k.Kind]
+	payload, err := codec.Encode(v)
+	if err != nil {
+		p.errs.Inc()
+		return
+	}
+	data := encodeArtifact(k, payload, now)
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		p.errs.Inc()
+		return
+	}
+	dst := p.path(k)
+	tmp, err := os.CreateTemp(p.dir, filepath.Base(dst)+".tmp*")
+	if err != nil {
+		p.errs.Inc()
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		p.errs.Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		p.errs.Inc()
+		return
+	}
+	p.writes.Inc()
+}
+
+// load answers a Get miss from disk: parse, verify, TTL-check and decode
+// k's artifact. Absent artifacts are plain misses; corrupt or stale ones
+// are deleted and counted (see the corruption contract). now/ttl come
+// from the owning store's injected clock and configuration.
+func (p *persister) load(k Key, now time.Time, ttl time.Duration) (Sized, bool) {
+	path := p.path(k)
+	v, ok := p.readArtifact(path, k, now, ttl, true)
+	if ok {
+		p.restores.Inc()
+	}
+	return v, ok
+}
+
+// readArtifact is the shared load/preload read path. wantKey true
+// requires the embedded key to equal want (the load-by-key path); false
+// accepts any key (preload discovers keys from the artifacts themselves).
+func (p *persister) readArtifact(path string, want Key, now time.Time, ttl time.Duration, wantKey bool) (Sized, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			p.errs.Inc()
+		}
+		return nil, false
+	}
+	k, payload, savedAt, err := decodeArtifact(data)
+	if err != nil || (wantKey && k != want) {
+		p.discard(path, &p.corrupt)
+		return nil, false
+	}
+	if ttl > 0 && now.Sub(savedAt) > ttl {
+		p.discard(path, &p.expired)
+		return nil, false
+	}
+	codec, ok := p.codecs[k.Kind]
+	if !ok {
+		// Preload found a kind this configuration cannot decode; leave
+		// the artifact for a configuration that can.
+		return nil, false
+	}
+	v, err := codec.Decode(payload)
+	if err != nil || v == nil {
+		p.discard(path, &p.corrupt)
+		return nil, false
+	}
+	return v, true
+}
+
+// discard deletes an unusable artifact and bumps its counter.
+func (p *persister) discard(path string, c *metrics.Counter) {
+	os.Remove(path)
+	c.Inc()
+}
+
+// remove deletes k's artifact (Store.Delete: an invalidated value must
+// not resurrect from disk).
+func (p *persister) remove(k Key) { os.Remove(p.path(k)) }
+
+// stats snapshots the spill counters.
+func (p *persister) stats() PersistStats {
+	return PersistStats{
+		Dir:       p.dir,
+		Writes:    p.writes.Load(),
+		Restores:  p.restores.Load(),
+		Preloaded: p.preloaded.Load(),
+		Corrupt:   p.corrupt.Load(),
+		Expired:   p.expired.Load(),
+		Errors:    p.errs.Load(),
+	}
+}
+
+// preload re-adopts every valid artifact in the directory at New, in
+// sorted filename order (deterministic adoption order ⇒ deterministic
+// LRU order after a warm restart), sweeping crash-leftover temp files.
+// Corrupt and stale artifacts are deleted and counted; nothing here can
+// fail construction.
+func (s *Store) preload() {
+	ents, err := os.ReadDir(s.persist.dir)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.persist.errs.Inc()
+		}
+		return
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(s.persist.dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, spillSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	now := s.opts.Now()
+	for _, name := range names {
+		path := filepath.Join(s.persist.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.persist.errs.Inc()
+			continue
+		}
+		k, _, _, derr := decodeArtifact(data)
+		if derr != nil {
+			s.persist.discard(path, &s.persist.corrupt)
+			continue
+		}
+		v, ok := s.persist.readArtifact(path, k, now, s.opts.TTL, true)
+		if !ok {
+			continue
+		}
+		s.shardFor(k).adopt(k, v, false)
+		s.persist.preloaded.Inc()
+	}
+}

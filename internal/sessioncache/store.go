@@ -16,39 +16,59 @@
 // counters are metrics.Counter values (lock-free atomics) surfaced to the
 // serving metrics endpoint.
 //
-// Admission is pluggable (Options.Policy) and segment-aware: PolicyLRU
-// admits every Put (the historical behavior and the default), Policy2Q
-// requires a second sighting within the TTL window before a key may
-// occupy main-cache bytes, the full A1in/A1out variant (NewPolicyA1)
-// instead trials first sightings in a small probation byte segment and
-// promotes them on re-reference, and PolicyAdaptive flips between
-// admit-everything and second-sighting admission by watching the
+// Admission is pluggable (Options.Policy / Options.NewPolicy) and
+// segment-aware: PolicyLRU admits every Put (the historical behavior and
+// the default), Policy2Q requires a second sighting within the TTL window
+// before a key may occupy main-cache bytes, the full A1in/A1out variant
+// (NewPolicyA1) instead trials first sightings in a small probation byte
+// segment and promotes them on re-reference, and PolicyAdaptive flips
+// between admit-everything and second-sighting admission by watching the
 // workload. The store keeps one LRU list per segment; the probation
 // segment's byte cap is carved out of the budget, so the total budget is
 // never exceeded.
 //
+// Lock sharding: the store is split into Options.Shards lock-shards by
+// key hash (FNV-1a over the full key, masked to a power of two). Each
+// lock-shard owns its own mutex, items map, per-kind LRU/probation lists,
+// byte accounting and admission-policy instance, so Get/Put/Contains on
+// keys of different lock-shards never contend. The byte budget (and each
+// per-kind sub-budget) is split deterministically across lock-shards —
+// MaxBytes/N each, the integer remainder to lock-shard 0 — and Sweep and
+// Stats visit the lock-shards one at a time, aggregating without any
+// global lock. One lock-shard (the default) reproduces the historical
+// single-mutex store exactly, counters included.
+//
 // The budget can be split per artifact Kind (Options.Kinds): a kind with
-// a KindBudget gets a dedicated shard — its own byte sub-budget, its own
-// probation carve-out and its own LRU lists, carved out of MaxBytes —
-// while kinds without one share the remainder shard. Sealed caches are
-// typically several times smaller than prefill builders; a dedicated
-// sealed shard stops a handful of builders from monopolizing the budget
-// (and the probation trial space) that dozens of cheap seal trials could
-// use. The store additionally keeps per-kind occupancy accounting
-// (entries/bytes per kind, resident and on probation) whether or not the
-// budget is split, surfaced in Stats.Kinds. With a PolicyPerKind router
-// the admission state (ghost lists, adaptive windows) is per-kind too.
+// a KindBudget gets a dedicated kind-shard within every lock-shard — its
+// own byte sub-budget, its own probation carve-out and its own LRU lists,
+// carved out of MaxBytes — while kinds without one share the remainder.
+// Sealed caches are typically several times smaller than prefill
+// builders; a dedicated sealed sub-budget stops a handful of builders
+// from monopolizing the budget (and the probation trial space) that
+// dozens of cheap seal trials could use. The store additionally keeps
+// per-kind occupancy accounting (entries/bytes per kind, resident and on
+// probation) whether or not the budget is split, surfaced in Stats.Kinds.
+// With a PolicyPerKind router the admission state (ghost lists, adaptive
+// windows) is per-kind too.
+//
+// Persistence (Options.Persist): kinds with a registered Codec spill
+// their admitted entries to a versioned on-disk artifact directory —
+// written on Put, reloaded on startup for warm restarts, and consulted on
+// Get misses as a capacity tier beyond RAM. A truncated, corrupt or
+// wrong-version artifact is never an error: it is deleted, counted, and
+// the Get proceeds as a miss. See spill.go for the artifact format.
 //
 // Ownership: a Store is shared state, safe for concurrent use from any
-// number of goroutines; all methods lock internally. Values handed out by
-// Get are shared too — callers must only read them (for caches: fork
-// before decoding). Eviction only drops the store's reference; callers
-// holding a value keep it alive, so evicting under a live session is
-// always safe.
+// number of goroutines; all methods lock internally (per lock-shard).
+// Values handed out by Get are shared too — callers must only read them
+// (for caches: fork before decoding). Eviction only drops the store's
+// reference; callers holding a value keep it alive, so evicting under a
+// live session is always safe.
 package sessioncache
 
 import (
 	"container/list"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -87,14 +107,17 @@ type Key struct {
 }
 
 // KindBudget dedicates a byte sub-budget to one artifact kind. Dedicated
-// kinds get their own shard: their own LRU lists, byte cap and probation
-// carve-out, so another kind's traffic can never evict them.
+// kinds get their own kind-shard: their own LRU lists, byte cap and
+// probation carve-out, so another kind's traffic can never evict them.
 type KindBudget struct {
 	// MaxBytes is the kind's sub-budget in bytes, carved out of
-	// Options.MaxBytes (the remainder is the shared shard for kinds
+	// Options.MaxBytes (the remainder is the shared kind-shard for kinds
 	// without a budget). Entries with MaxBytes <= 0 are ignored; if the
 	// budgets sum past MaxBytes the excess is clamped off in kind-name
-	// order so the carve-outs never exceed the total.
+	// order so the carve-outs never exceed the total. With lock sharding
+	// the sub-budget is split across lock-shards exactly like MaxBytes
+	// (per-lock-shard slice, remainder to lock-shard 0, clamped against
+	// that lock-shard's slice of the total).
 	MaxBytes int64
 	// ProbationPct is the kind's probation carve-out in percent of its
 	// MaxBytes, overriding the policy's own sizing for this shard. It
@@ -106,7 +129,7 @@ type KindBudget struct {
 }
 
 // Options configures a Store. The zero value is usable: 256 MiB budget,
-// no TTL.
+// one lock-shard, no TTL, no persistence.
 type Options struct {
 	// MaxBytes is the eviction budget in bytes summed over all entries of
 	// all shards and segments (<= 0 selects 256 MiB). A single value
@@ -122,10 +145,28 @@ type Options struct {
 	// with a probation segment has its per-shard cap negotiated through
 	// Policy.ProbationCap at New; a cap at or beyond a shard's budget is
 	// clamped to half so the protected segment always exists.
+	//
+	// A single Policy instance serializes behind one mutex and therefore
+	// cannot back more than one lock-shard: with Shards > 1 set
+	// NewPolicy instead (New panics on a Policy + Shards > 1 combination
+	// rather than silently sharing the instance).
 	Policy Policy
+	// NewPolicy, when non-nil, is invoked once per lock-shard to build
+	// that shard's own admission-policy instance (own ghost list, own
+	// adaptive window), and takes precedence over Policy. A nil return
+	// selects PolicyLRU for that shard.
+	NewPolicy func() Policy
 	// Kinds optionally splits MaxBytes into per-kind sub-budgets; nil or
 	// empty keeps the single shared budget (the historical behavior).
 	Kinds map[Kind]KindBudget
+	// Shards is the lock-shard count; it is rounded up to a power of two
+	// and <= 0 selects 1 (the historical single-mutex store). Serving
+	// layers default to DefaultShards.
+	Shards int
+	// Persist enables the on-disk spill tier for kinds with a registered
+	// Codec; nil disables persistence (the historical behavior). See the
+	// package comment and spill.go.
+	Persist *PersistOptions
 
 	// Now overrides the clock for every TTL/expiry decision; nil means
 	// time.Now. Serving layers thread one injected clock through here
@@ -136,6 +177,21 @@ type Options struct {
 
 // DefaultMaxBytes is the byte budget used when Options.MaxBytes <= 0.
 const DefaultMaxBytes = 256 << 20
+
+// DefaultShards returns the lock-shard count serving layers default to:
+// runtime.NumCPU() rounded up to a power of two. More lock-shards than
+// CPUs buys nothing (at most NumCPU goroutines contend at once), and a
+// power of two keeps shard selection a mask instead of a modulo.
+func DefaultShards() int { return ceilPow2(runtime.NumCPU()) }
+
+// ceilPow2 rounds n up to the nearest power of two, minimum 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
 
 // Stats is a point-in-time snapshot of the store's counters and
 // occupancy. Counter fields are monotonic event totals since creation;
@@ -154,13 +210,34 @@ type Stats struct {
 	// segment occupancy summed over all shards (all zeros under
 	// PolicyLRU apart from the label and the protected occupancy). Its
 	// per-kind breakdown, if the policy keeps one, is redistributed into
-	// Kinds.
+	// Kinds. With lock sharding the block sums the per-lock-shard policy
+	// instances; Mode reads "mixed" when adaptive instances disagree.
 	Admission AdmissionStats `json:"admission"`
 	// Kinds is the per-kind occupancy (and, for dedicated kinds, budget)
-	// breakdown. The serving kinds (prefill, sealed) are always present;
-	// other kinds appear once they hold entries or have a dedicated
-	// sub-budget.
+	// breakdown, summed over lock-shards. The serving kinds (prefill,
+	// sealed) are always present; other kinds appear once they hold
+	// entries or have a dedicated sub-budget.
 	Kinds map[string]KindStats `json:"kinds"`
+	// Shards is the per-lock-shard occupancy/counter breakdown, indexed
+	// by lock-shard (always at least one entry).
+	Shards []ShardStats `json:"shards"`
+	// Persist is the spill tier's counter block; nil when persistence is
+	// disabled.
+	Persist *PersistStats `json:"persist,omitempty"`
+}
+
+// ShardStats is one lock-shard's occupancy and counter block — the
+// per-shard slice of the aggregate Stats, surfaced so dashboards can see
+// hash skew and contention hot spots.
+type ShardStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Insertions  int64 `json:"insertions"`
 }
 
 // KindStats describes one artifact kind's occupancy, budget and — when
@@ -169,7 +246,8 @@ type KindStats struct {
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
 	// MaxBytes is the byte cap governing this kind: its dedicated
-	// sub-budget, or the shared shard's budget when it has none.
+	// sub-budget, or the shared shard's budget when it has none (summed
+	// over lock-shards).
 	MaxBytes int64 `json:"max_bytes"`
 	// Dedicated reports whether the kind has its own sub-budget (and so
 	// its own LRU and probation carve-out).
@@ -194,11 +272,11 @@ type entry struct {
 	hit      bool // re-referenced (Get or replacing Put) while resident
 }
 
-// shard is one byte-budgeted slice of the store: the shared remainder
-// ("" kind) or a kind's dedicated sub-budget. Each shard has its own
-// protected and probation LRU lists; both are ordered by last use (front
-// = most recently used), which Sweep relies on to stop at the first
-// unexpired entry.
+// shard is one byte-budgeted kind slice of a lock-shard: the shared
+// remainder ("" kind) or a kind's dedicated sub-budget. Each shard has
+// its own protected and probation LRU lists; both are ordered by last use
+// (front = most recently used), which Sweep relies on to stop at the
+// first unexpired entry.
 type shard struct {
 	kind    Kind  // "" for the shared shard
 	max     int64 // the shard's byte budget
@@ -248,17 +326,21 @@ type kindAcct struct {
 	probBytes   int64
 }
 
-// Store is the byte-accounted, shard- and segment-aware LRU. See the
-// package comment for the ownership rules.
-type Store struct {
+// lockShard is one hash slice of the store: its own mutex, items map,
+// per-kind kind-shards, byte accounting, counters and admission-policy
+// instance. A lock-shard is exactly the historical single-mutex store
+// over a deterministic slice of the byte budget; keys of different
+// lock-shards never contend.
+type lockShard struct {
 	mu        sync.Mutex
-	opts      Options
+	opts      *Options // shared, read-only after New
 	policy    Policy
 	shared    *shard
 	dedicated map[Kind]*shard
 	ordered   []*shard // dedicated shards in kind order, then shared
 	items     map[Key]*list.Element
-	bytes     int64 // all shards
+	max       int64 // this lock-shard's slice of Options.MaxBytes
+	bytes     int64 // all kind-shards
 	acct      map[Kind]*kindAcct
 
 	hits        metrics.Counter
@@ -269,7 +351,18 @@ type Store struct {
 	promotions  metrics.Counter // probation -> protected segment moves
 }
 
-// New builds an empty store.
+// Store is the byte-accounted, sharded, segment-aware LRU. See the
+// package comment for the ownership rules.
+type Store struct {
+	opts    Options
+	shards  []*lockShard
+	mask    uint64
+	persist *persister // nil when persistence is disabled
+}
+
+// New builds an empty store. With Options.Persist set, artifacts found in
+// the persist directory are reloaded before New returns (warm restart);
+// corrupt or stale artifacts are deleted, never fatal.
 func New(opts Options) *Store {
 	if opts.MaxBytes <= 0 {
 		opts.MaxBytes = DefaultMaxBytes
@@ -277,52 +370,93 @@ func New(opts Options) *Store {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	if opts.Policy == nil {
-		opts.Policy = NewPolicyLRU()
+	n := 1
+	if opts.Shards > 1 {
+		n = ceilPow2(opts.Shards)
 	}
-	s := &Store{
+	if n > 1 && opts.NewPolicy == nil && opts.Policy != nil {
+		panic("sessioncache: Options.Policy cannot back more than one lock-shard; set Options.NewPolicy")
+	}
+	s := &Store{opts: opts, mask: uint64(n - 1)}
+	for i := 0; i < n; i++ {
+		var pol Policy
+		if opts.NewPolicy != nil {
+			pol = opts.NewPolicy()
+		} else if i == 0 {
+			pol = opts.Policy
+		}
+		if pol == nil {
+			pol = NewPolicyLRU()
+		}
+		s.shards = append(s.shards, newLockShard(&s.opts, pol, n, i))
+	}
+	if opts.Persist != nil && opts.Persist.Dir != "" && len(opts.Persist.Codecs) > 0 {
+		s.persist = newPersister(*opts.Persist)
+		s.preload()
+	}
+	return s
+}
+
+// shardSlice returns lock-shard i's deterministic slice of a byte
+// budget: total/n each, with the integer remainder assigned to shard 0.
+func shardSlice(total int64, n, i int) int64 {
+	per := total / int64(n)
+	if i == 0 {
+		per += total - per*int64(n)
+	}
+	return per
+}
+
+// newLockShard builds lock-shard i of n, carving its slice of the total
+// (and of every per-kind sub-budget) and negotiating probation caps with
+// its own policy instance.
+func newLockShard(opts *Options, pol Policy, n, i int) *lockShard {
+	ls := &lockShard{
 		opts:      opts,
-		policy:    opts.Policy,
+		policy:    pol,
 		dedicated: make(map[Kind]*shard),
 		items:     make(map[Key]*list.Element),
+		max:       shardSlice(opts.MaxBytes, n, i),
 		acct:      map[Kind]*kindAcct{KindPrefill: {}, KindSealed: {}},
 	}
-	// Dedicated shards first (sorted by kind so clamping an over-budget
-	// configuration is deterministic), the remainder is the shared shard.
+	// Dedicated kind-shards first (sorted by kind so clamping an
+	// over-budget configuration is deterministic), the remainder is the
+	// shared kind-shard.
 	kinds := make([]Kind, 0, len(opts.Kinds))
 	for k, b := range opts.Kinds {
 		if b.MaxBytes > 0 {
 			kinds = append(kinds, k)
 		}
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	remaining := opts.MaxBytes
+	sort.Slice(kinds, func(a, b int) bool { return kinds[a] < kinds[b] })
+	remaining := ls.max
 	for _, k := range kinds {
 		b := opts.Kinds[k]
-		max := b.MaxBytes
+		max := shardSlice(b.MaxBytes, n, i)
 		if max > remaining {
 			max = remaining
 		}
 		remaining -= max
-		sh := newShard(k, max, s.negotiateProbCap(k, max, b.ProbationPct))
-		s.dedicated[k] = sh
-		s.ordered = append(s.ordered, sh)
-		s.acctOf(k) // dedicated kinds report in Stats.Kinds from day one
+		sh := newShard(k, max, ls.negotiateProbCap(k, max, b.ProbationPct))
+		ls.dedicated[k] = sh
+		ls.ordered = append(ls.ordered, sh)
+		ls.acctOf(k) // dedicated kinds report in Stats.Kinds from day one
 	}
-	s.shared = newShard("", remaining, s.negotiateProbCap("", remaining, 0))
-	s.ordered = append(s.ordered, s.shared)
-	return s
+	ls.shared = newShard("", remaining, ls.negotiateProbCap("", remaining, 0))
+	ls.ordered = append(ls.ordered, ls.shared)
+	return ls
 }
 
-// negotiateProbCap asks the policy for a shard's probation carve-out.
-// The policy clamps the cap against the shard budget and remembers the
-// result, so store and policy always agree on what fits probation.
-func (s *Store) negotiateProbCap(kind Kind, max int64, pct float64) int64 {
+// negotiateProbCap asks the policy for a kind-shard's probation
+// carve-out. The policy clamps the cap against the shard budget and
+// remembers the result, so store and policy always agree on what fits
+// probation.
+func (ls *lockShard) negotiateProbCap(kind Kind, max int64, pct float64) int64 {
 	want := int64(0)
 	if pct > 0 {
 		want = int64(float64(max) * pct / 100)
 	}
-	cap := s.policy.ProbationCap(kind, max, want)
+	cap := ls.policy.ProbationCap(kind, max, want)
 	if cap < 0 {
 		cap = 0
 	}
@@ -332,27 +466,76 @@ func (s *Store) negotiateProbCap(kind Kind, max int64, pct float64) int64 {
 // MaxBytes returns the configured byte budget (all shards).
 func (s *Store) MaxBytes() int64 { return s.opts.MaxBytes }
 
-// shardOf returns the shard holding entries of a kind: its dedicated
-// shard if it has one, the shared shard otherwise.
-func (s *Store) shardOf(kind Kind) *shard {
-	if sh, ok := s.dedicated[kind]; ok {
-		return sh
+// Shards returns the lock-shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor returns the lock-shard owning k, by FNV-1a hash of the full
+// key masked to the shard count.
+func (s *Store) shardFor(k Key) *lockShard {
+	if s.mask == 0 {
+		return s.shards[0]
 	}
-	return s.shared
+	return s.shards[hashKey(k)&s.mask]
 }
 
-// shards returns every shard, dedicated ones first in kind order — the
-// deterministic iteration Sweep and Stats use. The set is fixed at New.
-func (s *Store) shards() []*shard { return s.ordered }
+// hashKey is FNV-1a over the key's fields with 0xff separators (none of
+// the fields contain 0xff — they are hex strings plus a kind label — so
+// field boundaries cannot alias).
+func hashKey(k Key) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	step := func(ss string) {
+		for i := 0; i < len(ss); i++ {
+			h ^= uint64(ss[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	step(k.Fingerprint)
+	step(string(k.Kind))
+	step(k.Hash)
+	return h
+}
+
+// shardOf returns the kind-shard holding entries of a kind within one
+// lock-shard: its dedicated shard if it has one, the shared shard
+// otherwise.
+func (ls *lockShard) shardOf(kind Kind) *shard {
+	if sh, ok := ls.dedicated[kind]; ok {
+		return sh
+	}
+	return ls.shared
+}
+
+// shards returns every kind-shard, dedicated ones first in kind order —
+// the deterministic iteration Sweep and Stats use. The set is fixed at
+// New.
+func (ls *lockShard) shards() []*shard { return ls.ordered }
 
 // acctOf returns (creating if needed) a kind's occupancy account.
-func (s *Store) acctOf(kind Kind) *kindAcct {
-	a, ok := s.acct[kind]
+func (ls *lockShard) acctOf(kind Kind) *kindAcct {
+	a, ok := ls.acct[kind]
 	if !ok {
 		a = &kindAcct{}
-		s.acct[kind] = a
+		ls.acct[kind] = a
 	}
 	return a
+}
+
+// Contains reports whether k is resident and unexpired, as a pure peek:
+// unlike Get it bumps no recency, refreshes no TTL, fires no policy
+// callback and moves no counters — and it does not even collect an
+// expired entry it finds (the next Get/Put/Sweep will). Schedulers use it
+// to classify work as warm/cold without the probe itself perturbing the
+// admission state it is asking about. The spill tier is not consulted:
+// Contains answers "is this resident in RAM".
+func (s *Store) Contains(k Key) bool {
+	ls := s.shardFor(k)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	el, ok := ls.items[k]
+	return ok && !ls.expired(el.Value.(*entry), s.opts.Now())
 }
 
 // Get returns the value under k, bumping its recency and refreshing its
@@ -361,32 +544,49 @@ func (s *Store) acctOf(kind Kind) *kindAcct {
 // OnExpire, then OnMiss). A hit on a probation entry may promote it to
 // the protected segment (the policy's call), which can evict protected
 // LRU entries to make room.
-// Contains reports whether k is resident and unexpired, as a pure peek:
-// unlike Get it bumps no recency, refreshes no TTL, fires no policy
-// callback and moves no counters — and it does not even collect an
-// expired entry it finds (the next Get/Put/Sweep will). Schedulers use it
-// to classify work as warm/cold without the probe itself perturbing the
-// admission state it is asking about.
-func (s *Store) Contains(k Key) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[k]
-	return ok && !s.expired(el.Value.(*entry), s.opts.Now())
+//
+// With persistence enabled, a RAM miss on a persistable kind consults the
+// spill directory before giving up: a valid artifact is decoded,
+// re-inserted (bypassing admission — the key earned residency in a
+// previous life) and returned as a hit; a missing, corrupt or stale
+// artifact falls through to an ordinary miss.
+func (s *Store) Get(k Key) (Sized, bool) {
+	ls := s.shardFor(k)
+	spillable := s.persist != nil && s.persist.persists(k.Kind)
+	if v, ok := ls.get(k, !spillable); ok {
+		return v, true
+	}
+	if !spillable {
+		return nil, false
+	}
+	// The disk probe runs outside every lock: concurrent Gets on other
+	// keys proceed, and a racing Put on this key simply wins (adopt
+	// returns the resident value).
+	v, ok := s.persist.load(k, s.opts.Now(), s.opts.TTL)
+	if !ok {
+		ls.missLocked2(k)
+		return nil, false
+	}
+	return ls.adopt(k, v, true), true
 }
 
-func (s *Store) Get(k Key) (Sized, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.opts.Now()
-	el, ok := s.items[k]
-	if ok && s.expired(el.Value.(*entry), now) {
-		s.expireLocked(el, now)
+// get is the RAM-only Get. countMiss false defers miss accounting to the
+// caller (the spill-tier path, which may still turn the miss into a hit).
+func (ls *lockShard) get(k Key, countMiss bool) (Sized, bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	now := ls.opts.Now()
+	el, ok := ls.items[k]
+	if ok && ls.expired(el.Value.(*entry), now) {
+		ls.expireLocked(el, now)
 		ok = false
 	}
 	if !ok {
-		s.misses.Inc()
-		//cocktail:allow lockdiscipline Policy contract: callbacks run under mu (policies keep no locks of their own); OnMiss is O(1) counter work
-		s.policy.OnMiss(k, now)
+		if countMiss {
+			ls.misses.Inc()
+			//cocktail:allow lockdiscipline Policy contract: callbacks run under mu (policies keep no locks of their own); OnMiss is O(1) counter work
+			ls.policy.OnMiss(k, now)
+		}
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -394,27 +594,85 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	e.hit = true
 	e.sh.listOf(e.seg).MoveToFront(el)
 	//cocktail:allow lockdiscipline promotion decision must be atomic with the recency bump it justifies; OnHit is O(1)
-	if seg := s.policy.OnHit(k, e.seg, now); seg != e.seg {
-		el = s.moveSegment(el, seg)
-		s.evictOverLocked(e.sh, seg, el, now)
+	if seg := ls.policy.OnHit(k, e.seg, now); seg != e.seg {
+		el = ls.moveSegment(el, seg)
+		ls.evictOverLocked(e.sh, seg, el, now)
 	}
-	s.hits.Inc()
+	ls.hits.Inc()
 	return e.value, true
+}
+
+// missLocked2 records the miss a deferred-count get left uncounted (the
+// spill probe also came up empty).
+func (ls *lockShard) missLocked2(k Key) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.misses.Inc()
+	//cocktail:allow lockdiscipline Policy contract: callbacks run under mu; OnMiss is O(1) counter work
+	ls.policy.OnMiss(k, ls.opts.Now())
+}
+
+// adopt re-inserts a value restored from the spill tier (or preloaded at
+// startup), bypassing admission: the key earned residency in a previous
+// life, so it lands in the protected segment as its shard's MRU, evicting
+// LRU entries over budget. If a racing Put made the key resident in the
+// meantime the resident value wins. A value too large for the protected
+// cap is returned without being re-inserted (still a valid hit — the
+// caller gets the bytes; RAM just will not retain them). countHit counts
+// the adoption as a hit (the on-miss restore path); preload passes false.
+func (ls *lockShard) adopt(k Key, v Sized, countHit bool) Sized {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	now := ls.opts.Now()
+	if el, ok := ls.items[k]; ok && !ls.expired(el.Value.(*entry), now) {
+		e := el.Value.(*entry)
+		e.lastUsed = now
+		e.hit = true
+		e.sh.listOf(e.seg).MoveToFront(el)
+		if countHit {
+			ls.hits.Inc()
+		}
+		return e.value
+	}
+	if countHit {
+		ls.hits.Inc()
+	}
+	bytes := v.SizeBytes()
+	sh := ls.shardOf(k.Kind)
+	if bytes > sh.capOf(SegmentProtected) {
+		return v
+	}
+	if el, ok := ls.items[k]; ok {
+		// Resident but TTL-stale: expire it through the policy first,
+		// exactly as Get would have.
+		ls.expireLocked(el, now)
+	}
+	e := &entry{key: k, value: v, bytes: bytes, lastUsed: now, sh: sh, seg: SegmentProtected}
+	el := sh.listOf(SegmentProtected).PushFront(e)
+	ls.items[k] = el
+	ls.bytes += bytes
+	sh.bytes += bytes
+	a := ls.acctOf(k.Kind)
+	a.entries++
+	a.bytes += bytes
+	ls.insertions.Inc()
+	ls.evictOverLocked(sh, SegmentProtected, el, now)
+	return v
 }
 
 // moveSegment transfers an entry between its shard's segment lists (as
 // the MRU of its new segment) and fixes the byte accounting, counting a
 // promotion when the move is probation -> protected.
-func (s *Store) moveSegment(el *list.Element, seg Segment) *list.Element {
+func (ls *lockShard) moveSegment(el *list.Element, seg Segment) *list.Element {
 	e := el.Value.(*entry)
-	a := s.acctOf(e.key.Kind)
+	a := ls.acctOf(e.key.Kind)
 	e.sh.listOf(e.seg).Remove(el)
 	if e.seg == SegmentProbation {
 		e.sh.prBytes -= e.bytes
 		a.probEntries--
 		a.probBytes -= e.bytes
 		if seg == SegmentProtected {
-			s.promotions.Inc()
+			ls.promotions.Inc()
 		}
 	} else {
 		e.sh.prBytes += e.bytes
@@ -423,14 +681,14 @@ func (s *Store) moveSegment(el *list.Element, seg Segment) *list.Element {
 	}
 	e.seg = seg
 	el = e.sh.listOf(seg).PushFront(e)
-	s.items[e.key] = el
+	ls.items[e.key] = el
 	return el
 }
 
 // evictOverLocked evicts LRU entries of a shard's segment until its byte
 // budget holds, never evicting keep (the entry whose insertion or
-// promotion caused the pressure). Callers hold s.mu.
-func (s *Store) evictOverLocked(sh *shard, seg Segment, keep *list.Element, now time.Time) {
+// promotion caused the pressure). Callers hold ls.mu.
+func (ls *lockShard) evictOverLocked(sh *shard, seg Segment, keep *list.Element, now time.Time) {
 	ll, budget := sh.listOf(seg), sh.capOf(seg)
 	for sh.segBytes(seg) > budget {
 		lru := ll.Back()
@@ -439,9 +697,9 @@ func (s *Store) evictOverLocked(sh *shard, seg Segment, keep *list.Element, now 
 		}
 		e := lru.Value.(*entry)
 		//cocktail:allow lockdiscipline the victim must be ghosted before another Put can race its key; the per-Put eviction count is bounded by the incoming entry's size
-		s.policy.OnEvict(e.key, e.seg, e.hit, now)
-		s.removeLocked(lru)
-		s.evictions.Inc()
+		ls.policy.OnEvict(e.key, e.seg, e.hit, now)
+		ls.removeLocked(lru)
+		ls.evictions.Inc()
 	}
 }
 
@@ -458,14 +716,26 @@ func (s *Store) evictOverLocked(sh *shard, seg Segment, keep *list.Element, now 
 // (through the policy, like Get and Sweep would) and the value then
 // faces Admit as a non-resident, so admission cannot depend on whether
 // a Get or a Put reaches a stale entry first.
+//
+// With persistence enabled, an admitted Put of a persistable kind also
+// writes the value's spill artifact (outside the lock-shard mutex), so a
+// later eviction leaves the bytes recoverable on disk.
 func (s *Store) Put(k Key, v Sized) bool {
+	ok := s.shardFor(k).put(k, v)
+	if ok && s.persist != nil && s.persist.persists(k.Kind) {
+		s.persist.save(k, v, s.opts.Now())
+	}
+	return ok
+}
+
+func (ls *lockShard) put(k Key, v Sized) bool {
 	bytes := v.SizeBytes()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shardOf(k.Kind)
-	now := s.opts.Now()
-	el, resident := s.items[k]
-	if resident && s.expired(el.Value.(*entry), now) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	sh := ls.shardOf(k.Kind)
+	now := ls.opts.Now()
+	el, resident := ls.items[k]
+	if resident && ls.expired(el.Value.(*entry), now) {
 		// A TTL-stale resident is not a live re-reference: expire it
 		// through the policy (washout counting, re-ghosting) exactly as
 		// Get or Sweep would have, then make the value re-earn
@@ -473,7 +743,7 @@ func (s *Store) Put(k Key, v Sized) bool {
 		// whether a Get or a Put reaches the stale entry first. This
 		// runs before the size pre-check below: the stale entry's fate
 		// must not depend on the replacement value's size either.
-		s.expireLocked(el, now)
+		ls.expireLocked(el, now)
 		resident = false
 	}
 	if bytes > sh.capOf(SegmentProtected) {
@@ -493,21 +763,21 @@ func (s *Store) Put(k Key, v Sized) bool {
 		// resident entry is only removed once storage is assured.
 		e := el.Value.(*entry)
 		//cocktail:allow lockdiscipline replacement placement must be atomic with the remove+reinsert below; OnHit is O(1)
-		seg = s.policy.OnHit(k, e.seg, now)
+		seg = ls.policy.OnHit(k, e.seg, now)
 		if bytes > sh.capOf(seg) {
 			// Defensive: only reachable if a policy keeps an oversize
 			// replacement in probation; keep the resident entry.
 			return false
 		}
 		if e.seg == SegmentProbation && seg == SegmentProtected {
-			s.promotions.Inc()
+			ls.promotions.Inc()
 		}
-		s.removeLocked(el)
+		ls.removeLocked(el)
 		hit = true
 	} else {
 		var ok bool
 		//cocktail:allow lockdiscipline admission must be atomic with residency (a racing Put on the same key would double-count sightings); Admit is O(1) plus amortized ghost reaping
-		if seg, ok = s.policy.Admit(k, bytes, now); !ok {
+		if seg, ok = ls.policy.Admit(k, bytes, now); !ok {
 			return false
 		}
 		if bytes > sh.capOf(seg) {
@@ -520,10 +790,10 @@ func (s *Store) Put(k Key, v Sized) bool {
 	}
 	e := &entry{key: k, value: v, bytes: bytes, lastUsed: now, sh: sh, seg: seg, hit: hit}
 	el = sh.listOf(seg).PushFront(e)
-	s.items[k] = el
-	s.bytes += bytes
+	ls.items[k] = el
+	ls.bytes += bytes
 	sh.bytes += bytes
-	a := s.acctOf(k.Kind)
+	a := ls.acctOf(k.Kind)
 	a.entries++
 	a.bytes += bytes
 	if seg == SegmentProbation {
@@ -531,22 +801,28 @@ func (s *Store) Put(k Key, v Sized) bool {
 		a.probEntries++
 		a.probBytes += bytes
 	}
-	s.insertions.Inc()
-	s.evictOverLocked(sh, seg, el, now)
+	ls.insertions.Inc()
+	ls.evictOverLocked(sh, seg, el, now)
 	return true
 }
 
-// Delete removes the entry under k, reporting whether it existed. Manual
-// deletion counts as neither eviction nor expiration and is deliberately
-// silent toward the admission policy (see the Policy contract): the
-// caller invalidated the value, so its key must not be re-ghosted for
-// one-sighting readmission nor counted as admission pain.
+// Delete removes the entry under k, reporting whether it was resident in
+// RAM. Manual deletion counts as neither eviction nor expiration and is
+// deliberately silent toward the admission policy (see the Policy
+// contract): the caller invalidated the value, so its key must not be
+// re-ghosted for one-sighting readmission nor counted as admission pain.
+// The key's spill artifact, if any, is removed too — an invalidated value
+// must not resurrect from disk.
 func (s *Store) Delete(k Key) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[k]
+	ls := s.shardFor(k)
+	ls.mu.Lock()
+	el, ok := ls.items[k]
 	if ok {
-		s.removeLocked(el)
+		ls.removeLocked(el)
+	}
+	ls.mu.Unlock()
+	if s.persist != nil && s.persist.persists(k.Kind) {
+		s.persist.remove(k)
 	}
 	return ok
 }
@@ -559,41 +835,47 @@ const sweepBatchSize = 128
 // Sweep drops every TTL-expired entry now (Get/Put expire lazily; a
 // periodic Sweep bounds how long idle entries linger), notifying the
 // policy of each via OnExpire. It returns how many entries were expired.
+// Lock-shards are swept one at a time — there is never a moment when two
+// lock-shard mutexes are held — and spill artifacts are untouched (a
+// stale artifact is deleted when a load finds it expired).
 //
-// The store mutex is released and re-acquired between bounded batches of
-// removals, so concurrent Gets interleave with a large sweep instead of
-// stalling behind it; entries touched between batches are simply seen
-// with their refreshed recency.
+// Each lock-shard's mutex is released and re-acquired between bounded
+// batches of removals, so concurrent Gets interleave with a large sweep
+// instead of stalling behind it; entries touched between batches are
+// simply seen with their refreshed recency.
 func (s *Store) Sweep() int {
 	n := 0
-	for {
-		removed, more := s.sweepBatch()
-		n += removed
-		if !more {
-			return n
+	for _, ls := range s.shards {
+		for {
+			removed, more := ls.sweepBatch()
+			n += removed
+			if !more {
+				break
+			}
 		}
 	}
+	return n
 }
 
 // sweepBatch removes up to sweepBatchSize expired entries under one lock
 // hold, reporting whether another batch is (or may be) needed. Each LRU
 // list is ordered by last use, so scanning from the back touches only
 // expired entries plus one unexpired sentinel per list.
-func (s *Store) sweepBatch() (int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.opts.Now()
+func (ls *lockShard) sweepBatch() (int, bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	now := ls.opts.Now()
 	n := 0
-	for _, sh := range s.shards() {
+	for _, sh := range ls.shards() {
 		for _, ll := range []*list.List{sh.ll, sh.prob} {
 			for el := ll.Back(); el != nil; el = ll.Back() {
-				if !s.expired(el.Value.(*entry), now) {
+				if !ls.expired(el.Value.(*entry), now) {
 					break
 				}
 				if n >= sweepBatchSize {
 					return n, true
 				}
-				s.expireLocked(el, now)
+				ls.expireLocked(el, now)
 				n++
 			}
 		}
@@ -603,26 +885,85 @@ func (s *Store) sweepBatch() (int, bool) {
 
 // Len returns the current number of entries (all shards).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.items)
+	n := 0
+	for _, ls := range s.shards {
+		ls.mu.Lock()
+		n += len(ls.items)
+		ls.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the current resident total in bytes (all shards).
 func (s *Store) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes
+	var b int64
+	for _, ls := range s.shards {
+		ls.mu.Lock()
+		b += ls.bytes
+		ls.mu.Unlock()
+	}
+	return b
 }
 
-// Stats snapshots the counters and occupancy.
+// Stats snapshots the counters and occupancy, aggregated over the
+// lock-shards (visited one at a time — no global lock; a snapshot is
+// consistent per lock-shard, advisory across them, like any sharded
+// metrics read).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	agg := Stats{
+		MaxBytes: s.opts.MaxBytes,
+		Kinds:    make(map[string]KindStats),
+		Shards:   make([]ShardStats, 0, len(s.shards)),
+	}
+	for i, ls := range s.shards {
+		st := ls.snapshot()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Expirations += st.Expirations
+		agg.Insertions += st.Insertions
+		agg.Entries += st.Entries
+		agg.Bytes += st.Bytes
+		agg.Shards = append(agg.Shards, ShardStats{
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
+			MaxBytes:    st.MaxBytes,
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			Evictions:   st.Evictions,
+			Expirations: st.Expirations,
+			Insertions:  st.Insertions,
+		})
+		if i == 0 {
+			agg.Admission = st.Admission
+		} else {
+			mergeAdmission(&agg.Admission, st.Admission)
+		}
+		for kind, ks := range st.Kinds {
+			if have, ok := agg.Kinds[kind]; ok {
+				mergeKindStats(&have, ks)
+				agg.Kinds[kind] = have
+			} else {
+				agg.Kinds[kind] = ks
+			}
+		}
+	}
+	if s.persist != nil {
+		ps := s.persist.stats()
+		agg.Persist = &ps
+	}
+	return agg
+}
+
+// snapshot is one lock-shard's Stats block (MaxBytes is the shard's own
+// budget slice; the aggregate overwrites it with the configured total).
+func (ls *lockShard) snapshot() Stats {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	//cocktail:allow lockdiscipline snapshot consistency: counters and occupancy must be read under one lock hold; Stats is read-only O(kinds)
-	adm := s.policy.Stats()
-	adm.SegmentPromotions = s.promotions.Load()
-	for _, sh := range s.shards() {
+	adm := ls.policy.Stats()
+	adm.SegmentPromotions = ls.promotions.Load()
+	for _, sh := range ls.shards() {
 		adm.ProbationEntries += sh.prob.Len()
 		adm.ProbationBytes += sh.prBytes
 		adm.ProbationCapBytes += sh.probCap
@@ -634,14 +975,14 @@ func (s *Store) Stats() Stats {
 	// policy's per-kind breakdown (PolicyPerKind) when it keeps one.
 	perKindAdm := adm.Kinds
 	adm.Kinds = nil
-	kinds := make(map[string]KindStats, len(s.acct))
-	for kind, a := range s.acct {
-		sh := s.shardOf(kind)
+	kinds := make(map[string]KindStats, len(ls.acct))
+	for kind, a := range ls.acct {
+		sh := ls.shardOf(kind)
 		ks := KindStats{
 			Entries:           a.entries,
 			Bytes:             a.bytes,
 			MaxBytes:          sh.max,
-			Dedicated:         sh != s.shared,
+			Dedicated:         sh != ls.shared,
 			ProbationEntries:  a.probEntries,
 			ProbationBytes:    a.probBytes,
 			ProbationCapBytes: sh.probCap,
@@ -653,42 +994,90 @@ func (s *Store) Stats() Stats {
 		kinds[string(kind)] = ks
 	}
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Evictions:   s.evictions.Load(),
-		Expirations: s.expirations.Load(),
-		Insertions:  s.insertions.Load(),
-		Entries:     len(s.items),
-		Bytes:       s.bytes,
-		MaxBytes:    s.opts.MaxBytes,
+		Hits:        ls.hits.Load(),
+		Misses:      ls.misses.Load(),
+		Evictions:   ls.evictions.Load(),
+		Expirations: ls.expirations.Load(),
+		Insertions:  ls.insertions.Load(),
+		Entries:     len(ls.items),
+		Bytes:       ls.bytes,
+		MaxBytes:    ls.max,
 		Admission:   adm,
 		Kinds:       kinds,
 	}
 }
 
-func (s *Store) expired(e *entry, now time.Time) bool {
-	return s.opts.TTL > 0 && now.Sub(e.lastUsed) > s.opts.TTL
+// mergeAdmission folds one more lock-shard's admission block into the
+// aggregate: counters and occupancy sum, the label stays (every shard's
+// policy comes from one factory), and Mode follows the PolicyPerKind
+// rule — agreeing non-empty modes read as that mode, disagreeing ones as
+// "mixed".
+func mergeAdmission(dst *AdmissionStats, src AdmissionStats) {
+	dst.ProbationHits += src.ProbationHits
+	dst.GhostPromotions += src.GhostPromotions
+	dst.SegmentPromotions += src.SegmentPromotions
+	dst.ScanRejections += src.ScanRejections
+	dst.PolicyFlips += src.PolicyFlips
+	dst.GhostEntries += src.GhostEntries
+	dst.GhostLimit += src.GhostLimit
+	dst.ProbationEntries += src.ProbationEntries
+	dst.ProbationBytes += src.ProbationBytes
+	dst.ProbationCapBytes += src.ProbationCapBytes
+	dst.ProtectedEntries += src.ProtectedEntries
+	dst.ProtectedBytes += src.ProtectedBytes
+	if src.Mode != dst.Mode {
+		if dst.Mode == "" {
+			dst.Mode = src.Mode
+		} else if src.Mode != "" {
+			dst.Mode = "mixed"
+		}
+	}
+}
+
+// mergeKindStats folds one more lock-shard's per-kind block into the
+// aggregate (budgets and occupancy sum; the admission sub-block merges
+// like the top-level one).
+func mergeKindStats(dst *KindStats, src KindStats) {
+	dst.Entries += src.Entries
+	dst.Bytes += src.Bytes
+	dst.MaxBytes += src.MaxBytes
+	dst.Dedicated = dst.Dedicated || src.Dedicated
+	dst.ProbationEntries += src.ProbationEntries
+	dst.ProbationBytes += src.ProbationBytes
+	dst.ProbationCapBytes += src.ProbationCapBytes
+	switch {
+	case dst.Admission == nil:
+		dst.Admission = src.Admission
+	case src.Admission != nil:
+		merged := *dst.Admission
+		mergeAdmission(&merged, *src.Admission)
+		dst.Admission = &merged
+	}
+}
+
+func (ls *lockShard) expired(e *entry, now time.Time) bool {
+	return ls.opts.TTL > 0 && now.Sub(e.lastUsed) > ls.opts.TTL
 }
 
 // expireLocked drops one TTL-expired entry, notifying the policy first
 // (OnExpire with the entry's segment and re-reference bit, exactly like
 // an eviction) so expiry-driven churn is as visible to admission as
-// byte-pressure churn. Callers hold s.mu.
-func (s *Store) expireLocked(el *list.Element, now time.Time) {
+// byte-pressure churn. Callers hold ls.mu.
+func (ls *lockShard) expireLocked(el *list.Element, now time.Time) {
 	e := el.Value.(*entry)
 	//cocktail:allow lockdiscipline the Sweep contract's bounded hold: sweepBatch releases mu every sweepBatchSize removals, so a slow OnExpire stalls Gets for at most one batch (TestSweepLatencyBound)
-	s.policy.OnExpire(e.key, e.seg, e.hit, now)
-	s.removeLocked(el)
-	s.expirations.Inc()
+	ls.policy.OnExpire(e.key, e.seg, e.hit, now)
+	ls.removeLocked(el)
+	ls.expirations.Inc()
 }
 
-func (s *Store) removeLocked(el *list.Element) {
+func (ls *lockShard) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	e.sh.listOf(e.seg).Remove(el)
-	delete(s.items, e.key)
-	s.bytes -= e.bytes
+	delete(ls.items, e.key)
+	ls.bytes -= e.bytes
 	e.sh.bytes -= e.bytes
-	a := s.acctOf(e.key.Kind)
+	a := ls.acctOf(e.key.Kind)
 	a.entries--
 	a.bytes -= e.bytes
 	if e.seg == SegmentProbation {

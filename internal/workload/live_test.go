@@ -81,6 +81,11 @@ func TestLiveDifferentialSoak(t *testing.T) {
 			SessionCacheMB: 1, SessionTTL: time.Minute, GhostEntries: 256,
 			CachePolicy: pol,
 			BatchMax:    batchMax, BatchWindow: -1,
+			// Pin the single-mutex store: this test deep-equals the live
+			// server's CacheStats against an in-process 1-shard cache, and
+			// the server's shard default follows NumCPU. Sharded-vs-single
+			// equivalence has its own differential soak (shard_soak_test).
+			CacheShards: -1,
 		}
 	}
 

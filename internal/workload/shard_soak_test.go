@@ -1,0 +1,196 @@
+package workload
+
+// shard_soak_test.go is the sharded-vs-single-mutex differential soak:
+// the same seeded workload replayed through a lock-sharded cache and the
+// historical 1-shard store must produce byte-identical outputs, and —
+// with a budget ample enough that neither store evicts — identical
+// aggregate CacheStats. (Under byte pressure the two legitimately
+// diverge in *which* entries survive: LRU order is global in one store
+// and per-lock-shard in the other. Output bytes still must not differ —
+// a miss re-prefills to the same bytes — which the pressure run below
+// pins.) live_test.go's TestLiveDifferentialSoak leans on this file for
+// the sharded side of its equivalence story.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+func shardSoakCache(p *cocktail.Pipeline, shards int, maxBytes int64) *cocktail.SessionCache {
+	return cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+		MaxBytes: maxBytes, TTL: time.Minute, Shards: shards})
+}
+
+// TestShardSoakStatsIdentical: ample budget, no evictions — the 8-shard
+// cache must agree with the 1-shard cache on every aggregate CacheStats
+// field (the per-shard breakdown is the only legitimate difference) and
+// on every output byte.
+func TestShardSoakStatsIdentical(t *testing.T) {
+	p := soakPipeline(t)
+	reqs := soakStream(t, p)
+	const ample = 64 << 20
+
+	single := shardSoakCache(p, 1, ample)
+	singleRep, err := Replay(single, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := shardSoakCache(p, 8, ample)
+	shardedRep, err := Replay(sharded, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range singleRep.Outputs {
+		if singleRep.Outputs[i] != shardedRep.Outputs[i] {
+			t.Fatalf("request %d: 1-shard output %q != 8-shard output %q",
+				i, singleRep.Outputs[i], shardedRep.Outputs[i])
+		}
+	}
+
+	st1, st8 := single.Stats(), sharded.Stats()
+	if st1.Evictions != 0 || st8.Evictions != 0 {
+		t.Fatalf("ample budget still evicted (1-shard %d, 8-shard %d) — raise it",
+			st1.Evictions, st8.Evictions)
+	}
+	if len(st1.Shards) != 1 || len(st8.Shards) != 8 {
+		t.Fatalf("shard blocks: %d and %d, want 1 and 8", len(st1.Shards), len(st8.Shards))
+	}
+	// Aggregate equality: strip the per-shard breakdown (the one block
+	// that genuinely differs) and require everything else — counters,
+	// occupancy, admission block, per-kind blocks — field-identical.
+	st1.Shards, st8.Shards = nil, nil
+	if !reflect.DeepEqual(st1, st8) {
+		t.Fatalf("aggregate CacheStats diverged without evictions:\n1-shard %+v\n8-shard %+v", st1, st8)
+	}
+}
+
+// TestShardSoakOutputsUnderPressure: with the soak budget tight enough
+// to force evictions, hit patterns may differ between shard counts but
+// output bytes must not — every answer stays byte-identical to the
+// 1-shard replay and to the uncached pipeline.
+func TestShardSoakOutputsUnderPressure(t *testing.T) {
+	p := soakPipeline(t)
+	reqs := soakStream(t, p)
+
+	single := shardSoakCache(p, 1, soakBudget)
+	singleRep, err := Replay(single, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := shardSoakCache(p, 8, soakBudget)
+	shardedRep, err := Replay(sharded, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sharded.Stats(); st.Evictions == 0 {
+		t.Fatalf("pressure run never evicted — budget not tight: %+v", st)
+	}
+	uncached, err := Replay(p, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if shardedRep.Outputs[i] != singleRep.Outputs[i] || shardedRep.Outputs[i] != uncached.Outputs[i] {
+			t.Fatalf("request %d outputs diverged under pressure:\n1-shard  %q\n8-shard  %q\nuncached %q",
+				i, singleRep.Outputs[i], shardedRep.Outputs[i], uncached.Outputs[i])
+		}
+	}
+	// Byte accounting holds per lock-shard even under churn.
+	for i, sh := range sharded.Stats().Shards {
+		if sh.Bytes < 0 || sh.Bytes > sh.MaxBytes {
+			t.Errorf("shard %d bytes %d outside [0, %d]", i, sh.Bytes, sh.MaxBytes)
+		}
+	}
+}
+
+// TestShardSoakConcurrentReplay is the contention soak: the stream
+// replayed from many goroutines against one sharded cache (run under
+// -race this exercises cross-lock-shard concurrency on the serving hot
+// path, which the single-mutex TestSoakConcurrentReplay never could)
+// must keep every output byte-identical to the serial uncached replay.
+func TestShardSoakConcurrentReplay(t *testing.T) {
+	p := soakPipeline(t)
+	reqs := soakStream(t, p)
+	serial, err := Replay(p, reqs) // uncached ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := shardSoakCache(p, 8, soakBudget)
+	rep, err := ReplayParallel(sharded, reqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if rep.Outputs[i] != serial.Outputs[i] {
+			t.Fatalf("request %d: concurrent sharded output %q != serial uncached %q",
+				i, rep.Outputs[i], serial.Outputs[i])
+		}
+	}
+	st := sharded.Stats()
+	if st.Bytes < 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("resident bytes %d outside [0, %d]", st.Bytes, st.MaxBytes)
+	}
+	var sum int64
+	for i, sh := range st.Shards {
+		sum += sh.Bytes
+		if sh.Bytes < 0 || sh.Bytes > sh.MaxBytes {
+			t.Errorf("shard %d bytes %d outside [0, %d]", i, sh.Bytes, sh.MaxBytes)
+		}
+	}
+	if sum != st.Bytes {
+		t.Fatalf("per-shard bytes sum %d != aggregate %d", sum, st.Bytes)
+	}
+}
+
+// TestShardSoakKillAndRestart replays the workload, throws the cache
+// away (the "kill"), and rebuilds it over the same persist directory:
+// the restarted cache's first epoch must reuse sealed caches at a
+// strictly higher rate than a cold restart (which re-quantizes every
+// answer), with outputs byte-identical throughout.
+func TestShardSoakKillAndRestart(t *testing.T) {
+	p := soakPipeline(t)
+	reqs := soakStream(t, p)
+	dir := t.TempDir()
+	mk := func(dir string) *cocktail.SessionCache {
+		return cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+			MaxBytes: 64 << 20, TTL: time.Minute, Shards: 4, PersistDir: dir})
+	}
+
+	first := mk(dir)
+	firstRep, err := Replay(first, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := first.Stats().Persist.Writes; w == 0 {
+		t.Fatalf("first life wrote no sealed artifacts: %+v", first.Stats().Persist)
+	}
+
+	warm := mk(dir) // second life, same directory
+	if pl := warm.Stats().Persist.Preloaded; pl == 0 {
+		t.Fatalf("warm restart preloaded nothing: %+v", warm.Stats().Persist)
+	}
+	warmRep, err := Replay(warm, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := mk(t.TempDir()) // control: fresh directory, same config
+	coldRep, err := Replay(cold, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("first-epoch warm seal hit-rate: warm restart %.3f, cold restart %.3f",
+		warmRep.Epochs[0].WarmSealHitRate(), coldRep.Epochs[0].WarmSealHitRate())
+	if w, c := warmRep.Epochs[0].WarmSealHitRate(), coldRep.Epochs[0].WarmSealHitRate(); w <= c {
+		t.Fatalf("warm restart's first-epoch seal hit-rate %.3f not strictly above cold %.3f", w, c)
+	}
+	for i := range reqs {
+		if warmRep.Outputs[i] != firstRep.Outputs[i] || coldRep.Outputs[i] != firstRep.Outputs[i] {
+			t.Fatalf("request %d outputs diverged across restarts", i)
+		}
+	}
+}

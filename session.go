@@ -279,6 +279,12 @@ func ParseCachePolicy(s string) (CachePolicy, error) {
 // is outside (0, 100).
 const DefaultProbationPct = 10.0
 
+// DefaultCacheShards returns the lock-shard count serving layers use
+// when SessionCacheOptions.Shards is unset: runtime.NumCPU() rounded up
+// to a power of two. The library default stays 1 (the historical
+// single-mutex store) so embedders opt into sharding explicitly.
+func DefaultCacheShards() int { return sessioncache.DefaultShards() }
+
 // SessionCacheOptions sizes a SessionCache.
 type SessionCacheOptions struct {
 	// MaxBytes is the LRU byte budget over all retained prefill builders
@@ -325,6 +331,23 @@ type SessionCacheOptions struct {
 	// inherit ProbationPct's resolved value). Ignored unless SealedPct
 	// is set.
 	SealedProbationPct float64
+	// Shards is the store's lock-shard count: the cache is split N ways
+	// by key hash (N rounded up to a power of two), each lock-shard with
+	// its own mutex, LRU state and admission-policy instance, so
+	// concurrent requests on different keys never contend. Byte budgets
+	// (total and per-kind) split deterministically across lock-shards
+	// with the remainder on shard 0. <= 1 keeps the historical
+	// single-mutex store; servers default to
+	// sessioncache.DefaultShards() (NumCPU rounded to a power of two).
+	Shards int
+	// PersistDir enables the sealed-cache spill tier: admitted sealed
+	// caches are also written to this directory (versioned, checksummed
+	// artifacts), reloaded on startup for warm restarts, and consulted
+	// on cache misses as a capacity tier beyond RAM. Corrupt or stale
+	// artifacts are deleted and served as misses, never errors. Empty
+	// disables persistence. Prefill builders are never persisted (raw
+	// FP32 KV is far larger on disk than re-running prefill is slow).
+	PersistDir string
 	// Now overrides the wall clock for TTL/expiry decisions (nil =
 	// time.Now). Tests inject a fake clock to drive expiry without real
 	// sleeps; servers thread their own injected clock through here so
@@ -407,6 +430,41 @@ type CacheStats struct {
 	// Kinds breaks occupancy (and, with SealedPct, budgets and
 	// admission) down per artifact kind ("prefill", "sealed").
 	Kinds map[string]KindStats `json:"kinds"`
+	// Shards breaks occupancy and counters down per lock-shard (always
+	// at least one entry; see SessionCacheOptions.Shards).
+	Shards []ShardStats `json:"shards"`
+	// Persist is the spill tier's counter block; nil unless
+	// SessionCacheOptions.PersistDir enabled persistence.
+	Persist *PersistStats `json:"persist,omitempty"`
+}
+
+// ShardStats reports one lock-shard's occupancy and counters (mirrors
+// sessioncache.ShardStats): its slice of the byte budget, and how much
+// of the traffic its key range absorbed — hash skew and contention hot
+// spots show up here.
+type ShardStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Insertions  int64 `json:"insertions"`
+}
+
+// PersistStats reports the sealed-cache spill tier's counters (mirrors
+// sessioncache.PersistStats; all counters monotonic). Corrupt counts
+// artifacts deleted as unreadable — each was served as a plain miss,
+// never an error.
+type PersistStats struct {
+	Dir       string `json:"dir"`
+	Writes    int64  `json:"writes"`
+	Restores  int64  `json:"restores"`
+	Preloaded int64  `json:"preloaded"`
+	Corrupt   int64  `json:"corrupt"`
+	Expired   int64  `json:"expired"`
+	Errors    int64  `json:"errors"`
 }
 
 // SessionCache shares prefilled context KV and pristine sealed caches
@@ -468,21 +526,57 @@ func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
 		}
 		return sessioncache.NewPolicyLRU()
 	}
-	var pol sessioncache.Policy // nil selects the store's LRU default
-	switch {
-	case perKind && opts.Policy != CachePolicyLRU:
-		// PolicyLRU is stateless, so routing it per kind buys nothing;
-		// the byte split alone (Options.Kinds) isolates the kinds.
-		pol = sessioncache.NewPolicyPerKind(
-			[]sessioncache.Kind{sessioncache.KindPrefill, sessioncache.KindSealed}, makePolicy)
-	case opts.Policy != CachePolicyLRU:
-		pol = makePolicy("")
+	// newPolicy builds one complete policy instance per store lock-shard
+	// (each shard must own its admission state — ghost lists and
+	// adaptive windows cannot be shared across mutexes). A nil return
+	// selects the store's LRU default.
+	newPolicy := func() sessioncache.Policy {
+		switch {
+		case perKind && opts.Policy != CachePolicyLRU:
+			// PolicyLRU is stateless, so routing it per kind buys
+			// nothing; the byte split alone (Options.Kinds) isolates the
+			// kinds.
+			return sessioncache.NewPolicyPerKind(
+				[]sessioncache.Kind{sessioncache.KindPrefill, sessioncache.KindSealed}, makePolicy)
+		case opts.Policy != CachePolicyLRU:
+			return makePolicy("")
+		}
+		return nil
+	}
+	var persist *sessioncache.PersistOptions
+	if opts.PersistDir != "" {
+		persist = &sessioncache.PersistOptions{
+			Dir: opts.PersistDir,
+			Codecs: map[sessioncache.Kind]sessioncache.Codec{
+				sessioncache.KindSealed: sealedCodec{}},
+		}
 	}
 	return &SessionCache{
 		p: p,
 		store: sessioncache.New(sessioncache.Options{
-			MaxBytes: opts.MaxBytes, TTL: opts.TTL, Policy: pol, Kinds: kinds, Now: opts.Now}),
+			MaxBytes: opts.MaxBytes, TTL: opts.TTL, NewPolicy: newPolicy,
+			Kinds: kinds, Shards: opts.Shards, Persist: persist, Now: opts.Now}),
 	}
+}
+
+// sealedCodec serializes sealed kvcache.Caches for the spill tier via
+// the kvcache binary codec; a round trip is bit-exact (same SizeBytes,
+// same Attend results), preserving the byte-identical-answers guarantee
+// across a warm restart.
+type sealedCodec struct{}
+
+// Encode implements sessioncache.Codec.
+func (sealedCodec) Encode(v sessioncache.Sized) ([]byte, error) {
+	c, ok := v.(*kvcache.Cache)
+	if !ok {
+		return nil, fmt.Errorf("cocktail: sealed codec got %T, want *kvcache.Cache", v)
+	}
+	return c.MarshalBinary()
+}
+
+// Decode implements sessioncache.Codec.
+func (sealedCodec) Decode(data []byte) (sessioncache.Sized, error) {
+	return kvcache.UnmarshalCache(data)
 }
 
 // Pipeline returns the pipeline the cache serves.
@@ -552,6 +646,29 @@ func (c *SessionCache) Stats() CacheStats {
 			mk.Admission = &adm
 		}
 		out.Kinds[kind] = mk
+	}
+	for _, sh := range st.Shards {
+		out.Shards = append(out.Shards, ShardStats{
+			Entries:     sh.Entries,
+			Bytes:       sh.Bytes,
+			MaxBytes:    sh.MaxBytes,
+			Hits:        sh.Hits,
+			Misses:      sh.Misses,
+			Evictions:   sh.Evictions,
+			Expirations: sh.Expirations,
+			Insertions:  sh.Insertions,
+		})
+	}
+	if st.Persist != nil {
+		out.Persist = &PersistStats{
+			Dir:       st.Persist.Dir,
+			Writes:    st.Persist.Writes,
+			Restores:  st.Persist.Restores,
+			Preloaded: st.Persist.Preloaded,
+			Corrupt:   st.Persist.Corrupt,
+			Expired:   st.Persist.Expired,
+			Errors:    st.Persist.Errors,
+		}
 	}
 	return out
 }
