@@ -1,0 +1,321 @@
+package cocktail
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chunkOf returns a small vocabulary-valid word sequence to append,
+// drawn from an independent sample's context.
+func chunkOf(t *testing.T, p *Pipeline, seed uint64, n int) []string {
+	t.Helper()
+	s, err := p.NewSample("Qasper", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Context) < n {
+		t.Fatalf("sample context too short: %d < %d", len(s.Context), n)
+	}
+	return s.Context[:n]
+}
+
+// TestAppendMatchesColdConcat is the append half of the byte-identity
+// contract: growing a session by Append must be indistinguishable — full
+// Result, plan summary included — from a cold Answer over the
+// concatenation, and from a fresh session prefilled on the
+// concatenation, across methods and repeated growth.
+func TestAppendMatchesColdConcat(t *testing.T) {
+	for _, method := range []string{"Cocktail", "FP16", "KVQuant"} {
+		p, err := New(Config{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.NewSample("QMSum", 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := p.Prefill(s.Context)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := s.Context
+		for round := 0; round < 3; round++ {
+			chunk := chunkOf(t, p, uint64(300+round), 16)
+			if err := sess.Append(chunk); err != nil {
+				t.Fatal(err)
+			}
+			grown := make([]string, 0, len(ctx)+len(chunk))
+			ctx = append(append(grown, ctx...), chunk...)
+			if got, want := sess.ContextTokens(), len(ctx); got != want {
+				t.Fatalf("%s round %d: ContextTokens %d, want %d", method, round, got, want)
+			}
+			cold, err := p.Answer(ctx, s.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := sess.Answer(s.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cold, warm) {
+				t.Fatalf("%s round %d: appended session diverged from cold concat\ncold: %+v\nwarm: %+v",
+					method, round, cold, warm)
+			}
+			fresh, err := p.Prefill(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := fresh.Answer(s.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fres, warm) {
+				t.Fatalf("%s round %d: appended session diverged from fresh session on concat", method, round)
+			}
+		}
+	}
+}
+
+// TestAppendStoreProtocolMatchesCold: Append must mirror prefill's store
+// protocol exactly, so a store that saw Prefill(base)+Append(chunk)
+// is indistinguishable — per-kind CacheStats and all — from one that saw
+// Prefill(base)+Prefill(base+chunk), and a later Prefill of the
+// concatenation hits the builder Append inserted.
+func TestAppendStoreProtocolMatchesCold(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := chunkOf(t, p, 310, 16)
+	concat := append(append([]string{}, s.Context...), chunk...)
+
+	opts := SessionCacheOptions{MaxBytes: 64 << 20, TTL: time.Minute}
+	grow := NewSessionCache(p, opts)
+	sess, err := grow.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewSessionCache(p, opts)
+	if _, err := cold.Prefill(s.Context); err != nil {
+		t.Fatal(err)
+	}
+	csess, err := cold.Prefill(concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := grow.Stats(), cold.Stats(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("store protocol diverged\nappend: %+v\ncold:   %+v", a, b)
+	}
+
+	// The grown builder is shared state: a fresh session over the
+	// concatenation must hit it.
+	hit, err := grow.Prefill(concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CachedPrefill() {
+		t.Fatal("Prefill(concat) must hit the builder Append inserted")
+	}
+	// And the base context's stored builder must be untouched by the
+	// append (copy-on-append clone): it still answers correctly.
+	base, err := grow.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.CachedPrefill() {
+		t.Fatal("base context must still be resident")
+	}
+	coldBase, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.Answer(s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldBase, got) {
+		t.Fatal("append mutated the shared base builder")
+	}
+}
+
+// TestAppendInvalidatesSealMemo: sealed caches cover a fixed token
+// range, so Append must drop the plan memo — the next Answer re-seals
+// fresh (CachedSeal false) and still matches cold.
+func TestAppendInvalidatesSealMemo(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Answer(s.Query); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.CachedSeal() {
+		t.Fatal("repeated plan must hit the seal memo before the append")
+	}
+	chunk := chunkOf(t, p, 410, 16)
+	if err := sess.Append(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if sess.CachedSeal() {
+		t.Fatal("Append must reset CachedSeal")
+	}
+	warm, err := sess.Answer(s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.CachedSeal() {
+		t.Fatal("first Answer after Append must seal fresh — stale memo survived the append")
+	}
+	concat := append(append([]string{}, s.Context...), chunk...)
+	cold, err := p.Answer(concat, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("post-append answer diverged from cold concat")
+	}
+}
+
+// TestAppendErrors: failed appends must leave the session exactly as it
+// was — context unchanged, still answering byte-identically — for both
+// failure modes (unknown vocabulary, MaxSeq overflow). Appending zero
+// words is a no-op, not an error.
+func TestAppendErrors(t *testing.T) {
+	p, err := New(Config{MaxSeq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.Prefill(s.Context)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.ContextTokens()
+
+	// A MaxSeq=1024 sample context is ~512 tokens; a 600-word append
+	// blows the 1024-token bound (context + append + 2×64 decode budget).
+	big, err := p.NewSample("QMSum", 510)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflow := big.Context
+	for len(overflow) < 600 {
+		overflow = append(overflow, big.Context...)
+	}
+	cases := []struct {
+		name  string
+		chunk []string
+		diag  string
+	}{
+		{"unknown-word", []string{"zzz-not-in-vocabulary"}, "vocabulary"},
+		{"maxseq-overflow", overflow[:600], "MaxSeq"},
+	}
+	for _, tc := range cases {
+		err := sess.Append(tc.chunk)
+		if err == nil {
+			t.Fatalf("%s: Append accepted, want error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.diag) {
+			t.Fatalf("%s: diagnostic %q missing %q", tc.name, err, tc.diag)
+		}
+		if got := sess.ContextTokens(); got != before {
+			t.Fatalf("%s: context changed on failed append: %d -> %d", tc.name, before, got)
+		}
+		warm, err := sess.Answer(s.Query)
+		if err != nil {
+			t.Fatalf("%s: session unusable after failed append: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%s: answer diverged after failed append", tc.name)
+		}
+	}
+
+	if err := sess.Append(nil); err != nil {
+		t.Fatalf("empty append must be a no-op, got %v", err)
+	}
+	if got := sess.ContextTokens(); got != before {
+		t.Fatalf("empty append changed context: %d -> %d", before, got)
+	}
+}
+
+// TestTurnEmitted pins the streaming primitive: the concatenation of
+// every Emitted batch equals Result().Answer, per-step batches carry at
+// most one token, and a drained turn has nothing left to emit.
+func TestTurnEmitted(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSample("TREC", 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turn, err := p.StartAnswer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []string
+	for {
+		running := turn.Step()
+		batch := turn.Emitted()
+		if len(batch) > 1 {
+			t.Fatalf("one Step emitted %d tokens: %v", len(batch), batch)
+		}
+		streamed = append(streamed, batch...)
+		if !running {
+			break
+		}
+	}
+	res := turn.Result()
+	if !reflect.DeepEqual(streamed, res.Answer) {
+		t.Fatalf("streamed tokens diverged from Result\nstreamed: %v\nresult:   %v", streamed, res.Answer)
+	}
+	if turn.Emitted() != nil {
+		t.Fatal("drained turn must emit nothing")
+	}
+	// A buffered drain (Result without stepping) leaves everything for
+	// one Emitted call — the watermark covers both consumption styles.
+	turn2, err := p.StartAnswer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := turn2.Result()
+	if got := turn2.Emitted(); !reflect.DeepEqual(got, res2.Answer) {
+		t.Fatalf("post-drain Emitted %v, want full answer %v", got, res2.Answer)
+	}
+}

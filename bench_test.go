@@ -227,6 +227,49 @@ func BenchmarkSessionAnswerWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendVsReprefill measures the two ways a live session can
+// grow by a 24-word chunk: Session.Append delta-prefills just the chunk
+// onto the retained context KV (O(chunk) work), while the alternative —
+// re-prefilling the concatenation from scratch — repays the whole
+// context. The ns/op gap is the append win, and it widens with context
+// length; both paths produce byte-identical sessions (append_test.go).
+func BenchmarkAppendVsReprefill(b *testing.B) {
+	p, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := p.NewSample("Qasper", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := p.NewSample("Qasper", 70)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := src.Context[:24]
+	concat := append(append([]string{}, s.Context...), chunk...)
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer() // base-session prefill is the cost append avoids
+			sess, err := p.Prefill(s.Context)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := sess.Append(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reprefill", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Prefill(concat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSessionCacheAnswerHit measures the fully transparent path: a
 // repeated (context, query) through SessionCache.Answer, hitting both the
 // prefill and the sealed-cache entries of the shared store.

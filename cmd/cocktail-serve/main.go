@@ -8,8 +8,15 @@
 //	GET    /v1/sample?dataset=X&seed=N  generate a benchmark sample
 //	POST   /v1/session               {"context": [...]} -> prefill once, open a session
 //	POST   /v1/session/{id}/answer   {"query": [...]} -> answer without re-prefilling
+//	POST   /v1/session/{id}/append   {"context": [...]} -> grow the session's context in place
 //	DELETE /v1/session/{id}          close a session
-//	GET    /v1/metrics               per-endpoint counters, pool and cache state
+//	GET    /v1/metrics               per-endpoint counters, pool, cache and streaming state
+//
+// Both answer endpoints stream when asked: `?stream=1` (or Accept:
+// text/event-stream) switches the response to Server-Sent Events —
+// token events at decode-step boundaries, then a terminal result or
+// error event. -streaming off disables SSE (such requests get the
+// buffered JSON body instead).
 //
 // Repeated contexts hit the byte-budgeted session/prefix cache (sized by
 // -session-cache-mb, idle entries dropped after -session-ttl), skipping
@@ -100,6 +107,8 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 		"session/prefix cache lock-shard count, rounded up to a power of two; each shard has its own mutex, LRU state and admission policy so concurrent requests on different contexts never contend (0 = NumCPU rounded up to a power of two, 1 = the single-mutex store)")
 	cachePersistDir := fs.String("cache-persist-dir", "",
 		"directory for the sealed-cache spill tier: admitted sealed caches are written as versioned checksummed artifacts, reloaded on startup for warm restarts and consulted on cache misses; corrupt artifacts degrade to misses (empty disables persistence)")
+	streaming := fs.String("streaming", "on",
+		"SSE token streaming on the answer endpoints: on (clients opt in per request with ?stream=1 or Accept: text/event-stream) or off (such requests get the buffered JSON body)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -148,6 +157,14 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	if *cacheShards > 1<<16 {
 		return nil, fmt.Errorf("cocktail-serve: -cache-shards must be <= 65536, have %d", *cacheShards)
 	}
+	var disableStreaming bool
+	switch *streaming {
+	case "on":
+	case "off":
+		disableStreaming = true
+	default:
+		return nil, fmt.Errorf("cocktail-serve: -streaming must be on or off, have %q", *streaming)
+	}
 
 	return &serveConfig{
 		addr: *addr,
@@ -168,6 +185,7 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 			BatchWindow:        *batchWindow,
 			CacheShards:        *cacheShards,
 			CachePersistDir:    *cachePersistDir,
+			DisableStreaming:   disableStreaming,
 		},
 	}, nil
 }

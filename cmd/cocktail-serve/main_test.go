@@ -49,6 +49,7 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 		{"oversize-batch-window", "-batch-window 2s", "-batch-window"},
 		{"negative-cache-shards", "-cache-shards -1", "-cache-shards"},
 		{"oversize-cache-shards", "-cache-shards 131072", "-cache-shards"},
+		{"unknown-streaming-mode", "-streaming sse", "-streaming"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -140,6 +141,13 @@ func TestParseArgsValid(t *testing.T) {
 	if cfg, err = parseArgs(strings.Fields("-cache-shards 1"), io.Discard); err != nil || cfg.opts.CacheShards != 1 {
 		t.Fatalf("-cache-shards 1 (single mutex) rejected: cfg=%+v err=%v", cfg, err)
 	}
+	// Streaming defaults on; -streaming off maps to DisableStreaming.
+	if cfg, err = parseArgs(nil, io.Discard); err != nil || cfg.opts.DisableStreaming {
+		t.Fatalf("streaming must default on: cfg=%+v err=%v", cfg, err)
+	}
+	if cfg, err = parseArgs(strings.Fields("-streaming off"), io.Discard); err != nil || !cfg.opts.DisableStreaming {
+		t.Fatalf("-streaming off not threaded: cfg=%+v err=%v", cfg, err)
+	}
 	// Defaults: probation-pct starts inside its valid range, so a bare
 	// invocation parses.
 	cfg, err = parseArgs(nil, io.Discard)
@@ -170,6 +178,7 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"-batch-window", "90s"},
 		{"-cache-shards", "-1"},
 		{"-cache-shards", "70000"},
+		{"-streaming", "maybe"},
 	} {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

@@ -79,6 +79,11 @@ type batchItem struct {
 	warm         bool
 	enqueued     time.Time // injected clock; queue-age state
 	deferred     bool      // guarded by batcher.mu once queued
+	// sink, when set, receives the turn's emitted tokens at every decode
+	// step boundary (SSE streaming; see stream.go). The batch worker
+	// pushes, the streaming handler drains — a slow client never stalls
+	// the batch.
+	sink *tokenSink
 
 	res  *cocktail.Result
 	err  error
@@ -353,7 +358,14 @@ func (b *batcher) runBatch(seed *batchItem) {
 				st.item.finish(nil, st.item.ctx.Err())
 				continue
 			}
-			if st.turn.Step() {
+			running := st.turn.Step()
+			// Step-boundary flush: streamed turns hand their new tokens
+			// to the handler here, so SSE delivery granularity is exactly
+			// the batch's decode-step granularity.
+			if st.item.sink != nil {
+				st.item.sink.push(st.turn.Emitted())
+			}
+			if running {
 				keep = append(keep, st)
 			} else {
 				st.item.finish(st.turn.Result(), nil)

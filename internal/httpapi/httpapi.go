@@ -24,16 +24,22 @@
 // which prefill once and then answer any number of queries against the
 // retained context KV. Results are byte-identical to the cold path.
 //
+// Token streaming: both answer endpoints also serve SSE (`?stream=1` or
+// `Accept: text/event-stream`) — per-token events flushed at decode-step
+// boundaries, terminated by a result or explicit error event, with TTFT
+// recorded in /v1/metrics (see stream.go for the full contract).
+//
 // Endpoints:
 //
 //	GET    /v1/info                 pipeline configuration and rosters
-//	POST   /v1/answer               full inference (pooled, prefix-cached)
+//	POST   /v1/answer               full inference (pooled, prefix-cached, streamable)
 //	POST   /v1/search               Module I only (pooled)
 //	GET    /v1/sample               benchmark sample generation (inline, cheap)
 //	POST   /v1/session              prefill a context, open a session (pooled)
-//	POST   /v1/session/{id}/answer  answer a query in a session (pooled)
+//	POST   /v1/session/{id}/answer  answer a query in a session (pooled, streamable)
+//	POST   /v1/session/{id}/append  grow a session's context (delta prefill)
 //	DELETE /v1/session/{id}         close a session
-//	GET    /v1/metrics              per-endpoint counters, pool and cache state
+//	GET    /v1/metrics              per-endpoint counters, pool, cache and streaming state
 package httpapi
 
 import (
@@ -145,6 +151,12 @@ type Options struct {
 	// per-batch deadline budget (batchDeadlineMult × window) beyond which
 	// a running batch stops admitting cold prefills.
 	BatchWindow time.Duration
+	// DisableStreaming turns off SSE token streaming: requests opting in
+	// (`?stream=1` or `Accept: text/event-stream`) are served the plain
+	// buffered JSON response instead. Streaming is on by default — it
+	// changes delivery, never content (the streamed token concatenation
+	// is byte-identical to the buffered body by construction).
+	DisableStreaming bool
 	// Now overrides the wall clock for every TTL/expiry decision — the
 	// session registry's idle checks and the session/prefix cache's
 	// entry expiry (nil = time.Now) — and the batcher's deadline-budget
@@ -216,6 +228,9 @@ type Server struct {
 	// case those endpoints dispatch directly to the worker pool.
 	batch *batcher
 
+	// streaming aggregates the SSE counters (streams, tokens, TTFT).
+	streaming streamStats
+
 	stats map[string]*endpointStats
 }
 
@@ -242,6 +257,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			"/v1/metrics":        {},
 			"/v1/session":        {},
 			"/v1/session/answer": {},
+			"/v1/session/append": {},
 			"/v1/session/delete": {},
 		},
 	}
@@ -306,6 +322,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 	mux.HandleFunc("GET /v1/metrics", s.track("/v1/metrics", s.metrics))
 	mux.HandleFunc("POST /v1/session", s.track("/v1/session", s.createSession))
 	mux.HandleFunc("POST /v1/session/{id}/answer", s.track("/v1/session/answer", s.sessionAnswer))
+	mux.HandleFunc("POST /v1/session/{id}/append", s.track("/v1/session/append", s.sessionAppend))
 	mux.HandleFunc("DELETE /v1/session/{id}", s.track("/v1/session/delete", s.deleteSession))
 	s.mux = mux
 	return s
@@ -484,6 +501,7 @@ type BatchingMetrics struct {
 type Metrics struct {
 	Pool         PoolMetrics                `json:"pool"`
 	Batching     BatchingMetrics            `json:"batching"`
+	Streaming    StreamingMetrics           `json:"streaming"`
 	SessionCache SessionCacheMetrics        `json:"session_cache"`
 	Endpoints    map[string]EndpointMetrics `json:"endpoints"`
 }
@@ -521,6 +539,16 @@ func (s *Server) Snapshot() Metrics {
 			m.Batching.MeanBatch = float64(m.Batching.BatchedRequests) / float64(m.Batching.Batches)
 		}
 	}
+	m.Streaming = StreamingMetrics{
+		Streams:         s.streaming.streams.Load(),
+		Tokens:          s.streaming.tokens.Load(),
+		MaxTTFTMS:       float64(s.streaming.ttftMax.Load()) / 1e6,
+		MidStreamErrors: s.streaming.midErrors.Load(),
+		Disconnects:     s.streaming.disconnects.Load(),
+	}
+	if n := s.streaming.ttftCount.Load(); n > 0 {
+		m.Streaming.MeanTTFTMS = float64(s.streaming.ttftTotal.Load()) / float64(n) / 1e6
+	}
 	if s.sc != nil {
 		m.SessionCache.Enabled = true
 		m.SessionCache.CacheStats = s.sc.Stats()
@@ -557,6 +585,15 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through the
+// metrics wrapper (net/http's ResponseWriter flushes per-frame only when
+// the whole middleware chain exposes Flusher).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // track wraps a handler with the endpoint's latency/throughput counters.
@@ -611,6 +648,10 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.opts.DisableStreaming && wantsStream(r) {
+		s.answerStream(w, r, req)
 		return
 	}
 	var (
@@ -847,6 +888,31 @@ func (r *sessionRegistry) get(id string) (*liveSession, bool) {
 	return ls, true
 }
 
+// resize re-reads a session's retained prefill footprint after an append
+// grew it, updates the byte accounting, and evicts LRU *other* sessions
+// while the budget is exceeded — never the resized session itself, which
+// the append just made most-recently-used (evicting it would invalidate
+// the session id the client is actively growing). A grown session larger
+// than the whole budget therefore stays resident alone; it becomes the
+// eviction victim of the next add. Callers hold the session's own mutex
+// so the footprint read is stable.
+func (r *sessionRegistry) resize(ls *liveSession) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.m[ls.id]
+	if !ok {
+		return // expired or evicted since the handler fetched it
+	}
+	nb := ls.sess.SizeBytes()
+	r.bytes += nb - ls.bytes
+	ls.bytes = nb
+	ls.lastUsed = r.now()
+	r.ll.MoveToFront(el)
+	for r.bytes > r.maxBytes && r.ll.Len() > 1 {
+		r.removeLocked(r.ll.Back().Value.(*liveSession).id)
+	}
+}
+
 func (r *sessionRegistry) delete(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -930,6 +996,10 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.opts.DisableStreaming && wantsStream(r) {
+		s.sessionAnswerStream(w, r, ls, req.Query)
+		return
+	}
 	var (
 		res *cocktail.Result
 		err error
@@ -970,6 +1040,62 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// sessionAppend is POST /v1/session/{id}/append: grow the session's
+// context in place by delta-prefilling the posted words as a suffix (see
+// cocktail.Session.Append — byte-identical to a cold prefill of the
+// concatenation). On success the registry's byte accounting is updated to
+// the grown prefill footprint. On failure (unknown vocabulary, MaxSeq
+// overflow → 422) the session is untouched and still answerable.
+func (s *Server) sessionAppend(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown or expired session"))
+		return
+	}
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		err  error
+		info SessionInfo
+	)
+	// Serialize on the session before taking a pool slot, and keep the
+	// lock through the registry resize and the response snapshot: the
+	// byte accounting must read the grown session's footprint before any
+	// concurrent append changes it again. submitWait semantics — the lock
+	// is never released while the pool may still touch the single-owner
+	// Session.
+	perr := func() error {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		if werr := s.submitWait(r.Context(), func() {
+			err = ls.sess.Append(req.Context)
+		}); werr != nil {
+			return werr
+		}
+		if err == nil {
+			s.sessions.resize(ls)
+			info = SessionInfo{
+				SessionID:     ls.id,
+				ContextTokens: ls.sess.ContextTokens(),
+				CachedPrefill: ls.sess.CachedPrefill(),
+			}
+		}
+		return nil
+	}()
+	if perr != nil {
+		s.poolErr(w, perr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,348 @@
+package httpapi
+
+// Token streaming for the answer endpoints (SSE).
+//
+// A client opts in with `?stream=1` or `Accept: text/event-stream` on
+// POST /v1/answer or POST /v1/session/{id}/answer and receives the decode
+// as Server-Sent Events instead of one buffered JSON body:
+//
+//	event: token    data: {"tokens":["w1","w2"]}   (repeated)
+//	event: result   data: {<the usual Result JSON>}
+//	event: error    data: {"error":"..."}          (terminal, see below)
+//
+// The contract (tested by the streaming differential suite):
+//
+//   - Step-boundary flush: tokens are emitted exactly at decode-step
+//     boundaries (Turn.Emitted after each Turn.Step), for batched and
+//     unbatched execution alike. The concatenation of every token event
+//     equals the buffered Answer's result.Answer byte for byte.
+//   - Decoupled delivery: the decode (batch worker or pool worker) pushes
+//     tokens into a tokenSink; the handler goroutine drains the sink and
+//     writes SSE frames. A slow client therefore never stalls the decode
+//     or its batchmates — frames coalesce in the sink instead.
+//   - Errors after acceptance are explicit: once the request is admitted
+//     (queue not full) the SSE headers are written, so any later failure
+//     — pipeline error, unknown vocabulary, mid-decode fault — is
+//     delivered as a terminal `error` event, never a silently truncated
+//     200 body. Queue saturation still gets the plain JSON 503 (headers
+//     not yet sent).
+//   - Disconnects cancel at step boundaries: when the client goes away
+//     the batcher drops the turn at the next step boundary (unbatched
+//     streams check the context each step); batchmates are unaffected.
+//     The handler stops writing but still waits for the decode to
+//     acknowledge, preserving submitWait semantics on the session path.
+//
+// TTFT (time to first token event) is recorded per stream and surfaced
+// in /v1/metrics under the streaming block, alongside the endpoints'
+// total-latency figures.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cocktail "repro"
+)
+
+// tokenSink is the hand-off buffer between a decoding worker and the
+// streaming handler. push and drain are safe for concurrent use; notify
+// carries at most one pending signal, so push never blocks on a slow
+// reader (tokens coalesce in toks instead).
+type tokenSink struct {
+	mu     sync.Mutex
+	toks   []string
+	notify chan struct{}
+}
+
+func newTokenSink() *tokenSink { return &tokenSink{notify: make(chan struct{}, 1)} }
+
+// push appends newly emitted tokens and signals the reader. A nil/empty
+// batch is a no-op, so callers can push Turn.Emitted unconditionally.
+func (k *tokenSink) push(words []string) {
+	if len(words) == 0 {
+		return
+	}
+	k.mu.Lock()
+	k.toks = append(k.toks, words...)
+	k.mu.Unlock()
+	select {
+	case k.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain removes and returns everything pushed since the last drain.
+func (k *tokenSink) drain() []string {
+	k.mu.Lock()
+	t := k.toks
+	k.toks = nil
+	k.mu.Unlock()
+	return t
+}
+
+// streamStats aggregates the server's streaming counters; all fields are
+// atomic so the hot path never takes a lock.
+type streamStats struct {
+	streams     atomic.Int64
+	tokens      atomic.Int64
+	ttftCount   atomic.Int64
+	ttftTotal   atomic.Int64 // nanoseconds
+	ttftMax     atomic.Int64 // nanoseconds
+	midErrors   atomic.Int64
+	disconnects atomic.Int64
+}
+
+func (st *streamStats) observeTTFT(d time.Duration) {
+	st.ttftCount.Add(1)
+	st.ttftTotal.Add(int64(d))
+	for {
+		max := st.ttftMax.Load()
+		if int64(d) <= max || st.ttftMax.CompareAndSwap(max, int64(d)) {
+			break
+		}
+	}
+}
+
+// StreamingMetrics is the token-streaming block of the /v1/metrics
+// payload. It is present in every configuration — all zeros when no
+// stream has run — so dashboards never need mode-aware parsing. TTFT is
+// measured from SSE acceptance to the first token event per stream;
+// streams that produce no tokens record no TTFT sample.
+type StreamingMetrics struct {
+	Streams int64 `json:"streams"`
+	Tokens  int64 `json:"tokens"`
+	// MeanTTFTMS / MaxTTFTMS summarize time-to-first-token over streams
+	// that emitted at least one token.
+	MeanTTFTMS float64 `json:"mean_ttft_ms"`
+	MaxTTFTMS  float64 `json:"max_ttft_ms"`
+	// MidStreamErrors counts streams terminated by an explicit error
+	// event after the SSE headers were sent.
+	MidStreamErrors int64 `json:"mid_stream_errors"`
+	// Disconnects counts streams whose client went away mid-decode (the
+	// turn is canceled at the next step boundary).
+	Disconnects int64 `json:"disconnects"`
+}
+
+// wantsStream reports whether the request opted into SSE delivery.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// writeEvent writes one SSE frame and flushes it (a frame held in a
+// buffer is a frame the client cannot see — flush is what makes the step
+// boundary the delivery boundary).
+func writeEvent(w http.ResponseWriter, f http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"httpapi: event marshal failure"}`)
+		event = "error"
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	if f != nil {
+		f.Flush()
+	}
+}
+
+// streamTurn drives one turn serially on a pool worker, pushing emitted
+// tokens at every step boundary — the unbatched counterpart of the batch
+// worker's per-step sink push. The context is checked at each boundary so
+// an abandoned stream stops decoding promptly.
+func streamTurn(ctx context.Context, start func() (*cocktail.Turn, error), sink *tokenSink) (*cocktail.Result, error) {
+	t, err := start()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		ok := t.Step()
+		sink.push(t.Emitted())
+		if !ok {
+			return t.Result(), nil
+		}
+	}
+}
+
+// pumpSSE is the handler half of a stream: it writes the SSE preamble,
+// relays sink batches as token events, and terminates the stream with a
+// result or error event once the decode (done) finishes. It always waits
+// for done before returning — even after a client disconnect — so callers
+// holding the session mutex keep submitWait semantics: the decoding
+// worker can never touch the single-owner Session after pumpSSE returns.
+func (s *Server) pumpSSE(w http.ResponseWriter, r *http.Request, sink *tokenSink, done <-chan struct{}, result func() (*cocktail.Result, error)) {
+	f, _ := w.(http.Flusher)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if f != nil {
+		f.Flush()
+	}
+
+	st := &s.streaming
+	st.streams.Add(1)
+	//cocktail:allow clockinject latency metric, not expiry state: TTFT must reflect real elapsed time even under a fake test clock
+	start := time.Now()
+	first := true
+	emit := func(words []string) {
+		if len(words) == 0 {
+			return
+		}
+		if first {
+			first = false
+			//cocktail:allow clockinject latency metric, not expiry state: pairs with the time.Now above
+			st.observeTTFT(time.Since(start))
+		}
+		st.tokens.Add(int64(len(words)))
+		writeEvent(w, f, "token", map[string][]string{"tokens": words})
+	}
+
+	clientGone := false
+	for {
+		if clientGone {
+			<-done
+		} else {
+			select {
+			case <-sink.notify:
+				emit(sink.drain())
+				continue
+			case <-r.Context().Done():
+				clientGone = true
+				st.disconnects.Add(1)
+				continue
+			case <-done:
+			}
+		}
+		res, err := result()
+		// A context error surfaced by the decode means the client went
+		// away (the batcher dropped the turn at a step boundary, or the
+		// queued job was skipped): nothing left to deliver.
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			if !clientGone {
+				st.disconnects.Add(1)
+			}
+			return
+		}
+		if clientGone {
+			return
+		}
+		emit(sink.drain())
+		if err != nil {
+			// The explicit terminal error event: the headers are long
+			// gone, so this — not a truncated 200 — is how post-acceptance
+			// failures reach the client.
+			st.midErrors.Add(1)
+			writeEvent(w, f, "error", map[string]string{"error": err.Error()})
+			return
+		}
+		if res == nil {
+			return
+		}
+		writeEvent(w, f, "result", res)
+		return
+	}
+}
+
+// answerStream is the SSE path of POST /v1/answer. Dispatch mirrors the
+// buffered handler exactly — batcher when enabled, pool otherwise, same
+// warm classification — the only difference is the sink and the SSE pump.
+func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, req answerRequest) {
+	sink := newTokenSink()
+	var (
+		item *batchItem
+		res  *cocktail.Result
+		err  error
+		done <-chan struct{}
+	)
+	if s.batch != nil {
+		item = &batchItem{
+			ctx:          r.Context(),
+			contextWords: req.Context,
+			query:        req.Query,
+			warm:         s.sc != nil && s.sc.Cached(req.Context),
+			sink:         sink,
+		}
+		if perr := s.batch.push(item); perr != nil {
+			s.poolErr(w, perr)
+			return
+		}
+		done = item.done
+	} else {
+		d, perr := s.enqueue(r.Context(), func() {
+			res, err = streamTurn(r.Context(), func() (*cocktail.Turn, error) {
+				if s.sc != nil {
+					sess, serr := s.sc.Prefill(req.Context)
+					if serr != nil {
+						return nil, serr
+					}
+					return sess.StartAnswer(req.Query)
+				}
+				return s.p.StartAnswer(req.Context, req.Query)
+			}, sink)
+		})
+		if perr != nil {
+			s.poolErr(w, perr)
+			return
+		}
+		done = d
+	}
+	s.pumpSSE(w, r, sink, done, func() (*cocktail.Result, error) {
+		if item != nil {
+			return item.res, item.err
+		}
+		return res, err
+	})
+}
+
+// sessionAnswerStream is the SSE path of POST /v1/session/{id}/answer.
+// Like the buffered session path, it serializes on the session mutex
+// before taking a queue slot and does not release it until the decode has
+// definitively finished with the Session (pumpSSE waits for done even
+// after a disconnect) — submitWait semantics for the single-owner
+// Session.
+func (s *Server) sessionAnswerStream(w http.ResponseWriter, r *http.Request, ls *liveSession, query []string) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	sink := newTokenSink()
+	var (
+		item *batchItem
+		res  *cocktail.Result
+		err  error
+		done <-chan struct{}
+	)
+	if s.batch != nil {
+		item = &batchItem{ctx: r.Context(), sess: ls.sess, query: query, warm: true, sink: sink}
+		if perr := s.batch.push(item); perr != nil {
+			s.poolErr(w, perr)
+			return
+		}
+		done = item.done
+	} else {
+		d, perr := s.enqueue(r.Context(), func() {
+			res, err = streamTurn(r.Context(), func() (*cocktail.Turn, error) {
+				return ls.sess.StartAnswer(query)
+			}, sink)
+		})
+		if perr != nil {
+			s.poolErr(w, perr)
+			return
+		}
+		done = d
+	}
+	s.pumpSSE(w, r, sink, done, func() (*cocktail.Result, error) {
+		if item != nil {
+			return item.res, item.err
+		}
+		return res, err
+	})
+}

@@ -1,0 +1,729 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// streamResult is one consumed SSE stream: every token event's payload
+// in order, the terminal result (nil if none) and the terminal error
+// message (empty if none).
+type streamResult struct {
+	tokens []string
+	result *cocktail.Result
+	errMsg string
+}
+
+// consumeSSE reads an already-opened SSE response to the end, enforcing
+// the framing contract (event/data lines, blank-line terminated; only
+// token, result and error events).
+func consumeSSE(t *testing.T, resp *http.Response) streamResult {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+	var (
+		out   streamResult
+		event string
+		data  []byte
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			switch event {
+			case "token":
+				var tok struct {
+					Tokens []string `json:"tokens"`
+				}
+				if err := json.Unmarshal(data, &tok); err != nil {
+					t.Fatalf("token event payload: %v", err)
+				}
+				out.tokens = append(out.tokens, tok.Tokens...)
+			case "result":
+				out.result = new(cocktail.Result)
+				if err := json.Unmarshal(data, out.result); err != nil {
+					t.Fatalf("result event payload: %v", err)
+				}
+			case "error":
+				var msg struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(data, &msg); err != nil {
+					t.Fatalf("error event payload: %v", err)
+				}
+				out.errMsg = msg.Error
+			case "":
+			default:
+				t.Fatalf("unknown SSE event %q", event)
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// postStream opens a streaming answer call and consumes it fully.
+func postStream(t *testing.T, url string, payload any) streamResult {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	return consumeSSE(t, resp)
+}
+
+// TestStreamMatchesBuffered: the SSE path must be byte-identical to the
+// buffered path — token concatenation equals the buffered Answer, and
+// the terminal result event carries the full Result — in both execution
+// modes (continuous batcher and plain pool).
+func TestStreamMatchesBuffered(t *testing.T) {
+	p := testPipeline(t)
+	sample, err := p.NewSample("Qasper", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(sample.Context, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"batched", Options{}},
+		{"unbatched", Options{BatchMax: 1}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := NewServer(p, mode.opts)
+			t.Cleanup(s.Close)
+			srv := httptest.NewServer(s)
+			t.Cleanup(srv.Close)
+			payload := map[string]any{"context": sample.Context, "query": sample.Query}
+
+			var buffered cocktail.Result
+			if code := postJSON(t, srv.URL+"/v1/answer", payload, &buffered); code != 200 {
+				t.Fatalf("buffered status %d", code)
+			}
+			got := postStream(t, srv.URL+"/v1/answer", payload)
+			if got.errMsg != "" {
+				t.Fatalf("stream error: %s", got.errMsg)
+			}
+			if !reflect.DeepEqual(got.tokens, buffered.Answer) {
+				t.Fatalf("streamed tokens diverged from buffered answer\nstream: %v\nbuffer: %v",
+					got.tokens, buffered.Answer)
+			}
+			if got.result == nil || !reflect.DeepEqual(got.result, &buffered) {
+				t.Fatalf("result event diverged from buffered result: %+v", got.result)
+			}
+			if !reflect.DeepEqual(got.tokens, cold.Answer) {
+				t.Fatal("streamed tokens diverged from the serial cold answer")
+			}
+
+			// Accept: text/event-stream is the header spelling of the same
+			// opt-in.
+			body, _ := json.Marshal(payload)
+			req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/answer", bytes.NewReader(body))
+			req.Header.Set("Accept", "text/event-stream")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			viaHeader := consumeSSE(t, resp)
+			if !reflect.DeepEqual(viaHeader.tokens, cold.Answer) {
+				t.Fatal("Accept-header stream diverged")
+			}
+
+			var m Metrics
+			getJSON(t, srv.URL+"/v1/metrics", &m)
+			st := m.Streaming
+			if st.Streams != 2 || st.Tokens != int64(2*len(cold.Answer)) {
+				t.Fatalf("streaming metrics: %+v", st)
+			}
+			if len(cold.Answer) > 0 && (st.MeanTTFTMS <= 0 || st.MaxTTFTMS < st.MeanTTFTMS) {
+				t.Fatalf("TTFT metrics implausible: %+v", st)
+			}
+			if st.MidStreamErrors != 0 || st.Disconnects != 0 {
+				t.Fatalf("unexpected stream failures: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSessionStreamMatchesBuffered: the session answer endpoint streams
+// too, warm path included, byte-identical to its buffered counterpart.
+func TestSessionStreamMatchesBuffered(t *testing.T) {
+	p := testPipeline(t)
+	srv := testServer(t)
+	sample, err := p.NewSample("QMSum", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(sample.Context, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create session failed")
+	}
+	url := srv.URL + "/v1/session/" + info.SessionID + "/answer"
+	payload := map[string]any{"query": sample.Query}
+	// First call seals fresh, second hits the seal memo — both must
+	// stream the cold answer.
+	for call := 0; call < 2; call++ {
+		got := postStream(t, url, payload)
+		if got.errMsg != "" {
+			t.Fatalf("call %d: stream error: %s", call, got.errMsg)
+		}
+		if !reflect.DeepEqual(got.tokens, cold.Answer) {
+			t.Fatalf("call %d: session stream diverged from cold", call)
+		}
+	}
+	var buffered cocktail.Result
+	if code := postJSON(t, url, payload, &buffered); code != 200 {
+		t.Fatal("buffered session answer failed")
+	}
+	if !reflect.DeepEqual(buffered.Answer, cold.Answer) {
+		t.Fatal("buffered session answer diverged after streams")
+	}
+}
+
+// TestDisableStreaming: with Options.DisableStreaming the opt-in is
+// ignored and ?stream=1 gets the ordinary buffered JSON body.
+func TestDisableStreaming(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{DisableStreaming: true})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	sample, err := p.NewSample("TREC", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"context": sample.Context, "query": sample.Query})
+	resp, err := http.Post(srv.URL+"/v1/answer?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("disabled streaming still produced %q", ct)
+	}
+	var res cocktail.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.Answer(sample.Context, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Answer, cold.Answer) {
+		t.Fatal("buffered fallback diverged")
+	}
+}
+
+// TestStreamErrorEventAfterHeaders is the mid-stream failure regression:
+// once a stream is accepted the SSE headers are already written, so a
+// post-acceptance failure (here: out-of-vocabulary words, which fail in
+// the worker, not at decode time of the handler) must surface as a
+// terminal error event on a 200 stream — never a silently truncated
+// body — and must be counted in the streaming metrics. Both execution
+// modes.
+func TestStreamErrorEventAfterHeaders(t *testing.T) {
+	p := testPipeline(t)
+	sample, err := p.NewSample("Qasper", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"batched", Options{}},
+		{"unbatched", Options{BatchMax: 1}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := NewServer(p, mode.opts)
+			t.Cleanup(s.Close)
+			srv := httptest.NewServer(s)
+			t.Cleanup(srv.Close)
+			got := postStream(t, srv.URL+"/v1/answer", map[string]any{
+				"context": sample.Context, "query": []string{"zzz-not-in-vocabulary"}})
+			if got.errMsg == "" {
+				t.Fatalf("want terminal error event, got tokens=%v result=%+v", got.tokens, got.result)
+			}
+			if !strings.Contains(got.errMsg, "vocabulary") {
+				t.Fatalf("error event diagnostic: %q", got.errMsg)
+			}
+			if got.result != nil {
+				t.Fatal("error stream must not also carry a result event")
+			}
+			var m Metrics
+			getJSON(t, srv.URL+"/v1/metrics", &m)
+			if m.Streaming.MidStreamErrors != 1 {
+				t.Fatalf("mid_stream_errors = %d, want 1", m.Streaming.MidStreamErrors)
+			}
+		})
+	}
+}
+
+// TestStreamQueueFullStaysJSON: load shedding happens before acceptance,
+// so a saturated queue must still answer a streaming request with the
+// plain JSON 503 — headers not yet sent, no half-open SSE stream. The
+// pool is saturated deterministically (a blocked worker plus a full
+// queue), mirroring TestQueueSaturation.
+func TestStreamQueueFullStaysJSON(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{Workers: 1, QueueDepth: 1, BatchMax: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	sample, err := p.NewSample("Qasper", 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := make(chan struct{})
+	released := false
+	releaseWorker := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	// The drain below must run before s.Close: the queued filler's
+	// enqueue send has no other happens-before edge to Close's
+	// close(s.jobs), and Close may not fire while a submit is in flight.
+	queued := make(chan error, 1)
+	t.Cleanup(func() { releaseWorker(); <-queued })
+	running := make(chan struct{})
+	go s.submit(context.Background(), func() {
+		close(running)
+		<-release
+	})
+	<-running // worker occupied
+	go func() { queued <- s.submit(context.Background(), func() {}) }()
+	for len(s.jobs) == 0 {
+		time.Sleep(time.Millisecond) // queue slot occupied
+	}
+
+	body, _ := json.Marshal(map[string]any{"context": sample.Context, "query": sample.Query})
+	resp, err := http.Post(srv.URL+"/v1/answer?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed stream status %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("shed response content-type %q, want JSON", ct)
+	}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil || msg.Error == "" {
+		t.Fatalf("shed response not the JSON error body: %v %q", err, msg.Error)
+	}
+}
+
+// TestStreamDisconnectCancelsWithoutPerturbingBatchmates hammers the
+// cancellation path under -race: streams whose clients vanish mid-decode
+// must be dropped at a step boundary while concurrently batched requests
+// keep producing byte-identical results. Whether a given cancel lands
+// mid-decode or after the (fast) decode already finished is a real race
+// — both outcomes must be harmless; the disconnect counter itself is
+// pinned deterministically by TestStreamDisconnectCounted.
+func TestStreamDisconnectCancelsWithoutPerturbingBatchmates(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{Workers: 4, QueueDepth: 64, BatchMax: 8})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	victim, err := p.NewSample("Qasper", 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mate, err := p.NewSample("QMSum", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Answer(mate.Context, mate.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*rounds)
+	for i := 0; i < rounds; i++ {
+		// The victim stream: read until the first token event, then hang
+		// up mid-decode.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			body, _ := json.Marshal(map[string]any{"context": victim.Context, "query": victim.Query})
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+				srv.URL+"/v1/answer?stream=1", bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "event: token") {
+					cancel() // first token seen: vanish mid-stream
+					return
+				}
+			}
+		}()
+		// The batchmate: a buffered answer sharing the batch; must be
+		// byte-identical to serial truth no matter what the victim does.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res cocktail.Result
+			code := postJSON(t, srv.URL+"/v1/answer",
+				map[string]any{"context": mate.Context, "query": mate.Query}, &res)
+			if code != 200 {
+				errs <- fmt.Errorf("batchmate %d: status %d", i, code)
+				return
+			}
+			if !reflect.DeepEqual(res.Answer, want.Answer) {
+				errs <- fmt.Errorf("batchmate %d diverged after a neighbor disconnect", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Whatever the cancels did, no stream may have been misclassified as
+	// a server-side failure.
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.Streaming.MidStreamErrors != 0 {
+		t.Errorf("disconnect hammer produced error events: %+v", m.Streaming)
+	}
+}
+
+// TestStreamDisconnectCounted pins the disconnect counter without racing
+// the decode: the single worker is occupied, so an accepted stream is
+// parked in the queue with its SSE headers already written. Cancelling
+// that client MUST be observed as a disconnect (pumpSSE's context arm is
+// the only way forward), and once the worker frees up the abandoned
+// decode is skipped — one disconnect, no error event, a healthy server.
+func TestStreamDisconnectCounted(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{Workers: 1, QueueDepth: 4, BatchMax: 1, SessionCacheMB: -1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	sample, err := p.NewSample("Qasper", 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	running := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	free := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(free)
+	go s.submit(context.Background(), func() {
+		close(running)
+		<-release
+	})
+	<-running // worker occupied: the stream below cannot start decoding
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body, _ := json.Marshal(map[string]any{"context": sample.Context, "query": sample.Query})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v1/answer?stream=1", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("queued stream not accepted as SSE: %d %q",
+			resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	cancel() // vanish while queued, headers long written
+
+	// The server notices the dead connection asynchronously; poll rather
+	// than sleeping blind. Reaching the counter is guaranteed — the decode
+	// cannot have finished first, its worker is still blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var m Metrics
+		getJSON(t, srv.URL+"/v1/metrics", &m)
+		if m.Streaming.Disconnects == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect never recorded: %+v", m.Streaming)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	free() // the abandoned decode is skipped; the worker recovers
+	var res cocktail.Result
+	if code := postJSON(t, srv.URL+"/v1/answer",
+		map[string]any{"context": sample.Context, "query": sample.Query}, &res); code != 200 {
+		t.Fatalf("server unhealthy after disconnect: status %d", code)
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.Streaming.Disconnects != 1 || m.Streaming.MidStreamErrors != 0 {
+		t.Fatalf("final streaming counters: %+v", m.Streaming)
+	}
+}
+
+// TestSessionAppendEndpoint: POST /v1/session/{id}/append grows the
+// context, reports the grown token count, and subsequent answers are
+// byte-identical to a cold Answer over the concatenation.
+func TestSessionAppendEndpoint(t *testing.T) {
+	p := testPipeline(t)
+	srv := testServer(t)
+	sample, err := p.NewSample("Qasper", 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := p.NewSample("Qasper", 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := extra.Context[:24]
+	concat := append(append([]string{}, sample.Context...), chunk...)
+	want, err := p.Answer(concat, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create session failed")
+	}
+	var grown SessionInfo
+	code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/append",
+		map[string]any{"context": chunk}, &grown)
+	if code != 200 {
+		t.Fatalf("append status %d", code)
+	}
+	if grown.SessionID != info.SessionID || grown.ContextTokens <= info.ContextTokens {
+		t.Fatalf("append info: %+v (was %+v)", grown, info)
+	}
+	var res cocktail.Result
+	if code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+		map[string]any{"query": sample.Query}, &res); code != 200 {
+		t.Fatal("post-append answer failed")
+	}
+	if !reflect.DeepEqual(res.Answer, want.Answer) {
+		t.Fatal("post-append answer diverged from cold concat")
+	}
+	// The streamed spelling agrees too.
+	got := postStream(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+		map[string]any{"query": sample.Query})
+	if got.errMsg != "" || !reflect.DeepEqual(got.tokens, want.Answer) {
+		t.Fatalf("post-append stream diverged: err=%q tokens=%v", got.errMsg, got.tokens)
+	}
+}
+
+// TestSessionAppendErrorTable sweeps the append endpoint's error
+// surface: the documented status per failure, and — for the 4xx rows on
+// a live session — proof the session survives unperturbed.
+func TestSessionAppendErrorTable(t *testing.T) {
+	p, err := cocktail.New(cocktail.Config{MaxSeq: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	s := NewServer(p, Options{SessionTTL: time.Minute, Now: clk.Now})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	sample, err := p.NewSample("Qasper", 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Answer(sample.Context, sample.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatal("create session failed")
+	}
+	appendURL := srv.URL + "/v1/session/" + info.SessionID + "/append"
+
+	// An overflow chunk: context (~512) + 600 + decode budget > 1024.
+	overflow := make([]string, 0, 600)
+	for len(overflow) < 600 {
+		overflow = append(overflow, sample.Context...)
+	}
+	overflow = overflow[:600]
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown-session", srv.URL + "/v1/session/nope/append", map[string]any{"context": []string{"a"}}, 404},
+		{"malformed-body", appendURL, "not json", 400},
+		{"unknown-word", appendURL, map[string]any{"context": []string{"zzz-not-in-vocabulary"}}, 422},
+		{"maxseq-overflow", appendURL, map[string]any{"context": overflow}, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body []byte
+			if s, ok := tc.body.(string); ok {
+				body = []byte(s)
+			} else {
+				body, _ = json.Marshal(tc.body)
+			}
+			resp, err := http.Post(tc.url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			// The live session is untouched: same token count, same answer.
+			var res cocktail.Result
+			if code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+				map[string]any{"query": sample.Query}, &res); code != 200 {
+				t.Fatalf("session unusable after failed append: status %d", code)
+			}
+			if !reflect.DeepEqual(res.Answer, want.Answer) {
+				t.Fatal("session answer perturbed by failed append")
+			}
+		})
+	}
+
+	// TTL-expired session: append must 404 like every other access.
+	clk.Advance(2 * time.Minute)
+	body, _ := json.Marshal(map[string]any{"context": []string{"a"}})
+	resp, err := http.Post(appendURL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired append status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionAppendUpdatesByteAccounting: the registry's byte accounting
+// must track the grown prefill footprint, not the open-time size, and a
+// session grown past the byte budget must evict the LRU neighbors —
+// never itself.
+func TestSessionAppendUpdatesByteAccounting(t *testing.T) {
+	p := testPipeline(t)
+	s := NewServer(p, Options{SessionCacheMB: 1}) // 1 MiB registry budget
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	sample, err := p.NewSample("Qasper", 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	registryBytes := func() int64 {
+		s.sessions.mu.Lock()
+		defer s.sessions.mu.Unlock()
+		return s.sessions.bytes
+	}
+
+	// Two small sessions fit the budget comfortably.
+	open := func(n int) SessionInfo {
+		var info SessionInfo
+		if code := postJSON(t, srv.URL+"/v1/session",
+			map[string]any{"context": sample.Context[:n]}, &info); code != 200 {
+			t.Fatalf("create session failed: %d", code)
+		}
+		return info
+	}
+	victim := open(256)
+	grower := open(256)
+	before := registryBytes()
+
+	// Grow the second session far past the 1 MiB budget: its resize must
+	// raise the accounted bytes and evict the idle victim, not itself.
+	chunk := make([]string, 0, 1400)
+	for len(chunk) < 1400 {
+		chunk = append(chunk, sample.Context...)
+	}
+	var grown SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session/"+grower.SessionID+"/append",
+		map[string]any{"context": chunk[:1400]}, &grown); code != 200 {
+		t.Fatalf("append failed: %d", code)
+	}
+	if grown.ContextTokens != 256+1400 {
+		t.Fatalf("grown token count %d", grown.ContextTokens)
+	}
+	if after := registryBytes(); after <= before {
+		t.Fatalf("registry bytes did not grow: %d -> %d", before, after)
+	}
+	var res cocktail.Result
+	if code := postJSON(t, srv.URL+"/v1/session/"+grower.SessionID+"/answer",
+		map[string]any{"query": sample.Query}, &res); code != 200 {
+		t.Fatalf("grown session must survive its own resize: %d", code)
+	}
+	body, _ := json.Marshal(map[string]any{"query": sample.Query})
+	resp, err := http.Post(srv.URL+"/v1/session/"+victim.SessionID+"/answer",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("LRU victim status %d, want 404 after byte-budget eviction", resp.StatusCode)
+	}
+}

@@ -84,6 +84,24 @@ func (b *Builder) Append(layer, head int, k, v []float32) {
 	b.v[idx] = append(b.v[idx], v...)
 }
 
+// Clone returns an independent builder holding the same accumulated
+// context KV. The clone's row storage is capacity-clamped to its current
+// length (three-index slices), so the first Append on either builder
+// reallocates instead of writing into the shared backing arrays: the
+// common prefix is shared immutably, which makes Clone O(layers*heads)
+// regardless of context length and safe even while other goroutines read
+// the original through KRow/VRow. Clone is the seam incremental session
+// growth builds on — extend the clone, leave the stored original pristine.
+func (b *Builder) Clone() *Builder {
+	c := &Builder{cfg: b.cfg, tokens: b.tokens,
+		k: make([][]float32, len(b.k)), v: make([][]float32, len(b.v))}
+	for idx := range b.k {
+		c.k[idx] = b.k[idx][:len(b.k[idx]):len(b.k[idx])]
+		c.v[idx] = b.v[idx][:len(b.v[idx]):len(b.v[idx])]
+	}
+	return c
+}
+
 // SizeBytes returns the resident FP32 footprint of the accumulated
 // context KV in bytes (4 bytes per value, K and V across all layers and
 // heads). It is the accounting unit session stores charge for retaining a

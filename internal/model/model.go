@@ -236,17 +236,43 @@ func (m *Model) positionVec(i int) []float32 {
 // plan. Layer-0 attention during prefill runs on the raw (FP16-equivalent)
 // cache exactly as the paper's prefill does — quantization happens after.
 func (m *Model) Prefill(context []int) (*kvcache.Builder, error) {
-	if len(context) > m.cfg.MaxSeq {
-		return nil, fmt.Errorf("model: context length %d exceeds MaxSeq %d", len(context), m.cfg.MaxSeq)
+	b := kvcache.NewBuilder(m.CacheConfig())
+	if err := m.prefillInto(b, 0, context); err != nil {
+		return nil, err
 	}
-	cfg := m.CacheConfig()
-	b := kvcache.NewBuilder(cfg)
+	return b, nil
+}
+
+// PrefillExtend continues prefill on a builder that already holds `start`
+// context tokens, feeding the suffix through the circuit at positions
+// start..start+len(suffix)-1. Because prefill is an incremental per-token
+// loop — token j's rows and layer-0 attention depend only on rows [0, j]
+// — extending a builder replays exactly the operation sequence a cold
+// Prefill of the concatenation would run, so the resulting builder is
+// bit-identical to Prefill(prefix ++ suffix). The builder is typically a
+// Clone of a shared stored builder: extending a clone leaves the stored
+// original (and any concurrent readers of it) untouched.
+func (m *Model) PrefillExtend(b *kvcache.Builder, suffix []int) error {
+	return m.prefillInto(b, b.NumTokens(), suffix)
+}
+
+// prefillInto runs the prefill token loop for context at sequence
+// positions start..start+len(context)-1, appending to b. It requires b to
+// hold exactly `start` tokens already.
+func (m *Model) prefillInto(b *kvcache.Builder, start int, context []int) error {
+	if b.NumTokens() != start {
+		return fmt.Errorf("model: builder holds %d tokens, prefill resumes at %d", b.NumTokens(), start)
+	}
+	if start+len(context) > m.cfg.MaxSeq {
+		return fmt.Errorf("model: context length %d exceeds MaxSeq %d", start+len(context), m.cfg.MaxSeq)
+	}
 	d := m.cfg.Dim
-	scores := make([]float32, 0, len(context))
+	scores := make([]float32, 0, start+len(context))
 	bvec := make([]float32, d)
-	for j, tok := range context {
+	for jj, tok := range context {
+		j := start + jj
 		if tok < 0 || tok >= len(m.emb) {
-			return nil, fmt.Errorf("model: token id %d out of vocabulary", tok)
+			return fmt.Errorf("model: token id %d out of vocabulary", tok)
 		}
 		content := m.emb[tok]
 		b.BeginToken()
@@ -273,7 +299,7 @@ func (m *Model) Prefill(context []int) (*kvcache.Builder, error) {
 		// V = own content. Induction matching happens against these.
 		b.Append(1, 0, m.kRow(j, bvec), content)
 	}
-	return b, nil
+	return nil
 }
 
 // Decoder runs query processing and autoregressive decoding over a sealed

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	cocktail "repro"
+	"repro/internal/httpapi"
+	"repro/internal/serving"
 )
 
 // BenchmarkPrefixCacheUnderScan replays the soak workload against each
@@ -33,6 +35,39 @@ func BenchmarkPrefixCacheUnderScan(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(reqs))/1e6, "ms/req")
 		})
 	}
+}
+
+// BenchmarkStreamTTFT measures streamed time-to-first-token through the
+// live server, next to the full request latency. ttft-ms is the number
+// the SSE path exists to minimize — the first token leaves at the first
+// decode-step boundary instead of after the whole answer — and the
+// regression gate tracks it across PR snapshots. (On this simulated
+// substrate prefill dominates decode, so the two figures sit close;
+// the split keeps them separately observable as that ratio moves.) The
+// cache is disabled so every iteration pays the identical cold path.
+// Run with:
+//
+//	go test -bench StreamTTFT ./internal/workload -benchtime 1x
+func BenchmarkStreamTTFT(b *testing.B) {
+	p := soakPipeline(b)
+	reqs, err := Generate(p, Options{Seed: 7, Requests: 4, Sessions: 2, ZipfS: 1.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, ts := liveServer(b, p, httpapi.Options{Workers: 1, QueueDepth: 16, SessionCacheMB: -1})
+	client := ts.Client()
+	var ttft, lat float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ReplayHTTPStream(client, ts.URL, reqs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ttft, _ = serving.LatencySummary(rep.TTFTs)
+		lat = rep.MeanLatency
+	}
+	b.ReportMetric(ttft*1e3, "ttft-ms")
+	b.ReportMetric(lat*1e3, "latency-ms")
 }
 
 // BenchmarkMixedKindWorkload replays the seal-heavy mixed-kind stream

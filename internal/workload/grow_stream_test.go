@@ -1,0 +1,303 @@
+package workload
+
+// Streaming and growing-conversation proofs: the SSE differential soak
+// (streamed replay vs buffered replay vs uncached cold truth, across
+// every cache policy and batch mode), the growing-conversation soak
+// (incremental Session.Append replay vs stateless full-context replay),
+// and the generator-level contracts of the append lane.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	cocktail "repro"
+	"repro/internal/httpapi"
+)
+
+// TestStreamingDifferentialSoak is the streaming PR's byte-identity
+// proof: one seeded scan-heavy stream consumed over SSE — every cache
+// policy × batch-max ∈ {1, 8} — must concatenate to the same bytes as
+// the buffered replay and the uncached cold path, leave the server's
+// cache counters exactly where the in-process serial replay leaves them
+// (streaming must not perturb a single store operation), and record a
+// plausible TTFT for every request.
+func TestStreamingDifferentialSoak(t *testing.T) {
+	p := soakPipeline(t)
+	reqs, err := Generate(p, Options{
+		Seed: 7, Requests: 40, Sessions: 4, ZipfS: 1.3, ScanFraction: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := coldTruth(t, p, reqs)
+
+	policies := []cocktail.CachePolicy{
+		cocktail.CachePolicyLRU, cocktail.CachePolicy2Q,
+		cocktail.CachePolicyA1, cocktail.CachePolicyAdaptive,
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			// The in-process serial replay fixes the expected store
+			// counters for this policy.
+			sc := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+				MaxBytes: 1 << 20, TTL: time.Minute, Policy: pol, GhostEntries: 256})
+			if _, err := Replay(sc, reqs); err != nil {
+				t.Fatal(err)
+			}
+			want := sc.Stats()
+
+			for _, mode := range []struct {
+				name     string
+				batchMax int
+			}{{"batch-1", 1}, {"batch-8", 8}} {
+				_, ts := liveServer(t, p, httpapi.Options{
+					Workers: 1, QueueDepth: 64,
+					SessionCacheMB: 1, SessionTTL: time.Minute, GhostEntries: 256,
+					CachePolicy: pol,
+					BatchMax:    mode.batchMax, BatchWindow: -1,
+					CacheShards: -1, // single-mutex store: counters are deep-equaled below
+				})
+				srv := ts.Client()
+				stream, err := ReplayHTTPStream(srv, ts.URL, reqs, 1)
+				if err != nil {
+					t.Fatalf("%s: %v", mode.name, err)
+				}
+				buffered, err := ReplayHTTP(srv, ts.URL, reqs, 1)
+				if err != nil {
+					t.Fatalf("%s: %v", mode.name, err)
+				}
+				for i := range reqs {
+					if stream.Outputs[i] != truth[i] {
+						t.Fatalf("%s request %d: streamed %q != uncached %q",
+							mode.name, i, stream.Outputs[i], truth[i])
+					}
+					if stream.Outputs[i] != buffered.Outputs[i] {
+						t.Fatalf("%s request %d: streamed %q != buffered %q",
+							mode.name, i, stream.Outputs[i], buffered.Outputs[i])
+					}
+				}
+				if len(stream.TTFTs) != len(reqs) {
+					t.Fatalf("%s: %d TTFT samples for %d requests", mode.name, len(stream.TTFTs), len(reqs))
+				}
+				for i, ttft := range stream.TTFTs {
+					if ttft <= 0 || ttft > stream.Latencies[i] {
+						t.Fatalf("%s request %d: TTFT %v outside (0, latency %v]",
+							mode.name, i, ttft, stream.Latencies[i])
+					}
+				}
+			}
+
+			// A second streamed pass against a fresh server reproduces the
+			// in-process counters exactly: the streamed replay issues the
+			// same store-operation sequence as the serial one.
+			srvHandle, ts := liveServer(t, p, httpapi.Options{
+				Workers: 1, QueueDepth: 64,
+				SessionCacheMB: 1, SessionTTL: time.Minute, GhostEntries: 256,
+				CachePolicy: pol, BatchMax: 8, BatchWindow: -1, CacheShards: -1,
+			})
+			if _, err := ReplayHTTPStream(ts.Client(), ts.URL, reqs, 1); err != nil {
+				t.Fatal(err)
+			}
+			if got := srvHandle.Snapshot().SessionCache.CacheStats; !reflect.DeepEqual(got, want) {
+				t.Errorf("streamed replay perturbed the cache counters:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// growStream is the shared growing-conversation workload: a calm
+// warm-up epoch (no growth) followed by an append-heavy epoch, over one
+// warm pool — the phase-level AppendFraction override in action.
+func growStream(t testing.TB, p *cocktail.Pipeline) []Request {
+	t.Helper()
+	reqs, err := GeneratePhases(p, Options{
+		Seed: 11, Sessions: 3, ZipfS: 1.3, AppendFraction: 0.4}, []Phase{
+		{Name: "warmup", Requests: 12, ScanFraction: 0.25, AppendFraction: 0},
+		{Name: "growing", Requests: 48, ScanFraction: 0.25, AppendFraction: -1}, // inherit 0.4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestGrowingConversationSoak is the append PR's differential proof: a
+// phase-shifting growing-conversation stream replayed (a) stateless —
+// every request re-prefills its full grown context — and (b)
+// incrementally via ReplayGrowing, where live sessions grow in place
+// through Session.Append, must produce byte-identical outputs to each
+// other and to the uncached cold path. The incremental replay must have
+// actually appended (else the test proves nothing), and a hot-context
+// stream must keep its warm hit-rate at 1 — growth does not cost the
+// session its retained KV.
+func TestGrowingConversationSoak(t *testing.T) {
+	p := gainPipeline(t) // MaxSeq 1024: room for several chunks of growth
+	reqs := growStream(t, p)
+	grown := 0
+	for _, r := range reqs {
+		if len(r.Append) > 0 {
+			grown++
+		}
+	}
+	if grown < 5 {
+		t.Fatalf("stream carries only %d append events — not a growing workload", grown)
+	}
+	truth := coldTruth(t, p, reqs)
+
+	stateless := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+		MaxBytes: 64 << 20, TTL: time.Minute})
+	flat, err := Replay(stateless, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental := cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
+		MaxBytes: 64 << 20, TTL: time.Minute})
+	growing, err := ReplayGrowing(incremental, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if growing.Outputs[i] != truth[i] {
+			t.Fatalf("request %d: growing output %q != uncached %q", i, growing.Outputs[i], truth[i])
+		}
+		if growing.Outputs[i] != flat.Outputs[i] {
+			t.Fatalf("request %d: growing output %q != stateless %q", i, growing.Outputs[i], flat.Outputs[i])
+		}
+	}
+	if growing.Appends != grown {
+		t.Fatalf("replay performed %d appends, stream carries %d", growing.Appends, grown)
+	}
+	if flat.Appends != 0 {
+		t.Fatalf("stateless replay reported %d appends", flat.Appends)
+	}
+	// Counter semantics are exact on a serial replay: every warm request
+	// is a hit except the first sighting of each session and the append
+	// events, which record the store-facing CachedPrefill of the
+	// operation they ran — a miss here, since every grown context is new
+	// to this store.
+	sessions := map[int]bool{}
+	for _, r := range reqs {
+		if !r.IsScan() {
+			sessions[r.Session] = true
+		}
+	}
+	if want := growing.Warm - growing.Appends - len(sessions); growing.WarmPrefillHits != want {
+		t.Fatalf("warm prefill hits %d, want %d (%d warm - %d appends - %d first sightings)",
+			growing.WarmPrefillHits, want, growing.Warm, growing.Appends, len(sessions))
+	}
+	// The per-epoch split must carry the phase structure: no appends can
+	// land in the no-growth warm-up epoch.
+	for _, r := range reqs {
+		if r.Epoch == 0 && len(r.Append) > 0 {
+			t.Fatal("append event in the AppendFraction=0 warm-up epoch")
+		}
+	}
+	t.Logf("growing soak: %d requests, %d appends, warm hit-rate %.3f (stateless %.3f)",
+		growing.Requests, growing.Appends, growing.WarmHitRate(), flat.WarmHitRate())
+
+	// The storeless spelling works too: ReplayGrowing over the bare
+	// pipeline (no cache) still matches truth.
+	bare, err := ReplayGrowing(p, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if bare.Outputs[i] != truth[i] {
+			t.Fatalf("request %d: storeless growing output diverged", i)
+		}
+	}
+}
+
+// TestGenerateAppendLane pins the generator-level append contracts:
+// growth is cumulative (each Append chunk is exactly the new suffix of
+// the session's Context), deterministic for a fixed seed, never present
+// on scans, bounded before the sequence limit, and entirely absent when
+// AppendFraction is 0.
+func TestGenerateAppendLane(t *testing.T) {
+	p := soakPipeline(t) // MaxSeq 512: growth must stop after ~2 chunks
+	opts := Options{
+		Seed: 9, Requests: 64, Sessions: 2, ZipfS: 1.5,
+		ScanFraction: 0.2, AppendFraction: 1}
+	a, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("growing stream not deterministic for a fixed seed")
+	}
+
+	maxSeq := p.Config().MaxSeq
+	prev := map[int][]string{}
+	appends := 0
+	for i, r := range a {
+		if r.IsScan() {
+			if r.Append != nil {
+				t.Fatalf("request %d: scan carries an append chunk", i)
+			}
+			continue
+		}
+		if len(r.Append) > 0 {
+			appends++
+			if len(r.Append) > appendChunkWords {
+				t.Fatalf("request %d: chunk of %d words exceeds %d", i, len(r.Append), appendChunkWords)
+			}
+			if old, ok := prev[r.Session]; ok {
+				want := append(append([]string{}, old...), r.Append...)
+				if !reflect.DeepEqual(r.Context, want) {
+					t.Fatalf("request %d: Context is not previous context + chunk", i)
+				}
+			}
+		} else if old, ok := prev[r.Session]; ok && !reflect.DeepEqual(r.Context, old) {
+			t.Fatalf("request %d: context changed without an append chunk", i)
+		}
+		// Every generated request stays answerable: context + query +
+		// decode budget within the sequence bound.
+		if len(r.Context)+len(r.Query)+128 > maxSeq {
+			t.Fatalf("request %d: %d-token request overflows MaxSeq %d",
+				i, len(r.Context)+len(r.Query)+128, maxSeq)
+		}
+		prev[r.Session] = r.Context
+	}
+	// AppendFraction 1 on a tight MaxSeq: sessions must grow, then stop
+	// at the headroom margin rather than overflow.
+	if appends == 0 {
+		t.Fatal("AppendFraction=1 stream never grew")
+	}
+	for s, ctx := range prev {
+		if len(ctx)+appendChunkWords+appendHeadroom <= maxSeq {
+			t.Fatalf("session %d stopped growing at %d tokens with margin to spare", s, len(ctx))
+		}
+	}
+
+	// AppendFraction 0 leaves the stream append-free with pristine
+	// contexts (the RNG-stream pin has its own test).
+	opts.AppendFraction = 0
+	flat, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range flat {
+		if r.Append != nil {
+			t.Fatalf("request %d: append chunk in an AppendFraction=0 stream", i)
+		}
+	}
+}
+
+// TestReplayHTTPStreamErrorPaths: the SSE consumer must fail loudly on
+// protocol violations, not vacuously pass — here, a server that streams
+// an error event.
+func TestReplayHTTPStreamErrorPaths(t *testing.T) {
+	p := soakPipeline(t)
+	_, ts := liveServer(t, p, httpapi.Options{Workers: 1, QueueDepth: 8})
+	bad := []Request{{Session: ScanSession, Context: []string{"zzz-not-in-vocabulary"}, Query: []string{"zzz"}}}
+	if _, err := ReplayHTTPStream(ts.Client(), ts.URL, bad, 1); err == nil ||
+		!strings.Contains(err.Error(), "error event") {
+		t.Fatalf("streamed replay of a failing request: err = %v, want error-event failure", err)
+	}
+}

@@ -21,6 +21,7 @@ package workload
 // stream.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -53,6 +54,11 @@ type LiveReport struct {
 	// completions-over-SimTime figure.
 	Elapsed       float64
 	ThroughputRPS float64
+	// TTFTs[i] is request i's send -> first token event, in seconds
+	// (streamed replays only; nil for buffered replays). Requests whose
+	// answer is empty record their total latency — there was no first
+	// token to wait for.
+	TTFTs []float64
 }
 
 func (r *LiveReport) finalize(elapsed time.Duration) {
@@ -87,6 +93,150 @@ func postAnswer(client *http.Client, baseURL string, req Request) (string, error
 		return "", err
 	}
 	return strings.Join(res.Answer, " "), nil
+}
+
+// postAnswerStream sends one streaming answer call (POST url?stream=1)
+// and consumes the SSE response, frame by frame so TTFT reflects the
+// first token's actual arrival. It returns the concatenation of every
+// token event, the final result event's answer, and the time to the
+// first token event (total latency when the answer is empty). The parser
+// accepts exactly the framing the server emits (`event:` + `data:`
+// lines, blank-line terminated) and errors on anything else — including
+// a terminal error event, a missing result event, or a token
+// concatenation disagreeing with the stream's own result event — so
+// protocol drift fails the soaks instead of passing vacuously.
+func postAnswerStream(client *http.Client, url string, payload map[string]any) (streamed, final string, ttft float64, err error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return "", "", 0, err
+	}
+	sent := time.Now()
+	resp, err := client.Post(url+"?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return "", "", 0, fmt.Errorf("workload: stream status %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return "", "", 0, fmt.Errorf("workload: stream content-type %q, want text/event-stream", ct)
+	}
+	var (
+		toks      []string
+		gotResult bool
+	)
+	handle := func(event string, data []byte) error {
+		switch event {
+		case "token":
+			var t struct {
+				Tokens []string `json:"tokens"`
+			}
+			if err := json.Unmarshal(data, &t); err != nil {
+				return err
+			}
+			if len(toks) == 0 && len(t.Tokens) > 0 {
+				ttft = time.Since(sent).Seconds()
+			}
+			toks = append(toks, t.Tokens...)
+		case "result":
+			var res struct {
+				Answer []string `json:"answer"`
+			}
+			if err := json.Unmarshal(data, &res); err != nil {
+				return err
+			}
+			final = strings.Join(res.Answer, " ")
+			gotResult = true
+		case "error":
+			var msg struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(data, &msg)
+			return fmt.Errorf("workload: stream error event: %s", msg.Error)
+		default:
+			return fmt.Errorf("workload: unknown SSE event %q", event)
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var (
+		event string
+		data  []byte
+		open  bool
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if open {
+				if err := handle(event, data); err != nil {
+					return "", "", 0, err
+				}
+				event, data, open = "", nil, false
+			}
+		case strings.HasPrefix(line, "event: "):
+			event, open = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "data: "):
+			data, open = []byte(strings.TrimPrefix(line, "data: ")), true
+		default:
+			return "", "", 0, fmt.Errorf("workload: unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", "", 0, err
+	}
+	if open {
+		if err := handle(event, data); err != nil {
+			return "", "", 0, err
+		}
+	}
+	if !gotResult {
+		return "", "", 0, fmt.Errorf("workload: stream ended without a result event")
+	}
+	streamed = strings.Join(toks, " ")
+	if streamed != final {
+		return "", "", 0, fmt.Errorf("workload: streamed tokens %q disagree with result %q", streamed, final)
+	}
+	if len(toks) == 0 {
+		ttft = time.Since(sent).Seconds()
+	}
+	return streamed, final, ttft, nil
+}
+
+// ReplayHTTPStream drives every request through the SSE path of POST
+// /v1/answer closed-loop on up to workers goroutines. Outputs are the
+// token-event concatenations (already checked against each stream's own
+// result event), so diffing them against a buffered ReplayHTTP — or the
+// in-process cold truth — is the full streamed-vs-buffered differential.
+// TTFTs records each request's first-token latency.
+func ReplayHTTPStream(client *http.Client, baseURL string, reqs []Request, workers int) (*LiveReport, error) {
+	rep := &LiveReport{
+		Requests:  len(reqs),
+		Outputs:   make([]string, len(reqs)),
+		Latencies: make([]float64, len(reqs)),
+		TTFTs:     make([]float64, len(reqs)),
+	}
+	start := time.Now()
+	err := parallel.ForEach(workers, len(reqs), func(i int) error {
+		sent := time.Now()
+		streamed, _, ttft, err := postAnswerStream(client, baseURL+"/v1/answer",
+			map[string]any{"context": reqs[i].Context, "query": reqs[i].Query})
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		rep.Outputs[i] = streamed
+		rep.Latencies[i] = time.Since(sent).Seconds()
+		rep.TTFTs[i] = ttft
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.finalize(time.Since(start))
+	return rep, nil
 }
 
 // ReplayHTTP drives every request through POST /v1/answer closed-loop on

@@ -51,8 +51,19 @@ type Request struct {
 	// for single-phase streams).
 	Epoch int
 	// Context and Query are surface words from the pipeline vocabulary.
+	// Context is always the session's FULL context at this point in the
+	// stream — for growing conversations (AppendFraction) that is the
+	// base context plus every chunk appended so far — so replaying a
+	// request stateless (fresh prefill of Context) is always valid and
+	// byte-comparable to the incremental path.
 	Context []string
 	Query   []string
+	// Append, when non-nil, is the chunk of new words grown onto this
+	// warm session's context immediately before this request (already
+	// included at the end of Context). Incremental replays
+	// (ReplayGrowing, the append HTTP endpoint) feed only this suffix to
+	// Session.Append; stateless replays ignore it.
+	Append []string
 }
 
 // IsScan reports whether the request is one-shot scan traffic.
@@ -86,6 +97,18 @@ type Options struct {
 	// reuse. With PlanChurn 1 the stream is byte-identical to the
 	// pre-knob generator.
 	PlanChurn int
+	// AppendFraction is the probability a warm request first grows its
+	// session's context by an append chunk (growing-conversation
+	// traffic; < 0 and 0 both mean no growth — the historical streams).
+	// Growth is cumulative and permanent: once session i's context has
+	// grown, every later request to it carries the grown context. Chunks
+	// come from a dedicated seed lane, and a session close enough to the
+	// sequence bound that another chunk could overflow MaxSeq stops
+	// growing (the request degrades to a plain warm replay), so generated
+	// streams never overflow by construction. With AppendFraction 0 the
+	// RNG draw stream — and thus the whole request interleaving — is
+	// byte-identical to the pre-knob generator.
+	AppendFraction float64
 	// Dataset names the Table I generator backing the contexts
 	// ("" selects Qasper).
 	Dataset string
@@ -94,6 +117,19 @@ type Options struct {
 // MaxPlanChurn bounds Options/Phase.PlanChurn so per-variant sample
 // seeds stay in their own lane of the seed space.
 const MaxPlanChurn = 4096
+
+// appendChunkWords is the growth granularity of growing-conversation
+// streams: each append event grows the session's context by (up to) this
+// many words drawn from the append seed lane.
+const appendChunkWords = 24
+
+// appendHeadroom is the sequence-bound margin a session must keep to
+// accept another chunk: an allowance for the longest query the stream
+// might pair with the grown context plus the pipeline's decode budget
+// (2×64 tokens, see cocktail's checkSeqBound). A session within the
+// margin stops growing rather than generate a request that would be
+// rejected.
+const appendHeadroom = 192
 
 func (o Options) withDefaults() Options {
 	if o.Requests <= 0 {
@@ -110,6 +146,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PlanChurn <= 0 {
 		o.PlanChurn = 1
+	}
+	if o.AppendFraction < 0 {
+		o.AppendFraction = 0
 	}
 	if o.Dataset == "" {
 		o.Dataset = "Qasper"
@@ -138,6 +177,9 @@ type Phase struct {
 	// inherits Options.PlanChurn). Session i's variant j is the same
 	// query in every epoch, so cross-epoch sealed reuse is observable.
 	PlanChurn int
+	// AppendFraction is the epoch's growing-conversation probability
+	// (< 0 inherits Options.AppendFraction; 0 is honored — no growth).
+	AppendFraction float64
 }
 
 // Generate builds a deterministic single-phase request stream over p's
@@ -146,11 +188,12 @@ type Phase struct {
 func Generate(p *cocktail.Pipeline, opts Options) ([]Request, error) {
 	opts = opts.withDefaults()
 	return GeneratePhases(p, opts, []Phase{{
-		Requests:     opts.Requests,
-		ScanFraction: opts.ScanFraction,
-		Sessions:     opts.Sessions,
-		ZipfS:        opts.ZipfS,
-		PlanChurn:    opts.PlanChurn,
+		Requests:       opts.Requests,
+		ScanFraction:   opts.ScanFraction,
+		Sessions:       opts.Sessions,
+		ZipfS:          opts.ZipfS,
+		PlanChurn:      opts.PlanChurn,
+		AppendFraction: opts.AppendFraction,
 	}})
 }
 
@@ -196,6 +239,12 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 		if ph.PlanChurn > MaxPlanChurn {
 			return nil, fmt.Errorf("workload: phase %d: PlanChurn must be <= %d, have %d", i, MaxPlanChurn, ph.PlanChurn)
 		}
+		if ph.AppendFraction < 0 {
+			ph.AppendFraction = opts.AppendFraction
+		}
+		if ph.AppendFraction > 1 {
+			return nil, fmt.Errorf("workload: phase %d: AppendFraction must be <= 1, have %v", i, ph.AppendFraction)
+		}
 		total += ph.Requests
 		if ph.Sessions > maxSessions {
 			maxSessions = ph.Sessions
@@ -239,6 +288,12 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 	rng := rand.New(rand.NewSource(int64(opts.Seed) + 1))
 	reqs := make([]Request, 0, total)
 	scans := uint64(0)
+	// Growing-conversation state: ctxs[i] is warm session i's current
+	// (possibly grown) context; appends counts chunks drawn from the
+	// append seed lane [3e6, 4e6).
+	ctxs := make([][]string, maxSessions)
+	appends := uint64(0)
+	maxSeq := p.Config().MaxSeq
 	for e, ph := range phases {
 		zipf := rand.NewZipf(rng, ph.ZipfS, 1, uint64(ph.Sessions-1))
 		for n := 0; n < ph.Requests; {
@@ -270,7 +325,31 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 			if err != nil {
 				return nil, err
 			}
-			reqs = append(reqs, Request{Session: i, Epoch: e, Context: warm[i].Context, Query: q})
+			if ctxs[i] == nil {
+				ctxs[i] = warm[i].Context
+			}
+			var chunk []string
+			// Only growing phases draw the append coin, so streams with
+			// AppendFraction 0 keep the historical RNG draw sequence —
+			// and thus the whole request interleaving — byte-identical.
+			if ph.AppendFraction > 0 && rng.Float64() < ph.AppendFraction &&
+				len(ctxs[i])+appendChunkWords+appendHeadroom <= maxSeq {
+				if appends >= 1_000_000 {
+					return nil, fmt.Errorf("workload: stream exceeds 1e6 append chunks")
+				}
+				s, err := p.NewSample(opts.Dataset, base+3_000_000+appends)
+				if err != nil {
+					return nil, fmt.Errorf("workload: append chunk %d: %w", appends, err)
+				}
+				appends++
+				chunk = s.Context
+				if len(chunk) > appendChunkWords {
+					chunk = chunk[:appendChunkWords]
+				}
+				grown := make([]string, 0, len(ctxs[i])+len(chunk))
+				ctxs[i] = append(append(grown, ctxs[i]...), chunk...)
+			}
+			reqs = append(reqs, Request{Session: i, Epoch: e, Context: ctxs[i], Query: q, Append: chunk})
 			n++
 		}
 	}
@@ -327,6 +406,10 @@ type Report struct {
 	// sealed-kind reuse, which PlanChurn pressures independently of
 	// context reuse; ScanSealHits the same for scans.
 	WarmSealHits, ScanSealHits int
+	// Appends counts warm requests that grew their live session's
+	// context via Session.Append (ReplayGrowing only; stateless replays
+	// re-prefill the full context instead and leave this zero).
+	Appends int
 	// Epochs[e] aggregates the requests of epoch e.
 	Epochs []EpochReport
 	// Outputs[i] is request i's space-joined answer.
@@ -389,6 +472,72 @@ func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildReport(reqs, outputs, hits, seals), nil
+}
+
+// ReplayGrowing drives a growing-conversation stream the way a live
+// multi-turn service would: warm session i is prefilled once — on its
+// full context at first sighting — and then kept open, a request
+// carrying an Append chunk grows the live session in place via
+// Session.Append (delta prefill of just the suffix) instead of
+// re-prefilling the concatenation, and scans prefill fresh as always.
+// Replay is serial: the live sessions are single-owner and serial order
+// makes the hit counters deterministic. By the Append byte-identity
+// contract the Outputs equal those of Replay over the same stream, which
+// re-prefills every request's full Context — the differential the
+// growing-conversation soak asserts.
+//
+// Counter semantics: a first sighting and an append record the
+// store-facing CachedPrefill of the operation they ran; a plain repeat
+// on an open session counts as a warm prefill hit (the retained context
+// KV is exactly what the session machinery exists to reuse).
+func ReplayGrowing(c Prefiller, reqs []Request) (*Report, error) {
+	outputs := make([]string, len(reqs))
+	hits := make([]bool, len(reqs))
+	seals := make([]bool, len(reqs))
+	live := make(map[int]*cocktail.Session)
+	appends := 0
+	for i, r := range reqs {
+		var s *cocktail.Session
+		if r.IsScan() {
+			var err error
+			if s, err = c.Prefill(r.Context); err != nil {
+				return nil, fmt.Errorf("workload: request %d prefill: %w", i, err)
+			}
+			hits[i] = s.CachedPrefill()
+		} else if held, ok := live[r.Session]; !ok {
+			var err error
+			if s, err = c.Prefill(r.Context); err != nil {
+				return nil, fmt.Errorf("workload: request %d prefill: %w", i, err)
+			}
+			live[r.Session] = s
+			hits[i] = s.CachedPrefill()
+		} else {
+			s = held
+			if len(r.Append) > 0 {
+				if err := s.Append(r.Append); err != nil {
+					return nil, fmt.Errorf("workload: request %d append: %w", i, err)
+				}
+				appends++
+				hits[i] = s.CachedPrefill()
+			} else {
+				hits[i] = true
+			}
+		}
+		res, err := s.Answer(r.Query)
+		if err != nil {
+			return nil, fmt.Errorf("workload: request %d answer: %w", i, err)
+		}
+		seals[i] = s.CachedSeal()
+		outputs[i] = strings.Join(res.Answer, " ")
+	}
+	rep := buildReport(reqs, outputs, hits, seals)
+	rep.Appends = appends
+	return rep, nil
+}
+
+// buildReport aggregates per-request outcomes into the replay report.
+func buildReport(reqs []Request, outputs []string, hits, seals []bool) *Report {
 	rep := &Report{Requests: len(reqs), Outputs: outputs}
 	epochs := 0
 	for _, r := range reqs {
@@ -427,5 +576,5 @@ func replay(c Prefiller, reqs []Request, workers int) (*Report, error) {
 			}
 		}
 	}
-	return rep, nil
+	return rep
 }

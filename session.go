@@ -185,6 +185,74 @@ func (s *Session) Answer(query []string) (*Result, error) {
 	return t.Result(), nil
 }
 
+// Append grows the session's context in place: the new words are
+// delta-prefilled as a suffix onto the retained context KV, so only the
+// appended tokens pay prefill cost instead of the whole concatenation.
+// The resulting session state is byte-identical to a fresh session
+// prefilled on the concatenation — prefill is an incremental per-token
+// loop, so extending a builder replays exactly the operations a cold
+// prefill of the full context would run (see model.PrefillExtend) — and
+// subsequent Answer calls re-plan over the grown context via the usual
+// Plan/Prepare split. The memoized seal is invalidated: a sealed cache
+// covers a fixed token range, so no previous plan can be valid for the
+// grown context.
+//
+// Store-backed sessions keep the shared store coherent the same way
+// prefill does: the grown context's builder is looked up first (another
+// session may have already paid for this exact concatenation) and
+// inserted on miss, with the store's byte accounting updated to the grown
+// size. The stored builder for the old context is never mutated — the
+// session extends a copy-on-append Clone — so other sessions still
+// holding the shorter context are unaffected.
+//
+// Appending zero words is a no-op. On error (unknown vocabulary, MaxSeq
+// overflow) the session is left exactly as it was: still usable, context
+// unchanged.
+func (s *Session) Append(context []string) error {
+	ids, err := s.p.encode(context)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	if err := s.p.checkSeqBound(len(s.ctxIDs)+len(ids), 0); err != nil {
+		return err
+	}
+	newIDs := make([]int, 0, len(s.ctxIDs)+len(ids))
+	newIDs = append(append(newIDs, s.ctxIDs...), ids...)
+	newHash := hashTokens(newIDs)
+
+	// Mirror prefill()'s store protocol (Get, then Put on miss) so the
+	// per-kind CacheStats of grow-by-append match a cold prefill of the
+	// concatenation operation for operation.
+	if s.store != nil {
+		key := sessioncache.Key{
+			Fingerprint: s.p.Fingerprint(), Kind: sessioncache.KindPrefill, Hash: newHash}
+		if v, ok := s.store.Get(key); ok {
+			s.adoptContext(newIDs, newHash, v.(*kvcache.Builder), true)
+			return nil
+		}
+	}
+	b := s.builder.Clone()
+	if err := s.p.model.PrefillExtend(b, ids); err != nil {
+		return err
+	}
+	s.adoptContext(newIDs, newHash, b, false)
+	if s.store != nil {
+		s.store.Put(s.prefillKey(), b)
+	}
+	return nil
+}
+
+// adoptContext commits a grown context to the session and drops the seal
+// memo (sealed caches cover a fixed token range; none survive growth).
+func (s *Session) adoptContext(ids []int, hash string, b *kvcache.Builder, fromCache bool) {
+	s.ctxIDs, s.ctxHash, s.builder = ids, hash, b
+	s.prefillHit = fromCache
+	s.lastPlanFP, s.lastSealed, s.sealHit = "", nil, false
+}
+
 // sealedFor returns the pristine sealed cache for plan, from the
 // session's memo, the shared store, or a fresh SealWith (in that order).
 func (s *Session) sealedFor(plan *kvcache.Plan, opts kvcache.SealOptions) (*kvcache.Cache, error) {

@@ -32,6 +32,7 @@ type Turn struct {
 	eos       int
 	next      int
 	out       []int
+	emitted   int // watermark into out: tokens already returned by Emitted
 	res       *Result
 }
 
@@ -65,6 +66,23 @@ func (t *Turn) Step() bool {
 	t.out = append(t.out, t.next)
 	t.next = t.dec.Step(t.next)
 	return true
+}
+
+// Emitted returns the surface forms of the output tokens produced since
+// the previous Emitted call (or since the turn started), advancing the
+// emission watermark. Streaming servers call it after each Step — the
+// step boundary is the flush point — and the concatenation of every
+// Emitted batch equals Result().Answer exactly, so a streamed turn and a
+// buffered turn are byte-identical by construction. Returns nil when no
+// new tokens have been produced. Like Step and Result, Emitted is part of
+// the turn's single-owner surface: callers serialize it with Step.
+func (t *Turn) Emitted() []string {
+	if t.emitted == len(t.out) {
+		return nil
+	}
+	words := t.p.lex.SurfacesOf(t.out[t.emitted:])
+	t.emitted = len(t.out)
+	return words
 }
 
 // Finished reports whether the turn has produced its Result.
