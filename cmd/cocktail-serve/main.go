@@ -44,6 +44,15 @@
 // first request up to -batch-window while arrivals accumulate; see the
 // "batching" block of /v1/metrics for the resulting batch shapes.
 //
+// -cost-budget-ms arms cost-model admission: requests are priced by the
+// calibrated hardware model and shed with 503 + Retry-After once the
+// predicted work in flight would exceed the budget. -tenant-header
+// turns the batcher queues into per-tenant deficit-round-robin over
+// predicted cost, keyed by that header's value. -auto-tune on lets the
+// session cache nudge its own TTL, sealed/prefill split and probation
+// share from measured hit rates, within hard clamps; the "scheduling"
+// and cache "tune" blocks of /v1/metrics expose the resulting state.
+//
 // Usage:
 //
 //	cocktail-serve -addr :8080 -method Cocktail -workers 8 -queue 64 \
@@ -109,6 +118,12 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 		"directory for the sealed-cache spill tier: admitted sealed caches are written as versioned checksummed artifacts, reloaded on startup for warm restarts and consulted on cache misses; corrupt artifacts degrade to misses (empty disables persistence)")
 	streaming := fs.String("streaming", "on",
 		"SSE token streaming on the answer endpoints: on (clients opt in per request with ?stream=1 or Accept: text/event-stream) or off (such requests get the buffered JSON body)")
+	costBudgetMs := fs.Int("cost-budget-ms", 0,
+		"admit answer/session-create work only while the predicted milliseconds in flight stay under this budget, shedding the rest with 503 + Retry-After; priced by the calibrated hardware cost model (0 disables the cost gate, depth shedding still applies)")
+	tenantHeader := fs.String("tenant-header", "",
+		"HTTP request header naming the tenant for fair scheduling: when set, the batcher queues become per-tenant deficit-round-robin over predicted cost (empty disables tenancy; requests missing the header share one implicit tenant)")
+	autoTune := fs.String("auto-tune", "off",
+		"session-cache budget auto-tuner: on (nudge TTL, sealed/prefill split and probation share by measured hit-rate-per-byte at window boundaries, within hard clamps) or off (the hand-set knobs behave exactly as before)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -165,6 +180,23 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 	default:
 		return nil, fmt.Errorf("cocktail-serve: -streaming must be on or off, have %q", *streaming)
 	}
+	// The library reads any non-positive budget as "cost gate off"; the
+	// CLI rejects negative spellings because off is spelled 0 and a stray
+	// sign in a manifest is a typo, not a request.
+	if *costBudgetMs < 0 {
+		return nil, fmt.Errorf("cocktail-serve: -cost-budget-ms must be >= 0 (0 disables the cost gate), have %d", *costBudgetMs)
+	}
+	if err := validTenantHeader(*tenantHeader); err != nil {
+		return nil, err
+	}
+	var tuneOn bool
+	switch *autoTune {
+	case "on":
+		tuneOn = true
+	case "off":
+	default:
+		return nil, fmt.Errorf("cocktail-serve: -auto-tune must be on or off, have %q", *autoTune)
+	}
 
 	return &serveConfig{
 		addr: *addr,
@@ -186,8 +218,26 @@ func parseArgs(args []string, stderr io.Writer) (*serveConfig, error) {
 			CacheShards:        *cacheShards,
 			CachePersistDir:    *cachePersistDir,
 			DisableStreaming:   disableStreaming,
+			CostBudgetMs:       *costBudgetMs,
+			TenantHeader:       *tenantHeader,
+			AutoTune:           tuneOn,
 		},
 	}, nil
+}
+
+// validTenantHeader rejects header names the net/http stack could not
+// round-trip: the scheduler keys tenants by the header's value, so a
+// name with whitespace or separators would silently never match and
+// every request would collapse into the implicit tenant.
+func validTenantHeader(name string) error {
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("cocktail-serve: -tenant-header must be a header token (letters, digits, - or _), have %q", name)
+		}
+	}
+	return nil
 }
 
 func main() {

@@ -50,6 +50,9 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 		{"negative-cache-shards", "-cache-shards -1", "-cache-shards"},
 		{"oversize-cache-shards", "-cache-shards 131072", "-cache-shards"},
 		{"unknown-streaming-mode", "-streaming sse", "-streaming"},
+		{"negative-cost-budget", "-cost-budget-ms -500", "-cost-budget-ms"},
+		{"tenant-header-separator", "-tenant-header X:Tenant", "-tenant-header"},
+		{"unknown-auto-tune-mode", "-auto-tune auto", "-auto-tune"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -148,6 +151,20 @@ func TestParseArgsValid(t *testing.T) {
 	if cfg, err = parseArgs(strings.Fields("-streaming off"), io.Discard); err != nil || !cfg.opts.DisableStreaming {
 		t.Fatalf("-streaming off not threaded: cfg=%+v err=%v", cfg, err)
 	}
+	// Scheduling knobs thread through untouched; the defaults keep every
+	// gate off (historical semantics).
+	cfg, err = parseArgs(strings.Fields(
+		"-cost-budget-ms 5000 -tenant-header X-Tenant -auto-tune on"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.CostBudgetMs != 5000 || cfg.opts.TenantHeader != "X-Tenant" || !cfg.opts.AutoTune {
+		t.Fatalf("scheduling flags not threaded: %+v", cfg.opts)
+	}
+	if cfg, err = parseArgs(nil, io.Discard); err != nil ||
+		cfg.opts.CostBudgetMs != 0 || cfg.opts.TenantHeader != "" || cfg.opts.AutoTune {
+		t.Fatalf("scheduling gates must default off: cfg=%+v err=%v", cfg, err)
+	}
 	// Defaults: probation-pct starts inside its valid range, so a bare
 	// invocation parses.
 	cfg, err = parseArgs(nil, io.Discard)
@@ -179,6 +196,10 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"-cache-shards", "-1"},
 		{"-cache-shards", "70000"},
 		{"-streaming", "maybe"},
+		{"-cost-budget-ms", "-1"},
+		{"-tenant-header", "X Tenant"},
+		{"-tenant-header", "X:Tenant"},
+		{"-auto-tune", "1"},
 	} {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

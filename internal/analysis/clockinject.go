@@ -6,14 +6,17 @@ import (
 )
 
 // clockPkgs are the import-path suffixes of the packages that own
-// TTL/expiry state. A direct wall-clock read there makes expiry
-// untestable without real sleeps and lets two code paths disagree about
-// "now" mid-operation; both packages carry an injectable
-// now func() time.Time (sessioncache.Options.Now, httpapi.Options.Now)
-// that every expiry decision must flow through.
+// TTL/expiry or scheduling state. A direct wall-clock read there makes
+// the behaviour untestable without real sleeps and lets two code paths
+// disagree about "now" mid-operation; sessioncache and httpapi carry an
+// injectable now func() time.Time (Options.Now) that every expiry and
+// queue-age decision must flow through, and costsched is clock-free by
+// contract — its admission and fairness decisions depend only on the
+// predicted costs it is handed, never on wall time.
 var clockPkgs = map[string]bool{
 	"sessioncache": true,
 	"httpapi":      true,
+	"costsched":    true,
 }
 
 // AnalyzerClockInject forbids direct time.Now / time.Since calls in the

@@ -134,6 +134,15 @@ func TestClockInjectFixture(t *testing.T) {
 	checkFixture(t, pkg, AnalyzerClockInject)
 }
 
+// TestClockInjectCoversCostsched: the cost-scheduling package is in the
+// clock-owning set, so the same fixture violations fire when the package
+// path ends in internal/costsched (the package is clock-free by
+// contract; the analyzer is what enforces it).
+func TestClockInjectCoversCostsched(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "clockinject"), "fixture/internal/costsched")
+	checkFixture(t, pkg, AnalyzerClockInject)
+}
+
 func TestLockDisciplineFixture(t *testing.T) {
 	pkg := loadFixture(t, filepath.Join("testdata", "src", "lockdiscipline"), "fixture/internal/sessioncache")
 	checkFixture(t, pkg, AnalyzerLockDiscipline)

@@ -53,12 +53,14 @@ package httpapi
 
 import (
 	"context"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	cocktail "repro"
+	"repro/internal/costsched"
 )
 
 // batchDeadlineMult sizes the per-batch deadline budget as a multiple of
@@ -77,8 +79,15 @@ type batchItem struct {
 	contextWords []string
 	query        []string
 	warm         bool
-	enqueued     time.Time // injected clock; queue-age state
-	deferred     bool      // guarded by batcher.mu once queued
+	// tenant keys the DRR lanes (empty = the single implicit tenant) and
+	// costMs is the request's predicted serving cost — both fixed by the
+	// handler before push. release, when set, returns the cost to the
+	// admission tracker; finish calls it exactly once.
+	tenant   string
+	costMs   float64
+	release  func()
+	enqueued time.Time // injected clock; queue-age state
+	deferred bool      // guarded by batcher.mu once queued
 	// sink, when set, receives the turn's emitted tokens at every decode
 	// step boundary (SSE streaming; see stream.go). The batch worker
 	// pushes, the streaming handler drains — a slow client never stalls
@@ -92,11 +101,17 @@ type batchItem struct {
 
 func (it *batchItem) finish(res *cocktail.Result, err error) {
 	it.res, it.err = res, err
+	if it.release != nil {
+		it.release()
+	}
 	close(it.done)
 }
 
 // batcher is the continuous-batching scheduler: a bounded two-lane queue
-// plus Workers batch-worker goroutines.
+// plus Workers batch-worker goroutines. Each lane is a per-tenant
+// deficit-round-robin queue over predicted cost (internal/costsched);
+// with a single tenant — tenancy disabled, or every request unkeyed —
+// both lanes are exact FIFOs, the historical semantics.
 type batcher struct {
 	s      *Server
 	max    int           // BatchMax
@@ -104,8 +119,8 @@ type batcher struct {
 	budget time.Duration // deadline budget for cold joins / queue age
 
 	mu    sync.Mutex
-	warm  []*batchItem
-	cold  []*batchItem
+	warmQ *costsched.Queue[*batchItem]
+	coldQ *costsched.Queue[*batchItem]
 	limit int           // queue capacity (both lanes)
 	ready chan struct{} // one token per queued item; capacity limit
 
@@ -128,6 +143,8 @@ func newBatcher(s *Server) *batcher {
 		window: s.opts.BatchWindow,
 		limit:  s.opts.QueueDepth,
 		ready:  make(chan struct{}, s.opts.QueueDepth),
+		warmQ:  costsched.NewQueue[*batchItem](costsched.DefaultQuantumMs),
+		coldQ:  costsched.NewQueue[*batchItem](costsched.DefaultQuantumMs),
 	}
 	if b.window > 0 {
 		b.budget = batchDeadlineMult * b.window
@@ -155,14 +172,14 @@ func (b *batcher) push(it *batchItem) error {
 	it.done = make(chan struct{})
 	it.enqueued = b.s.opts.Now()
 	b.mu.Lock()
-	if len(b.warm)+len(b.cold) >= b.limit {
+	if b.warmQ.Len()+b.coldQ.Len() >= b.limit {
 		b.mu.Unlock()
 		return ErrQueueFull
 	}
 	if it.warm {
-		b.warm = append(b.warm, it)
+		b.warmQ.Push(it.tenant, it.costMs, it)
 	} else {
-		b.cold = append(b.cold, it)
+		b.coldQ.Push(it.tenant, it.costMs, it)
 	}
 	b.mu.Unlock()
 	b.ready <- struct{}{}
@@ -173,29 +190,56 @@ func (b *batcher) push(it *batchItem) error {
 func (b *batcher) queueLen() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.warm) + len(b.cold)
+	return b.warmQ.Len() + b.coldQ.Len()
+}
+
+// tenantStats merges the two lanes' per-tenant accounting for the
+// metrics scheduling block.
+func (b *batcher) tenantStats() []costsched.TenantStats {
+	b.mu.Lock()
+	warm, cold := b.warmQ.Stats(), b.coldQ.Stats()
+	b.mu.Unlock()
+	merged := make(map[string]costsched.TenantStats, len(warm)+len(cold))
+	for _, st := range append(warm, cold...) {
+		m := merged[st.Tenant]
+		m.Tenant = st.Tenant
+		m.Queued += st.Queued
+		m.QueuedMs += st.QueuedMs
+		m.Served += st.Served
+		m.ServedMs += st.ServedMs
+		merged[st.Tenant] = m
+	}
+	out := make([]costsched.TenantStats, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // take removes and returns the next item; it is called exactly once per
 // consumed ready token, so an item is always available. Warm lane first —
-// unless a cold head has waited past the deadline budget (anti-starvation)
-// — then cold, but only when coldOK. A refused cold head is marked
-// deferred, its token is restored, and take returns nil: the caller's
-// join loop stops for this step boundary and a free worker picks the item
-// up as its own seed.
+// unless the cold lane's DRR head has waited past the deadline budget
+// (anti-starvation) — then cold, but only when coldOK. Within each lane
+// the DRR queue picks the tenant; Head/Pop pairs under the one mutex, so
+// the peeked item is exactly the popped one. A refused cold head is
+// marked deferred, its token is restored, and take returns nil: the
+// caller's join loop stops for this step boundary and a free worker
+// picks the item up as its own seed.
 func (b *batcher) take(coldOK bool) *batchItem {
 	b.mu.Lock()
 	var it *batchItem
+	coldHead, _, hasCold := b.coldQ.Head()
 	switch {
-	case coldOK && len(b.cold) > 0 &&
-		(len(b.warm) == 0 || b.s.opts.Now().Sub(b.cold[0].enqueued) > b.budget):
-		it, b.cold = b.cold[0], b.cold[1:]
-	case len(b.warm) > 0:
-		it, b.warm = b.warm[0], b.warm[1:]
+	case coldOK && hasCold &&
+		(b.warmQ.Len() == 0 || b.s.opts.Now().Sub(coldHead.enqueued) > b.budget):
+		it, _ = b.coldQ.Pop()
+	case b.warmQ.Len() > 0:
+		it, _ = b.warmQ.Pop()
 	default:
 		// Only cold items remain and coldOK is false.
-		if !b.cold[0].deferred {
-			b.cold[0].deferred = true
+		if !coldHead.deferred {
+			coldHead.deferred = true
 			b.coldDeferrals.Add(1)
 		}
 	}

@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/costsched"
+
 	cocktail "repro"
 )
 
@@ -194,7 +196,9 @@ func TestBatcherLanesAndSaturation(t *testing.T) {
 	defer close(s.stop)
 	// Hand-built so no workers race the pops.
 	b := &batcher{s: s, max: 8, window: 2 * time.Millisecond,
-		budget: 16 * time.Millisecond, limit: 3, ready: make(chan struct{}, 3)}
+		budget: 16 * time.Millisecond, limit: 3, ready: make(chan struct{}, 3),
+		warmQ: costsched.NewQueue[*batchItem](costsched.DefaultQuantumMs),
+		coldQ: costsched.NewQueue[*batchItem](costsched.DefaultQuantumMs)}
 
 	mk := func(warm bool) *batchItem {
 		return &batchItem{ctx: context.Background(), warm: warm}

@@ -1,0 +1,184 @@
+package httpapi
+
+// Cost-model-driven scheduling: every answer-path request is priced by
+// internal/hwmodel's analytic estimate before it runs, and the predicted
+// milliseconds drive three decisions (see DESIGN.md "Cost-model
+// scheduling & auto-tuning"):
+//
+//   - Admission: the server tracks the predicted ms of admitted work in
+//     flight; when Options.CostBudgetMs > 0 and the predicted drain time
+//     (inflight ms / workers) would exceed it, the request is shed with
+//     503. Warm requests (prefill resident in the session/prefix cache)
+//     are priced decode-only, so under pressure the gate sheds expensive
+//     cold prefills first — shedding prefers cheap-to-keep work.
+//   - Retry-After: every load-shedding 503 (depth-full or over-budget)
+//     advertises the predicted drain time, clamped to >= 1s, instead of
+//     a constant.
+//   - Per-tenant fairness: when Options.TenantHeader is set, the batcher
+//     lanes become deficit-round-robin queues keyed by that header's
+//     value, bounding any tenant's share of dispatched predicted cost
+//     (see internal/costsched).
+//
+// Calibration: measured buffered-answer latencies are folded back into
+// the pricer (ratio of sums, hard-clamped), so the analytic model
+// supplies the relative ordering and measurement fixes the absolute
+// level. The scale is surfaced in /v1/metrics scheduling block.
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	cocktail "repro"
+	"repro/internal/costsched"
+	"repro/internal/hwmodel"
+	"repro/internal/kvcache"
+)
+
+// ErrOverBudget is returned on the answer paths when admitting the
+// request would push the predicted drain time past Options.CostBudgetMs.
+var ErrOverBudget = errors.New("httpapi: predicted drain time over the cost budget")
+
+// scheduler bundles the cost-model scheduling state: the pricer (with
+// its calibration loop), the predicted-cost admission tracker, and the
+// tenant-keying configuration.
+type scheduler struct {
+	pricer    *hwmodel.Pricer
+	admission *costsched.Admission
+	method    string
+	gpu       string
+	model     string
+	header    string // tenant header name; "" = single implicit tenant
+}
+
+// newScheduler derives the cost model from the pipeline's configuration:
+// the simulated model name maps onto its real hardware geometry, unknown
+// names fall back to the paper's primary 7B shape (the estimate's
+// *ordering* is what admission needs; calibration fixes the level).
+func newScheduler(p *cocktail.Pipeline, opts Options) *scheduler {
+	cfg := p.Config()
+	dims, ok := hwmodel.DimsByModel(cfg.Model)
+	if !ok {
+		dims = hwmodel.Llama2_7B()
+	}
+	g := hwmodel.A800()
+	budget := float64(opts.CostBudgetMs)
+	return &scheduler{
+		pricer:    hwmodel.NewPricer(g, dims),
+		admission: costsched.NewAdmission(budget, opts.Workers),
+		method:    cfg.Method,
+		gpu:       g.Name,
+		model:     dims.Name,
+		header:    opts.TenantHeader,
+	}
+}
+
+// tenant extracts the request's tenant key; the empty string (header
+// unset, or tenancy disabled) is the single implicit tenant, under which
+// the DRR queues degenerate to exact FIFO.
+func (c *scheduler) tenant(r *http.Request) string {
+	if c.header == "" {
+		return ""
+	}
+	return r.Header.Get(c.header)
+}
+
+// estimateAnswer prices one answer request in predicted milliseconds. A
+// warm request's prefill is already resident (session or prefix cache),
+// so it is priced decode-only — which is exactly why the admission gate
+// sheds cold work first under pressure. An unpriceable method (not in
+// the hwmodel roster) is treated as free: depth shedding still applies.
+func (c *scheduler) estimateAnswer(contextTokens int, warm bool) float64 {
+	est, err := c.pricer.Estimate(contextTokens, c.method, kvcache.INT4)
+	if err != nil {
+		return 0
+	}
+	if warm {
+		return est.PerTokenMs * hwmodel.DefaultDecodeBudget
+	}
+	return est.TotalMs(hwmodel.DefaultDecodeBudget)
+}
+
+// estimatePrefill prices a session-create request: prefill only, free
+// when the context is already cached.
+func (c *scheduler) estimatePrefill(contextTokens int, warm bool) float64 {
+	if warm {
+		return 0
+	}
+	est, err := c.pricer.Estimate(contextTokens, c.method, kvcache.INT4)
+	if err != nil {
+		return 0
+	}
+	return est.PrefillMs
+}
+
+// admit runs the cost gate for one request. On success it returns a
+// release closure that must be called exactly once when the request's
+// work leaves the system (completion, cancellation, or a failed
+// enqueue). On refusal it returns ErrOverBudget for poolErr to map to a
+// drain-priced 503.
+func (c *scheduler) admit(costMs float64) (release func(), err error) {
+	ok, _ := c.admission.Admit(costMs)
+	if !ok {
+		return nil, ErrOverBudget
+	}
+	return func() { c.admission.Done(costMs) }, nil
+}
+
+// shedErr writes a load-shedding 503 whose Retry-After is the predicted
+// drain time of the work in flight, clamped to [1s, 600s] — a loaded
+// server tells clients how long the backlog actually is instead of a
+// constant.
+func (s *Server) shedErr(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(costsched.RetryAfterSeconds(s.sched.admission.DrainMs())))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+}
+
+// SchedulingMetrics is the scheduling block of the /v1/metrics payload:
+// the cost model in force, its calibration state, the predicted-cost
+// admission gate, and per-tenant fairness accounting. Present in every
+// configuration — zeros/empty when cost admission and tenancy are off —
+// so dashboards never need mode-aware parsing.
+type SchedulingMetrics struct {
+	// CostAdmission reports whether predicted-drain shedding is armed
+	// (Options.CostBudgetMs > 0). The admission block's tracking fields
+	// are live either way — they price Retry-After on depth-full 503s.
+	CostAdmission bool `json:"cost_admission"`
+	// GPU/Model/Method identify the analytic cost model in force.
+	GPU    string `json:"gpu"`
+	Model  string `json:"model"`
+	Method string `json:"method"`
+	// CalibrationScale multiplies the analytic latency estimates
+	// (1 until the first measured sample); the sums behind it follow.
+	CalibrationScale       float64 `json:"calibration_scale"`
+	CalibrationPredictedMs float64 `json:"calibration_predicted_ms"`
+	CalibrationMeasuredMs  float64 `json:"calibration_measured_ms"`
+	// Admission is the predicted-cost gate: budget, in-flight predicted
+	// ms, drain time, admitted/shed totals.
+	Admission costsched.AdmissionStats `json:"admission"`
+	// TenantHeader echoes the fairness keying ("" = disabled); Tenants
+	// carries per-tenant queued/served predicted-cost accounting from
+	// the batcher's DRR lanes (empty when batching is off).
+	TenantHeader string                  `json:"tenant_header"`
+	Tenants      []costsched.TenantStats `json:"tenants"`
+}
+
+// schedulingSnapshot assembles the metrics block.
+func (s *Server) schedulingSnapshot() SchedulingMetrics {
+	pred, meas := s.sched.pricer.Observations()
+	m := SchedulingMetrics{
+		CostAdmission:          s.sched.admission.BudgetMs() > 0,
+		GPU:                    s.sched.gpu,
+		Model:                  s.sched.model,
+		Method:                 s.sched.method,
+		CalibrationScale:       s.sched.pricer.Scale(),
+		CalibrationPredictedMs: pred,
+		CalibrationMeasuredMs:  meas,
+		Admission:              s.sched.admission.Stats(),
+		TenantHeader:           s.sched.header,
+	}
+	if s.batch != nil {
+		m.Tenants = s.batch.tenantStats()
+	}
+	return m
+}

@@ -1,0 +1,335 @@
+package httpapi
+
+// Tests for cost-model scheduling: the admission gate's 503s (with a
+// predicted-drain Retry-After), the track-only default, the scheduling
+// metrics block, per-tenant accounting through the batcher lanes, and
+// the byte-identity guarantee — turning the scheduling knobs on must
+// never change what a request answers, only whether/when it runs.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	cocktail "repro"
+)
+
+// sampleBody fetches a dataset sample via the API and returns an answer
+// request body for it plus the decoded sample.
+func sampleBody(t *testing.T, url string, seed int) ([]byte, struct{ Context, Query []string }) {
+	t.Helper()
+	var sample struct{ Context, Query []string }
+	if code := getJSON(t, url+"/v1/sample?dataset=Qasper&seed="+strconv.Itoa(seed), &sample); code != 200 {
+		t.Fatalf("sample status %d", code)
+	}
+	body, err := json.Marshal(map[string]any{"context": sample.Context, "query": sample.Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, sample
+}
+
+// TestCostAdmissionShedsWithDrainRetryAfter: with the budget armed and
+// the gate nearly full, a cold answer whose predicted cost blows the
+// drain deadline is shed with 503 and a Retry-After computed from the
+// predicted drain (not a constant); after release it is admitted.
+func TestCostAdmissionShedsWithDrainRetryAfter(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 8, CostBudgetMs: 50_000})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	body, _ := sampleBody(t, srv.URL, 11)
+
+	// Occupy the gate with 49.9s of predicted work: any cold request
+	// (hundreds of predicted ms) now blows the 50s drain deadline.
+	release, err := s.sched.admit(49_900)
+	if err != nil {
+		t.Fatalf("occupying admit: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/answer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// Predicted drain is 49_900ms / 1 worker → ceil to 50s.
+	if ra := resp.Header.Get("Retry-After"); ra != "50" {
+		t.Fatalf("Retry-After = %q, want \"50\" (predicted drain)", ra)
+	}
+	release()
+
+	var res struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/answer", json.RawMessage(body), &res); code != 200 {
+		t.Fatalf("post-release status %d, want 200", code)
+	}
+	if len(res.Answer) == 0 {
+		t.Fatal("empty answer after release")
+	}
+	st := s.sched.admission.Stats()
+	if st.Shed != 1 || st.Admitted < 2 || st.Inflight != 0 {
+		t.Fatalf("admission stats = %+v, want 1 shed, >=2 admitted, drained", st)
+	}
+}
+
+// TestCostAdmissionDisabledTracksOnly: the default configuration (budget
+// 0) admits everything, but still tracks predicted cost — that pricing
+// is what Retry-After on depth-full 503s and the metrics block feed on —
+// and buffered answers feed the calibration loop.
+func TestCostAdmissionDisabledTracksOnly(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 2, QueueDepth: 8})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	body, _ := sampleBody(t, srv.URL, 12)
+
+	var res struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/answer", json.RawMessage(body), &res); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	sch := m.Scheduling
+	if sch.CostAdmission {
+		t.Fatal("cost_admission must be off by default")
+	}
+	if sch.GPU != "NVIDIA A800 80GB" || sch.Model != "Llama2-7B" || sch.Method != "Cocktail" {
+		t.Fatalf("cost model identity = %s/%s/%s", sch.GPU, sch.Model, sch.Method)
+	}
+	if sch.Admission.Admitted < 1 || sch.Admission.Shed != 0 {
+		t.Fatalf("track-only admission stats = %+v", sch.Admission)
+	}
+	if sch.CalibrationPredictedMs <= 0 || sch.CalibrationMeasuredMs <= 0 || sch.CalibrationScale <= 0 {
+		t.Fatalf("calibration not fed by the buffered answer: %+v", sch)
+	}
+}
+
+// TestDepthFull503CarriesDrainRetryAfter: classic queue saturation (no
+// cost budget) now advertises a computed Retry-After too — at least the
+// 1s clamp floor, an integer either way.
+func TestDepthFull503CarriesDrainRetryAfter(t *testing.T) {
+	// BatchMax 1 disables the batcher so /v1/answer dispatches through
+	// the saturated worker pool.
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 1, BatchMax: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	body, _ := sampleBody(t, srv.URL, 13)
+
+	release := make(chan struct{})
+	released := false
+	releaseWorker := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	t.Cleanup(releaseWorker)
+	running := make(chan struct{})
+	go s.submit(context.Background(), func() {
+		close(running)
+		<-release
+	})
+	<-running
+	queued := make(chan error, 1)
+	go func() {
+		queued <- s.submit(context.Background(), func() {})
+	}()
+	for len(s.jobs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/answer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	sec, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || sec < 1 || sec > 600 {
+		t.Fatalf("Retry-After = %q, want an integer in [1,600]",
+			resp.Header.Get("Retry-After"))
+	}
+	releaseWorker()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued submit failed: %v", err)
+	}
+}
+
+// TestTenantAccountingThroughBatcher: with a tenant header configured
+// and batching on, per-tenant served cost shows up in the scheduling
+// metrics block, keyed by the header value (missing header = implicit
+// "" tenant).
+func TestTenantAccountingThroughBatcher(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{
+		Workers: 1, QueueDepth: 16, BatchMax: 4, BatchWindow: time.Millisecond,
+		TenantHeader: "X-Tenant"})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	body, _ := sampleBody(t, srv.URL, 14)
+
+	post := func(tenant string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/answer", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("tenant %q: status %d", tenant, resp.StatusCode)
+		}
+	}
+	post("acme")
+	post("globex")
+	post("") // implicit tenant
+
+	var m Metrics
+	getJSON(t, srv.URL+"/v1/metrics", &m)
+	if m.Scheduling.TenantHeader != "X-Tenant" {
+		t.Fatalf("tenant_header = %q", m.Scheduling.TenantHeader)
+	}
+	served := map[string]int64{}
+	for _, ts := range m.Scheduling.Tenants {
+		served[ts.Tenant] = ts.Served
+		if ts.Served > 0 && ts.ServedMs <= 0 {
+			t.Fatalf("tenant %q served %d requests at zero predicted cost", ts.Tenant, ts.Served)
+		}
+	}
+	for _, want := range []string{"acme", "globex", ""} {
+		if served[want] != 1 {
+			t.Fatalf("tenant %q served = %d, want 1 (%+v)", want, served[want], m.Scheduling.Tenants)
+		}
+	}
+}
+
+// TestSchedulingKnobsPreserveAnswers: the same request answered with
+// every scheduling knob on (tenancy, a generous cost budget, batching)
+// is byte-identical to the default server's answer — scheduling decides
+// whether/when work runs, never what it computes.
+func TestSchedulingKnobsPreserveAnswers(t *testing.T) {
+	p := testPipeline(t)
+	plain := NewServer(p, Options{Workers: 1, QueueDepth: 8})
+	t.Cleanup(plain.Close)
+	tuned := NewServer(p, Options{
+		Workers: 2, QueueDepth: 8, BatchMax: 4, BatchWindow: time.Millisecond,
+		TenantHeader: "X-Tenant", CostBudgetMs: 600_000})
+	t.Cleanup(tuned.Close)
+	srvPlain, srvTuned := httptest.NewServer(plain), httptest.NewServer(tuned)
+	t.Cleanup(srvPlain.Close)
+	t.Cleanup(srvTuned.Close)
+
+	body, _ := sampleBody(t, srvPlain.URL, 15)
+	var want, got cocktail.Result
+	if code := postJSON(t, srvPlain.URL+"/v1/answer", json.RawMessage(body), &want); code != 200 {
+		t.Fatalf("plain status %d", code)
+	}
+	req, err := http.NewRequest(http.MethodPost, srvTuned.URL+"/v1/answer", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("tuned status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scheduling knobs changed the answer\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestSessionPathsPriceDecodeOnly: session answers are warm by
+// construction; their predicted cost must be well under a cold answer's
+// (no prefill term), which is the property that makes shedding prefer
+// cheap-to-keep work.
+func TestSessionPathsPriceDecodeOnly(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 8})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	_, sample := sampleBody(t, srv.URL, 16)
+
+	cold := s.sched.estimateAnswer(len(sample.Context), false)
+	warm := s.sched.estimateAnswer(len(sample.Context), true)
+	if !(warm > 0 && cold > warm) {
+		t.Fatalf("cold=%v warm=%v: warm must be positive and strictly cheaper", cold, warm)
+	}
+	if pre := s.sched.estimatePrefill(len(sample.Context), true); pre != 0 {
+		t.Fatalf("cached session create priced %v, want 0", pre)
+	}
+	if pre := s.sched.estimatePrefill(len(sample.Context), false); pre <= 0 {
+		t.Fatalf("cold session create priced %v, want > 0", pre)
+	}
+
+	// End to end: create a session and answer through it; the admission
+	// tracker must drain back to zero (release exactly once per path).
+	var info SessionInfo
+	if code := postJSON(t, srv.URL+"/v1/session",
+		map[string]any{"context": sample.Context}, &info); code != 200 {
+		t.Fatalf("create status %d", code)
+	}
+	var res struct{ Answer []string }
+	if code := postJSON(t, srv.URL+"/v1/session/"+info.SessionID+"/answer",
+		map[string]any{"query": sample.Query}, &res); code != 200 {
+		t.Fatalf("session answer status %d", code)
+	}
+	if st := s.sched.admission.Stats(); st.Inflight != 0 || st.InflightMs != 0 {
+		t.Fatalf("admission not drained after session flow: %+v", st)
+	}
+}
+
+// TestStreamShedsBeforeHeaders: a stream refused by the cost gate gets
+// the plain JSON 503 (with Retry-After), never SSE headers.
+func TestStreamShedsBeforeHeaders(t *testing.T) {
+	s := NewServer(testPipeline(t), Options{Workers: 1, QueueDepth: 8, CostBudgetMs: 10_000})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	body, _ := sampleBody(t, srv.URL, 17)
+
+	release, err := s.sched.admit(9_990)
+	if err != nil {
+		t.Fatalf("occupying admit: %v", err)
+	}
+	defer release()
+	resp, err := http.Post(srv.URL+"/v1/answer?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want JSON (not SSE)", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "10" {
+		t.Fatalf("Retry-After = %q, want \"10\"", ra)
+	}
+}

@@ -151,6 +151,33 @@ type Options struct {
 	// per-batch deadline budget (batchDeadlineMult × window) beyond which
 	// a running batch stops admitting cold prefills.
 	BatchWindow time.Duration
+	// CostBudgetMs arms cost-based admission on the answer and
+	// session-create paths: the server tracks the predicted milliseconds
+	// of admitted work in flight (priced by internal/hwmodel's analytic
+	// estimate, calibrated against measured latencies) and sheds with 503
+	// any request whose admission would push the predicted drain time —
+	// in-flight predicted ms divided by Workers — past this budget. Warm
+	// requests are priced decode-only, so shedding prefers work whose
+	// prefill is already paid. 0 (and any negative value) disables the
+	// cost gate: only depth shedding applies, the historical semantics.
+	// Either way the tracker prices the Retry-After header on every
+	// load-shedding 503 (predicted drain, clamped to >= 1s).
+	CostBudgetMs int
+	// TenantHeader names the HTTP request header whose value identifies
+	// the tenant for fair scheduling. When set, the batcher's warm/cold
+	// lanes become per-tenant deficit-round-robin queues over predicted
+	// cost: no backlogged tenant's dispatched share can exceed another's
+	// by more than one quantum plus one request (see internal/costsched).
+	// Empty (the default) disables tenancy — every request shares one
+	// implicit tenant and the lanes are exact FIFOs, the historical
+	// semantics. Requests missing the header land in the implicit tenant.
+	TenantHeader string
+	// AutoTune enables the session cache's budget auto-tuner: at
+	// decision-window boundaries the cache nudges its TTL, sealed/prefill
+	// byte split and probation percentage by measured hit-rate-per-byte,
+	// within hard clamps (see cocktail.SessionCacheOptions.AutoTune).
+	// Off by default — the hand-set knobs then behave exactly as before.
+	AutoTune bool
 	// DisableStreaming turns off SSE token streaming: requests opting in
 	// (`?stream=1` or `Accept: text/event-stream`) are served the plain
 	// buffered JSON response instead. Streaming is on by default — it
@@ -228,6 +255,10 @@ type Server struct {
 	// case those endpoints dispatch directly to the worker pool.
 	batch *batcher
 
+	// sched is the cost-model scheduling state (pricer + calibration,
+	// predicted-cost admission, tenant keying); always non-nil.
+	sched *scheduler
+
 	// streaming aggregates the SSE counters (streams, tokens, TTFT).
 	streaming streamStats
 
@@ -261,6 +292,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			"/v1/session/delete": {},
 		},
 	}
+	s.sched = newScheduler(p, opts)
 	if opts.SessionCacheMB > 0 {
 		s.sc = cocktail.NewSessionCache(p, cocktail.SessionCacheOptions{
 			MaxBytes:           int64(opts.SessionCacheMB) << 20,
@@ -274,6 +306,7 @@ func NewServer(p *cocktail.Pipeline, opts Options) *Server {
 			Shards:             opts.CacheShards,
 			PersistDir:         opts.CachePersistDir,
 			Now:                opts.Now,
+			AutoTune:           opts.AutoTune,
 		})
 	}
 	if opts.BatchMax > 1 {
@@ -502,6 +535,7 @@ type Metrics struct {
 	Pool         PoolMetrics                `json:"pool"`
 	Batching     BatchingMetrics            `json:"batching"`
 	Streaming    StreamingMetrics           `json:"streaming"`
+	Scheduling   SchedulingMetrics          `json:"scheduling"`
 	SessionCache SessionCacheMetrics        `json:"session_cache"`
 	Endpoints    map[string]EndpointMetrics `json:"endpoints"`
 }
@@ -539,6 +573,7 @@ func (s *Server) Snapshot() Metrics {
 			m.Batching.MeanBatch = float64(m.Batching.BatchedRequests) / float64(m.Batching.Batches)
 		}
 	}
+	m.Scheduling = s.schedulingSnapshot()
 	m.Streaming = StreamingMetrics{
 		Streams:         s.streaming.streams.Load(),
 		Tokens:          s.streaming.tokens.Load(),
@@ -619,9 +654,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
@@ -658,19 +690,36 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		res *cocktail.Result
 		err error
 	)
+	// Price the request before any work: warm (prefill cache-resident)
+	// requests cost decode only, so the admission gate sheds expensive
+	// cold prefills first under pressure.
+	warm := s.sc != nil && s.sc.Cached(req.Context)
+	cost := s.sched.estimateAnswer(len(req.Context), warm)
+	//cocktail:allow clockinject latency measurement feeding the cost-model calibration, not expiry state
+	start := time.Now()
 	perr := func() error {
+		release, aerr := s.sched.admit(cost)
+		if aerr != nil {
+			return aerr
+		}
 		if s.batch != nil {
 			// Batched dispatch: warm-lane classification is a pure cache
 			// peek, then the batcher owns execution. Like submit, the
 			// handler abandons the wait when the client goes away — the
-			// batcher drops the item at pickup or a step boundary.
+			// batcher drops the item at pickup or a step boundary. The
+			// admission release rides the item: finish() calls it exactly
+			// once whether the turn completes, cancels, or is dropped.
 			it := &batchItem{
 				ctx:          r.Context(),
 				contextWords: req.Context,
 				query:        req.Query,
-				warm:         s.sc != nil && s.sc.Cached(req.Context),
+				warm:         warm,
+				tenant:       s.sched.tenant(r),
+				costMs:       cost,
+				release:      release,
 			}
 			if err := s.batch.push(it); err != nil {
+				release()
 				return err
 			}
 			select {
@@ -687,6 +736,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 				return r.Context().Err()
 			}
 		}
+		defer release()
 		return s.submit(r.Context(), func() {
 			// With the prefix cache enabled a repeated context skips
 			// prefill transparently; the output is byte-identical to the
@@ -706,6 +756,10 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// Fold the measured latency back into the pricer (successful,
+	// cold-priced requests only — Observe drops zero-cost samples).
+	//cocktail:allow clockinject latency measurement feeding the cost-model calibration, pairs with the time.Now above
+	s.sched.pricer.Observe(cost, float64(time.Since(start))/float64(time.Millisecond))
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -740,12 +794,13 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// poolErr maps submit failures: queue saturation is load shedding (503),
+// poolErr maps submit failures: queue saturation and a blown cost budget
+// are both load shedding (503 with a predicted-drain Retry-After);
 // anything else means the client went away mid-flight (499-style; the
 // response is moot but a status keeps logs honest).
 func (s *Server) poolErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrQueueFull) {
-		writeErr(w, http.StatusServiceUnavailable, err)
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverBudget) {
+		s.shedErr(w, err)
 		return
 	}
 	writeErr(w, http.StatusRequestTimeout, err)
@@ -954,6 +1009,16 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		sess *cocktail.Session
 		err  error
 	)
+	// A session create is pure prefill; when the context is already
+	// prefix-cached the work is a copy, priced free (cheap to keep).
+	cost := s.sched.estimatePrefill(len(req.Context), s.sc != nil && s.sc.Cached(req.Context))
+	release, aerr := s.sched.admit(cost)
+	if aerr != nil {
+		s.poolErr(w, aerr)
+		return
+	}
+	//cocktail:allow clockinject latency measurement feeding the cost-model calibration, not expiry state
+	start := time.Now()
 	perr := s.submit(r.Context(), func() {
 		if s.sc != nil {
 			sess, err = s.sc.Prefill(req.Context)
@@ -961,9 +1026,14 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 			sess, err = s.p.Prefill(req.Context)
 		}
 	})
+	release()
 	if perr != nil {
 		s.poolErr(w, perr)
 		return
+	}
+	if err == nil {
+		//cocktail:allow clockinject latency measurement feeding the cost-model calibration, pairs with the time.Now above
+		s.sched.pricer.Observe(cost, float64(time.Since(start))/float64(time.Millisecond))
 	}
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -1001,9 +1071,12 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		res *cocktail.Result
-		err error
+		res  *cocktail.Result
+		err  error
+		cost float64
 	)
+	//cocktail:allow clockinject latency measurement feeding the cost-model calibration, not expiry state
+	start := time.Now()
 	// Serialize on the session BEFORE taking a pool slot: requests racing
 	// on one session id queue here holding no worker, so a hot session
 	// can occupy at most one worker and cannot starve other endpoints.
@@ -1012,12 +1085,22 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 	perr := func() error {
 		ls.mu.Lock()
 		defer ls.mu.Unlock()
+		// Session answers are warm by construction — the prefill is
+		// pinned by the session — so they are priced decode-only. The
+		// context size is read under the lock (Append can grow it).
+		cost = s.sched.estimateAnswer(ls.sess.ContextTokens(), true)
+		release, aerr := s.sched.admit(cost)
+		if aerr != nil {
+			return aerr
+		}
 		if s.batch != nil {
 			// Session answers ride the warm lane: their prefill is
 			// pinned by the session, so batching them never inserts a
 			// prefill stall into a running batch.
-			it := &batchItem{ctx: r.Context(), sess: ls.sess, query: req.Query, warm: true}
+			it := &batchItem{ctx: r.Context(), sess: ls.sess, query: req.Query, warm: true,
+				tenant: s.sched.tenant(r), costMs: cost, release: release}
 			if berr := s.batch.push(it); berr != nil {
+				release()
 				return berr
 			}
 			<-it.done
@@ -1027,6 +1110,7 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 			}
 			return r.Context().Err()
 		}
+		defer release()
 		return s.submitWait(r.Context(), func() {
 			res, err = ls.sess.Answer(req.Query)
 		})
@@ -1039,6 +1123,8 @@ func (s *Server) sessionAnswer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	//cocktail:allow clockinject latency measurement feeding the cost-model calibration, pairs with the time.Now above
+	s.sched.pricer.Observe(cost, float64(time.Since(start))/float64(time.Millisecond))
 	writeJSON(w, http.StatusOK, res)
 }
 

@@ -264,15 +264,29 @@ func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, req answer
 		err  error
 		done <-chan struct{}
 	)
+	// Streams pass the same admission gate as buffered answers (shed
+	// before the SSE headers go out, so refusals are plain JSON 503s);
+	// they just skip calibration, whose samples come from buffered paths.
+	warm := s.sc != nil && s.sc.Cached(req.Context)
+	cost := s.sched.estimateAnswer(len(req.Context), warm)
+	release, aerr := s.sched.admit(cost)
+	if aerr != nil {
+		s.poolErr(w, aerr)
+		return
+	}
 	if s.batch != nil {
 		item = &batchItem{
 			ctx:          r.Context(),
 			contextWords: req.Context,
 			query:        req.Query,
-			warm:         s.sc != nil && s.sc.Cached(req.Context),
+			warm:         warm,
 			sink:         sink,
+			tenant:       s.sched.tenant(r),
+			costMs:       cost,
+			release:      release,
 		}
 		if perr := s.batch.push(item); perr != nil {
+			release()
 			s.poolErr(w, perr)
 			return
 		}
@@ -291,9 +305,13 @@ func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, req answer
 			}, sink)
 		})
 		if perr != nil {
+			release()
 			s.poolErr(w, perr)
 			return
 		}
+		// pumpSSE waits for done, so the handler's return marks the
+		// decode definitively finished — release then.
+		defer release()
 		done = d
 	}
 	s.pumpSSE(w, r, sink, done, func() (*cocktail.Result, error) {
@@ -320,9 +338,19 @@ func (s *Server) sessionAnswerStream(w http.ResponseWriter, r *http.Request, ls 
 		err  error
 		done <-chan struct{}
 	)
+	// Same admission gate as the buffered session path: warm by
+	// construction, priced decode-only, shed before the SSE preamble.
+	cost := s.sched.estimateAnswer(ls.sess.ContextTokens(), true)
+	release, aerr := s.sched.admit(cost)
+	if aerr != nil {
+		s.poolErr(w, aerr)
+		return
+	}
 	if s.batch != nil {
-		item = &batchItem{ctx: r.Context(), sess: ls.sess, query: query, warm: true, sink: sink}
+		item = &batchItem{ctx: r.Context(), sess: ls.sess, query: query, warm: true, sink: sink,
+			tenant: s.sched.tenant(r), costMs: cost, release: release}
 		if perr := s.batch.push(item); perr != nil {
+			release()
 			s.poolErr(w, perr)
 			return
 		}
@@ -334,9 +362,13 @@ func (s *Server) sessionAnswerStream(w http.ResponseWriter, r *http.Request, ls 
 			}, sink)
 		})
 		if perr != nil {
+			release()
 			s.poolErr(w, perr)
 			return
 		}
+		// pumpSSE waits for done even after a disconnect, so release at
+		// handler return is after the decode finished with the Session.
+		defer release()
 		done = d
 	}
 	s.pumpSSE(w, r, sink, done, func() (*cocktail.Result, error) {

@@ -1,0 +1,236 @@
+// Per-request pricing: the serving-side view of the analytic cost model.
+//
+// The figures machinery in hwmodel.go prices whole batched workloads
+// (Throughput, Memory) for the paper's plots; the serve path instead needs
+// a per-request answer to "how many milliseconds and KV bytes will this
+// request cost if admitted right now?". Estimate derives exactly that from
+// the same PrefillLatency/TPOT/Memory formulas at batch 1, and Pricer adds
+// a calibration loop that folds measured serve latencies back into a
+// bounded scale factor — the analytic model supplies the *shape*
+// (monotone in context length and precision width), measurement supplies
+// the absolute level.
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/kvcache"
+)
+
+// DefaultDecodeBudget is the per-request decode budget assumed when
+// pricing a request, matching the pipeline's fixed 64-token answer budget.
+const DefaultDecodeBudget = 64
+
+// Calibration scale clamps: measurement can move the analytic level by at
+// most this factor in either direction, so a corrupted latency sample can
+// never invert the model's ordering or zero out admission costs.
+const (
+	scaleMin = 0.05
+	scaleMax = 20.0
+)
+
+// Estimate is the predicted cost of serving one request: prefill latency
+// (including quantization search), steady-state decode latency per output
+// token, and the KV-cache bytes the request pins while it runs.
+type Estimate struct {
+	PrefillMs  float64
+	PerTokenMs float64
+	KVBytes    int64
+}
+
+// TotalMs is the predicted wall-clock milliseconds to serve the request
+// with the given decode budget.
+func (e Estimate) TotalMs(outputTokens int) float64 {
+	if outputTokens < 0 {
+		outputTokens = 0
+	}
+	return e.PrefillMs + e.PerTokenMs*float64(outputTokens)
+}
+
+// ProfileByMethod maps a pipeline method name (the core.Methods roster:
+// FP16, Atom, KIVI, KVQuant, Cocktail) to its cost profile. precision is
+// the uniform storage precision for the uniform-quantization methods
+// (Atom, KIVI); FP16 and the mixed-precision methods fix their own mix
+// and ignore it. KVQuant uses the paper's 1% outlier fraction and
+// Cocktail the default LongBench mix and chunk size 32.
+func ProfileByMethod(method string, precision kvcache.Precision) (Profile, error) {
+	switch method {
+	case "FP16":
+		return ProfileFP16(), nil
+	case "Atom":
+		p := ProfileAtom()
+		p.Frac = map[kvcache.Precision]float64{precision: 1}
+		return p, nil
+	case "KIVI":
+		p := ProfileKIVI()
+		p.Frac = map[kvcache.Precision]float64{precision: 1}
+		return p, nil
+	case "KVQuant":
+		return ProfileKVQuant(0.01), nil
+	case "Cocktail":
+		return ProfileCocktail(32, nil), nil
+	}
+	return Profile{}, fmt.Errorf("hwmodel: unknown method %q", method)
+}
+
+// DimsByModel maps a model name — real geometry ("Llama2-7B") or the
+// pipeline's simulated roster spelling ("Llama2-7B-sim") — to its
+// hardware dimensions. ok is false for unknown names, letting callers
+// fall back to a default geometry instead of failing the request path.
+func DimsByModel(name string) (d ModelDims, ok bool) {
+	lookup := map[string]ModelDims{
+		"Llama2-7B":   Llama2_7B(),
+		"Llama2-13B":  Llama2_13B(),
+		"Mistral-7B":  Mistral7B(),
+		"Longchat-7B": Longchat7B(),
+	}
+	if d, ok := lookup[name]; ok {
+		return d, true
+	}
+	// Simulated roster names are the real names with a "-sim" suffix.
+	const simSuffix = "-sim"
+	if n := len(name) - len(simSuffix); n > 0 && name[n:] == simSuffix {
+		if d, ok := lookup[name[:n]]; ok {
+			return d, true
+		}
+	}
+	return ModelDims{}, false
+}
+
+// estimateAt prices one request at batch 1 under a profile, at
+// calibration scale. Decode KV grows FP16 (as in Memory), and methods
+// without fused kernels additionally pin a dequantization workspace.
+func estimateAt(g GPUSpec, d ModelDims, prof Profile, contextTokens, outputTokens int, scale float64) Estimate {
+	if contextTokens < 0 {
+		contextTokens = 0
+	}
+	if outputTokens <= 0 {
+		outputTokens = DefaultDecodeBudget
+	}
+	wl := Workload{ContextTokens: contextTokens, OutputTokens: outputTokens, Batch: 1}
+	prefill := PrefillLatency(g, d, wl) + prof.SearchSeconds(contextTokens, 1)
+	tpot := TPOT(g, d, wl, prof)
+	kv := contextKVBytes(d, contextTokens, prof) +
+		float64(outputTokens)*float64(d.KVBytesPerTokenFP16())
+	if prof.DequantWorkspace {
+		kv += float64(contextTokens) * float64(d.KVBytesPerTokenFP16())
+	}
+	return Estimate{
+		PrefillMs:  prefill * 1000 * scale,
+		PerTokenMs: tpot * 1000 * scale,
+		KVBytes:    int64(math.Ceil(kv)),
+	}
+}
+
+// Pricer prices requests against one (GPU, model) pair and keeps a
+// calibration scale learned from measured serve latencies. Safe for
+// concurrent use.
+type Pricer struct {
+	gpu  GPUSpec
+	dims ModelDims
+
+	mu sync.Mutex
+	// Ratio-of-sums calibration: scale = Σ measured / Σ predicted over
+	// every Observe call, clamped to [scaleMin, scaleMax]. Ratio of sums
+	// (not mean of ratios) weights long requests proportionally to the
+	// milliseconds they actually cost, and a single outlier sample moves
+	// the estimate by its share of total time rather than 1/n.
+	predMs float64
+	measMs float64
+	scale  float64
+
+	profMu   sync.Mutex
+	profiles map[profileKey]Profile
+}
+
+type profileKey struct {
+	method    string
+	precision kvcache.Precision
+}
+
+// NewPricer builds a pricer for the GPU/model pair with calibration
+// scale 1 (the uncalibrated analytic model).
+func NewPricer(g GPUSpec, d ModelDims) *Pricer {
+	return &Pricer{gpu: g, dims: d, scale: 1, profiles: map[profileKey]Profile{}}
+}
+
+// Estimate prices one request of contextTokens under the named method at
+// the given uniform precision (see ProfileByMethod), at the pricer's
+// current calibration scale and the default decode budget.
+func (p *Pricer) Estimate(contextTokens int, method string, precision kvcache.Precision) (Estimate, error) {
+	prof, err := p.profile(method, precision)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateAt(p.gpu, p.dims, prof, contextTokens, DefaultDecodeBudget, p.Scale()), nil
+}
+
+// EstimateOutput is Estimate with an explicit decode budget
+// (outputTokens <= 0 selects the default budget).
+func (p *Pricer) EstimateOutput(contextTokens int, method string, precision kvcache.Precision, outputTokens int) (Estimate, error) {
+	prof, err := p.profile(method, precision)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateAt(p.gpu, p.dims, prof, contextTokens, outputTokens, p.Scale()), nil
+}
+
+func (p *Pricer) profile(method string, precision kvcache.Precision) (Profile, error) {
+	key := profileKey{method, precision}
+	p.profMu.Lock()
+	prof, ok := p.profiles[key]
+	p.profMu.Unlock()
+	if ok {
+		return prof, nil
+	}
+	prof, err := ProfileByMethod(method, precision)
+	if err != nil {
+		return Profile{}, err
+	}
+	p.profMu.Lock()
+	p.profiles[key] = prof
+	p.profMu.Unlock()
+	return prof, nil
+}
+
+// Observe folds one measured request latency back into the calibration
+// scale. predictedMs is the estimate the request was admitted under
+// (before this observation); measuredMs is its measured serve time.
+// Non-positive samples are ignored.
+func (p *Pricer) Observe(predictedMs, measuredMs float64) {
+	if predictedMs <= 0 || measuredMs <= 0 ||
+		math.IsNaN(predictedMs) || math.IsNaN(measuredMs) ||
+		math.IsInf(predictedMs, 0) || math.IsInf(measuredMs, 0) {
+		return
+	}
+	p.mu.Lock()
+	p.predMs += predictedMs
+	p.measMs += measuredMs
+	s := p.measMs / p.predMs
+	if s < scaleMin {
+		s = scaleMin
+	}
+	if s > scaleMax {
+		s = scaleMax
+	}
+	p.scale = s
+	p.mu.Unlock()
+}
+
+// Scale returns the current calibration multiplier applied to latency
+// estimates (1 until the first Observe).
+func (p *Pricer) Scale() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scale
+}
+
+// Observations returns the cumulative predicted and measured milliseconds
+// behind the current scale (both 0 until the first Observe).
+func (p *Pricer) Observations() (predictedMs, measuredMs float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.predMs, p.measMs
+}

@@ -1,0 +1,257 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kvcache"
+)
+
+func near(got, want, relTol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want) <= relTol*math.Abs(want)
+}
+
+// TestEstimateGolden pins the per-request estimates for the paper-default
+// shape (Llama2-7B at the 3.5K QMSum-truncated context, A800) across the
+// full method roster, plus the long-context GQA shape (Mistral-7B at 10K).
+// These are derived values of the calibrated figure constants: a change
+// here means the cost model's absolute level moved, which reprices every
+// admission decision — bump deliberately, with the constants.
+func TestEstimateGolden(t *testing.T) {
+	cases := []struct {
+		model      ModelDims
+		ctx        int
+		method     string
+		prefillMs  float64
+		perTokenMs float64
+		kvBytes    int64
+	}{
+		{Llama2_7B(), 3500, "FP16", 381.692120, 10.948819, 1868562432},
+		{Llama2_7B(), 3500, "Atom", 381.692120, 10.047699, 606994432},
+		{Llama2_7B(), 3500, "KIVI", 381.692120, 10.047699, 606994432},
+		{Llama2_7B(), 3500, "KVQuant", 736.692120, 10.069817, 619610112},
+		{Llama2_7B(), 3500, "Cocktail", 602.782120, 10.002198, 542769152},
+		{Mistral7B(), 10000, "Cocktail", 1628.092344, 10.607891, 372113409},
+	}
+	for _, c := range cases {
+		p := NewPricer(A800(), c.model)
+		e, err := p.Estimate(c.ctx, c.method, kvcache.INT4)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.model.Name, c.method, err)
+		}
+		if !near(e.PrefillMs, c.prefillMs, 1e-6) {
+			t.Errorf("%s/%s PrefillMs = %.6f, want %.6f", c.model.Name, c.method, e.PrefillMs, c.prefillMs)
+		}
+		if !near(e.PerTokenMs, c.perTokenMs, 1e-6) {
+			t.Errorf("%s/%s PerTokenMs = %.6f, want %.6f", c.model.Name, c.method, e.PerTokenMs, c.perTokenMs)
+		}
+		if e.KVBytes != c.kvBytes {
+			t.Errorf("%s/%s KVBytes = %d, want %d", c.model.Name, c.method, e.KVBytes, c.kvBytes)
+		}
+		want := c.prefillMs + 64*c.perTokenMs
+		if !near(e.TotalMs(64), want, 1e-6) {
+			t.Errorf("%s/%s TotalMs(64) = %.6f, want %.6f", c.model.Name, c.method, e.TotalMs(64), want)
+		}
+	}
+}
+
+// TestEstimateMonotoneInContext asserts that every cost component grows
+// strictly with context length, for every method: a longer context can
+// never be priced cheaper. This is the property admission ordering
+// depends on, independent of the calibrated absolute level.
+func TestEstimateMonotoneInContext(t *testing.T) {
+	for _, method := range []string{"FP16", "Atom", "KIVI", "KVQuant", "Cocktail"} {
+		p := NewPricer(A800(), Llama2_7B())
+		prev, err := p.Estimate(256, method, kvcache.INT4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ctx := range []int{512, 1024, 2048, 3500} {
+			e, err := p.Estimate(ctx, method, kvcache.INT4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.PrefillMs <= prev.PrefillMs {
+				t.Errorf("%s: PrefillMs not increasing at ctx %d: %v <= %v", method, ctx, e.PrefillMs, prev.PrefillMs)
+			}
+			if e.PerTokenMs <= prev.PerTokenMs {
+				t.Errorf("%s: PerTokenMs not increasing at ctx %d: %v <= %v", method, ctx, e.PerTokenMs, prev.PerTokenMs)
+			}
+			if e.KVBytes <= prev.KVBytes {
+				t.Errorf("%s: KVBytes not increasing at ctx %d: %v <= %v", method, ctx, e.KVBytes, prev.KVBytes)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestEstimateMonotoneInPrecision asserts that widening the uniform
+// storage precision never makes decode cheaper or the cache smaller:
+// INT2 <= INT4 <= INT8 <= FP16 in both PerTokenMs and KVBytes.
+func TestEstimateMonotoneInPrecision(t *testing.T) {
+	p := NewPricer(A800(), Llama2_7B())
+	precisions := []kvcache.Precision{kvcache.INT2, kvcache.INT4, kvcache.INT8, kvcache.FP16}
+	var prev Estimate
+	for i, prec := range precisions {
+		e, err := p.Estimate(3500, "Atom", prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if e.PerTokenMs <= prev.PerTokenMs {
+				t.Errorf("PerTokenMs not increasing at %v: %v <= %v", prec, e.PerTokenMs, prev.PerTokenMs)
+			}
+			if e.KVBytes <= prev.KVBytes {
+				t.Errorf("KVBytes not increasing at %v: %v <= %v", prec, e.KVBytes, prev.KVBytes)
+			}
+		}
+		prev = e
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	p := NewPricer(A800(), Llama2_7B())
+	// Negative context clamps to zero, not a panic or negative bytes.
+	e, err := p.Estimate(-5, "FP16", kvcache.INT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.KVBytes <= 0 || e.PrefillMs < 0 {
+		t.Fatalf("negative context produced nonsense estimate: %+v", e)
+	}
+	// EstimateOutput with a non-positive budget falls back to the default.
+	def, err := p.EstimateOutput(1024, "Cocktail", kvcache.INT4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Estimate(1024, "Cocktail", kvcache.INT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != base {
+		t.Fatalf("EstimateOutput(0) = %+v, want default-budget estimate %+v", def, base)
+	}
+	// A bigger decode budget costs more total time and more KV bytes.
+	big, err := p.EstimateOutput(1024, "Cocktail", kvcache.INT4, 4*DefaultDecodeBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.KVBytes <= base.KVBytes {
+		t.Fatalf("larger decode budget shrank KVBytes: %d <= %d", big.KVBytes, base.KVBytes)
+	}
+	if e.TotalMs(-3) != e.PrefillMs {
+		t.Fatalf("TotalMs with negative budget should be prefill only")
+	}
+	if _, err := p.Estimate(100, "NoSuchMethod", kvcache.INT4); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestProfileByMethodRoster(t *testing.T) {
+	for _, m := range []string{"FP16", "Atom", "KIVI", "KVQuant", "Cocktail"} {
+		if _, err := ProfileByMethod(m, kvcache.INT4); err != nil {
+			t.Errorf("ProfileByMethod(%q): %v", m, err)
+		}
+	}
+	if _, err := ProfileByMethod("H2O", kvcache.INT4); err == nil {
+		t.Error("unknown method must error")
+	}
+	// KIVI shares Atom's accounting but carries its own name, and the
+	// uniform methods store at exactly the requested precision.
+	kivi, _ := ProfileByMethod("KIVI", kvcache.INT2)
+	if kivi.Name != "KIVI" || kivi.Frac[kvcache.INT2] != 1 {
+		t.Errorf("KIVI profile = %q %v", kivi.Name, kivi.Frac)
+	}
+}
+
+func TestDimsByModel(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{"Llama2-7B", "Llama2-7B", true},
+		{"Llama2-7B-sim", "Llama2-7B", true},
+		{"Llama2-13B-sim", "Llama2-13B", true},
+		{"Mistral-7B-sim", "Mistral-7B", true},
+		{"Longchat-7B-sim", "Longchat-7B", true},
+		{"-sim", "", false},
+		{"GPT-5", "", false},
+	} {
+		d, ok := DimsByModel(c.name)
+		if ok != c.ok || (ok && d.Name != c.want) {
+			t.Errorf("DimsByModel(%q) = (%q, %v), want (%q, %v)", c.name, d.Name, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestPricerCalibration exercises the ratio-of-sums calibration loop:
+// the scale converges to measured/predicted, weights samples by their
+// milliseconds, clamps at the hard bounds, and ignores junk samples.
+func TestPricerCalibration(t *testing.T) {
+	p := NewPricer(A800(), Llama2_7B())
+	if p.Scale() != 1 {
+		t.Fatalf("fresh pricer scale = %v, want 1", p.Scale())
+	}
+	base, err := p.Estimate(2048, "Cocktail", kvcache.INT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hardware runs 2x slower than the analytic level: scale follows.
+	p.Observe(100, 200)
+	p.Observe(300, 600)
+	if !near(p.Scale(), 2.0, 1e-12) {
+		t.Fatalf("scale = %v, want 2", p.Scale())
+	}
+	pred, meas := p.Observations()
+	if pred != 400 || meas != 800 {
+		t.Fatalf("Observations() = (%v, %v), want (400, 800)", pred, meas)
+	}
+
+	// Calibration rescales latencies but never KV bytes, and preserves
+	// the model's relative ordering.
+	cal, err := p.Estimate(2048, "Cocktail", kvcache.INT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(cal.PrefillMs, 2*base.PrefillMs, 1e-12) || !near(cal.PerTokenMs, 2*base.PerTokenMs, 1e-12) {
+		t.Fatalf("calibrated estimate %+v is not 2x base %+v", cal, base)
+	}
+	if cal.KVBytes != base.KVBytes {
+		t.Fatalf("calibration changed KVBytes: %d != %d", cal.KVBytes, base.KVBytes)
+	}
+
+	// Ratio of sums: a long request dominates proportionally to its time.
+	p2 := NewPricer(A800(), Llama2_7B())
+	p2.Observe(10, 40)   // short request, 4x
+	p2.Observe(990, 990) // long request, 1x
+	if want := 1030.0 / 1000.0; !near(p2.Scale(), want, 1e-12) {
+		t.Fatalf("scale = %v, want %v (ratio of sums, not mean of ratios)", p2.Scale(), want)
+	}
+
+	// Hard clamps in both directions.
+	lo := NewPricer(A800(), Llama2_7B())
+	lo.Observe(1e6, 1)
+	if lo.Scale() != scaleMin {
+		t.Fatalf("scale = %v, want clamp %v", lo.Scale(), scaleMin)
+	}
+	hi := NewPricer(A800(), Llama2_7B())
+	hi.Observe(1, 1e6)
+	if hi.Scale() != scaleMax {
+		t.Fatalf("scale = %v, want clamp %v", hi.Scale(), scaleMax)
+	}
+
+	// Junk samples are dropped without disturbing the state.
+	p.Observe(-1, 50)
+	p.Observe(50, -1)
+	p.Observe(0, 0)
+	p.Observe(math.NaN(), 50)
+	p.Observe(50, math.Inf(1))
+	if pred2, meas2 := p.Observations(); pred2 != pred || meas2 != meas {
+		t.Fatalf("junk samples moved the calibration state: (%v, %v)", pred2, meas2)
+	}
+}

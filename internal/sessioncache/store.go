@@ -71,6 +71,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -167,6 +168,14 @@ type Options struct {
 	// Codec; nil disables persistence (the historical behavior). See the
 	// package comment and spill.go.
 	Persist *PersistOptions
+	// Tune enables the self-tuning layer: at tumbling-window boundaries
+	// (windows counted in store operations) the store nudges its
+	// effective TTL, sealed/prefill sub-budget split and probation
+	// carve-outs by measured hit-rate-per-byte, with two-window
+	// hysteresis and hard clamps around the configured values (see
+	// tuner.go). Nil disables tuning: every knob keeps its configured
+	// value exactly — the historical behavior.
+	Tune *TuneOptions
 
 	// Now overrides the clock for every TTL/expiry decision; nil means
 	// time.Now. Serving layers thread one injected clock through here
@@ -224,6 +233,9 @@ type Stats struct {
 	// Persist is the spill tier's counter block; nil when persistence is
 	// disabled.
 	Persist *PersistStats `json:"persist,omitempty"`
+	// Tune is the self-tuner's block (current effective knob values and
+	// nudge counters); nil when tuning is off.
+	Tune *TuneStats `json:"tune,omitempty"`
 }
 
 // ShardStats is one lock-shard's occupancy and counter block — the
@@ -349,6 +361,11 @@ type lockShard struct {
 	expirations metrics.Counter
 	insertions  metrics.Counter
 	promotions  metrics.Counter // probation -> protected segment moves
+
+	// ttl points at the store's effective-TTL atomic; every expiry
+	// decision reads it (identical to Options.TTL unless the tuner is
+	// on).
+	ttl *atomic.Int64
 }
 
 // Store is the byte-accounted, sharded, segment-aware LRU. See the
@@ -358,6 +375,11 @@ type Store struct {
 	shards  []*lockShard
 	mask    uint64
 	persist *persister // nil when persistence is disabled
+	// effTTL is the effective idle TTL in nanoseconds, read by every
+	// expiry decision. It equals Options.TTL forever unless the tuner
+	// (Options.Tune) nudges it within its clamps.
+	effTTL atomic.Int64
+	tuner  *tuner // nil when tuning is off
 }
 
 // New builds an empty store. With Options.Persist set, artifacts found in
@@ -378,6 +400,7 @@ func New(opts Options) *Store {
 		panic("sessioncache: Options.Policy cannot back more than one lock-shard; set Options.NewPolicy")
 	}
 	s := &Store{opts: opts, mask: uint64(n - 1)}
+	s.effTTL.Store(int64(opts.TTL))
 	for i := 0; i < n; i++ {
 		var pol Policy
 		if opts.NewPolicy != nil {
@@ -388,11 +411,16 @@ func New(opts Options) *Store {
 		if pol == nil {
 			pol = NewPolicyLRU()
 		}
-		s.shards = append(s.shards, newLockShard(&s.opts, pol, n, i))
+		ls := newLockShard(&s.opts, pol, n, i)
+		ls.ttl = &s.effTTL
+		s.shards = append(s.shards, ls)
 	}
 	if opts.Persist != nil && opts.Persist.Dir != "" && len(opts.Persist.Codecs) > 0 {
 		s.persist = newPersister(*opts.Persist)
 		s.preload()
+	}
+	if opts.Tune != nil {
+		s.tuner = newTuner(s, *opts.Tune)
 	}
 	return s
 }
@@ -551,6 +579,17 @@ func (s *Store) Contains(k Key) bool {
 // previous life) and returned as a hit; a missing, corrupt or stale
 // artifact falls through to an ordinary miss.
 func (s *Store) Get(k Key) (Sized, bool) {
+	v, ok := s.lookup(k)
+	if s.tuner != nil {
+		s.tuner.onGet(k.Kind, ok)
+		s.tuner.tick()
+	}
+	return v, ok
+}
+
+// lookup is Get without the tuner hooks (which must see the final
+// outcome, spill tier included).
+func (s *Store) lookup(k Key) (Sized, bool) {
 	ls := s.shardFor(k)
 	spillable := s.persist != nil && s.persist.persists(k.Kind)
 	if v, ok := ls.get(k, !spillable); ok {
@@ -562,7 +601,7 @@ func (s *Store) Get(k Key) (Sized, bool) {
 	// The disk probe runs outside every lock: concurrent Gets on other
 	// keys proceed, and a racing Put on this key simply wins (adopt
 	// returns the resident value).
-	v, ok := s.persist.load(k, s.opts.Now(), s.opts.TTL)
+	v, ok := s.persist.load(k, s.opts.Now(), time.Duration(s.effTTL.Load()))
 	if !ok {
 		ls.missLocked2(k)
 		return nil, false
@@ -724,6 +763,9 @@ func (s *Store) Put(k Key, v Sized) bool {
 	ok := s.shardFor(k).put(k, v)
 	if ok && s.persist != nil && s.persist.persists(k.Kind) {
 		s.persist.save(k, v, s.opts.Now())
+	}
+	if s.tuner != nil {
+		s.tuner.tick()
 	}
 	return ok
 }
@@ -952,6 +994,9 @@ func (s *Store) Stats() Stats {
 		ps := s.persist.stats()
 		agg.Persist = &ps
 	}
+	if s.tuner != nil {
+		agg.Tune = s.tuner.stats()
+	}
 	return agg
 }
 
@@ -1056,7 +1101,8 @@ func mergeKindStats(dst *KindStats, src KindStats) {
 }
 
 func (ls *lockShard) expired(e *entry, now time.Time) bool {
-	return ls.opts.TTL > 0 && now.Sub(e.lastUsed) > ls.opts.TTL
+	ttl := time.Duration(ls.ttl.Load())
+	return ttl > 0 && now.Sub(e.lastUsed) > ttl
 }
 
 // expireLocked drops one TTL-expired entry, notifying the policy first

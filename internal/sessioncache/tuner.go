@@ -1,0 +1,418 @@
+package sessioncache
+
+// Self-tuning cache budgets (Options.Tune): a tumbling-window controller
+// — the same mechanism PolicyAdaptive uses for admission — pointed at the
+// store's three hand-set knobs instead of the admission mode:
+//
+//   - TTL: the effective idle lifetime, nudged ±25% per step within
+//     [base/4, 4*base]. Expiry churn alongside a miss-heavy window means
+//     the TTL is cutting off reuse (raise); eviction pressure with zero
+//     expiries means idle entries are hogging bytes the LRU has to fight
+//     for (lower). Only the store's expiry check moves — the admission
+//     policies' ghost windows keep the configured TTL, so tuning can
+//     never change what Admit decides.
+//   - Sealed/prefill split: the per-kind sub-budgets (Options.Kinds),
+//     shifted 5% of the combined budget per step toward the kind with
+//     the higher measured hit-rate-per-byte (window hits divided by
+//     resident bytes — the marginal value of giving that kind one more
+//     byte), within [base/2, base*3/2] for either kind. Requires both
+//     kinds dedicated (the serving layer's SealedPct split).
+//   - Probation pct: each dedicated kind-shard's probation carve-out,
+//     ±2 percentage points per step within [base/2, min(2*base, 50)],
+//     re-negotiated through the policy's ProbationCap so store and
+//     policy always agree. Probation promotions outpacing scan
+//     rejections means the trial segment is earning its bytes (grow);
+//     the reverse means it is churn space (shrink). Only meaningful
+//     under a probation-capable policy — ghost-only policies negotiate
+//     every cap to 0 and the knob stays parked.
+//
+// Windows are counted in store operations (Get + Put), never wall time —
+// the tuner is clock-free, like costsched. Every rule needs the same
+// direction in two consecutive windows before it moves (hysteresis), the
+// clamps above are hard, and with Options.Tune nil no tuner exists: no
+// counter is touched and every knob keeps its configured value exactly —
+// the historical behavior.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultTuneWindow is the tuning window (in store operations) when
+// TuneOptions.Window <= 0.
+const DefaultTuneWindow = 512
+
+// TuneOptions configures the self-tuning layer; see the file comment.
+type TuneOptions struct {
+	// Window is the tumbling-window length in store operations (Get +
+	// Put); <= 0 selects DefaultTuneWindow.
+	Window int
+}
+
+// TuneStats is the tuner's block of Stats; nil when tuning is off, so an
+// untuned store's stats are byte-for-byte the historical payload.
+type TuneStats struct {
+	// Window is the configured window length in store operations.
+	Window int `json:"window"`
+	// TTLMs is the current effective TTL in milliseconds (equal to the
+	// configured TTL until the first nudge; 0 = no expiry configured).
+	TTLMs float64 `json:"ttl_ms"`
+	// SealedMaxBytes / PrefillMaxBytes are the current per-kind
+	// sub-budgets; zero when the budget is not split per kind.
+	SealedMaxBytes  int64 `json:"sealed_max_bytes"`
+	PrefillMaxBytes int64 `json:"prefill_max_bytes"`
+	// ProbationPct is the current probation share per dedicated kind;
+	// empty when no kind has an explicit carve-out to tune.
+	ProbationPct map[string]float64 `json:"probation_pct,omitempty"`
+	// TTLNudges / SplitNudges / ProbationNudges count applied moves per
+	// knob (a clamped-to-no-op evaluation does not count).
+	TTLNudges       int64 `json:"ttl_nudges"`
+	SplitNudges     int64 `json:"split_nudges"`
+	ProbationNudges int64 `json:"probation_nudges"`
+}
+
+// tuneKinds are the artifact kinds the tuner tracks hit densities for,
+// in counter-index order.
+var tuneKinds = [2]Kind{KindPrefill, KindSealed}
+
+// tunerDelta is one window's worth of store-level evidence: the counter
+// movement between two Stats snapshots.
+type tunerDelta struct {
+	hits, misses, evictions, expirations int64
+	segPromotions, scanRejections        int64
+}
+
+// tuner is the self-tuning controller. Event recording (onGet/tick) is
+// atomic and runs on the serve path; tune() runs at window boundaries on
+// whichever goroutine crosses the boundary, guarded by busy so a slow
+// evaluation is skipped rather than stacked.
+type tuner struct {
+	s      *Store
+	window int64
+	ops    atomic.Int64
+	busy   atomic.Bool
+
+	hits   [2]atomic.Int64 // indexed like tuneKinds
+	misses [2]atomic.Int64
+
+	mu   sync.Mutex // guards everything below
+	prev Stats
+
+	baseTTL, curTTL time.Duration
+
+	splitOn               bool // both serving kinds dedicated
+	baseSealed, curSealed int64
+	basePrefill           int64
+
+	probBase map[Kind]float64 // configured explicit carve-outs only
+	probCur  map[Kind]float64
+
+	ttlPend, splitPend, probPend int
+
+	ttlNudges, splitNudges, probNudges metrics.Counter
+}
+
+func newTuner(s *Store, opts TuneOptions) *tuner {
+	w := opts.Window
+	if w <= 0 {
+		w = DefaultTuneWindow
+	}
+	t := &tuner{
+		s:        s,
+		window:   int64(w),
+		baseTTL:  s.opts.TTL,
+		curTTL:   s.opts.TTL,
+		probBase: make(map[Kind]float64),
+		probCur:  make(map[Kind]float64),
+	}
+	// Base sub-budgets from the configured split: both serving kinds
+	// must be dedicated for budget-shifting to be meaningful.
+	sealed, okS := s.opts.Kinds[KindSealed]
+	prefill, okP := s.opts.Kinds[KindPrefill]
+	if okS && okP && sealed.MaxBytes > 0 && prefill.MaxBytes > 0 {
+		t.splitOn = true
+		t.baseSealed, t.curSealed = sealed.MaxBytes, sealed.MaxBytes
+		t.basePrefill = prefill.MaxBytes
+	}
+	// Probation tuning needs an explicit configured percentage to anchor
+	// its clamps (a policy-default carve-out is byte-denominated and
+	// kind-opaque); ghost-only policies will negotiate every retune to 0
+	// anyway, making the knob a no-op there.
+	for k, b := range s.opts.Kinds {
+		if b.MaxBytes > 0 && b.ProbationPct > 0 {
+			t.probBase[k] = b.ProbationPct
+			t.probCur[k] = b.ProbationPct
+		}
+	}
+	t.prev = s.Stats()
+	return t
+}
+
+// onGet records one Get outcome for the kind's hit-density window.
+func (t *tuner) onGet(kind Kind, hit bool) {
+	for i, k := range tuneKinds {
+		if k == kind {
+			if hit {
+				t.hits[i].Add(1)
+			} else {
+				t.misses[i].Add(1)
+			}
+			return
+		}
+	}
+}
+
+// tick counts one store operation and runs the window evaluation on the
+// boundary. The busy guard means a boundary hit while a previous
+// evaluation still runs is dropped, never queued — the next window picks
+// the evidence up via the snapshot diff.
+func (t *tuner) tick() {
+	if t.ops.Add(1)%t.window != 0 {
+		return
+	}
+	if !t.busy.CompareAndSwap(false, true) {
+		return
+	}
+	defer t.busy.Store(false)
+	t.tune()
+}
+
+// tune closes one window: snapshot, diff, and at most one nudge per knob
+// (each gated by two consecutive same-direction windows).
+func (t *tuner) tune() {
+	cur := t.s.Stats()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := tunerDelta{
+		hits:          cur.Hits - t.prev.Hits,
+		misses:        cur.Misses - t.prev.Misses,
+		evictions:     cur.Evictions - t.prev.Evictions,
+		expirations:   cur.Expirations - t.prev.Expirations,
+		segPromotions: cur.Admission.SegmentPromotions - t.prev.Admission.SegmentPromotions,
+		scanRejections: cur.Admission.ScanRejections -
+			t.prev.Admission.ScanRejections,
+	}
+	t.prev = cur
+	hp, hs := t.hits[0].Swap(0), t.hits[1].Swap(0)
+	mp, ms := t.misses[0].Swap(0), t.misses[1].Swap(0)
+
+	t.tuneTTL(d)
+	t.tuneSplit(cur, hp, mp, hs, ms)
+	t.tuneProbation(d)
+}
+
+// step applies the two-window hysteresis: a nudge fires only when the
+// same non-zero direction shows up in two consecutive windows, and the
+// pending direction is consumed by firing (or replaced by disagreement).
+func step(pend *int, dir int) bool {
+	fire := dir != 0 && dir == *pend
+	if fire {
+		*pend = 0
+	} else {
+		*pend = dir
+	}
+	return fire
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// tuneTTL nudges the effective TTL ±25% within [base/4, 4*base].
+func (t *tuner) tuneTTL(d tunerDelta) {
+	if t.baseTTL <= 0 {
+		return
+	}
+	dir := 0
+	switch {
+	case d.expirations > 0 && d.misses > d.hits:
+		dir = +1 // expiry is cutting off reuse: entries die idle, then miss
+	case d.expirations == 0 && d.evictions > 0:
+		dir = -1 // pure byte pressure: idle entries never age out on their own
+	}
+	if !step(&t.ttlPend, dir) {
+		return
+	}
+	next := clampDur(t.curTTL+time.Duration(dir)*t.curTTL/4, t.baseTTL/4, 4*t.baseTTL)
+	if next == t.curTTL {
+		return
+	}
+	t.curTTL = next
+	t.s.effTTL.Store(int64(next))
+	t.ttlNudges.Inc()
+}
+
+// tuneSplit shifts 5% of the combined per-kind budget toward the kind
+// with at least double the hit-rate-per-byte, within [base/2, base*3/2]
+// per kind. Both kinds must have seen real window traffic — a quiet kind
+// must not lose bytes to noise.
+func (t *tuner) tuneSplit(cur Stats, hp, mp, hs, ms int64) {
+	if !t.splitOn {
+		return
+	}
+	dir := 0
+	minOps := t.window / 16
+	if hp+mp >= minOps && hs+ms >= minOps {
+		bp, bs := int64(1), int64(1)
+		if ks, ok := cur.Kinds[string(KindPrefill)]; ok && ks.Bytes > 0 {
+			bp = ks.Bytes
+		}
+		if ks, ok := cur.Kinds[string(KindSealed)]; ok && ks.Bytes > 0 {
+			bs = ks.Bytes
+		}
+		densP, densS := float64(hp)/float64(bp), float64(hs)/float64(bs)
+		switch {
+		case densS > 2*densP:
+			dir = +1 // toward sealed
+		case densP > 2*densS:
+			dir = -1 // toward prefill
+		}
+	}
+	if !step(&t.splitPend, dir) {
+		return
+	}
+	total := t.baseSealed + t.basePrefill
+	next := clamp64(t.curSealed+int64(dir)*total/20, t.baseSealed/2, t.baseSealed*3/2)
+	// The prefill side has its own floor: sealed may not grow past what
+	// leaves prefill half its base.
+	next = clamp64(next, t.baseSealed/2, total-t.basePrefill/2)
+	if next == t.curSealed {
+		return
+	}
+	t.curSealed = next
+	t.s.retuneKinds(next, t.probCur)
+	t.splitNudges.Inc()
+}
+
+// tuneProbation moves every tuned kind's probation share ±2 points
+// within [base/2, min(2*base, 50)].
+func (t *tuner) tuneProbation(d tunerDelta) {
+	if len(t.probBase) == 0 {
+		return
+	}
+	dir := 0
+	switch {
+	case d.segPromotions > d.scanRejections && d.segPromotions > 0:
+		dir = +1 // probation residents are earning promotion: grow the trial space
+	case d.scanRejections > 2*d.segPromotions && d.scanRejections > 0:
+		dir = -1 // probation is churn space for scans: shrink it
+	}
+	if !step(&t.probPend, dir) {
+		return
+	}
+	moved := false
+	for k, base := range t.probBase {
+		hi := 2 * base
+		if hi > 50 {
+			hi = 50
+		}
+		next := t.probCur[k] + float64(dir)*2
+		if next < base/2 {
+			next = base / 2
+		}
+		if next > hi {
+			next = hi
+		}
+		if next != t.probCur[k] {
+			t.probCur[k] = next
+			moved = true
+		}
+	}
+	if !moved {
+		return
+	}
+	t.s.retuneKinds(t.curSealed, t.probCur)
+	t.probNudges.Inc()
+}
+
+// stats snapshots the tuner's block.
+func (t *tuner) stats() *TuneStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := &TuneStats{
+		Window:          int(t.window),
+		TTLMs:           float64(t.curTTL) / float64(time.Millisecond),
+		TTLNudges:       t.ttlNudges.Load(),
+		SplitNudges:     t.splitNudges.Load(),
+		ProbationNudges: t.probNudges.Load(),
+	}
+	if t.splitOn {
+		st.SealedMaxBytes = t.curSealed
+		st.PrefillMaxBytes = t.baseSealed + t.basePrefill - t.curSealed
+	}
+	if len(t.probCur) > 0 {
+		st.ProbationPct = make(map[string]float64, len(t.probCur))
+		for k, v := range t.probCur {
+			st.ProbationPct[string(k)] = v
+		}
+	}
+	return st
+}
+
+// retuneKinds applies a new sealed sub-budget total and the current
+// probation percentages to every lock-shard, one mutex at a time. Each
+// lock-shard's combined (sealed + prefill) slice is invariant — only the
+// boundary between the two kind-shards moves — and probation caps are
+// re-negotiated through the policy so store and policy stay agreed.
+// Shrunk segments evict LRU-first immediately, exactly as a Put past the
+// budget would.
+func (s *Store) retuneKinds(sealedTotal int64, probPct map[Kind]float64) {
+	n := len(s.shards)
+	for i, ls := range s.shards {
+		ls.mu.Lock()
+		sealed, okS := ls.dedicated[KindSealed]
+		prefill, okP := ls.dedicated[KindPrefill]
+		if okS && okP {
+			pair := sealed.max + prefill.max
+			sMax := clamp64(shardSlice(sealedTotal, n, i), 0, pair)
+			sealed.max, prefill.max = sMax, pair-sMax
+		}
+		now := ls.opts.Now()
+		for _, sh := range ls.shards() {
+			if sh.kind == "" {
+				continue
+			}
+			if pct, ok := probPct[sh.kind]; ok {
+				sh.probCap = ls.negotiateProbCap(sh.kind, sh.max, pct)
+			} else if sh.probCap > sh.max/2 {
+				// A shrunk shard keeps its probation cap inside the
+				// invariant the policies rely on (cap <= half the budget).
+				sh.probCap = ls.negotiateProbCap(sh.kind, sh.max, 0)
+			}
+			ls.evictOverLocked(sh, SegmentProbation, nil, now)
+			ls.evictOverLocked(sh, SegmentProtected, nil, now)
+		}
+		ls.mu.Unlock()
+	}
+}
+
+// sortedTuneKinds returns the tuned kinds in deterministic order (test
+// helper surface).
+func sortedTuneKinds(m map[Kind]float64) []Kind {
+	out := make([]Kind, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

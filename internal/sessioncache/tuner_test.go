@@ -1,0 +1,328 @@
+package sessioncache
+
+// Self-tuner tests: each knob's nudge rule, the two-window hysteresis,
+// the hard clamps, and — most important — the off-switch contract: a
+// store without Options.Tune must behave decision-for-decision exactly
+// like the historical store.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tunedClock is a manual clock whose Now is safe to thread as
+// Options.Now in single-goroutine tuner tests.
+type tunedClock struct{ t time.Time }
+
+func newTunedClock() *tunedClock { return &tunedClock{t: time.Unix(1700000000, 0)} }
+
+func (c *tunedClock) Now() time.Time          { return c.t }
+func (c *tunedClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestTuneOffIsExactHistoricalBehavior drives an identical mixed
+// workload through a tuned-off store and a pre-tuner-equivalent store
+// (both Tune nil) and demands DeepEqual stats — plus pins that the
+// effective TTL never moves and Stats carries no tune block.
+func TestTuneOffIsExactHistoricalBehavior(t *testing.T) {
+	clock := newTunedClock()
+	mk := func() *Store {
+		return New(Options{MaxBytes: 1000, TTL: time.Minute, Now: clock.Now})
+	}
+	a, b := mk(), mk()
+	// Interleave so both stores see identical clock readings per op.
+	for i := 0; i < 100; i++ {
+		for _, s := range []*Store{a, b} {
+			s.Put(key(i%7), fakeValue{id: i, bytes: 100})
+			s.Get(key(i % 13))
+		}
+		if i%10 == 9 {
+			clock.Advance(20 * time.Second)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("untuned stores diverged:\n a: %+v\n b: %+v", sa, sb)
+	}
+	if sa.Tune != nil {
+		t.Fatal("tune block must be absent when tuning is off")
+	}
+	if got := time.Duration(a.effTTL.Load()); got != time.Minute {
+		t.Fatalf("effective TTL moved without a tuner: %v", got)
+	}
+}
+
+// TestTuneTTLRaisesOnExpiryChurn: two consecutive windows of
+// expiry-driven misses raise the effective TTL 25%; a single window
+// (hysteresis) does not.
+func TestTuneTTLRaisesOnExpiryChurn(t *testing.T) {
+	clock := newTunedClock()
+	base := time.Minute
+	s := New(Options{MaxBytes: 1 << 20, TTL: base, Now: clock.Now,
+		Tune: &TuneOptions{Window: 8}})
+
+	// Each window: insert, idle past the TTL, then miss on Get — every
+	// window shows expirations > 0 and misses > hits.
+	window := func() {
+		for i := 0; i < 4; i++ {
+			s.Put(key(i), fakeValue{id: i, bytes: 100})
+		}
+		clock.Advance(2 * time.Duration(s.effTTL.Load()))
+		for i := 0; i < 4; i++ {
+			s.Get(key(i)) // expired -> miss
+		}
+	}
+	window()
+	if got := time.Duration(s.effTTL.Load()); got != base {
+		t.Fatalf("TTL moved after one window (no hysteresis): %v", got)
+	}
+	window()
+	want := base + base/4
+	if got := time.Duration(s.effTTL.Load()); got != want {
+		t.Fatalf("TTL after two expiry-churn windows = %v, want %v", got, want)
+	}
+	st := s.Stats()
+	if st.Tune == nil || st.Tune.TTLNudges != 1 {
+		t.Fatalf("tune stats = %+v, want 1 TTL nudge", st.Tune)
+	}
+
+	// Clamp: however many windows fire, TTL never exceeds 4x base.
+	for i := 0; i < 40; i++ {
+		window()
+	}
+	if got, max := time.Duration(s.effTTL.Load()), 4*base; got > max {
+		t.Fatalf("TTL %v exceeded the 4x clamp %v", got, max)
+	}
+}
+
+// TestTuneTTLLowersUnderPureBytePressure: windows full of evictions and
+// zero expiries lower the TTL toward (but never past) base/4.
+func TestTuneTTLLowersUnderPureBytePressure(t *testing.T) {
+	clock := newTunedClock()
+	base := time.Minute
+	s := New(Options{MaxBytes: 500, TTL: base, Now: clock.Now,
+		Tune: &TuneOptions{Window: 8}})
+
+	// Rolling inserts over a tiny budget: every window evicts, nothing
+	// ever idles long enough to expire.
+	for i := 0; i < 400; i++ {
+		s.Put(key(i), fakeValue{id: i, bytes: 100})
+	}
+	got := time.Duration(s.effTTL.Load())
+	if got >= base {
+		t.Fatalf("TTL did not drop under byte pressure: %v", got)
+	}
+	if min := base / 4; got < min {
+		t.Fatalf("TTL %v fell under the base/4 clamp %v", got, min)
+	}
+}
+
+// TestTuneSplitShiftsTowardHitDensity: with the budget split per kind,
+// sealed traffic that hits far more per byte than prefill pulls budget
+// toward sealed — within the 1.5x clamp — and the shrunk prefill side
+// evicts down to its new budget immediately.
+func TestTuneSplitShiftsTowardHitDensity(t *testing.T) {
+	clock := newTunedClock()
+	s := New(Options{
+		MaxBytes: 2000, Now: clock.Now,
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 1000},
+			KindPrefill: {MaxBytes: 1000},
+		},
+		Tune: &TuneOptions{Window: 16},
+	})
+	s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 10})
+	s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 900})
+
+	// Every window: 8 sealed hits on 10 bytes vs 7 prefill hits on 900
+	// bytes — sealed's hit density is ~100x prefill's.
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 8; i++ {
+			s.Get(kindKey(KindSealed, 0))
+		}
+		for i := 0; i < 7; i++ {
+			s.Get(kindKey(KindPrefill, 0))
+		}
+		s.Put(kindKey(KindPrefill, 0), fakeValue{bytes: 900}) // 16th op
+	}
+	st := s.Stats()
+	if st.Tune == nil || st.Tune.SplitNudges == 0 {
+		t.Fatalf("no split nudge: %+v", st.Tune)
+	}
+	if st.Tune.SealedMaxBytes <= 1000 {
+		t.Fatalf("sealed budget did not grow: %+v", st.Tune)
+	}
+	if st.Tune.SealedMaxBytes > 1500 {
+		t.Fatalf("sealed budget %d exceeded its 1.5x clamp", st.Tune.SealedMaxBytes)
+	}
+	if st.Tune.SealedMaxBytes+st.Tune.PrefillMaxBytes != 2000 {
+		t.Fatalf("split no longer sums to the budget: %+v", st.Tune)
+	}
+	// The store's real shard budgets moved with the tuner's view.
+	if got := st.Kinds[string(KindSealed)].MaxBytes; got != st.Tune.SealedMaxBytes {
+		t.Fatalf("sealed shard budget %d != tuned budget %d", got, st.Tune.SealedMaxBytes)
+	}
+	if s.Bytes() > 2000 {
+		t.Fatalf("resident bytes %d exceed the total budget after retune", s.Bytes())
+	}
+}
+
+// TestTuneSplitIgnoresQuietKind: a kind with no window traffic never
+// loses budget, however dense the other kind's hits are.
+func TestTuneSplitIgnoresQuietKind(t *testing.T) {
+	clock := newTunedClock()
+	s := New(Options{
+		MaxBytes: 2000, Now: clock.Now,
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 1000},
+			KindPrefill: {MaxBytes: 1000},
+		},
+		Tune: &TuneOptions{Window: 16},
+	})
+	s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 10})
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 15; i++ {
+			s.Get(kindKey(KindSealed, 0)) // all traffic sealed; prefill silent
+		}
+		s.Put(kindKey(KindSealed, 0), fakeValue{bytes: 10})
+	}
+	if st := s.Stats(); st.Tune.SplitNudges != 0 {
+		t.Fatalf("split moved on one-sided traffic: %+v", st.Tune)
+	}
+}
+
+// TestTuneProbationGrowsOnPromotions: under the A1 policy, windows where
+// probation residents keep earning promotion grow the probation share —
+// clamped at 2x the configured percentage — and the caps stay negotiated
+// with the policy (never beyond half a shard budget).
+func TestTuneProbationGrowsOnPromotions(t *testing.T) {
+	clock := newTunedClock()
+	s := New(Options{
+		MaxBytes: 4000, Now: clock.Now,
+		NewPolicy: func() Policy { return NewPolicyA1(64, 0, 100) },
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 2000, ProbationPct: 10},
+			KindPrefill: {MaxBytes: 2000, ProbationPct: 10},
+		},
+		Tune: &TuneOptions{Window: 8},
+	})
+	// Each window: four first sightings (land in probation) and four
+	// re-references (promote). Promotions > rejections every window.
+	n := 0
+	for w := 0; w < 12; w++ {
+		for i := 0; i < 4; i++ {
+			s.Put(kindKey(KindSealed, n+i), fakeValue{bytes: 40})
+		}
+		for i := 0; i < 4; i++ {
+			s.Get(kindKey(KindSealed, n+i))
+		}
+		n += 4
+	}
+	st := s.Stats()
+	if st.Tune == nil || st.Tune.ProbationNudges == 0 {
+		t.Fatalf("no probation nudge: %+v", st.Tune)
+	}
+	pct := st.Tune.ProbationPct[string(KindSealed)]
+	if pct <= 10 || pct > 20 {
+		t.Fatalf("sealed probation pct = %v, want in (10, 20]", pct)
+	}
+	// The store-side caps moved and respect the policy's half-budget
+	// invariant on every kind shard.
+	for _, ls := range s.shards {
+		for _, sh := range ls.shards() {
+			if sh.kind == "" {
+				continue
+			}
+			if sh.probCap > sh.max/2 {
+				t.Fatalf("kind %q probation cap %d exceeds half its budget %d",
+					sh.kind, sh.probCap, sh.max)
+			}
+		}
+	}
+}
+
+// TestTuneProbationShrinksOnScans: scan-only traffic (sightings that
+// never return) shrinks the probation share, clamped at half the
+// configured percentage.
+func TestTuneProbationShrinksOnScans(t *testing.T) {
+	clock := newTunedClock()
+	s := New(Options{
+		MaxBytes: 4000, Now: clock.Now,
+		NewPolicy: func() Policy { return NewPolicyA1(64, 0, 100) },
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 2000, ProbationPct: 20},
+			KindPrefill: {MaxBytes: 2000, ProbationPct: 20},
+		},
+		Tune: &TuneOptions{Window: 8},
+	})
+	for i := 0; i < 400; i++ { // one-shot flood: probation churns, nothing promotes
+		s.Put(kindKey(KindSealed, i), fakeValue{bytes: 60})
+	}
+	st := s.Stats()
+	pct := st.Tune.ProbationPct[string(KindSealed)]
+	if pct >= 20 {
+		t.Fatalf("probation pct did not shrink under scan flood: %v", pct)
+	}
+	if pct < 10 {
+		t.Fatalf("probation pct %v fell under the base/2 clamp", pct)
+	}
+}
+
+// TestTuneStatsBlock pins the tune block's shape for the metrics
+// surface: present when on, with the configured window and the current
+// knob values.
+func TestTuneStatsBlock(t *testing.T) {
+	s := New(Options{MaxBytes: 1000, TTL: time.Minute,
+		Tune: &TuneOptions{}})
+	st := s.Stats()
+	if st.Tune == nil {
+		t.Fatal("tune block missing")
+	}
+	if st.Tune.Window != DefaultTuneWindow {
+		t.Fatalf("window = %d, want default %d", st.Tune.Window, DefaultTuneWindow)
+	}
+	if st.Tune.TTLMs != 60_000 {
+		t.Fatalf("ttl_ms = %v, want 60000", st.Tune.TTLMs)
+	}
+	if st.Tune.SealedMaxBytes != 0 || st.Tune.PrefillMaxBytes != 0 {
+		t.Fatalf("unsplit store reported kind budgets: %+v", st.Tune)
+	}
+}
+
+// TestTuneConcurrent hammers a tuned store from many goroutines under
+// -race: tuning decisions interleaving with serve traffic must stay
+// data-race-free and keep the byte accounting within budget.
+func TestTuneConcurrent(t *testing.T) {
+	s := New(Options{
+		MaxBytes: 10_000, TTL: time.Minute, Shards: 4,
+		NewPolicy: func() Policy { return NewPolicyA1(64, 0, 100) },
+		Kinds: map[Kind]KindBudget{
+			KindSealed:  {MaxBytes: 5000, ProbationPct: 10},
+			KindPrefill: {MaxBytes: 5000, ProbationPct: 10},
+		},
+		Tune: &TuneOptions{Window: 32},
+	})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			kind := KindSealed
+			if g%2 == 0 {
+				kind = KindPrefill
+			}
+			for i := 0; i < 500; i++ {
+				s.Put(kindKey(kind, i%50), fakeValue{bytes: 64})
+				s.Get(kindKey(kind, (i+g)%60))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Bytes() > 10_000 {
+		t.Fatalf("resident bytes %d exceed budget", s.Bytes())
+	}
+	if st := s.Stats(); st.Tune == nil {
+		t.Fatal("tune block missing")
+	}
+}

@@ -70,6 +70,113 @@ func BenchmarkStreamTTFT(b *testing.B) {
 	b.ReportMetric(lat*1e3, "latency-ms")
 }
 
+// BenchmarkCostAdmission replays the heterogeneous-cost two-tenant
+// stream through the live server with the cost gate off versus armed
+// (generous budget: every request admitted, every request priced), so
+// the per-request cost of pricing + drain accounting is the measured
+// difference. admit-rate is deterministic — the generous budget must
+// admit everything — and gates even at smoke benchtime. Run with:
+//
+//	go test -bench CostAdmission ./internal/workload -benchtime 1x
+func BenchmarkCostAdmission(b *testing.B) {
+	p := soakPipeline(b)
+	reqs, err := Generate(p, Options{
+		Seed: 23, Requests: 32, Sessions: 4, ZipfS: 1.3, ScanFraction: 0.3,
+		LongFraction: 0.5, Tenants: []string{"acme", "globex"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		budgetMs int
+	}{{"off", 0}, {"armed", 10_000_000}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv, ts := liveServer(b, p, httpapi.Options{
+				Workers: 2, QueueDepth: 64, SessionCacheMB: -1,
+				CostBudgetMs: mode.budgetMs,
+			})
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReplayHTTPTenants(client, ts.URL, "", reqs, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(reqs))/1e6, "ms/req")
+			if mode.budgetMs > 0 {
+				adm := srv.Snapshot().Scheduling.Admission
+				b.ReportMetric(float64(adm.Admitted)/float64(adm.Admitted+adm.Shed), "admit-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkTenantFairness replays an alternating cheap/dear two-tenant
+// stream through a FIFO server and a per-tenant DRR server, reporting
+// req/s — the throughput cost of metered dispatch, which the regression
+// gate holds near parity. served-balance-rate (min/max per-tenant served
+// count, deterministic 1.0 on the alternating stream) gates the DRR
+// accounting even at smoke benchtime. Run with:
+//
+//	go test -bench TenantFairness ./internal/workload -benchtime 1x
+func BenchmarkTenantFairness(b *testing.B) {
+	p := soakPipeline(b)
+	short, err := p.NewSample("Qasper", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := p.NewSample("Qasper", 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	long := extendContext(short.Context, ext.Context, p.Config().MaxSeq)
+	const n = 24
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n/2; i++ {
+		reqs = append(reqs,
+			Request{Session: 0, Context: short.Context, Query: short.Query, Tenant: "cheap"},
+			Request{Session: 1, Context: long, Query: short.Query, Tenant: "dear", Long: true})
+	}
+	for _, mode := range []struct {
+		name, header string
+	}{{"fifo", ""}, {"drr", "X-Tenant"}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv, ts := liveServer(b, p, httpapi.Options{
+				Workers: 1, QueueDepth: 2 * n,
+				SessionCacheMB: 8, SessionTTL: time.Minute,
+				BatchMax: 2, BatchWindow: 2 * time.Millisecond,
+				TenantHeader: mode.header,
+			})
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReplayHTTPTenants(client, ts.URL, mode.header, reqs, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*n)/secs, "req/s")
+			}
+			if mode.header != "" {
+				var lo, hi int64
+				for _, ten := range srv.Snapshot().Scheduling.Tenants {
+					if lo == 0 || ten.Served < lo {
+						lo = ten.Served
+					}
+					if ten.Served > hi {
+						hi = ten.Served
+					}
+				}
+				if hi > 0 {
+					b.ReportMetric(float64(lo)/float64(hi), "served-balance-rate")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMixedKindWorkload replays the seal-heavy mixed-kind stream
 // (high PlanChurn: many sealed plans per context) against the A1 cache
 // with the shared budget versus the per-kind split, reporting prefill

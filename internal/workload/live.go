@@ -70,14 +70,24 @@ func (r *LiveReport) finalize(elapsed time.Duration) {
 }
 
 // postAnswer sends one /v1/answer call and returns the space-joined
-// answer. Any non-200 is an error: the replay harness sizes queue depth
+// answer; a request carrying a Tenant label sends it in tenantHeader
+// (when the caller named one) so the server's DRR dispatcher can meter
+// it. Any non-200 is an error: the replay harness sizes queue depth
 // for the load it offers, so shedding means the test asked wrong.
-func postAnswer(client *http.Client, baseURL string, req Request) (string, error) {
+func postAnswer(client *http.Client, baseURL, tenantHeader string, req Request) (string, error) {
 	body, err := json.Marshal(map[string]any{"context": req.Context, "query": req.Query})
 	if err != nil {
 		return "", err
 	}
-	resp, err := client.Post(baseURL+"/v1/answer", "application/json", bytes.NewReader(body))
+	hr, err := http.NewRequest(http.MethodPost, baseURL+"/v1/answer", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if tenantHeader != "" && req.Tenant != "" {
+		hr.Header.Set(tenantHeader, req.Tenant)
+	}
+	resp, err := client.Do(hr)
 	if err != nil {
 		return "", err
 	}
@@ -243,6 +253,15 @@ func ReplayHTTPStream(client *http.Client, baseURL string, reqs []Request, worke
 // up to workers goroutines (<= 1 means serial, in stream order — the
 // mode whose cache-state sequence matches the in-process Replay exactly).
 func ReplayHTTP(client *http.Client, baseURL string, reqs []Request, workers int) (*LiveReport, error) {
+	return ReplayHTTPTenants(client, baseURL, "", reqs, workers)
+}
+
+// ReplayHTTPTenants is ReplayHTTP with tenant attribution: a request
+// carrying a Tenant label sends it in tenantHeader — the name the
+// server was given as its -tenant-header — which is what keys the
+// per-tenant DRR dispatcher the fairness soaks measure. An empty header
+// name (or an untenanted request) sends no header.
+func ReplayHTTPTenants(client *http.Client, baseURL, tenantHeader string, reqs []Request, workers int) (*LiveReport, error) {
 	rep := &LiveReport{
 		Requests:  len(reqs),
 		Outputs:   make([]string, len(reqs)),
@@ -251,7 +270,7 @@ func ReplayHTTP(client *http.Client, baseURL string, reqs []Request, workers int
 	start := time.Now()
 	err := parallel.ForEach(workers, len(reqs), func(i int) error {
 		sent := time.Now()
-		out, err := postAnswer(client, baseURL, reqs[i])
+		out, err := postAnswer(client, baseURL, tenantHeader, reqs[i])
 		if err != nil {
 			return fmt.Errorf("request %d: %w", i, err)
 		}
@@ -295,7 +314,7 @@ func ReplayTrace(client *http.Client, baseURL string, reqs []Request, arrivals [
 				time.Sleep(d)
 			}
 			sent := time.Now()
-			out, err := postAnswer(client, baseURL, reqs[i])
+			out, err := postAnswer(client, baseURL, "", reqs[i])
 			if err != nil {
 				mu.Lock()
 				if first == nil {

@@ -1,0 +1,145 @@
+package workload
+
+// Generator proofs for the tenant and context-length-tier lanes: the
+// knobs live on dedicated RNG streams, so switching them on relabels
+// (or lengthens) requests without perturbing the interleaving the
+// pinned-seed soaks depend on — and switching them off reproduces the
+// historical stream byte-for-byte.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stripLanes erases the tenant/tier lane outputs so a labeled stream can
+// be compared structurally against its plain twin.
+func stripLanes(reqs []Request) []Request {
+	out := append([]Request(nil), reqs...)
+	for i := range out {
+		out[i].Tenant, out[i].Long = "", false
+	}
+	return out
+}
+
+// TestTenantLaneIsolated: the tenant lane labels requests without
+// touching anything else — same seed with and without Tenants yields
+// streams identical except the Tenant field.
+func TestTenantLaneIsolated(t *testing.T) {
+	p := soakPipeline(t)
+	opts := Options{Seed: 11, Requests: 48, Sessions: 4, ScanFraction: 0.4}
+	plain, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Tenants = []string{"acme", "globex"}
+	labeled, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, stripLanes(labeled)) {
+		t.Fatal("tenant lane perturbed the request stream")
+	}
+	seen := map[string]int{}
+	for i, r := range labeled {
+		if r.Tenant != "acme" && r.Tenant != "globex" {
+			t.Fatalf("request %d: tenant %q not drawn from Options.Tenants", i, r.Tenant)
+		}
+		seen[r.Tenant]++
+	}
+	if seen["acme"] == 0 || seen["globex"] == 0 {
+		t.Fatalf("uniform draw over 48 requests missed a tenant: %v", seen)
+	}
+	// Determinism: same options, byte-identical labels.
+	again, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labeled, again) {
+		t.Fatal("tenant assignment not deterministic for a fixed seed")
+	}
+	// Zero-value knobs leave every request unlabeled.
+	for i, r := range plain {
+		if r.Tenant != "" || r.Long {
+			t.Fatalf("request %d of a plain stream carries lane output: %+v", i, r)
+		}
+	}
+}
+
+// TestLongTierLane: LongFraction marks a deterministic subset of
+// requests long and extends exactly their contexts — toward twice the
+// base length, under the sequence bound — while the stream's session
+// interleaving, queries and every short context stay untouched.
+func TestLongTierLane(t *testing.T) {
+	p := soakPipeline(t)
+	opts := Options{Seed: 11, Requests: 48, Sessions: 4, ScanFraction: 0.4}
+	plain, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.LongFraction = 0.5
+	tiered, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeq := p.Config().MaxSeq
+	longs := 0
+	for i, r := range tiered {
+		pr := plain[i]
+		if r.Session != pr.Session || r.Epoch != pr.Epoch || !reflect.DeepEqual(r.Query, pr.Query) {
+			t.Fatalf("request %d: tier lane perturbed the interleaving", i)
+		}
+		if !r.Long {
+			if !reflect.DeepEqual(r.Context, pr.Context) {
+				t.Fatalf("request %d: short-tier context changed", i)
+			}
+			continue
+		}
+		longs++
+		if len(r.Context) <= len(pr.Context) {
+			t.Fatalf("request %d: long-tier context not extended (%d <= %d)",
+				i, len(r.Context), len(pr.Context))
+		}
+		if len(r.Context) > maxSeq-appendHeadroom {
+			t.Fatalf("request %d: long context %d words breaches the bound %d",
+				i, len(r.Context), maxSeq-appendHeadroom)
+		}
+		if !reflect.DeepEqual(r.Context[:len(pr.Context)], pr.Context) {
+			t.Fatalf("request %d: extension rewrote the base context", i)
+		}
+	}
+	if longs == 0 {
+		t.Fatal("LongFraction 0.5 produced no long requests over 48 draws")
+	}
+	// A long warm session is long on every sighting (the tier is a
+	// session property, not a per-request coin).
+	tier := map[int]bool{}
+	for i, r := range tiered {
+		if r.IsScan() {
+			continue
+		}
+		if prev, ok := tier[r.Session]; ok && prev != r.Long {
+			t.Fatalf("request %d: session %d changed tier mid-stream", i, r.Session)
+		}
+		tier[r.Session] = r.Long
+	}
+	// Determinism of the tier lane.
+	again, err := Generate(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tiered, again) {
+		t.Fatal("tier assignment not deterministic for a fixed seed")
+	}
+}
+
+// TestLaneKnobValidation: malformed lane knobs are rejected, not
+// clamped.
+func TestLaneKnobValidation(t *testing.T) {
+	p := soakPipeline(t)
+	if _, err := Generate(p, Options{Seed: 1, Requests: 4, Tenants: []string{"acme", ""}}); err == nil {
+		t.Fatal("empty tenant label must be rejected")
+	}
+	if _, err := Generate(p, Options{Seed: 1, Requests: 4, LongFraction: 1.5}); err == nil {
+		t.Fatal("LongFraction > 1 must be rejected")
+	}
+}

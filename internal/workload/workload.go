@@ -64,6 +64,16 @@ type Request struct {
 	// (ReplayGrowing, the append HTTP endpoint) feed only this suffix to
 	// Session.Append; stateless replays ignore it.
 	Append []string
+	// Tenant is the request's tenant label, drawn from Options.Tenants'
+	// dedicated RNG lane; empty for untenanted streams. Live replays
+	// (ReplayHTTPTenants) send it as the server's tenant header so the
+	// per-tenant DRR dispatcher can meter the request.
+	Tenant string
+	// Long marks a long-tier context (Options.LongFraction): the base
+	// sample context extended toward twice its length from a dedicated
+	// sample lane, bounded by the sequence limit. Always false when the
+	// knob is zero.
+	Long bool
 }
 
 // IsScan reports whether the request is one-shot scan traffic.
@@ -109,6 +119,24 @@ type Options struct {
 	// RNG draw stream — and thus the whole request interleaving — is
 	// byte-identical to the pre-knob generator.
 	AppendFraction float64
+	// Tenants assigns each request a tenant label drawn uniformly from
+	// this list, from a dedicated RNG lane (Seed+2) so the main draw
+	// stream — and thus the request interleaving, contexts and queries —
+	// is byte-identical to the untenanted stream of the same seed.
+	// Empty (the default) leaves every request untenanted. Labels must
+	// be non-empty. Stream-level: phases share one tenant lane.
+	Tenants []string
+	// LongFraction is the probability a warm session (decided once, at
+	// pool build) or a scan request carries a long-tier context: the
+	// base sample context extended toward twice its length with words
+	// from a dedicated sample lane, capped under the sequence bound.
+	// Tier coins come from their own RNG lane (Seed+3), so streams with
+	// the knob zero (the default, and any < 0) are byte-identical to
+	// the historical generator. Long and short requests of one stream
+	// differ in predicted serve cost by construction — the
+	// heterogeneous-cost mix the scheduling soaks need. Stream-level:
+	// phases share one tier lane.
+	LongFraction float64
 	// Dataset names the Table I generator backing the contexts
 	// ("" selects Qasper).
 	Dataset string
@@ -149,6 +177,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AppendFraction < 0 {
 		o.AppendFraction = 0
+	}
+	if o.LongFraction < 0 {
+		o.LongFraction = 0
 	}
 	if o.Dataset == "" {
 		o.Dataset = "Qasper"
@@ -250,6 +281,14 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 			maxSessions = ph.Sessions
 		}
 	}
+	if opts.LongFraction > 1 {
+		return nil, fmt.Errorf("workload: LongFraction must be <= 1, have %v", opts.LongFraction)
+	}
+	for i, name := range opts.Tenants {
+		if name == "" {
+			return nil, fmt.Errorf("workload: Tenants[%d] must be a non-empty label", i)
+		}
+	}
 	// Sample seeds live in disjoint lanes off the stream seed so warm
 	// contexts, scan contexts and warm query variants can never alias
 	// for a fixed Options.Seed (the scan lane is bounded at 1e6
@@ -285,6 +324,42 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 		variants[[2]int{i, j}] = s.Query
 		return s.Query, nil
 	}
+	// Tenant and tier assignments come from dedicated RNG lanes (Seed+2
+	// and Seed+3): streams with the knobs unset never draw from them, and
+	// a tenanted or tiered stream's request interleaving is byte-identical
+	// to its plain twin — only the labels and the long-tier contexts
+	// differ.
+	maxSeq := p.Config().MaxSeq
+	var tenantRNG, tierRNG *rand.Rand
+	if len(opts.Tenants) > 0 {
+		tenantRNG = rand.New(rand.NewSource(int64(opts.Seed) + 2))
+	}
+	longSession := make([]bool, maxSessions)
+	longCtx := make([][]string, maxSessions)
+	if opts.LongFraction > 0 {
+		tierRNG = rand.New(rand.NewSource(int64(opts.Seed) + 3))
+		// Warm tiers are decided once, at pool build, in session order
+		// (a session's context length is a property of the session, not
+		// of any one request); extension words come from the warm-long
+		// sample lane [4e6, 4e6+maxSessions).
+		for i := range warm {
+			if tierRNG.Float64() >= opts.LongFraction {
+				continue
+			}
+			s, err := p.NewSample(opts.Dataset, base+4_000_000+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("workload: long-tier extension %d: %w", i, err)
+			}
+			longSession[i] = true
+			longCtx[i] = extendContext(warm[i].Context, s.Context, maxSeq)
+		}
+	}
+	drawTenant := func() string {
+		if tenantRNG == nil {
+			return ""
+		}
+		return opts.Tenants[tenantRNG.Intn(len(opts.Tenants))]
+	}
 	rng := rand.New(rand.NewSource(int64(opts.Seed) + 1))
 	reqs := make([]Request, 0, total)
 	scans := uint64(0)
@@ -293,7 +368,6 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 	// append seed lane [3e6, 4e6).
 	ctxs := make([][]string, maxSessions)
 	appends := uint64(0)
-	maxSeq := p.Config().MaxSeq
 	for e, ph := range phases {
 		zipf := rand.NewZipf(rng, ph.ZipfS, 1, uint64(ph.Sessions-1))
 		for n := 0; n < ph.Requests; {
@@ -308,8 +382,20 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 				if err != nil {
 					return nil, fmt.Errorf("workload: scan sample %d: %w", scans, err)
 				}
+				ctx, long := s.Context, false
+				if tierRNG != nil && tierRNG.Float64() < opts.LongFraction {
+					// Scan tiers draw per request; extension words come
+					// from the scan-long lane [5e6, 6e6) (same bound as
+					// the scan lane, enforced above).
+					es, err := p.NewSample(opts.Dataset, base+5_000_000+scans)
+					if err != nil {
+						return nil, fmt.Errorf("workload: long-tier scan %d: %w", scans, err)
+					}
+					ctx, long = extendContext(ctx, es.Context, maxSeq), true
+				}
 				scans++
-				reqs = append(reqs, Request{Session: ScanSession, Epoch: e, Context: s.Context, Query: s.Query})
+				reqs = append(reqs, Request{Session: ScanSession, Epoch: e, Context: ctx, Query: s.Query,
+					Tenant: drawTenant(), Long: long})
 				n++
 				continue
 			}
@@ -326,7 +412,11 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 				return nil, err
 			}
 			if ctxs[i] == nil {
-				ctxs[i] = warm[i].Context
+				if longSession[i] {
+					ctxs[i] = longCtx[i]
+				} else {
+					ctxs[i] = warm[i].Context
+				}
 			}
 			var chunk []string
 			// Only growing phases draw the append coin, so streams with
@@ -349,11 +439,33 @@ func GeneratePhases(p *cocktail.Pipeline, opts Options, phases []Phase) ([]Reque
 				grown := make([]string, 0, len(ctxs[i])+len(chunk))
 				ctxs[i] = append(append(grown, ctxs[i]...), chunk...)
 			}
-			reqs = append(reqs, Request{Session: i, Epoch: e, Context: ctxs[i], Query: q, Append: chunk})
+			reqs = append(reqs, Request{Session: i, Epoch: e, Context: ctxs[i], Query: q, Append: chunk,
+				Tenant: drawTenant(), Long: longSession[i]})
 			n++
 		}
 	}
 	return reqs, nil
+}
+
+// extendContext grows ctx toward the long-tier target length — twice
+// the base length, capped at the sequence bound less appendHeadroom so
+// every query the stream can pair with the grown context (plus the
+// decode budget) still fits — using words from extra. Never mutates
+// either input.
+func extendContext(ctx, extra []string, maxSeq int) []string {
+	target := 2 * len(ctx)
+	if bound := maxSeq - appendHeadroom; target > bound {
+		target = bound
+	}
+	need := target - len(ctx)
+	if need <= 0 {
+		return ctx
+	}
+	if need > len(extra) {
+		need = len(extra)
+	}
+	out := make([]string, 0, len(ctx)+need)
+	return append(append(out, ctx...), extra[:need]...)
 }
 
 // Prefiller is the serving surface a replay drives. *cocktail.Pipeline

@@ -2,13 +2,13 @@
 # bench.sh runs the serving-path benchmark suite (warm session answers,
 # session append vs re-prefill, prefix cache under scan, mixed-kind
 # workload, batched serve throughput, streamed time-to-first-token,
-# store lock-contention 1 vs 8 shards, session-registry churn) and
-# converts the output to BENCH_PR9.json at the repo root via
-# cocktail-benchjson.
+# cost-gate admission overhead, tenant-fairness dispatch cost, store
+# lock-contention 1 vs 8 shards, session-registry churn) and converts
+# the output to BENCH_PR10.json at the repo root via cocktail-benchjson.
 #
 #   BENCHTIME=1x   per-benchmark time/iterations (default 1x: a smoke
 #                  run; use e.g. 2s for a measurement run)
-#   OUT=...        output path (default BENCH_PR9.json)
+#   OUT=...        output path (default BENCH_PR10.json)
 #
 # CI diffs the result against the committed previous snapshot with
 # `cocktail-benchjson -compare`; at the default 1x smoke setting only
@@ -24,11 +24,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="${OUT:-BENCH_PR9.json}"
+out="${OUT:-BENCH_PR10.json}"
 
 {
   go test -run '^$' -bench '^(BenchmarkSessionAnswerWarm|BenchmarkAppendVsReprefill)$' -benchtime "$benchtime" .
-  go test -run '^$' -bench '^(BenchmarkPrefixCacheUnderScan|BenchmarkMixedKindWorkload|BenchmarkBatchedServeThroughput|BenchmarkStreamTTFT)$' \
+  go test -run '^$' -bench '^(BenchmarkPrefixCacheUnderScan|BenchmarkMixedKindWorkload|BenchmarkBatchedServeThroughput|BenchmarkStreamTTFT|BenchmarkCostAdmission|BenchmarkTenantFairness)$' \
     -benchtime "$benchtime" ./internal/workload
   go test -run '^$' -bench '^BenchmarkStoreContention$' -benchtime "$benchtime" ./internal/sessioncache
   go test -run '^$' -bench '^BenchmarkSessionRegistryChurn$' -benchtime "$benchtime" ./internal/httpapi

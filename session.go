@@ -421,6 +421,19 @@ type SessionCacheOptions struct {
 	// sleeps; servers thread their own injected clock through here so
 	// registry TTLs and cache TTLs tick together.
 	Now func() time.Time
+	// AutoTune enables the store's self-tuning layer: at tumbling-window
+	// boundaries (AutoTuneWindow store operations) the cache nudges its
+	// effective TTL, the sealed/prefill byte split and the per-kind
+	// probation shares toward whichever configuration the measured
+	// hit-rate-per-byte favors, with two-window hysteresis and hard
+	// clamps around the configured baselines. Off (the default) keeps
+	// every knob pinned at its configured value — decision-identical to
+	// the untuned store.
+	AutoTune bool
+	// AutoTuneWindow is the tuner's window length in store operations
+	// (<= 0 selects sessioncache.DefaultTuneWindow). Ignored unless
+	// AutoTune is set.
+	AutoTuneWindow int
 }
 
 // AdmissionStats reports a SessionCache's admission-policy counters and
@@ -504,6 +517,30 @@ type CacheStats struct {
 	// Persist is the spill tier's counter block; nil unless
 	// SessionCacheOptions.PersistDir enabled persistence.
 	Persist *PersistStats `json:"persist,omitempty"`
+	// Tune is the self-tuner's knob snapshot; nil unless
+	// SessionCacheOptions.AutoTune enabled tuning, so an untuned cache's
+	// stats payload is byte-for-byte the historical one.
+	Tune *TuneStats `json:"tune,omitempty"`
+}
+
+// TuneStats reports the self-tuner's current knob values and applied
+// nudge counts (mirrors sessioncache.TuneStats; nil when tuning is off).
+type TuneStats struct {
+	// Window is the tuning window length in store operations.
+	Window int `json:"window"`
+	// TTLMs is the current effective TTL in milliseconds (0 = no expiry).
+	TTLMs float64 `json:"ttl_ms"`
+	// SealedMaxBytes / PrefillMaxBytes are the current per-kind byte
+	// sub-budgets; zero when SealedPct left the budget unsplit.
+	SealedMaxBytes  int64 `json:"sealed_max_bytes"`
+	PrefillMaxBytes int64 `json:"prefill_max_bytes"`
+	// ProbationPct is the current probation share per dedicated kind.
+	ProbationPct map[string]float64 `json:"probation_pct,omitempty"`
+	// Nudge counters: applied moves per knob (clamped-to-no-op
+	// evaluations do not count).
+	TTLNudges       int64 `json:"ttl_nudges"`
+	SplitNudges     int64 `json:"split_nudges"`
+	ProbationNudges int64 `json:"probation_nudges"`
 }
 
 // ShardStats reports one lock-shard's occupancy and counters (mirrors
@@ -619,11 +656,16 @@ func NewSessionCache(p *Pipeline, opts SessionCacheOptions) *SessionCache {
 				sessioncache.KindSealed: sealedCodec{}},
 		}
 	}
+	var tune *sessioncache.TuneOptions
+	if opts.AutoTune {
+		tune = &sessioncache.TuneOptions{Window: opts.AutoTuneWindow}
+	}
 	return &SessionCache{
 		p: p,
 		store: sessioncache.New(sessioncache.Options{
 			MaxBytes: opts.MaxBytes, TTL: opts.TTL, NewPolicy: newPolicy,
-			Kinds: kinds, Shards: opts.Shards, Persist: persist, Now: opts.Now}),
+			Kinds: kinds, Shards: opts.Shards, Persist: persist, Now: opts.Now,
+			Tune: tune}),
 	}
 }
 
@@ -736,6 +778,25 @@ func (c *SessionCache) Stats() CacheStats {
 			Corrupt:   st.Persist.Corrupt,
 			Expired:   st.Persist.Expired,
 			Errors:    st.Persist.Errors,
+		}
+	}
+	if st.Tune != nil {
+		pct := make(map[string]float64, len(st.Tune.ProbationPct))
+		for k, v := range st.Tune.ProbationPct {
+			pct[k] = v
+		}
+		if len(pct) == 0 {
+			pct = nil
+		}
+		out.Tune = &TuneStats{
+			Window:          st.Tune.Window,
+			TTLMs:           st.Tune.TTLMs,
+			SealedMaxBytes:  st.Tune.SealedMaxBytes,
+			PrefillMaxBytes: st.Tune.PrefillMaxBytes,
+			ProbationPct:    pct,
+			TTLNudges:       st.Tune.TTLNudges,
+			SplitNudges:     st.Tune.SplitNudges,
+			ProbationNudges: st.Tune.ProbationNudges,
 		}
 	}
 	return out

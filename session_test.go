@@ -439,3 +439,67 @@ func TestSessionCachePerKindSplit(t *testing.T) {
 		t.Fatalf("aggregate policy label: %+v", st.Admission)
 	}
 }
+
+// TestSessionCacheAutoTuneOffExact: the auto-tune off switch (the
+// default) must reproduce the untuned cache's CacheStats exactly — not
+// just the counters, the whole DeepEqual payload, with no tune block —
+// so deployments that never opt in see byte-identical metrics.
+func TestSessionCacheAutoTuneOffExact(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(auto bool) *SessionCache {
+		return NewSessionCache(p, SessionCacheOptions{
+			MaxBytes: 32 << 20, TTL: time.Minute,
+			Policy: CachePolicyA1, SealedPct: 40, AutoTune: auto})
+	}
+	off, base := mk(false), NewSessionCache(p, SessionCacheOptions{
+		MaxBytes: 32 << 20, TTL: time.Minute,
+		Policy: CachePolicyA1, SealedPct: 40})
+	for i := 0; i < 4; i++ {
+		s, err := p.NewSample("TREC", uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := off.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := base.Answer(s.Context, s.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sample %d: answers diverged with auto-tune off", i)
+		}
+	}
+	so, sb := off.Stats(), base.Stats()
+	if !reflect.DeepEqual(so, sb) {
+		t.Fatalf("auto-tune off stats diverged from untuned cache:\n off:  %+v\n base: %+v", so, sb)
+	}
+	if so.Tune != nil {
+		t.Fatal("tune block must be absent with auto-tune off")
+	}
+
+	// And opting in surfaces the block without touching correctness.
+	on := mk(true)
+	s, err := p.NewSample("TREC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := on.Answer(s.Context, s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("auto-tuned cache changed an answer")
+	}
+	if st := on.Stats(); st.Tune == nil || st.Tune.Window <= 0 {
+		t.Fatalf("auto-tuned cache missing tune block: %+v", st.Tune)
+	}
+}
